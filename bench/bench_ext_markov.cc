@@ -1,0 +1,56 @@
+// Extension: the interest-forgetting Markov baseline (ref. [14], the
+// authors' precursor work) against TS-PPR and FPMC, with a personalization
+// sweep — sequence models with forgetting vs feature-based pairwise ranking.
+
+#include <cstdio>
+
+#include "baselines/fpmc.h"
+#include "baselines/markov_if.h"
+#include "bench/common.h"
+
+using namespace reconsume;
+
+int main() {
+  for (auto&& bundle : bench::MakeBothBundles()) {
+    bench::PrintHeader("EXT: interest-forgetting Markov baseline", bundle);
+
+    eval::TextTable table({"method", "MaAP@1", "MaAP@5", "MaAP@10"});
+    for (double beta : {0.0, 0.5, 1.0}) {
+      baselines::MarkovIfConfig config;
+      config.personalization = beta;
+      auto fitted = baselines::MarkovIfRecommender::Fit(*bundle.split, config);
+      RECONSUME_CHECK(fitted.ok()) << fitted.status();
+      auto owner = std::make_shared<baselines::MarkovIfRecommender>(
+          std::move(fitted).ValueOrDie());
+      bench::Method method{util::StringPrintf("MarkovIF(beta=%.1f)", beta),
+                           owner.get(), owner};
+      const auto acc = bench::EvaluateMethod(bundle, &method);
+      table.AddRow({method.name, eval::TextTable::Cell(acc.MaapAt(1)),
+                    eval::TextTable::Cell(acc.MaapAt(5)),
+                    eval::TextTable::Cell(acc.MaapAt(10))});
+    }
+    {
+      baselines::FpmcConfig config;
+      config.window_capacity = bundle.defaults.window_capacity;
+      config.min_gap = bundle.defaults.min_gap;
+      auto fitted = baselines::FpmcRecommender::Fit(*bundle.split, config);
+      RECONSUME_CHECK(fitted.ok()) << fitted.status();
+      auto owner = std::make_shared<baselines::FpmcRecommender>(
+          std::move(fitted).ValueOrDie());
+      bench::Method method{"FPMC", owner.get(), owner};
+      const auto acc = bench::EvaluateMethod(bundle, &method);
+      table.AddRow({"FPMC", eval::TextTable::Cell(acc.MaapAt(1)),
+                    eval::TextTable::Cell(acc.MaapAt(5)),
+                    eval::TextTable::Cell(acc.MaapAt(10))});
+    }
+    {
+      auto method = bench::FitTsPpr(bundle, bench::MakeTsPprConfig(bundle));
+      const auto acc = bench::EvaluateMethod(bundle, &method);
+      table.AddRow({"TS-PPR", eval::TextTable::Cell(acc.MaapAt(1)),
+                    eval::TextTable::Cell(acc.MaapAt(5)),
+                    eval::TextTable::Cell(acc.MaapAt(10))});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  return 0;
+}

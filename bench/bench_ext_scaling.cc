@@ -1,0 +1,60 @@
+// Extension: offline cost scaling (§5.6's training-cost discussion, made
+// measurable) — training wall time and |D| as the trace grows, SGD step cost
+// as K grows, and evaluation throughput with parallel user evaluation.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/stopwatch.h"
+
+using namespace reconsume;
+
+int main() {
+  // Training cost vs dataset scale.
+  {
+    eval::TextTable table({"scale", "events", "|D|", "SGD steps", "train s",
+                           "MaAP@10"});
+    for (double scale : {0.2, 0.5, 1.0}) {
+      auto bundle = bench::MakeBundle(data::GowallaLikeProfile(scale),
+                                      eval::ExperimentDefaults::Gowalla());
+      auto config = bench::MakeTsPprConfig(bundle);
+      auto method = bench::FitTsPpr(bundle, config);
+      const auto* ts = static_cast<const core::TsPpr*>(method.owner.get());
+      const auto acc = bench::EvaluateMethod(bundle, &method);
+      table.AddRow(
+          {eval::TextTable::Cell(scale, 1),
+           util::FormatWithCommas(bundle.dataset->num_interactions()),
+           util::FormatWithCommas(ts->num_quadruples()),
+           util::FormatWithCommas(ts->train_report().steps),
+           eval::TextTable::Cell(ts->train_report().wall_seconds, 2),
+           eval::TextTable::Cell(acc.MaapAt(10))});
+    }
+    std::printf("=== EXT: training cost vs trace scale (gowalla-like) ===\n%s\n",
+                table.ToString().c_str());
+  }
+
+  // Evaluation throughput: serial vs parallel.
+  {
+    auto bundle = bench::MakeGowallaBundle();
+    auto method = bench::FitTsPpr(bundle, bench::MakeTsPprConfig(bundle));
+    eval::TextTable table({"threads", "eval s", "instances", "MaAP@10"});
+    for (int threads : {1, 2, 4}) {
+      eval::EvalOptions options;
+      options.window_capacity = bundle.defaults.window_capacity;
+      options.min_gap = bundle.defaults.min_gap;
+      options.num_threads = threads;
+      eval::Evaluator evaluator(bundle.split.get(), options);
+      util::Stopwatch stopwatch;
+      auto result = evaluator.Evaluate(method.recommender);
+      RECONSUME_CHECK(result.ok()) << result.status();
+      table.AddRow({std::to_string(threads),
+                    eval::TextTable::Cell(stopwatch.ElapsedSeconds(), 3),
+                    util::FormatWithCommas(result.ValueOrDie().num_instances),
+                    eval::TextTable::Cell(result.ValueOrDie().MaapAt(10))});
+    }
+    std::printf("=== EXT: evaluation throughput (TS-PPR, gowalla-like) ===\n"
+                "%s(aggregate metrics are thread-count invariant)\n\n",
+                table.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Extension: statistical significance of the Fig. 5/6 wins — per-user paired
+// sign tests and Wilcoxon signed-rank tests of TS-PPR against every paper
+// baseline.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "eval/significance.h"
+
+using namespace reconsume;
+
+int main() {
+  for (auto&& bundle : bench::MakeBothBundles()) {
+    bench::PrintHeader("EXT: paired significance of TS-PPR vs baselines",
+                       bundle);
+    auto methods = bench::FitAllMethods(bundle, /*include_ppr_static=*/false);
+    bench::Method& ts_ppr = methods.back();
+    RECONSUME_CHECK(ts_ppr.name == "TS-PPR");
+
+    eval::EvalOptions options;
+    options.window_capacity = bundle.defaults.window_capacity;
+    options.min_gap = bundle.defaults.min_gap;
+
+    eval::TextTable table({"baseline", "N", "wins/losses/ties (Top-10)",
+                           "mean dP(u)", "sign p", "wilcoxon p"});
+    for (auto& baseline : methods) {
+      if (baseline.name == "TS-PPR") continue;
+      auto comparisons =
+          eval::ComparePaired(*bundle.split, options, ts_ppr.recommender,
+                              baseline.recommender);
+      RECONSUME_CHECK(comparisons.ok()) << comparisons.status();
+      const eval::PairedComparison& c =
+          comparisons.ValueOrDie().back();  // Top-10
+      table.AddRow(
+          {baseline.name, std::to_string(c.num_users),
+           util::StringPrintf("%d/%d/%d", c.wins_a, c.wins_b, c.ties),
+           util::StringPrintf("%+.4f", c.mean_difference),
+           util::StringPrintf("%.2e", c.sign_test_p),
+           util::StringPrintf("%.2e", c.wilcoxon_p)});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  return 0;
+}

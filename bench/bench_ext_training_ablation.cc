@@ -1,0 +1,83 @@
+// Extension: ablations of the training-loop design decisions DESIGN.md
+// calls out — learning-rate schedule, initialization scale, and convergence
+// tolerance — measured on the Gowalla-like profile.
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace reconsume;
+
+int main() {
+  auto bundle = bench::MakeGowallaBundle();
+  bench::PrintHeader("EXT: training-loop ablations", bundle);
+
+  // Learning-rate schedules.
+  {
+    eval::TextTable table({"schedule", "alpha", "steps", "MaAP@10",
+                           "MiAP@10"});
+    struct Case {
+      const char* label;
+      core::LearningRateSchedule schedule;
+      double alpha;
+    };
+    for (const Case& c :
+         {Case{"constant (paper)", core::LearningRateSchedule::kConstant,
+               0.05},
+          Case{"constant", core::LearningRateSchedule::kConstant, 0.1},
+          Case{"1/t decay", core::LearningRateSchedule::kInverseDecay, 0.05},
+          Case{"1/t decay", core::LearningRateSchedule::kInverseDecay, 0.1}}) {
+      auto config = bench::MakeTsPprConfig(bundle);
+      config.train.schedule = c.schedule;
+      config.model.learning_rate = c.alpha;
+      auto method = bench::FitTsPpr(bundle, config);
+      const auto* ts = static_cast<const core::TsPpr*>(method.owner.get());
+      const auto acc = bench::EvaluateMethod(bundle, &method);
+      table.AddRow({c.label, eval::TextTable::Cell(c.alpha, 2),
+                    util::FormatWithCommas(ts->train_report().steps),
+                    eval::TextTable::Cell(acc.MaapAt(10)),
+                    eval::TextTable::Cell(acc.MiapAt(10))});
+    }
+    std::printf("learning-rate schedule:\n%s\n", table.ToString().c_str());
+  }
+
+  // Initialization scale (paper: std = sqrt(reg); alternatives fixed).
+  {
+    eval::TextTable table({"init std (latent/mapping)", "MaAP@10", "MiAP@10"});
+    struct Case {
+      const char* label;
+      double latent, mapping;
+    };
+    for (const Case& c : {Case{"sqrt(reg) (paper)", -1, -1},
+                          Case{"0.01 / 0.01", 0.01, 0.01},
+                          Case{"0.1 / 0.1", 0.1, 0.1},
+                          Case{"0.5 / 0.5", 0.5, 0.5}}) {
+      auto config = bench::MakeTsPprConfig(bundle);
+      config.model.init_std_latent = c.latent;
+      config.model.init_std_mapping = c.mapping;
+      auto method = bench::FitTsPpr(bundle, config);
+      const auto acc = bench::EvaluateMethod(bundle, &method);
+      table.AddRow({c.label, eval::TextTable::Cell(acc.MaapAt(10)),
+                    eval::TextTable::Cell(acc.MiapAt(10))});
+    }
+    std::printf("initialization:\n%s\n", table.ToString().c_str());
+  }
+
+  // Convergence tolerance: how much accuracy does stopping earlier cost?
+  {
+    eval::TextTable table({"tolerance", "steps", "MaAP@10"});
+    for (double tolerance : {1e-2, 1e-3, 1e-4}) {
+      auto config = bench::MakeTsPprConfig(bundle);
+      config.train.convergence_tolerance = tolerance;
+      auto method = bench::FitTsPpr(bundle, config);
+      const auto* ts = static_cast<const core::TsPpr*>(method.owner.get());
+      const auto acc = bench::EvaluateMethod(bundle, &method);
+      table.AddRow({eval::TextTable::Cell(tolerance, 4),
+                    util::FormatWithCommas(ts->train_report().steps),
+                    eval::TextTable::Cell(acc.MaapAt(10))});
+    }
+    std::printf("convergence tolerance (delta r~):\n%s\n",
+                table.ToString().c_str());
+  }
+  return 0;
+}

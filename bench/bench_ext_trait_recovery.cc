@@ -1,0 +1,70 @@
+// Extension: does the personalized mapping A_u actually learn *user traits*?
+//
+// The synthetic generator drives each user's repeat choices with hidden
+// per-user weights on recency / quality / familiarity. After training, the
+// model's effective feature weights w_u = A_u^T u are rank-correlated with
+// those hidden traits, per feature, as a function of the minimum gap Omega.
+//
+// The sweep exposes a real selection effect: with the paper's Omega = 10 the
+// training quadruples exclude every repeat with gap <= 10 — precisely the
+// events recency-driven users generate — so the recency trait is censored
+// and its correlation collapses (or flips sign) as Omega grows, while the
+// quality trait stays identifiable.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "math/stats.h"
+
+using namespace reconsume;
+
+int main() {
+  data::SyntheticTraceGenerator generator(
+      data::GowallaLikeProfile(bench::GetScale()));
+  std::vector<data::UserTraits> traits;
+  auto dataset_result = generator.Generate(&traits);
+  RECONSUME_CHECK(dataset_result.ok()) << dataset_result.status();
+  const data::Dataset dataset = std::move(dataset_result).ValueOrDie();
+  const auto split = data::TrainTestSplit::Temporal(&dataset, 0.7).ValueOrDie();
+
+  std::printf("=== EXT: trait recovery by the personalized mappings "
+              "(gowalla-like, %zu users) ===\n\n",
+              dataset.num_users());
+
+  eval::TextTable table({"Omega", "corr(recency)", "corr(quality)",
+                         "corr(familiarity)"});
+  for (int omega : {1, 5, 10, 20}) {
+    core::TsPprPipelineConfig config;
+    config.sampling.min_gap = omega;
+    config.train.convergence_tolerance = 1e-4;
+    auto fitted = core::TsPpr::Fit(split, config);
+    RECONSUME_CHECK(fitted.ok()) << fitted.status();
+    const core::TsPpr& ts_ppr = fitted.ValueOrDie();
+
+    std::vector<double> learned[3], truth[3];
+    for (size_t u = 0; u < dataset.num_users(); ++u) {
+      const auto w = ts_ppr.model().EffectiveFeatureWeights(
+          static_cast<data::UserId>(u));
+      learned[0].push_back(w[2]);  // RE
+      learned[1].push_back(w[0]);  // IP
+      learned[2].push_back(w[3]);  // DF
+      truth[0].push_back(traits[u].recency_weight);
+      truth[1].push_back(traits[u].quality_weight);
+      truth[2].push_back(traits[u].familiarity_weight);
+    }
+    table.AddRow({std::to_string(omega),
+                  eval::TextTable::Cell(
+                      math::SpearmanCorrelation(learned[0], truth[0]), 3),
+                  eval::TextTable::Cell(
+                      math::SpearmanCorrelation(learned[1], truth[1]), 3),
+                  eval::TextTable::Cell(
+                      math::SpearmanCorrelation(learned[2], truth[2]), 3)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "reading: Spearman rank correlation across users between the hidden\n"
+      "generator trait and the learned effective weight w_u = A_u^T u.\n"
+      "Recency identifiability decays with Omega (gap-censoring); quality\n"
+      "stays identifiable because it is gap-independent.\n");
+  return 0;
+}

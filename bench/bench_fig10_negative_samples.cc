@@ -1,0 +1,36 @@
+// Fig. 10: sensitivity of TS-PPR to the number of pre-sampled negatives S
+// per positive, under two minimum-gap settings (Omega = 10, 20). The paper
+// finds a slight uptrend on Gowalla and a flat curve on Lastfm, and keeps
+// S = 10 to bound pre-sampling cost.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+
+using namespace reconsume;
+
+int main() {
+  const std::vector<int> sample_counts = {1, 5, 10, 15, 20};
+
+  for (auto&& bundle : bench::MakeBothBundles()) {
+    bench::PrintHeader("Fig. 10: negative-sample count sensitivity", bundle);
+    for (int omega : {10, 20}) {
+      eval::TextTable table({"S", "|D|", "MaAP@10", "MiAP@10"});
+      for (int s : sample_counts) {
+        auto config = bench::MakeTsPprConfig(bundle);
+        config.sampling.negatives_per_positive = s;
+        config.sampling.min_gap = omega;
+        auto method = bench::FitTsPpr(bundle, config);
+        const auto* ts = static_cast<const core::TsPpr*>(method.owner.get());
+        const auto acc = bench::EvaluateMethod(bundle, &method, omega);
+        table.AddRow({std::to_string(s),
+                      util::FormatWithCommas(ts->num_quadruples()),
+                      eval::TextTable::Cell(acc.MaapAt(10)),
+                      eval::TextTable::Cell(acc.MiapAt(10))});
+      }
+      std::printf("Omega=%d:\n%s\n", omega, table.ToString().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Fig. 11: sensitivity of TS-PPR to the minimum gap Omega (training and
+// evaluation both restrict to repeats older than Omega steps). The paper
+// observes a downtrend on Gowalla (strong recency regime: recent repeats are
+// the easy ones) and an uptrend on Lastfm (the candidate set |W| - Omega
+// shrinks).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+
+using namespace reconsume;
+
+int main() {
+  const std::vector<int> omegas = {5, 10, 15, 20, 25};
+
+  for (auto&& bundle : bench::MakeBothBundles()) {
+    bench::PrintHeader("Fig. 11: minimum-gap sensitivity", bundle);
+    for (int s : {10, 20}) {
+      eval::TextTable table({"Omega", "instances", "MaAP@10", "MiAP@10"});
+      for (int omega : omegas) {
+        auto config = bench::MakeTsPprConfig(bundle);
+        config.sampling.min_gap = omega;
+        config.sampling.negatives_per_positive = s;
+        auto method = bench::FitTsPpr(bundle, config);
+        const auto acc = bench::EvaluateMethod(bundle, &method, omega);
+        table.AddRow({std::to_string(omega),
+                      util::FormatWithCommas(acc.num_instances),
+                      eval::TextTable::Cell(acc.MaapAt(10)),
+                      eval::TextTable::Cell(acc.MiapAt(10))});
+      }
+      std::printf("S=%d:\n%s\n", s, table.ToString().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Fig. 13: average online recommendation time for a single instance, per
+// method (google-benchmark). The paper's ordering: Random/Pop/DYRC cheapest
+// (one pass over the window), Recency close behind, FPMC mid (inner products),
+// TS-PPR above the simple baselines (feature extraction + K-dim products),
+// and Survival orders of magnitude slower (its return-time covariate rescans
+// the user's whole consumption history per candidate).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/common.h"
+
+using namespace reconsume;
+
+namespace {
+
+/// One frozen evaluation instance: window state + candidate set.
+struct Instance {
+  data::UserId user;
+  window::WindowWalker walker;
+  std::vector<data::ItemId> candidates;
+};
+
+struct LatencyFixture {
+  bench::DatasetBundle bundle;
+  std::vector<bench::Method> methods;
+  std::vector<Instance> instances;
+};
+
+std::unique_ptr<LatencyFixture> g_fixture;
+
+void CollectInstances(const bench::DatasetBundle& bundle, size_t max_instances,
+                      std::vector<Instance>* out) {
+  const data::Dataset& dataset = *bundle.dataset;
+  for (size_t u = 0; u < dataset.num_users() && out->size() < max_instances;
+       ++u) {
+    const data::UserId user = static_cast<data::UserId>(u);
+    const auto& seq = dataset.sequence(user);
+    const size_t test_begin = bundle.split->split_point(user);
+    window::WindowWalker walker(&seq, bundle.defaults.window_capacity);
+    while (static_cast<size_t>(walker.step()) < test_begin) walker.Advance();
+    while (!walker.Done() && out->size() < max_instances) {
+      if (walker.NextIsEligibleRepeat(bundle.defaults.min_gap)) {
+        Instance instance{user, walker, {}};
+        walker.EligibleCandidates(bundle.defaults.min_gap,
+                                  &instance.candidates);
+        out->push_back(std::move(instance));
+      }
+      walker.Advance();
+    }
+  }
+}
+
+void BM_ScoreInstance(benchmark::State& state, bench::Method* method) {
+  auto& instances = g_fixture->instances;
+  std::vector<double> scores;
+  size_t i = 0;
+  for (auto _ : state) {
+    const Instance& instance = instances[i];
+    scores.assign(instance.candidates.size(), 0.0);
+    method->recommender->Score(instance.user, instance.walker,
+                               instance.candidates, scores);
+    benchmark::DoNotOptimize(scores.data());
+    i = (i + 1) % instances.size();
+  }
+  state.SetLabel(method->name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_fixture = std::make_unique<LatencyFixture>();
+  g_fixture->bundle = bench::MakeGowallaBundle();
+  bench::PrintHeader("Fig. 13: online recommendation latency",
+                     g_fixture->bundle);
+  g_fixture->methods =
+      bench::FitAllMethods(g_fixture->bundle, /*include_ppr_static=*/false);
+  CollectInstances(g_fixture->bundle, 200, &g_fixture->instances);
+  RECONSUME_CHECK(!g_fixture->instances.empty());
+
+  for (auto& method : g_fixture->methods) {
+    benchmark::RegisterBenchmark(("ScoreInstance/" + method.name).c_str(),
+                                 BM_ScoreInstance, &method)
+        ->Unit(benchmark::kMicrosecond);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  g_fixture.reset();
+  return 0;
+}

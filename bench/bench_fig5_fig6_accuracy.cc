@@ -1,0 +1,88 @@
+// Figs. 5 & 6 + Table 3: MaAP@{1,5,10} and MiAP@{1,5,10} for all methods on
+// both dataset profiles, plus TS-PPR's relative improvement over the best
+// baseline at each cutoff.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "util/string_util.h"
+
+using namespace reconsume;
+
+namespace {
+
+void RunDataset(bench::DatasetBundle bundle) {
+  bench::PrintHeader("Fig. 5/6 + Table 3: recommendation accuracy", bundle);
+
+  auto methods = bench::FitAllMethods(bundle, /*include_ppr_static=*/true);
+  std::vector<eval::AccuracyResult> results;
+  results.reserve(methods.size());
+  for (auto& method : methods) {
+    results.push_back(bench::EvaluateMethod(bundle, &method));
+  }
+
+  eval::TextTable table({"method", "MaAP@1", "MaAP@5", "MaAP@10", "MiAP@1",
+                         "MiAP@5", "MiAP@10"});
+  for (const auto& r : results) {
+    table.AddRow({r.method, eval::TextTable::Cell(r.MaapAt(1)),
+                  eval::TextTable::Cell(r.MaapAt(5)),
+                  eval::TextTable::Cell(r.MaapAt(10)),
+                  eval::TextTable::Cell(r.MiapAt(1)),
+                  eval::TextTable::Cell(r.MiapAt(5)),
+                  eval::TextTable::Cell(r.MiapAt(10))});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // Table 3: TS-PPR improvement over the best baseline (PPR(static) is an
+  // extra ablation row, not a paper baseline, so it is excluded).
+  const eval::AccuracyResult* ts_ppr = nullptr;
+  std::vector<const eval::AccuracyResult*> paper_baselines;
+  for (const auto& r : results) {
+    if (r.method == "TS-PPR") {
+      ts_ppr = &r;
+    } else if (r.method != "PPR(static)") {
+      paper_baselines.push_back(&r);
+    }
+  }
+  RECONSUME_CHECK(ts_ppr != nullptr);
+
+  eval::TextTable improvement(
+      {"cutoff", "best baseline (MaAP)", "MaAP gain", "best baseline (MiAP)",
+       "MiAP gain"});
+  for (int n : {1, 5, 10}) {
+    double best_maap = 0.0, best_miap = 0.0;
+    std::string best_maap_name, best_miap_name;
+    for (const auto* b : paper_baselines) {
+      if (b->MaapAt(n) > best_maap) {
+        best_maap = b->MaapAt(n);
+        best_maap_name = b->method;
+      }
+      if (b->MiapAt(n) > best_miap) {
+        best_miap = b->MiapAt(n);
+        best_miap_name = b->method;
+      }
+    }
+    auto gain = [](double ours, double best) {
+      if (best <= 0) return std::string("n/a");
+      const double pct = 100.0 * (ours / best - 1.0);
+      return util::StringPrintf("%+.0f%%", pct);
+    };
+    improvement.AddRow({"Top-" + std::to_string(n),
+                        best_maap_name + " " + eval::TextTable::Cell(best_maap),
+                        gain(ts_ppr->MaapAt(n), best_maap),
+                        best_miap_name + " " + eval::TextTable::Cell(best_miap),
+                        gain(ts_ppr->MiapAt(n), best_miap)});
+  }
+  std::printf("Table 3 (relative improvement of TS-PPR):\n%s\n",
+              improvement.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  RunDataset(bench::MakeGowallaBundle());
+  RunDataset(bench::MakeLastfmBundle());
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fig. 7: feature importance — retrain TS-PPR with each behavioral feature
+// removed and compare MaAP@10 / MiAP@10 against the all-features model.
+// The paper finds IR (item reconsumption ratio) costs the most when removed.
+//
+// Also covers DESIGN.md ablation #1: the recency kernel choice (hyperbolic
+// Eq. 19 vs exponential Eq. 20).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+
+using namespace reconsume;
+
+int main() {
+  const std::vector<features::FeatureConfig> configs = {
+      features::FeatureConfig::AllFeatures(),
+      features::FeatureConfig::WithoutItemQuality(),
+      features::FeatureConfig::WithoutReconsumptionRatio(),
+      features::FeatureConfig::WithoutRecency(),
+      features::FeatureConfig::WithoutFamiliarity(),
+  };
+
+  for (auto&& bundle : bench::MakeBothBundles()) {
+    bench::PrintHeader("Fig. 7: feature importance (TS-PPR ablation)", bundle);
+    eval::TextTable table(
+        {"features", "F", "MaAP@10", "MiAP@10", "MaAP@5", "MiAP@5"});
+    for (const auto& feature_config : configs) {
+      auto config = bench::MakeTsPprConfig(bundle);
+      config.features = feature_config;
+      auto method =
+          bench::FitTsPpr(bundle, config, "TS-PPR " + feature_config.Label());
+      const auto acc = bench::EvaluateMethod(bundle, &method);
+      table.AddRow({feature_config.Label(),
+                    std::to_string(feature_config.dimension()),
+                    eval::TextTable::Cell(acc.MaapAt(10)),
+                    eval::TextTable::Cell(acc.MiapAt(10)),
+                    eval::TextTable::Cell(acc.MaapAt(5)),
+                    eval::TextTable::Cell(acc.MiapAt(5))});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+
+    // Recency-kernel ablation (DESIGN.md #1).
+    eval::TextTable kernels({"recency kernel", "MaAP@10", "MiAP@10"});
+    for (auto kernel : {features::RecencyKernel::kHyperbolic,
+                        features::RecencyKernel::kExponential}) {
+      auto config = bench::MakeTsPprConfig(bundle);
+      config.features.recency_kernel = kernel;
+      auto method = bench::FitTsPpr(bundle, config);
+      const auto acc = bench::EvaluateMethod(bundle, &method);
+      kernels.AddRow(
+          {kernel == features::RecencyKernel::kHyperbolic ? "hyperbolic (Eq.19)"
+                                                          : "exponential (Eq.20)",
+           eval::TextTable::Cell(acc.MaapAt(10)),
+           eval::TextTable::Cell(acc.MiapAt(10))});
+    }
+    std::printf("%s\n", kernels.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fig. 8: sensitivity of TS-PPR to the regularization parameters lambda
+// (on the mappings A_u) and gamma (on U, V). One parameter sweeps while the
+// other stays at its Table 4 default.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+
+using namespace reconsume;
+
+int main() {
+  const std::vector<double> values = {1e-4, 1e-3, 1e-2, 1e-1, 1.0};
+
+  for (auto&& bundle : bench::MakeBothBundles()) {
+    bench::PrintHeader("Fig. 8: regularization sensitivity", bundle);
+
+    eval::TextTable lambda_table({"lambda", "MaAP@10", "MiAP@10"});
+    for (double lambda : values) {
+      auto config = bench::MakeTsPprConfig(bundle);
+      config.model.lambda = lambda;
+      auto method = bench::FitTsPpr(bundle, config);
+      const auto acc = bench::EvaluateMethod(bundle, &method);
+      lambda_table.AddRow({eval::TextTable::Cell(lambda, 4),
+                           eval::TextTable::Cell(acc.MaapAt(10)),
+                           eval::TextTable::Cell(acc.MiapAt(10))});
+    }
+    std::printf("sweep lambda (gamma=%g):\n%s\n", bundle.defaults.gamma,
+                lambda_table.ToString().c_str());
+
+    eval::TextTable gamma_table({"gamma", "MaAP@10", "MiAP@10"});
+    for (double gamma : values) {
+      auto config = bench::MakeTsPprConfig(bundle);
+      config.model.gamma = gamma;
+      auto method = bench::FitTsPpr(bundle, config);
+      const auto acc = bench::EvaluateMethod(bundle, &method);
+      gamma_table.AddRow({eval::TextTable::Cell(gamma, 4),
+                          eval::TextTable::Cell(acc.MaapAt(10)),
+                          eval::TextTable::Cell(acc.MiapAt(10))});
+    }
+    std::printf("sweep gamma (lambda=%g):\n%s\n", bundle.defaults.lambda,
+                gamma_table.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fig. 9: sensitivity of TS-PPR to the latent dimension K, including the
+// K = F identity-mapping special case of §4.2.1 (DESIGN.md ablation #4).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+
+using namespace reconsume;
+
+int main() {
+  const std::vector<int> dims = {4, 10, 20, 40, 60, 80};
+
+  for (auto&& bundle : bench::MakeBothBundles()) {
+    bench::PrintHeader("Fig. 9: latent dimension sensitivity", bundle);
+    eval::TextTable table({"K", "MaAP@10", "MiAP@10", "train s"});
+    for (int k : dims) {
+      auto config = bench::MakeTsPprConfig(bundle);
+      config.model.latent_dim = k;
+      auto method = bench::FitTsPpr(bundle, config);
+      const auto* ts = static_cast<const core::TsPpr*>(method.owner.get());
+      const auto acc = bench::EvaluateMethod(bundle, &method);
+      table.AddRow({std::to_string(k), eval::TextTable::Cell(acc.MaapAt(10)),
+                    eval::TextTable::Cell(acc.MiapAt(10)),
+                    eval::TextTable::Cell(ts->train_report().wall_seconds, 2)});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+
+    // K = F with A_u fixed to the identity (§4.2.1 case 2).
+    auto config = bench::MakeTsPprConfig(bundle);
+    config.model.latent_dim = config.features.dimension();
+    config.model.identity_mapping_when_square = true;
+    auto method = bench::FitTsPpr(bundle, config, "TS-PPR identity-A");
+    const auto acc = bench::EvaluateMethod(bundle, &method);
+    std::printf("K=F=%d with A_u=I: MaAP@10=%.4f MiAP@10=%.4f\n\n",
+                config.features.dimension(), acc.MaapAt(10), acc.MiapAt(10));
+  }
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Microbenchmarks of the hot paths under Algorithm 1 and the evaluation
+// protocol: BLAS-1 kernels, the rank-1 mapping update, one full SGD step,
+// window maintenance, and behavioral feature extraction.
+
+#include <benchmark/benchmark.h>
+
+#include "core/ts_ppr.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "features/feature_extractor.h"
+#include "math/matrix.h"
+#include "math/vector_ops.h"
+#include "sampling/training_set.h"
+#include "util/random.h"
+#include "window/window_walker.h"
+
+using namespace reconsume;
+
+namespace {
+
+void BM_Dot(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  std::vector<double> x(k, 0.5), y(k, 0.25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::Dot(x, y));
+  }
+}
+BENCHMARK(BM_Dot)->Arg(4)->Arg(40)->Arg(80);
+
+void BM_Axpy(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  std::vector<double> x(k, 0.5), y(k, 0.25);
+  for (auto _ : state) {
+    math::Axpy(0.01, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Axpy)->Arg(40);
+
+void BM_OuterProductUpdate(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  math::Matrix a(k, 4);
+  std::vector<double> u(k, 0.5), f(4, 0.25);
+  for (auto _ : state) {
+    a.AddOuterProduct(0.01, u, f);
+    benchmark::DoNotOptimize(a.Data().data());
+  }
+}
+BENCHMARK(BM_OuterProductUpdate)->Arg(40);
+
+void BM_Sigmoid(benchmark::State& state) {
+  double x = -8.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::Sigmoid(x));
+    x += 0.001;
+    if (x > 8.0) x = -8.0;
+  }
+}
+BENCHMARK(BM_Sigmoid);
+
+void BM_WindowAdvance(benchmark::State& state) {
+  data::SyntheticTraceGenerator generator(data::GowallaLikeProfile(0.1));
+  const data::Dataset dataset = generator.Generate().ValueOrDie();
+  const auto& seq = dataset.sequence(0);
+  for (auto _ : state) {
+    window::WindowWalker walker(&seq, 100);
+    while (!walker.Done()) walker.Advance();
+    benchmark::DoNotOptimize(walker.step());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(seq.size()));
+}
+BENCHMARK(BM_WindowAdvance);
+
+struct PipelineFixture {
+  data::Dataset dataset;
+  std::unique_ptr<data::TrainTestSplit> split;
+  std::unique_ptr<features::StaticFeatureTable> table;
+  std::unique_ptr<features::FeatureExtractor> extractor;
+  std::unique_ptr<sampling::TrainingSet> training_set;
+
+  static PipelineFixture& Get() {
+    static PipelineFixture* fixture = [] {
+      auto* f = new PipelineFixture();
+      data::SyntheticTraceGenerator generator(data::GowallaLikeProfile(0.1));
+      f->dataset = generator.Generate()
+                       .ValueOrDie()
+                       .FilterByMinTrainLength(0.7, 100);
+      f->split = std::make_unique<data::TrainTestSplit>(
+          data::TrainTestSplit::Temporal(&f->dataset, 0.7).ValueOrDie());
+      f->table = std::make_unique<features::StaticFeatureTable>(
+          features::StaticFeatureTable::Compute(*f->split, 100).ValueOrDie());
+      f->extractor = std::make_unique<features::FeatureExtractor>(
+          f->table.get(), features::FeatureConfig::AllFeatures());
+      f->training_set = std::make_unique<sampling::TrainingSet>(
+          sampling::TrainingSet::Build(*f->split, *f->extractor, {})
+              .ValueOrDie());
+      return f;
+    }();
+    return *fixture;
+  }
+};
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  auto& fixture = PipelineFixture::Get();
+  const auto& seq = fixture.dataset.sequence(0);
+  window::WindowWalker walker(&seq, 100);
+  while (walker.step() < 120) walker.Advance();
+  std::vector<data::ItemId> candidates;
+  walker.EligibleCandidates(10, &candidates);
+  std::vector<double> f(4);
+  size_t i = 0;
+  for (auto _ : state) {
+    fixture.extractor->Extract(walker, candidates[i % candidates.size()], f);
+    benchmark::DoNotOptimize(f.data());
+    ++i;
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_SgdStepTsPpr(benchmark::State& state) {
+  auto& fixture = PipelineFixture::Get();
+  core::TsPprConfig config;
+  config.latent_dim = static_cast<int>(state.range(0));
+  auto model = core::TsPprModel::Create(fixture.dataset.num_users(),
+                                        fixture.dataset.num_items(), 4, config)
+                   .ValueOrDie();
+  core::TrainOptions options;
+  options.max_steps = 1;  // one SGD step per Train call
+  options.min_checks = 1000;
+  core::TsPprTrainer trainer(options);
+  util::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trainer.Train(*fixture.training_set, &model, &rng).ok());
+  }
+}
+BENCHMARK(BM_SgdStepTsPpr)->Arg(10)->Arg(40)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,196 @@
+#include "bench/common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace reconsume {
+namespace bench {
+
+double GetScale() {
+  const char* env = std::getenv("RECONSUME_SCALE");
+  if (env == nullptr) return 0.5;
+  const auto parsed = util::ParseDouble(env);
+  if (!parsed.ok() || parsed.ValueOrDie() <= 0) {
+    RECONSUME_LOG(Warning) << "ignoring bad RECONSUME_SCALE='" << env << "'";
+    return 0.5;
+  }
+  return parsed.ValueOrDie();
+}
+
+DatasetBundle MakeBundle(const data::SyntheticProfile& profile,
+                         const eval::ExperimentDefaults& defaults) {
+  DatasetBundle bundle;
+  bundle.name = profile.name;
+  bundle.defaults = defaults;
+
+  data::SyntheticTraceGenerator generator(profile);
+  auto generated = generator.Generate();
+  RECONSUME_CHECK(generated.ok()) << generated.status();
+  bundle.dataset = std::make_unique<data::Dataset>(
+      std::move(generated).ValueOrDie().FilterByMinTrainLength(
+          defaults.train_fraction, defaults.min_train_events));
+  RECONSUME_CHECK(bundle.dataset->num_users() > 0)
+      << "profile " << profile.name << " produced no users after filtering";
+
+  auto split = data::TrainTestSplit::Temporal(bundle.dataset.get(),
+                                              defaults.train_fraction);
+  RECONSUME_CHECK(split.ok()) << split.status();
+  bundle.split =
+      std::make_unique<data::TrainTestSplit>(std::move(split).ValueOrDie());
+
+  auto table = features::StaticFeatureTable::Compute(*bundle.split,
+                                                     defaults.window_capacity);
+  RECONSUME_CHECK(table.ok()) << table.status();
+  bundle.table = std::make_unique<features::StaticFeatureTable>(
+      std::move(table).ValueOrDie());
+  return bundle;
+}
+
+DatasetBundle MakeGowallaBundle() {
+  return MakeBundle(data::GowallaLikeProfile(GetScale()),
+                    eval::ExperimentDefaults::Gowalla());
+}
+
+DatasetBundle MakeLastfmBundle() {
+  return MakeBundle(data::LastfmLikeProfile(GetScale()),
+                    eval::ExperimentDefaults::Lastfm());
+}
+
+std::vector<DatasetBundle> MakeBothBundles() {
+  std::vector<DatasetBundle> bundles;
+  bundles.push_back(MakeGowallaBundle());
+  bundles.push_back(MakeLastfmBundle());
+  return bundles;
+}
+
+core::TsPprPipelineConfig MakeTsPprConfig(const DatasetBundle& bundle) {
+  core::TsPprPipelineConfig config;
+  config.model.latent_dim = bundle.defaults.latent_dim;
+  config.model.gamma = bundle.defaults.gamma;
+  config.model.lambda = bundle.defaults.lambda;
+  config.sampling.window_capacity = bundle.defaults.window_capacity;
+  config.sampling.min_gap = bundle.defaults.min_gap;
+  config.sampling.negatives_per_positive = bundle.defaults.negatives;
+  return config;
+}
+
+Method FitTsPpr(const DatasetBundle& bundle,
+                const core::TsPprPipelineConfig& config, std::string name) {
+  auto fitted = core::TsPpr::Fit(*bundle.split, config);
+  RECONSUME_CHECK(fitted.ok()) << fitted.status();
+  auto owner = std::make_shared<core::TsPpr>(std::move(fitted).ValueOrDie());
+  Method method;
+  method.name = std::move(name);
+  method.recommender = owner->recommender();
+  method.owner = owner;
+  return method;
+}
+
+std::vector<Method> FitAllMethods(const DatasetBundle& bundle,
+                                  bool include_ppr_static) {
+  std::vector<Method> methods;
+
+  {
+    auto owner = std::make_shared<baselines::RandomRecommender>();
+    methods.push_back({"Random", owner.get(), owner});
+  }
+  {
+    auto owner =
+        std::make_shared<baselines::PopRecommender>(bundle.table.get());
+    methods.push_back({"Pop", owner.get(), owner});
+  }
+  {
+    auto owner = std::make_shared<baselines::RecencyRecommender>();
+    methods.push_back({"Recency", owner.get(), owner});
+  }
+  {
+    baselines::FpmcConfig config;
+    config.window_capacity = bundle.defaults.window_capacity;
+    config.min_gap = bundle.defaults.min_gap;
+    auto fitted = baselines::FpmcRecommender::Fit(*bundle.split, config);
+    RECONSUME_CHECK(fitted.ok()) << fitted.status();
+    auto owner = std::make_shared<baselines::FpmcRecommender>(
+        std::move(fitted).ValueOrDie());
+    methods.push_back({"FPMC", owner.get(), owner});
+  }
+  {
+    baselines::SurvivalOptions options;
+    options.window_capacity = bundle.defaults.window_capacity;
+    auto fitted = baselines::SurvivalRecommender::Fit(
+        *bundle.split, bundle.table.get(), options);
+    RECONSUME_CHECK(fitted.ok()) << fitted.status();
+    auto owner = std::make_shared<baselines::SurvivalRecommender>(
+        std::move(fitted).ValueOrDie());
+    methods.push_back({"Survival", owner.get(), owner});
+  }
+  {
+    baselines::DyrcOptions options;
+    options.window_capacity = bundle.defaults.window_capacity;
+    options.min_gap = bundle.defaults.min_gap;
+    auto fitted =
+        baselines::DyrcRecommender::Fit(*bundle.split, bundle.table.get(),
+                                        options);
+    RECONSUME_CHECK(fitted.ok()) << fitted.status();
+    auto owner = std::make_shared<baselines::DyrcRecommender>(
+        std::move(fitted).ValueOrDie());
+    methods.push_back({"DYRC", owner.get(), owner});
+  }
+  if (include_ppr_static) {
+    // Plain BPR trained on the same quadruples (the paper's §4.1 argument
+    // that a static pairwise ranker cannot express temporal preference).
+    auto config = MakeTsPprConfig(bundle);
+    auto table_extractor = std::make_shared<features::FeatureExtractor>(
+        bundle.table.get(), features::FeatureConfig::AllFeatures());
+    auto training_set = sampling::TrainingSet::Build(
+        *bundle.split, *table_extractor, config.sampling);
+    RECONSUME_CHECK(training_set.ok()) << training_set.status();
+    core::PprConfig ppr_config;
+    ppr_config.latent_dim = config.model.latent_dim;
+    ppr_config.gamma = config.model.gamma;
+    auto fitted = core::PprModel::Fit(training_set.ValueOrDie(),
+                                      bundle.dataset->num_users(),
+                                      bundle.dataset->num_items(), ppr_config);
+    RECONSUME_CHECK(fitted.ok()) << fitted.status();
+    auto owner =
+        std::make_shared<core::PprModel>(std::move(fitted).ValueOrDie());
+    methods.push_back({"PPR(static)", owner.get(), owner});
+  }
+  methods.push_back(FitTsPpr(bundle, MakeTsPprConfig(bundle)));
+  return methods;
+}
+
+eval::AccuracyResult EvaluateMethod(const DatasetBundle& bundle,
+                                    Method* method, int min_gap_override,
+                                    bool measure_latency) {
+  eval::EvalOptions options;
+  options.window_capacity = bundle.defaults.window_capacity;
+  options.min_gap =
+      min_gap_override >= 0 ? min_gap_override : bundle.defaults.min_gap;
+  options.measure_latency = measure_latency;
+  eval::Evaluator evaluator(bundle.split.get(), options);
+  auto result = evaluator.Evaluate(method->recommender);
+  RECONSUME_CHECK(result.ok()) << result.status();
+  auto out = std::move(result).ValueOrDie();
+  out.method = method->name;  // sweeps rename methods per configuration
+  return out;
+}
+
+void PrintHeader(const std::string& experiment, const DatasetBundle& bundle) {
+  const auto stats = data::ComputeDatasetStats(
+      *bundle.dataset, bundle.defaults.window_capacity);
+  std::printf("=== %s | %s ===\n", experiment.c_str(), bundle.name.c_str());
+  std::printf("%s\n",
+              data::FormatDatasetStats(bundle.name, stats).c_str());
+  std::printf("defaults (Table 4): lambda=%g gamma=%g K=%d S=%d Omega=%d "
+              "|W|=%d scale=%g\n\n",
+              bundle.defaults.lambda, bundle.defaults.gamma,
+              bundle.defaults.latent_dim, bundle.defaults.negatives,
+              bundle.defaults.min_gap, bundle.defaults.window_capacity,
+              GetScale());
+}
+
+}  // namespace bench
+}  // namespace reconsume

@@ -1,0 +1,90 @@
+// Shared experiment harness for the per-table/per-figure bench binaries.
+//
+// Builds the two dataset profiles (Gowalla-like, Lastfm-like), fits every
+// method of §5.2 plus TS-PPR, and provides the evaluation plumbing each bench
+// repeats. Scale is controlled by the RECONSUME_SCALE environment variable
+// (default 0.5; ~27k events per dataset) so the same binaries run both as CI
+// smoke checks and as fuller reproductions.
+
+#ifndef RECONSUME_BENCH_COMMON_H_
+#define RECONSUME_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/dyrc.h"
+#include "baselines/fpmc.h"
+#include "baselines/simple_recommenders.h"
+#include "baselines/survival_recommender.h"
+#include "core/ppr.h"
+#include "core/ts_ppr.h"
+#include "data/dataset_stats.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/experiment_defaults.h"
+#include "eval/table.h"
+#include "features/static_features.h"
+#include "util/string_util.h"
+
+namespace reconsume {
+namespace bench {
+
+/// Reads RECONSUME_SCALE (default 0.5).
+double GetScale();
+
+/// \brief A ready-to-experiment dataset: filtered data, split, feature table,
+/// and the paper's per-dataset defaults (Table 4).
+struct DatasetBundle {
+  std::string name;
+  eval::ExperimentDefaults defaults;
+  std::unique_ptr<data::Dataset> dataset;
+  std::unique_ptr<data::TrainTestSplit> split;
+  std::unique_ptr<features::StaticFeatureTable> table;
+};
+
+/// Generates, filters, splits, and tabulates one profile. Dies on error
+/// (bench binaries have no recovery path).
+DatasetBundle MakeBundle(const data::SyntheticProfile& profile,
+                         const eval::ExperimentDefaults& defaults);
+
+/// The two paper datasets at the ambient scale.
+DatasetBundle MakeGowallaBundle();
+DatasetBundle MakeLastfmBundle();
+/// Both, in paper order (Gowalla first); convenient for range-for loops.
+std::vector<DatasetBundle> MakeBothBundles();
+
+/// TS-PPR pipeline config from a bundle's defaults.
+core::TsPprPipelineConfig MakeTsPprConfig(const DatasetBundle& bundle);
+
+/// \brief Owns one fitted method of the §5.2 comparison.
+struct Method {
+  std::string name;
+  eval::Recommender* recommender = nullptr;  // view into `owner`
+  std::shared_ptr<void> owner;
+};
+
+/// Fits all 7 paper methods (Random, Pop, Recency, FPMC, Survival, DYRC,
+/// TS-PPR). `include_ppr_static` adds the plain-BPR ablation as an 8th row.
+std::vector<Method> FitAllMethods(const DatasetBundle& bundle,
+                                  bool include_ppr_static = false);
+
+/// Fits only TS-PPR with an externally tweaked config (parameter sweeps).
+Method FitTsPpr(const DatasetBundle& bundle,
+                const core::TsPprPipelineConfig& config,
+                std::string name = "TS-PPR");
+
+/// Evaluator with the bundle's protocol constants (optionally overriding
+/// Omega for the Fig. 11 sweep).
+eval::AccuracyResult EvaluateMethod(const DatasetBundle& bundle, Method* method,
+                                    int min_gap_override = -1,
+                                    bool measure_latency = false);
+
+/// Prints the standard bench header (experiment id + Table 4 defaults).
+void PrintHeader(const std::string& experiment, const DatasetBundle& bundle);
+
+}  // namespace bench
+}  // namespace reconsume
+
+#endif  // RECONSUME_BENCH_COMMON_H_

@@ -1,0 +1,83 @@
+// Online-service scenario: train once, persist the model, reload it in a
+// "serving process", and follow a live event stream with
+// core::RecommendationSession — the embedding pattern an application uses.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/model_io.h"
+#include "core/recommendation_session.h"
+#include "core/ts_ppr.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "util/logging.h"
+
+using namespace reconsume;
+
+int main() {
+  // --- offline: train and persist -----------------------------------------
+  auto generated =
+      data::SyntheticTraceGenerator(data::GowallaLikeProfile(0.3)).Generate();
+  RECONSUME_CHECK(generated.ok()) << generated.status();
+  const data::Dataset dataset =
+      std::move(generated).ValueOrDie().FilterByMinTrainLength(0.7, 100);
+  auto split_result = data::TrainTestSplit::Temporal(&dataset, 0.7);
+  RECONSUME_CHECK(split_result.ok()) << split_result.status();
+  const data::TrainTestSplit split = std::move(split_result).ValueOrDie();
+
+  core::TsPprPipelineConfig config;
+  auto fitted = core::TsPpr::Fit(split, config);
+  RECONSUME_CHECK(fitted.ok()) << fitted.status();
+
+  const std::string model_path =
+      (std::filesystem::temp_directory_path() / "reconsume_online_demo.bin")
+          .string();
+  RECONSUME_CHECK_OK(core::SaveModel(fitted.ValueOrDie().model(), model_path));
+  std::printf("model persisted to %s\n", model_path.c_str());
+
+  // --- serving: reload and follow a stream --------------------------------
+  auto loaded = core::LoadModel(model_path);
+  RECONSUME_CHECK(loaded.ok()) << loaded.status();
+  const core::TsPprModel model = std::move(loaded).ValueOrDie();
+
+  // The serving process recomputes the static feature table from the same
+  // training data (or ships it alongside the model).
+  auto table_result = features::StaticFeatureTable::Compute(split, 100);
+  RECONSUME_CHECK(table_result.ok()) << table_result.status();
+  const features::StaticFeatureTable table =
+      std::move(table_result).ValueOrDie();
+  const features::FeatureExtractor extractor(
+      &table, features::FeatureConfig::AllFeatures());
+  core::TsPprRecommender recommender(&model, &extractor);
+
+  const data::UserId user = 0;
+  core::RecommendationSession session(&recommender, user,
+                                      dataset.sequence(user),
+                                      /*window_capacity=*/100, /*min_gap=*/10);
+
+  std::printf("\nuser %s: %lld historical events, %zu reconsumable "
+              "candidates\n",
+              dataset.user_key(user).c_str(),
+              static_cast<long long>(session.num_events()),
+              session.NumCandidates());
+
+  for (int round = 0; round < 3; ++round) {
+    const auto list = session.RecommendTopN(3);
+    std::printf("round %d recommendations:\n", round + 1);
+    for (size_t i = 0; i < list.size(); ++i) {
+      std::printf("  %zu. %-10s score %+.3f (gap %d)\n", i + 1,
+                  dataset.item_key(list[i].item).c_str(), list[i].score,
+                  list[i].gap);
+    }
+    // Simulate the user consuming the top recommendation: the session
+    // absorbs it and the next round's window reflects it.
+    if (!list.empty()) {
+      session.Observe(list[0].item);
+      std::printf("  (user consumed %s)\n",
+                  dataset.item_key(list[0].item).c_str());
+    }
+  }
+
+  std::remove(model_path.c_str());
+  return 0;
+}

@@ -1,0 +1,154 @@
+#include "baselines/dyrc.h"
+
+#include <cmath>
+#include <vector>
+
+#include "math/newton.h"
+#include "util/logging.h"
+#include "window/window_walker.h"
+
+namespace reconsume {
+namespace baselines {
+
+namespace {
+
+constexpr int kNumWeights = 2;  // theta_quality, theta_recency
+// Fitting subsamples at most this many choice events to bound memory.
+constexpr size_t kMaxFitEvents = 50'000;
+
+struct ChoiceData {
+  // Flat per-candidate features (stride kNumWeights).
+  std::vector<double> features;
+  struct Event {
+    uint32_t begin = 0;   // candidate offset (in candidates, not doubles)
+    uint32_t count = 0;
+    uint32_t chosen = 0;  // index of the chosen candidate within the event
+  };
+  std::vector<Event> events;
+};
+
+}  // namespace
+
+Result<DyrcRecommender> DyrcRecommender::Fit(
+    const data::TrainTestSplit& split,
+    const features::StaticFeatureTable* table, const DyrcOptions& options) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("DYRC: null static feature table");
+  }
+
+  // Materialize training choice sets.
+  ChoiceData data;
+  const data::Dataset& dataset = split.dataset();
+  std::vector<data::ItemId> candidates;
+  for (size_t u = 0;
+       u < dataset.num_users() && data.events.size() < kMaxFitEvents; ++u) {
+    const auto& seq = dataset.sequence(static_cast<data::UserId>(u));
+    const size_t train_end = split.split_point(static_cast<data::UserId>(u));
+    window::WindowWalker walker(&seq, options.window_capacity);
+    while (static_cast<size_t>(walker.step()) < train_end &&
+           data.events.size() < kMaxFitEvents) {
+      if (walker.NextIsEligibleRepeat(options.min_gap)) {
+        const data::ItemId target = walker.NextItem();
+        walker.EligibleCandidates(options.min_gap, &candidates);
+        if (candidates.size() >= 2) {
+          ChoiceData::Event event;
+          event.begin = static_cast<uint32_t>(data.features.size() / kNumWeights);
+          event.count = static_cast<uint32_t>(candidates.size());
+          event.chosen = 0;
+          for (size_t i = 0; i < candidates.size(); ++i) {
+            if (candidates[i] == target) {
+              event.chosen = static_cast<uint32_t>(i);
+            }
+            data.features.push_back(table->quality(candidates[i]));
+            data.features.push_back(
+                -std::log(static_cast<double>(walker.GapSince(candidates[i]))));
+          }
+          data.events.push_back(event);
+        }
+      }
+      walker.Advance();
+    }
+  }
+  if (data.events.empty()) {
+    return Status::FailedPrecondition(
+        "DYRC: no eligible repeat events to fit on");
+  }
+
+  // Concave conditional-logit log-likelihood; minimize its negation.
+  auto objective = [&data](const std::vector<double>& theta)
+      -> Result<math::ObjectiveEvaluation> {
+    math::ObjectiveEvaluation eval;
+    eval.gradient.assign(kNumWeights, 0.0);
+    eval.hessian = math::Matrix(kNumWeights, kNumWeights);
+    std::vector<double> probs;
+    for (const auto& event : data.events) {
+      probs.assign(event.count, 0.0);
+      double max_score = -1e300;
+      for (uint32_t i = 0; i < event.count; ++i) {
+        const double* x =
+            data.features.data() + (event.begin + i) * kNumWeights;
+        probs[i] = theta[0] * x[0] + theta[1] * x[1];
+        max_score = std::max(max_score, probs[i]);
+      }
+      double total = 0.0;
+      for (double& p : probs) {
+        p = std::exp(p - max_score);
+        total += p;
+      }
+      const double log_z = max_score + std::log(total);
+      for (double& p : probs) p /= total;
+
+      const double* chosen_x =
+          data.features.data() + (event.begin + event.chosen) * kNumWeights;
+      eval.value -=
+          theta[0] * chosen_x[0] + theta[1] * chosen_x[1] - log_z;
+
+      // Gradient of -ll: E_p[x] - x_chosen. Hessian: Cov_p[x] (PSD).
+      double ex[kNumWeights] = {0, 0};
+      double exx[kNumWeights][kNumWeights] = {{0, 0}, {0, 0}};
+      for (uint32_t i = 0; i < event.count; ++i) {
+        const double* x =
+            data.features.data() + (event.begin + i) * kNumWeights;
+        for (int a = 0; a < kNumWeights; ++a) {
+          ex[a] += probs[i] * x[a];
+          for (int b = 0; b < kNumWeights; ++b) {
+            exx[a][b] += probs[i] * x[a] * x[b];
+          }
+        }
+      }
+      for (int a = 0; a < kNumWeights; ++a) {
+        eval.gradient[a] += ex[a] - chosen_x[a];
+        for (int b = 0; b < kNumWeights; ++b) {
+          eval.hessian(a, b) += exx[a][b] - ex[a] * ex[b];
+        }
+      }
+    }
+    return eval;
+  };
+
+  math::NewtonOptions newton;
+  newton.max_iterations = options.max_newton_iterations;
+  newton.gradient_tolerance = 1e-6;
+  RECONSUME_ASSIGN_OR_RETURN(
+      math::NewtonReport report,
+      math::MinimizeNewton(objective, {0.0, 0.0}, newton));
+
+  return DyrcRecommender(table, report.solution[0], report.solution[1],
+                         -report.objective_value);
+}
+
+void DyrcRecommender::Score(data::UserId user,
+                            const window::WindowWalker& walker,
+                            std::span<const data::ItemId> candidates,
+                            std::span<double> scores) {
+  (void)user;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    scores[i] =
+        theta_quality_ * table_->quality(candidates[i]) -
+        theta_recency_ *
+            std::log(static_cast<double>(walker.GapSince(candidates[i])));
+  }
+}
+
+}  // namespace baselines
+}  // namespace reconsume

@@ -1,0 +1,75 @@
+// DYRC — "the dynamics of repeat consumption" baseline (Anderson et al.,
+// WWW 2014, ref. [7]).
+//
+// A conditional-logit choice model over the window candidates with two latent
+// weights: one on item quality and one on the recency gap. The weights are
+// fitted by maximizing the log-likelihood of the observed repeat choices in
+// the training data (Newton's method on the concave conditional-logit
+// likelihood).
+//
+//   P(choose v | window) ∝ exp(theta_q * quality(v) + theta_r * logrec(v)),
+//   logrec(v) = -ln(gap(v)),  so exp(theta_r * logrec) = gap^{-theta_r}
+//
+// i.e. the fitted model is exactly the paper's "mixed weighted" form:
+// popularity^a * recency-power-law^b.
+
+#ifndef RECONSUME_BASELINES_DYRC_H_
+#define RECONSUME_BASELINES_DYRC_H_
+
+#include <string>
+
+#include "data/split.h"
+#include "eval/recommender.h"
+#include "features/static_features.h"
+#include "util/status.h"
+
+namespace reconsume {
+namespace baselines {
+
+struct DyrcOptions {
+  int window_capacity = 100;
+  int min_gap = 10;
+  int max_newton_iterations = 100;
+};
+
+/// \brief Fitted DYRC model.
+class DyrcRecommender : public eval::Recommender {
+ public:
+  /// Fits the two weights on the training segments of `split`.
+  /// `table` must be computed on the same split and outlive the recommender.
+  static Result<DyrcRecommender> Fit(const data::TrainTestSplit& split,
+                                     const features::StaticFeatureTable* table,
+                                     const DyrcOptions& options);
+
+  std::string name() const override { return "DYRC"; }
+
+  std::unique_ptr<eval::Recommender> Clone() const override {
+    return std::make_unique<DyrcRecommender>(*this);
+  }
+
+  void Score(data::UserId user, const window::WindowWalker& walker,
+             std::span<const data::ItemId> candidates,
+             std::span<double> scores) override;
+
+  double quality_weight() const { return theta_quality_; }
+  double recency_weight() const { return theta_recency_; }
+  double train_log_likelihood() const { return train_log_likelihood_; }
+
+ private:
+  DyrcRecommender(const features::StaticFeatureTable* table, double theta_q,
+                  double theta_r, double loglik)
+      : table_(table),
+        theta_quality_(theta_q),
+        theta_recency_(theta_r),
+        train_log_likelihood_(loglik) {}
+
+  const features::StaticFeatureTable* table_;
+  double theta_quality_ = 0.0;
+  double theta_recency_ = 0.0;
+  double train_log_likelihood_ = 0.0;
+};
+
+}  // namespace baselines
+}  // namespace reconsume
+
+#endif  // RECONSUME_BASELINES_DYRC_H_

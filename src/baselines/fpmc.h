@@ -1,0 +1,74 @@
+// FPMC — Factorizing Personalized Markov Chains (Rendle et al., WWW 2010,
+// ref. [41]) adapted to the RRC setting per §5.2: the "basket" is the set of
+// distinct items in the current time window, and the model estimates the
+// transition probability from that basket to the incoming item.
+//
+// Pairwise factorization (the standard FPMC reduction of the Tucker model):
+//   x̂(u, B, i) = <UI_u, IU_i> + (1/|B|) Σ_{l∈B} <IL_i, LI_l>
+// trained with S-BPR: positives are observed repeat events, negatives drawn
+// from the same window.
+
+#ifndef RECONSUME_BASELINES_FPMC_H_
+#define RECONSUME_BASELINES_FPMC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/split.h"
+#include "eval/recommender.h"
+#include "math/matrix.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace reconsume {
+namespace baselines {
+
+struct FpmcConfig {
+  int latent_dim = 16;
+  double learning_rate = 0.05;
+  double regularization = 0.01;
+  /// SGD passes over the materialized training events.
+  int epochs = 20;
+  /// Random subsample cap on basket size per training event (memory and
+  /// speed bound; scoring always uses the full basket).
+  int basket_cap = 30;
+  int window_capacity = 100;
+  int min_gap = 10;
+  uint64_t seed = 99;
+};
+
+/// \brief Fitted FPMC model.
+class FpmcRecommender : public eval::Recommender {
+ public:
+  static Result<FpmcRecommender> Fit(const data::TrainTestSplit& split,
+                                     const FpmcConfig& config);
+
+  std::string name() const override { return "FPMC"; }
+
+  std::unique_ptr<eval::Recommender> Clone() const override {
+    return std::make_unique<FpmcRecommender>(*this);
+  }
+
+  void Score(data::UserId user, const window::WindowWalker& walker,
+             std::span<const data::ItemId> candidates,
+             std::span<double> scores) override;
+
+  /// x̂(u, B, i) for an explicit basket (exposed for tests).
+  double ScoreWithBasket(data::UserId u, data::ItemId i,
+                         std::span<const data::ItemId> basket) const;
+
+ private:
+  FpmcRecommender() = default;
+
+  math::Matrix ui_;  ///< |U| x K   user->item factors
+  math::Matrix iu_;  ///< |V| x K   item->user factors
+  math::Matrix il_;  ///< |V| x K   item->basket factors
+  math::Matrix li_;  ///< |V| x K   basket->item factors
+  std::vector<double> eta_scratch_;  ///< mean basket factor, reused per call
+};
+
+}  // namespace baselines
+}  // namespace reconsume
+
+#endif  // RECONSUME_BASELINES_FPMC_H_

@@ -1,0 +1,121 @@
+#include "baselines/markov_if.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace reconsume {
+namespace baselines {
+
+namespace {
+
+uint64_t UserItemKey(data::UserId user, data::ItemId item) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(user)) << 32) |
+         static_cast<uint32_t>(item);
+}
+
+/// Adds Laplace smoothing and normalizes a count row into probabilities.
+void NormalizeRow(std::unordered_map<data::ItemId, double>* row,
+                  double smoothing) {
+  double total = 0.0;
+  for (auto& [item, count] : *row) {
+    count += smoothing;
+    total += count;
+  }
+  if (total <= 0.0) return;
+  for (auto& [item, count] : *row) count /= total;
+}
+
+}  // namespace
+
+Result<MarkovIfRecommender> MarkovIfRecommender::Fit(
+    const data::TrainTestSplit& split, const MarkovIfConfig& config) {
+  if (!(config.personalization >= 0.0 && config.personalization <= 1.0)) {
+    return Status::InvalidArgument("MarkovIF: personalization out of [0,1]");
+  }
+  if (config.smoothing < 0.0) {
+    return Status::InvalidArgument("MarkovIF: negative smoothing");
+  }
+  if (config.context_cap < 1) {
+    return Status::InvalidArgument("MarkovIF: context_cap must be >= 1");
+  }
+
+  MarkovIfRecommender model;
+  model.config_ = config;
+
+  const data::Dataset& dataset = split.dataset();
+  int64_t pairs = 0;
+  for (size_t u = 0; u < dataset.num_users(); ++u) {
+    const data::UserId user = static_cast<data::UserId>(u);
+    const auto& seq = dataset.sequence(user);
+    const size_t train_end = split.split_point(user);
+    for (size_t t = 1; t < train_end; ++t) {
+      const data::ItemId from = seq[t - 1];
+      const data::ItemId to = seq[t];
+      model.global_[from][to] += 1.0;
+      model.per_user_[UserItemKey(user, from)][to] += 1.0;
+      ++pairs;
+    }
+  }
+  if (pairs == 0) {
+    return Status::FailedPrecondition("MarkovIF: no adjacent training pairs");
+  }
+  for (auto& [from, row] : model.global_) {
+    NormalizeRow(&row, config.smoothing);
+  }
+  for (auto& [key, row] : model.per_user_) {
+    NormalizeRow(&row, config.smoothing);
+  }
+  return model;
+}
+
+double MarkovIfRecommender::Lookup(
+    const std::unordered_map<data::ItemId, Row>& table, data::ItemId from,
+    data::ItemId to) {
+  const auto row = table.find(from);
+  if (row == table.end()) return 0.0;
+  const auto cell = row->second.find(to);
+  return cell == row->second.end() ? 0.0 : cell->second;
+}
+
+double MarkovIfRecommender::GlobalTransition(data::ItemId from,
+                                             data::ItemId to) const {
+  return Lookup(global_, from, to);
+}
+
+double MarkovIfRecommender::UserTransition(data::UserId user,
+                                           data::ItemId from,
+                                           data::ItemId to) const {
+  const auto row = per_user_.find(UserItemKey(user, from));
+  if (row == per_user_.end()) return 0.0;
+  const auto cell = row->second.find(to);
+  return cell == row->second.end() ? 0.0 : cell->second;
+}
+
+void MarkovIfRecommender::Score(data::UserId user,
+                                const window::WindowWalker& walker,
+                                std::span<const data::ItemId> candidates,
+                                std::span<double> scores) {
+  const auto& seq = walker.sequence();
+  const int t = walker.step();
+  const int begin =
+      std::max(0, t - std::min(walker.WindowSize(), config_.context_cap));
+  const double beta = config_.personalization;
+
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const data::ItemId candidate = candidates[i];
+    double score = 0.0;
+    for (int p = begin; p < t; ++p) {
+      const data::ItemId context = seq[static_cast<size_t>(p)];
+      const double weight = 1.0 / static_cast<double>(t - p);  // hyperbolic
+      const double transition =
+          (1.0 - beta) * GlobalTransition(context, candidate) +
+          beta * UserTransition(user, context, candidate);
+      score += weight * transition;
+    }
+    scores[i] = score;
+  }
+}
+
+}  // namespace baselines
+}  // namespace reconsume

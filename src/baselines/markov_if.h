@@ -1,0 +1,84 @@
+// Interest-forgetting Markov recommender (Chen et al., AAAI 2015, ref. [14]
+// — the authors' own precursor to TS-PPR, cited in §2.3/§4.4 as the source
+// of the hyperbolic decay choice).
+//
+// A first-order item-to-item transition model whose context is the whole
+// window, discounted by the interest-forgetting curve:
+//
+//   score(v | W_ut) = sum_{p in window} w(t - p) * T(x_p -> v)
+//
+// with w(g) = 1/g (hyperbolic) and T the row-normalized global transition
+// matrix estimated from adjacent training pairs, linearly blended with the
+// user's own transition counts (the "personalized" part):
+//
+//   T(i -> j) = (1 - beta) * T_global(i -> j) + beta * T_user(i -> j).
+//
+// Not part of the paper's §5.2 comparison; carried as an extension baseline
+// (bench_ext_markov) because it is the natural "sequence model with
+// forgetting" contrast to TS-PPR's feature-based approach.
+
+#ifndef RECONSUME_BASELINES_MARKOV_IF_H_
+#define RECONSUME_BASELINES_MARKOV_IF_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/split.h"
+#include "eval/recommender.h"
+#include "util/status.h"
+
+namespace reconsume {
+namespace baselines {
+
+struct MarkovIfConfig {
+  /// Personalization blend in [0, 1]: 0 = global transitions only.
+  double personalization = 0.5;
+  /// Laplace smoothing added to every observed transition row.
+  double smoothing = 0.1;
+  /// Only the most recent `context_cap` window positions contribute
+  /// (the w(g) tail beyond that is negligible and costs time).
+  int context_cap = 50;
+};
+
+/// \brief Fitted interest-forgetting Markov model.
+class MarkovIfRecommender : public eval::Recommender {
+ public:
+  static Result<MarkovIfRecommender> Fit(const data::TrainTestSplit& split,
+                                         const MarkovIfConfig& config);
+
+  std::string name() const override { return "MarkovIF"; }
+
+  std::unique_ptr<eval::Recommender> Clone() const override {
+    return std::make_unique<MarkovIfRecommender>(*this);
+  }
+
+  void Score(data::UserId user, const window::WindowWalker& walker,
+             std::span<const data::ItemId> candidates,
+             std::span<double> scores) override;
+
+  /// Row-normalized transition probability (exposed for tests).
+  double GlobalTransition(data::ItemId from, data::ItemId to) const;
+  double UserTransition(data::UserId user, data::ItemId from,
+                        data::ItemId to) const;
+
+ private:
+  using Row = std::unordered_map<data::ItemId, double>;
+
+  MarkovIfRecommender() = default;
+
+  static double Lookup(const std::unordered_map<data::ItemId, Row>& table,
+                       data::ItemId from, data::ItemId to);
+
+  MarkovIfConfig config_;
+  std::unordered_map<data::ItemId, Row> global_;  ///< normalized rows
+  /// Per-user normalized rows, keyed by (user << 32 | item) to avoid a map
+  /// of maps of maps.
+  std::unordered_map<uint64_t, Row> per_user_;
+};
+
+}  // namespace baselines
+}  // namespace reconsume
+
+#endif  // RECONSUME_BASELINES_MARKOV_IF_H_

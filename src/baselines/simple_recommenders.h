@@ -1,0 +1,104 @@
+// The three weighting-scheme baselines of §5.2: Random, Pop, and Recency.
+
+#ifndef RECONSUME_BASELINES_SIMPLE_RECOMMENDERS_H_
+#define RECONSUME_BASELINES_SIMPLE_RECOMMENDERS_H_
+
+#include <cmath>
+#include <string>
+
+#include "eval/recommender.h"
+#include "features/static_features.h"
+#include "util/random.h"
+
+namespace reconsume {
+namespace baselines {
+
+/// \brief Uniform-random ranking of the window candidates.
+class RandomRecommender : public eval::Recommender {
+ public:
+  explicit RandomRecommender(uint64_t seed = 7) : rng_(seed) {}
+
+  std::string name() const override { return "Random"; }
+
+  std::unique_ptr<eval::Recommender> Clone() const override {
+    return std::make_unique<RandomRecommender>(*this);
+  }
+
+  void Score(data::UserId user, const window::WindowWalker& walker,
+             std::span<const data::ItemId> candidates,
+             std::span<double> scores) override {
+    (void)user;
+    (void)walker;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      scores[i] = rng_.NextDouble();
+    }
+  }
+
+ private:
+  util::Rng rng_;
+};
+
+/// \brief Ranks by item popularity ln(1 + n_v) from the training set.
+///
+/// The weights are precomputed at construction — online scoring is a table
+/// lookup, the cheapest non-trivial method in Fig. 13.
+class PopRecommender : public eval::Recommender {
+ public:
+  /// `table` must outlive the recommender.
+  explicit PopRecommender(const features::StaticFeatureTable* table) {
+    RECONSUME_CHECK(table != nullptr);
+    weights_.resize(table->num_items());
+    for (size_t v = 0; v < weights_.size(); ++v) {
+      weights_[v] = std::log1p(static_cast<double>(
+          table->frequency(static_cast<data::ItemId>(v))));
+    }
+  }
+
+  std::string name() const override { return "Pop"; }
+
+  std::unique_ptr<eval::Recommender> Clone() const override {
+    return std::make_unique<PopRecommender>(*this);
+  }
+
+  void Score(data::UserId user, const window::WindowWalker& walker,
+             std::span<const data::ItemId> candidates,
+             std::span<double> scores) override {
+    (void)user;
+    (void)walker;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      scores[i] = weights_[static_cast<size_t>(candidates[i])];
+    }
+  }
+
+ private:
+  std::vector<double> weights_;
+};
+
+/// \brief Ranks by the exponential recency weight e^{-Δt_uv} (§5.2).
+///
+/// Candidates come from the window, so gaps are bounded by |W| and the exp
+/// never underflows to indistinguishable zeros. The per-candidate exp() is
+/// why the paper puts this method above Pop in the Fig. 13 latency ordering.
+class RecencyRecommender : public eval::Recommender {
+ public:
+  std::string name() const override { return "Recency"; }
+
+  std::unique_ptr<eval::Recommender> Clone() const override {
+    return std::make_unique<RecencyRecommender>(*this);
+  }
+
+  void Score(data::UserId user, const window::WindowWalker& walker,
+             std::span<const data::ItemId> candidates,
+             std::span<double> scores) override {
+    (void)user;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      scores[i] =
+          std::exp(-static_cast<double>(walker.GapSince(candidates[i])));
+    }
+  }
+};
+
+}  // namespace baselines
+}  // namespace reconsume
+
+#endif  // RECONSUME_BASELINES_SIMPLE_RECOMMENDERS_H_

@@ -1,0 +1,84 @@
+// Survival — the hazard-based return-time baseline (ref. [30]) adapted to
+// discrete consumption steps per §5.2.
+//
+// Training: every (user, item) consumption in the training segment becomes a
+// survival record whose duration is the number of steps until that user's
+// next consumption of the same item (right-censored at the end of the
+// training segment). Covariates: item quality, item reconsumption ratio, and
+// the time-weighted average past return time of the (user, item) pair. A Cox
+// proportional-hazards model is fitted on these records.
+//
+// Scoring: a candidate's preference is its estimated hazard of returning
+// right now — log h0(elapsed) + beta^T x — where the time-weighted average
+// return-time covariate is recomputed online by scanning the user's full
+// consumption history. That scan is what makes this method's per-instance
+// latency proportional to |S_u| (the Fig. 13 narrative).
+
+#ifndef RECONSUME_BASELINES_SURVIVAL_RECOMMENDER_H_
+#define RECONSUME_BASELINES_SURVIVAL_RECOMMENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/split.h"
+#include "eval/recommender.h"
+#include "features/static_features.h"
+#include "survival/cox_model.h"
+#include "util/status.h"
+
+namespace reconsume {
+namespace baselines {
+
+struct SurvivalOptions {
+  int window_capacity = 100;
+  /// Cap on survival records used in the Cox fit (memory/time bound).
+  size_t max_records = 200'000;
+};
+
+/// \brief Cox-hazard return-time recommender.
+class SurvivalRecommender : public eval::Recommender {
+ public:
+  /// `table` must be computed on the same split and outlive the recommender;
+  /// `split` must also outlive it (scoring scans the dataset sequences).
+  static Result<SurvivalRecommender> Fit(
+      const data::TrainTestSplit& split,
+      const features::StaticFeatureTable* table,
+      const SurvivalOptions& options);
+
+  std::string name() const override { return "Survival"; }
+
+  std::unique_ptr<eval::Recommender> Clone() const override {
+    return std::make_unique<SurvivalRecommender>(*this);
+  }
+
+  void Score(data::UserId user, const window::WindowWalker& walker,
+             std::span<const data::ItemId> candidates,
+             std::span<double> scores) override;
+
+  const survival::CoxModel& cox_model() const { return cox_; }
+
+  /// Time-weighted average gap between consecutive consumptions of `item` in
+  /// `sequence[0..end)`; later gaps weigh more. Returns fallback when the
+  /// item was consumed fewer than twice. O(end) — deliberately so.
+  static double TimeWeightedAverageReturnTime(
+      const data::ConsumptionSequence& sequence, size_t end, data::ItemId item,
+      double fallback);
+
+ private:
+  SurvivalRecommender(const data::TrainTestSplit* split,
+                      const features::StaticFeatureTable* table,
+                      survival::CoxModel cox)
+      : split_(split), table_(table), cox_(std::move(cox)) {}
+
+  std::vector<double> MakeCovariates(data::UserId user, data::ItemId item,
+                                     size_t history_end) const;
+
+  const data::TrainTestSplit* split_;
+  const features::StaticFeatureTable* table_;
+  survival::CoxModel cox_;
+};
+
+}  // namespace baselines
+}  // namespace reconsume
+
+#endif  // RECONSUME_BASELINES_SURVIVAL_RECOMMENDER_H_

@@ -1,0 +1,73 @@
+#include "core/grid_search.h"
+
+#include "util/logging.h"
+
+namespace reconsume {
+namespace core {
+
+Result<GridSearchResult> GridSearchTsPpr(
+    const data::TrainTestSplit& outer_split, const TsPprPipelineConfig& base,
+    const GridSearchOptions& options) {
+  if (options.latent_dims.empty() || options.gammas.empty() ||
+      options.lambdas.empty()) {
+    return Status::InvalidArgument("GridSearchTsPpr: empty grid axis");
+  }
+  if (!(options.validation_fraction > 0.0 &&
+        options.validation_fraction < 1.0)) {
+    return Status::InvalidArgument(
+        "GridSearchTsPpr: validation_fraction must be in (0, 1)");
+  }
+
+  // Inner dataset = outer training prefixes only; inner split carves the
+  // validation tail out of each prefix.
+  const data::Dataset& outer = outer_split.dataset();
+  std::vector<size_t> prefix_lengths(outer.num_users());
+  for (size_t u = 0; u < outer.num_users(); ++u) {
+    prefix_lengths[u] = outer_split.split_point(static_cast<data::UserId>(u));
+  }
+  const data::Dataset inner_dataset = outer.TruncatePerUser(prefix_lengths);
+  if (inner_dataset.num_users() == 0) {
+    return Status::FailedPrecondition(
+        "GridSearchTsPpr: no training data to validate on");
+  }
+  RECONSUME_ASSIGN_OR_RETURN(
+      const data::TrainTestSplit inner_split,
+      data::TrainTestSplit::Temporal(&inner_dataset,
+                                     1.0 - options.validation_fraction));
+
+  eval::EvalOptions eval_options;
+  eval_options.window_capacity = base.sampling.window_capacity;
+  eval_options.min_gap = base.sampling.min_gap;
+  eval_options.top_ns = {options.selection_top_n};
+  const eval::Evaluator evaluator(&inner_split, eval_options);
+
+  GridSearchResult result;
+  result.best_config = base;
+  bool have_best = false;
+  for (int k : options.latent_dims) {
+    for (double gamma : options.gammas) {
+      for (double lambda : options.lambdas) {
+        TsPprPipelineConfig config = base;
+        config.model.latent_dim = k;
+        config.model.gamma = gamma;
+        config.model.lambda = lambda;
+        RECONSUME_ASSIGN_OR_RETURN(TsPpr fitted,
+                                   TsPpr::Fit(inner_split, config));
+        RECONSUME_ASSIGN_OR_RETURN(
+            const eval::AccuracyResult accuracy,
+            evaluator.Evaluate(fitted.recommender()));
+        const double maap = accuracy.MaapAt(options.selection_top_n);
+        result.trials.push_back(GridTrial{k, gamma, lambda, maap});
+        if (!have_best || maap > result.best_validation_maap) {
+          have_best = true;
+          result.best_validation_maap = maap;
+          result.best_config = config;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace reconsume

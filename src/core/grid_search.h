@@ -1,0 +1,56 @@
+// Hyperparameter grid search with nested temporal validation.
+//
+// The paper tunes lambda, gamma, K by hand (Table 4). This utility automates
+// the selection without test leakage: each user's *outer training prefix* is
+// truncated into its own dataset, an inner temporal split carves a
+// validation tail out of it, and every grid point is trained on the inner
+// prefix and scored (MaAP@N) on the validation tail. Test events are never
+// visible to selection.
+
+#ifndef RECONSUME_CORE_GRID_SEARCH_H_
+#define RECONSUME_CORE_GRID_SEARCH_H_
+
+#include <vector>
+
+#include "core/ts_ppr.h"
+#include "eval/evaluator.h"
+#include "util/status.h"
+
+namespace reconsume {
+namespace core {
+
+struct GridSearchOptions {
+  std::vector<int> latent_dims = {20, 40};
+  std::vector<double> gammas = {0.01, 0.05, 0.1};
+  std::vector<double> lambdas = {0.001, 0.01};
+  /// Fraction of the outer training prefix held out for validation.
+  double validation_fraction = 0.25;
+  /// Selection metric: MaAP at this cutoff on the validation tail.
+  int selection_top_n = 10;
+};
+
+/// \brief One evaluated grid point.
+struct GridTrial {
+  int latent_dim = 0;
+  double gamma = 0.0;
+  double lambda = 0.0;
+  double validation_maap = 0.0;
+};
+
+struct GridSearchResult {
+  TsPprPipelineConfig best_config;  ///< base config with the winning triple
+  double best_validation_maap = 0.0;
+  std::vector<GridTrial> trials;    ///< in sweep order
+};
+
+/// Runs the sweep. `base` supplies everything not swept (window, Omega, S,
+/// training options); `outer_split` defines the training prefixes. Returns
+/// InvalidArgument for empty grids or a degenerate validation fraction.
+Result<GridSearchResult> GridSearchTsPpr(const data::TrainTestSplit& outer_split,
+                                         const TsPprPipelineConfig& base,
+                                         const GridSearchOptions& options);
+
+}  // namespace core
+}  // namespace reconsume
+
+#endif  // RECONSUME_CORE_GRID_SEARCH_H_

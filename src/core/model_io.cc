@@ -1,0 +1,175 @@
+#include "core/model_io.h"
+
+#include <cstring>
+
+#include "util/csv.h"
+
+namespace reconsume {
+namespace core {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'C', 'S', 'M'};
+constexpr uint32_t kVersion = 1;
+
+void AppendRaw(std::string* out, const void* data, size_t size) {
+  out->append(static_cast<const char*>(data), size);
+}
+template <typename T>
+void AppendValue(std::string* out, T value) {
+  AppendRaw(out, &value, sizeof(T));
+}
+void AppendSpan(std::string* out, std::span<const double> values) {
+  AppendRaw(out, values.data(), values.size() * sizeof(double));
+}
+
+uint64_t Fnv1a(std::string_view bytes) {
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+/// Sequential reader with bounds checking.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  Status Read(T* out) {
+    if (pos_ + sizeof(T) > bytes_.size()) {
+      return Status::InvalidArgument("model file truncated");
+    }
+    std::memcpy(out, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::OK();
+  }
+
+  Status ReadDoubles(std::span<double> out) {
+    const size_t want = out.size() * sizeof(double);
+    if (pos_ + want > bytes_.size()) {
+      return Status::InvalidArgument("model file truncated");
+    }
+    std::memcpy(out.data(), bytes_.data() + pos_, want);
+    pos_ += want;
+    return Status::OK();
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string SerializeModel(const TsPprModel& model) {
+  std::string out;
+  AppendRaw(&out, kMagic, sizeof(kMagic));
+  AppendValue<uint32_t>(&out, kVersion);
+  AppendValue<uint64_t>(&out, model.num_users());
+  AppendValue<uint64_t>(&out, model.num_items());
+  AppendValue<uint32_t>(&out, static_cast<uint32_t>(model.latent_dim()));
+  AppendValue<uint32_t>(&out, static_cast<uint32_t>(model.feature_dim()));
+  const TsPprConfig& config = model.config();
+  AppendValue<double>(&out, config.learning_rate);
+  AppendValue<double>(&out, config.gamma);
+  AppendValue<double>(&out, config.lambda);
+  AppendValue<uint64_t>(&out, config.seed);
+
+  for (size_t u = 0; u < model.num_users(); ++u) {
+    AppendSpan(&out, model.user_factor(static_cast<data::UserId>(u)));
+  }
+  for (size_t v = 0; v < model.num_items(); ++v) {
+    AppendSpan(&out, model.item_factor(static_cast<data::ItemId>(v)));
+  }
+  for (size_t u = 0; u < model.num_users(); ++u) {
+    AppendSpan(&out, model.mapping(static_cast<data::UserId>(u)).Data());
+  }
+  AppendValue<uint64_t>(&out, Fnv1a(out));
+  return out;
+}
+
+Result<TsPprModel> DeserializeModel(std::string_view bytes) {
+  if (bytes.size() < sizeof(kMagic) + sizeof(uint64_t)) {
+    return Status::InvalidArgument("model file too small");
+  }
+  // Checksum covers everything before the trailing hash.
+  const std::string_view payload =
+      bytes.substr(0, bytes.size() - sizeof(uint64_t));
+  uint64_t stored_hash = 0;
+  std::memcpy(&stored_hash, bytes.data() + payload.size(), sizeof(uint64_t));
+  if (Fnv1a(payload) != stored_hash) {
+    return Status::InvalidArgument("model file checksum mismatch");
+  }
+
+  ByteReader reader(payload);
+  char magic[4];
+  RECONSUME_RETURN_NOT_OK(reader.Read(&magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a reconsume model file");
+  }
+  uint32_t version = 0;
+  RECONSUME_RETURN_NOT_OK(reader.Read(&version));
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported model version " +
+                                   std::to_string(version));
+  }
+  uint64_t num_users = 0, num_items = 0;
+  uint32_t latent_dim = 0, feature_dim = 0;
+  RECONSUME_RETURN_NOT_OK(reader.Read(&num_users));
+  RECONSUME_RETURN_NOT_OK(reader.Read(&num_items));
+  RECONSUME_RETURN_NOT_OK(reader.Read(&latent_dim));
+  RECONSUME_RETURN_NOT_OK(reader.Read(&feature_dim));
+  if (num_users == 0 || num_items == 0 || latent_dim == 0 ||
+      feature_dim == 0 || latent_dim > 100000 || feature_dim > 100000) {
+    return Status::InvalidArgument("model header out of range");
+  }
+
+  TsPprConfig config;
+  config.latent_dim = static_cast<int>(latent_dim);
+  RECONSUME_RETURN_NOT_OK(reader.Read(&config.learning_rate));
+  RECONSUME_RETURN_NOT_OK(reader.Read(&config.gamma));
+  RECONSUME_RETURN_NOT_OK(reader.Read(&config.lambda));
+  RECONSUME_RETURN_NOT_OK(reader.Read(&config.seed));
+
+  RECONSUME_ASSIGN_OR_RETURN(
+      TsPprModel model,
+      TsPprModel::Create(num_users, num_items, static_cast<int>(feature_dim),
+                         config));
+  for (size_t u = 0; u < num_users; ++u) {
+    RECONSUME_RETURN_NOT_OK(
+        reader.ReadDoubles(model.user_factor(static_cast<data::UserId>(u))));
+  }
+  for (size_t v = 0; v < num_items; ++v) {
+    RECONSUME_RETURN_NOT_OK(
+        reader.ReadDoubles(model.item_factor(static_cast<data::ItemId>(v))));
+  }
+  for (size_t u = 0; u < num_users; ++u) {
+    RECONSUME_RETURN_NOT_OK(reader.ReadDoubles(
+        model.mapping(static_cast<data::UserId>(u)).Data()));
+  }
+  if (reader.pos() != payload.size()) {
+    return Status::InvalidArgument("model file has trailing bytes");
+  }
+  if (!model.IsFinite()) {
+    return Status::InvalidArgument("model file holds non-finite parameters");
+  }
+  return model;
+}
+
+Status SaveModel(const TsPprModel& model, const std::string& path) {
+  return util::WriteStringToFile(path, SerializeModel(model));
+}
+
+Result<TsPprModel> LoadModel(const std::string& path) {
+  RECONSUME_ASSIGN_OR_RETURN(const std::string bytes,
+                             util::ReadFileToString(path));
+  return DeserializeModel(bytes);
+}
+
+}  // namespace core
+}  // namespace reconsume

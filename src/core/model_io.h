@@ -1,0 +1,35 @@
+// Binary (de)serialization of trained TS-PPR models.
+//
+// Format (little-endian, versioned):
+//   magic "RCSM" | u32 version | u64 num_users | u64 num_items |
+//   u32 latent_dim | u32 feature_dim | config doubles |
+//   U row-major | V row-major | A_u blocks row-major per user
+// A trailing FNV-1a checksum over the payload detects truncation/corruption.
+
+#ifndef RECONSUME_CORE_MODEL_IO_H_
+#define RECONSUME_CORE_MODEL_IO_H_
+
+#include <string>
+
+#include "core/ts_ppr_model.h"
+#include "util/status.h"
+
+namespace reconsume {
+namespace core {
+
+/// Serializes `model` to `path`, replacing any existing file.
+Status SaveModel(const TsPprModel& model, const std::string& path);
+
+/// Loads a model written by SaveModel. Fails with InvalidArgument on
+/// malformed input and IoError on unreadable files.
+Result<TsPprModel> LoadModel(const std::string& path);
+
+/// In-memory round-trip used by both functions (exposed for tests and for
+/// embedding the payload elsewhere).
+std::string SerializeModel(const TsPprModel& model);
+Result<TsPprModel> DeserializeModel(std::string_view bytes);
+
+}  // namespace core
+}  // namespace reconsume
+
+#endif  // RECONSUME_CORE_MODEL_IO_H_

@@ -1,0 +1,108 @@
+#include "core/ppr.h"
+
+#include <cmath>
+
+#include "math/vector_ops.h"
+
+namespace reconsume {
+namespace core {
+
+Result<PprModel> PprModel::Fit(const sampling::TrainingSet& training_set,
+                               size_t num_users, size_t num_items,
+                               const PprConfig& config) {
+  if (config.latent_dim < 1) {
+    return Status::InvalidArgument("PprModel: latent_dim must be >= 1");
+  }
+  if (training_set.num_quadruples() == 0) {
+    return Status::FailedPrecondition("PprModel: empty training set");
+  }
+
+  PprModel model;
+  const size_t k = static_cast<size_t>(config.latent_dim);
+  const double init_std =
+      config.init_std > 0 ? config.init_std
+                          : std::sqrt(std::max(config.gamma, 1e-4));
+  util::Rng rng(config.seed);
+  model.user_factors_ = math::Matrix(num_users, k);
+  model.user_factors_.FillGaussian(&rng, 0.0, init_std);
+  model.item_factors_ = math::Matrix(num_items, k);
+  model.item_factors_.FillGaussian(&rng, 0.0, init_std);
+
+  const double alpha = config.learning_rate;
+  const double decay = 1.0 - alpha * config.gamma;
+  const auto small_batch = training_set.SmallBatch(0.1);
+  const int64_t check_every = std::max<int64_t>(
+      1, static_cast<int64_t>(config.check_every_fraction *
+                              static_cast<double>(
+                                  training_set.num_quadruples())));
+
+  auto r_tilde = [&]() {
+    double total = 0.0;
+    for (const auto& [e, n] : small_batch) {
+      const auto& event = training_set.events()[e];
+      const auto& neg = training_set.negatives()[n];
+      total += model.ScorePair(event.user, event.item) -
+               model.ScorePair(event.user, neg.item);
+    }
+    return small_batch.empty()
+               ? 0.0
+               : total / static_cast<double>(small_batch.size());
+  };
+
+  std::vector<double> u_old(k);
+  double prev = r_tilde();
+  int checks = 0;
+  for (int64_t step = 1; step <= config.max_steps; ++step) {
+    const auto [event_index, neg_index] = training_set.SampleQuadruple(&rng);
+    const auto& event = training_set.events()[event_index];
+    const auto& neg = training_set.negatives()[neg_index];
+    auto u = model.user_factors_.Row(static_cast<size_t>(event.user));
+    auto vi = model.item_factors_.Row(static_cast<size_t>(event.item));
+    auto vj = model.item_factors_.Row(static_cast<size_t>(neg.item));
+
+    const double margin = math::Dot(u, vi) - math::Dot(u, vj);
+    const double g = alpha * (1.0 - math::Sigmoid(margin));
+
+    std::copy(u.begin(), u.end(), u_old.begin());
+    for (size_t i = 0; i < k; ++i) {
+      u[i] = decay * u[i] + g * (vi[i] - vj[i]);
+    }
+    for (size_t i = 0; i < k; ++i) {
+      const double vi_new = decay * vi[i] + g * u_old[i];
+      const double vj_new = decay * vj[i] - g * u_old[i];
+      vi[i] = vi_new;
+      vj[i] = vj_new;
+    }
+    model.steps_trained_ = step;
+
+    if (step % check_every == 0) {
+      const double current = r_tilde();
+      if (!std::isfinite(current)) {
+        return Status::NumericalError("PPR training diverged");
+      }
+      if (++checks >= 3 &&
+          std::fabs(current - prev) <= config.convergence_tolerance) {
+        break;
+      }
+      prev = current;
+    }
+  }
+
+  if (!math::AllFinite(model.user_factors_.Data()) ||
+      !math::AllFinite(model.item_factors_.Data())) {
+    return Status::NumericalError("PPR parameters diverged");
+  }
+  return model;
+}
+
+void PprModel::Score(data::UserId user, const window::WindowWalker& walker,
+                     std::span<const data::ItemId> candidates,
+                     std::span<double> scores) {
+  (void)walker;  // static preference only: this model is time-blind.
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    scores[i] = ScorePair(user, candidates[i]);
+  }
+}
+
+}  // namespace core
+}  // namespace reconsume

@@ -1,0 +1,72 @@
+// Plain personalized pairwise ranking (§4.1; BPR of Rendle et al.) trained on
+// the same repeat-consumption quadruples but *without* the time-sensitive
+// term: r_uv = u^T v only.
+//
+// The paper argues PPR cannot express temporal preference flips; keeping it
+// as a runnable model lets the ablation benches quantify exactly how much the
+// u^T A_u f_uvt term buys.
+
+#ifndef RECONSUME_CORE_PPR_H_
+#define RECONSUME_CORE_PPR_H_
+
+#include <string>
+
+#include "eval/recommender.h"
+#include "math/matrix.h"
+#include "sampling/training_set.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace reconsume {
+namespace core {
+
+struct PprConfig {
+  int latent_dim = 40;
+  double learning_rate = 0.05;
+  double gamma = 0.05;         ///< regularization on U and V
+  double init_std = -1.0;      ///< <= 0 means sqrt(gamma)
+  int64_t max_steps = 2'000'000;
+  double convergence_tolerance = 1e-3;
+  double check_every_fraction = 0.1;
+  uint64_t seed = 42;
+};
+
+/// \brief BPR-style matrix factorization over repeat-consumption pairs.
+class PprModel : public eval::Recommender {
+ public:
+  /// Fits on the pre-sampled quadruples (features in `training_set` are
+  /// ignored; only (u, v_i, v_j) triples are used).
+  static Result<PprModel> Fit(const sampling::TrainingSet& training_set,
+                              size_t num_users, size_t num_items,
+                              const PprConfig& config);
+
+  std::string name() const override { return "PPR(static)"; }
+
+  /// Deep copy (the factor matrices are owned); supports parallel eval.
+  std::unique_ptr<eval::Recommender> Clone() const override {
+    return std::make_unique<PprModel>(*this);
+  }
+
+  void Score(data::UserId user, const window::WindowWalker& walker,
+             std::span<const data::ItemId> candidates,
+             std::span<double> scores) override;
+
+  double ScorePair(data::UserId u, data::ItemId v) const {
+    return math::Dot(user_factors_.Row(static_cast<size_t>(u)),
+                     item_factors_.Row(static_cast<size_t>(v)));
+  }
+
+  int64_t steps_trained() const { return steps_trained_; }
+
+ private:
+  PprModel() = default;
+
+  math::Matrix user_factors_;
+  math::Matrix item_factors_;
+  int64_t steps_trained_ = 0;
+};
+
+}  // namespace core
+}  // namespace reconsume
+
+#endif  // RECONSUME_CORE_PPR_H_

@@ -1,0 +1,76 @@
+#include "core/recommendation_session.h"
+
+#include "util/logging.h"
+
+namespace reconsume {
+namespace core {
+
+RecommendationSession::RecommendationSession(eval::Recommender* recommender,
+                                             data::UserId user,
+                                             data::ConsumptionSequence history,
+                                             int window_capacity, int min_gap)
+    : recommender_(recommender),
+      user_(user),
+      history_(std::move(history)),
+      window_capacity_(window_capacity),
+      min_gap_(min_gap) {
+  RECONSUME_CHECK(recommender != nullptr);
+  RECONSUME_CHECK(window_capacity >= 2);
+  RECONSUME_CHECK(min_gap >= 0 && min_gap < window_capacity);
+  // Headroom so that Observe rarely invalidates the walker's pointer.
+  history_.reserve(history_.size() * 2 + 1024);
+}
+
+void RecommendationSession::Observe(data::ItemId item) {
+  const data::ItemId* old_data = history_.data();
+  history_.push_back(item);
+  if (history_.data() != old_data) {
+    // Reallocation: the walker's sequence pointer is stale; rebuild lazily.
+    walker_.reset();
+    walker_events_ = -1;
+  }
+}
+
+void RecommendationSession::SyncWalker() {
+  if (walker_ == nullptr) {
+    walker_ = std::make_unique<window::WindowWalker>(&history_,
+                                                     window_capacity_);
+    walker_events_ = 0;
+  }
+  while (walker_events_ < static_cast<int64_t>(history_.size())) {
+    walker_->Advance();
+    ++walker_events_;
+  }
+}
+
+size_t RecommendationSession::NumCandidates() const {
+  // const_cast-free approach: a throwaway walk is wasteful, so the count
+  // reuses the lazily synced walker via a non-const helper pattern.
+  auto* self = const_cast<RecommendationSession*>(this);
+  self->SyncWalker();
+  self->walker_->EligibleCandidates(min_gap_, &self->candidates_);
+  return self->candidates_.size();
+}
+
+std::vector<RankedItem> RecommendationSession::RecommendTopN(int n) {
+  SyncWalker();
+  walker_->EligibleCandidates(min_gap_, &candidates_);
+  std::vector<RankedItem> out;
+  if (candidates_.empty() || n <= 0) return out;
+
+  scores_.assign(candidates_.size(), 0.0);
+  recommender_->Score(user_, *walker_, candidates_, scores_);
+  eval::SelectTopN(scores_, n, &top_);
+
+  out.reserve(top_.size());
+  for (int index : top_) {
+    const data::ItemId item = candidates_[static_cast<size_t>(index)];
+    out.push_back(RankedItem{item, scores_[static_cast<size_t>(index)],
+                             walker_->GapSince(item),
+                             walker_->CountInWindow(item)});
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace reconsume

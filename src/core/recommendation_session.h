@@ -1,0 +1,79 @@
+// Online serving view of a trained model: follow one user's event stream and
+// produce ranked repeat-consumption lists on demand.
+//
+// This is the integration surface an application embeds (the quickstart and
+// evaluation drive the offline protocol instead). The session owns a
+// WindowWalker over a *growing* private copy of the user's history, so new
+// events can be observed after the dataset snapshot ended.
+
+#ifndef RECONSUME_CORE_RECOMMENDATION_SESSION_H_
+#define RECONSUME_CORE_RECOMMENDATION_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "data/types.h"
+#include "eval/recommender.h"
+#include "util/status.h"
+#include "window/window_walker.h"
+
+namespace reconsume {
+namespace core {
+
+/// \brief One ranked recommendation.
+struct RankedItem {
+  data::ItemId item = data::kInvalidItem;
+  double score = 0.0;
+  int gap = 0;              ///< steps since the user last consumed it
+  int count_in_window = 0;  ///< how often it appears in the current window
+};
+
+/// \brief Tracks one user's stream and serves top-N repeat recommendations.
+class RecommendationSession {
+ public:
+  /// `recommender` must outlive the session. `history` seeds the stream
+  /// (typically the user's full observed sequence); it is copied.
+  RecommendationSession(eval::Recommender* recommender, data::UserId user,
+                        data::ConsumptionSequence history, int window_capacity,
+                        int min_gap);
+
+  /// Appends one consumption event to the stream.
+  void Observe(data::ItemId item);
+
+  /// Number of events observed so far (seed history included).
+  int64_t num_events() const { return static_cast<int64_t>(history_.size()); }
+
+  /// Current reconsumable candidate count (gap > min_gap, in window).
+  size_t NumCandidates() const;
+
+  /// Ranks the current candidates and returns the top `n` (may be shorter
+  /// when fewer candidates exist). Empty when nothing is reconsumable.
+  std::vector<RankedItem> RecommendTopN(int n);
+
+  data::UserId user() const { return user_; }
+  int window_capacity() const { return window_capacity_; }
+  int min_gap() const { return min_gap_; }
+
+ private:
+  void SyncWalker();
+
+  eval::Recommender* recommender_;
+  data::UserId user_;
+  data::ConsumptionSequence history_;
+  int window_capacity_;
+  int min_gap_;
+  // Rebuilt lazily: WindowWalker holds a pointer into history_, which can
+  // reallocate on Observe. `walker_events_` counts how many events the
+  // current walker has consumed; -1 forces a rebuild.
+  std::unique_ptr<window::WindowWalker> walker_;
+  int64_t walker_events_ = -1;
+
+  std::vector<data::ItemId> candidates_;
+  std::vector<double> scores_;
+  std::vector<int> top_;
+};
+
+}  // namespace core
+}  // namespace reconsume
+
+#endif  // RECONSUME_CORE_RECOMMENDATION_SESSION_H_

@@ -1,0 +1,44 @@
+#include "core/ts_ppr.h"
+
+namespace reconsume {
+namespace core {
+
+Result<TsPpr> TsPpr::Fit(const data::TrainTestSplit& split,
+                         const TsPprPipelineConfig& config) {
+  TsPpr pipeline;
+
+  RECONSUME_ASSIGN_OR_RETURN(
+      features::StaticFeatureTable table,
+      features::StaticFeatureTable::Compute(split,
+                                            config.sampling.window_capacity));
+  pipeline.table_ =
+      std::make_unique<features::StaticFeatureTable>(std::move(table));
+  pipeline.extractor_ = std::make_unique<features::FeatureExtractor>(
+      pipeline.table_.get(), config.features);
+
+  RECONSUME_ASSIGN_OR_RETURN(
+      sampling::TrainingSet training_set,
+      sampling::TrainingSet::Build(split, *pipeline.extractor_,
+                                   config.sampling));
+  pipeline.num_quadruples_ = training_set.num_quadruples();
+
+  RECONSUME_ASSIGN_OR_RETURN(
+      TsPprModel model,
+      TsPprModel::Create(split.dataset().num_users(),
+                         split.dataset().num_items(),
+                         pipeline.extractor_->dimension(), config.model));
+  pipeline.model_ = std::make_unique<TsPprModel>(std::move(model));
+
+  TsPprTrainer trainer(config.train);
+  util::Rng rng(config.model.seed ^ 0x5DEECE66DULL);
+  RECONSUME_ASSIGN_OR_RETURN(
+      pipeline.train_report_,
+      trainer.Train(training_set, pipeline.model_.get(), &rng));
+
+  pipeline.recommender_ = std::make_unique<TsPprRecommender>(
+      pipeline.model_.get(), pipeline.extractor_.get());
+  return pipeline;
+}
+
+}  // namespace core
+}  // namespace reconsume

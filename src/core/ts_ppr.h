@@ -1,0 +1,73 @@
+// End-to-end TS-PPR pipeline: static feature table -> feature extraction ->
+// training-quadruple pre-sampling -> Algorithm 1 SGD -> recommender.
+//
+// This is the one-call public entry point that the quickstart example and
+// every experiment use; the individual stages stay independently usable.
+
+#ifndef RECONSUME_CORE_TS_PPR_H_
+#define RECONSUME_CORE_TS_PPR_H_
+
+#include <memory>
+
+#include "core/ts_ppr_model.h"
+#include "core/ts_ppr_recommender.h"
+#include "core/ts_ppr_trainer.h"
+#include "data/split.h"
+#include "features/feature_extractor.h"
+#include "features/static_features.h"
+#include "sampling/training_set.h"
+#include "util/status.h"
+
+namespace reconsume {
+namespace core {
+
+/// \brief Every knob of the pipeline in one place.
+struct TsPprPipelineConfig {
+  TsPprConfig model;
+  TrainOptions train;
+  sampling::TrainingSetOptions sampling;
+  features::FeatureConfig features;
+};
+
+/// \brief A fitted TS-PPR: owns the feature table, extractor, model, and the
+/// recommender view over them.
+class TsPpr {
+ public:
+  /// Fits the full pipeline on the training segments of `split`.
+  /// `split` must outlive the returned object (the extractor evaluates
+  /// features against windows of the underlying dataset at query time).
+  static Result<TsPpr> Fit(const data::TrainTestSplit& split,
+                           const TsPprPipelineConfig& config);
+
+  /// The fitted model parameters.
+  const TsPprModel& model() const { return *model_; }
+  /// The feature extractor bound to the training-time static table.
+  const features::FeatureExtractor& extractor() const { return *extractor_; }
+  /// The training run report (steps, convergence curve, wall time).
+  const TrainReport& train_report() const { return train_report_; }
+  /// Size of the pre-sampled training set |D|.
+  int64_t num_quadruples() const { return num_quadruples_; }
+
+  /// Recommender implementing eval::Recommender; owned by this object.
+  TsPprRecommender* recommender() { return recommender_.get(); }
+
+  TsPpr(TsPpr&&) = default;
+  TsPpr& operator=(TsPpr&&) = default;
+
+ private:
+  TsPpr() = default;
+
+  // unique_ptrs keep addresses stable across moves (the recommender holds
+  // pointers into table/extractor/model).
+  std::unique_ptr<features::StaticFeatureTable> table_;
+  std::unique_ptr<features::FeatureExtractor> extractor_;
+  std::unique_ptr<TsPprModel> model_;
+  std::unique_ptr<TsPprRecommender> recommender_;
+  TrainReport train_report_;
+  int64_t num_quadruples_ = 0;
+};
+
+}  // namespace core
+}  // namespace reconsume
+
+#endif  // RECONSUME_CORE_TS_PPR_H_

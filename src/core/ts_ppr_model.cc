@@ -1,0 +1,108 @@
+#include "core/ts_ppr_model.h"
+
+#include <cmath>
+
+#include "math/vector_ops.h"
+
+namespace reconsume {
+namespace core {
+
+Result<TsPprModel> TsPprModel::Create(size_t num_users, size_t num_items,
+                                      int feature_dim,
+                                      const TsPprConfig& config) {
+  if (num_users == 0 || num_items == 0) {
+    return Status::InvalidArgument("TsPprModel: empty user or item set");
+  }
+  if (feature_dim < 1) {
+    return Status::InvalidArgument("TsPprModel: feature_dim must be >= 1");
+  }
+  if (config.latent_dim < 1) {
+    return Status::InvalidArgument("TsPprModel: latent_dim must be >= 1");
+  }
+  if (config.gamma < 0 || config.lambda < 0) {
+    return Status::InvalidArgument("TsPprModel: negative regularization");
+  }
+  if (config.learning_rate <= 0) {
+    return Status::InvalidArgument("TsPprModel: learning_rate must be > 0");
+  }
+
+  TsPprModel model;
+  model.config_ = config;
+  model.feature_dim_ = feature_dim;
+  const size_t k = static_cast<size_t>(config.latent_dim);
+
+  const double std_latent = config.init_std_latent > 0
+                                ? config.init_std_latent
+                                : std::sqrt(std::max(config.gamma, 1e-4));
+  const double std_mapping = config.init_std_mapping > 0
+                                 ? config.init_std_mapping
+                                 : std::sqrt(std::max(config.lambda, 1e-4));
+
+  util::Rng rng(config.seed);
+  model.user_factors_ = math::Matrix(num_users, k);
+  model.user_factors_.FillGaussian(&rng, 0.0, std_latent);
+  model.item_factors_ = math::Matrix(num_items, k);
+  model.item_factors_.FillGaussian(&rng, 0.0, std_latent);
+
+  const bool identity = config.identity_mapping_when_square &&
+                        config.latent_dim == feature_dim;
+  model.mappings_.reserve(num_users);
+  for (size_t u = 0; u < num_users; ++u) {
+    if (identity) {
+      model.mappings_.push_back(math::Matrix::Identity(k));
+    } else {
+      math::Matrix a(k, static_cast<size_t>(feature_dim));
+      a.FillGaussian(&rng, 0.0, std_mapping);
+      model.mappings_.push_back(std::move(a));
+    }
+  }
+  return model;
+}
+
+double TsPprModel::Score(data::UserId u, data::ItemId v,
+                         std::span<const double> f) const {
+  RECONSUME_DCHECK(f.size() == static_cast<size_t>(feature_dim_));
+  const auto uvec = user_factor(u);
+  const auto vvec = item_factor(v);
+  double score = math::Dot(uvec, vvec);
+  // u^T (A_u f) computed row-wise without materializing A_u f.
+  const math::Matrix& a = mapping(u);
+  for (size_t r = 0; r < uvec.size(); ++r) {
+    score += uvec[r] * math::Dot(a.Row(r), f);
+  }
+  return score;
+}
+
+double TsPprModel::StaticScore(data::UserId u, data::ItemId v) const {
+  return math::Dot(user_factor(u), item_factor(v));
+}
+
+std::vector<double> TsPprModel::EffectiveFeatureWeights(data::UserId u) const {
+  const auto uvec = user_factor(u);
+  const math::Matrix& a = mapping(u);
+  std::vector<double> weights(a.cols(), 0.0);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    math::Axpy(uvec[r], a.Row(r), weights);
+  }
+  return weights;
+}
+
+double TsPprModel::SquaredNormMappings() const {
+  double total = 0.0;
+  for (const auto& a : mappings_) total += a.SquaredFrobeniusNorm();
+  return total;
+}
+
+bool TsPprModel::IsFinite() const {
+  if (!math::AllFinite(user_factors_.Data()) ||
+      !math::AllFinite(item_factors_.Data())) {
+    return false;
+  }
+  for (const auto& a : mappings_) {
+    if (!math::AllFinite(a.Data())) return false;
+  }
+  return true;
+}
+
+}  // namespace core
+}  // namespace reconsume

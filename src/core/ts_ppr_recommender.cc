@@ -1,0 +1,18 @@
+#include "core/ts_ppr_recommender.h"
+
+namespace reconsume {
+namespace core {
+
+void TsPprRecommender::Score(data::UserId user,
+                             const window::WindowWalker& walker,
+                             std::span<const data::ItemId> candidates,
+                             std::span<double> scores) {
+  RECONSUME_DCHECK(candidates.size() == scores.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    extractor_->Extract(walker, candidates[i], feature_scratch_);
+    scores[i] = model_->Score(user, candidates[i], feature_scratch_);
+  }
+}
+
+}  // namespace core
+}  // namespace reconsume

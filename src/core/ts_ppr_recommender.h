@@ -1,0 +1,54 @@
+// Recommendation with a trained TS-PPR model (§4.3): rank the window
+// candidates by r_uvt, extracting behavioral features on the fly.
+
+#ifndef RECONSUME_CORE_TS_PPR_RECOMMENDER_H_
+#define RECONSUME_CORE_TS_PPR_RECOMMENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/ts_ppr_model.h"
+#include "eval/recommender.h"
+#include "features/feature_extractor.h"
+
+namespace reconsume {
+namespace core {
+
+/// \brief eval::Recommender over a trained TsPprModel.
+class TsPprRecommender : public eval::Recommender {
+ public:
+  /// Both pointees must outlive the recommender.
+  TsPprRecommender(const TsPprModel* model,
+                   const features::FeatureExtractor* extractor,
+                   std::string name = "TS-PPR")
+      : model_(model),
+        extractor_(extractor),
+        name_(std::move(name)),
+        feature_scratch_(static_cast<size_t>(extractor->dimension())) {
+    RECONSUME_CHECK(model != nullptr && extractor != nullptr);
+    RECONSUME_CHECK(model->feature_dim() == extractor->dimension())
+        << "model F=" << model->feature_dim()
+        << " != extractor F=" << extractor->dimension();
+  }
+
+  std::string name() const override { return name_; }
+
+  std::unique_ptr<eval::Recommender> Clone() const override {
+    return std::make_unique<TsPprRecommender>(*this);
+  }
+
+  void Score(data::UserId user, const window::WindowWalker& walker,
+             std::span<const data::ItemId> candidates,
+             std::span<double> scores) override;
+
+ private:
+  const TsPprModel* model_;
+  const features::FeatureExtractor* extractor_;
+  std::string name_;
+  std::vector<double> feature_scratch_;
+};
+
+}  // namespace core
+}  // namespace reconsume
+
+#endif  // RECONSUME_CORE_TS_PPR_RECOMMENDER_H_

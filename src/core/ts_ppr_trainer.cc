@@ -1,0 +1,160 @@
+#include "core/ts_ppr_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/vector_ops.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace reconsume {
+namespace core {
+
+namespace {
+
+/// r_{uv_i t} - r_{uv_j t} = u^T (v_i - v_j + A_u (f_i - f_j)).
+double PreferenceDifference(const TsPprModel& model,
+                            const sampling::TrainingSet& data,
+                            uint32_t event_index, uint32_t neg_index,
+                            std::vector<double>* fdiff_scratch,
+                            std::vector<double>* d_scratch) {
+  const sampling::PositiveEvent& event = data.events()[event_index];
+  const sampling::NegativeSample& neg = data.negatives()[neg_index];
+  const auto fi = data.feature(event.feature_offset);
+  const auto fj = data.feature(neg.feature_offset);
+  const auto u = model.user_factor(event.user);
+  const auto vi = model.item_factor(event.item);
+  const auto vj = model.item_factor(neg.item);
+
+  auto& fdiff = *fdiff_scratch;
+  auto& d = *d_scratch;
+  math::Subtract(fi, fj, fdiff);
+  math::Subtract(vi, vj, d);
+  model.mapping(event.user).MultiplyVectorAccumulate(1.0, fdiff, d);
+  return math::Dot(u, d);
+}
+
+}  // namespace
+
+Result<TrainReport> TsPprTrainer::Train(
+    const sampling::TrainingSet& training_set, TsPprModel* model,
+    util::Rng* rng) const {
+  if (model == nullptr || rng == nullptr) {
+    return Status::InvalidArgument("Train: null model or rng");
+  }
+  if (model->feature_dim() != training_set.feature_dim()) {
+    return Status::InvalidArgument(
+        "Train: model feature_dim != training set feature_dim");
+  }
+  if (training_set.num_quadruples() == 0) {
+    return Status::FailedPrecondition("Train: empty training set");
+  }
+
+  const TsPprConfig& config = model->config();
+  const double base_alpha = config.learning_rate;
+  const double quadruples = static_cast<double>(training_set.num_quadruples());
+  const size_t k = static_cast<size_t>(model->latent_dim());
+  const size_t f = static_cast<size_t>(model->feature_dim());
+
+  const auto small_batch =
+      training_set.SmallBatch(options_.small_batch_fraction);
+  const int64_t check_every = std::max<int64_t>(
+      1, static_cast<int64_t>(options_.check_every_fraction *
+                              static_cast<double>(
+                                  training_set.num_quadruples())));
+
+  std::vector<double> fdiff(f), d(k), u_old(k);
+
+  auto compute_r_tilde = [&]() {
+    double total = 0.0;
+    for (const auto& [e, n] : small_batch) {
+      total += PreferenceDifference(*model, training_set, e, n, &fdiff, &d);
+    }
+    return small_batch.empty()
+               ? 0.0
+               : total / static_cast<double>(small_batch.size());
+  };
+
+  TrainReport report;
+  util::Stopwatch stopwatch;
+  double prev_r_tilde = compute_r_tilde();
+  report.curve.push_back({0, prev_r_tilde});
+  int checks = 0;
+
+  while (report.steps < options_.max_steps) {
+    const double alpha =
+        options_.schedule == LearningRateSchedule::kConstant
+            ? base_alpha
+            : base_alpha / (1.0 + options_.decay_rate *
+                                      static_cast<double>(report.steps) /
+                                      quadruples);
+    const double latent_decay = 1.0 - alpha * config.gamma;
+    const double mapping_decay = 1.0 - alpha * config.lambda;
+
+    // Lines 3-5: hierarchical uniform draw of (u, v_i, v_j, t).
+    const auto [event_index, neg_index] = training_set.SampleQuadruple(rng);
+    const sampling::PositiveEvent& event = training_set.events()[event_index];
+    const sampling::NegativeSample& neg = training_set.negatives()[neg_index];
+
+    const auto fi = training_set.feature(event.feature_offset);
+    const auto fj = training_set.feature(neg.feature_offset);
+    auto u = model->user_factor(event.user);
+    auto vi = model->item_factor(event.item);
+    auto vj = model->item_factor(neg.item);
+    math::Matrix& a = model->mapping(event.user);
+
+    // d = v_i - v_j + A_u (f_i - f_j); the gradient w.r.t. u (Eq. 12).
+    math::Subtract(fi, fj, fdiff);
+    math::Subtract(vi, vj, d);
+    a.MultiplyVectorAccumulate(1.0, fdiff, d);
+
+    const double margin = math::Dot(u, d);
+    const double g = alpha * (1.0 - math::Sigmoid(margin));
+
+    // Lines 6-10: all updates read the pre-update parameters, so stash u.
+    std::copy(u.begin(), u.end(), u_old.begin());
+
+    math::Scale(latent_decay, u);
+    math::Axpy(g, d, u);  // Eq. 12
+
+    math::Scale(latent_decay, vi);
+    math::Axpy(g, u_old, vi);  // Eq. 13
+
+    math::Scale(latent_decay, vj);
+    math::Axpy(-g, u_old, vj);  // Eq. 14
+
+    a.ScaleInPlace(mapping_decay);
+    a.AddOuterProduct(g, u_old, fdiff);  // Eq. 15
+
+    ++report.steps;
+
+    if (report.steps % check_every == 0) {
+      const double r_tilde = compute_r_tilde();
+      report.curve.push_back({report.steps, r_tilde});
+      ++checks;
+      if (!std::isfinite(r_tilde)) {
+        return Status::NumericalError(
+            "TS-PPR training diverged (non-finite r_tilde); lower the "
+            "learning rate");
+      }
+      if (checks >= options_.min_checks &&
+          std::fabs(r_tilde - prev_r_tilde) <=
+              options_.convergence_tolerance) {
+        prev_r_tilde = r_tilde;
+        report.converged = true;
+        break;
+      }
+      prev_r_tilde = r_tilde;
+    }
+  }
+
+  report.final_r_tilde = prev_r_tilde;
+  report.wall_seconds = stopwatch.ElapsedSeconds();
+  if (!model->IsFinite()) {
+    return Status::NumericalError("TS-PPR parameters diverged");
+  }
+  return report;
+}
+
+}  // namespace core
+}  // namespace reconsume

@@ -1,0 +1,77 @@
+// Algorithm 1: stochastic gradient descent over pre-sampled training
+// quadruples, with the small-batch Δr̃ convergence check of §5.6.1.
+
+#ifndef RECONSUME_CORE_TS_PPR_TRAINER_H_
+#define RECONSUME_CORE_TS_PPR_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ts_ppr_model.h"
+#include "sampling/training_set.h"
+#include "util/status.h"
+
+namespace reconsume {
+namespace core {
+
+/// \brief Learning-rate schedule for the SGD loop.
+enum class LearningRateSchedule {
+  kConstant,      ///< alpha_t = alpha (the paper's Algorithm 1)
+  kInverseDecay,  ///< alpha_t = alpha / (1 + decay_rate * t / |D|)
+};
+
+/// \brief Knobs of the SGD loop (model hyperparameters live in TsPprConfig).
+struct TrainOptions {
+  LearningRateSchedule schedule = LearningRateSchedule::kConstant;
+  /// Decay strength for kInverseDecay, in units of passes over |D|.
+  double decay_rate = 1.0;
+  /// Stop when |Δr̃| between adjacent check points falls below this (§5.6.1,
+  /// the paper uses 1e-3).
+  double convergence_tolerance = 1e-3;
+  /// Check every `check_every_fraction * |D|` SGD steps, on a small batch of
+  /// each user's first `small_batch_fraction` events (the paper sets both
+  /// to 1/10).
+  double check_every_fraction = 0.1;
+  double small_batch_fraction = 0.1;
+  /// Hard cap on SGD steps (safety; |D|-proportional caps are set by callers).
+  int64_t max_steps = 50'000'000;
+  /// Require at least this many check intervals before declaring convergence
+  /// (avoids stopping on the initial plateau).
+  int min_checks = 3;
+};
+
+/// \brief One convergence check point (the Fig. 12 curve).
+struct ConvergencePoint {
+  int64_t step = 0;      ///< SGD steps completed
+  double r_tilde = 0.0;  ///< average r_{uv_i t} - r_{uv_j t} over small batch
+};
+
+/// \brief Outcome of a training run.
+struct TrainReport {
+  int64_t steps = 0;
+  bool converged = false;
+  double final_r_tilde = 0.0;
+  double wall_seconds = 0.0;
+  std::vector<ConvergencePoint> curve;
+};
+
+/// \brief Runs Algorithm 1 on a model against a pre-sampled training set.
+class TsPprTrainer {
+ public:
+  explicit TsPprTrainer(TrainOptions options = {}) : options_(options) {}
+
+  /// Trains in place. The model's feature_dim must match the training set.
+  /// Returns NumericalError if parameters diverge to non-finite values.
+  Result<TrainReport> Train(const sampling::TrainingSet& training_set,
+                            TsPprModel* model, util::Rng* rng) const;
+
+  const TrainOptions& options() const { return options_; }
+
+ private:
+  TrainOptions options_;
+};
+
+}  // namespace core
+}  // namespace reconsume
+
+#endif  // RECONSUME_CORE_TS_PPR_TRAINER_H_

@@ -1,0 +1,153 @@
+#include "data/analysis.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace reconsume {
+namespace data {
+
+RecencyCurve ComputeRecencyCurve(const Dataset& dataset, int max_gap) {
+  RECONSUME_CHECK(max_gap >= 1);
+  RecencyCurve curve;
+  curve.reconsumption_probability.assign(static_cast<size_t>(max_gap), 0.0);
+  curve.opportunity_counts.assign(static_cast<size_t>(max_gap), 0);
+  std::vector<int64_t> conversions(static_cast<size_t>(max_gap), 0);
+
+  for (size_t u = 0; u < dataset.num_users(); ++u) {
+    const auto& seq = dataset.sequence(static_cast<UserId>(u));
+    std::unordered_map<ItemId, int> last_seen;
+    for (size_t t = 0; t < seq.size(); ++t) {
+      // Every item with a recorded last consumption offers an opportunity at
+      // its current gap; the consumed item converts its own.
+      for (const auto& [item, last] : last_seen) {
+        const int gap = static_cast<int>(t) - last;
+        if (gap >= 1 && gap <= max_gap) {
+          ++curve.opportunity_counts[static_cast<size_t>(gap - 1)];
+          if (item == seq[t]) {
+            ++conversions[static_cast<size_t>(gap - 1)];
+          }
+        }
+      }
+      last_seen[seq[t]] = static_cast<int>(t);
+    }
+  }
+  for (int g = 0; g < max_gap; ++g) {
+    if (curve.opportunity_counts[static_cast<size_t>(g)] > 0) {
+      curve.reconsumption_probability[static_cast<size_t>(g)] =
+          static_cast<double>(conversions[static_cast<size_t>(g)]) /
+          static_cast<double>(curve.opportunity_counts[static_cast<size_t>(g)]);
+    }
+  }
+  return curve;
+}
+
+double PopularityGini(const Dataset& dataset) {
+  std::vector<int64_t> counts(dataset.num_items(), 0);
+  for (size_t u = 0; u < dataset.num_users(); ++u) {
+    for (ItemId v : dataset.sequence(static_cast<UserId>(u))) {
+      ++counts[static_cast<size_t>(v)];
+    }
+  }
+  if (counts.empty()) return 0.0;
+  std::sort(counts.begin(), counts.end());
+  const double n = static_cast<double>(counts.size());
+  double weighted = 0.0, total = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    weighted += (2.0 * static_cast<double>(i + 1) - n - 1.0) *
+                static_cast<double>(counts[i]);
+    total += static_cast<double>(counts[i]);
+  }
+  if (total <= 0.0) return 0.0;
+  return weighted / (n * total);
+}
+
+std::vector<double> RepeatShareByPopularityDecile(const Dataset& dataset,
+                                                  int window) {
+  RECONSUME_CHECK(window >= 1);
+  // Popularity ranking.
+  std::vector<int64_t> counts(dataset.num_items(), 0);
+  for (size_t u = 0; u < dataset.num_users(); ++u) {
+    for (ItemId v : dataset.sequence(static_cast<UserId>(u))) {
+      ++counts[static_cast<size_t>(v)];
+    }
+  }
+  std::vector<ItemId> by_popularity(dataset.num_items());
+  for (size_t v = 0; v < by_popularity.size(); ++v) {
+    by_popularity[v] = static_cast<ItemId>(v);
+  }
+  std::sort(by_popularity.begin(), by_popularity.end(),
+            [&](ItemId a, ItemId b) {
+              return counts[static_cast<size_t>(a)] >
+                     counts[static_cast<size_t>(b)];
+            });
+  std::vector<int> decile_of(dataset.num_items(), 9);
+  for (size_t rank = 0; rank < by_popularity.size(); ++rank) {
+    decile_of[static_cast<size_t>(by_popularity[rank])] = std::min<int>(
+        9, static_cast<int>(10 * rank / std::max<size_t>(1, by_popularity.size())));
+  }
+
+  std::vector<int64_t> repeats_per_decile(10, 0);
+  int64_t total_repeats = 0;
+  for (size_t u = 0; u < dataset.num_users(); ++u) {
+    const auto& seq = dataset.sequence(static_cast<UserId>(u));
+    // Incremental windowed membership (same technique as dataset_stats).
+    std::unordered_map<ItemId, int> in_window;
+    for (size_t t = 0; t < seq.size(); ++t) {
+      if (t > 0 && in_window.count(seq[t]) > 0) {
+        ++repeats_per_decile[static_cast<size_t>(
+            decile_of[static_cast<size_t>(seq[t])])];
+        ++total_repeats;
+      }
+      ++in_window[seq[t]];
+      if (t + 1 > static_cast<size_t>(window)) {
+        const ItemId leaving = seq[t - static_cast<size_t>(window)];
+        auto it = in_window.find(leaving);
+        if (--it->second == 0) in_window.erase(it);
+      }
+    }
+  }
+  std::vector<double> shares(10, 0.0);
+  if (total_repeats > 0) {
+    for (int d = 0; d < 10; ++d) {
+      shares[static_cast<size_t>(d)] =
+          static_cast<double>(repeats_per_decile[static_cast<size_t>(d)]) /
+          static_cast<double>(total_repeats);
+    }
+  }
+  return shares;
+}
+
+std::vector<double> InterConsumptionGapDistribution(const Dataset& dataset,
+                                                    int max_gap) {
+  RECONSUME_CHECK(max_gap >= 1);
+  std::vector<int64_t> counts(static_cast<size_t>(max_gap), 0);
+  int64_t total = 0;
+  for (size_t u = 0; u < dataset.num_users(); ++u) {
+    const auto& seq = dataset.sequence(static_cast<UserId>(u));
+    std::unordered_map<ItemId, int> last_seen;
+    for (size_t t = 0; t < seq.size(); ++t) {
+      const auto it = last_seen.find(seq[t]);
+      if (it != last_seen.end()) {
+        const int gap = std::min<int>(static_cast<int>(t) - it->second,
+                                      max_gap);
+        ++counts[static_cast<size_t>(gap - 1)];
+        ++total;
+      }
+      last_seen[seq[t]] = static_cast<int>(t);
+    }
+  }
+  std::vector<double> distribution(static_cast<size_t>(max_gap), 0.0);
+  if (total > 0) {
+    for (int g = 0; g < max_gap; ++g) {
+      distribution[static_cast<size_t>(g)] =
+          static_cast<double>(counts[static_cast<size_t>(g)]) /
+          static_cast<double>(total);
+    }
+  }
+  return distribution;
+}
+
+}  // namespace data
+}  // namespace reconsume

@@ -1,0 +1,50 @@
+// Exploratory dataset analysis: the statistics the repeat-consumption
+// literature (Anderson et al. [7], the STREC paper [13]) characterizes
+// traces by. Used by bench_ext_dataset_analysis to show that the synthetic
+// profiles exhibit the qualitative structure the paper's datasets have.
+
+#ifndef RECONSUME_DATA_ANALYSIS_H_
+#define RECONSUME_DATA_ANALYSIS_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace reconsume {
+namespace data {
+
+/// \brief P(next consumption of an item | gap since its last consumption):
+/// the empirical recency curve. Entry g (1-based gap) holds the fraction of
+/// moments at which an item last consumed g steps ago was consumed next.
+struct RecencyCurve {
+  /// reconsumption_probability[g-1] for g in [1, max_gap].
+  std::vector<double> reconsumption_probability;
+  std::vector<int64_t> opportunity_counts;  ///< denominator per gap
+};
+
+/// Computes the curve over the whole dataset with gaps up to `max_gap`.
+/// An "opportunity" at gap g is an event at whose time some item had last
+/// been consumed exactly g steps earlier; it converts at gap g if that item
+/// was the one consumed.
+RecencyCurve ComputeRecencyCurve(const Dataset& dataset, int max_gap);
+
+/// Gini coefficient of the item-popularity distribution in [0, 1); higher =
+/// more skewed (the Zipf-like head the paper's traces have).
+double PopularityGini(const Dataset& dataset);
+
+/// \brief Repeat share as a function of item popularity rank decile: entry d
+/// is the fraction of all (windowed) repeat events whose item falls in the
+/// d-th popularity decile (0 = most popular 10% of items).
+std::vector<double> RepeatShareByPopularityDecile(const Dataset& dataset,
+                                                  int window);
+
+/// Distribution of same-item inter-consumption gaps, capped at `max_gap`
+/// (the last bucket absorbs larger gaps). Normalized to sum to 1 (empty if
+/// the dataset has no repeats at all).
+std::vector<double> InterConsumptionGapDistribution(const Dataset& dataset,
+                                                    int max_gap);
+
+}  // namespace data
+}  // namespace reconsume
+
+#endif  // RECONSUME_DATA_ANALYSIS_H_

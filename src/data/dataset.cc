@@ -1,0 +1,151 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace reconsume {
+namespace data {
+
+int64_t Dataset::num_interactions() const {
+  int64_t total = 0;
+  for (const auto& seq : sequences_) total += static_cast<int64_t>(seq.size());
+  return total;
+}
+
+UserId Dataset::FindUser(const std::string& key) const {
+  const auto it = user_index_.find(key);
+  return it == user_index_.end() ? kInvalidUser : it->second;
+}
+
+ItemId Dataset::FindItem(const std::string& key) const {
+  const auto it = item_index_.find(key);
+  return it == item_index_.end() ? kInvalidItem : it->second;
+}
+
+Dataset Dataset::FilterUsers(
+    const std::function<bool(const ConsumptionSequence&)>& keep) const {
+  Dataset out;
+  // First pass: surviving users and the set of surviving items.
+  std::vector<ItemId> item_remap(num_items(), kInvalidItem);
+  for (size_t u = 0; u < sequences_.size(); ++u) {
+    if (!keep(sequences_[u])) continue;
+    out.user_index_.emplace(user_keys_[u], static_cast<UserId>(out.user_keys_.size()));
+    out.user_keys_.push_back(user_keys_[u]);
+    out.sequences_.push_back(sequences_[u]);
+    for (ItemId v : sequences_[u]) {
+      if (item_remap[static_cast<size_t>(v)] == kInvalidItem) {
+        item_remap[static_cast<size_t>(v)] =
+            static_cast<ItemId>(out.item_keys_.size());
+        out.item_keys_.push_back(item_keys_[static_cast<size_t>(v)]);
+      }
+    }
+  }
+  for (size_t v = 0; v < out.item_keys_.size(); ++v) {
+    out.item_index_.emplace(out.item_keys_[v], static_cast<ItemId>(v));
+  }
+  // Second pass: rewrite sequences with compacted item ids.
+  for (auto& seq : out.sequences_) {
+    for (ItemId& v : seq) v = item_remap[static_cast<size_t>(v)];
+  }
+  return out;
+}
+
+Dataset Dataset::TruncatePerUser(const std::vector<size_t>& lengths) const {
+  RECONSUME_CHECK(lengths.size() == num_users());
+  Dataset out;
+  std::vector<ItemId> item_remap(num_items(), kInvalidItem);
+  for (size_t u = 0; u < sequences_.size(); ++u) {
+    const size_t keep = std::min(lengths[u], sequences_[u].size());
+    if (keep == 0) continue;
+    out.user_index_.emplace(user_keys_[u],
+                            static_cast<UserId>(out.user_keys_.size()));
+    out.user_keys_.push_back(user_keys_[u]);
+    ConsumptionSequence prefix(sequences_[u].begin(),
+                               sequences_[u].begin() +
+                                   static_cast<ptrdiff_t>(keep));
+    for (ItemId& v : prefix) {
+      if (item_remap[static_cast<size_t>(v)] == kInvalidItem) {
+        item_remap[static_cast<size_t>(v)] =
+            static_cast<ItemId>(out.item_keys_.size());
+        out.item_keys_.push_back(item_keys_[static_cast<size_t>(v)]);
+      }
+      v = item_remap[static_cast<size_t>(v)];
+    }
+    out.sequences_.push_back(std::move(prefix));
+  }
+  for (size_t v = 0; v < out.item_keys_.size(); ++v) {
+    out.item_index_.emplace(out.item_keys_[v], static_cast<ItemId>(v));
+  }
+  return out;
+}
+
+Dataset Dataset::FilterByMinTrainLength(double train_fraction,
+                                        int min_train) const {
+  return FilterUsers([&](const ConsumptionSequence& seq) {
+    return static_cast<double>(seq.size()) * train_fraction >=
+           static_cast<double>(min_train);
+  });
+}
+
+Status DatasetBuilder::Add(RawInteraction interaction) {
+  if (interaction.user_key.empty()) {
+    return Status::InvalidArgument("empty user key");
+  }
+  if (interaction.item_key.empty()) {
+    return Status::InvalidArgument("empty item key");
+  }
+
+  const auto [uit, user_inserted] = user_index_.try_emplace(
+      interaction.user_key, static_cast<UserId>(user_keys_.size()));
+  if (user_inserted) {
+    user_keys_.push_back(interaction.user_key);
+    pending_.emplace_back();
+  }
+  const auto [iit, item_inserted] = item_index_.try_emplace(
+      interaction.item_key, static_cast<ItemId>(item_keys_.size()));
+  if (item_inserted) {
+    item_keys_.push_back(interaction.item_key);
+  }
+
+  pending_[static_cast<size_t>(uit->second)].push_back(
+      PendingEvent{iit->second, interaction.timestamp, arrival_counter_++});
+  ++num_pending_;
+  return Status::OK();
+}
+
+Status DatasetBuilder::Add(int64_t user_key, int64_t item_key,
+                           int64_t timestamp) {
+  return Add(RawInteraction{std::to_string(user_key), std::to_string(item_key),
+                            timestamp});
+}
+
+Result<Dataset> DatasetBuilder::Build() {
+  if (num_pending_ == 0) {
+    return Status::FailedPrecondition("DatasetBuilder::Build with no events");
+  }
+  Dataset out;
+  out.user_keys_ = std::move(user_keys_);
+  out.item_keys_ = std::move(item_keys_);
+  out.user_index_ = std::move(user_index_);
+  out.item_index_ = std::move(item_index_);
+  out.sequences_.resize(pending_.size());
+  for (size_t u = 0; u < pending_.size(); ++u) {
+    auto& events = pending_[u];
+    std::sort(events.begin(), events.end(),
+              [](const PendingEvent& a, const PendingEvent& b) {
+                if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+                return a.arrival < b.arrival;
+              });
+    auto& seq = out.sequences_[u];
+    seq.reserve(events.size());
+    for (const PendingEvent& e : events) seq.push_back(e.item);
+  }
+  pending_.clear();
+  num_pending_ = 0;
+  arrival_counter_ = 0;
+  return out;
+}
+
+}  // namespace data
+}  // namespace reconsume

@@ -1,0 +1,109 @@
+// The Dataset: id-compacted per-user consumption sequences, plus the builder
+// that assembles one from raw interaction streams.
+
+#ifndef RECONSUME_DATA_DATASET_H_
+#define RECONSUME_DATA_DATASET_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/types.h"
+#include "util/status.h"
+
+namespace reconsume {
+namespace data {
+
+/// \brief Immutable collection of per-user consumption sequences.
+///
+/// Sequences are sorted time-ascending; ids are dense. External string keys
+/// are retained for reporting and round-tripping.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  size_t num_users() const { return sequences_.size(); }
+  size_t num_items() const { return item_keys_.size(); }
+
+  /// Total number of consumption events.
+  int64_t num_interactions() const;
+
+  const ConsumptionSequence& sequence(UserId u) const {
+    return sequences_.at(static_cast<size_t>(u));
+  }
+  const std::vector<ConsumptionSequence>& sequences() const {
+    return sequences_;
+  }
+
+  const std::string& user_key(UserId u) const {
+    return user_keys_.at(static_cast<size_t>(u));
+  }
+  const std::string& item_key(ItemId v) const {
+    return item_keys_.at(static_cast<size_t>(v));
+  }
+
+  /// Dense id for an external key, or kInvalidUser / kInvalidItem.
+  UserId FindUser(const std::string& key) const;
+  ItemId FindItem(const std::string& key) const;
+
+  /// Keeps only users whose sequence satisfies `keep(sequence)`; items that
+  /// lose every occurrence are re-compacted away.
+  Dataset FilterUsers(
+      const std::function<bool(const ConsumptionSequence&)>& keep) const;
+
+  /// The paper's filter: 70% of the sequence must hold >= min_train events
+  /// (|S_u| * train_fraction >= min_train, Section 5.1).
+  Dataset FilterByMinTrainLength(double train_fraction, int min_train) const;
+
+  /// Keeps only each user's first `lengths[u]` events (clamped to the
+  /// sequence length); items that lose every occurrence are compacted away.
+  /// Used for nested validation: truncating at the outer training boundary
+  /// guarantees hyperparameter selection never sees test events.
+  Dataset TruncatePerUser(const std::vector<size_t>& lengths) const;
+
+ private:
+  friend class DatasetBuilder;
+
+  std::vector<ConsumptionSequence> sequences_;
+  std::vector<std::string> user_keys_;
+  std::vector<std::string> item_keys_;
+  std::unordered_map<std::string, UserId> user_index_;
+  std::unordered_map<std::string, ItemId> item_index_;
+};
+
+/// \brief Accumulates raw interactions, then sorts/compacts into a Dataset.
+class DatasetBuilder {
+ public:
+  /// Adds one event. Keys may be arbitrary non-empty strings.
+  Status Add(RawInteraction interaction);
+
+  /// Convenience overload for already-numeric traces.
+  Status Add(int64_t user_key, int64_t item_key, int64_t timestamp);
+
+  /// Sorts each user's events by (timestamp, arrival order) and compacts ids.
+  /// The builder is left empty afterwards.
+  Result<Dataset> Build();
+
+  int64_t num_pending() const { return num_pending_; }
+
+ private:
+  struct PendingEvent {
+    ItemId item;
+    int64_t timestamp;
+    int64_t arrival;  ///< tie-breaker preserving input order
+  };
+
+  std::vector<std::vector<PendingEvent>> pending_;  // per dense user
+  std::vector<std::string> user_keys_;
+  std::vector<std::string> item_keys_;
+  std::unordered_map<std::string, UserId> user_index_;
+  std::unordered_map<std::string, ItemId> item_index_;
+  int64_t num_pending_ = 0;
+  int64_t arrival_counter_ = 0;
+};
+
+}  // namespace data
+}  // namespace reconsume
+
+#endif  // RECONSUME_DATA_DATASET_H_

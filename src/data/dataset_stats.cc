@@ -1,0 +1,85 @@
+#include "data/dataset_stats.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace reconsume {
+namespace data {
+
+DatasetStats ComputeDatasetStats(const Dataset& dataset, int window) {
+  DatasetStats stats;
+  stats.num_users = static_cast<int64_t>(dataset.num_users());
+  stats.num_items = static_cast<int64_t>(dataset.num_items());
+  stats.num_interactions = dataset.num_interactions();
+
+  int64_t min_len = std::numeric_limits<int64_t>::max();
+  int64_t max_len = 0;
+  int64_t repeats = 0;
+  int64_t considered = 0;
+  double pool_total = 0.0;
+
+  for (size_t u = 0; u < dataset.num_users(); ++u) {
+    const auto& seq = dataset.sequence(static_cast<UserId>(u));
+    const int64_t len = static_cast<int64_t>(seq.size());
+    min_len = std::min(min_len, len);
+    max_len = std::max(max_len, len);
+
+    std::unordered_set<ItemId> pool(seq.begin(), seq.end());
+    pool_total += static_cast<double>(pool.size());
+
+    // Windowed repeat detection with an incremental multiset of counts.
+    std::unordered_map<ItemId, int> in_window;
+    for (size_t t = 0; t < seq.size(); ++t) {
+      if (t > 0) {
+        ++considered;
+        // With window <= 0 nothing is ever evicted, so the same membership
+        // test degrades to "ever consumed before".
+        if (in_window.count(seq[t]) > 0) ++repeats;
+      }
+      ++in_window[seq[t]];
+      if (window > 0 && t + 1 > static_cast<size_t>(window)) {
+        const ItemId leaving = seq[t - static_cast<size_t>(window)];
+        auto it = in_window.find(leaving);
+        if (--it->second == 0) in_window.erase(it);
+      }
+    }
+  }
+
+  if (stats.num_users > 0) {
+    stats.mean_sequence_length =
+        static_cast<double>(stats.num_interactions) /
+        static_cast<double>(stats.num_users);
+    stats.mean_user_item_pool =
+        pool_total / static_cast<double>(stats.num_users);
+    stats.min_sequence_length = min_len;
+    stats.max_sequence_length = max_len;
+  }
+  if (considered > 0) {
+    stats.repeat_fraction =
+        static_cast<double>(repeats) / static_cast<double>(considered);
+  }
+  return stats;
+}
+
+std::string FormatDatasetStats(const std::string& name,
+                               const DatasetStats& stats) {
+  std::ostringstream out;
+  out << name << ": users=" << util::FormatWithCommas(stats.num_users)
+      << " items=" << util::FormatWithCommas(stats.num_items)
+      << " consumption=" << util::FormatWithCommas(stats.num_interactions)
+      << util::StringPrintf(
+             " mean|S_u|=%.1f [%lld..%lld] repeat%%=%.1f pool=%.1f",
+             stats.mean_sequence_length,
+             static_cast<long long>(stats.min_sequence_length),
+             static_cast<long long>(stats.max_sequence_length),
+             100.0 * stats.repeat_fraction, stats.mean_user_item_pool);
+  return out.str();
+}
+
+}  // namespace data
+}  // namespace reconsume

@@ -1,0 +1,40 @@
+// Dataset summary statistics: the Table 2 report plus the repeat-behaviour
+// profile numbers the experiment logs print.
+
+#ifndef RECONSUME_DATA_DATASET_STATS_H_
+#define RECONSUME_DATA_DATASET_STATS_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace reconsume {
+namespace data {
+
+/// \brief Summary statistics of a dataset (Table 2 of the paper, extended).
+struct DatasetStats {
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  int64_t num_interactions = 0;
+  double mean_sequence_length = 0.0;
+  int64_t min_sequence_length = 0;
+  int64_t max_sequence_length = 0;
+  /// Fraction of events that repeat an item already present in the trailing
+  /// window of size `window` used to compute these stats.
+  double repeat_fraction = 0.0;
+  /// Mean distinct items per user.
+  double mean_user_item_pool = 0.0;
+};
+
+/// Computes stats; `window` is the time-window capacity |W| used for the
+/// repeat fraction (0 means "ever consumed before" instead of windowed).
+DatasetStats ComputeDatasetStats(const Dataset& dataset, int window);
+
+/// Renders a Table-2-style row block.
+std::string FormatDatasetStats(const std::string& name,
+                               const DatasetStats& stats);
+
+}  // namespace data
+}  // namespace reconsume
+
+#endif  // RECONSUME_DATA_DATASET_STATS_H_

@@ -1,0 +1,116 @@
+#include "data/loaders.h"
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace reconsume {
+namespace data {
+
+namespace {
+
+// Days in each month of a non-leap year.
+constexpr int kDaysInMonth[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+
+bool IsLeapYear(int y) { return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0; }
+
+}  // namespace
+
+Result<int64_t> ParseIso8601(std::string_view text) {
+  // Expected: YYYY-MM-DDTHH:MM:SSZ (20 chars; trailing Z optional).
+  if (text.size() < 19) {
+    return Status::InvalidArgument("timestamp too short: '" +
+                                   std::string(text) + "'");
+  }
+  auto digits = [&](size_t pos, size_t len) -> Result<int64_t> {
+    return util::ParseInt64(text.substr(pos, len));
+  };
+  if (text[4] != '-' || text[7] != '-' ||
+      (text[10] != 'T' && text[10] != ' ') || text[13] != ':' ||
+      text[16] != ':') {
+    return Status::InvalidArgument("malformed timestamp: '" +
+                                   std::string(text) + "'");
+  }
+  RECONSUME_ASSIGN_OR_RETURN(const int64_t year, digits(0, 4));
+  RECONSUME_ASSIGN_OR_RETURN(const int64_t month, digits(5, 2));
+  RECONSUME_ASSIGN_OR_RETURN(const int64_t day, digits(8, 2));
+  RECONSUME_ASSIGN_OR_RETURN(const int64_t hour, digits(11, 2));
+  RECONSUME_ASSIGN_OR_RETURN(const int64_t minute, digits(14, 2));
+  RECONSUME_ASSIGN_OR_RETURN(const int64_t second, digits(17, 2));
+  if (month < 1 || month > 12 || day < 1 || day > 31 || hour > 23 ||
+      minute > 59 || second > 60) {
+    return Status::InvalidArgument("timestamp field out of range: '" +
+                                   std::string(text) + "'");
+  }
+
+  // Days since 1970-01-01 (proleptic, ignores leap seconds).
+  int64_t days = 0;
+  if (year >= 1970) {
+    for (int64_t y = 1970; y < year; ++y) days += IsLeapYear(static_cast<int>(y)) ? 366 : 365;
+  } else {
+    for (int64_t y = year; y < 1970; ++y) days -= IsLeapYear(static_cast<int>(y)) ? 366 : 365;
+  }
+  for (int64_t m = 1; m < month; ++m) {
+    days += kDaysInMonth[m - 1];
+    if (m == 2 && IsLeapYear(static_cast<int>(year))) ++days;
+  }
+  days += day - 1;
+  return ((days * 24 + hour) * 60 + minute) * 60 + second;
+}
+
+Result<Dataset> GowallaLoader::Load(const std::string& path,
+                                    int64_t max_events) {
+  RECONSUME_ASSIGN_OR_RETURN(
+      util::DelimitedReader reader,
+      util::DelimitedReader::Open(path, {.delimiter = '\t'}));
+  DatasetBuilder builder;
+  std::vector<std::string_view> fields;
+  while (reader.Next(&fields)) {
+    if (max_events > 0 && builder.num_pending() >= max_events) break;
+    if (fields.size() != 5) {
+      return reader.Error("expected 5 tab-separated fields, got " +
+                          std::to_string(fields.size()));
+    }
+    auto ts = ParseIso8601(fields[1]);
+    if (!ts.ok()) return reader.Error(ts.status().message());
+    RECONSUME_RETURN_NOT_OK(builder.Add(RawInteraction{
+        std::string(fields[0]), std::string(fields[4]), ts.ValueOrDie()}));
+  }
+  if (builder.num_pending() == 0) {
+    return Status::InvalidArgument("no events in '" + path + "'");
+  }
+  return builder.Build();
+}
+
+Result<Dataset> LastfmLoader::Load(const std::string& path,
+                                   int64_t max_events) {
+  RECONSUME_ASSIGN_OR_RETURN(
+      util::DelimitedReader reader,
+      util::DelimitedReader::Open(path, {.delimiter = '\t'}));
+  DatasetBuilder builder;
+  std::vector<std::string_view> fields;
+  while (reader.Next(&fields)) {
+    if (max_events > 0 && builder.num_pending() >= max_events) break;
+    if (fields.size() != 6) {
+      return reader.Error("expected 6 tab-separated fields, got " +
+                          std::to_string(fields.size()));
+    }
+    auto ts = ParseIso8601(fields[1]);
+    if (!ts.ok()) return reader.Error(ts.status().message());
+    std::string item_key(fields[4]);  // musicbrainz track id
+    if (item_key.empty()) {
+      item_key = std::string(fields[3]) + "||" + std::string(fields[5]);
+    }
+    if (item_key.empty() || item_key == "||") {
+      return reader.Error("row has neither track id nor names");
+    }
+    RECONSUME_RETURN_NOT_OK(builder.Add(RawInteraction{
+        std::string(fields[0]), std::move(item_key), ts.ValueOrDie()}));
+  }
+  if (builder.num_pending() == 0) {
+    return Status::InvalidArgument("no events in '" + path + "'");
+  }
+  return builder.Build();
+}
+
+}  // namespace data
+}  // namespace reconsume

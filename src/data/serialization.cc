@@ -1,0 +1,46 @@
+#include "data/serialization.h"
+
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace reconsume {
+namespace data {
+
+Status SaveDatasetTsv(const Dataset& dataset, const std::string& path) {
+  std::ostringstream out;
+  for (size_t u = 0; u < dataset.num_users(); ++u) {
+    const auto& seq = dataset.sequence(static_cast<UserId>(u));
+    for (size_t t = 0; t < seq.size(); ++t) {
+      out << dataset.user_key(static_cast<UserId>(u)) << '\t'
+          << dataset.item_key(seq[t]) << '\t' << t << '\n';
+    }
+  }
+  return util::WriteStringToFile(path, out.str());
+}
+
+Result<Dataset> LoadDatasetTsv(const std::string& path) {
+  RECONSUME_ASSIGN_OR_RETURN(
+      util::DelimitedReader reader,
+      util::DelimitedReader::Open(path, {.delimiter = '\t'}));
+  DatasetBuilder builder;
+  std::vector<std::string_view> fields;
+  while (reader.Next(&fields)) {
+    if (fields.size() != 3) {
+      return reader.Error("expected 3 tab-separated fields, got " +
+                          std::to_string(fields.size()));
+    }
+    auto ts = util::ParseInt64(fields[2]);
+    if (!ts.ok()) return reader.Error(ts.status().message());
+    RECONSUME_RETURN_NOT_OK(builder.Add(RawInteraction{
+        std::string(fields[0]), std::string(fields[1]), ts.ValueOrDie()}));
+  }
+  if (builder.num_pending() == 0) {
+    return Status::InvalidArgument("no events in '" + path + "'");
+  }
+  return builder.Build();
+}
+
+}  // namespace data
+}  // namespace reconsume

@@ -1,0 +1,27 @@
+// Plain-text round-tripping of datasets: one "user_key \t item_key \t step"
+// row per event. Used to cache generated traces and to feed external tools.
+
+#ifndef RECONSUME_DATA_SERIALIZATION_H_
+#define RECONSUME_DATA_SERIALIZATION_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace reconsume {
+namespace data {
+
+/// Writes `dataset` to `path` in the TSV event format. Events are emitted in
+/// per-user sequence order with the step index as the timestamp, so a reload
+/// reproduces identical sequences.
+Status SaveDatasetTsv(const Dataset& dataset, const std::string& path);
+
+/// Loads a TSV event file written by SaveDatasetTsv (or any
+/// "user \t item \t integer-time" file).
+Result<Dataset> LoadDatasetTsv(const std::string& path);
+
+}  // namespace data
+}  // namespace reconsume
+
+#endif  // RECONSUME_DATA_SERIALIZATION_H_

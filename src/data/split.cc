@@ -1,0 +1,37 @@
+#include "data/split.h"
+
+#include <cmath>
+
+namespace reconsume {
+namespace data {
+
+Result<TrainTestSplit> TrainTestSplit::Temporal(const Dataset* dataset,
+                                                double train_fraction) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("TrainTestSplit: null dataset");
+  }
+  if (!(train_fraction > 0.0 && train_fraction < 1.0)) {
+    return Status::InvalidArgument(
+        "TrainTestSplit: train_fraction must be in (0, 1)");
+  }
+  std::vector<size_t> split_points(dataset->num_users());
+  for (size_t u = 0; u < dataset->num_users(); ++u) {
+    const size_t len = dataset->sequence(static_cast<UserId>(u)).size();
+    split_points[u] = static_cast<size_t>(
+        std::floor(train_fraction * static_cast<double>(len)));
+  }
+  return TrainTestSplit(dataset, std::move(split_points));
+}
+
+int64_t TrainTestSplit::total_train_events() const {
+  int64_t total = 0;
+  for (size_t p : split_points_) total += static_cast<int64_t>(p);
+  return total;
+}
+
+int64_t TrainTestSplit::total_test_events() const {
+  return dataset_->num_interactions() - total_train_events();
+}
+
+}  // namespace data
+}  // namespace reconsume

@@ -1,0 +1,52 @@
+// Per-user temporal train/test split (paper §5.1: first 70% train, rest test).
+
+#ifndef RECONSUME_DATA_SPLIT_H_
+#define RECONSUME_DATA_SPLIT_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace reconsume {
+namespace data {
+
+/// \brief A temporal split of a Dataset.
+///
+/// Holds a reference to the dataset plus, per user, the index of the first
+/// test event. Training code touches positions t < split_point(u);
+/// evaluation touches t >= split_point(u) and its windows are allowed to look
+/// back across the boundary (the paper evaluates sliding windows over the
+/// full sequence).
+class TrainTestSplit {
+ public:
+  /// Splits each user's sequence at floor(train_fraction * |S_u|).
+  static Result<TrainTestSplit> Temporal(const Dataset* dataset,
+                                         double train_fraction);
+
+  const Dataset& dataset() const { return *dataset_; }
+
+  /// First test position for user u (== train length).
+  size_t split_point(UserId u) const {
+    return split_points_.at(static_cast<size_t>(u));
+  }
+  size_t train_size(UserId u) const { return split_point(u); }
+  size_t test_size(UserId u) const {
+    return dataset_->sequence(u).size() - split_point(u);
+  }
+
+  int64_t total_train_events() const;
+  int64_t total_test_events() const;
+
+ private:
+  TrainTestSplit(const Dataset* dataset, std::vector<size_t> split_points)
+      : dataset_(dataset), split_points_(std::move(split_points)) {}
+
+  const Dataset* dataset_;
+  std::vector<size_t> split_points_;
+};
+
+}  // namespace data
+}  // namespace reconsume
+
+#endif  // RECONSUME_DATA_SPLIT_H_

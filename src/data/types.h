@@ -1,0 +1,41 @@
+// Core identifier and event types shared across the library.
+//
+// Users and items are compacted to dense 32-bit indices at dataset build time
+// so that model tables (U, V, A_u) can be flat arrays.
+
+#ifndef RECONSUME_DATA_TYPES_H_
+#define RECONSUME_DATA_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reconsume {
+namespace data {
+
+/// Dense user index in [0, num_users).
+using UserId = int32_t;
+/// Dense item index in [0, num_items).
+using ItemId = int32_t;
+/// Position of a consumption inside a user's time-ascending sequence.
+/// The paper represents "time" by this discrete step (Section 3).
+using Step = int32_t;
+
+constexpr UserId kInvalidUser = -1;
+constexpr ItemId kInvalidItem = -1;
+
+/// \brief One raw implicit-feedback event before id compaction.
+struct RawInteraction {
+  std::string user_key;   ///< external user identifier (string form)
+  std::string item_key;   ///< external item identifier (string form)
+  int64_t timestamp = 0;  ///< seconds (or any monotone unit); ties keep input order
+};
+
+/// \brief A user's full consumption sequence S_u: a time-ascending list of
+/// item ids where repetition is expected.
+using ConsumptionSequence = std::vector<ItemId>;
+
+}  // namespace data
+}  // namespace reconsume
+
+#endif  // RECONSUME_DATA_TYPES_H_

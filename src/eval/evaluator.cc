@@ -1,0 +1,248 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace reconsume {
+namespace eval {
+
+namespace {
+
+size_t IndexOfTopN(const std::vector<int>& top_ns, int n) {
+  for (size_t i = 0; i < top_ns.size(); ++i) {
+    if (top_ns[i] == n) return i;
+  }
+  RECONSUME_CHECK(false) << "Top-" << n << " was not evaluated";
+  return 0;
+}
+
+/// Everything one worker accumulates; merged after the parallel section.
+struct Accumulator {
+  std::vector<int64_t> global_hits;
+  std::vector<double> miap_sums;
+  int64_t total_instances = 0;
+  int num_users_evaluated = 0;
+  double total_candidates = 0.0;
+  double total_latency_ms = 0.0;
+  std::vector<PerUserResult> per_user;
+
+  explicit Accumulator(size_t num_cutoffs)
+      : global_hits(num_cutoffs, 0), miap_sums(num_cutoffs, 0.0) {}
+
+  void Merge(const Accumulator& other) {
+    for (size_t c = 0; c < global_hits.size(); ++c) {
+      global_hits[c] += other.global_hits[c];
+      miap_sums[c] += other.miap_sums[c];
+    }
+    total_instances += other.total_instances;
+    num_users_evaluated += other.num_users_evaluated;
+    total_candidates += other.total_candidates;
+    total_latency_ms += other.total_latency_ms;
+    per_user.insert(per_user.end(), other.per_user.begin(),
+                    other.per_user.end());
+  }
+};
+
+}  // namespace
+
+double AccuracyResult::MaapAt(int n) const {
+  return maap.at(IndexOfTopN(top_ns, n));
+}
+double AccuracyResult::MiapAt(int n) const {
+  return miap.at(IndexOfTopN(top_ns, n));
+}
+
+Evaluator::Evaluator(const data::TrainTestSplit* split, EvalOptions options)
+    : split_(split), options_(std::move(options)) {
+  RECONSUME_CHECK(split != nullptr);
+  RECONSUME_CHECK(!options_.top_ns.empty());
+  RECONSUME_CHECK(options_.window_capacity >= 2);
+  RECONSUME_CHECK(options_.min_gap >= 0 &&
+                  options_.min_gap < options_.window_capacity)
+      << "require 0 <= Omega < |W|";
+}
+
+void Evaluator::EvaluateUser(Recommender* recommender, data::UserId user,
+                             void* accumulator_opaque) const {
+  Accumulator& accumulator = *static_cast<Accumulator*>(accumulator_opaque);
+  const data::Dataset& dataset = split_->dataset();
+  const size_t num_cutoffs = options_.top_ns.size();
+  const auto& seq = dataset.sequence(user);
+  const size_t test_begin = split_->split_point(user);
+  window::WindowWalker walker(&seq, options_.window_capacity);
+
+  // Warm the window over the training segment without evaluating.
+  while (static_cast<size_t>(walker.step()) < test_begin) walker.Advance();
+
+  std::vector<data::ItemId> candidates;
+  std::vector<double> scores;
+  util::Stopwatch stopwatch;
+  std::vector<int64_t> user_hits(num_cutoffs, 0);
+  int64_t user_instances = 0;
+
+  while (!walker.Done()) {
+    bool is_instance = false;
+    switch (options_.task) {
+      case EvalTask::kRepeat:
+        is_instance = walker.NextIsEligibleRepeat(options_.min_gap);
+        break;
+      case EvalTask::kNovel:
+        is_instance = walker.step() > 0 && !walker.NextIsRepeat();
+        break;
+      case EvalTask::kUnified:
+        is_instance = walker.step() > 0;
+        break;
+    }
+    if (is_instance && (!options_.instance_filter ||
+                        options_.instance_filter(user, walker))) {
+      const data::ItemId target = walker.NextItem();
+      if (options_.task == EvalTask::kRepeat) {
+        walker.EligibleCandidates(options_.min_gap, &candidates);
+      } else {
+        // Catalog-wide candidate set; kNovel excludes the window.
+        candidates.clear();
+        for (size_t v = 0; v < dataset.num_items(); ++v) {
+          const data::ItemId item = static_cast<data::ItemId>(v);
+          if (options_.task == EvalTask::kNovel && walker.Contains(item)) {
+            continue;
+          }
+          candidates.push_back(item);
+        }
+      }
+      // The target is eligible by construction, so candidates is non-empty.
+      scores.assign(candidates.size(), 0.0);
+      if (options_.measure_latency) stopwatch.Restart();
+      recommender->Score(user, walker, candidates, scores);
+      if (options_.measure_latency) {
+        accumulator.total_latency_ms += stopwatch.ElapsedMillis();
+      }
+
+      // Rank of the target under (score desc, candidate order asc).
+      size_t target_index = candidates.size();
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if (candidates[i] == target) {
+          target_index = i;
+          break;
+        }
+      }
+      RECONSUME_DCHECK(target_index < candidates.size());
+      const double target_score = scores[target_index];
+      size_t rank = 0;
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if (scores[i] > target_score ||
+            (scores[i] == target_score && i < target_index)) {
+          ++rank;
+        }
+      }
+
+      for (size_t c = 0; c < num_cutoffs; ++c) {
+        if (rank < static_cast<size_t>(options_.top_ns[c])) {
+          ++user_hits[c];
+        }
+      }
+      ++user_instances;
+      accumulator.total_candidates += static_cast<double>(candidates.size());
+    }
+    walker.Advance();
+  }
+
+  if (user_instances > 0) {
+    ++accumulator.num_users_evaluated;
+    accumulator.total_instances += user_instances;
+    for (size_t c = 0; c < num_cutoffs; ++c) {
+      accumulator.global_hits[c] += user_hits[c];
+      accumulator.miap_sums[c] += static_cast<double>(user_hits[c]) /
+                                  static_cast<double>(user_instances);
+    }
+    if (options_.collect_per_user) {
+      accumulator.per_user.push_back(
+          PerUserResult{user, user_instances, user_hits});
+    }
+  }
+}
+
+Result<AccuracyResult> Evaluator::Evaluate(Recommender* recommender) const {
+  if (recommender == nullptr) {
+    return Status::InvalidArgument("Evaluate: null recommender");
+  }
+  const data::Dataset& dataset = split_->dataset();
+  const size_t num_users = dataset.num_users();
+  const size_t num_cutoffs = options_.top_ns.size();
+
+  Accumulator total(num_cutoffs);
+
+  const int want_threads =
+      std::min<int>(options_.num_threads, static_cast<int>(num_users));
+  bool parallel = want_threads > 1;
+  std::vector<std::unique_ptr<Recommender>> clones;
+  if (parallel) {
+    for (int t = 0; t < want_threads; ++t) {
+      auto clone = recommender->Clone();
+      if (clone == nullptr) {
+        parallel = false;  // method does not support cloning
+        break;
+      }
+      clones.push_back(std::move(clone));
+    }
+  }
+
+  if (!parallel) {
+    for (size_t u = 0; u < num_users; ++u) {
+      EvaluateUser(recommender, static_cast<data::UserId>(u), &total);
+    }
+  } else {
+    // Contiguous user chunks, one accumulator and clone per worker.
+    const size_t num_workers = clones.size();
+    std::vector<Accumulator> partials(num_workers, Accumulator(num_cutoffs));
+    util::ThreadPool pool(num_workers);
+    for (size_t w = 0; w < num_workers; ++w) {
+      pool.Submit([this, w, num_workers, num_users, &clones, &partials] {
+        const size_t begin = w * num_users / num_workers;
+        const size_t end = (w + 1) * num_users / num_workers;
+        for (size_t u = begin; u < end; ++u) {
+          EvaluateUser(clones[w].get(), static_cast<data::UserId>(u),
+                       &partials[w]);
+        }
+      });
+    }
+    pool.Wait();
+    for (const Accumulator& partial : partials) total.Merge(partial);
+  }
+
+  AccuracyResult result;
+  result.method = recommender->name();
+  result.top_ns = options_.top_ns;
+  result.maap.assign(num_cutoffs, 0.0);
+  result.miap.assign(num_cutoffs, 0.0);
+  result.num_instances = total.total_instances;
+  result.num_users_evaluated = total.num_users_evaluated;
+  if (total.total_instances > 0) {
+    for (size_t c = 0; c < num_cutoffs; ++c) {
+      result.maap[c] = static_cast<double>(total.global_hits[c]) /
+                       static_cast<double>(total.total_instances);
+    }
+    result.mean_candidates =
+        total.total_candidates / static_cast<double>(total.total_instances);
+    result.mean_score_latency_ms =
+        total.total_latency_ms / static_cast<double>(total.total_instances);
+  }
+  if (total.num_users_evaluated > 0) {
+    for (size_t c = 0; c < num_cutoffs; ++c) {
+      result.miap[c] = total.miap_sums[c] /
+                       static_cast<double>(total.num_users_evaluated);
+    }
+  }
+  result.per_user = std::move(total.per_user);
+  std::sort(result.per_user.begin(), result.per_user.end(),
+            [](const PerUserResult& a, const PerUserResult& b) {
+              return a.user < b.user;
+            });
+  return result;
+}
+
+}  // namespace eval
+}  // namespace reconsume

@@ -1,0 +1,111 @@
+// The RRC evaluation protocol of §5.1/§5.3: slide a window over each user's
+// test segment, and at every eligible repeat event ask the recommender to
+// rank the window candidates. Reports MaAP@N and MiAP@N (Eq. 22–24).
+
+#ifndef RECONSUME_EVAL_EVALUATOR_H_
+#define RECONSUME_EVAL_EVALUATOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/split.h"
+#include "eval/recommender.h"
+#include "util/status.h"
+
+namespace reconsume {
+namespace eval {
+
+/// \brief Which task the protocol evaluates.
+enum class EvalTask {
+  /// RRC (the paper's protocol): instances are eligible windowed repeats,
+  /// candidates are the window items older than Omega.
+  kRepeat,
+  /// Novel-item recommendation (§4.3 extension): instances are out-of-window
+  /// consumptions, candidates are every catalog item outside the window.
+  kNovel,
+  /// Unified next-item task (the paper's §6 future-work setting): every
+  /// consumption is an instance and the whole catalog is the candidate set;
+  /// used to evaluate repeat/novel mixtures.
+  kUnified,
+};
+
+struct EvalOptions {
+  int window_capacity = 100;     ///< |W|
+  int min_gap = 10;              ///< Omega (kRepeat only)
+  EvalTask task = EvalTask::kRepeat;
+  std::vector<int> top_ns = {1, 5, 10};
+  /// When true, accumulates wall-clock time of Score() calls so that
+  /// mean_score_latency_ms is meaningful (Fig. 13).
+  bool measure_latency = false;
+  /// When true, AccuracyResult::per_user is populated (paired significance
+  /// tests need the per-user precisions).
+  bool collect_per_user = false;
+  /// Evaluate users in parallel with this many threads. Requires the
+  /// recommender to support Clone(); falls back to 1 thread otherwise.
+  /// Aggregate metrics are identical to the serial run for deterministic
+  /// recommenders (the Random baseline draws in a different order).
+  int num_threads = 1;
+  /// Optional gate: evaluate an instance only if this returns true (used by
+  /// the STREC + TS-PPR combination, Table 5). Receives the user and the
+  /// walker state W_{u,t-1}. Null = evaluate every eligible instance.
+  std::function<bool(data::UserId, const window::WindowWalker&)>
+      instance_filter;
+};
+
+/// \brief Per-user tally (populated when EvalOptions::collect_per_user).
+struct PerUserResult {
+  data::UserId user = data::kInvalidUser;
+  int64_t instances = 0;
+  std::vector<int64_t> hits;  ///< parallel to AccuracyResult::top_ns
+
+  /// P(u) at the cutoff index.
+  double Precision(size_t cutoff_index) const {
+    return instances > 0 ? static_cast<double>(hits.at(cutoff_index)) /
+                               static_cast<double>(instances)
+                         : 0.0;
+  }
+};
+
+/// \brief Accuracy (and optional latency) of one recommender.
+struct AccuracyResult {
+  std::string method;
+  std::vector<int> top_ns;
+  std::vector<double> maap;  ///< parallel to top_ns (Eq. 23)
+  std::vector<double> miap;  ///< parallel to top_ns (Eq. 24)
+  int64_t num_instances = 0;       ///< recommendation lists generated
+  int num_users_evaluated = 0;     ///< users with >= 1 instance
+  double mean_score_latency_ms = 0.0;
+  double mean_candidates = 0.0;    ///< average candidate-set size
+  /// One entry per evaluated user when EvalOptions::collect_per_user is set.
+  std::vector<PerUserResult> per_user;
+
+  /// Value lookup; dies if n was not evaluated.
+  double MaapAt(int n) const;
+  double MiapAt(int n) const;
+};
+
+/// \brief Runs the protocol over the test segments of a split.
+class Evaluator {
+ public:
+  /// `split` must outlive the evaluator.
+  Evaluator(const data::TrainTestSplit* split, EvalOptions options);
+
+  /// Evaluates one recommender over every user's test segment.
+  Result<AccuracyResult> Evaluate(Recommender* recommender) const;
+
+  const EvalOptions& options() const { return options_; }
+
+ private:
+  /// Walks one user's test segment into the (type-erased) Accumulator.
+  void EvaluateUser(Recommender* recommender, data::UserId user,
+                    void* accumulator_opaque) const;
+
+  const data::TrainTestSplit* split_;
+  EvalOptions options_;
+};
+
+}  // namespace eval
+}  // namespace reconsume
+
+#endif  // RECONSUME_EVAL_EVALUATOR_H_

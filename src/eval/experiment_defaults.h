@@ -1,0 +1,44 @@
+// Table 4 of the paper: default hyperparameter settings per dataset, plus
+// the protocol constants shared by every experiment.
+
+#ifndef RECONSUME_EVAL_EXPERIMENT_DEFAULTS_H_
+#define RECONSUME_EVAL_EXPERIMENT_DEFAULTS_H_
+
+#include <string>
+
+namespace reconsume {
+namespace eval {
+
+/// \brief Per-dataset default hyperparameters (Table 4).
+struct ExperimentDefaults {
+  std::string dataset_name;
+  double lambda = 0.01;  ///< regularization on the mappings A_u
+  double gamma = 0.05;   ///< regularization on U, V
+  int latent_dim = 40;   ///< K
+  int negatives = 10;    ///< S
+  int min_gap = 10;      ///< Omega
+  int window_capacity = 100;  ///< |W| (§5.1)
+  double train_fraction = 0.7;
+  int min_train_events = 100;  ///< keep users with 0.7|S_u| >= 100
+
+  static ExperimentDefaults Gowalla() {
+    ExperimentDefaults d;
+    d.dataset_name = "Gowalla";
+    d.lambda = 0.01;
+    d.gamma = 0.05;
+    return d;
+  }
+
+  static ExperimentDefaults Lastfm() {
+    ExperimentDefaults d;
+    d.dataset_name = "Lastfm";
+    d.lambda = 0.001;
+    d.gamma = 0.1;
+    return d;
+  }
+};
+
+}  // namespace eval
+}  // namespace reconsume
+
+#endif  // RECONSUME_EVAL_EXPERIMENT_DEFAULTS_H_

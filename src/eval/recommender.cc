@@ -1,0 +1,27 @@
+#include "eval/recommender.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace reconsume {
+namespace eval {
+
+void SelectTopN(std::span<const double> scores, int n, std::vector<int>* top) {
+  top->resize(scores.size());
+  std::iota(top->begin(), top->end(), 0);
+  const size_t take = std::min(static_cast<size_t>(std::max(n, 0)),
+                               scores.size());
+  std::partial_sort(top->begin(), top->begin() + static_cast<ptrdiff_t>(take),
+                    top->end(), [&](int a, int b) {
+                      if (scores[static_cast<size_t>(a)] !=
+                          scores[static_cast<size_t>(b)]) {
+                        return scores[static_cast<size_t>(a)] >
+                               scores[static_cast<size_t>(b)];
+                      }
+                      return a < b;
+                    });
+  top->resize(take);
+}
+
+}  // namespace eval
+}  // namespace reconsume

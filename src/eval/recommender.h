@@ -1,0 +1,54 @@
+// The method-agnostic recommender interface that the evaluation protocol
+// drives. TS-PPR (src/core) and every baseline (src/baselines) implement it.
+
+#ifndef RECONSUME_EVAL_RECOMMENDER_H_
+#define RECONSUME_EVAL_RECOMMENDER_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/types.h"
+#include "window/window_walker.h"
+
+namespace reconsume {
+namespace eval {
+
+/// \brief A scorer over RRC candidate items.
+///
+/// `Score` receives the window state W_{u,t-1} (via the walker) and the
+/// candidate set (items in the window with gap > Omega) and writes one
+/// preference score per candidate; higher means more preferred. The
+/// evaluator performs the top-N selection with deterministic tie-breaking,
+/// so methods only express relative preference.
+///
+/// Score may mutate internal state (e.g. the Random baseline's RNG), hence
+/// non-const.
+class Recommender {
+ public:
+  virtual ~Recommender() = default;
+
+  /// Display name used in result tables ("TS-PPR", "Pop", ...).
+  virtual std::string name() const = 0;
+
+  virtual void Score(data::UserId user, const window::WindowWalker& walker,
+                     std::span<const data::ItemId> candidates,
+                     std::span<double> scores) = 0;
+
+  /// An independent copy safe to call from another thread (model parameters
+  /// may be shared through const pointers; mutable scratch must not be).
+  /// Returns null when the method does not support cloning — the evaluator
+  /// then falls back to single-threaded evaluation.
+  virtual std::unique_ptr<Recommender> Clone() const { return nullptr; }
+};
+
+/// Writes the indices of the top-n scores into *top (descending score,
+/// ascending candidate index on ties). n is clamped to candidates.size().
+void SelectTopN(std::span<const double> scores, int n,
+                std::vector<int>* top);
+
+}  // namespace eval
+}  // namespace reconsume
+
+#endif  // RECONSUME_EVAL_RECOMMENDER_H_

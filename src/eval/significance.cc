@@ -1,0 +1,145 @@
+#include "eval/significance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace reconsume {
+namespace eval {
+
+namespace {
+
+/// Standard normal two-sided tail probability via erfc.
+double TwoSidedNormalP(double z) {
+  return std::erfc(std::fabs(z) / std::sqrt(2.0));
+}
+
+}  // namespace
+
+double SignTestPValue(int wins, int trials) {
+  if (trials <= 0) return 1.0;
+  RECONSUME_CHECK(wins >= 0 && wins <= trials);
+  // Two-sided exact binomial: P(X <= min(w, n-w)) + P(X >= max(w, n-w))
+  // under X ~ Bin(n, 0.5). Computed in log space for large n.
+  const int k = std::min(wins, trials - wins);
+  auto log_choose = [](int n, int r) {
+    return std::lgamma(n + 1.0) - std::lgamma(r + 1.0) -
+           std::lgamma(n - r + 1.0);
+  };
+  double tail = 0.0;
+  for (int i = 0; i <= k; ++i) {
+    tail += std::exp(log_choose(trials, i) -
+                     static_cast<double>(trials) * std::log(2.0));
+  }
+  // Symmetric distribution: double one tail, clamp for the w == n/2 overlap.
+  return std::min(1.0, 2.0 * tail);
+}
+
+double WilcoxonSignedRankPValue(const std::vector<double>& differences) {
+  std::vector<double> nonzero;
+  nonzero.reserve(differences.size());
+  for (double d : differences) {
+    if (d != 0.0) nonzero.push_back(d);
+  }
+  const size_t n = nonzero.size();
+  if (n < 10) return 1.0;  // normal approximation not credible below this
+
+  // Rank |d| ascending with average ranks for ties.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return std::fabs(nonzero[a]) < std::fabs(nonzero[b]);
+  });
+  std::vector<double> ranks(n);
+  double tie_correction = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && std::fabs(nonzero[order[j + 1]]) ==
+                            std::fabs(nonzero[order[i]])) {
+      ++j;
+    }
+    const double avg_rank =
+        (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    const double t = static_cast<double>(j - i + 1);
+    tie_correction += t * t * t - t;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+
+  double w_plus = 0.0;
+  for (size_t idx = 0; idx < n; ++idx) {
+    if (nonzero[idx] > 0) w_plus += ranks[idx];
+  }
+  const double nd = static_cast<double>(n);
+  const double mean = nd * (nd + 1.0) / 4.0;
+  double variance = nd * (nd + 1.0) * (2.0 * nd + 1.0) / 24.0;
+  variance -= tie_correction / 48.0;
+  if (variance <= 0.0) return 1.0;
+  // Continuity correction.
+  const double z = (w_plus - mean - (w_plus > mean ? 0.5 : -0.5)) /
+                   std::sqrt(variance);
+  return TwoSidedNormalP(z);
+}
+
+Result<std::vector<PairedComparison>> ComparePaired(
+    const data::TrainTestSplit& split, const EvalOptions& options,
+    Recommender* method_a, Recommender* method_b) {
+  if (method_a == nullptr || method_b == nullptr) {
+    return Status::InvalidArgument("ComparePaired: null recommender");
+  }
+  EvalOptions per_user_options = options;
+  per_user_options.collect_per_user = true;
+  Evaluator evaluator(&split, per_user_options);
+  RECONSUME_ASSIGN_OR_RETURN(const AccuracyResult result_a,
+                             evaluator.Evaluate(method_a));
+  RECONSUME_ASSIGN_OR_RETURN(const AccuracyResult result_b,
+                             evaluator.Evaluate(method_b));
+  if (result_a.per_user.size() != result_b.per_user.size()) {
+    return Status::Internal(
+        "paired evaluation produced different user sets (protocol must be "
+        "deterministic)");
+  }
+
+  std::vector<PairedComparison> comparisons;
+  for (size_t c = 0; c < options.top_ns.size(); ++c) {
+    PairedComparison comparison;
+    comparison.method_a = result_a.method;
+    comparison.method_b = result_b.method;
+    comparison.top_n = options.top_ns[c];
+
+    std::vector<double> differences;
+    differences.reserve(result_a.per_user.size());
+    for (size_t u = 0; u < result_a.per_user.size(); ++u) {
+      const PerUserResult& a = result_a.per_user[u];
+      const PerUserResult& b = result_b.per_user[u];
+      if (a.user != b.user || a.instances != b.instances) {
+        return Status::Internal("paired evaluation instance mismatch");
+      }
+      const double diff = a.Precision(c) - b.Precision(c);
+      differences.push_back(diff);
+      comparison.mean_difference += diff;
+      if (diff > 0) {
+        ++comparison.wins_a;
+      } else if (diff < 0) {
+        ++comparison.wins_b;
+      } else {
+        ++comparison.ties;
+      }
+    }
+    comparison.num_users = static_cast<int>(result_a.per_user.size());
+    if (comparison.num_users > 0) {
+      comparison.mean_difference /= comparison.num_users;
+    }
+    comparison.sign_test_p = SignTestPValue(
+        comparison.wins_a, comparison.wins_a + comparison.wins_b);
+    comparison.wilcoxon_p = WilcoxonSignedRankPValue(differences);
+    comparisons.push_back(std::move(comparison));
+  }
+  return comparisons;
+}
+
+}  // namespace eval
+}  // namespace reconsume

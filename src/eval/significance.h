@@ -1,0 +1,57 @@
+// Paired per-user significance testing between two recommenders.
+//
+// The paper reports point estimates only; for a credible reproduction the
+// harness also answers "is the TS-PPR win real?" — both methods are evaluated
+// on exactly the same instances, per-user precisions P(u) are paired, and a
+// sign test plus a Wilcoxon signed-rank test (normal approximation) give
+// p-values for the difference.
+
+#ifndef RECONSUME_EVAL_SIGNIFICANCE_H_
+#define RECONSUME_EVAL_SIGNIFICANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/split.h"
+#include "eval/evaluator.h"
+#include "util/status.h"
+
+namespace reconsume {
+namespace eval {
+
+/// \brief Paired comparison of two methods at one cutoff.
+struct PairedComparison {
+  std::string method_a;
+  std::string method_b;
+  int top_n = 0;
+  int num_users = 0;       ///< users with >= 1 evaluated instance
+  int wins_a = 0;          ///< users where P_a(u) > P_b(u)
+  int wins_b = 0;
+  int ties = 0;
+  double mean_difference = 0.0;  ///< mean of P_a(u) - P_b(u)
+  /// Two-sided sign-test p-value over the non-tied users (exact binomial).
+  double sign_test_p = 1.0;
+  /// Two-sided Wilcoxon signed-rank p-value (normal approximation with
+  /// tie correction); 1.0 when fewer than 10 non-tied users.
+  double wilcoxon_p = 1.0;
+};
+
+/// Evaluates both methods over the split's test segments with `options` and
+/// pairs their per-user precisions at each cutoff in options.top_ns.
+/// Both methods see identical instances (the protocol is deterministic).
+Result<std::vector<PairedComparison>> ComparePaired(
+    const data::TrainTestSplit& split, const EvalOptions& options,
+    Recommender* method_a, Recommender* method_b);
+
+/// Exact two-sided binomial sign-test p-value for `wins` successes out of
+/// `trials` fair coin flips (exposed for tests).
+double SignTestPValue(int wins, int trials);
+
+/// Two-sided Wilcoxon signed-rank p-value via normal approximation for the
+/// given paired differences (zeros dropped, average ranks for tied |d|).
+double WilcoxonSignedRankPValue(const std::vector<double>& differences);
+
+}  // namespace eval
+}  // namespace reconsume
+
+#endif  // RECONSUME_EVAL_SIGNIFICANCE_H_

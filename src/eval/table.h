@@ -1,0 +1,36 @@
+// Fixed-width text tables for the benchmark reports (Fig. 5/6 tables,
+// sensitivity sweeps, Table 3/5).
+
+#ifndef RECONSUME_EVAL_TABLE_H_
+#define RECONSUME_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace reconsume {
+namespace eval {
+
+/// \brief Simple column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Adds a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Formats a double cell with the given precision.
+  static std::string Cell(double value, int precision = 4);
+
+  /// Renders with a header underline and 2-space column gaps.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace eval
+}  // namespace reconsume
+
+#endif  // RECONSUME_EVAL_TABLE_H_

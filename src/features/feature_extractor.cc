@@ -1,0 +1,81 @@
+#include "features/feature_extractor.h"
+
+#include <cmath>
+
+namespace reconsume {
+namespace features {
+
+FeatureConfig FeatureConfig::WithoutItemQuality() {
+  FeatureConfig c;
+  c.use_item_quality = false;
+  return c;
+}
+FeatureConfig FeatureConfig::WithoutReconsumptionRatio() {
+  FeatureConfig c;
+  c.use_reconsumption_ratio = false;
+  return c;
+}
+FeatureConfig FeatureConfig::WithoutRecency() {
+  FeatureConfig c;
+  c.use_recency = false;
+  return c;
+}
+FeatureConfig FeatureConfig::WithoutFamiliarity() {
+  FeatureConfig c;
+  c.use_familiarity = false;
+  return c;
+}
+
+std::string FeatureConfig::Label() const {
+  if (use_item_quality && use_reconsumption_ratio && use_recency &&
+      use_familiarity) {
+    return "All";
+  }
+  std::string label;
+  if (!use_item_quality) label += "-IP";
+  if (!use_reconsumption_ratio) label += "-IR";
+  if (!use_recency) label += "-RE";
+  if (!use_familiarity) label += "-DF";
+  return label;
+}
+
+double FeatureExtractor::Recency(const window::WindowWalker& walker,
+                                 data::ItemId v) const {
+  // Items the user never consumed have no recency signal at all — this makes
+  // the extractor total, so the same f_uvt serves the novel-item task (§4.3).
+  if (walker.LastSeenStep(v) < 0) return 0.0;
+  const int gap = walker.GapSince(v);  // >= 1 for seen items
+  switch (config_.recency_kernel) {
+    case RecencyKernel::kHyperbolic:
+      return 1.0 / static_cast<double>(gap);
+    case RecencyKernel::kExponential:
+      return std::exp(-static_cast<double>(gap));
+    case RecencyKernel::kPowerLaw:
+      return 1.0 /
+             std::pow(static_cast<double>(gap), config_.power_law_exponent);
+  }
+  return 0.0;
+}
+
+double FeatureExtractor::Familiarity(const window::WindowWalker& walker,
+                                     data::ItemId v) const {
+  const int window_size = walker.WindowSize();
+  if (window_size == 0) return 0.0;
+  return static_cast<double>(walker.CountInWindow(v)) /
+         static_cast<double>(window_size);
+}
+
+void FeatureExtractor::Extract(const window::WindowWalker& walker,
+                               data::ItemId v, std::span<double> out) const {
+  RECONSUME_DCHECK(out.size() == static_cast<size_t>(dimension()));
+  size_t i = 0;
+  if (config_.use_item_quality) out[i++] = table_->quality(v);
+  if (config_.use_reconsumption_ratio) {
+    out[i++] = table_->reconsumption_ratio(v);
+  }
+  if (config_.use_recency) out[i++] = Recency(walker, v);
+  if (config_.use_familiarity) out[i++] = Familiarity(walker, v);
+}
+
+}  // namespace features
+}  // namespace reconsume

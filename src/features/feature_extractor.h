@@ -1,0 +1,100 @@
+// The behavioral feature vector f_uvt of §4.4, with configurable recency
+// kernel and per-feature masking (the Fig. 7 ablation removes one feature at
+// a time).
+
+#ifndef RECONSUME_FEATURES_FEATURE_EXTRACTOR_H_
+#define RECONSUME_FEATURES_FEATURE_EXTRACTOR_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "features/static_features.h"
+#include "window/window_walker.h"
+
+namespace reconsume {
+namespace features {
+
+/// Interest-decay kernel for the recency feature (Eq. 19 vs Eq. 20, plus the
+/// generalized interest-forgetting power law of ref. [14]).
+enum class RecencyKernel {
+  kHyperbolic,   ///< c_vt = 1 / (t - l_ut(v)); the paper's default per [14]
+  kExponential,  ///< c_vt = e^{-(t - l_ut(v))}
+  kPowerLaw,     ///< c_vt = 1 / (t - l_ut(v))^p with configurable exponent p
+};
+
+/// \brief Which of the four behavioral features are active.
+struct FeatureConfig {
+  bool use_item_quality = true;        ///< IP in Fig. 7
+  bool use_reconsumption_ratio = true; ///< IR
+  bool use_recency = true;             ///< RE
+  bool use_familiarity = true;         ///< DF
+  RecencyKernel recency_kernel = RecencyKernel::kHyperbolic;
+  /// Exponent for kPowerLaw (p = 1 reproduces kHyperbolic).
+  double power_law_exponent = 1.0;
+
+  /// Active feature count F.
+  int dimension() const {
+    return (use_item_quality ? 1 : 0) + (use_reconsumption_ratio ? 1 : 0) +
+           (use_recency ? 1 : 0) + (use_familiarity ? 1 : 0);
+  }
+
+  /// All four features on (the paper's default).
+  static FeatureConfig AllFeatures() { return FeatureConfig{}; }
+  /// Configs with exactly one feature removed, for the Fig. 7 ablation.
+  static FeatureConfig WithoutItemQuality();
+  static FeatureConfig WithoutReconsumptionRatio();
+  static FeatureConfig WithoutRecency();
+  static FeatureConfig WithoutFamiliarity();
+
+  /// Short label like "All" or "-IR" for reports.
+  std::string Label() const;
+};
+
+/// \brief Extracts f_uvt for candidate items against a window state.
+///
+/// The walker state must represent W_{u,t-1} (i.e. `walker.step()` events
+/// consumed); all features are in [0, 1].
+class FeatureExtractor {
+ public:
+  /// `table` must outlive the extractor.
+  FeatureExtractor(const StaticFeatureTable* table, FeatureConfig config)
+      : table_(table), config_(config) {
+    RECONSUME_CHECK(table != nullptr);
+    RECONSUME_CHECK(config.dimension() > 0) << "no active features";
+  }
+
+  int dimension() const { return config_.dimension(); }
+  const FeatureConfig& config() const { return config_; }
+
+  /// Writes f_uvt into `out` (size must equal dimension()). Total over all
+  /// items: never-consumed items get zero recency and zero familiarity, so
+  /// the same extraction serves both the RRC and the novel-item task (§4.3).
+  void Extract(const window::WindowWalker& walker, data::ItemId v,
+               std::span<double> out) const;
+
+  /// Convenience allocating overload.
+  std::vector<double> Extract(const window::WindowWalker& walker,
+                              data::ItemId v) const {
+    std::vector<double> out(static_cast<size_t>(dimension()));
+    Extract(walker, v, out);
+    return out;
+  }
+
+  /// Individual feature values (used by Fig. 4 and by simple baselines).
+  double ItemQuality(data::ItemId v) const { return table_->quality(v); }
+  double ReconsumptionRatio(data::ItemId v) const {
+    return table_->reconsumption_ratio(v);
+  }
+  double Recency(const window::WindowWalker& walker, data::ItemId v) const;
+  double Familiarity(const window::WindowWalker& walker, data::ItemId v) const;
+
+ private:
+  const StaticFeatureTable* table_;
+  FeatureConfig config_;
+};
+
+}  // namespace features
+}  // namespace reconsume
+
+#endif  // RECONSUME_FEATURES_FEATURE_EXTRACTOR_H_

@@ -1,0 +1,137 @@
+#include "features/feature_ranks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/string_util.h"
+#include "window/window_walker.h"
+
+namespace reconsume {
+namespace features {
+
+const char* FeatureRankReport::FeatureName(int f) {
+  switch (f) {
+    case kItemQuality:
+      return "item quality (IP)";
+    case kReconsumptionRatio:
+      return "reconsumption ratio (IR)";
+    case kRecency:
+      return "recency (RE)";
+    case kFamiliarity:
+      return "dynamic familiarity (DF)";
+  }
+  return "?";
+}
+
+Result<FeatureRankReport> ComputeFeatureRanks(const data::TrainTestSplit& split,
+                                              int window_capacity, int min_gap,
+                                              int histogram_buckets) {
+  if (min_gap < 0 || min_gap >= window_capacity) {
+    return Status::InvalidArgument("require 0 <= min_gap < window_capacity");
+  }
+  RECONSUME_ASSIGN_OR_RETURN(
+      StaticFeatureTable table,
+      StaticFeatureTable::Compute(split, window_capacity));
+  FeatureExtractor extractor(&table, FeatureConfig::AllFeatures());
+
+  FeatureRankReport report{
+      {math::CountHistogram(static_cast<size_t>(histogram_buckets)),
+       math::CountHistogram(static_cast<size_t>(histogram_buckets)),
+       math::CountHistogram(static_cast<size_t>(histogram_buckets)),
+       math::CountHistogram(static_cast<size_t>(histogram_buckets))},
+      {0, 0, 0, 0},
+      0};
+  std::array<int64_t, 4> top10 = {0, 0, 0, 0};
+
+  const data::Dataset& dataset = split.dataset();
+  std::vector<data::ItemId> candidates;
+  std::vector<std::pair<double, data::ItemId>> scored;
+
+  for (size_t u = 0; u < dataset.num_users(); ++u) {
+    const auto& seq = dataset.sequence(static_cast<data::UserId>(u));
+    const size_t train_end = split.split_point(static_cast<data::UserId>(u));
+    window::WindowWalker walker(&seq, window_capacity);
+    while (static_cast<size_t>(walker.step()) < train_end) {
+      if (walker.NextIsEligibleRepeat(min_gap)) {
+        const data::ItemId target = walker.NextItem();
+        walker.EligibleCandidates(min_gap, &candidates);
+        for (int f = 0; f < 4; ++f) {
+          scored.clear();
+          for (data::ItemId v : candidates) {
+            double value = 0.0;
+            switch (f) {
+              case kItemQuality:
+                value = extractor.ItemQuality(v);
+                break;
+              case kReconsumptionRatio:
+                value = extractor.ReconsumptionRatio(v);
+                break;
+              case kRecency:
+                value = extractor.Recency(walker, v);
+                break;
+              case kFamiliarity:
+                value = extractor.Familiarity(walker, v);
+                break;
+            }
+            scored.emplace_back(value, v);
+          }
+          std::sort(scored.begin(), scored.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+          for (size_t rank = 0; rank < scored.size(); ++rank) {
+            if (scored[rank].second == target) {
+              report.histograms[static_cast<size_t>(f)].Add(rank);
+              if (rank < 10) ++top10[static_cast<size_t>(f)];
+              break;
+            }
+          }
+        }
+        ++report.num_events;
+      }
+      walker.Advance();
+    }
+  }
+
+  if (report.num_events > 0) {
+    for (int f = 0; f < 4; ++f) {
+      report.top10_fraction[static_cast<size_t>(f)] =
+          static_cast<double>(top10[static_cast<size_t>(f)]) /
+          static_cast<double>(report.num_events);
+    }
+  }
+  return report;
+}
+
+std::string FormatRankHistogram(const FeatureRankReport& report, int feature,
+                                int max_rows) {
+  const auto& hist = report.histograms.at(static_cast<size_t>(feature));
+  std::ostringstream out;
+  out << FeatureRankReport::FeatureName(feature)
+      << util::StringPrintf("  (top-10 share %.1f%%)\n",
+                            100.0 * report.top10_fraction[static_cast<size_t>(
+                                        feature)]);
+  int64_t max_count = 1;
+  for (size_t b = 0; b < hist.num_buckets(); ++b) {
+    max_count = std::max(max_count, hist.count(b));
+  }
+  const int rows = std::min<int>(max_rows, static_cast<int>(hist.num_buckets()));
+  for (int b = 0; b < rows; ++b) {
+    const int64_t count = hist.count(static_cast<size_t>(b));
+    // Log-scale bar like the paper's log-scale y axis.
+    const int width =
+        count == 0 ? 0
+                   : 1 + static_cast<int>(40.0 * std::log1p(static_cast<double>(count)) /
+                                          std::log1p(static_cast<double>(max_count)));
+    out << util::StringPrintf("  rank %3d | %-40s %lld\n", b + 1,
+                              std::string(static_cast<size_t>(width), '#').c_str(),
+                              static_cast<long long>(count));
+  }
+  return out.str();
+}
+
+}  // namespace features
+}  // namespace reconsume

@@ -1,0 +1,54 @@
+// Fig. 4: distribution of repeat consumptions by the rank of the reconsumed
+// item inside its time window when the window is sorted by one feature.
+// A steep (head-heavy) distribution means the feature is discriminative.
+
+#ifndef RECONSUME_FEATURES_FEATURE_RANKS_H_
+#define RECONSUME_FEATURES_FEATURE_RANKS_H_
+
+#include <array>
+#include <string>
+
+#include "data/split.h"
+#include "features/feature_extractor.h"
+#include "math/stats.h"
+#include "util/status.h"
+
+namespace reconsume {
+namespace features {
+
+/// Index order of the four features in FeatureRankReport.
+enum FeatureIndex {
+  kItemQuality = 0,       // IP
+  kReconsumptionRatio = 1,  // IR
+  kRecency = 2,           // RE
+  kFamiliarity = 3,       // DF
+};
+
+/// \brief Rank histograms for all four features plus summary steepness.
+struct FeatureRankReport {
+  /// histogram[f].count(r) = number of eligible repeat events whose target
+  /// item ranked r-th (0-based) in its window by feature f.
+  std::array<math::CountHistogram, 4> histograms;
+  /// Fraction of repeat events whose target ranked in the top 10 by feature f;
+  /// the scalar "steepness" the experiment logs compare across datasets.
+  std::array<double, 4> top10_fraction = {0, 0, 0, 0};
+  int64_t num_events = 0;
+
+  static const char* FeatureName(int f);
+};
+
+/// Scans the training segments of `split` with windows of `window_capacity`,
+/// collecting ranks of eligible repeat targets (gap > min_gap) under each
+/// feature. Ties rank by item id for determinism.
+Result<FeatureRankReport> ComputeFeatureRanks(const data::TrainTestSplit& split,
+                                              int window_capacity, int min_gap,
+                                              int histogram_buckets = 100);
+
+/// Renders one feature's histogram as a small text bar chart.
+std::string FormatRankHistogram(const FeatureRankReport& report, int feature,
+                                int max_rows = 20);
+
+}  // namespace features
+}  // namespace reconsume
+
+#endif  // RECONSUME_FEATURES_FEATURE_RANKS_H_

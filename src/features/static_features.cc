@@ -1,0 +1,70 @@
+#include "features/static_features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "window/window_walker.h"
+
+namespace reconsume {
+namespace features {
+
+Result<StaticFeatureTable> StaticFeatureTable::Compute(
+    const data::TrainTestSplit& split, int window_capacity) {
+  if (window_capacity < 1) {
+    return Status::InvalidArgument("window_capacity must be >= 1");
+  }
+  const data::Dataset& dataset = split.dataset();
+  const size_t num_items = dataset.num_items();
+
+  StaticFeatureTable table;
+  table.frequency_.assign(num_items, 0);
+  table.quality_.assign(num_items, 0.0);
+  table.reconsumption_ratio_.assign(num_items, 0.0);
+
+  std::vector<int64_t> repeat_count(num_items, 0);
+  std::vector<int64_t> observation_count(num_items, 0);
+
+  for (size_t u = 0; u < dataset.num_users(); ++u) {
+    const auto& seq = dataset.sequence(static_cast<data::UserId>(u));
+    const size_t train_end = split.split_point(static_cast<data::UserId>(u));
+    window::WindowWalker walker(&seq, window_capacity);
+    while (static_cast<size_t>(walker.step()) < train_end) {
+      const data::ItemId next = walker.NextItem();
+      table.frequency_[static_cast<size_t>(next)] += 1;
+      if (walker.step() > 0) {
+        observation_count[static_cast<size_t>(next)] += 1;
+        if (walker.Contains(next)) repeat_count[static_cast<size_t>(next)] += 1;
+      }
+      walker.Advance();
+    }
+  }
+
+  // Quality: min-max normalized ln(1 + n_v) over items seen in training.
+  double q_min = 1e300, q_max = -1e300;
+  for (size_t v = 0; v < num_items; ++v) {
+    if (table.frequency_[v] == 0) continue;
+    const double q = std::log1p(static_cast<double>(table.frequency_[v]));
+    table.quality_[v] = q;
+    q_min = std::min(q_min, q);
+    q_max = std::max(q_max, q);
+  }
+  const double q_range = q_max - q_min;
+  for (size_t v = 0; v < num_items; ++v) {
+    if (table.frequency_[v] == 0) {
+      table.quality_[v] = 0.0;
+    } else if (q_range > 0) {
+      table.quality_[v] = (table.quality_[v] - q_min) / q_range;
+    } else {
+      table.quality_[v] = 1.0;  // all items equally frequent
+    }
+    if (observation_count[v] > 0) {
+      table.reconsumption_ratio_[v] =
+          static_cast<double>(repeat_count[v]) /
+          static_cast<double>(observation_count[v]);
+    }
+  }
+  return table;
+}
+
+}  // namespace features
+}  // namespace reconsume

@@ -1,0 +1,49 @@
+// Static (per-item) behavioral features of §4.4.1: item quality and item
+// reconsumption ratio, both computed once over the training portion.
+
+#ifndef RECONSUME_FEATURES_STATIC_FEATURES_H_
+#define RECONSUME_FEATURES_STATIC_FEATURES_H_
+
+#include <vector>
+
+#include "data/split.h"
+#include "util/status.h"
+
+namespace reconsume {
+namespace features {
+
+/// \brief Per-item static feature table.
+///
+/// quality(v)    — q̄_v = (ln(1+n_v) - q_min) / (q_max - q_min)   (Eq. 16–17)
+/// reconsumption_ratio(v) — fraction of v's training observations that were
+///                 windowed repeats (Eq. 18)
+class StaticFeatureTable {
+ public:
+  /// Computes the table over the training segments of `split` using windows
+  /// of the given capacity. Items never seen in training get zeros.
+  static Result<StaticFeatureTable> Compute(const data::TrainTestSplit& split,
+                                            int window_capacity);
+
+  double quality(data::ItemId v) const {
+    return quality_.at(static_cast<size_t>(v));
+  }
+  double reconsumption_ratio(data::ItemId v) const {
+    return reconsumption_ratio_.at(static_cast<size_t>(v));
+  }
+  /// Raw training frequency n_v (the Pop baseline ranks by ln(1+n_v)).
+  int64_t frequency(data::ItemId v) const {
+    return frequency_.at(static_cast<size_t>(v));
+  }
+
+  size_t num_items() const { return quality_.size(); }
+
+ private:
+  std::vector<double> quality_;
+  std::vector<double> reconsumption_ratio_;
+  std::vector<int64_t> frequency_;
+};
+
+}  // namespace features
+}  // namespace reconsume
+
+#endif  // RECONSUME_FEATURES_STATIC_FEATURES_H_

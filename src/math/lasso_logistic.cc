@@ -1,0 +1,131 @@
+#include "math/lasso_logistic.h"
+
+#include <cmath>
+
+#include "math/vector_ops.h"
+#include "util/logging.h"
+
+namespace reconsume {
+namespace math {
+
+double LassoLogisticModel::PredictProbability(
+    const std::vector<double>& features) const {
+  RECONSUME_CHECK(features.size() == weights_.size())
+      << "feature width " << features.size() << " != model width "
+      << weights_.size();
+  return Sigmoid(Dot(weights_, features) + intercept_);
+}
+
+int LassoLogisticModel::NumZeroWeights() const {
+  int zeros = 0;
+  for (double w : weights_) {
+    if (w == 0.0) ++zeros;
+  }
+  return zeros;
+}
+
+namespace {
+
+double SoftThreshold(double value, double threshold) {
+  if (value > threshold) return value - threshold;
+  if (value < -threshold) return value + threshold;
+  return 0.0;
+}
+
+// Mean logistic loss over the data at (w, b); fills margins as w·x_i + b.
+double LogisticLoss(const std::vector<std::vector<double>>& x,
+                    const std::vector<int>& y, const std::vector<double>& w,
+                    double b) {
+  double loss = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double margin = Dot(w, x[i]) + b;
+    // -y log p - (1-y) log (1-p) = log(1+e^m) - y m.
+    loss += Log1pExp(margin) - (y[i] == 1 ? margin : 0.0);
+  }
+  return loss / static_cast<double>(x.size());
+}
+
+}  // namespace
+
+Result<LassoLogisticModel> FitLassoLogistic(
+    const std::vector<std::vector<double>>& x, const std::vector<int>& y,
+    const LassoLogisticOptions& options) {
+  if (x.empty()) return Status::InvalidArgument("FitLassoLogistic: no rows");
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("FitLassoLogistic: |x| != |y|");
+  }
+  const size_t dim = x[0].size();
+  for (const auto& row : x) {
+    if (row.size() != dim) {
+      return Status::InvalidArgument("FitLassoLogistic: ragged feature rows");
+    }
+  }
+  for (int label : y) {
+    if (label != 0 && label != 1) {
+      return Status::InvalidArgument("FitLassoLogistic: labels must be 0/1");
+    }
+  }
+
+  const double n = static_cast<double>(x.size());
+  std::vector<double> w(dim, 0.0);
+  double b = 0.0;
+  double step = options.initial_step;
+  double loss = LogisticLoss(x, y, w, b);
+
+  std::vector<double> grad_w(dim);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Gradient of the smooth part.
+    Fill(grad_w, 0.0);
+    double grad_b = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      const double p = Sigmoid(Dot(w, x[i]) + b);
+      const double residual = p - static_cast<double>(y[i]);
+      Axpy(residual, x[i], grad_w);
+      grad_b += residual;
+    }
+    Scale(1.0 / n, grad_w);
+    grad_b /= n;
+
+    // Proximal step with backtracking on the smooth loss.
+    std::vector<double> w_next(dim);
+    double b_next = 0.0;
+    double max_change = 0.0;
+    while (true) {
+      max_change = 0.0;
+      for (size_t j = 0; j < dim; ++j) {
+        w_next[j] = SoftThreshold(w[j] - step * grad_w[j],
+                                  step * options.l1_penalty);
+        max_change = std::max(max_change, std::fabs(w_next[j] - w[j]));
+      }
+      b_next = b - step * grad_b;
+      max_change = std::max(max_change, std::fabs(b_next - b));
+
+      const double next_loss = LogisticLoss(x, y, w_next, b_next);
+      // Quadratic upper bound check (standard ISTA backtracking).
+      double quad = loss;
+      for (size_t j = 0; j < dim; ++j) {
+        const double d = w_next[j] - w[j];
+        quad += grad_w[j] * d + d * d / (2.0 * step);
+      }
+      const double db = b_next - b;
+      quad += grad_b * db + db * db / (2.0 * step);
+      if (next_loss <= quad + 1e-12 || step < 1e-12) {
+        loss = next_loss;
+        break;
+      }
+      step *= options.step_shrink;
+    }
+
+    w.swap(w_next);
+    b = b_next;
+    if (max_change < options.tolerance) break;
+  }
+
+  if (!AllFinite(w) || !std::isfinite(b)) {
+    return Status::NumericalError("FitLassoLogistic: diverged");
+  }
+  return LassoLogisticModel(std::move(w), b);
+}
+
+}  // namespace math
+}  // namespace reconsume

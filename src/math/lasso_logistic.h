@@ -1,0 +1,61 @@
+// L1-regularized logistic regression fitted by proximal gradient descent
+// (ISTA with backtracking).
+//
+// This is the "linear Lasso method" of the STREC paper [13], which the
+// combined experiment in §5.7 uses as the repeat/novel switch upstream of
+// TS-PPR.
+
+#ifndef RECONSUME_MATH_LASSO_LOGISTIC_H_
+#define RECONSUME_MATH_LASSO_LOGISTIC_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace reconsume {
+namespace math {
+
+struct LassoLogisticOptions {
+  double l1_penalty = 1e-3;      ///< lambda on ||w||_1 (intercept exempt)
+  int max_iterations = 2000;
+  double tolerance = 1e-7;       ///< stop when max parameter change below this
+  double initial_step = 1.0;
+  double step_shrink = 0.5;
+};
+
+/// \brief Fitted sparse linear classifier p(y=1|x) = sigmoid(w·x + b).
+class LassoLogisticModel {
+ public:
+  LassoLogisticModel() = default;
+  LassoLogisticModel(std::vector<double> weights, double intercept)
+      : weights_(std::move(weights)), intercept_(intercept) {}
+
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+
+  /// Probability that `features` belongs to the positive class.
+  double PredictProbability(const std::vector<double>& features) const;
+
+  /// Hard decision at threshold 0.5.
+  bool Predict(const std::vector<double>& features) const {
+    return PredictProbability(features) >= 0.5;
+  }
+
+  /// Number of exactly zero weights (Lasso sparsity).
+  int NumZeroWeights() const;
+
+ private:
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+};
+
+/// Fits the model on rows `x` (all the same width) with labels in {0, 1}.
+/// Returns InvalidArgument for ragged or empty input.
+Result<LassoLogisticModel> FitLassoLogistic(
+    const std::vector<std::vector<double>>& x, const std::vector<int>& y,
+    const LassoLogisticOptions& options = {});
+
+}  // namespace math
+}  // namespace reconsume
+
+#endif  // RECONSUME_MATH_LASSO_LOGISTIC_H_

@@ -1,0 +1,27 @@
+// Small dense linear solvers backing the Newton step of the Cox model and
+// the DYRC likelihood ascent.
+
+#ifndef RECONSUME_MATH_LINEAR_SOLVER_H_
+#define RECONSUME_MATH_LINEAR_SOLVER_H_
+
+#include <vector>
+
+#include "math/matrix.h"
+#include "util/status.h"
+
+namespace reconsume {
+namespace math {
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky.
+/// Returns NumericalError when A is not (numerically) SPD.
+Result<std::vector<double>> SolveCholesky(const Matrix& a,
+                                          const std::vector<double>& b);
+
+/// Solves A x = b for a general square A via partially pivoted LU.
+/// Returns NumericalError for (numerically) singular A.
+Result<std::vector<double>> SolveLu(Matrix a, std::vector<double> b);
+
+}  // namespace math
+}  // namespace reconsume
+
+#endif  // RECONSUME_MATH_LINEAR_SOLVER_H_

@@ -1,0 +1,106 @@
+// Dense row-major matrix used for the latent factor tables U, V and the
+// per-user feature mappings A_u.
+
+#ifndef RECONSUME_MATH_MATRIX_H_
+#define RECONSUME_MATH_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "math/vector_ops.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace reconsume {
+namespace math {
+
+/// \brief Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) {
+    RECONSUME_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    RECONSUME_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Mutable view of row r.
+  std::span<double> Row(size_t r) {
+    RECONSUME_DCHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> Row(size_t r) const {
+    RECONSUME_DCHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<double> Data() { return data_; }
+  std::span<const double> Data() const { return data_; }
+
+  /// Builds an identity-like matrix (ones on the main diagonal).
+  static Matrix Identity(size_t n) {
+    Matrix m(n, n);
+    for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  /// Fills with N(mean, stddev^2) draws.
+  void FillGaussian(util::Rng* rng, double mean, double stddev) {
+    for (double& v : data_) v = rng->Gaussian(mean, stddev);
+  }
+
+  /// out = this * x (matrix-vector product). Precondition: sizes match.
+  void MultiplyVector(std::span<const double> x, std::span<double> out) const {
+    RECONSUME_DCHECK(x.size() == cols_ && out.size() == rows_);
+    for (size_t r = 0; r < rows_; ++r) out[r] = Dot(Row(r), x);
+  }
+
+  /// out += alpha * this * x.
+  void MultiplyVectorAccumulate(double alpha, std::span<const double> x,
+                                std::span<double> out) const {
+    RECONSUME_DCHECK(x.size() == cols_ && out.size() == rows_);
+    for (size_t r = 0; r < rows_; ++r) out[r] += alpha * Dot(Row(r), x);
+  }
+
+  /// this += alpha * u * f^T (rank-1 update; Eq. 15 of the paper).
+  void AddOuterProduct(double alpha, std::span<const double> u,
+                       std::span<const double> f) {
+    RECONSUME_DCHECK(u.size() == rows_ && f.size() == cols_);
+    for (size_t r = 0; r < rows_; ++r) {
+      const double au = alpha * u[r];
+      double* row = data_.data() + r * cols_;
+      for (size_t c = 0; c < cols_; ++c) row[c] += au * f[c];
+    }
+  }
+
+  /// Sum of squared entries; the ||·||_F^2 regularizer.
+  double SquaredFrobeniusNorm() const { return SquaredNorm(data_); }
+
+  /// this *= alpha.
+  void ScaleInPlace(double alpha) { Scale(alpha, data_); }
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace math
+}  // namespace reconsume
+
+#endif  // RECONSUME_MATH_MATRIX_H_

@@ -1,0 +1,87 @@
+#include "math/newton.h"
+
+#include <cmath>
+
+#include "math/linear_solver.h"
+#include "math/vector_ops.h"
+
+namespace reconsume {
+namespace math {
+
+Result<NewtonReport> MinimizeNewton(const SecondOrderObjective& objective,
+                                    std::vector<double> x0,
+                                    const NewtonOptions& options) {
+  const size_t n = x0.size();
+  NewtonReport report;
+  report.solution = std::move(x0);
+
+  RECONSUME_ASSIGN_OR_RETURN(ObjectiveEvaluation eval,
+                             objective(report.solution));
+  if (!std::isfinite(eval.value) || !AllFinite(eval.gradient)) {
+    return Status::NumericalError("MinimizeNewton: non-finite start");
+  }
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    report.iterations = iter;
+    if (MaxAbs(eval.gradient) <= options.gradient_tolerance) {
+      report.converged = true;
+      break;
+    }
+
+    // Newton direction d solves (H + ridge I) d = -g; escalate the ridge until
+    // Cholesky accepts the system.
+    std::vector<double> neg_grad(n);
+    for (size_t i = 0; i < n; ++i) neg_grad[i] = -eval.gradient[i];
+
+    std::vector<double> direction;
+    double ridge = 0.0;
+    for (int attempt = 0; attempt < 60; ++attempt) {
+      Matrix h = eval.hessian;
+      if (ridge > 0) {
+        for (size_t i = 0; i < n; ++i) h(i, i) += ridge;
+      }
+      auto solved = SolveCholesky(h, neg_grad);
+      if (solved.ok()) {
+        direction = std::move(solved).ValueOrDie();
+        break;
+      }
+      ridge = ridge == 0.0 ? options.initial_ridge : ridge * 10.0;
+    }
+    if (direction.empty()) {
+      return Status::NumericalError(
+          "MinimizeNewton: Hessian unusable even with ridge");
+    }
+
+    // Armijo backtracking on f(x + t d).
+    const double slope = Dot(eval.gradient, direction);
+    double t = 1.0;
+    bool stepped = false;
+    for (int bt = 0; bt < options.max_backtracks; ++bt) {
+      std::vector<double> candidate = report.solution;
+      Axpy(t, direction, candidate);
+      auto cand_eval = objective(candidate);
+      if (cand_eval.ok()) {
+        const ObjectiveEvaluation& ce = cand_eval.ValueOrDie();
+        if (std::isfinite(ce.value) &&
+            ce.value <= eval.value + options.armijo_c * t * slope) {
+          report.solution = std::move(candidate);
+          eval = std::move(cand_eval).ValueOrDie();
+          stepped = true;
+          break;
+        }
+      }
+      t *= options.step_shrink;
+    }
+    if (!stepped) {
+      // Line search stalled: treat the current point as converged-enough.
+      report.converged = MaxAbs(eval.gradient) <= 1e-4;
+      break;
+    }
+  }
+
+  report.objective_value = eval.value;
+  return report;
+}
+
+}  // namespace math
+}  // namespace reconsume

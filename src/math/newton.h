@@ -1,0 +1,59 @@
+// Damped Newton's method for smooth convex minimization.
+//
+// Substrate for the Cox proportional-hazards fit (Survival baseline) and the
+// DYRC weight estimation: both maximize a smooth log-likelihood in a handful
+// of parameters.
+
+#ifndef RECONSUME_MATH_NEWTON_H_
+#define RECONSUME_MATH_NEWTON_H_
+
+#include <functional>
+#include <vector>
+
+#include "math/matrix.h"
+#include "util/status.h"
+
+namespace reconsume {
+namespace math {
+
+/// \brief Objective value with its first two derivatives at a point.
+struct ObjectiveEvaluation {
+  double value = 0.0;            ///< f(x)
+  std::vector<double> gradient;  ///< ∇f(x)
+  Matrix hessian;                ///< ∇²f(x); must be symmetric
+};
+
+/// Callback computing f, ∇f and ∇²f at `x`.
+using SecondOrderObjective =
+    std::function<Result<ObjectiveEvaluation>(const std::vector<double>& x)>;
+
+struct NewtonOptions {
+  int max_iterations = 100;
+  double gradient_tolerance = 1e-8;  ///< stop when ||∇f||_inf below this
+  double step_shrink = 0.5;          ///< backtracking factor
+  double armijo_c = 1e-4;            ///< sufficient-decrease constant
+  int max_backtracks = 40;
+  /// Levenberg-style ridge added to the Hessian when the raw Newton system is
+  /// not SPD; grows geometrically until the solve succeeds.
+  double initial_ridge = 1e-8;
+};
+
+struct NewtonReport {
+  std::vector<double> solution;
+  double objective_value = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes `objective` starting from `x0`.
+///
+/// Uses Cholesky on (H + ridge I) with an Armijo backtracking line search.
+/// Returns NumericalError if the objective produces non-finite values.
+Result<NewtonReport> MinimizeNewton(const SecondOrderObjective& objective,
+                                    std::vector<double> x0,
+                                    const NewtonOptions& options = {});
+
+}  // namespace math
+}  // namespace reconsume
+
+#endif  // RECONSUME_MATH_NEWTON_H_

@@ -1,0 +1,73 @@
+#include "math/stats.h"
+
+#include <numeric>
+
+namespace reconsume {
+namespace math {
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const size_t index = static_cast<size_t>(
+      q * static_cast<double>(values.size() - 1) + 0.5);
+  std::nth_element(values.begin(), values.begin() + static_cast<ptrdiff_t>(index),
+                   values.end());
+  return values[index];
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  RECONSUME_CHECK(x.size() == y.size());
+  const size_t n = x.size();
+  if (n < 2) return 0.0;
+  double mx = 0, my = 0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0 || syy <= 0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+
+// Average ranks (1-based) with tie handling.
+std::vector<double> Ranks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  RECONSUME_CHECK(x.size() == y.size());
+  if (x.size() < 2) return 0.0;
+  return PearsonCorrelation(Ranks(x), Ranks(y));
+}
+
+}  // namespace math
+}  // namespace reconsume

@@ -1,0 +1,88 @@
+// Streaming statistics and histograms used by the dataset reports (Table 2)
+// and the feature-rank distributions (Fig. 4).
+
+#ifndef RECONSUME_MATH_STATS_H_
+#define RECONSUME_MATH_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace reconsume {
+namespace math {
+
+/// \brief Welford online mean/variance accumulator.
+class OnlineMoments {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// \brief Fixed-width integer histogram over [0, num_buckets); out-of-range
+/// values are clamped into the last bucket.
+class CountHistogram {
+ public:
+  explicit CountHistogram(size_t num_buckets) : counts_(num_buckets, 0) {
+    RECONSUME_CHECK(num_buckets > 0);
+  }
+
+  void Add(size_t bucket) {
+    counts_[std::min(bucket, counts_.size() - 1)] += 1;
+  }
+
+  int64_t count(size_t bucket) const { return counts_.at(bucket); }
+  size_t num_buckets() const { return counts_.size(); }
+  int64_t total() const {
+    int64_t t = 0;
+    for (int64_t c : counts_) t += c;
+    return t;
+  }
+  const std::vector<int64_t>& counts() const { return counts_; }
+
+ private:
+  std::vector<int64_t> counts_;
+};
+
+/// Exact quantile by copy-and-select; fine for report-time use.
+/// q in [0, 1]; returns 0 for empty input.
+double Quantile(std::vector<double> values, double q);
+
+/// Pearson correlation of two equally sized samples; 0 when degenerate.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Spearman rank correlation; average ranks for ties.
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+}  // namespace math
+}  // namespace reconsume
+
+#endif  // RECONSUME_MATH_STATS_H_

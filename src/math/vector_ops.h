@@ -1,0 +1,92 @@
+// BLAS-1-style kernels over contiguous double spans.
+//
+// The TS-PPR trainer (Algorithm 1) is dominated by dot products, axpy
+// updates, and rank-1 outer-product updates on small dense vectors; these
+// free functions keep that inner loop allocation-free.
+
+#ifndef RECONSUME_MATH_VECTOR_OPS_H_
+#define RECONSUME_MATH_VECTOR_OPS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace reconsume {
+namespace math {
+
+/// Dot product <x, y>. Precondition: equal sizes.
+inline double Dot(std::span<const double> x, std::span<const double> y) {
+  RECONSUME_DCHECK(x.size() == y.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+/// y += alpha * x.
+inline void Axpy(double alpha, std::span<const double> x,
+                 std::span<double> y) {
+  RECONSUME_DCHECK(x.size() == y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+/// x *= alpha.
+inline void Scale(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+/// out = x - y (out may alias x).
+inline void Subtract(std::span<const double> x, std::span<const double> y,
+                     std::span<double> out) {
+  RECONSUME_DCHECK(x.size() == y.size() && x.size() == out.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] - y[i];
+}
+
+/// Squared Euclidean norm.
+inline double SquaredNorm(std::span<const double> x) { return Dot(x, x); }
+
+/// Euclidean norm.
+inline double Norm(std::span<const double> x) { return std::sqrt(SquaredNorm(x)); }
+
+/// L-infinity norm.
+inline double MaxAbs(std::span<const double> x) {
+  double m = 0.0;
+  for (double v : x) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+/// True iff every element is finite.
+inline bool AllFinite(std::span<const double> x) {
+  for (double v : x) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+/// Fills x with `value`.
+inline void Fill(std::span<double> x, double value) {
+  for (double& v : x) v = value;
+}
+
+/// Numerically safe logistic function; exact at the tails.
+inline double Sigmoid(double m) {
+  if (m >= 0) {
+    const double z = std::exp(-m);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(m);
+  return z / (1.0 + z);
+}
+
+/// log(1 + exp(m)) without overflow; the pairwise-ranking loss -ln sigma(m).
+inline double Log1pExp(double m) {
+  if (m > 0) return m + std::log1p(std::exp(-m));
+  return std::log1p(std::exp(m));
+}
+
+}  // namespace math
+}  // namespace reconsume
+
+#endif  // RECONSUME_MATH_VECTOR_OPS_H_

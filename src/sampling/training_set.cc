@@ -1,0 +1,159 @@
+#include "sampling/training_set.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "window/window_walker.h"
+
+namespace reconsume {
+namespace sampling {
+
+Result<TrainingSet> TrainingSet::Build(
+    const data::TrainTestSplit& split,
+    const features::FeatureExtractor& extractor,
+    const TrainingSetOptions& options) {
+  if (options.window_capacity < 2) {
+    return Status::InvalidArgument("window_capacity must be >= 2");
+  }
+  if (options.min_gap < 0 || options.min_gap >= options.window_capacity) {
+    return Status::InvalidArgument("require 0 <= min_gap < window_capacity");
+  }
+  if (options.negatives_per_positive < 1) {
+    return Status::InvalidArgument("negatives_per_positive must be >= 1");
+  }
+
+  TrainingSet out;
+  out.options_ = options;
+  out.feature_dim_ = extractor.dimension();
+
+  const data::Dataset& dataset = split.dataset();
+  util::Rng rng(options.seed);
+  std::vector<data::ItemId> candidates;
+  std::vector<double> feature_scratch(static_cast<size_t>(out.feature_dim_));
+
+  auto push_feature = [&](const window::WindowWalker& walker,
+                          data::ItemId v) -> uint32_t {
+    const uint32_t offset = static_cast<uint32_t>(out.feature_pool_.size());
+    extractor.Extract(walker, v, feature_scratch);
+    out.feature_pool_.insert(out.feature_pool_.end(), feature_scratch.begin(),
+                             feature_scratch.end());
+    return offset;
+  };
+
+  out.user_event_ranges_.reserve(dataset.num_users());
+  for (size_t u = 0; u < dataset.num_users(); ++u) {
+    const uint32_t events_begin = static_cast<uint32_t>(out.events_.size());
+    const auto& seq = dataset.sequence(static_cast<data::UserId>(u));
+    const size_t train_end = split.split_point(static_cast<data::UserId>(u));
+    window::WindowWalker walker(&seq, options.window_capacity);
+    while (static_cast<size_t>(walker.step()) < train_end) {
+      bool is_positive;
+      if (options.task == TrainingTask::kRepeat) {
+        is_positive = walker.NextIsEligibleRepeat(options.min_gap);
+      } else {
+        // Novel task: an out-of-window consumption after warm-up.
+        is_positive = walker.step() > 0 && !walker.NextIsRepeat();
+      }
+      if (is_positive) {
+        const data::ItemId positive = walker.NextItem();
+        if (options.task == TrainingTask::kRepeat) {
+          walker.EligibleCandidates(options.min_gap, &candidates);
+          // Negatives are eligible candidates other than the positive.
+          std::erase(candidates, positive);
+        } else {
+          // Negatives: uniform catalog items outside the window. Rejection
+          // sampling; windows are small relative to the catalog.
+          candidates.clear();
+          const size_t num_items = dataset.num_items();
+          const size_t want = std::min(
+              static_cast<size_t>(options.negatives_per_positive) * 2,
+              num_items);
+          for (int attempt = 0;
+               attempt < 50 * options.negatives_per_positive &&
+               candidates.size() < want;
+               ++attempt) {
+            const data::ItemId v =
+                static_cast<data::ItemId>(rng.Uniform(num_items));
+            if (v == positive || walker.Contains(v)) continue;
+            candidates.push_back(v);
+          }
+          std::sort(candidates.begin(), candidates.end());
+          candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                           candidates.end());
+        }
+        if (!candidates.empty()) {
+          PositiveEvent event;
+          event.user = static_cast<data::UserId>(u);
+          event.item = positive;
+          event.t = walker.step();
+          event.feature_offset = push_feature(walker, positive);
+          event.negatives_begin = static_cast<uint32_t>(out.negatives_.size());
+
+          // Without-replacement draw of up to S negatives: partial
+          // Fisher-Yates over the candidate vector.
+          const size_t take = std::min(
+              candidates.size(),
+              static_cast<size_t>(options.negatives_per_positive));
+          for (size_t k = 0; k < take; ++k) {
+            const size_t j =
+                k + static_cast<size_t>(rng.Uniform(candidates.size() - k));
+            std::swap(candidates[k], candidates[j]);
+            NegativeSample neg;
+            neg.item = candidates[k];
+            neg.feature_offset = push_feature(walker, candidates[k]);
+            out.negatives_.push_back(neg);
+          }
+          event.negatives_count = static_cast<uint32_t>(take);
+          out.num_quadruples_ += static_cast<int64_t>(take);
+          out.events_.push_back(event);
+        }
+      }
+      walker.Advance();
+    }
+    const uint32_t events_end = static_cast<uint32_t>(out.events_.size());
+    out.user_event_ranges_.emplace_back(events_begin, events_end);
+    if (events_end > events_begin) {
+      out.users_with_events_.push_back(static_cast<data::UserId>(u));
+    }
+  }
+
+  if (out.num_quadruples_ == 0) {
+    return Status::FailedPrecondition(
+        "no eligible repeat events in the training data; check |W| and Omega");
+  }
+  return out;
+}
+
+std::pair<uint32_t, uint32_t> TrainingSet::SampleQuadruple(
+    util::Rng* rng) const {
+  RECONSUME_DCHECK(!users_with_events_.empty());
+  const data::UserId u =
+      users_with_events_[rng->Uniform(users_with_events_.size())];
+  const auto [begin, end] = user_events(u);
+  const uint32_t event_index =
+      begin + static_cast<uint32_t>(rng->Uniform(end - begin));
+  const PositiveEvent& event = events_[event_index];
+  const uint32_t neg_index =
+      event.negatives_begin +
+      static_cast<uint32_t>(rng->Uniform(event.negatives_count));
+  return {event_index, neg_index};
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> TrainingSet::SmallBatch(
+    double fraction) const {
+  std::vector<std::pair<uint32_t, uint32_t>> batch;
+  for (const auto& [begin, end] : user_event_ranges_) {
+    if (begin == end) continue;
+    const uint32_t count = end - begin;
+    const uint32_t take = std::max<uint32_t>(
+        1, static_cast<uint32_t>(
+               std::ceil(fraction * static_cast<double>(count))));
+    for (uint32_t e = begin; e < begin + std::min(take, count); ++e) {
+      batch.emplace_back(e, events_[e].negatives_begin);
+    }
+  }
+  return batch;
+}
+
+}  // namespace sampling
+}  // namespace reconsume

@@ -1,0 +1,123 @@
+// Training set D of quadruples (u, v_i, v_j, t) — Eq. (8)–(9) — with the
+// paper's pre-sample strategy: S negatives per positive, behavioral features
+// extracted once, in advance of SGD (§4.2.2).
+//
+// Layout: features live in one flat pool (stride F); each eligible repeat
+// event stores its positive feature offset and a contiguous range of
+// negatives, so Algorithm 1's hierarchical draw (user → event → negative) is
+// three uniform integer draws.
+
+#ifndef RECONSUME_SAMPLING_TRAINING_SET_H_
+#define RECONSUME_SAMPLING_TRAINING_SET_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/split.h"
+#include "features/feature_extractor.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace reconsume {
+namespace sampling {
+
+/// \brief One pre-sampled negative: the item and its feature offset.
+struct NegativeSample {
+  data::ItemId item = data::kInvalidItem;
+  uint32_t feature_offset = 0;
+};
+
+/// \brief One positive (repeat) event with its negative block.
+struct PositiveEvent {
+  data::UserId user = data::kInvalidUser;
+  data::ItemId item = data::kInvalidItem;  ///< v_i = x_t^u
+  data::Step t = 0;                        ///< consumption step (diagnostics)
+  uint32_t feature_offset = 0;
+  uint32_t negatives_begin = 0;  ///< index into negatives()
+  uint32_t negatives_count = 0;
+};
+
+/// \brief Which recommendation task the quadruples train for.
+enum class TrainingTask {
+  /// RRC (the paper's main task): positives are eligible windowed repeats,
+  /// negatives are other eligible window items.
+  kRepeat,
+  /// Novel-item recommendation (§4.3): positives are consumptions of items
+  /// *not* in the current window; negatives are drawn uniformly from the
+  /// catalog excluding window items. min_gap is ignored.
+  kNovel,
+};
+
+/// \brief Options for building the training set.
+struct TrainingSetOptions {
+  int window_capacity = 100;    ///< |W|
+  int min_gap = 10;             ///< Omega; positives and negatives need gap > Omega
+  int negatives_per_positive = 10;  ///< S
+  uint64_t seed = 1;            ///< for the without-replacement negative draw
+  TrainingTask task = TrainingTask::kRepeat;
+};
+
+/// \brief Immutable pre-sampled training data for TS-PPR.
+class TrainingSet {
+ public:
+  /// Builds D over the training segments of `split`, extracting features with
+  /// `extractor` (whose StaticFeatureTable must already be computed on the
+  /// same split).
+  static Result<TrainingSet> Build(const data::TrainTestSplit& split,
+                                   const features::FeatureExtractor& extractor,
+                                   const TrainingSetOptions& options);
+
+  int feature_dim() const { return feature_dim_; }
+
+  size_t num_users() const { return user_event_ranges_.size(); }
+  /// Users that actually have >= 1 positive event (Algorithm 1 draws only
+  /// from these; a user whose training segment has no eligible repeats cannot
+  /// contribute gradients).
+  const std::vector<data::UserId>& users_with_events() const {
+    return users_with_events_;
+  }
+
+  /// Events of user u as [begin, end) indices into events().
+  std::pair<uint32_t, uint32_t> user_events(data::UserId u) const {
+    return user_event_ranges_.at(static_cast<size_t>(u));
+  }
+
+  const std::vector<PositiveEvent>& events() const { return events_; }
+  const std::vector<NegativeSample>& negatives() const { return negatives_; }
+
+  /// Feature vector at a stored offset.
+  std::span<const double> feature(uint32_t offset) const {
+    return {feature_pool_.data() + offset, static_cast<size_t>(feature_dim_)};
+  }
+
+  /// Total number of quadruples |D| (sum of negative counts).
+  int64_t num_quadruples() const { return num_quadruples_; }
+
+  /// Hierarchically draws one quadruple: uniform user (among users with
+  /// events), uniform event of that user, uniform negative of that event.
+  /// Returns {event index, negative index}. Precondition: num_quadruples()>0.
+  std::pair<uint32_t, uint32_t> SampleQuadruple(util::Rng* rng) const;
+
+  /// The small-batch convergence subset (§4.2.2): each user's first
+  /// ceil(fraction * #events) events, one fixed negative each (the first).
+  /// Returned as {event index, negative index} pairs.
+  std::vector<std::pair<uint32_t, uint32_t>> SmallBatch(double fraction) const;
+
+  const TrainingSetOptions& options() const { return options_; }
+
+ private:
+  TrainingSetOptions options_;
+  int feature_dim_ = 0;
+  int64_t num_quadruples_ = 0;
+  std::vector<double> feature_pool_;
+  std::vector<PositiveEvent> events_;
+  std::vector<NegativeSample> negatives_;
+  std::vector<std::pair<uint32_t, uint32_t>> user_event_ranges_;  // per user
+  std::vector<data::UserId> users_with_events_;
+};
+
+}  // namespace sampling
+}  // namespace reconsume
+
+#endif  // RECONSUME_SAMPLING_TRAINING_SET_H_

@@ -1,0 +1,28 @@
+#include "strec/combined_pipeline.h"
+
+namespace reconsume {
+namespace strec {
+
+Result<CombinedResult> EvaluateCombined(const data::TrainTestSplit& split,
+                                        const StrecClassifier& classifier,
+                                        core::TsPpr* ts_ppr,
+                                        const eval::EvalOptions& options) {
+  if (ts_ppr == nullptr) {
+    return Status::InvalidArgument("EvaluateCombined: null TS-PPR");
+  }
+  CombinedResult result;
+  result.classifier = classifier.EvaluateOnTest(split);
+
+  eval::EvalOptions gated = options;
+  gated.instance_filter = [&classifier](data::UserId user,
+                                        const window::WindowWalker& walker) {
+    return classifier.PredictRepeat(user, walker);
+  };
+  eval::Evaluator evaluator(&split, gated);
+  RECONSUME_ASSIGN_OR_RETURN(result.conditional,
+                             evaluator.Evaluate(ts_ppr->recommender()));
+  return result;
+}
+
+}  // namespace strec
+}  // namespace reconsume

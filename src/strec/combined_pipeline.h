@@ -1,0 +1,39 @@
+// The holistic STREC + TS-PPR pipeline of §5.7 (Table 5): STREC decides
+// repeat-vs-novel at each step; TS-PPR recommends on the true repeats that
+// STREC correctly identified; the joint accuracy is the product.
+
+#ifndef RECONSUME_STREC_COMBINED_PIPELINE_H_
+#define RECONSUME_STREC_COMBINED_PIPELINE_H_
+
+#include "core/ts_ppr.h"
+#include "eval/evaluator.h"
+#include "strec/strec_classifier.h"
+#include "util/status.h"
+
+namespace reconsume {
+namespace strec {
+
+/// \brief Table 5 rows: classifier accuracy, conditional recommendation
+/// accuracy, and their product.
+struct CombinedResult {
+  StrecAccuracy classifier;
+  eval::AccuracyResult conditional;  ///< TS-PPR on correctly-flagged repeats
+  /// classifier.accuracy() * conditional.MaapAt(n).
+  double JointMaapAt(int n) const {
+    return classifier.accuracy() * conditional.MaapAt(n);
+  }
+};
+
+/// Runs the combined evaluation: `classifier` gates which eligible repeat
+/// instances `ts_ppr` is scored on (only those it flags as repeats — the
+/// instances it classifies correctly, since the evaluator already restricts
+/// to true repeats).
+Result<CombinedResult> EvaluateCombined(const data::TrainTestSplit& split,
+                                        const StrecClassifier& classifier,
+                                        core::TsPpr* ts_ppr,
+                                        const eval::EvalOptions& options);
+
+}  // namespace strec
+}  // namespace reconsume
+
+#endif  // RECONSUME_STREC_COMBINED_PIPELINE_H_

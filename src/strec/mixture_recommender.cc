@@ -1,0 +1,44 @@
+#include "strec/mixture_recommender.h"
+
+namespace reconsume {
+namespace strec {
+
+void MixtureRecommender::Score(data::UserId user,
+                               const window::WindowWalker& walker,
+                               std::span<const data::ItemId> candidates,
+                               std::span<double> scores) {
+  const double p_repeat = classifier_->PredictRepeatProbability(user, walker);
+
+  // Two passes: pool = window items scored by the repeat specialist, then
+  // everything else scored by the novel specialist.
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool repeat_pool = pass == 0;
+    pool_items_.clear();
+    pool_positions_.clear();
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (walker.Contains(candidates[i]) == repeat_pool) {
+        pool_items_.push_back(candidates[i]);
+        pool_positions_.push_back(i);
+      }
+    }
+    if (pool_items_.empty()) continue;
+
+    pool_scores_.assign(pool_items_.size(), 0.0);
+    (repeat_pool ? repeat_ : novel_)
+        ->Score(user, walker, pool_items_, pool_scores_);
+
+    // Within-pool ranks -> weighted reciprocal-rank fusion.
+    eval::SelectTopN(pool_scores_, static_cast<int>(pool_scores_.size()),
+                     &pool_order_);
+    const double weight = repeat_pool ? p_repeat : 1.0 - p_repeat;
+    for (size_t rank = 0; rank < pool_order_.size(); ++rank) {
+      const size_t original_index =
+          pool_positions_[static_cast<size_t>(pool_order_[rank])];
+      scores[original_index] =
+          weight / (static_cast<double>(rank) + rank_smoothing_);
+    }
+  }
+}
+
+}  // namespace strec
+}  // namespace reconsume

@@ -1,0 +1,84 @@
+// Mixture of repeat-consumption and novel-item recommendation — the paper's
+// stated future work (§6): "mix the results of recommendations for both
+// novel consumption and repeat consumption".
+//
+// STREC supplies the mixing weight: at each moment, p = P(next is a repeat).
+// The candidate set is partitioned into window items (repeat pool) and the
+// rest (novel pool); each pool is ranked by its specialist recommender, and
+// the pools are fused by weighted reciprocal rank:
+//
+//   fused(v) = p / (rank_within_pool(v) + k)        for window items
+//   fused(v) = (1 - p) / (rank_within_pool(v) + k)  otherwise
+//
+// Rank fusion sidesteps the incomparability of raw scores across models.
+
+#ifndef RECONSUME_STREC_MIXTURE_RECOMMENDER_H_
+#define RECONSUME_STREC_MIXTURE_RECOMMENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/recommender.h"
+#include "strec/strec_classifier.h"
+
+namespace reconsume {
+namespace strec {
+
+/// \brief STREC-gated fusion of a repeat specialist and a novel specialist.
+class MixtureRecommender : public eval::Recommender {
+ public:
+  /// All pointees must outlive this object. `rank_smoothing` is the k in the
+  /// reciprocal-rank formula (RRF literature uses ~60 for web-scale lists;
+  /// small candidate pools warrant a small k).
+  MixtureRecommender(const StrecClassifier* classifier,
+                     eval::Recommender* repeat_recommender,
+                     eval::Recommender* novel_recommender,
+                     double rank_smoothing = 3.0)
+      : classifier_(classifier),
+        repeat_(repeat_recommender),
+        novel_(novel_recommender),
+        rank_smoothing_(rank_smoothing) {
+    RECONSUME_CHECK(classifier != nullptr && repeat_recommender != nullptr &&
+                    novel_recommender != nullptr);
+    RECONSUME_CHECK(rank_smoothing > 0);
+  }
+
+  std::string name() const override { return "Mixture(STREC)"; }
+
+  /// Clones the specialists (which must themselves be clonable) and owns the
+  /// copies; returns null if either specialist cannot clone.
+  std::unique_ptr<eval::Recommender> Clone() const override {
+    auto repeat_clone = repeat_->Clone();
+    auto novel_clone = novel_->Clone();
+    if (repeat_clone == nullptr || novel_clone == nullptr) return nullptr;
+    auto clone = std::make_unique<MixtureRecommender>(
+        classifier_, repeat_clone.get(), novel_clone.get(), rank_smoothing_);
+    clone->owned_repeat_ = std::move(repeat_clone);
+    clone->owned_novel_ = std::move(novel_clone);
+    return clone;
+  }
+
+  void Score(data::UserId user, const window::WindowWalker& walker,
+             std::span<const data::ItemId> candidates,
+             std::span<double> scores) override;
+
+ private:
+  const StrecClassifier* classifier_;
+  eval::Recommender* repeat_;
+  eval::Recommender* novel_;
+  double rank_smoothing_;
+  // Set only on clones: keeps the cloned specialists alive.
+  std::unique_ptr<eval::Recommender> owned_repeat_;
+  std::unique_ptr<eval::Recommender> owned_novel_;
+
+  // Reused scratch.
+  std::vector<data::ItemId> pool_items_;
+  std::vector<size_t> pool_positions_;
+  std::vector<double> pool_scores_;
+  std::vector<int> pool_order_;
+};
+
+}  // namespace strec
+}  // namespace reconsume
+
+#endif  // RECONSUME_STREC_MIXTURE_RECOMMENDER_H_

@@ -1,0 +1,170 @@
+#include "strec/strec_classifier.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace reconsume {
+namespace strec {
+
+namespace {
+
+/// Fraction of the last `lookback` events that repeated an item from the
+/// `capacity` events preceding them — the short-term repeat momentum signal.
+/// O(lookback * capacity) per call; evaluated lazily at prediction time.
+double RecentRepeatRate(const window::WindowWalker& walker, int lookback) {
+  const auto& seq = walker.sequence();
+  const int t = walker.step();
+  const int capacity = walker.capacity();
+  int repeats = 0, considered = 0;
+  for (int p = std::max(1, t - lookback); p < t; ++p) {
+    ++considered;
+    const data::ItemId item = seq[static_cast<size_t>(p)];
+    const int from = std::max(0, p - capacity);
+    for (int q = from; q < p; ++q) {
+      if (seq[static_cast<size_t>(q)] == item) {
+        ++repeats;
+        break;
+      }
+    }
+  }
+  return considered > 0
+             ? static_cast<double>(repeats) / static_cast<double>(considered)
+             : 0.0;
+}
+
+/// The four window-level features; `repeat_ratio` is the user's trait value.
+std::vector<double> WindowFeatures(const window::WindowWalker& walker,
+                                   const features::StaticFeatureTable& table,
+                                   double repeat_ratio) {
+  const int window_size = walker.WindowSize();
+  double distinct_ratio = 0.0;
+  double mean_ir = 0.0;
+  double max_familiarity = 0.0;
+  if (window_size > 0 && !walker.window_counts().empty()) {
+    const double num_distinct =
+        static_cast<double>(walker.NumDistinctInWindow());
+    distinct_ratio = num_distinct / static_cast<double>(window_size);
+    for (const auto& [item, count] : walker.window_counts()) {
+      mean_ir += table.reconsumption_ratio(item);
+      max_familiarity =
+          std::max(max_familiarity, static_cast<double>(count) /
+                                        static_cast<double>(window_size));
+    }
+    mean_ir /= num_distinct;
+  }
+  return {repeat_ratio, distinct_ratio, mean_ir, max_familiarity,
+          RecentRepeatRate(walker, /*lookback=*/10)};
+}
+
+/// Appends all pairwise products x_i * x_j (i <= j) to the base features.
+std::vector<double> QuadraticExpand(std::vector<double> base) {
+  const size_t n = base.size();
+  base.reserve(n + n * (n + 1) / 2);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) base.push_back(base[i] * base[j]);
+  }
+  return base;
+}
+
+}  // namespace
+
+Result<StrecClassifier> StrecClassifier::Fit(
+    const data::TrainTestSplit& split,
+    const features::StaticFeatureTable* table, const StrecOptions& options) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("STREC: null static feature table");
+  }
+  const data::Dataset& dataset = split.dataset();
+
+  // Pass 1: per-user historical repeat ratio over the training segment.
+  std::vector<double> repeat_ratio(dataset.num_users(), 0.0);
+  for (size_t u = 0; u < dataset.num_users(); ++u) {
+    const auto& seq = dataset.sequence(static_cast<data::UserId>(u));
+    const size_t train_end = split.split_point(static_cast<data::UserId>(u));
+    window::WindowWalker walker(&seq, options.window_capacity);
+    int64_t repeats = 0, steps = 0;
+    while (static_cast<size_t>(walker.step()) < train_end) {
+      if (walker.step() > 0) {
+        ++steps;
+        if (walker.NextIsRepeat()) ++repeats;
+      }
+      walker.Advance();
+    }
+    repeat_ratio[u] = steps > 0 ? static_cast<double>(repeats) /
+                                      static_cast<double>(steps)
+                                : 0.0;
+  }
+
+  // Pass 2: training examples (skip the cold-start first step of each user).
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (size_t u = 0; u < dataset.num_users() && x.size() < options.max_examples;
+       ++u) {
+    const auto& seq = dataset.sequence(static_cast<data::UserId>(u));
+    const size_t train_end = split.split_point(static_cast<data::UserId>(u));
+    window::WindowWalker walker(&seq, options.window_capacity);
+    while (static_cast<size_t>(walker.step()) < train_end &&
+           x.size() < options.max_examples) {
+      if (walker.step() > 0) {
+        auto features = WindowFeatures(walker, *table, repeat_ratio[u]);
+        if (options.quadratic) features = QuadraticExpand(std::move(features));
+        x.push_back(std::move(features));
+        y.push_back(walker.NextIsRepeat() ? 1 : 0);
+      }
+      walker.Advance();
+    }
+  }
+  if (x.empty()) {
+    return Status::FailedPrecondition("STREC: no training examples");
+  }
+
+  math::LassoLogisticOptions lasso;
+  lasso.l1_penalty = options.l1_penalty;
+  RECONSUME_ASSIGN_OR_RETURN(math::LassoLogisticModel model,
+                             math::FitLassoLogistic(x, y, lasso));
+  return StrecClassifier(table, std::move(repeat_ratio),
+                         options.window_capacity, options.quadratic,
+                         std::move(model));
+}
+
+std::vector<double> StrecClassifier::ExtractFeatures(
+    data::UserId user, const window::WindowWalker& walker) const {
+  auto features = WindowFeatures(
+      walker, *table_, user_repeat_ratio_.at(static_cast<size_t>(user)));
+  if (quadratic_) features = QuadraticExpand(std::move(features));
+  return features;
+}
+
+double StrecClassifier::PredictRepeatProbability(
+    data::UserId user, const window::WindowWalker& walker) const {
+  return model_.PredictProbability(ExtractFeatures(user, walker));
+}
+
+StrecAccuracy StrecClassifier::EvaluateOnTest(
+    const data::TrainTestSplit& split) const {
+  StrecAccuracy result;
+  const data::Dataset& dataset = split.dataset();
+  for (size_t u = 0; u < dataset.num_users(); ++u) {
+    const data::UserId user = static_cast<data::UserId>(u);
+    const auto& seq = dataset.sequence(user);
+    const size_t test_begin = split.split_point(user);
+    window::WindowWalker walker(&seq, window_capacity_);
+    while (static_cast<size_t>(walker.step()) < test_begin) walker.Advance();
+    while (!walker.Done()) {
+      const bool actual = walker.NextIsRepeat();
+      const bool predicted = PredictRepeat(user, walker);
+      ++result.num_instances;
+      if (actual == predicted) ++result.correct;
+      if (predicted && actual) ++result.true_positives;
+      if (predicted && !actual) ++result.false_positives;
+      if (!predicted && !actual) ++result.true_negatives;
+      if (!predicted && actual) ++result.false_negatives;
+      walker.Advance();
+    }
+  }
+  return result;
+}
+
+}  // namespace strec
+}  // namespace reconsume

@@ -1,0 +1,107 @@
+// STREC — short-term reconsumption prediction (Chen et al., AAAI 2015,
+// ref. [13]): a linear Lasso classifier deciding, at each step, whether the
+// next consumption will repeat an item from the current window.
+//
+// The paper uses STREC as the upstream switch in the holistic experiment of
+// §5.7 (Table 5): STREC classifies repeat-vs-novel; TS-PPR recommends on the
+// instances STREC correctly flags as repeats.
+//
+// Five window-level behavioral features (all computable from the walker
+// state plus training-time statics, so the classifier can gate evaluation
+// instances through eval::EvalOptions::instance_filter):
+//   1. the user's historical repeat ratio over the training segment
+//   2. window distinctness ratio (#distinct / |W|, low = repetitive regime)
+//   3. mean item-reconsumption ratio over distinct window items
+//   4. max dynamic familiarity over distinct window items
+//   5. recent repeat rate (fraction of the last 10 events that were repeats)
+
+#ifndef RECONSUME_STREC_STREC_CLASSIFIER_H_
+#define RECONSUME_STREC_STREC_CLASSIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/split.h"
+#include "features/static_features.h"
+#include "math/lasso_logistic.h"
+#include "util/status.h"
+#include "window/window_walker.h"
+
+namespace reconsume {
+namespace strec {
+
+struct StrecOptions {
+  int window_capacity = 100;
+  double l1_penalty = 1e-4;
+  /// Cap on training examples (one per training step; bound for huge traces).
+  size_t max_examples = 500'000;
+  /// The STREC paper's quadratic variant: expand the feature vector with all
+  /// pairwise products before the Lasso fit (5 -> 20 features). The L1
+  /// penalty then prunes the uninformative cross terms.
+  bool quadratic = false;
+};
+
+/// \brief Classification quality on a test sweep.
+struct StrecAccuracy {
+  int64_t num_instances = 0;
+  int64_t correct = 0;
+  int64_t true_positives = 0;   ///< predicted repeat & was repeat
+  int64_t false_positives = 0;
+  int64_t true_negatives = 0;
+  int64_t false_negatives = 0;
+  double accuracy() const {
+    return num_instances > 0
+               ? static_cast<double>(correct) /
+                     static_cast<double>(num_instances)
+               : 0.0;
+  }
+};
+
+/// \brief Fitted STREC linear model.
+class StrecClassifier {
+ public:
+  /// Fits on the training segments. `table` must be computed on the same
+  /// split and outlive the classifier.
+  static Result<StrecClassifier> Fit(const data::TrainTestSplit& split,
+                                     const features::StaticFeatureTable* table,
+                                     const StrecOptions& options);
+
+  /// Probability that the next consumption is a (windowed) repeat, given the
+  /// walker state W_{u,t-1}.
+  double PredictRepeatProbability(data::UserId user,
+                                  const window::WindowWalker& walker) const;
+  bool PredictRepeat(data::UserId user,
+                     const window::WindowWalker& walker) const {
+    return PredictRepeatProbability(user, walker) >= 0.5;
+  }
+
+  /// Sweeps the test segments, comparing predictions to ground truth.
+  StrecAccuracy EvaluateOnTest(const data::TrainTestSplit& split) const;
+
+  const math::LassoLogisticModel& model() const { return model_; }
+
+  /// The four features at a state (exposed for tests and diagnostics).
+  std::vector<double> ExtractFeatures(data::UserId user,
+                                      const window::WindowWalker& walker) const;
+
+ private:
+  StrecClassifier(const features::StaticFeatureTable* table,
+                  std::vector<double> user_repeat_ratio, int window_capacity,
+                  bool quadratic, math::LassoLogisticModel model)
+      : table_(table),
+        user_repeat_ratio_(std::move(user_repeat_ratio)),
+        window_capacity_(window_capacity),
+        quadratic_(quadratic),
+        model_(std::move(model)) {}
+
+  const features::StaticFeatureTable* table_;
+  std::vector<double> user_repeat_ratio_;  ///< per user, from training
+  int window_capacity_;
+  bool quadratic_ = false;
+  math::LassoLogisticModel model_;
+};
+
+}  // namespace strec
+}  // namespace reconsume
+
+#endif  // RECONSUME_STREC_STREC_CLASSIFIER_H_

@@ -1,0 +1,197 @@
+#include "survival/cox_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "math/matrix.h"
+#include "math/newton.h"
+#include "math/vector_ops.h"
+
+namespace reconsume {
+namespace survival {
+
+namespace {
+
+/// Indices sorted by duration descending, so a forward sweep grows the risk
+/// set {j : tau_j >= tau_i} incrementally.
+std::vector<size_t> SortByDurationDescending(
+    const std::vector<SurvivalRecord>& records) {
+  std::vector<size_t> order(records.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return records[a].duration > records[b].duration;
+  });
+  return order;
+}
+
+}  // namespace
+
+Result<CoxModel> CoxModel::Fit(const std::vector<SurvivalRecord>& records,
+                               const CoxOptions& options) {
+  if (records.empty()) return Status::InvalidArgument("Cox: no records");
+  const size_t p = records[0].covariates.size();
+  if (p == 0) return Status::InvalidArgument("Cox: zero covariate width");
+  size_t num_events = 0;
+  for (const auto& r : records) {
+    if (r.covariates.size() != p) {
+      return Status::InvalidArgument("Cox: ragged covariates");
+    }
+    if (!(r.duration > 0.0) || !std::isfinite(r.duration)) {
+      return Status::InvalidArgument("Cox: durations must be positive finite");
+    }
+    if (!math::AllFinite(r.covariates)) {
+      return Status::InvalidArgument("Cox: non-finite covariate");
+    }
+    if (r.event) ++num_events;
+  }
+  if (num_events == 0) {
+    return Status::FailedPrecondition("Cox: no observed events (all censored)");
+  }
+
+  const auto order = SortByDurationDescending(records);
+
+  // Negative Breslow log partial likelihood with its derivatives. The sweep
+  // adds every record with duration >= current event time into the risk-set
+  // accumulators (S0, S1, S2) before processing the events at that time,
+  // which is exactly Breslow tie handling.
+  auto objective = [&](const std::vector<double>& beta)
+      -> Result<math::ObjectiveEvaluation> {
+    math::ObjectiveEvaluation eval;
+    eval.gradient.assign(p, 0.0);
+    eval.hessian = math::Matrix(p, p);
+
+    double s0 = 0.0;
+    std::vector<double> s1(p, 0.0);
+    math::Matrix s2(p, p);
+
+    size_t pos = 0;
+    while (pos < order.size()) {
+      const double time = records[order[pos]].duration;
+      // Add all records tied at `time` to the risk set.
+      size_t tie_end = pos;
+      while (tie_end < order.size() &&
+             records[order[tie_end]].duration == time) {
+        const auto& r = records[order[tie_end]];
+        const double w = std::exp(math::Dot(beta, r.covariates));
+        if (!std::isfinite(w)) {
+          return Status::NumericalError("Cox: exp overflow in risk set");
+        }
+        s0 += w;
+        for (size_t a = 0; a < p; ++a) {
+          s1[a] += w * r.covariates[a];
+          for (size_t b = 0; b < p; ++b) {
+            s2(a, b) += w * r.covariates[a] * r.covariates[b];
+          }
+        }
+        ++tie_end;
+      }
+      // Process events at this time against the updated risk set.
+      for (size_t i = pos; i < tie_end; ++i) {
+        const auto& r = records[order[i]];
+        if (!r.event) continue;
+        eval.value -= math::Dot(beta, r.covariates) - std::log(s0);
+        for (size_t a = 0; a < p; ++a) {
+          const double mean_a = s1[a] / s0;
+          eval.gradient[a] += mean_a - r.covariates[a];
+          for (size_t b = 0; b < p; ++b) {
+            eval.hessian(a, b) += s2(a, b) / s0 - mean_a * (s1[b] / s0);
+          }
+        }
+      }
+      pos = tie_end;
+    }
+
+    // Ridge term.
+    for (size_t a = 0; a < p; ++a) {
+      eval.value += 0.5 * options.ridge * beta[a] * beta[a];
+      eval.gradient[a] += options.ridge * beta[a];
+      eval.hessian(a, a) += options.ridge;
+    }
+    return eval;
+  };
+
+  math::NewtonOptions newton;
+  newton.max_iterations = options.max_iterations;
+  newton.gradient_tolerance = options.gradient_tolerance;
+  RECONSUME_ASSIGN_OR_RETURN(
+      math::NewtonReport report,
+      math::MinimizeNewton(objective, std::vector<double>(p, 0.0), newton));
+
+  CoxModel model;
+  model.beta_ = report.solution;
+  model.log_likelihood_ = -report.objective_value;
+  model.iterations_ = report.iterations;
+
+  // Breslow baseline cumulative hazard: H0(t) = sum_{t_i <= t} d_i / S0(t_i).
+  // Sweep durations descending, recording S0 at each distinct event time.
+  {
+    double s0 = 0.0;
+    std::vector<std::pair<double, double>> time_and_increment;  // descending
+    size_t pos = 0;
+    while (pos < order.size()) {
+      const double time = records[order[pos]].duration;
+      size_t tie_end = pos;
+      int deaths = 0;
+      while (tie_end < order.size() &&
+             records[order[tie_end]].duration == time) {
+        const auto& r = records[order[tie_end]];
+        s0 += std::exp(math::Dot(model.beta_, r.covariates));
+        if (r.event) ++deaths;
+        ++tie_end;
+      }
+      if (deaths > 0) {
+        time_and_increment.emplace_back(time,
+                                        static_cast<double>(deaths) / s0);
+      }
+      pos = tie_end;
+    }
+    std::reverse(time_and_increment.begin(), time_and_increment.end());
+    double cumulative = 0.0;
+    for (const auto& [time, inc] : time_and_increment) {
+      cumulative += inc;
+      model.event_times_.push_back(time);
+      model.cumulative_hazard_.push_back(cumulative);
+    }
+  }
+  return model;
+}
+
+double CoxModel::LogHazardRatio(const std::vector<double>& covariates) const {
+  RECONSUME_CHECK(covariates.size() == beta_.size());
+  return math::Dot(beta_, covariates);
+}
+
+double CoxModel::HazardRatio(const std::vector<double>& covariates) const {
+  return std::exp(LogHazardRatio(covariates));
+}
+
+double CoxModel::BaselineCumulativeHazard(double t) const {
+  // Largest event time <= t.
+  const auto it =
+      std::upper_bound(event_times_.begin(), event_times_.end(), t);
+  if (it == event_times_.begin()) return 0.0;
+  return cumulative_hazard_[static_cast<size_t>(
+      std::distance(event_times_.begin(), it) - 1)];
+}
+
+double CoxModel::SurvivalProbability(
+    double t, const std::vector<double>& covariates) const {
+  return std::exp(-BaselineCumulativeHazard(t) * HazardRatio(covariates));
+}
+
+double CoxModel::MedianSurvivalTime(
+    const std::vector<double>& covariates) const {
+  // S(t|x) <= 0.5  <=>  H0(t) >= ln(2) / exp(beta^T x).
+  const double threshold = std::log(2.0) / HazardRatio(covariates);
+  const auto it = std::lower_bound(cumulative_hazard_.begin(),
+                                   cumulative_hazard_.end(), threshold);
+  if (it == cumulative_hazard_.end()) {
+    return event_times_.empty() ? 0.0 : 2.0 * event_times_.back();
+  }
+  return event_times_[static_cast<size_t>(
+      std::distance(cumulative_hazard_.begin(), it))];
+}
+
+}  // namespace survival
+}  // namespace reconsume

@@ -1,0 +1,83 @@
+// Cox proportional-hazards regression, from scratch.
+//
+// Substrate for the Survival baseline (ref. [30], Kapoor et al., KDD 2014),
+// which the paper runs through the Python `lifelines` package; here the same
+// estimator is implemented directly: Newton–Raphson on the Breslow partial
+// likelihood plus the Breslow baseline cumulative-hazard estimator.
+
+#ifndef RECONSUME_SURVIVAL_COX_MODEL_H_
+#define RECONSUME_SURVIVAL_COX_MODEL_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace reconsume {
+namespace survival {
+
+/// \brief One subject: time-to-event (or censoring) with covariates.
+struct SurvivalRecord {
+  double duration = 0.0;   ///< > 0
+  bool event = false;      ///< true = event observed, false = right-censored
+  std::vector<double> covariates;
+};
+
+struct CoxOptions {
+  int max_iterations = 60;
+  double gradient_tolerance = 1e-7;
+  /// L2 ridge on the coefficients; stabilizes separation on degenerate data.
+  double ridge = 1e-6;
+};
+
+/// \brief Fitted Cox PH model: h(t | x) = h0(t) * exp(beta^T x).
+class CoxModel {
+ public:
+  /// Fits by maximizing the Breslow partial likelihood. All records must have
+  /// the same covariate width and positive durations; at least one event is
+  /// required.
+  static Result<CoxModel> Fit(const std::vector<SurvivalRecord>& records,
+                              const CoxOptions& options = CoxOptions());
+
+  const std::vector<double>& coefficients() const { return beta_; }
+  double log_partial_likelihood() const { return log_likelihood_; }
+  int iterations() const { return iterations_; }
+
+  /// exp(beta^T x) — the subject's hazard ratio.
+  double HazardRatio(const std::vector<double>& covariates) const;
+  double LogHazardRatio(const std::vector<double>& covariates) const;
+
+  /// Breslow baseline cumulative hazard H0(t) (step function, evaluated by
+  /// binary search over event times).
+  double BaselineCumulativeHazard(double t) const;
+
+  /// Approximate baseline hazard h0 at t: the H0 increment in [t, t+dt).
+  double BaselineHazard(double t, double dt = 1.0) const {
+    return BaselineCumulativeHazard(t + dt) - BaselineCumulativeHazard(t);
+  }
+
+  /// S(t | x) = exp(-H0(t) * exp(beta^T x)).
+  double SurvivalProbability(double t,
+                             const std::vector<double>& covariates) const;
+
+  /// Smallest observed event time t with S(t | x) <= 0.5 — the predicted
+  /// (median) return time. When survival never crosses 0.5 within the
+  /// observed horizon (heavy censoring), returns twice the largest event
+  /// time as a pessimistic "far future" estimate.
+  double MedianSurvivalTime(const std::vector<double>& covariates) const;
+
+ private:
+  CoxModel() = default;
+
+  std::vector<double> beta_;
+  double log_likelihood_ = 0.0;
+  int iterations_ = 0;
+  // Breslow estimator support: distinct event times (ascending) and the
+  // cumulative hazard reached at each.
+  std::vector<double> event_times_;
+  std::vector<double> cumulative_hazard_;
+};
+
+}  // namespace survival
+}  // namespace reconsume
+
+#endif  // RECONSUME_SURVIVAL_COX_MODEL_H_

@@ -1,0 +1,66 @@
+#include "util/csv.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace reconsume {
+namespace util {
+
+Result<DelimitedReader> DelimitedReader::Open(std::string path,
+                                              Options options) {
+  std::ifstream stream(path);
+  if (!stream.is_open()) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  return DelimitedReader(std::move(path), options, std::move(stream));
+}
+
+bool DelimitedReader::Next(std::vector<std::string_view>* fields) {
+  while (std::getline(stream_, line_)) {
+    ++line_number_;
+    if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+    if (options_.skip_blank_lines && Trim(line_).empty()) continue;
+    if (options_.comment_char != 0 && !line_.empty() &&
+        line_[0] == options_.comment_char) {
+      continue;
+    }
+    *fields = Split(line_, options_.delimiter);
+    return true;
+  }
+  return false;
+}
+
+Status DelimitedReader::Error(std::string_view message) const {
+  std::ostringstream out;
+  out << path_ << ":" << line_number_ << ": " << message;
+  return Status::InvalidArgument(out.str());
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream.is_open()) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream contents;
+  contents << stream.rdbuf();
+  if (stream.bad()) {
+    return Status::IoError("read error on '" + path + "'");
+  }
+  return contents.str();
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  std::ofstream stream(path, std::ios::binary | std::ios::trunc);
+  if (!stream.is_open()) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  stream.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  if (!stream.good()) {
+    return Status::IoError("write error on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace util
+}  // namespace reconsume

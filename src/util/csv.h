@@ -1,0 +1,68 @@
+// Line-oriented delimited-file reading used by the Gowalla / Last.fm loaders.
+//
+// These traces are simple TSV/CSV without quoting, so the reader is a thin
+// streaming splitter with good error messages (file:line) rather than a full
+// RFC-4180 parser.
+
+#ifndef RECONSUME_UTIL_CSV_H_
+#define RECONSUME_UTIL_CSV_H_
+
+#include <fstream>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace reconsume {
+namespace util {
+
+/// \brief Streaming reader over a delimited text file.
+class DelimitedReader {
+ public:
+  struct Options {
+    char delimiter = '\t';
+    bool skip_blank_lines = true;
+    char comment_char = '#';  ///< lines starting with this are skipped; 0 = off
+  };
+
+  /// Opens `path`; fails with IoError if unreadable.
+  static Result<DelimitedReader> Open(std::string path, Options options);
+  static Result<DelimitedReader> Open(std::string path) {
+    return Open(std::move(path), Options{});
+  }
+
+  /// Reads the next record. Returns false at end of file.
+  /// The string_views in `*fields` point into an internal buffer that is
+  /// invalidated by the next call.
+  bool Next(std::vector<std::string_view>* fields);
+
+  /// 1-based line number of the record returned by the last Next().
+  int64_t line_number() const { return line_number_; }
+  const std::string& path() const { return path_; }
+
+  /// Formats "path:line: message" for loader diagnostics.
+  Status Error(std::string_view message) const;
+
+ private:
+  DelimitedReader(std::string path, Options options, std::ifstream stream)
+      : path_(std::move(path)), options_(options), stream_(std::move(stream)) {}
+
+  std::string path_;
+  Options options_;
+  std::ifstream stream_;
+  std::string line_;
+  int64_t line_number_ = 0;
+};
+
+/// Reads an entire file into memory; IoError on failure.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `contents` to `path`, replacing any existing file.
+Status WriteStringToFile(const std::string& path, std::string_view contents);
+
+}  // namespace util
+}  // namespace reconsume
+
+#endif  // RECONSUME_UTIL_CSV_H_

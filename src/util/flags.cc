@@ -1,0 +1,105 @@
+#include "util/flags.h"
+
+#include "util/string_util.h"
+
+namespace reconsume {
+namespace util {
+
+Result<FlagSet> FlagSet::Parse(int argc, const char* const* argv) {
+  FlagSet flags;
+  bool flags_done = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (flags_done || !StartsWith(arg, "--")) {
+      flags.positional_.emplace_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    const std::string_view body = arg.substr(2);
+    const size_t eq = body.find('=');
+    std::string name, value;
+    if (eq != std::string_view::npos) {
+      name = std::string(body.substr(0, eq));
+      value = std::string(body.substr(eq + 1));
+    } else {
+      name = std::string(body);
+      // `--key value` if the next token is not itself a flag; else bare bool.
+      if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    if (name.empty()) {
+      return Status::InvalidArgument("malformed flag '" + std::string(arg) +
+                                     "'");
+    }
+    flags.flags_[name] = value;
+  }
+  return flags;
+}
+
+Result<std::string> FlagSet::GetString(const std::string& name,
+                                       std::string fallback) const {
+  used_[name] = true;
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? std::move(fallback) : it->second;
+}
+
+Result<int64_t> FlagSet::GetInt(const std::string& name,
+                                int64_t fallback) const {
+  used_[name] = true;
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  auto parsed = ParseInt64(it->second);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("--" + name + ": " +
+                                   parsed.status().message());
+  }
+  return parsed;
+}
+
+Result<double> FlagSet::GetDouble(const std::string& name,
+                                  double fallback) const {
+  used_[name] = true;
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  auto parsed = ParseDouble(it->second);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("--" + name + ": " +
+                                   parsed.status().message());
+  }
+  return parsed;
+}
+
+Result<bool> FlagSet::GetBool(const std::string& name, bool fallback) const {
+  used_[name] = true;
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const std::string lower = ToLower(it->second);
+  if (lower == "true" || lower == "1" || lower == "yes") return true;
+  if (lower == "false" || lower == "0" || lower == "no") return false;
+  return Status::InvalidArgument("--" + name + ": expected a boolean, got '" +
+                                 it->second + "'");
+}
+
+Status FlagSet::CheckNoUnusedFlags() const {
+  std::string unknown;
+  for (const auto& [name, value] : flags_) {
+    (void)value;
+    if (!used_.count(name)) {
+      if (!unknown.empty()) unknown += ", ";
+      unknown += "--" + name;
+    }
+  }
+  if (!unknown.empty()) {
+    return Status::InvalidArgument("unknown flag(s): " + unknown);
+  }
+  return Status::OK();
+}
+
+}  // namespace util
+}  // namespace reconsume

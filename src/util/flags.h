@@ -1,0 +1,52 @@
+// Minimal --name=value command-line flag parsing for the CLI tool and
+// experiment drivers. No global registry: parse argv into a FlagSet, then
+// pull typed values with defaults.
+
+#ifndef RECONSUME_UTIL_FLAGS_H_
+#define RECONSUME_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace reconsume {
+namespace util {
+
+/// \brief Parsed command line: positional arguments plus --key=value flags.
+///
+/// Accepted forms: `--key=value`, `--key value`, and bare `--key` (stored as
+/// "true"). `--` ends flag parsing. Unknown flags are kept; callers can
+/// reject leftovers via CheckNoUnusedFlags().
+class FlagSet {
+ public:
+  /// Parses argv[1..argc); returns InvalidArgument for malformed input
+  /// (e.g. `--=x`).
+  static Result<FlagSet> Parse(int argc, const char* const* argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool Has(const std::string& name) const { return flags_.count(name) > 0; }
+
+  /// Typed getters; return `fallback` when the flag is absent and an error
+  /// Status only when the flag is present but unparsable.
+  Result<std::string> GetString(const std::string& name,
+                                std::string fallback) const;
+  Result<int64_t> GetInt(const std::string& name, int64_t fallback) const;
+  Result<double> GetDouble(const std::string& name, double fallback) const;
+  Result<bool> GetBool(const std::string& name, bool fallback) const;
+
+  /// InvalidArgument listing any flag never read by a getter (typo guard).
+  Status CheckNoUnusedFlags() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> used_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace util
+}  // namespace reconsume
+
+#endif  // RECONSUME_UTIL_FLAGS_H_

@@ -1,0 +1,60 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <mutex>
+
+namespace reconsume {
+namespace util {
+
+namespace {
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_log_mutex;
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+
+void SetLogLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LogLevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  const bool fatal = level_ == LogLevel::kFatal;
+  if (fatal || static_cast<int>(level_) >= g_min_level.load()) {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::fflush(stderr);
+  }
+  if (fatal) std::abort();
+}
+
+}  // namespace internal
+}  // namespace util
+}  // namespace reconsume

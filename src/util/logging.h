@@ -1,0 +1,89 @@
+// Minimal leveled logging plus debug-check macros.
+//
+// Usage:
+//   RECONSUME_LOG(INFO) << "trained " << n << " epochs";
+//   RECONSUME_CHECK(x > 0) << "x must be positive, got " << x;
+
+#ifndef RECONSUME_UTIL_LOGGING_H_
+#define RECONSUME_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace reconsume {
+namespace util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// \brief Global minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+const char* LogLevelName(LogLevel level);
+
+namespace internal {
+
+/// One in-flight log statement; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the log level filters it out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Lets the ternary in RECONSUME_CHECK produce void while still allowing
+/// `<< extra` on the failure branch (`&` binds looser than `<<`).
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace util
+}  // namespace reconsume
+
+#define RECONSUME_LOG_INTERNAL(level)                                      \
+  ::reconsume::util::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define RECONSUME_LOG(severity)                                            \
+  RECONSUME_LOG_INTERNAL(::reconsume::util::LogLevel::k##severity)
+
+/// Always-on invariant check; logs and aborts on failure. Supports streaming
+/// extra context: RECONSUME_CHECK(n > 0) << "n was " << n;
+#define RECONSUME_CHECK(condition)                                         \
+  (condition) ? (void)0                                                    \
+              : ::reconsume::util::internal::LogMessageVoidify() &         \
+                    RECONSUME_LOG_INTERNAL(                                \
+                        ::reconsume::util::LogLevel::kFatal)               \
+                        << "Check failed: " #condition " "
+
+#define RECONSUME_CHECK_OK(expr)                                           \
+  do {                                                                     \
+    ::reconsume::Status _st = (expr);                                      \
+    RECONSUME_CHECK(_st.ok()) << _st.ToString();                           \
+  } while (0)
+
+#ifdef NDEBUG
+// `true || (c)` keeps the expression well-formed (and streamable) while
+// letting the optimizer drop both the check and its operands.
+#define RECONSUME_DCHECK(condition) RECONSUME_CHECK(true || (condition))
+#else
+#define RECONSUME_DCHECK(condition) RECONSUME_CHECK(condition)
+#endif
+
+#endif  // RECONSUME_UTIL_LOGGING_H_

@@ -1,0 +1,54 @@
+#include "util/random.h"
+
+#include <numeric>
+
+namespace reconsume {
+namespace util {
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  RECONSUME_CHECK(!weights.empty()) << "AliasSampler needs at least one weight";
+  const size_t n = weights.size();
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  RECONSUME_CHECK(total > 0) << "AliasSampler weights must have a positive sum";
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scaled probabilities; > 1 means the bucket overflows and donates mass.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    RECONSUME_CHECK(weights[i] >= 0) << "negative weight at index " << i;
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers are 1.0 up to rounding.
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;
+}
+
+size_t AliasSampler::Sample(Rng* rng) const {
+  const size_t bucket = rng->Uniform(prob_.size());
+  return rng->NextDouble() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+}  // namespace util
+}  // namespace reconsume

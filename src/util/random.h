@@ -1,0 +1,179 @@
+// Deterministic, fast random number generation for training and simulation.
+//
+// We keep our own engine (xoshiro256**) instead of std::mt19937 so that all
+// sampled quantities are reproducible across standard libraries, which
+// matters for experiment scripts that must print identical tables on rerun.
+
+#ifndef RECONSUME_UTIL_RANDOM_H_
+#define RECONSUME_UTIL_RANDOM_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace reconsume {
+namespace util {
+
+/// \brief SplitMix64; used to seed larger-state generators.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// \brief xoshiro256** 1.0 — the library-wide PRNG.
+///
+/// Satisfies UniformRandomBitGenerator, so it also plugs into <random>
+/// distributions when needed.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  uint64_t operator()() { return Next(); }
+
+  /// Uniform in [0, bound). Precondition: bound > 0.
+  uint64_t Uniform(uint64_t bound) {
+    RECONSUME_DCHECK(bound > 0);
+    // Lemire's multiply-shift rejection method: unbiased, one division at most.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      uint64_t threshold = (-bound) % bound;
+      while (low < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    RECONSUME_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Standard normal via polar Box–Muller (cached second deviate).
+  double NextGaussian() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * NextDouble() - 1.0;
+      v = 2.0 * NextDouble() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_ = v * factor;
+    has_cached_ = true;
+    return u * factor;
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Exponential with rate lambda (> 0).
+  double Exponential(double lambda) {
+    RECONSUME_DCHECK(lambda > 0);
+    return -std::log(1.0 - NextDouble()) / lambda;
+  }
+
+  /// Geometric number of failures before first success; p in (0, 1].
+  uint64_t Geometric(double p) {
+    RECONSUME_DCHECK(p > 0 && p <= 1.0);
+    if (p >= 1.0) return 0;
+    return static_cast<uint64_t>(std::log(1.0 - NextDouble()) /
+                                 std::log(1.0 - p));
+  }
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Uniform(i)]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+/// \brief O(1) sampling from a fixed discrete distribution (Walker/Vose).
+///
+/// Built once from unnormalized non-negative weights; used for popularity-
+/// biased item draws in the synthetic trace generator.
+class AliasSampler {
+ public:
+  /// Precondition: weights non-empty with a positive sum.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()) with probability proportional to weight.
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace util
+}  // namespace reconsume
+
+#endif  // RECONSUME_UTIL_RANDOM_H_

@@ -1,0 +1,180 @@
+// Status / Result error handling for the reconsume library.
+//
+// Follows the Arrow/Abseil convention: fallible functions return a Status (or
+// a Result<T> when they produce a value) instead of throwing. Exceptions are
+// reserved for programming errors (checked via RECONSUME_DCHECK).
+
+#ifndef RECONSUME_UTIL_STATUS_H_
+#define RECONSUME_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace reconsume {
+
+/// \brief Machine-readable category of a Status.
+enum class StatusCode : int8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kIoError = 6,
+  kNotImplemented = 7,
+  kInternal = 8,
+  kNumericalError = 9,  ///< divergence, non-finite values, singular systems
+};
+
+/// \brief Returns a human-readable name for a StatusCode (e.g. "IOError").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: OK, or a code plus message.
+///
+/// The OK state carries no allocation; error states share an immutable
+/// heap-allocated payload, so copying a Status is cheap.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_shared<State>(State{code, std::move(message)})) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// Error message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->message;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const State> state_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// \brief A value of type T, or the Status explaining why it is absent.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return my_t;`.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: `return Status::IoError(...);`.
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(payload_).ok()) {
+      payload_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(payload_);
+  }
+
+  /// Precondition: ok(). Checked in all build modes.
+  const T& ValueOrDie() const& {
+    CheckOk();
+    return std::get<T>(payload_);
+  }
+  T& ValueOrDie() & {
+    CheckOk();
+    return std::get<T>(payload_);
+  }
+  T ValueOrDie() && {
+    CheckOk();
+    return std::move(std::get<T>(payload_));
+  }
+
+  /// Moves the value out, or returns `fallback` on error.
+  T ValueOr(T fallback) && {
+    return ok() ? std::move(std::get<T>(payload_)) : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const;
+  std::variant<Status, T> payload_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResult(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::CheckOk() const {
+  if (!ok()) internal::DieOnBadResult(status());
+}
+
+/// Propagates a non-OK Status from the current function.
+#define RECONSUME_RETURN_NOT_OK(expr)                   \
+  do {                                                  \
+    ::reconsume::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                          \
+  } while (0)
+
+/// Evaluates a Result<T> expression and assigns its value, or propagates.
+#define RECONSUME_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  RECONSUME_ASSIGN_OR_RETURN_IMPL(                      \
+      RECONSUME_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define RECONSUME_CONCAT_IMPL_(a, b) a##b
+#define RECONSUME_CONCAT_(a, b) RECONSUME_CONCAT_IMPL_(a, b)
+#define RECONSUME_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                    \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).ValueOrDie();
+
+}  // namespace reconsume
+
+#endif  // RECONSUME_UTIL_STATUS_H_

@@ -1,0 +1,37 @@
+// Wall-clock stopwatch used by the latency experiments (Fig. 13) and for
+// reporting training time.
+
+#ifndef RECONSUME_UTIL_STOPWATCH_H_
+#define RECONSUME_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace reconsume {
+namespace util {
+
+/// \brief Monotonic stopwatch with nanosecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+  double ElapsedMicros() const { return ElapsedNanos() / 1e3; }
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace util
+}  // namespace reconsume
+
+#endif  // RECONSUME_UTIL_STOPWATCH_H_

@@ -1,0 +1,50 @@
+// Small string helpers shared by the dataset loaders and table writers.
+
+#ifndef RECONSUME_UTIL_STRING_UTIL_H_
+#define RECONSUME_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace reconsume {
+namespace util {
+
+/// Splits `input` on `delim`; empty fields are preserved.
+std::vector<std::string_view> Split(std::string_view input, char delim);
+
+/// Splits on any run of whitespace; empty fields are dropped.
+std::vector<std::string_view> SplitWhitespace(std::string_view input);
+
+/// Removes leading and trailing whitespace.
+std::string_view Trim(std::string_view input);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strict integer parse of the entire string.
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// Strict floating-point parse of the entire string.
+Result<double> ParseDouble(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Lower-cases ASCII characters.
+std::string ToLower(std::string_view s);
+
+/// Formats like printf into a std::string.
+std::string StringPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders a count with thousands separators, e.g. 4031705 -> "4,031,705".
+std::string FormatWithCommas(int64_t value);
+
+}  // namespace util
+}  // namespace reconsume
+
+#endif  // RECONSUME_UTIL_STRING_UTIL_H_

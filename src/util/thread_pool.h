@@ -1,0 +1,59 @@
+// Fixed-size thread pool used for parallel per-user evaluation and for the
+// parameter sweeps in the benchmark harness.
+
+#ifndef RECONSUME_UTIL_THREAD_POOL_H_
+#define RECONSUME_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace reconsume {
+namespace util {
+
+/// \brief A simple FIFO thread pool.
+///
+/// Tasks are `std::function<void()>`; exceptions must not escape a task
+/// (fallible work should capture a Status into its own slot).
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called after Wait() has begun from another
+  /// thread unless externally synchronized.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+  static void ParallelFor(size_t n, size_t num_threads,
+                          const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace util
+}  // namespace reconsume
+
+#endif  // RECONSUME_UTIL_THREAD_POOL_H_

@@ -1,0 +1,32 @@
+#include "window/window_walker.h"
+
+namespace reconsume {
+namespace window {
+
+void WindowWalker::Advance() {
+  RECONSUME_CHECK(!Done()) << "Advance past end of sequence";
+  const data::ItemId entering = (*sequence_)[static_cast<size_t>(step_)];
+  ++in_window_[entering];
+  last_seen_[entering] = step_;
+  ++step_;
+  if (step_ > capacity_) {
+    const data::ItemId leaving =
+        (*sequence_)[static_cast<size_t>(step_ - capacity_ - 1)];
+    auto it = in_window_.find(leaving);
+    RECONSUME_DCHECK(it != in_window_.end());
+    if (--it->second == 0) in_window_.erase(it);
+  }
+}
+
+void WindowWalker::EligibleCandidates(int min_gap,
+                                      std::vector<data::ItemId>* out) const {
+  out->clear();
+  out->reserve(in_window_.size());
+  for (const auto& [item, count] : in_window_) {
+    (void)count;
+    if (GapSince(item) > min_gap) out->push_back(item);
+  }
+}
+
+}  // namespace window
+}  // namespace reconsume

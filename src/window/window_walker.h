@@ -1,0 +1,115 @@
+// Incremental time-window state over one consumption sequence.
+//
+// The paper defines everything relative to the trailing window W_{ut} of the
+// last |W| consumption steps (Definition 1). WindowWalker maintains, in O(1)
+// amortized per step: the multiset of items inside the window, each item's
+// in-window count, and each item's last consumption step over the *full*
+// history (the recency feature looks beyond the window edge only for items
+// still inside the window, but keeping full history is simpler and exact).
+
+#ifndef RECONSUME_WINDOW_WINDOW_WALKER_H_
+#define RECONSUME_WINDOW_WINDOW_WALKER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "data/types.h"
+#include "util/logging.h"
+
+namespace reconsume {
+namespace window {
+
+/// \brief Walks a sequence maintaining the trailing window state.
+///
+/// After construction the state corresponds to time t = 0 (nothing consumed).
+/// Each Advance() consumes one event; at any point `step()` events have been
+/// consumed and the window covers the last min(step, capacity) of them —
+/// i.e. the state *is* W_{u, t-1}, the candidate source for predicting the
+/// event at position t = step().
+class WindowWalker {
+ public:
+  /// `sequence` must outlive the walker. capacity >= 1.
+  WindowWalker(const data::ConsumptionSequence* sequence, int capacity)
+      : sequence_(sequence), capacity_(capacity) {
+    RECONSUME_CHECK(sequence != nullptr);
+    RECONSUME_CHECK(capacity >= 1) << "window capacity must be >= 1";
+  }
+
+  /// Number of events consumed so far (the current prediction step t).
+  int step() const { return step_; }
+  bool Done() const {
+    return static_cast<size_t>(step_) >= sequence_->size();
+  }
+
+  /// The event that Advance() would consume (the "next incoming" x_t).
+  data::ItemId NextItem() const {
+    RECONSUME_DCHECK(!Done());
+    return (*sequence_)[static_cast<size_t>(step_)];
+  }
+
+  /// Consumes the next event, updating window and history state.
+  void Advance();
+
+  /// Current window length |W| = min(step, capacity).
+  int WindowSize() const { return std::min(step_, capacity_); }
+
+  /// Whether v appears in the current window.
+  bool Contains(data::ItemId v) const { return in_window_.count(v) > 0; }
+
+  /// Number of occurrences of v in the current window.
+  int CountInWindow(data::ItemId v) const {
+    const auto it = in_window_.find(v);
+    return it == in_window_.end() ? 0 : it->second;
+  }
+
+  /// Step of v's most recent consumption over the whole history, or -1.
+  int LastSeenStep(data::ItemId v) const {
+    const auto it = last_seen_.find(v);
+    return it == last_seen_.end() ? -1 : it->second;
+  }
+
+  /// t - LastSeenStep(v); meaningful only if v was seen (>= 1 then).
+  int GapSince(data::ItemId v) const {
+    const int last = LastSeenStep(v);
+    RECONSUME_DCHECK(last >= 0) << "GapSince on never-seen item";
+    return step_ - last;
+  }
+
+  /// Distinct items currently in the window with their counts.
+  const std::unordered_map<data::ItemId, int>& window_counts() const {
+    return in_window_;
+  }
+
+  /// Number of distinct items in the window.
+  size_t NumDistinctInWindow() const { return in_window_.size(); }
+
+  /// True iff the next event repeats an item from the current window
+  /// (the solid-circle condition of Fig. 1).
+  bool NextIsRepeat() const { return !Done() && Contains(NextItem()); }
+
+  /// True iff the next event is a repeat whose last consumption is more than
+  /// `min_gap` steps ago — the events the paper trains and evaluates on
+  /// (0 < Omega < |W|; items within the last Omega steps are excluded).
+  bool NextIsEligibleRepeat(int min_gap) const {
+    return NextIsRepeat() && GapSince(NextItem()) > min_gap;
+  }
+
+  /// Collects the RRC candidate set: distinct items in the window whose gap
+  /// exceeds `min_gap`. Appends to *out (cleared first).
+  void EligibleCandidates(int min_gap, std::vector<data::ItemId>* out) const;
+
+  int capacity() const { return capacity_; }
+  const data::ConsumptionSequence& sequence() const { return *sequence_; }
+
+ private:
+  const data::ConsumptionSequence* sequence_;
+  int capacity_;
+  int step_ = 0;
+  std::unordered_map<data::ItemId, int> in_window_;
+  std::unordered_map<data::ItemId, int> last_seen_;
+};
+
+}  // namespace window
+}  // namespace reconsume
+
+#endif  // RECONSUME_WINDOW_WINDOW_WALKER_H_

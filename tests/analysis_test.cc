@@ -1,0 +1,98 @@
+#include "data/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace reconsume {
+namespace data {
+namespace {
+
+Dataset FromSequences(const std::vector<std::vector<int>>& sequences) {
+  DatasetBuilder builder;
+  for (size_t u = 0; u < sequences.size(); ++u) {
+    for (size_t t = 0; t < sequences[u].size(); ++t) {
+      EXPECT_TRUE(builder
+                      .Add(static_cast<int64_t>(u), sequences[u][t],
+                           static_cast<int64_t>(t))
+                      .ok());
+    }
+  }
+  return builder.Build().ValueOrDie();
+}
+
+TEST(RecencyCurveTest, HandComputedProbabilities) {
+  // Sequence: a b a. At t=1: a has gap 1 (opportunity, not converted).
+  // At t=2: a has gap 2 (converted), b has gap 1 (not converted).
+  const Dataset dataset = FromSequences({{0, 1, 0}});
+  const auto curve = ComputeRecencyCurve(dataset, 3);
+  EXPECT_EQ(curve.opportunity_counts[0], 2);  // gap 1: a@t1, b@t2
+  EXPECT_EQ(curve.opportunity_counts[1], 1);  // gap 2: a@t2
+  EXPECT_DOUBLE_EQ(curve.reconsumption_probability[0], 0.0);
+  EXPECT_DOUBLE_EQ(curve.reconsumption_probability[1], 1.0);
+  EXPECT_EQ(curve.opportunity_counts[2], 0);
+}
+
+TEST(RecencyCurveTest, ProbabilitiesAreProbabilities) {
+  const Dataset dataset = SyntheticTraceGenerator(GowallaLikeProfile(0.05))
+                              .Generate()
+                              .ValueOrDie();
+  const auto curve = ComputeRecencyCurve(dataset, 30);
+  for (double p : curve.reconsumption_probability) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  // The generator has a decaying recency kernel: gap-1 conversion should
+  // comfortably exceed gap-30 conversion.
+  EXPECT_GT(curve.reconsumption_probability[0],
+            curve.reconsumption_probability[29]);
+}
+
+TEST(PopularityGiniTest, UniformIsZeroSkewedIsHigh) {
+  const Dataset uniform = FromSequences({{0, 1, 2, 3, 0, 1, 2, 3}});
+  EXPECT_NEAR(PopularityGini(uniform), 0.0, 1e-12);
+
+  // One dominant item.
+  const Dataset skewed = FromSequences({{0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3}});
+  EXPECT_GT(PopularityGini(skewed), 0.4);
+
+  const Dataset generated = SyntheticTraceGenerator(GowallaLikeProfile(0.05))
+                                .Generate()
+                                .ValueOrDie();
+  const double gini = PopularityGini(generated);
+  EXPECT_GT(gini, 0.2);  // Zipf-like catalog
+  EXPECT_LT(gini, 1.0);
+}
+
+TEST(RepeatShareTest, SumsToOneAndHeadHeavy) {
+  const Dataset dataset = SyntheticTraceGenerator(GowallaLikeProfile(0.1))
+                              .Generate()
+                              .ValueOrDie();
+  const auto shares = RepeatShareByPopularityDecile(dataset, 100);
+  ASSERT_EQ(shares.size(), 10u);
+  double total = 0.0;
+  for (double s : shares) total += s;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Repeats concentrate on popular items (the [7] quality effect).
+  EXPECT_GT(shares[0] + shares[1], shares[8] + shares[9]);
+}
+
+TEST(GapDistributionTest, NormalizedAndCapped) {
+  const Dataset dataset = FromSequences({{0, 0, 1, 0, 1}});
+  // Gaps: 0->0 gap 1; 0@t3 gap 2... wait: t1 gap1 (0), t3 gap 2 (0), t4 gap 2 (1).
+  const auto dist = InterConsumptionGapDistribution(dataset, 2);
+  ASSERT_EQ(dist.size(), 2u);
+  EXPECT_NEAR(dist[0] + dist[1], 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(dist[0], 1.0 / 3.0);  // one gap-1 out of three
+  EXPECT_DOUBLE_EQ(dist[1], 2.0 / 3.0);  // two gaps >= 2 (capped)
+}
+
+TEST(GapDistributionTest, NoRepeatsYieldsZeros) {
+  const Dataset dataset = FromSequences({{0, 1, 2, 3}});
+  const auto dist = InterConsumptionGapDistribution(dataset, 5);
+  for (double p : dist) EXPECT_DOUBLE_EQ(p, 0.0);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace reconsume

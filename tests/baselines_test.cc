@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/dyrc.h"
+#include "baselines/fpmc.h"
+#include "baselines/simple_recommenders.h"
+#include "baselines/survival_recommender.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+
+namespace reconsume {
+namespace baselines {
+namespace {
+
+struct Fixture {
+  data::Dataset dataset;
+  std::unique_ptr<data::TrainTestSplit> split;
+  std::unique_ptr<features::StaticFeatureTable> table;
+
+  explicit Fixture(double scale = 0.05) {
+    dataset = data::SyntheticTraceGenerator(data::GowallaLikeProfile(scale))
+                  .Generate()
+                  .ValueOrDie()
+                  .FilterByMinTrainLength(0.7, 100);
+    split = std::make_unique<data::TrainTestSplit>(
+        data::TrainTestSplit::Temporal(&dataset, 0.7).ValueOrDie());
+    table = std::make_unique<features::StaticFeatureTable>(
+        features::StaticFeatureTable::Compute(*split, 100).ValueOrDie());
+  }
+
+  window::WindowWalker WarmWalker(data::UserId u, int steps) const {
+    window::WindowWalker walker(&dataset.sequence(u), 100);
+    for (int i = 0; i < steps; ++i) walker.Advance();
+    return walker;
+  }
+};
+
+eval::AccuracyResult Evaluate(const Fixture& fixture,
+                              eval::Recommender* method) {
+  eval::EvalOptions options;
+  options.window_capacity = 100;
+  options.min_gap = 10;
+  eval::Evaluator evaluator(fixture.split.get(), options);
+  return evaluator.Evaluate(method).ValueOrDie();
+}
+
+TEST(SimpleRecommendersTest, PopRanksByTrainingFrequency) {
+  Fixture fixture;
+  PopRecommender pop(fixture.table.get());
+  auto walker = fixture.WarmWalker(0, 120);
+  std::vector<data::ItemId> candidates;
+  walker.EligibleCandidates(0, &candidates);
+  ASSERT_GE(candidates.size(), 2u);
+  std::vector<double> scores(candidates.size());
+  pop.Score(0, walker, candidates, scores);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_DOUBLE_EQ(
+        scores[i],
+        std::log1p(static_cast<double>(fixture.table->frequency(candidates[i]))));
+  }
+}
+
+TEST(SimpleRecommendersTest, RecencyPrefersSmallerGap) {
+  Fixture fixture;
+  RecencyRecommender recency;
+  auto walker = fixture.WarmWalker(0, 120);
+  std::vector<data::ItemId> candidates;
+  walker.EligibleCandidates(0, &candidates);
+  ASSERT_GE(candidates.size(), 2u);
+  std::vector<double> scores(candidates.size());
+  recency.Score(0, walker, candidates, scores);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    for (size_t j = 0; j < candidates.size(); ++j) {
+      if (walker.GapSince(candidates[i]) < walker.GapSince(candidates[j])) {
+        EXPECT_GT(scores[i], scores[j]);
+      }
+    }
+  }
+}
+
+TEST(SimpleRecommendersTest, RandomIsSeededAndNonDegenerate) {
+  Fixture fixture;
+  RandomRecommender a(5), b(5), c(6);
+  auto walker = fixture.WarmWalker(0, 120);
+  std::vector<data::ItemId> candidates;
+  walker.EligibleCandidates(0, &candidates);
+  std::vector<double> sa(candidates.size()), sb(candidates.size()),
+      sc(candidates.size());
+  a.Score(0, walker, candidates, sa);
+  b.Score(0, walker, candidates, sb);
+  c.Score(0, walker, candidates, sc);
+  EXPECT_EQ(sa, sb);  // same seed, same stream
+  EXPECT_NE(sa, sc);
+  EXPECT_NE(sa[0], sa[1]);  // actually random, not constant
+}
+
+TEST(BaselineAccuracyTest, OrderingPopBeatsRandom) {
+  Fixture fixture(0.1);
+  RandomRecommender random_rec;
+  PopRecommender pop(fixture.table.get());
+  const auto random_acc = Evaluate(fixture, &random_rec);
+  const auto pop_acc = Evaluate(fixture, &pop);
+  EXPECT_GT(pop_acc.MaapAt(10), random_acc.MaapAt(10));
+  EXPECT_GT(pop_acc.MaapAt(1), random_acc.MaapAt(1));
+}
+
+TEST(DyrcTest, FitsPositiveWeightsOnGeneratorData) {
+  Fixture fixture(0.1);
+  DyrcOptions options;
+  const auto dyrc =
+      DyrcRecommender::Fit(*fixture.split, fixture.table.get(), options)
+          .ValueOrDie();
+  // The generator rewards both quality and recency on average, and the DYRC
+  // recency weight multiplies -log(gap) (positive weight = prefers recent).
+  EXPECT_GT(dyrc.quality_weight(), 0.0);
+  EXPECT_GT(dyrc.recency_weight(), 0.0);
+  EXPECT_LT(dyrc.train_log_likelihood(), 0.0);  // it is a log-probability
+}
+
+TEST(DyrcTest, BeatsRandomAndRespondsToBothSignals) {
+  Fixture fixture(0.1);
+  DyrcOptions options;
+  auto dyrc =
+      DyrcRecommender::Fit(*fixture.split, fixture.table.get(), options)
+          .ValueOrDie();
+  RandomRecommender random_rec;
+  const auto dyrc_acc = Evaluate(fixture, &dyrc);
+  const auto random_acc = Evaluate(fixture, &random_rec);
+  EXPECT_GT(dyrc_acc.MaapAt(10), random_acc.MaapAt(10));
+}
+
+TEST(DyrcTest, NullTableRejected) {
+  Fixture fixture;
+  EXPECT_EQ(DyrcRecommender::Fit(*fixture.split, nullptr, {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FpmcTest, FitValidatesConfig) {
+  Fixture fixture;
+  FpmcConfig config;
+  config.latent_dim = 0;
+  EXPECT_FALSE(FpmcRecommender::Fit(*fixture.split, config).ok());
+  config = FpmcConfig();
+  config.basket_cap = 0;
+  EXPECT_FALSE(FpmcRecommender::Fit(*fixture.split, config).ok());
+}
+
+TEST(FpmcTest, ScoreAgreesWithScoreWithBasket) {
+  Fixture fixture;
+  FpmcConfig config;
+  config.epochs = 2;
+  auto fpmc = FpmcRecommender::Fit(*fixture.split, config).ValueOrDie();
+  auto walker = fixture.WarmWalker(0, 120);
+  std::vector<data::ItemId> candidates;
+  walker.EligibleCandidates(10, &candidates);
+  ASSERT_GE(candidates.size(), 1u);
+  std::vector<double> scores(candidates.size());
+  fpmc.Score(0, walker, candidates, scores);
+
+  std::vector<data::ItemId> basket;
+  for (const auto& [item, count] : walker.window_counts()) {
+    (void)count;
+    basket.push_back(item);
+  }
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_NEAR(scores[i], fpmc.ScoreWithBasket(0, candidates[i], basket),
+                1e-9);
+  }
+}
+
+TEST(FpmcTest, BeatsRandomOnGeneratorData) {
+  Fixture fixture(0.1);
+  FpmcConfig config;
+  auto fpmc = FpmcRecommender::Fit(*fixture.split, config).ValueOrDie();
+  RandomRecommender random_rec;
+  EXPECT_GT(Evaluate(fixture, &fpmc).MaapAt(10),
+            Evaluate(fixture, &random_rec).MaapAt(10));
+}
+
+TEST(SurvivalRecommenderTest, TimeWeightedAverageReturnTimeHandValues) {
+  //          t: 0  1  2  3  4  5
+  const data::ConsumptionSequence seq = {7, 8, 7, 8, 8, 7};
+  // Item 7 gaps: 2 (t0->t2), 3 (t2->t5); weights 1, 2 -> (2 + 6) / 3.
+  EXPECT_DOUBLE_EQ(
+      SurvivalRecommender::TimeWeightedAverageReturnTime(seq, 6, 7, -1.0),
+      8.0 / 3.0);
+  // Item 8 gaps: 2 (t1->t3), 1 (t3->t4); weights 1, 2 -> 4/3.
+  EXPECT_DOUBLE_EQ(
+      SurvivalRecommender::TimeWeightedAverageReturnTime(seq, 6, 8, -1.0),
+      4.0 / 3.0);
+  // Prefix end=3 sees only one consumption of 8: fallback.
+  EXPECT_DOUBLE_EQ(
+      SurvivalRecommender::TimeWeightedAverageReturnTime(seq, 3, 8, -1.0),
+      -1.0);
+  // Unknown item: fallback.
+  EXPECT_DOUBLE_EQ(
+      SurvivalRecommender::TimeWeightedAverageReturnTime(seq, 6, 99, 5.0),
+      5.0);
+}
+
+TEST(SurvivalRecommenderTest, FitsAndScores) {
+  Fixture fixture;
+  SurvivalOptions options;
+  auto survival = SurvivalRecommender::Fit(*fixture.split, fixture.table.get(),
+                                           options)
+                      .ValueOrDie();
+  auto walker = fixture.WarmWalker(0, 120);
+  std::vector<data::ItemId> candidates;
+  walker.EligibleCandidates(10, &candidates);
+  ASSERT_GE(candidates.size(), 1u);
+  std::vector<double> scores(candidates.size());
+  survival.Score(0, walker, candidates, scores);
+  for (double s : scores) EXPECT_TRUE(std::isfinite(s));
+  EXPECT_EQ(survival.cox_model().coefficients().size(), 3u);
+}
+
+TEST(SurvivalRecommenderTest, NullTableRejected) {
+  Fixture fixture;
+  EXPECT_EQ(SurvivalRecommender::Fit(*fixture.split, nullptr, {})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace reconsume

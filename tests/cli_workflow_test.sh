@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# End-to-end CLI workflow: generate -> stats -> train -> evaluate -> recommend.
+# Invoked by ctest with the path to the reconsume_cli binary as $1.
+set -euo pipefail
+
+CLI="$1"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+"$CLI" generate --profile=gowalla --scale=0.1 --out="$WORKDIR/trace.tsv" \
+    --seed=7 | grep -q "wrote"
+
+"$CLI" stats --data="$WORKDIR/trace.tsv" | grep -q "users="
+
+"$CLI" train --data="$WORKDIR/trace.tsv" --model="$WORKDIR/model.bin" \
+    --k=16 | grep -q "converged"
+test -s "$WORKDIR/model.bin"
+
+OUT=$("$CLI" evaluate --data="$WORKDIR/trace.tsv" --model="$WORKDIR/model.bin")
+echo "$OUT" | grep -q "TS-PPR"
+echo "$OUT" | grep -q "Random"
+
+"$CLI" recommend --data="$WORKDIR/trace.tsv" --model="$WORKDIR/model.bin" \
+    --user=0 --n=3 | grep -q "repeat recommendations"
+
+"$CLI" compare --data="$WORKDIR/trace.tsv" --model="$WORKDIR/model.bin" \
+    | grep -q "wilcoxon"
+
+# Error paths exercise the Status plumbing.
+if "$CLI" evaluate --data=/nonexistent --model="$WORKDIR/model.bin" 2>/dev/null; then
+  echo "expected failure on missing data" >&2
+  exit 1
+fi
+if "$CLI" train --data="$WORKDIR/trace.tsv" --model="$WORKDIR/m2.bin" \
+    --bogus-flag=1 2>/dev/null; then
+  echo "expected failure on unknown flag" >&2
+  exit 1
+fi
+if "$CLI" frobnicate 2>/dev/null; then
+  echo "expected failure on unknown command" >&2
+  exit 1
+fi
+
+echo "cli workflow OK"

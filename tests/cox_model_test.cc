@@ -1,0 +1,163 @@
+#include "survival/cox_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace reconsume {
+namespace survival {
+namespace {
+
+TEST(CoxModelTest, RejectsBadInput) {
+  EXPECT_FALSE(CoxModel::Fit({}).ok());
+  EXPECT_FALSE(CoxModel::Fit({{1.0, true, {}}}).ok());  // zero-width
+  EXPECT_FALSE(CoxModel::Fit({{0.0, true, {1.0}}}).ok());  // nonpositive time
+  EXPECT_FALSE(CoxModel::Fit({{1.0, true, {1.0}}, {2.0, true, {1.0, 2.0}}})
+                   .ok());  // ragged
+  // All censored: no events to anchor the partial likelihood.
+  EXPECT_EQ(CoxModel::Fit({{1.0, false, {1.0}}, {2.0, false, {0.5}}})
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+std::vector<SurvivalRecord> TwoGroupData(double log_hazard_ratio,
+                                         int per_group, uint64_t seed) {
+  // Group x=1 has hazard exp(log_hazard_ratio) times group x=0's.
+  util::Rng rng(seed);
+  std::vector<SurvivalRecord> records;
+  for (int g = 0; g < 2; ++g) {
+    const double rate = g == 1 ? std::exp(log_hazard_ratio) : 1.0;
+    for (int i = 0; i < per_group; ++i) {
+      SurvivalRecord r;
+      r.duration = rng.Exponential(rate) + 1e-9;
+      r.event = true;
+      r.covariates = {static_cast<double>(g)};
+      records.push_back(std::move(r));
+    }
+  }
+  return records;
+}
+
+class CoxRecoveryTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CoxRecoveryTest, RecoversLogHazardRatio) {
+  const double beta_true = GetParam();
+  const auto records = TwoGroupData(beta_true, 2000, 42);
+  const auto model = CoxModel::Fit(records).ValueOrDie();
+  ASSERT_EQ(model.coefficients().size(), 1u);
+  EXPECT_NEAR(model.coefficients()[0], beta_true, 0.12) << "beta recovery";
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, CoxRecoveryTest,
+                         ::testing::Values(-1.0, -0.5, 0.0, 0.5, 1.0, 2.0));
+
+TEST(CoxModelTest, CensoringShrinksInformationNotSign) {
+  auto records = TwoGroupData(1.0, 1500, 7);
+  // Censor half the records at half their duration.
+  util::Rng rng(3);
+  for (auto& r : records) {
+    if (rng.Bernoulli(0.5)) {
+      r.duration *= 0.5;
+      r.event = false;
+    }
+  }
+  const auto model = CoxModel::Fit(records).ValueOrDie();
+  EXPECT_GT(model.coefficients()[0], 0.5);
+}
+
+TEST(CoxModelTest, BaselineCumulativeHazardIsMonotone) {
+  const auto records = TwoGroupData(0.5, 300, 5);
+  const auto model = CoxModel::Fit(records).ValueOrDie();
+  double prev = -1.0;
+  for (double t = 0.0; t < 3.0; t += 0.05) {
+    const double h = model.BaselineCumulativeHazard(t);
+    EXPECT_GE(h, prev);
+    prev = h;
+  }
+  EXPECT_DOUBLE_EQ(model.BaselineCumulativeHazard(0.0), 0.0);
+}
+
+TEST(CoxModelTest, SurvivalProbabilityBehaves) {
+  const auto records = TwoGroupData(1.0, 1000, 9);
+  const auto model = CoxModel::Fit(records).ValueOrDie();
+  // S decreasing in t; S lower for the high-hazard group at fixed t.
+  EXPECT_GT(model.SurvivalProbability(0.1, {0.0}),
+            model.SurvivalProbability(1.0, {0.0}));
+  EXPECT_GT(model.SurvivalProbability(0.5, {0.0}),
+            model.SurvivalProbability(0.5, {1.0}));
+  EXPECT_LE(model.SurvivalProbability(100.0, {0.0}), 1.0);
+  EXPECT_GE(model.SurvivalProbability(100.0, {0.0}), 0.0);
+}
+
+TEST(CoxModelTest, MedianSurvivalOrdersByHazard) {
+  const auto records = TwoGroupData(1.5, 1000, 13);
+  const auto model = CoxModel::Fit(records).ValueOrDie();
+  // Higher hazard => earlier median return.
+  EXPECT_LT(model.MedianSurvivalTime({1.0}), model.MedianSurvivalTime({0.0}));
+  // Exponential(1) has median ln 2 for the baseline group.
+  EXPECT_NEAR(model.MedianSurvivalTime({0.0}), std::log(2.0), 0.15);
+}
+
+TEST(CoxModelTest, HazardRatioIsExpOfLinearPredictor) {
+  const auto records = TwoGroupData(1.0, 500, 21);
+  const auto model = CoxModel::Fit(records).ValueOrDie();
+  const double beta = model.coefficients()[0];
+  EXPECT_NEAR(model.HazardRatio({2.0}), std::exp(2.0 * beta), 1e-9);
+  EXPECT_NEAR(model.LogHazardRatio({2.0}), 2.0 * beta, 1e-12);
+}
+
+TEST(CoxModelTest, TiedDurationsAreAccepted) {
+  // Discrete durations with heavy ties (the RRC regime): must still fit.
+  util::Rng rng(17);
+  std::vector<SurvivalRecord> records;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.NextDouble();
+    const double raw = rng.Exponential(std::exp(x));
+    SurvivalRecord r;
+    r.duration = std::max(1.0, std::ceil(raw * 5.0));  // discretized
+    r.event = true;
+    r.covariates = {x};
+    records.push_back(std::move(r));
+  }
+  const auto model = CoxModel::Fit(records).ValueOrDie();
+  EXPECT_GT(model.coefficients()[0], 0.3);  // sign and rough magnitude kept
+}
+
+TEST(CoxModelTest, ZeroEffectCovariateStaysNearZero) {
+  util::Rng rng(23);
+  std::vector<SurvivalRecord> records;
+  for (int i = 0; i < 3000; ++i) {
+    SurvivalRecord r;
+    r.duration = rng.Exponential(1.0) + 1e-9;
+    r.event = true;
+    r.covariates = {rng.Gaussian(0, 1)};  // independent of duration
+    records.push_back(std::move(r));
+  }
+  const auto model = CoxModel::Fit(records).ValueOrDie();
+  EXPECT_NEAR(model.coefficients()[0], 0.0, 0.06);
+}
+
+TEST(CoxModelTest, MultivariateRecovery) {
+  util::Rng rng(29);
+  std::vector<SurvivalRecord> records;
+  const std::vector<double> beta_true = {0.8, -0.5};
+  for (int i = 0; i < 4000; ++i) {
+    SurvivalRecord r;
+    r.covariates = {rng.Gaussian(0, 1), rng.Gaussian(0, 1)};
+    const double rate = std::exp(beta_true[0] * r.covariates[0] +
+                                 beta_true[1] * r.covariates[1]);
+    r.duration = rng.Exponential(rate) + 1e-9;
+    r.event = true;
+    records.push_back(std::move(r));
+  }
+  const auto model = CoxModel::Fit(records).ValueOrDie();
+  EXPECT_NEAR(model.coefficients()[0], 0.8, 0.1);
+  EXPECT_NEAR(model.coefficients()[1], -0.5, 0.1);
+}
+
+}  // namespace
+}  // namespace survival
+}  // namespace reconsume

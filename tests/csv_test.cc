@@ -1,0 +1,129 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace reconsume {
+namespace util {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string WriteTemp(const std::string& contents) {
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("reconsume_csv_test_" +
+          std::to_string(reinterpret_cast<uintptr_t>(this)) + "_" +
+          std::to_string(counter_++)))
+            .string();
+    std::ofstream out(path, std::ios::binary);
+    out << contents;
+    out.close();
+    paths_.push_back(path);
+    return path;
+  }
+
+  void TearDown() override {
+    for (const auto& p : paths_) std::remove(p.c_str());
+  }
+
+  std::vector<std::string> paths_;
+  int counter_ = 0;
+};
+
+TEST_F(CsvTest, ReadsTabSeparatedRecords) {
+  const std::string path = WriteTemp("a\tb\tc\n1\t2\t3\n");
+  auto reader = DelimitedReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  auto r = std::move(reader).ValueOrDie();
+  std::vector<std::string_view> fields;
+  ASSERT_TRUE(r.Next(&fields));
+  EXPECT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(r.line_number(), 1);
+  ASSERT_TRUE(r.Next(&fields));
+  EXPECT_EQ(fields[2], "3");
+  EXPECT_EQ(r.line_number(), 2);
+  EXPECT_FALSE(r.Next(&fields));
+}
+
+TEST_F(CsvTest, CustomDelimiter) {
+  const std::string path = WriteTemp("x,y\n");
+  auto r = DelimitedReader::Open(path, {.delimiter = ','}).ValueOrDie();
+  std::vector<std::string_view> fields;
+  ASSERT_TRUE(r.Next(&fields));
+  EXPECT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "y");
+}
+
+TEST_F(CsvTest, SkipsBlankLinesAndComments) {
+  const std::string path = WriteTemp("# header comment\n\n  \na\tb\n\n");
+  auto r = DelimitedReader::Open(path).ValueOrDie();
+  std::vector<std::string_view> fields;
+  ASSERT_TRUE(r.Next(&fields));
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(r.line_number(), 4);  // 1-based, counting skipped lines
+  EXPECT_FALSE(r.Next(&fields));
+}
+
+TEST_F(CsvTest, StripsCarriageReturns) {
+  const std::string path = WriteTemp("a\tb\r\nc\td\r\n");
+  auto r = DelimitedReader::Open(path).ValueOrDie();
+  std::vector<std::string_view> fields;
+  ASSERT_TRUE(r.Next(&fields));
+  EXPECT_EQ(fields[1], "b");  // no trailing \r
+  ASSERT_TRUE(r.Next(&fields));
+  EXPECT_EQ(fields[1], "d");
+}
+
+TEST_F(CsvTest, MissingFileIsIoError) {
+  auto r = DelimitedReader::Open("/nonexistent/path/file.tsv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, ErrorIncludesPathAndLine) {
+  const std::string path = WriteTemp("a\tb\n");
+  auto r = DelimitedReader::Open(path).ValueOrDie();
+  std::vector<std::string_view> fields;
+  ASSERT_TRUE(r.Next(&fields));
+  const Status err = r.Error("bad field");
+  EXPECT_NE(err.message().find(path), std::string::npos);
+  EXPECT_NE(err.message().find(":1:"), std::string::npos);
+  EXPECT_NE(err.message().find("bad field"), std::string::npos);
+}
+
+TEST_F(CsvTest, CommentCharCanBeDisabled) {
+  const std::string path = WriteTemp("#not-a-comment\tb\n");
+  DelimitedReader::Options options;
+  options.comment_char = 0;
+  auto r = DelimitedReader::Open(path, options).ValueOrDie();
+  std::vector<std::string_view> fields;
+  ASSERT_TRUE(r.Next(&fields));
+  EXPECT_EQ(fields[0], "#not-a-comment");
+}
+
+TEST_F(CsvTest, ReadWriteRoundtrip) {
+  const std::string path = WriteTemp("");
+  ASSERT_TRUE(WriteStringToFile(path, "payload\nline2").ok());
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.ValueOrDie(), "payload\nline2");
+}
+
+TEST_F(CsvTest, ReadMissingFileFails) {
+  EXPECT_EQ(ReadFileToString("/no/such/file").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, WriteToBadPathFails) {
+  EXPECT_EQ(WriteStringToFile("/no/such/dir/file", "x").code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace reconsume

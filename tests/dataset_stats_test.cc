@@ -1,0 +1,65 @@
+#include "data/dataset_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace reconsume {
+namespace data {
+namespace {
+
+Dataset FromSequences(const std::vector<std::vector<int>>& sequences) {
+  DatasetBuilder builder;
+  for (size_t u = 0; u < sequences.size(); ++u) {
+    for (size_t t = 0; t < sequences[u].size(); ++t) {
+      EXPECT_TRUE(builder
+                      .Add(static_cast<int64_t>(u), sequences[u][t],
+                           static_cast<int64_t>(t))
+                      .ok());
+    }
+  }
+  return builder.Build().ValueOrDie();
+}
+
+TEST(DatasetStatsTest, CountsAndLengths) {
+  const Dataset dataset = FromSequences({{1, 2, 3}, {1, 1, 1, 1, 1}});
+  const DatasetStats stats = ComputeDatasetStats(dataset, 0);
+  EXPECT_EQ(stats.num_users, 2);
+  EXPECT_EQ(stats.num_items, 3);
+  EXPECT_EQ(stats.num_interactions, 8);
+  EXPECT_DOUBLE_EQ(stats.mean_sequence_length, 4.0);
+  EXPECT_EQ(stats.min_sequence_length, 3);
+  EXPECT_EQ(stats.max_sequence_length, 5);
+  EXPECT_DOUBLE_EQ(stats.mean_user_item_pool, 2.0);  // {1,2,3} and {1}
+}
+
+TEST(DatasetStatsTest, UnwindowedRepeatFraction) {
+  // Sequence 1,2,1,2: steps 2,3 are repeats among 3 considered (t=1,2,3).
+  const Dataset dataset = FromSequences({{1, 2, 1, 2}});
+  const DatasetStats stats = ComputeDatasetStats(dataset, 0);
+  EXPECT_NEAR(stats.repeat_fraction, 2.0 / 3.0, 1e-12);
+}
+
+TEST(DatasetStatsTest, WindowedRepeatFractionShrinksWithWindow) {
+  // 1, 2, 3, 1: with window 3 the last event repeats; with window 2 not.
+  const Dataset dataset = FromSequences({{1, 2, 3, 1}});
+  EXPECT_NEAR(ComputeDatasetStats(dataset, 3).repeat_fraction, 1.0 / 3.0,
+              1e-12);
+  EXPECT_NEAR(ComputeDatasetStats(dataset, 2).repeat_fraction, 0.0, 1e-12);
+}
+
+TEST(DatasetStatsTest, AllRepeatsSequence) {
+  const Dataset dataset = FromSequences({{7, 7, 7, 7}});
+  EXPECT_DOUBLE_EQ(ComputeDatasetStats(dataset, 1).repeat_fraction, 1.0);
+}
+
+TEST(DatasetStatsTest, FormatContainsHeadlineNumbers) {
+  const Dataset dataset = FromSequences({{1, 2, 3}});
+  const std::string text =
+      FormatDatasetStats("demo", ComputeDatasetStats(dataset, 10));
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("users=1"), std::string::npos);
+  EXPECT_NE(text.find("items=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace reconsume

@@ -1,0 +1,152 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace reconsume {
+namespace data {
+namespace {
+
+TEST(DatasetBuilderTest, RejectsEmptyKeys) {
+  DatasetBuilder builder;
+  EXPECT_EQ(builder.Add(RawInteraction{"", "i", 0}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(builder.Add(RawInteraction{"u", "", 0}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetBuilderTest, EmptyBuildFails) {
+  DatasetBuilder builder;
+  EXPECT_EQ(builder.Build().status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DatasetBuilderTest, SortsByTimestamp) {
+  DatasetBuilder builder;
+  ASSERT_TRUE(builder.Add(RawInteraction{"u", "b", 20}).ok());
+  ASSERT_TRUE(builder.Add(RawInteraction{"u", "a", 10}).ok());
+  ASSERT_TRUE(builder.Add(RawInteraction{"u", "c", 30}).ok());
+  const Dataset dataset = builder.Build().ValueOrDie();
+  ASSERT_EQ(dataset.num_users(), 1u);
+  const auto& seq = dataset.sequence(0);
+  ASSERT_EQ(seq.size(), 3u);
+  EXPECT_EQ(dataset.item_key(seq[0]), "a");
+  EXPECT_EQ(dataset.item_key(seq[1]), "b");
+  EXPECT_EQ(dataset.item_key(seq[2]), "c");
+}
+
+TEST(DatasetBuilderTest, TimestampTiesKeepInputOrder) {
+  DatasetBuilder builder;
+  ASSERT_TRUE(builder.Add(RawInteraction{"u", "first", 5}).ok());
+  ASSERT_TRUE(builder.Add(RawInteraction{"u", "second", 5}).ok());
+  ASSERT_TRUE(builder.Add(RawInteraction{"u", "third", 5}).ok());
+  const Dataset dataset = builder.Build().ValueOrDie();
+  const auto& seq = dataset.sequence(0);
+  EXPECT_EQ(dataset.item_key(seq[0]), "first");
+  EXPECT_EQ(dataset.item_key(seq[1]), "second");
+  EXPECT_EQ(dataset.item_key(seq[2]), "third");
+}
+
+TEST(DatasetBuilderTest, CompactsIdsDensely) {
+  DatasetBuilder builder;
+  ASSERT_TRUE(builder.Add(1001, 50001, 0).ok());
+  ASSERT_TRUE(builder.Add(1002, 50002, 0).ok());
+  ASSERT_TRUE(builder.Add(1001, 50001, 1).ok());
+  const Dataset dataset = builder.Build().ValueOrDie();
+  EXPECT_EQ(dataset.num_users(), 2u);
+  EXPECT_EQ(dataset.num_items(), 2u);
+  EXPECT_EQ(dataset.num_interactions(), 3);
+  EXPECT_EQ(dataset.FindUser("1001"), 0);
+  EXPECT_EQ(dataset.FindUser("1002"), 1);
+  EXPECT_EQ(dataset.FindItem("50001"), 0);
+  EXPECT_EQ(dataset.FindUser("9999"), kInvalidUser);
+  EXPECT_EQ(dataset.FindItem("9999"), kInvalidItem);
+}
+
+TEST(DatasetBuilderTest, RepetitionIsPreserved) {
+  DatasetBuilder builder;
+  for (int t = 0; t < 5; ++t) ASSERT_TRUE(builder.Add(0, 7, t).ok());
+  const Dataset dataset = builder.Build().ValueOrDie();
+  EXPECT_EQ(dataset.sequence(0).size(), 5u);
+  EXPECT_EQ(dataset.num_items(), 1u);
+}
+
+TEST(DatasetBuilderTest, BuilderIsEmptyAfterBuild) {
+  DatasetBuilder builder;
+  ASSERT_TRUE(builder.Add(0, 0, 0).ok());
+  ASSERT_TRUE(builder.Build().ok());
+  EXPECT_EQ(builder.num_pending(), 0);
+  EXPECT_EQ(builder.Build().status().code(), StatusCode::kFailedPrecondition);
+}
+
+Dataset MakeThreeUserDataset() {
+  DatasetBuilder builder;
+  // user 0: 4 events over items {a, b}; user 1: 2 events {c}; user 2: 1 {a}.
+  for (const char* item : {"a", "b", "a", "b"}) {
+    EXPECT_TRUE(builder.Add(RawInteraction{"u0", item, 0}).ok());
+  }
+  EXPECT_TRUE(builder.Add(RawInteraction{"u1", "c", 0}).ok());
+  EXPECT_TRUE(builder.Add(RawInteraction{"u1", "c", 1}).ok());
+  EXPECT_TRUE(builder.Add(RawInteraction{"u2", "a", 0}).ok());
+  return builder.Build().ValueOrDie();
+}
+
+TEST(DatasetFilterTest, FilterUsersDropsAndRecompacts) {
+  const Dataset dataset = MakeThreeUserDataset();
+  // Keep only users with at least 2 events: drops u2; item "a" survives via
+  // u0, but ids must be recompacted densely.
+  const Dataset filtered = dataset.FilterUsers(
+      [](const ConsumptionSequence& seq) { return seq.size() >= 2; });
+  EXPECT_EQ(filtered.num_users(), 2u);
+  EXPECT_EQ(filtered.num_items(), 3u);  // a, b, c all still referenced
+  EXPECT_EQ(filtered.FindUser("u2"), kInvalidUser);
+  EXPECT_EQ(filtered.user_key(0), "u0");
+
+  // Dropping u0 and u1 leaves only u2 and only item "a".
+  const Dataset only_u2 = dataset.FilterUsers(
+      [](const ConsumptionSequence& seq) { return seq.size() == 1; });
+  EXPECT_EQ(only_u2.num_users(), 1u);
+  EXPECT_EQ(only_u2.num_items(), 1u);
+  EXPECT_EQ(only_u2.item_key(only_u2.sequence(0)[0]), "a");
+}
+
+TEST(DatasetFilterTest, SequencesRemapped) {
+  const Dataset dataset = MakeThreeUserDataset();
+  const Dataset filtered = dataset.FilterUsers(
+      [](const ConsumptionSequence& seq) { return seq.size() == 2; });
+  // Only u1 remains; its item "c" must be id 0 now.
+  ASSERT_EQ(filtered.num_users(), 1u);
+  ASSERT_EQ(filtered.num_items(), 1u);
+  EXPECT_EQ(filtered.sequence(0), (ConsumptionSequence{0, 0}));
+  EXPECT_EQ(filtered.item_key(0), "c");
+}
+
+TEST(DatasetFilterTest, MinTrainLengthMatchesPaperRule) {
+  DatasetBuilder builder;
+  for (int t = 0; t < 10; ++t) ASSERT_TRUE(builder.Add(0, t, t).ok());
+  for (int t = 0; t < 20; ++t) ASSERT_TRUE(builder.Add(1, t, t).ok());
+  const Dataset dataset = builder.Build().ValueOrDie();
+  // Rule: |S_u| * 0.7 >= 10 -> needs |S_u| >= 14.29 -> only user "1".
+  const Dataset filtered = dataset.FilterByMinTrainLength(0.7, 10);
+  EXPECT_EQ(filtered.num_users(), 1u);
+  EXPECT_EQ(filtered.user_key(0), "1");
+}
+
+TEST(DatasetFilterTest, KeepAllIsIdentityOnSequences) {
+  const Dataset dataset = MakeThreeUserDataset();
+  const Dataset filtered =
+      dataset.FilterUsers([](const ConsumptionSequence&) { return true; });
+  EXPECT_EQ(filtered.num_users(), dataset.num_users());
+  EXPECT_EQ(filtered.num_items(), dataset.num_items());
+  EXPECT_EQ(filtered.num_interactions(), dataset.num_interactions());
+  for (size_t u = 0; u < dataset.num_users(); ++u) {
+    const auto& original = dataset.sequence(static_cast<UserId>(u));
+    const auto& kept = filtered.sequence(static_cast<UserId>(u));
+    ASSERT_EQ(original.size(), kept.size());
+    for (size_t t = 0; t < original.size(); ++t) {
+      EXPECT_EQ(dataset.item_key(original[t]), filtered.item_key(kept[t]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace reconsume

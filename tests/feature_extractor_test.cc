@@ -1,0 +1,132 @@
+#include "features/feature_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.h"
+#include "data/split.h"
+
+namespace reconsume {
+namespace features {
+namespace {
+
+struct Fixture {
+  data::Dataset dataset;
+  std::unique_ptr<data::TrainTestSplit> split;
+  std::unique_ptr<StaticFeatureTable> table;
+
+  explicit Fixture(const std::vector<int>& events) {
+    data::DatasetBuilder builder;
+    for (size_t t = 0; t < events.size(); ++t) {
+      EXPECT_TRUE(
+          builder.Add(0, events[t], static_cast<int64_t>(t)).ok());
+    }
+    dataset = builder.Build().ValueOrDie();
+    split = std::make_unique<data::TrainTestSplit>(
+        data::TrainTestSplit::Temporal(&dataset, 0.7).ValueOrDie());
+    table = std::make_unique<StaticFeatureTable>(
+        StaticFeatureTable::Compute(*split, 5).ValueOrDie());
+  }
+};
+
+TEST(FeatureConfigTest, DimensionsAndLabels) {
+  EXPECT_EQ(FeatureConfig::AllFeatures().dimension(), 4);
+  EXPECT_EQ(FeatureConfig::WithoutItemQuality().dimension(), 3);
+  EXPECT_EQ(FeatureConfig::AllFeatures().Label(), "All");
+  EXPECT_EQ(FeatureConfig::WithoutItemQuality().Label(), "-IP");
+  EXPECT_EQ(FeatureConfig::WithoutReconsumptionRatio().Label(), "-IR");
+  EXPECT_EQ(FeatureConfig::WithoutRecency().Label(), "-RE");
+  EXPECT_EQ(FeatureConfig::WithoutFamiliarity().Label(), "-DF");
+
+  FeatureConfig only_recency;
+  only_recency.use_item_quality = false;
+  only_recency.use_reconsumption_ratio = false;
+  only_recency.use_familiarity = false;
+  EXPECT_EQ(only_recency.dimension(), 1);
+  EXPECT_EQ(only_recency.Label(), "-IP-IR-DF");
+}
+
+TEST(FeatureExtractorTest, RecencyKernels) {
+  //                   t: 0  1  2  3
+  Fixture fixture({1, 2, 3, 1, 2, 3, 1, 2, 3, 1});
+  FeatureConfig config;
+  FeatureExtractor extractor(fixture.table.get(), config);
+  window::WindowWalker walker(&fixture.dataset.sequence(0), 5);
+  for (int i = 0; i < 4; ++i) walker.Advance();
+  // Item 1 last consumed at t=3, now t=4 -> gap 1. Item 2 at t=1 -> gap 3.
+  EXPECT_DOUBLE_EQ(extractor.Recency(walker, 0), 1.0);        // item "1"
+  EXPECT_DOUBLE_EQ(extractor.Recency(walker, 1), 1.0 / 3.0);  // item "2"
+
+  FeatureConfig exp_config;
+  exp_config.recency_kernel = RecencyKernel::kExponential;
+  FeatureExtractor exp_extractor(fixture.table.get(), exp_config);
+  EXPECT_DOUBLE_EQ(exp_extractor.Recency(walker, 0), std::exp(-1.0));
+  EXPECT_DOUBLE_EQ(exp_extractor.Recency(walker, 1), std::exp(-3.0));
+}
+
+TEST(FeatureExtractorTest, FamiliarityIsWindowFraction) {
+  Fixture fixture({1, 1, 1, 2, 2, 3, 1, 2, 3, 1});
+  FeatureExtractor extractor(fixture.table.get(), FeatureConfig());
+  window::WindowWalker walker(&fixture.dataset.sequence(0), 5);
+  for (int i = 0; i < 5; ++i) walker.Advance();
+  // Window (capacity 5) holds t=0..4: items 1,1,1,2,2.
+  EXPECT_DOUBLE_EQ(extractor.Familiarity(walker, 0), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(extractor.Familiarity(walker, 1), 2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(extractor.Familiarity(walker, 2), 0.0);  // "3" not yet seen
+}
+
+TEST(FeatureExtractorTest, ExtractOrderAndMasking) {
+  Fixture fixture({1, 2, 1, 2, 1, 2, 1, 2, 1, 2});
+  FeatureExtractor all(fixture.table.get(), FeatureConfig::AllFeatures());
+  window::WindowWalker walker(&fixture.dataset.sequence(0), 5);
+  for (int i = 0; i < 4; ++i) walker.Advance();
+
+  const auto f = all.Extract(walker, 0);
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_DOUBLE_EQ(f[0], all.ItemQuality(0));
+  EXPECT_DOUBLE_EQ(f[1], all.ReconsumptionRatio(0));
+  EXPECT_DOUBLE_EQ(f[2], all.Recency(walker, 0));
+  EXPECT_DOUBLE_EQ(f[3], all.Familiarity(walker, 0));
+
+  FeatureExtractor no_recency(fixture.table.get(),
+                              FeatureConfig::WithoutRecency());
+  const auto f3 = no_recency.Extract(walker, 0);
+  ASSERT_EQ(f3.size(), 3u);
+  EXPECT_DOUBLE_EQ(f3[0], f[0]);
+  EXPECT_DOUBLE_EQ(f3[1], f[1]);
+  EXPECT_DOUBLE_EQ(f3[2], f[3]);  // familiarity shifts into slot 2
+}
+
+TEST(FeatureExtractorTest, AllFeaturesInUnitInterval) {
+  Fixture fixture({1, 2, 3, 1, 2, 1, 1, 3, 2, 1, 2, 3, 1, 1});
+  FeatureExtractor extractor(fixture.table.get(),
+                             FeatureConfig::AllFeatures());
+  window::WindowWalker walker(&fixture.dataset.sequence(0), 5);
+  walker.Advance();
+  while (!walker.Done()) {
+    for (const auto& [item, count] : walker.window_counts()) {
+      (void)count;
+      const auto f = extractor.Extract(walker, item);
+      for (double v : f) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+      }
+    }
+    walker.Advance();
+  }
+}
+
+TEST(FeatureExtractorDeathTest, RequiresActiveFeature) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Fixture fixture({1, 2, 1, 2, 1, 2, 1, 2, 1, 2});
+  FeatureConfig none;
+  none.use_item_quality = none.use_reconsumption_ratio = none.use_recency =
+      none.use_familiarity = false;
+  EXPECT_DEATH(FeatureExtractor(fixture.table.get(), none),
+               "no active features");
+}
+
+}  // namespace
+}  // namespace features
+}  // namespace reconsume

@@ -1,0 +1,96 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace reconsume {
+namespace util {
+namespace {
+
+FlagSet Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return FlagSet::Parse(static_cast<int>(args.size()), args.data())
+      .ValueOrDie();
+}
+
+TEST(FlagsTest, PositionalAndKeyValue) {
+  const FlagSet flags = Parse({"train", "--data=x.tsv", "--k=40"});
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "train");
+  EXPECT_EQ(flags.GetString("data", "").ValueOrDie(), "x.tsv");
+  EXPECT_EQ(flags.GetInt("k", 0).ValueOrDie(), 40);
+}
+
+TEST(FlagsTest, SpaceSeparatedValue) {
+  const FlagSet flags = Parse({"--data", "x.tsv", "cmd"});
+  EXPECT_EQ(flags.GetString("data", "").ValueOrDie(), "x.tsv");
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "cmd");
+}
+
+TEST(FlagsTest, BareFlagIsTrue) {
+  const FlagSet flags = Parse({"--verbose", "--dry-run"});
+  EXPECT_TRUE(flags.GetBool("verbose", false).ValueOrDie());
+  EXPECT_TRUE(flags.GetBool("dry-run", false).ValueOrDie());
+  EXPECT_FALSE(flags.GetBool("absent", false).ValueOrDie());
+}
+
+TEST(FlagsTest, DoubleDashEndsFlagParsing) {
+  const FlagSet flags = Parse({"--a=1", "--", "--not-a-flag"});
+  EXPECT_EQ(flags.GetInt("a", 0).ValueOrDie(), 1);
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "--not-a-flag");
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const FlagSet flags = Parse({});
+  EXPECT_EQ(flags.GetString("s", "fallback").ValueOrDie(), "fallback");
+  EXPECT_EQ(flags.GetInt("i", -5).ValueOrDie(), -5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("d", 2.5).ValueOrDie(), 2.5);
+  EXPECT_TRUE(flags.GetBool("b", true).ValueOrDie());
+}
+
+TEST(FlagsTest, TypeErrorsAreReported) {
+  const FlagSet flags = Parse({"--k=notanint", "--rate=xyz", "--flag=maybe"});
+  EXPECT_FALSE(flags.GetInt("k", 0).ok());
+  EXPECT_FALSE(flags.GetDouble("rate", 0).ok());
+  EXPECT_FALSE(flags.GetBool("flag", false).ok());
+}
+
+TEST(FlagsTest, BooleanSpellings) {
+  const FlagSet flags =
+      Parse({"--a=TRUE", "--b=0", "--c=Yes", "--d=no", "--e=1"});
+  EXPECT_TRUE(flags.GetBool("a", false).ValueOrDie());
+  EXPECT_FALSE(flags.GetBool("b", true).ValueOrDie());
+  EXPECT_TRUE(flags.GetBool("c", false).ValueOrDie());
+  EXPECT_FALSE(flags.GetBool("d", true).ValueOrDie());
+  EXPECT_TRUE(flags.GetBool("e", false).ValueOrDie());
+}
+
+TEST(FlagsTest, MalformedFlagRejected) {
+  const char* args[] = {"prog", "--=value"};
+  EXPECT_FALSE(FlagSet::Parse(2, args).ok());
+}
+
+TEST(FlagsTest, UnusedFlagsDetected) {
+  const FlagSet flags = Parse({"--known=1", "--typo=2"});
+  EXPECT_EQ(flags.GetInt("known", 0).ValueOrDie(), 1);
+  const Status status = flags.CheckNoUnusedFlags();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("--typo"), std::string::npos);
+  EXPECT_EQ(status.message().find("--known"), std::string::npos);
+}
+
+TEST(FlagsTest, AllUsedPasses) {
+  const FlagSet flags = Parse({"--a=1"});
+  EXPECT_EQ(flags.GetInt("a", 0).ValueOrDie(), 1);
+  EXPECT_TRUE(flags.CheckNoUnusedFlags().ok());
+}
+
+TEST(FlagsTest, LastValueWins) {
+  const FlagSet flags = Parse({"--k=1", "--k=2"});
+  EXPECT_EQ(flags.GetInt("k", 0).ValueOrDie(), 2);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace reconsume

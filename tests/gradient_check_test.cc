@@ -1,0 +1,134 @@
+// Finite-difference verification of the TS-PPR gradients (Eqs. 11-15).
+//
+// The per-quadruple loss is l = -ln sigmoid(m) with
+//   m = u^T (v_i - v_j + A_u (f_i - f_j)).
+// Algorithm 1 ascends ln p, i.e. descends l, with analytic partials
+//   dl/du   = -(1 - sigmoid(m)) * (v_i - v_j + A (f_i - f_j))
+//   dl/dv_i = -(1 - sigmoid(m)) * u
+//   dl/dv_j = +(1 - sigmoid(m)) * u
+//   dl/dA   = -(1 - sigmoid(m)) * u (f_i - f_j)^T
+// Each partial is checked coordinate-wise against central differences.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/matrix.h"
+#include "math/vector_ops.h"
+#include "util/random.h"
+
+namespace reconsume {
+namespace core {
+namespace {
+
+struct Point {
+  std::vector<double> u, vi, vj, fi, fj;
+  math::Matrix a;
+};
+
+double Loss(const Point& p) {
+  const size_t k = p.u.size();
+  std::vector<double> fdiff(p.fi.size());
+  math::Subtract(p.fi, p.fj, fdiff);
+  std::vector<double> d(k);
+  math::Subtract(p.vi, p.vj, d);
+  p.a.MultiplyVectorAccumulate(1.0, fdiff, d);
+  return math::Log1pExp(-math::Dot(p.u, d));
+}
+
+Point RandomPoint(uint64_t seed, size_t k, size_t f) {
+  util::Rng rng(seed);
+  Point p;
+  auto fill = [&](std::vector<double>& v, size_t n) {
+    v.resize(n);
+    for (auto& x : v) x = rng.Gaussian(0.0, 1.0);
+  };
+  fill(p.u, k);
+  fill(p.vi, k);
+  fill(p.vj, k);
+  fill(p.fi, f);
+  fill(p.fj, f);
+  p.a = math::Matrix(k, f);
+  p.a.FillGaussian(&rng, 0.0, 1.0);
+  return p;
+}
+
+constexpr double kEps = 1e-6;
+constexpr double kTol = 1e-5;
+
+class GradientCheckTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GradientCheckTest, AllPartialsMatchCentralDifferences) {
+  const size_t k = 5, f = 3;
+  Point p = RandomPoint(GetParam(), k, f);
+
+  // Shared quantities for the analytic forms.
+  std::vector<double> fdiff(f);
+  math::Subtract(p.fi, p.fj, fdiff);
+  std::vector<double> d(k);
+  math::Subtract(p.vi, p.vj, d);
+  p.a.MultiplyVectorAccumulate(1.0, fdiff, d);
+  const double m = math::Dot(p.u, d);
+  const double coeff = -(1.0 - math::Sigmoid(m));
+
+  // dl/du.
+  for (size_t i = 0; i < k; ++i) {
+    Point plus = p, minus = p;
+    plus.u[i] += kEps;
+    minus.u[i] -= kEps;
+    const double numeric = (Loss(plus) - Loss(minus)) / (2 * kEps);
+    EXPECT_NEAR(numeric, coeff * d[i], kTol) << "du[" << i << "]";
+  }
+  // dl/dv_i and dl/dv_j (Eqs. 13-14).
+  for (size_t i = 0; i < k; ++i) {
+    Point plus = p, minus = p;
+    plus.vi[i] += kEps;
+    minus.vi[i] -= kEps;
+    EXPECT_NEAR((Loss(plus) - Loss(minus)) / (2 * kEps), coeff * p.u[i], kTol)
+        << "dvi[" << i << "]";
+    plus = p;
+    minus = p;
+    plus.vj[i] += kEps;
+    minus.vj[i] -= kEps;
+    EXPECT_NEAR((Loss(plus) - Loss(minus)) / (2 * kEps), -coeff * p.u[i], kTol)
+        << "dvj[" << i << "]";
+  }
+  // dl/dA: outer product u (f_i - f_j)^T (Eq. 15).
+  for (size_t r = 0; r < k; ++r) {
+    for (size_t c = 0; c < f; ++c) {
+      Point plus = p, minus = p;
+      plus.a(r, c) += kEps;
+      minus.a(r, c) -= kEps;
+      const double numeric = (Loss(plus) - Loss(minus)) / (2 * kEps);
+      EXPECT_NEAR(numeric, coeff * p.u[r] * fdiff[c], kTol)
+          << "dA(" << r << "," << c << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPoints, GradientCheckTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(GradientCheckTest, LossIsConvexAlongDescentDirection) {
+  // Stepping against the gradient must reduce the loss for a small step.
+  Point p = RandomPoint(99, 6, 4);
+  std::vector<double> fdiff(4);
+  math::Subtract(p.fi, p.fj, fdiff);
+  std::vector<double> d(6);
+  math::Subtract(p.vi, p.vj, d);
+  p.a.MultiplyVectorAccumulate(1.0, fdiff, d);
+  const double m = math::Dot(p.u, d);
+  const double g = 1.0 - math::Sigmoid(m);  // descent multiplier
+
+  const double before = Loss(p);
+  Point stepped = p;
+  math::Axpy(0.01 * g, d, stepped.u);
+  math::Axpy(0.01 * g, p.u, stepped.vi);
+  math::Axpy(-0.01 * g, p.u, stepped.vj);
+  stepped.a.AddOuterProduct(0.01 * g, p.u, fdiff);
+  EXPECT_LT(Loss(stepped), before);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace reconsume

@@ -1,0 +1,96 @@
+#include "math/lasso_logistic.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace reconsume {
+namespace math {
+namespace {
+
+TEST(LassoLogisticTest, RejectsBadInput) {
+  EXPECT_EQ(FitLassoLogistic({}, {}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(FitLassoLogistic({{1.0}}, {0, 1}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(FitLassoLogistic({{1.0}, {1.0, 2.0}}, {0, 1}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(FitLassoLogistic({{1.0}}, {2}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LassoLogisticTest, LearnsThresholdRule) {
+  // y = 1 iff x > 0.5, with margin.
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  util::Rng rng(1);
+  for (int i = 0; i < 400; ++i) {
+    const double v = rng.NextDouble();
+    if (v > 0.4 && v < 0.6) continue;  // margin
+    x.push_back({v});
+    y.push_back(v > 0.5 ? 1 : 0);
+  }
+  LassoLogisticOptions options;
+  options.l1_penalty = 1e-4;
+  const auto model = FitLassoLogistic(x, y, options);
+  ASSERT_TRUE(model.ok());
+  const auto& m = model.ValueOrDie();
+  EXPECT_GT(m.weights()[0], 0.0);
+  EXPECT_TRUE(m.Predict({0.9}));
+  EXPECT_FALSE(m.Predict({0.1}));
+  EXPECT_GT(m.PredictProbability({0.99}), 0.8);
+  EXPECT_LT(m.PredictProbability({0.01}), 0.2);
+}
+
+TEST(LassoLogisticTest, IrrelevantFeatureIsZeroedByL1) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  util::Rng rng(2);
+  for (int i = 0; i < 600; ++i) {
+    const double signal = rng.NextDouble();
+    const double noise = rng.NextDouble();
+    x.push_back({signal, noise});
+    y.push_back(signal > 0.5 ? 1 : 0);
+  }
+  LassoLogisticOptions options;
+  options.l1_penalty = 0.05;
+  const auto model = FitLassoLogistic(x, y, options);
+  ASSERT_TRUE(model.ok());
+  const auto& m = model.ValueOrDie();
+  EXPECT_GT(m.weights()[0], 0.1);
+  EXPECT_EQ(m.weights()[1], 0.0);  // soft-thresholded away
+  EXPECT_EQ(m.NumZeroWeights(), 1);
+}
+
+TEST(LassoLogisticTest, HugePenaltyZeroesEverythingButIntercept) {
+  std::vector<std::vector<double>> x = {{0.1}, {0.9}, {0.2}, {0.8}};
+  std::vector<int> y = {0, 1, 0, 1};
+  LassoLogisticOptions options;
+  options.l1_penalty = 100.0;
+  const auto model = FitLassoLogistic(x, y, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model.ValueOrDie().weights()[0], 0.0);
+  // Balanced classes: intercept near 0, probability near 0.5.
+  EXPECT_NEAR(model.ValueOrDie().PredictProbability({0.5}), 0.5, 0.05);
+}
+
+TEST(LassoLogisticTest, InterceptCapturesClassImbalance) {
+  // All-positive data with useless feature: intercept must go positive.
+  std::vector<std::vector<double>> x(50, {0.0});
+  std::vector<int> y(50, 1);
+  const auto model = FitLassoLogistic(x, y);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model.ValueOrDie().intercept(), 1.0);
+  EXPECT_GT(model.ValueOrDie().PredictProbability({0.0}), 0.8);
+}
+
+TEST(LassoLogisticTest, MulticlassWidthMismatchDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto model = FitLassoLogistic({{1.0, 2.0}}, {1});
+  ASSERT_TRUE(model.ok());
+  EXPECT_DEATH(model.ValueOrDie().PredictProbability({1.0}), "feature width");
+}
+
+}  // namespace
+}  // namespace math
+}  // namespace reconsume

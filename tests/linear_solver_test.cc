@@ -1,0 +1,140 @@
+#include "math/linear_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "math/vector_ops.h"
+#include "util/random.h"
+
+namespace reconsume {
+namespace math {
+namespace {
+
+Matrix RandomSpd(size_t n, util::Rng* rng) {
+  // A = B B^T + n I is SPD.
+  Matrix b(n, n);
+  b.FillGaussian(rng, 0.0, 1.0);
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      a(i, j) = Dot(b.Row(i), b.Row(j));
+    }
+    a(i, i) += static_cast<double>(n);
+  }
+  return a;
+}
+
+std::vector<double> Multiply(const Matrix& a, const std::vector<double>& x) {
+  std::vector<double> out(a.rows());
+  a.MultiplyVector(x, out);
+  return out;
+}
+
+TEST(CholeskyTest, SolvesKnownSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 3;
+  const auto x = SolveCholesky(a, {2.0, 3.0});
+  ASSERT_TRUE(x.ok());
+  // Solution of [4 2; 2 3] x = [2, 3]: x = [0, 1].
+  EXPECT_NEAR(x.ValueOrDie()[0], 0.0, 1e-12);
+  EXPECT_NEAR(x.ValueOrDie()[1], 1.0, 1e-12);
+}
+
+TEST(CholeskyTest, RejectsNonSpd) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 1;  // eigenvalues 3, -1
+  const auto x = SolveCholesky(a, {1.0, 1.0});
+  ASSERT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kNumericalError);
+}
+
+TEST(CholeskyTest, RejectsDimensionMismatch) {
+  Matrix a(2, 3);
+  EXPECT_EQ(SolveCholesky(a, {1.0, 1.0}).status().code(),
+            StatusCode::kInvalidArgument);
+  Matrix b(2, 2);
+  EXPECT_EQ(SolveCholesky(b, {1.0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+class CholeskyPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CholeskyPropertyTest, ResidualIsTinyOnRandomSpd) {
+  util::Rng rng(GetParam() * 7 + 1);
+  const size_t n = GetParam();
+  const Matrix a = RandomSpd(n, &rng);
+  std::vector<double> b(n);
+  for (auto& v : b) v = rng.Gaussian(0, 1);
+  const auto x = SolveCholesky(a, b);
+  ASSERT_TRUE(x.ok());
+  const auto ax = Multiply(a, x.ValueOrDie());
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 25));
+
+TEST(LuTest, SolvesNonSymmetricSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 0;  // forces pivoting
+  a(0, 1) = 1;
+  a(1, 0) = 2;
+  a(1, 1) = 1;
+  const auto x = SolveLu(a, {3.0, 4.0});
+  ASSERT_TRUE(x.ok());
+  // 0x + y = 3; 2x + y = 4 => x = 0.5, y = 3.
+  EXPECT_NEAR(x.ValueOrDie()[0], 0.5, 1e-12);
+  EXPECT_NEAR(x.ValueOrDie()[1], 3.0, 1e-12);
+}
+
+TEST(LuTest, DetectsSingularity) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;  // rank 1
+  EXPECT_EQ(SolveLu(a, {1.0, 2.0}).status().code(),
+            StatusCode::kNumericalError);
+}
+
+class LuPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LuPropertyTest, ResidualIsTinyOnRandomMatrices) {
+  util::Rng rng(GetParam() * 13 + 3);
+  const size_t n = GetParam();
+  Matrix a(n, n);
+  a.FillGaussian(&rng, 0.0, 1.0);
+  for (size_t i = 0; i < n; ++i) a(i, i) += 2.0;  // keep well-conditioned
+  std::vector<double> b(n);
+  for (auto& v : b) v = rng.Gaussian(0, 1);
+  const auto x = SolveLu(a, b);
+  ASSERT_TRUE(x.ok());
+  const auto ax = Multiply(a, x.ValueOrDie());
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuPropertyTest,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(SolverAgreementTest, CholeskyAndLuAgreeOnSpd) {
+  util::Rng rng(55);
+  const Matrix a = RandomSpd(6, &rng);
+  std::vector<double> b(6);
+  for (auto& v : b) v = rng.Gaussian(0, 1);
+  const auto x1 = SolveCholesky(a, b);
+  const auto x2 = SolveLu(a, b);
+  ASSERT_TRUE(x1.ok());
+  ASSERT_TRUE(x2.ok());
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(x1.ValueOrDie()[i], x2.ValueOrDie()[i], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace math
+}  // namespace reconsume

@@ -1,0 +1,157 @@
+#include "data/loaders.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace reconsume {
+namespace data {
+namespace {
+
+struct TsCase {
+  const char* text;
+  bool ok;
+};
+
+class ParseIso8601Test : public ::testing::TestWithParam<TsCase> {};
+
+TEST_P(ParseIso8601Test, Validity) {
+  EXPECT_EQ(ParseIso8601(GetParam().text).ok(), GetParam().ok)
+      << GetParam().text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParseIso8601Test,
+    ::testing::Values(TsCase{"2010-10-19T23:55:27Z", true},
+                      TsCase{"2010-10-19 23:55:27", true},
+                      TsCase{"1970-01-01T00:00:00Z", true},
+                      TsCase{"1969-12-31T23:59:59Z", true},  // pre-epoch
+                      TsCase{"2012-02-29T12:00:00Z", true},  // leap day
+                      TsCase{"2010-13-19T23:55:27Z", false}, // month 13
+                      TsCase{"2010-10-19", false},           // too short
+                      TsCase{"2010/10/19T23:55:27Z", false}, // wrong seps
+                      TsCase{"2010-10-19T23:65:27Z", false}, // minute 65
+                      TsCase{"abcd-10-19T23:55:27Z", false}));
+
+TEST(ParseIso8601Test, OrderingIsMonotone) {
+  const int64_t a = ParseIso8601("2010-10-19T23:55:27Z").ValueOrDie();
+  const int64_t b = ParseIso8601("2010-10-19T23:55:28Z").ValueOrDie();
+  const int64_t c = ParseIso8601("2010-10-20T00:00:00Z").ValueOrDie();
+  const int64_t d = ParseIso8601("2011-01-01T00:00:00Z").ValueOrDie();
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(c, d);
+  EXPECT_EQ(b - a, 1);
+}
+
+TEST(ParseIso8601Test, EpochAndLeapYearArithmetic) {
+  EXPECT_EQ(ParseIso8601("1970-01-01T00:00:00Z").ValueOrDie(), 0);
+  EXPECT_EQ(ParseIso8601("1970-01-02T00:00:00Z").ValueOrDie(), 86400);
+  // 2012-03-01 minus 2012-02-28 is two days (leap year).
+  const int64_t feb28 = ParseIso8601("2012-02-28T00:00:00Z").ValueOrDie();
+  const int64_t mar01 = ParseIso8601("2012-03-01T00:00:00Z").ValueOrDie();
+  EXPECT_EQ(mar01 - feb28, 2 * 86400);
+}
+
+class LoaderTest : public ::testing::Test {
+ protected:
+  std::string WriteTemp(const std::string& contents) {
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("reconsume_loader_test_" + std::to_string(counter_++) + "_" +
+          std::to_string(reinterpret_cast<uintptr_t>(this))))
+            .string();
+    std::ofstream out(path, std::ios::binary);
+    out << contents;
+    paths_.push_back(path);
+    return path;
+  }
+  void TearDown() override {
+    for (const auto& p : paths_) std::remove(p.c_str());
+  }
+  std::vector<std::string> paths_;
+  int counter_ = 0;
+};
+
+TEST_F(LoaderTest, GowallaBasicLoad) {
+  const std::string path = WriteTemp(
+      "0\t2010-10-19T23:55:27Z\t30.23\t-97.79\t22847\n"
+      "0\t2010-10-18T22:17:43Z\t30.26\t-97.76\t420315\n"
+      "1\t2010-10-17T23:42:03Z\t30.25\t-97.75\t316637\n");
+  const Dataset dataset = GowallaLoader::Load(path).ValueOrDie();
+  EXPECT_EQ(dataset.num_users(), 2u);
+  EXPECT_EQ(dataset.num_items(), 3u);
+  // User "0" events must be time-sorted: 420315 (Oct 18) before 22847.
+  const auto& seq = dataset.sequence(dataset.FindUser("0"));
+  ASSERT_EQ(seq.size(), 2u);
+  EXPECT_EQ(dataset.item_key(seq[0]), "420315");
+  EXPECT_EQ(dataset.item_key(seq[1]), "22847");
+}
+
+TEST_F(LoaderTest, GowallaRejectsWrongArity) {
+  const std::string path = WriteTemp("0\t2010-10-19T23:55:27Z\t30.23\n");
+  const auto result = GowallaLoader::Load(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find(":1:"), std::string::npos);
+}
+
+TEST_F(LoaderTest, GowallaRejectsBadTimestamp) {
+  const std::string path = WriteTemp("0\tnot-a-time\t1\t2\t3\n");
+  EXPECT_FALSE(GowallaLoader::Load(path).ok());
+}
+
+TEST_F(LoaderTest, GowallaMaxEventsTruncates) {
+  const std::string path = WriteTemp(
+      "0\t2010-10-19T23:55:27Z\t1\t2\tA\n"
+      "0\t2010-10-19T23:55:28Z\t1\t2\tB\n"
+      "0\t2010-10-19T23:55:29Z\t1\t2\tC\n");
+  const Dataset dataset = GowallaLoader::Load(path, 2).ValueOrDie();
+  EXPECT_EQ(dataset.num_interactions(), 2);
+}
+
+TEST_F(LoaderTest, MissingGowallaFileIsIoError) {
+  EXPECT_EQ(GowallaLoader::Load("/no/such/trace.txt").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST_F(LoaderTest, LastfmBasicLoadUsesTrackId) {
+  const std::string path = WriteTemp(
+      "user_000001\t2009-05-04T23:08:57Z\tart-id-1\tDeep Dish\ttrack-id-1\t"
+      "Fuchsia\n"
+      "user_000001\t2009-05-04T23:01:00Z\tart-id-1\tDeep Dish\ttrack-id-2\t"
+      "Flashdance\n");
+  const Dataset dataset = LastfmLoader::Load(path).ValueOrDie();
+  EXPECT_EQ(dataset.num_users(), 1u);
+  EXPECT_EQ(dataset.num_items(), 2u);
+  const auto& seq = dataset.sequence(0);
+  EXPECT_EQ(dataset.item_key(seq[0]), "track-id-2");  // earlier timestamp
+}
+
+TEST_F(LoaderTest, LastfmFallsBackToNamesWithoutTrackId) {
+  const std::string path = WriteTemp(
+      "u\t2009-05-04T23:08:57Z\taid\tArtist\t\tSong Name\n");
+  const Dataset dataset = LastfmLoader::Load(path).ValueOrDie();
+  EXPECT_EQ(dataset.item_key(0), "Artist||Song Name");
+}
+
+TEST_F(LoaderTest, LastfmRejectsRowWithNoIdentity) {
+  const std::string path = WriteTemp("u\t2009-05-04T23:08:57Z\taid\t\t\t\n");
+  EXPECT_FALSE(LastfmLoader::Load(path).ok());
+}
+
+TEST_F(LoaderTest, LastfmRejectsWrongArity) {
+  const std::string path = WriteTemp("u\t2009-05-04T23:08:57Z\taid\tArtist\n");
+  EXPECT_FALSE(LastfmLoader::Load(path).ok());
+}
+
+TEST_F(LoaderTest, EmptyFileFails) {
+  const std::string path = WriteTemp("");
+  EXPECT_FALSE(GowallaLoader::Load(path).ok());
+  EXPECT_FALSE(LastfmLoader::Load(path).ok());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace reconsume

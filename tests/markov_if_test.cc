@@ -1,0 +1,113 @@
+#include "baselines/markov_if.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/simple_recommenders.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+
+namespace reconsume {
+namespace baselines {
+namespace {
+
+data::Dataset FromSequences(const std::vector<std::vector<int>>& sequences) {
+  data::DatasetBuilder builder;
+  for (size_t u = 0; u < sequences.size(); ++u) {
+    for (size_t t = 0; t < sequences[u].size(); ++t) {
+      EXPECT_TRUE(builder
+                      .Add(static_cast<int64_t>(u), sequences[u][t],
+                           static_cast<int64_t>(t))
+                      .ok());
+    }
+  }
+  return builder.Build().ValueOrDie();
+}
+
+TEST(MarkovIfTest, RejectsBadConfig) {
+  const data::Dataset dataset = FromSequences({{0, 1, 0, 1}});
+  const auto split = data::TrainTestSplit::Temporal(&dataset, 0.7).ValueOrDie();
+  MarkovIfConfig config;
+  config.personalization = 1.5;
+  EXPECT_FALSE(MarkovIfRecommender::Fit(split, config).ok());
+  config = MarkovIfConfig();
+  config.smoothing = -1.0;
+  EXPECT_FALSE(MarkovIfRecommender::Fit(split, config).ok());
+  config = MarkovIfConfig();
+  config.context_cap = 0;
+  EXPECT_FALSE(MarkovIfRecommender::Fit(split, config).ok());
+}
+
+TEST(MarkovIfTest, TransitionProbabilitiesHandComputed) {
+  // Train prefix (0.8 * 5 = 4 events): 0 1 0 2 -> transitions 0->1, 1->0,
+  // 0->2. Row 0 has counts {1:1, 2:1}; with smoothing 0 both get 0.5.
+  const data::Dataset dataset = FromSequences({{0, 1, 0, 2, 0}});
+  const auto split = data::TrainTestSplit::Temporal(&dataset, 0.8).ValueOrDie();
+  MarkovIfConfig config;
+  config.smoothing = 0.0;
+  const auto model = MarkovIfRecommender::Fit(split, config).ValueOrDie();
+  EXPECT_DOUBLE_EQ(model.GlobalTransition(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(model.GlobalTransition(0, 2), 0.5);
+  EXPECT_DOUBLE_EQ(model.GlobalTransition(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(model.GlobalTransition(2, 0), 0.0);  // unseen row
+  EXPECT_DOUBLE_EQ(model.GlobalTransition(0, 0), 0.0);  // unseen cell
+}
+
+TEST(MarkovIfTest, PersonalizationSeparatesUsers) {
+  // User 0 always follows 0 with 1; user 1 always follows 0 with 2.
+  const data::Dataset dataset = FromSequences(
+      {{0, 1, 0, 1, 0, 1, 0, 1, 0, 1}, {0, 2, 0, 2, 0, 2, 0, 2, 0, 2}});
+  const auto split = data::TrainTestSplit::Temporal(&dataset, 0.8).ValueOrDie();
+  MarkovIfConfig config;
+  config.smoothing = 0.0;
+  const auto model = MarkovIfRecommender::Fit(split, config).ValueOrDie();
+  EXPECT_DOUBLE_EQ(model.UserTransition(0, 0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(model.UserTransition(0, 0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(model.UserTransition(1, 0, 2), 1.0);
+  // Global blends both users roughly evenly.
+  EXPECT_NEAR(model.GlobalTransition(0, 1), 0.5, 0.1);
+}
+
+TEST(MarkovIfTest, BeatsRandomOnGeneratorData) {
+  data::Dataset dataset =
+      data::SyntheticTraceGenerator(data::GowallaLikeProfile(0.1))
+          .Generate()
+          .ValueOrDie();
+  const auto split = data::TrainTestSplit::Temporal(&dataset, 0.7).ValueOrDie();
+  auto markov =
+      MarkovIfRecommender::Fit(split, MarkovIfConfig()).ValueOrDie();
+  RandomRecommender random_rec;
+
+  eval::EvalOptions options;
+  options.window_capacity = 100;
+  options.min_gap = 10;
+  eval::Evaluator evaluator(&split, options);
+  const auto markov_acc = evaluator.Evaluate(&markov).ValueOrDie();
+  const auto random_acc = evaluator.Evaluate(&random_rec).ValueOrDie();
+  EXPECT_GT(markov_acc.MaapAt(10), random_acc.MaapAt(10));
+}
+
+TEST(MarkovIfTest, CloneIsIndependentAndEquivalent) {
+  data::Dataset dataset =
+      data::SyntheticTraceGenerator(data::GowallaLikeProfile(0.05))
+          .Generate()
+          .ValueOrDie();
+  const auto split = data::TrainTestSplit::Temporal(&dataset, 0.7).ValueOrDie();
+  auto markov =
+      MarkovIfRecommender::Fit(split, MarkovIfConfig()).ValueOrDie();
+  auto clone = markov.Clone();
+  ASSERT_NE(clone, nullptr);
+
+  window::WindowWalker walker(&dataset.sequence(0), 100);
+  for (int i = 0; i < 150; ++i) walker.Advance();
+  std::vector<data::ItemId> candidates;
+  walker.EligibleCandidates(10, &candidates);
+  ASSERT_FALSE(candidates.empty());
+  std::vector<double> a(candidates.size()), b(candidates.size());
+  markov.Score(0, walker, candidates, a);
+  clone->Score(0, walker, candidates, b);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace reconsume

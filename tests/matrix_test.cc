@@ -1,0 +1,135 @@
+#include "math/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace reconsume {
+namespace math {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FALSE(m.empty());
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(MatrixTest, RowViewIsMutable) {
+  Matrix m(2, 2);
+  auto row = m.Row(1);
+  row[0] = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 7.0);
+}
+
+TEST(MatrixTest, IdentityHasOnesOnDiagonal) {
+  const Matrix id = Matrix::Identity(3);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  Matrix m(2, 3);
+  // [1 2 3; 4 5 6] * [1, 0, -1] = [-2, -2]
+  double vals[] = {1, 2, 3, 4, 5, 6};
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) m(r, c) = vals[r * 3 + c];
+  }
+  const std::vector<double> x = {1, 0, -1};
+  std::vector<double> out(2);
+  m.MultiplyVector(x, out);
+  EXPECT_DOUBLE_EQ(out[0], -2.0);
+  EXPECT_DOUBLE_EQ(out[1], -2.0);
+
+  std::vector<double> acc = {10, 10};
+  m.MultiplyVectorAccumulate(0.5, x, acc);
+  EXPECT_DOUBLE_EQ(acc[0], 9.0);
+  EXPECT_DOUBLE_EQ(acc[1], 9.0);
+}
+
+TEST(MatrixTest, IdentityMultiplyIsIdentity) {
+  const Matrix id = Matrix::Identity(4);
+  const std::vector<double> x = {1, -2, 3, -4};
+  std::vector<double> out(4);
+  id.MultiplyVector(x, out);
+  for (size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(out[i], x[i]);
+}
+
+TEST(MatrixTest, AddOuterProductMatchesNaive) {
+  util::Rng rng(3);
+  Matrix m(5, 3);
+  m.FillGaussian(&rng, 0.0, 1.0);
+  const Matrix before = m;
+  std::vector<double> u(5), f(3);
+  for (auto& v : u) v = rng.Gaussian(0, 1);
+  for (auto& v : f) v = rng.Gaussian(0, 1);
+
+  m.AddOuterProduct(0.3, u, f);
+  for (size_t r = 0; r < 5; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(m(r, c), before(r, c) + 0.3 * u[r] * f[c], 1e-12);
+    }
+  }
+}
+
+TEST(MatrixTest, SquaredFrobeniusNorm) {
+  Matrix m(2, 2);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(1, 0) = -2;
+  m(1, 1) = 1;
+  EXPECT_DOUBLE_EQ(m.SquaredFrobeniusNorm(), 1 + 4 + 4 + 1);
+}
+
+TEST(MatrixTest, ScaleInPlace) {
+  Matrix m(1, 2, 4.0);
+  m.ScaleInPlace(0.25);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 1.0);
+}
+
+TEST(MatrixTest, FillGaussianIsSeededDeterministically) {
+  util::Rng rng_a(5), rng_b(5);
+  Matrix a(10, 10), b(10, 10);
+  a.FillGaussian(&rng_a, 0.0, 0.1);
+  b.FillGaussian(&rng_b, 0.0, 0.1);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MatrixTest, OuterProductThenMultiplyConsistency) {
+  // (A + alpha u f^T) x == A x + alpha (f·x) u — checks the two kernels agree.
+  util::Rng rng(11);
+  Matrix a(4, 6);
+  a.FillGaussian(&rng, 0.0, 1.0);
+  std::vector<double> u(4), f(6), x(6);
+  for (auto& v : u) v = rng.Gaussian(0, 1);
+  for (auto& v : f) v = rng.Gaussian(0, 1);
+  for (auto& v : x) v = rng.Gaussian(0, 1);
+
+  std::vector<double> ax(4);
+  a.MultiplyVector(x, ax);
+  const double fx = Dot(f, x);
+
+  a.AddOuterProduct(0.7, u, f);
+  std::vector<double> ax_updated(4);
+  a.MultiplyVector(x, ax_updated);
+  for (size_t r = 0; r < 4; ++r) {
+    EXPECT_NEAR(ax_updated[r], ax[r] + 0.7 * fx * u[r], 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace math
+}  // namespace reconsume

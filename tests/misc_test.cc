@@ -1,0 +1,181 @@
+// Coverage for the smaller utilities: logging levels, stopwatch, the text
+// table, experiment defaults, the power-law recency kernel, and window
+// walker stress at extreme capacities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.h"
+#include "data/split.h"
+#include "eval/experiment_defaults.h"
+#include "eval/table.h"
+#include "features/feature_extractor.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+#include "window/window_walker.h"
+
+namespace reconsume {
+namespace {
+
+TEST(LoggingTest, LevelNamesAndThreshold) {
+  EXPECT_STREQ(util::LogLevelName(util::LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(util::LogLevelName(util::LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(util::LogLevelName(util::LogLevel::kWarning), "WARN");
+  EXPECT_STREQ(util::LogLevelName(util::LogLevel::kError), "ERROR");
+  EXPECT_STREQ(util::LogLevelName(util::LogLevel::kFatal), "FATAL");
+
+  const util::LogLevel original = util::GetLogLevel();
+  util::SetLogLevel(util::LogLevel::kError);
+  EXPECT_EQ(util::GetLogLevel(), util::LogLevel::kError);
+  RECONSUME_LOG(Info) << "filtered out, must not crash";
+  util::SetLogLevel(original);
+}
+
+TEST(LoggingTest, CheckPassesQuietly) {
+  RECONSUME_CHECK(1 + 1 == 2) << "never printed";
+  RECONSUME_DCHECK(true) << "never printed";
+  RECONSUME_CHECK_OK(Status::OK());
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(RECONSUME_CHECK(false) << "ctx 42", "Check failed.*ctx 42");
+  EXPECT_DEATH(RECONSUME_CHECK_OK(Status::IoError("gone")), "IOError: gone");
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  util::Stopwatch stopwatch;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + std::sqrt(static_cast<double>(i));
+  }
+  const int64_t nanos = stopwatch.ElapsedNanos();
+  EXPECT_GT(nanos, 0);
+  EXPECT_NEAR(stopwatch.ElapsedMillis(), stopwatch.ElapsedNanos() / 1e6, 1.0);
+  stopwatch.Restart();
+  EXPECT_LT(stopwatch.ElapsedNanos(), nanos + 1000000000);
+}
+
+TEST(TextTableDeathTest, ArityMismatchDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  eval::TextTable table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "arity");
+}
+
+TEST(TextTableTest, ColumnsStartAtTheSameOffset) {
+  eval::TextTable table({"x", "long-header"});
+  table.AddRow({"longer-cell", "y"});
+  const std::string out = table.ToString();
+  // Three lines: header, underline, row; the second column must begin at the
+  // same offset in the header and the data row (first column width + 2).
+  const size_t header_end = out.find('\n');
+  const std::string header = out.substr(0, header_end);
+  const size_t row_start = out.rfind('\n', out.size() - 2) + 1;
+  const std::string row = out.substr(row_start, out.size() - row_start - 1);
+  EXPECT_EQ(header.find("long-header"), row.find("y"));
+  // The underline spans at least the widest line.
+  const size_t underline_start = header_end + 1;
+  const size_t underline_end = out.find('\n', underline_start);
+  EXPECT_GE(underline_end - underline_start, row.size());
+}
+
+TEST(ExperimentDefaultsTest, MatchTable4) {
+  const auto gowalla = eval::ExperimentDefaults::Gowalla();
+  EXPECT_DOUBLE_EQ(gowalla.lambda, 0.01);
+  EXPECT_DOUBLE_EQ(gowalla.gamma, 0.05);
+  const auto lastfm = eval::ExperimentDefaults::Lastfm();
+  EXPECT_DOUBLE_EQ(lastfm.lambda, 0.001);
+  EXPECT_DOUBLE_EQ(lastfm.gamma, 0.1);
+  for (const auto& d : {gowalla, lastfm}) {
+    EXPECT_EQ(d.latent_dim, 40);
+    EXPECT_EQ(d.negatives, 10);
+    EXPECT_EQ(d.min_gap, 10);
+    EXPECT_EQ(d.window_capacity, 100);
+    EXPECT_DOUBLE_EQ(d.train_fraction, 0.7);
+    EXPECT_EQ(d.min_train_events, 100);
+  }
+}
+
+struct KernelFixture {
+  data::Dataset dataset;
+  std::unique_ptr<data::TrainTestSplit> split;
+  std::unique_ptr<features::StaticFeatureTable> table;
+
+  KernelFixture() {
+    data::DatasetBuilder builder;
+    const int items[] = {1, 2, 3, 1, 2, 3, 1, 2, 3, 1};
+    for (int t = 0; t < 10; ++t) {
+      EXPECT_TRUE(builder.Add(0, items[t], t).ok());
+    }
+    dataset = builder.Build().ValueOrDie();
+    split = std::make_unique<data::TrainTestSplit>(
+        data::TrainTestSplit::Temporal(&dataset, 0.7).ValueOrDie());
+    table = std::make_unique<features::StaticFeatureTable>(
+        features::StaticFeatureTable::Compute(*split, 5).ValueOrDie());
+  }
+};
+
+TEST(PowerLawKernelTest, ExponentOneMatchesHyperbolic) {
+  KernelFixture fixture;
+  features::FeatureConfig power;
+  power.recency_kernel = features::RecencyKernel::kPowerLaw;
+  power.power_law_exponent = 1.0;
+  features::FeatureExtractor power_extractor(fixture.table.get(), power);
+  features::FeatureExtractor hyper_extractor(
+      fixture.table.get(), features::FeatureConfig::AllFeatures());
+
+  window::WindowWalker walker(&fixture.dataset.sequence(0), 5);
+  for (int i = 0; i < 5; ++i) walker.Advance();
+  for (const auto& [item, count] : walker.window_counts()) {
+    (void)count;
+    EXPECT_DOUBLE_EQ(power_extractor.Recency(walker, item),
+                     hyper_extractor.Recency(walker, item));
+  }
+}
+
+TEST(PowerLawKernelTest, LargerExponentDecaysFaster) {
+  KernelFixture fixture;
+  features::FeatureConfig steep;
+  steep.recency_kernel = features::RecencyKernel::kPowerLaw;
+  steep.power_law_exponent = 2.0;
+  features::FeatureExtractor extractor(fixture.table.get(), steep);
+
+  window::WindowWalker walker(&fixture.dataset.sequence(0), 5);
+  for (int i = 0; i < 4; ++i) walker.Advance();
+  // gap(item 1) = 1, gap(item 2) = 3 at t = 4 for the 1,2,3,1,... trace.
+  const data::ItemId i1 = fixture.dataset.FindItem("1");
+  const data::ItemId i2 = fixture.dataset.FindItem("2");
+  EXPECT_DOUBLE_EQ(extractor.Recency(walker, i1), 1.0);
+  EXPECT_DOUBLE_EQ(extractor.Recency(walker, i2), 1.0 / 9.0);
+}
+
+TEST(WindowWalkerStressTest, CapacityLargerThanSequence) {
+  data::ConsumptionSequence seq(250);
+  util::Rng rng(3);
+  for (auto& v : seq) v = static_cast<data::ItemId>(rng.Uniform(5));
+  window::WindowWalker walker(&seq, 100000);
+  int64_t total = 0;
+  while (!walker.Done()) {
+    total += static_cast<int64_t>(walker.NumDistinctInWindow());
+    walker.Advance();
+  }
+  EXPECT_EQ(walker.WindowSize(), 250);  // never evicted
+  EXPECT_GT(total, 0);
+}
+
+TEST(WindowWalkerStressTest, LongHighChurnTrace) {
+  data::ConsumptionSequence seq(50000);
+  util::Rng rng(9);
+  for (auto& v : seq) v = static_cast<data::ItemId>(rng.Uniform(2000));
+  window::WindowWalker walker(&seq, 100);
+  while (!walker.Done()) {
+    RECONSUME_CHECK(walker.NumDistinctInWindow() <= 100u);
+    walker.Advance();
+  }
+  EXPECT_EQ(walker.step(), 50000);
+}
+
+}  // namespace
+}  // namespace reconsume

@@ -1,0 +1,121 @@
+#include "core/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace reconsume {
+namespace core {
+namespace {
+
+TsPprModel MakeModel(uint64_t seed = 3, int k = 6, int f = 4) {
+  TsPprConfig config;
+  config.latent_dim = k;
+  config.seed = seed;
+  config.learning_rate = 0.07;
+  config.gamma = 0.03;
+  config.lambda = 0.004;
+  return TsPprModel::Create(5, 9, f, config).ValueOrDie();
+}
+
+void ExpectModelsEqual(const TsPprModel& a, const TsPprModel& b) {
+  ASSERT_EQ(a.num_users(), b.num_users());
+  ASSERT_EQ(a.num_items(), b.num_items());
+  ASSERT_EQ(a.latent_dim(), b.latent_dim());
+  ASSERT_EQ(a.feature_dim(), b.feature_dim());
+  for (size_t u = 0; u < a.num_users(); ++u) {
+    const auto ua = a.user_factor(static_cast<data::UserId>(u));
+    const auto ub = b.user_factor(static_cast<data::UserId>(u));
+    for (size_t i = 0; i < ua.size(); ++i) EXPECT_DOUBLE_EQ(ua[i], ub[i]);
+    EXPECT_EQ(a.mapping(static_cast<data::UserId>(u)),
+              b.mapping(static_cast<data::UserId>(u)));
+  }
+  for (size_t v = 0; v < a.num_items(); ++v) {
+    const auto va = a.item_factor(static_cast<data::ItemId>(v));
+    const auto vb = b.item_factor(static_cast<data::ItemId>(v));
+    for (size_t i = 0; i < va.size(); ++i) EXPECT_DOUBLE_EQ(va[i], vb[i]);
+  }
+}
+
+TEST(ModelIoTest, InMemoryRoundtrip) {
+  const TsPprModel model = MakeModel();
+  const std::string bytes = SerializeModel(model);
+  const TsPprModel loaded = DeserializeModel(bytes).ValueOrDie();
+  ExpectModelsEqual(model, loaded);
+  EXPECT_DOUBLE_EQ(loaded.config().learning_rate, 0.07);
+  EXPECT_DOUBLE_EQ(loaded.config().gamma, 0.03);
+  EXPECT_DOUBLE_EQ(loaded.config().lambda, 0.004);
+}
+
+TEST(ModelIoTest, FileRoundtrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "reconsume_model_io_test.bin")
+          .string();
+  const TsPprModel model = MakeModel(77);
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  const TsPprModel loaded = LoadModel(path).ValueOrDie();
+  ExpectModelsEqual(model, loaded);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, ScoresSurviveRoundtrip) {
+  const TsPprModel model = MakeModel(5);
+  const TsPprModel loaded =
+      DeserializeModel(SerializeModel(model)).ValueOrDie();
+  const std::vector<double> f = {0.1, 0.9, 0.5, 0.0};
+  for (data::UserId u = 0; u < 5; ++u) {
+    for (data::ItemId v = 0; v < 9; ++v) {
+      EXPECT_DOUBLE_EQ(model.Score(u, v, f), loaded.Score(u, v, f));
+    }
+  }
+}
+
+TEST(ModelIoTest, DetectsCorruption) {
+  std::string bytes = SerializeModel(MakeModel());
+  bytes[bytes.size() / 2] ^= 0x5A;
+  const auto result = DeserializeModel(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(ModelIoTest, DetectsTruncation) {
+  const std::string bytes = SerializeModel(MakeModel());
+  EXPECT_FALSE(DeserializeModel(bytes.substr(0, bytes.size() - 20)).ok());
+  EXPECT_FALSE(DeserializeModel(bytes.substr(0, 10)).ok());
+  EXPECT_FALSE(DeserializeModel("").ok());
+}
+
+TEST(ModelIoTest, DetectsTrailingGarbage) {
+  std::string bytes = SerializeModel(MakeModel());
+  bytes += "extra";
+  EXPECT_FALSE(DeserializeModel(bytes).ok());  // checksum now mismatches
+}
+
+TEST(ModelIoTest, RejectsWrongMagic) {
+  std::string bytes = SerializeModel(MakeModel());
+  bytes[0] = 'X';
+  EXPECT_FALSE(DeserializeModel(bytes).ok());
+}
+
+TEST(ModelIoTest, MissingFileIsIoError) {
+  EXPECT_EQ(LoadModel("/no/such/model.bin").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(ModelIoTest, EffectiveFeatureWeightsMatchScoreDifference) {
+  // u^T A_u f == (A_u^T u) . f for arbitrary f.
+  const TsPprModel model = MakeModel(9);
+  const std::vector<double> weights = model.EffectiveFeatureWeights(2);
+  ASSERT_EQ(weights.size(), 4u);
+  const std::vector<double> f = {0.3, -0.2, 0.7, 1.1};
+  const std::vector<double> zero(4, 0.0);
+  const double dynamic_part = model.Score(2, 0, f) - model.Score(2, 0, zero);
+  double expected = 0.0;
+  for (size_t i = 0; i < 4; ++i) expected += weights[i] * f[i];
+  EXPECT_NEAR(dynamic_part, expected, 1e-10);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace reconsume

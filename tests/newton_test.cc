@@ -1,0 +1,115 @@
+#include "math/newton.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/vector_ops.h"
+
+namespace reconsume {
+namespace math {
+namespace {
+
+// f(x) = 0.5 (x - c)^T A (x - c) with SPD A: one Newton step solves exactly.
+SecondOrderObjective Quadratic(Matrix a, std::vector<double> c) {
+  return [a = std::move(a), c = std::move(c)](const std::vector<double>& x)
+             -> Result<ObjectiveEvaluation> {
+    const size_t n = x.size();
+    ObjectiveEvaluation eval;
+    std::vector<double> d(n);
+    Subtract(x, c, d);
+    std::vector<double> ad(n);
+    a.MultiplyVector(d, ad);
+    eval.value = 0.5 * Dot(d, ad);
+    eval.gradient = ad;
+    eval.hessian = a;
+    return eval;
+  };
+}
+
+TEST(NewtonTest, QuadraticConvergesToCenter) {
+  Matrix a(2, 2);
+  a(0, 0) = 3;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 2;
+  const auto report =
+      MinimizeNewton(Quadratic(a, {1.0, -2.0}), {10.0, 10.0});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.ValueOrDie().converged);
+  EXPECT_NEAR(report.ValueOrDie().solution[0], 1.0, 1e-7);
+  EXPECT_NEAR(report.ValueOrDie().solution[1], -2.0, 1e-7);
+  EXPECT_NEAR(report.ValueOrDie().objective_value, 0.0, 1e-12);
+  EXPECT_LE(report.ValueOrDie().iterations, 3);
+}
+
+TEST(NewtonTest, HandlesSemiDefiniteHessianViaRidge) {
+  // f(x, y) = 0.5 x^2 (flat in y): Hessian singular, ridge must rescue it.
+  auto objective = [](const std::vector<double>& x)
+      -> Result<ObjectiveEvaluation> {
+    ObjectiveEvaluation eval;
+    eval.value = 0.5 * x[0] * x[0];
+    eval.gradient = {x[0], 0.0};
+    eval.hessian = Matrix(2, 2);
+    eval.hessian(0, 0) = 1.0;
+    return eval;
+  };
+  const auto report = MinimizeNewton(objective, {5.0, 3.0});
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report.ValueOrDie().solution[0], 0.0, 1e-6);
+}
+
+TEST(NewtonTest, SmoothConvexNonQuadratic) {
+  // f(x) = log(1 + e^x) + log(1 + e^{-x}) minimized at 0.
+  auto objective = [](const std::vector<double>& x)
+      -> Result<ObjectiveEvaluation> {
+    ObjectiveEvaluation eval;
+    eval.value = Log1pExp(x[0]) + Log1pExp(-x[0]);
+    const double p = Sigmoid(x[0]);
+    eval.gradient = {2.0 * p - 1.0};
+    eval.hessian = Matrix(1, 1);
+    eval.hessian(0, 0) = 2.0 * p * (1.0 - p);
+    return eval;
+  };
+  const auto report = MinimizeNewton(objective, {4.0});
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report.ValueOrDie().solution[0], 0.0, 1e-6);
+}
+
+TEST(NewtonTest, NonFiniteStartIsError) {
+  auto objective = [](const std::vector<double>&)
+      -> Result<ObjectiveEvaluation> {
+    ObjectiveEvaluation eval;
+    eval.value = std::numeric_limits<double>::quiet_NaN();
+    eval.gradient = {0.0};
+    eval.hessian = Matrix(1, 1, 1.0);
+    return eval;
+  };
+  EXPECT_EQ(MinimizeNewton(objective, {0.0}).status().code(),
+            StatusCode::kNumericalError);
+}
+
+TEST(NewtonTest, RespectsIterationLimit) {
+  Matrix a(1, 1);
+  a(0, 0) = 1.0;
+  NewtonOptions options;
+  options.max_iterations = 0;
+  const auto report =
+      MinimizeNewton(Quadratic(a, {3.0}), {0.0}, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.ValueOrDie().converged);
+  EXPECT_NEAR(report.ValueOrDie().solution[0], 0.0, 1e-12);  // unmoved
+}
+
+TEST(NewtonTest, AlreadyAtOptimumConvergesImmediately) {
+  Matrix a(1, 1);
+  a(0, 0) = 2.0;
+  const auto report = MinimizeNewton(Quadratic(a, {1.5}), {1.5});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.ValueOrDie().converged);
+  EXPECT_EQ(report.ValueOrDie().iterations, 0);
+}
+
+}  // namespace
+}  // namespace math
+}  // namespace reconsume

@@ -1,0 +1,125 @@
+// Parallel evaluation: clones must produce aggregate metrics identical to
+// the serial run for deterministic recommenders, across thread counts.
+
+#include <gtest/gtest.h>
+
+#include "baselines/simple_recommenders.h"
+#include "core/ts_ppr.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "strec/mixture_recommender.h"
+#include "strec/strec_classifier.h"
+
+namespace reconsume {
+namespace eval {
+namespace {
+
+struct Fixture {
+  data::Dataset dataset;
+  std::unique_ptr<data::TrainTestSplit> split;
+  std::unique_ptr<features::StaticFeatureTable> table;
+
+  Fixture() {
+    dataset = data::SyntheticTraceGenerator(data::GowallaLikeProfile(0.1))
+                  .Generate()
+                  .ValueOrDie();
+    split = std::make_unique<data::TrainTestSplit>(
+        data::TrainTestSplit::Temporal(&dataset, 0.7).ValueOrDie());
+    table = std::make_unique<features::StaticFeatureTable>(
+        features::StaticFeatureTable::Compute(*split, 100).ValueOrDie());
+  }
+
+  AccuracyResult Evaluate(Recommender* method, int threads) const {
+    EvalOptions options;
+    options.window_capacity = 100;
+    options.min_gap = 10;
+    options.num_threads = threads;
+    options.collect_per_user = true;
+    Evaluator evaluator(split.get(), options);
+    return evaluator.Evaluate(method).ValueOrDie();
+  }
+};
+
+class ParallelEvalTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelEvalTest, PopMatchesSerialExactly) {
+  Fixture fixture;
+  baselines::PopRecommender pop(fixture.table.get());
+  const auto serial = fixture.Evaluate(&pop, 1);
+  const auto parallel = fixture.Evaluate(&pop, GetParam());
+  EXPECT_EQ(serial.num_instances, parallel.num_instances);
+  EXPECT_EQ(serial.num_users_evaluated, parallel.num_users_evaluated);
+  for (size_t c = 0; c < serial.top_ns.size(); ++c) {
+    EXPECT_DOUBLE_EQ(serial.maap[c], parallel.maap[c]);
+    EXPECT_NEAR(serial.miap[c], parallel.miap[c], 1e-12);
+  }
+  ASSERT_EQ(serial.per_user.size(), parallel.per_user.size());
+  for (size_t u = 0; u < serial.per_user.size(); ++u) {
+    EXPECT_EQ(serial.per_user[u].user, parallel.per_user[u].user);
+    EXPECT_EQ(serial.per_user[u].instances, parallel.per_user[u].instances);
+    EXPECT_EQ(serial.per_user[u].hits, parallel.per_user[u].hits);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelEvalTest,
+                         ::testing::Values(2, 3, 4, 8));
+
+TEST(ParallelEvalTest2, TsPprMatchesSerial) {
+  Fixture fixture;
+  core::TsPprPipelineConfig config;
+  auto ts_ppr = core::TsPpr::Fit(*fixture.split, config).ValueOrDie();
+  const auto serial = fixture.Evaluate(ts_ppr.recommender(), 1);
+  const auto parallel = fixture.Evaluate(ts_ppr.recommender(), 4);
+  for (size_t c = 0; c < serial.top_ns.size(); ++c) {
+    EXPECT_DOUBLE_EQ(serial.maap[c], parallel.maap[c]);
+  }
+}
+
+TEST(ParallelEvalTest2, MixtureCloneWorks) {
+  Fixture fixture;
+  core::TsPprPipelineConfig repeat_config;
+  auto repeat_model =
+      core::TsPpr::Fit(*fixture.split, repeat_config).ValueOrDie();
+  core::TsPprPipelineConfig novel_config;
+  novel_config.sampling.task = sampling::TrainingTask::kNovel;
+  auto novel_model =
+      core::TsPpr::Fit(*fixture.split, novel_config).ValueOrDie();
+  const auto classifier =
+      strec::StrecClassifier::Fit(*fixture.split, fixture.table.get(), {})
+          .ValueOrDie();
+  strec::MixtureRecommender mixture(&classifier, repeat_model.recommender(),
+                                    novel_model.recommender());
+  auto clone = mixture.Clone();
+  ASSERT_NE(clone, nullptr);
+
+  const auto serial = fixture.Evaluate(&mixture, 1);
+  const auto parallel = fixture.Evaluate(&mixture, 4);
+  for (size_t c = 0; c < serial.top_ns.size(); ++c) {
+    EXPECT_DOUBLE_EQ(serial.maap[c], parallel.maap[c]);
+  }
+}
+
+TEST(ParallelEvalTest2, UnclonableFallsBackToSerial) {
+  // A recommender without Clone support must still evaluate correctly.
+  class Unclonable : public Recommender {
+   public:
+    std::string name() const override { return "Unclonable"; }
+    void Score(data::UserId, const window::WindowWalker&,
+               std::span<const data::ItemId> candidates,
+               std::span<double> scores) override {
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        scores[i] = -static_cast<double>(candidates[i]);
+      }
+    }
+  };
+  Fixture fixture;
+  Unclonable method;
+  const auto serial = fixture.Evaluate(&method, 1);
+  const auto parallel = fixture.Evaluate(&method, 4);  // silently serial
+  EXPECT_EQ(serial.num_instances, parallel.num_instances);
+  EXPECT_DOUBLE_EQ(serial.maap[0], parallel.maap[0]);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace reconsume

@@ -1,0 +1,79 @@
+#include "data/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "data/synthetic.h"
+#include "util/csv.h"
+
+namespace reconsume {
+namespace data {
+namespace {
+
+class SerializationTest : public ::testing::Test {
+ protected:
+  std::string TempPath() {
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("reconsume_ser_test_" + std::to_string(counter_++) + "_" +
+          std::to_string(reinterpret_cast<uintptr_t>(this))))
+            .string();
+    paths_.push_back(path);
+    return path;
+  }
+  void TearDown() override {
+    for (const auto& p : paths_) std::remove(p.c_str());
+  }
+  std::vector<std::string> paths_;
+  int counter_ = 0;
+};
+
+TEST_F(SerializationTest, RoundtripPreservesSequences) {
+  const Dataset original = SyntheticTraceGenerator(GowallaLikeProfile(0.03))
+                               .Generate()
+                               .ValueOrDie();
+  const std::string path = TempPath();
+  ASSERT_TRUE(SaveDatasetTsv(original, path).ok());
+  const Dataset loaded = LoadDatasetTsv(path).ValueOrDie();
+
+  ASSERT_EQ(loaded.num_users(), original.num_users());
+  ASSERT_EQ(loaded.num_items(), original.num_items());
+  ASSERT_EQ(loaded.num_interactions(), original.num_interactions());
+  for (size_t u = 0; u < original.num_users(); ++u) {
+    const auto& a = original.sequence(static_cast<UserId>(u));
+    // User ids may be permuted; match through external keys.
+    const UserId lu = loaded.FindUser(original.user_key(static_cast<UserId>(u)));
+    ASSERT_NE(lu, kInvalidUser);
+    const auto& b = loaded.sequence(lu);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t t = 0; t < a.size(); ++t) {
+      EXPECT_EQ(original.item_key(a[t]), loaded.item_key(b[t]));
+    }
+  }
+}
+
+TEST_F(SerializationTest, LoadRejectsMalformedRows) {
+  const std::string path = TempPath();
+  ASSERT_TRUE(util::WriteStringToFile(path, "only\ttwo\n").ok());
+  EXPECT_FALSE(LoadDatasetTsv(path).ok());
+
+  ASSERT_TRUE(util::WriteStringToFile(path, "u\ti\tnot-a-number\n").ok());
+  EXPECT_FALSE(LoadDatasetTsv(path).ok());
+}
+
+TEST_F(SerializationTest, LoadMissingFileFails) {
+  EXPECT_EQ(LoadDatasetTsv("/no/such/file.tsv").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST_F(SerializationTest, EmptyFileFails) {
+  const std::string path = TempPath();
+  ASSERT_TRUE(util::WriteStringToFile(path, "").ok());
+  EXPECT_FALSE(LoadDatasetTsv(path).ok());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace reconsume

@@ -1,0 +1,169 @@
+// Tests for the online RecommendationSession, the nested-validation grid
+// search, Dataset::TruncatePerUser, and the quadratic STREC variant.
+
+#include <gtest/gtest.h>
+
+#include "core/grid_search.h"
+#include "core/recommendation_session.h"
+#include "core/ts_ppr.h"
+#include "data/synthetic.h"
+#include "strec/strec_classifier.h"
+
+namespace reconsume {
+namespace {
+
+struct Fixture {
+  data::Dataset dataset;
+  std::unique_ptr<data::TrainTestSplit> split;
+  std::unique_ptr<features::StaticFeatureTable> table;
+
+  explicit Fixture(double scale = 0.05) {
+    dataset = data::SyntheticTraceGenerator(data::GowallaLikeProfile(scale))
+                  .Generate()
+                  .ValueOrDie();
+    split = std::make_unique<data::TrainTestSplit>(
+        data::TrainTestSplit::Temporal(&dataset, 0.7).ValueOrDie());
+    table = std::make_unique<features::StaticFeatureTable>(
+        features::StaticFeatureTable::Compute(*split, 100).ValueOrDie());
+  }
+};
+
+TEST(TruncatePerUserTest, KeepsPrefixesAndRecompacts) {
+  data::DatasetBuilder builder;
+  for (int t = 0; t < 6; ++t) ASSERT_TRUE(builder.Add(0, t, t).ok());
+  for (int t = 0; t < 4; ++t) ASSERT_TRUE(builder.Add(1, 100 + t, t).ok());
+  const data::Dataset dataset = builder.Build().ValueOrDie();
+
+  const data::Dataset truncated = dataset.TruncatePerUser({3, 0});
+  EXPECT_EQ(truncated.num_users(), 1u);  // user 1 truncated to nothing
+  EXPECT_EQ(truncated.num_items(), 3u);  // only items 0,1,2 survive
+  EXPECT_EQ(truncated.sequence(0).size(), 3u);
+  for (size_t t = 0; t < 3; ++t) {
+    EXPECT_EQ(truncated.item_key(truncated.sequence(0)[t]),
+              std::to_string(t));
+  }
+}
+
+TEST(TruncatePerUserTest, ClampsToSequenceLength) {
+  data::DatasetBuilder builder;
+  for (int t = 0; t < 3; ++t) ASSERT_TRUE(builder.Add(0, t, t).ok());
+  const data::Dataset dataset = builder.Build().ValueOrDie();
+  const data::Dataset truncated = dataset.TruncatePerUser({99});
+  EXPECT_EQ(truncated.sequence(0).size(), 3u);
+}
+
+TEST(RecommendationSessionTest, ServesTopNAfterSeedHistory) {
+  Fixture fixture;
+  core::TsPprPipelineConfig config;
+  auto ts_ppr = core::TsPpr::Fit(*fixture.split, config).ValueOrDie();
+
+  core::RecommendationSession session(ts_ppr.recommender(), 0,
+                                      fixture.dataset.sequence(0), 100, 10);
+  EXPECT_EQ(session.num_events(),
+            static_cast<int64_t>(fixture.dataset.sequence(0).size()));
+  EXPECT_GT(session.NumCandidates(), 0u);
+
+  const auto list = session.RecommendTopN(5);
+  ASSERT_LE(list.size(), 5u);
+  ASSERT_GE(list.size(), 1u);
+  for (size_t i = 1; i < list.size(); ++i) {
+    EXPECT_GE(list[i - 1].score, list[i].score);  // descending
+  }
+  for (const auto& item : list) {
+    EXPECT_GT(item.gap, 10);  // min_gap respected
+    EXPECT_GE(item.count_in_window, 1);
+  }
+}
+
+TEST(RecommendationSessionTest, ObserveShiftsTheWindow) {
+  Fixture fixture;
+  core::TsPprPipelineConfig config;
+  auto ts_ppr = core::TsPpr::Fit(*fixture.split, config).ValueOrDie();
+  const auto& seq = fixture.dataset.sequence(0);
+
+  core::RecommendationSession session(
+      ts_ppr.recommender(), 0,
+      data::ConsumptionSequence(seq.begin(), seq.begin() + 150), 100, 10);
+  const auto before = session.RecommendTopN(3);
+  ASSERT_FALSE(before.empty());
+
+  // Re-consume the current top item repeatedly: its gap drops below the
+  // minimum and it must leave the candidate list.
+  const data::ItemId star = before[0].item;
+  for (int i = 0; i < 3; ++i) session.Observe(star);
+  const auto after = session.RecommendTopN(10);
+  for (const auto& item : after) EXPECT_NE(item.item, star);
+  EXPECT_EQ(session.num_events(), 153);
+}
+
+TEST(RecommendationSessionTest, SurvivesManyObservationsAndReallocation) {
+  Fixture fixture;
+  core::TsPprPipelineConfig config;
+  auto ts_ppr = core::TsPpr::Fit(*fixture.split, config).ValueOrDie();
+  const auto& seq = fixture.dataset.sequence(0);
+
+  core::RecommendationSession session(
+      ts_ppr.recommender(), 0,
+      data::ConsumptionSequence(seq.begin(), seq.begin() + 120), 100, 10);
+  // Push far beyond the reserve headroom to force reallocation + rebuild.
+  for (int round = 0; round < 3000; ++round) {
+    session.Observe(seq[static_cast<size_t>(round) % seq.size()]);
+  }
+  const auto list = session.RecommendTopN(5);
+  EXPECT_FALSE(list.empty());
+  EXPECT_EQ(session.num_events(), 3120);
+}
+
+TEST(GridSearchTest, RejectsBadOptions) {
+  Fixture fixture;
+  core::TsPprPipelineConfig base;
+  core::GridSearchOptions options;
+  options.latent_dims.clear();
+  EXPECT_FALSE(core::GridSearchTsPpr(*fixture.split, base, options).ok());
+  options = core::GridSearchOptions();
+  options.validation_fraction = 1.0;
+  EXPECT_FALSE(core::GridSearchTsPpr(*fixture.split, base, options).ok());
+}
+
+TEST(GridSearchTest, PicksBestValidationTrial) {
+  Fixture fixture(0.1);
+  core::TsPprPipelineConfig base;
+  core::GridSearchOptions options;
+  options.latent_dims = {8, 40};
+  options.gammas = {0.05, 2.0};  // 2.0 should clearly underfit
+  options.lambdas = {0.01};
+  const auto result =
+      core::GridSearchTsPpr(*fixture.split, base, options).ValueOrDie();
+  EXPECT_EQ(result.trials.size(), 4u);
+  // Best trial matches the reported best metric and config.
+  double best = -1.0;
+  for (const auto& trial : result.trials) best = std::max(best, trial.validation_maap);
+  EXPECT_DOUBLE_EQ(best, result.best_validation_maap);
+  EXPECT_GT(result.best_validation_maap, 0.0);
+  // The degenerate gamma must not win.
+  EXPECT_NE(result.best_config.model.gamma, 2.0);
+}
+
+TEST(QuadraticStrecTest, ExpandsFeaturesAndStaysCalibrated) {
+  Fixture fixture(0.1);
+  strec::StrecOptions options;
+  options.quadratic = true;
+  const auto quadratic =
+      strec::StrecClassifier::Fit(*fixture.split, fixture.table.get(), options)
+          .ValueOrDie();
+  window::WindowWalker walker(&fixture.dataset.sequence(0), 100);
+  for (int i = 0; i < 150; ++i) walker.Advance();
+  EXPECT_EQ(quadratic.ExtractFeatures(0, walker).size(), 20u);  // 5 + 15
+
+  const auto linear =
+      strec::StrecClassifier::Fit(*fixture.split, fixture.table.get(), {})
+          .ValueOrDie();
+  const auto quad_acc = quadratic.EvaluateOnTest(*fixture.split);
+  const auto lin_acc = linear.EvaluateOnTest(*fixture.split);
+  // The quadratic model has strictly more capacity; on this data it must be
+  // at least close to the linear model (no catastrophic overfit).
+  EXPECT_GE(quad_acc.accuracy(), lin_acc.accuracy() - 0.05);
+}
+
+}  // namespace
+}  // namespace reconsume

@@ -1,0 +1,124 @@
+#include "eval/significance.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/simple_recommenders.h"
+#include "core/ts_ppr.h"
+#include "data/synthetic.h"
+
+namespace reconsume {
+namespace eval {
+namespace {
+
+TEST(SignTestTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(SignTestPValue(0, 0), 1.0);
+  // 5 wins out of 5: 2 * (1/32) = 0.0625.
+  EXPECT_NEAR(SignTestPValue(5, 5), 0.0625, 1e-12);
+  EXPECT_NEAR(SignTestPValue(0, 5), 0.0625, 1e-12);
+  // Balanced split has p ~ 1.
+  EXPECT_NEAR(SignTestPValue(5, 10), 1.0, 1e-9);
+  // 9/10: two-sided p = 2 * (C(10,0)+C(10,1)) / 1024 = 22/1024.
+  EXPECT_NEAR(SignTestPValue(9, 10), 22.0 / 1024.0, 1e-12);
+  // Symmetry.
+  EXPECT_NEAR(SignTestPValue(3, 20), SignTestPValue(17, 20), 1e-12);
+}
+
+TEST(SignTestTest, LargeCountsStayFinite) {
+  const double p = SignTestPValue(600, 1000);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1e-8);  // 60/40 split over 1000 users is decisive
+}
+
+TEST(WilcoxonTest, TooFewSamplesReturnsOne) {
+  EXPECT_DOUBLE_EQ(WilcoxonSignedRankPValue({1.0, -1.0, 2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(WilcoxonSignedRankPValue({}), 1.0);
+  // All zeros: nothing non-tied.
+  EXPECT_DOUBLE_EQ(WilcoxonSignedRankPValue(std::vector<double>(50, 0.0)),
+                   1.0);
+}
+
+TEST(WilcoxonTest, StrongOneSidedEffectIsSignificant) {
+  std::vector<double> diffs;
+  for (int i = 1; i <= 30; ++i) diffs.push_back(0.01 * i);
+  EXPECT_LT(WilcoxonSignedRankPValue(diffs), 1e-5);
+}
+
+TEST(WilcoxonTest, SymmetricNoiseIsNot) {
+  std::vector<double> diffs;
+  for (int i = 1; i <= 15; ++i) {
+    diffs.push_back(0.01 * i);
+    diffs.push_back(-0.01 * i);
+  }
+  EXPECT_GT(WilcoxonSignedRankPValue(diffs), 0.5);
+}
+
+TEST(ComparePairedTest, TsPprBeatsRandomSignificantly) {
+  data::Dataset dataset =
+      data::SyntheticTraceGenerator(data::GowallaLikeProfile(0.3))
+          .Generate()
+          .ValueOrDie()
+          .FilterByMinTrainLength(0.7, 100);
+  const auto split = data::TrainTestSplit::Temporal(&dataset, 0.7).ValueOrDie();
+
+  core::TsPprPipelineConfig config;
+  auto ts_ppr = core::TsPpr::Fit(split, config).ValueOrDie();
+  baselines::RandomRecommender random_rec;
+
+  EvalOptions options;
+  options.window_capacity = 100;
+  options.min_gap = 10;
+  const auto comparisons =
+      ComparePaired(split, options, ts_ppr.recommender(), &random_rec)
+          .ValueOrDie();
+  ASSERT_EQ(comparisons.size(), 3u);  // top 1, 5, 10
+  for (const auto& c : comparisons) {
+    EXPECT_GT(c.num_users, 0);
+    EXPECT_GT(c.wins_a, c.wins_b) << "Top-" << c.top_n;
+    EXPECT_GT(c.mean_difference, 0.0);
+    EXPECT_EQ(c.wins_a + c.wins_b + c.ties, c.num_users);
+  }
+  // At Top-10 the win should be decisive across ~45 users.
+  EXPECT_LT(comparisons[2].sign_test_p, 0.01);
+  EXPECT_LT(comparisons[2].wilcoxon_p, 0.01);
+}
+
+TEST(ComparePairedTest, SelfComparisonIsAllTies) {
+  data::Dataset dataset =
+      data::SyntheticTraceGenerator(data::GowallaLikeProfile(0.05))
+          .Generate()
+          .ValueOrDie();
+  const auto split = data::TrainTestSplit::Temporal(&dataset, 0.7).ValueOrDie();
+  features::StaticFeatureTable table =
+      features::StaticFeatureTable::Compute(split, 100).ValueOrDie();
+  baselines::PopRecommender pop_a(&table), pop_b(&table);
+
+  EvalOptions options;
+  options.window_capacity = 100;
+  options.min_gap = 10;
+  const auto comparisons =
+      ComparePaired(split, options, &pop_a, &pop_b).ValueOrDie();
+  for (const auto& c : comparisons) {
+    EXPECT_EQ(c.wins_a, 0);
+    EXPECT_EQ(c.wins_b, 0);
+    EXPECT_EQ(c.ties, c.num_users);
+    EXPECT_DOUBLE_EQ(c.mean_difference, 0.0);
+    EXPECT_DOUBLE_EQ(c.sign_test_p, 1.0);
+    EXPECT_DOUBLE_EQ(c.wilcoxon_p, 1.0);
+  }
+}
+
+TEST(ComparePairedTest, NullRecommenderRejected) {
+  data::Dataset dataset =
+      data::SyntheticTraceGenerator(data::GowallaLikeProfile(0.05))
+          .Generate()
+          .ValueOrDie();
+  const auto split = data::TrainTestSplit::Temporal(&dataset, 0.7).ValueOrDie();
+  baselines::RandomRecommender random_rec;
+  EvalOptions options;
+  EXPECT_FALSE(ComparePaired(split, options, &random_rec, nullptr).ok());
+  EXPECT_FALSE(ComparePaired(split, options, nullptr, &random_rec).ok());
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace reconsume

@@ -1,0 +1,59 @@
+#include "data/split.h"
+
+#include <gtest/gtest.h>
+
+namespace reconsume {
+namespace data {
+namespace {
+
+Dataset MakeDataset(const std::vector<int>& lengths) {
+  DatasetBuilder builder;
+  for (size_t u = 0; u < lengths.size(); ++u) {
+    for (int t = 0; t < lengths[u]; ++t) {
+      EXPECT_TRUE(builder.Add(static_cast<int64_t>(u), t % 3, t).ok());
+    }
+  }
+  return builder.Build().ValueOrDie();
+}
+
+TEST(SplitTest, RejectsBadArguments) {
+  const Dataset dataset = MakeDataset({10});
+  EXPECT_EQ(TrainTestSplit::Temporal(nullptr, 0.7).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(TrainTestSplit::Temporal(&dataset, 0.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(TrainTestSplit::Temporal(&dataset, 1.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(TrainTestSplit::Temporal(&dataset, -0.3).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SplitTest, SplitPointIsFloorOfFraction) {
+  const Dataset dataset = MakeDataset({10, 7, 1});
+  const auto split = TrainTestSplit::Temporal(&dataset, 0.7).ValueOrDie();
+  EXPECT_EQ(split.split_point(0), 7u);   // 0.7 * 10
+  EXPECT_EQ(split.split_point(1), 4u);   // floor(4.9)
+  EXPECT_EQ(split.split_point(2), 0u);   // floor(0.7)
+  EXPECT_EQ(split.train_size(0), 7u);
+  EXPECT_EQ(split.test_size(0), 3u);
+  EXPECT_EQ(split.test_size(2), 1u);
+}
+
+TEST(SplitTest, TotalsAddUp) {
+  const Dataset dataset = MakeDataset({10, 20, 30});
+  const auto split = TrainTestSplit::Temporal(&dataset, 0.5).ValueOrDie();
+  EXPECT_EQ(split.total_train_events(), 5 + 10 + 15);
+  EXPECT_EQ(split.total_test_events(), 5 + 10 + 15);
+  EXPECT_EQ(split.total_train_events() + split.total_test_events(),
+            dataset.num_interactions());
+}
+
+TEST(SplitTest, DatasetAccessor) {
+  const Dataset dataset = MakeDataset({5});
+  const auto split = TrainTestSplit::Temporal(&dataset, 0.6).ValueOrDie();
+  EXPECT_EQ(&split.dataset(), &dataset);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace reconsume

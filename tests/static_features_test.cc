@@ -1,0 +1,117 @@
+#include "features/static_features.h"
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+
+namespace reconsume {
+namespace features {
+namespace {
+
+data::Dataset FromSequences(const std::vector<std::vector<int>>& sequences) {
+  data::DatasetBuilder builder;
+  for (size_t u = 0; u < sequences.size(); ++u) {
+    for (size_t t = 0; t < sequences[u].size(); ++t) {
+      EXPECT_TRUE(builder
+                      .Add(static_cast<int64_t>(u), sequences[u][t],
+                           static_cast<int64_t>(t))
+                      .ok());
+    }
+  }
+  return builder.Build().ValueOrDie();
+}
+
+TEST(StaticFeaturesTest, RejectsBadWindow) {
+  const data::Dataset dataset = FromSequences({{1, 2, 3}});
+  const auto split = data::TrainTestSplit::Temporal(&dataset, 0.7).ValueOrDie();
+  EXPECT_EQ(StaticFeatureTable::Compute(split, 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StaticFeaturesTest, FrequenciesCountTrainOnly) {
+  // 10 events; split 0.7 -> first 7 are train.
+  //   t:         0  1  2  3  4  5  6 | 7  8  9
+  const data::Dataset dataset =
+      FromSequences({{1, 1, 2, 1, 2, 3, 1, 9, 9, 9}});
+  const auto split = data::TrainTestSplit::Temporal(&dataset, 0.7).ValueOrDie();
+  const auto table = StaticFeatureTable::Compute(split, 5).ValueOrDie();
+  const data::ItemId i1 = dataset.FindItem("1");
+  const data::ItemId i2 = dataset.FindItem("2");
+  const data::ItemId i3 = dataset.FindItem("3");
+  const data::ItemId i9 = dataset.FindItem("9");
+  EXPECT_EQ(table.frequency(i1), 4);
+  EXPECT_EQ(table.frequency(i2), 2);
+  EXPECT_EQ(table.frequency(i3), 1);
+  EXPECT_EQ(table.frequency(i9), 0);  // test-only item: no leakage
+}
+
+TEST(StaticFeaturesTest, QualityIsMinMaxNormalized) {
+  const data::Dataset dataset =
+      FromSequences({{1, 1, 1, 1, 2, 2, 3, 0, 0, 0}});
+  const auto split = data::TrainTestSplit::Temporal(&dataset, 0.7).ValueOrDie();
+  const auto table = StaticFeatureTable::Compute(split, 5).ValueOrDie();
+  // Train = first 7 events: freq(1)=4, freq(2)=2, freq(3)=1.
+  const data::ItemId most = dataset.FindItem("1");
+  const data::ItemId least = dataset.FindItem("3");
+  EXPECT_DOUBLE_EQ(table.quality(most), 1.0);
+  EXPECT_DOUBLE_EQ(table.quality(least), 0.0);
+  const data::ItemId mid = dataset.FindItem("2");
+  EXPECT_GT(table.quality(mid), 0.0);
+  EXPECT_LT(table.quality(mid), 1.0);
+  // Unseen-in-train item gets 0.
+  EXPECT_DOUBLE_EQ(table.quality(dataset.FindItem("0")), 0.0);
+}
+
+TEST(StaticFeaturesTest, UniformFrequenciesGetQualityOne) {
+  const data::Dataset dataset = FromSequences({{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}});
+  const auto split = data::TrainTestSplit::Temporal(&dataset, 0.7).ValueOrDie();
+  const auto table = StaticFeatureTable::Compute(split, 5).ValueOrDie();
+  EXPECT_DOUBLE_EQ(table.quality(dataset.FindItem("1")), 1.0);
+}
+
+TEST(StaticFeaturesTest, ReconsumptionRatioHandComputed) {
+  // Window 3. Sequence: a b a a b c (train = all 6 with fraction ~0.99).
+  //  t=1: b, window{a}: novel.        obs(b)=1, rep(b)=0
+  //  t=2: a, window{a,b}: repeat.     obs(a)=1, rep(a)=1
+  //  t=3: a, window{a,b,a}: repeat.   obs(a)=2, rep(a)=2
+  //  t=4: b, window{b,a,a}: repeat.   obs(b)=2, rep(b)=1
+  //  t=5: c, window{a,a,b}: novel.    obs(c)=1, rep(c)=0
+  data::DatasetBuilder builder;
+  int t = 0;
+  for (const char* item : {"a", "b", "a", "a", "b", "c"}) {
+    ASSERT_TRUE(builder.Add(data::RawInteraction{"u", item, t++}).ok());
+  }
+  const data::Dataset dataset = builder.Build().ValueOrDie();
+  const auto split =
+      data::TrainTestSplit::Temporal(&dataset, 0.99).ValueOrDie();
+  ASSERT_EQ(split.split_point(0), 5u);  // floor(0.99 * 6)
+  // Use 0.999 to include all but... split at 5 means t=5 is test; adjust
+  // expectations to train = first 5 events (t=0..4).
+  const auto table = StaticFeatureTable::Compute(split, 3).ValueOrDie();
+  const data::ItemId a = dataset.FindItem("a");
+  const data::ItemId b = dataset.FindItem("b");
+  const data::ItemId c = dataset.FindItem("c");
+  EXPECT_DOUBLE_EQ(table.reconsumption_ratio(a), 1.0);        // 2/2
+  EXPECT_DOUBLE_EQ(table.reconsumption_ratio(b), 0.5);        // 1/2
+  EXPECT_DOUBLE_EQ(table.reconsumption_ratio(c), 0.0);        // unseen as next
+}
+
+TEST(StaticFeaturesTest, RatiosAreProbabilities) {
+  const data::Dataset dataset =
+      FromSequences({{1, 2, 1, 2, 1, 2, 3, 3, 3, 1},
+                     {5, 5, 5, 5, 5, 6, 6, 6, 6, 6}});
+  const auto split = data::TrainTestSplit::Temporal(&dataset, 0.7).ValueOrDie();
+  const auto table = StaticFeatureTable::Compute(split, 4).ValueOrDie();
+  for (size_t v = 0; v < table.num_items(); ++v) {
+    const double r = table.reconsumption_ratio(static_cast<data::ItemId>(v));
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+    const double q = table.quality(static_cast<data::ItemId>(v));
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace features
+}  // namespace reconsume

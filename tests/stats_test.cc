@@ -1,0 +1,100 @@
+#include "math/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace reconsume {
+namespace math {
+namespace {
+
+TEST(OnlineMomentsTest, EmptyIsZeroed) {
+  OnlineMoments m;
+  EXPECT_EQ(m.count(), 0);
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+}
+
+TEST(OnlineMomentsTest, MatchesDirectComputation) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  OnlineMoments m;
+  for (double x : xs) m.Add(x);
+  EXPECT_EQ(m.count(), 8);
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(m.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.min(), 2.0);
+  EXPECT_DOUBLE_EQ(m.max(), 9.0);
+}
+
+TEST(OnlineMomentsTest, SingleValueHasZeroVariance) {
+  OnlineMoments m;
+  m.Add(3.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(m.stddev(), 0.0);
+}
+
+TEST(OnlineMomentsTest, NumericallyStableOnShiftedData) {
+  OnlineMoments m;
+  for (int i = 0; i < 1000; ++i) m.Add(1e9 + (i % 2));
+  EXPECT_NEAR(m.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(m.variance(), 0.25 * 1000 / 999, 1e-3);
+}
+
+TEST(CountHistogramTest, AddAndClamp) {
+  CountHistogram h(3);
+  h.Add(0);
+  h.Add(1);
+  h.Add(1);
+  h.Add(2);
+  h.Add(99);  // clamps into last bucket
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(1), 2);
+  EXPECT_EQ(h.count(2), 2);
+  EXPECT_EQ(h.total(), 5);
+  EXPECT_EQ(h.num_buckets(), 3u);
+}
+
+TEST(QuantileTest, Basics) {
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(Quantile({1, 2, 3, 4, 5}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile({1, 2, 3, 4, 5}, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile({1, 2, 3, 4, 5}, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile({5, 1, 4, 2, 3}, 0.5), 3.0);  // unsorted input
+}
+
+TEST(QuantileTest, ClampsOutOfRangeQ) {
+  EXPECT_DOUBLE_EQ(Quantile({1, 2, 3}, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile({1, 2, 3}, 2.0), 3.0);
+}
+
+TEST(PearsonTest, PerfectCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  const std::vector<double> z = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, z), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, DegenerateIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {2, 3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1}, {2}), 0.0);
+}
+
+TEST(SpearmanTest, MonotoneNonlinearIsOne) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {1, 8, 27, 64, 125};  // monotone but nonlinear
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, HandlesTiesWithAverageRanks) {
+  const std::vector<double> x = {1, 2, 2, 3};
+  const std::vector<double> y = {10, 20, 20, 30};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace math
+}  // namespace reconsume

@@ -1,0 +1,117 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace reconsume {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllFactoriesMapToCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NumericalError("x").code(), StatusCode::kNumericalError);
+}
+
+TEST(StatusTest, CopyIsCheapAndEqual) {
+  const Status a = Status::IoError("disk gone");
+  const Status b = a;  // shares the payload
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.message(), "disk gone");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_FALSE(Status::IoError("a") == Status::IoError("b"));
+  EXPECT_FALSE(Status::IoError("a") == Status::Internal("a"));
+  EXPECT_EQ(Status::IoError("a"), Status::IoError("a"));
+}
+
+TEST(StatusCodeTest, NamesAreStable) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIoError), "IOError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNumericalError),
+               "NumericalError");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("no such user");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ValueOrFallback) {
+  EXPECT_EQ((Result<int>(7)).ValueOr(-1), 7);
+  EXPECT_EQ((Result<int>(Status::Internal("x"))).ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyTypesWork) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(9);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 9);
+}
+
+TEST(ResultTest, OkStatusIsRejected) {
+  // Constructing a Result from an OK status is a bug; it is normalized to an
+  // Internal error rather than a silently empty value.
+  Result<int> r = Status::OK();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status UsesReturnNotOk(int x) {
+  RECONSUME_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(UsesReturnNotOk(1).ok());
+  EXPECT_EQ(UsesReturnNotOk(-1).code(), StatusCode::kOutOfRange);
+}
+
+Result<int> Doubled(Result<int> input) {
+  RECONSUME_ASSIGN_OR_RETURN(const int v, std::move(input));
+  return 2 * v;
+}
+
+TEST(StatusMacroTest, AssignOrReturnUnwrapsAndPropagates) {
+  EXPECT_EQ(Doubled(21).ValueOrDie(), 42);
+  EXPECT_EQ(Doubled(Status::IoError("x")).status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace reconsume

@@ -1,0 +1,119 @@
+#include "strec/strec_classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "core/ts_ppr.h"
+#include "data/synthetic.h"
+#include "strec/combined_pipeline.h"
+
+namespace reconsume {
+namespace strec {
+namespace {
+
+struct Fixture {
+  data::Dataset dataset;
+  std::unique_ptr<data::TrainTestSplit> split;
+  std::unique_ptr<features::StaticFeatureTable> table;
+
+  explicit Fixture(double scale = 0.05) {
+    dataset = data::SyntheticTraceGenerator(data::GowallaLikeProfile(scale))
+                  .Generate()
+                  .ValueOrDie()
+                  .FilterByMinTrainLength(0.7, 100);
+    split = std::make_unique<data::TrainTestSplit>(
+        data::TrainTestSplit::Temporal(&dataset, 0.7).ValueOrDie());
+    table = std::make_unique<features::StaticFeatureTable>(
+        features::StaticFeatureTable::Compute(*split, 100).ValueOrDie());
+  }
+};
+
+TEST(StrecClassifierTest, NullTableRejected) {
+  Fixture fixture;
+  EXPECT_EQ(StrecClassifier::Fit(*fixture.split, nullptr, {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StrecClassifierTest, FeaturesAreBoundedProbLikeValues) {
+  Fixture fixture;
+  const auto classifier =
+      StrecClassifier::Fit(*fixture.split, fixture.table.get(), {})
+          .ValueOrDie();
+  window::WindowWalker walker(&fixture.dataset.sequence(0), 100);
+  for (int i = 0; i < 150; ++i) walker.Advance();
+  const auto features = classifier.ExtractFeatures(0, walker);
+  ASSERT_EQ(features.size(), 5u);
+  for (double f : features) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+  const double p = classifier.PredictRepeatProbability(0, walker);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST(StrecClassifierTest, AccuracyAtLeastMajorityClass) {
+  Fixture fixture(0.1);
+  const auto classifier =
+      StrecClassifier::Fit(*fixture.split, fixture.table.get(), {})
+          .ValueOrDie();
+  const StrecAccuracy accuracy = classifier.EvaluateOnTest(*fixture.split);
+  ASSERT_GT(accuracy.num_instances, 0);
+  // Majority-class rate on the test sweep:
+  const double repeat_rate =
+      static_cast<double>(accuracy.true_positives + accuracy.false_negatives) /
+      static_cast<double>(accuracy.num_instances);
+  const double majority = std::max(repeat_rate, 1.0 - repeat_rate);
+  EXPECT_GE(accuracy.accuracy() + 1e-9, majority - 0.02);
+  EXPECT_EQ(accuracy.correct,
+            accuracy.true_positives + accuracy.true_negatives);
+  EXPECT_EQ(accuracy.num_instances,
+            accuracy.true_positives + accuracy.false_positives +
+                accuracy.true_negatives + accuracy.false_negatives);
+}
+
+TEST(CombinedPipelineTest, ProducesConsistentTable5Numbers) {
+  Fixture fixture(0.05);
+  const auto classifier =
+      StrecClassifier::Fit(*fixture.split, fixture.table.get(), {})
+          .ValueOrDie();
+
+  core::TsPprPipelineConfig config;
+  auto ts_ppr = core::TsPpr::Fit(*fixture.split, config).ValueOrDie();
+
+  eval::EvalOptions options;
+  options.window_capacity = 100;
+  options.min_gap = 10;
+  const auto combined =
+      EvaluateCombined(*fixture.split, classifier, &ts_ppr, options)
+          .ValueOrDie();
+
+  EXPECT_GT(combined.classifier.num_instances, 0);
+  EXPECT_GE(combined.conditional.MaapAt(10), combined.conditional.MaapAt(5));
+  EXPECT_GE(combined.conditional.MaapAt(5), combined.conditional.MaapAt(1));
+  // Joint accuracy = product of the two stages.
+  EXPECT_NEAR(combined.JointMaapAt(10),
+              combined.classifier.accuracy() * combined.conditional.MaapAt(10),
+              1e-12);
+  // The gated evaluation can only shrink the instance set relative to an
+  // ungated one.
+  eval::Evaluator ungated(fixture.split.get(), options);
+  const auto full = ungated.Evaluate(ts_ppr.recommender()).ValueOrDie();
+  EXPECT_LE(combined.conditional.num_instances, full.num_instances);
+}
+
+TEST(CombinedPipelineTest, NullTsPprRejected) {
+  Fixture fixture;
+  const auto classifier =
+      StrecClassifier::Fit(*fixture.split, fixture.table.get(), {})
+          .ValueOrDie();
+  eval::EvalOptions options;
+  EXPECT_EQ(
+      EvaluateCombined(*fixture.split, classifier, nullptr, options)
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace strec
+}  // namespace reconsume

@@ -1,0 +1,146 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace reconsume {
+namespace util {
+namespace {
+
+TEST(SplitTest, BasicAndEmptyFields) {
+  const auto parts = Split("a\tb\t\tc", '\t');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(SplitTest, NoDelimiterYieldsWhole) {
+  const auto parts = Split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyField) {
+  const auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(SplitTest, TrailingDelimiter) {
+  const auto parts = Split("a,b,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(SplitWhitespaceTest, DropsRuns) {
+  const auto parts = SplitWhitespace("  a \t b\n\nc  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitWhitespaceTest, AllWhitespaceIsEmpty) {
+  EXPECT_TRUE(SplitWhitespace(" \t\n ").empty());
+}
+
+TEST(TrimTest, Cases) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("\ta b\n"), "a b");
+}
+
+TEST(PrefixSuffixTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("gowalla.txt", "gow"));
+  EXPECT_FALSE(StartsWith("go", "gow"));
+  EXPECT_TRUE(EndsWith("trace.tsv", ".tsv"));
+  EXPECT_FALSE(EndsWith("tsv", ".tsv"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+struct IntCase {
+  const char* input;
+  bool ok;
+  int64_t value;
+};
+
+class ParseInt64Test : public ::testing::TestWithParam<IntCase> {};
+
+TEST_P(ParseInt64Test, Parses) {
+  const auto& c = GetParam();
+  const auto r = ParseInt64(c.input);
+  EXPECT_EQ(r.ok(), c.ok) << c.input;
+  if (c.ok) {
+    EXPECT_EQ(r.ValueOrDie(), c.value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParseInt64Test,
+    ::testing::Values(IntCase{"0", true, 0}, IntCase{"42", true, 42},
+                      IntCase{"-17", true, -17},
+                      IntCase{"  99 ", true, 99},  // trimmed
+                      IntCase{"9223372036854775807", true,
+                              9223372036854775807LL},
+                      IntCase{"", false, 0}, IntCase{"abc", false, 0},
+                      IntCase{"12x", false, 0}, IntCase{"1.5", false, 0},
+                      IntCase{"9223372036854775808", false, 0}));
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(ParseDouble("2.5").ValueOrDie(), 2.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e-3").ValueOrDie(), -1e-3);
+  EXPECT_DOUBLE_EQ(ParseDouble(" 7 ").ValueOrDie(), 7.0);
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("1.2.3").ok());
+  EXPECT_FALSE(ParseDouble("x").ok());
+}
+
+TEST(JoinTest, Cases) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(ToLowerTest, AsciiOnly) {
+  EXPECT_EQ(ToLower("GoWaLLa-42"), "gowalla-42");
+}
+
+TEST(StringPrintfTest, FormatsLikePrintf) {
+  EXPECT_EQ(StringPrintf("%d/%s/%.2f", 3, "x", 1.5), "3/x/1.50");
+  EXPECT_EQ(StringPrintf("empty"), "empty");
+}
+
+TEST(StringPrintfTest, LongOutput) {
+  const std::string long_arg(500, 'y');
+  const std::string out = StringPrintf("[%s]", long_arg.c_str());
+  EXPECT_EQ(out.size(), 502u);
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.back(), ']');
+}
+
+struct CommaCase {
+  int64_t value;
+  const char* expected;
+};
+
+class FormatWithCommasTest : public ::testing::TestWithParam<CommaCase> {};
+
+TEST_P(FormatWithCommasTest, Formats) {
+  EXPECT_EQ(FormatWithCommas(GetParam().value), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, FormatWithCommasTest,
+    ::testing::Values(CommaCase{0, "0"}, CommaCase{7, "7"},
+                      CommaCase{999, "999"}, CommaCase{1000, "1,000"},
+                      CommaCase{4031705, "4,031,705"},
+                      CommaCase{16318704, "16,318,704"},
+                      CommaCase{-1234567, "-1,234,567"}));
+
+}  // namespace
+}  // namespace util
+}  // namespace reconsume

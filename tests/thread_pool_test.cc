@@ -1,0 +1,80 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace reconsume {
+namespace util {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran.store(true); });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(3);
+  pool.Wait();  // must not hang
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  ThreadPool::ParallelFor(hits.size(), 4,
+                          [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, SingleThreadFallback) {
+  std::vector<int> order;
+  ThreadPool::ParallelFor(5, 1, [&](size_t i) {
+    order.push_back(static_cast<int>(i));  // sequential: no data race
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, ZeroItemsIsNoop) {
+  ThreadPool::ParallelFor(0, 4, [](size_t) { FAIL(); });
+}
+
+TEST(ParallelForTest, ComputesCorrectSum) {
+  constexpr size_t kN = 10000;
+  std::vector<int64_t> values(kN);
+  ThreadPool::ParallelFor(kN, 8, [&](size_t i) {
+    values[i] = static_cast<int64_t>(i) * 2;
+  });
+  const int64_t total = std::accumulate(values.begin(), values.end(),
+                                        static_cast<int64_t>(0));
+  EXPECT_EQ(total, static_cast<int64_t>(kN) * (kN - 1));
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace reconsume

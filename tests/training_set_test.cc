@@ -1,0 +1,206 @@
+#include "sampling/training_set.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "data/synthetic.h"
+#include "window/window_walker.h"
+
+namespace reconsume {
+namespace sampling {
+namespace {
+
+struct Fixture {
+  data::Dataset dataset;
+  std::unique_ptr<data::TrainTestSplit> split;
+  std::unique_ptr<features::StaticFeatureTable> table;
+  std::unique_ptr<features::FeatureExtractor> extractor;
+
+  explicit Fixture(double scale = 0.05) {
+    dataset = data::SyntheticTraceGenerator(data::GowallaLikeProfile(scale))
+                  .Generate()
+                  .ValueOrDie();
+    split = std::make_unique<data::TrainTestSplit>(
+        data::TrainTestSplit::Temporal(&dataset, 0.7).ValueOrDie());
+    table = std::make_unique<features::StaticFeatureTable>(
+        features::StaticFeatureTable::Compute(*split, 100).ValueOrDie());
+    extractor = std::make_unique<features::FeatureExtractor>(
+        table.get(), features::FeatureConfig::AllFeatures());
+  }
+};
+
+TEST(TrainingSetTest, RejectsBadOptions) {
+  Fixture fixture;
+  TrainingSetOptions options;
+  options.window_capacity = 1;
+  EXPECT_FALSE(TrainingSet::Build(*fixture.split, *fixture.extractor, options)
+                   .ok());
+  options = {};
+  options.min_gap = options.window_capacity;
+  EXPECT_FALSE(TrainingSet::Build(*fixture.split, *fixture.extractor, options)
+                   .ok());
+  options = {};
+  options.negatives_per_positive = 0;
+  EXPECT_FALSE(TrainingSet::Build(*fixture.split, *fixture.extractor, options)
+                   .ok());
+}
+
+TEST(TrainingSetTest, QuadruplesAreValid) {
+  Fixture fixture;
+  TrainingSetOptions options;
+  const auto training_set =
+      TrainingSet::Build(*fixture.split, *fixture.extractor, options)
+          .ValueOrDie();
+
+  EXPECT_GT(training_set.num_quadruples(), 0);
+  EXPECT_EQ(training_set.feature_dim(), 4);
+
+  // Replay the sequences and verify each stored event against ground truth:
+  // positive is an eligible repeat, negatives come from the window, differ
+  // from the positive, and the stored features match a fresh extraction.
+  std::vector<double> fresh(4);
+  size_t checked = 0;
+  for (data::UserId u : training_set.users_with_events()) {
+    const auto [begin, end] = training_set.user_events(u);
+    const auto& seq = fixture.dataset.sequence(u);
+    window::WindowWalker walker(&seq, options.window_capacity);
+    for (uint32_t e = begin; e < end; ++e) {
+      const PositiveEvent& event = training_set.events()[e];
+      ASSERT_EQ(event.user, u);
+      while (walker.step() < event.t) walker.Advance();
+      ASSERT_EQ(seq[static_cast<size_t>(event.t)], event.item);
+      ASSERT_TRUE(walker.Contains(event.item));
+      ASSERT_GT(walker.GapSince(event.item), options.min_gap);
+
+      fixture.extractor->Extract(walker, event.item, fresh);
+      const auto stored = training_set.feature(event.feature_offset);
+      for (size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(stored[i], fresh[i]);
+
+      ASSERT_GE(event.negatives_count, 1u);
+      ASSERT_LE(event.negatives_count,
+                static_cast<uint32_t>(options.negatives_per_positive));
+      std::set<data::ItemId> seen_negatives;
+      for (uint32_t n = event.negatives_begin;
+           n < event.negatives_begin + event.negatives_count; ++n) {
+        const NegativeSample& neg = training_set.negatives()[n];
+        EXPECT_NE(neg.item, event.item);
+        EXPECT_TRUE(walker.Contains(neg.item));
+        EXPECT_GT(walker.GapSince(neg.item), options.min_gap);
+        EXPECT_TRUE(seen_negatives.insert(neg.item).second)
+            << "duplicate negative";
+        fixture.extractor->Extract(walker, neg.item, fresh);
+        const auto neg_stored = training_set.feature(neg.feature_offset);
+        for (size_t i = 0; i < 4; ++i) {
+          EXPECT_DOUBLE_EQ(neg_stored[i], fresh[i]);
+        }
+      }
+      ++checked;
+      if (checked >= 500) return;  // plenty of coverage
+    }
+  }
+}
+
+TEST(TrainingSetTest, EventsStayInTrainingSegment) {
+  Fixture fixture;
+  const auto training_set =
+      TrainingSet::Build(*fixture.split, *fixture.extractor, {}).ValueOrDie();
+  for (const PositiveEvent& event : training_set.events()) {
+    EXPECT_LT(static_cast<size_t>(event.t),
+              fixture.split->split_point(event.user));
+  }
+}
+
+TEST(TrainingSetTest, QuadrupleCountMatchesNegativeTotals) {
+  Fixture fixture;
+  const auto training_set =
+      TrainingSet::Build(*fixture.split, *fixture.extractor, {}).ValueOrDie();
+  int64_t total = 0;
+  for (const PositiveEvent& event : training_set.events()) {
+    total += event.negatives_count;
+  }
+  EXPECT_EQ(total, training_set.num_quadruples());
+  EXPECT_EQ(training_set.negatives().size(), static_cast<size_t>(total));
+}
+
+TEST(TrainingSetTest, HierarchicalSamplingIsPerUserUniform) {
+  Fixture fixture;
+  const auto training_set =
+      TrainingSet::Build(*fixture.split, *fixture.extractor, {}).ValueOrDie();
+  util::Rng rng(5);
+  std::map<data::UserId, int> user_draws;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto [e, n] = training_set.SampleQuadruple(&rng);
+    ASSERT_LT(e, training_set.events().size());
+    const PositiveEvent& event = training_set.events()[e];
+    ASSERT_GE(n, event.negatives_begin);
+    ASSERT_LT(n, event.negatives_begin + event.negatives_count);
+    ++user_draws[event.user];
+  }
+  // Each user with events should be drawn ~uniformly (Algorithm 1 line 3):
+  // expected kDraws / num_users regardless of event counts.
+  const double expected = static_cast<double>(kDraws) /
+                          static_cast<double>(
+                              training_set.users_with_events().size());
+  for (data::UserId u : training_set.users_with_events()) {
+    EXPECT_NEAR(user_draws[u], expected, expected * 0.35) << "user " << u;
+  }
+}
+
+TEST(TrainingSetTest, SmallBatchTakesLeadingEventsPerUser) {
+  Fixture fixture;
+  const auto training_set =
+      TrainingSet::Build(*fixture.split, *fixture.extractor, {}).ValueOrDie();
+  const auto batch = training_set.SmallBatch(0.1);
+  EXPECT_FALSE(batch.empty());
+  // Every user with events contributes at least one pair; pairs reference
+  // that user's first events.
+  std::set<data::UserId> covered;
+  for (const auto& [e, n] : batch) {
+    const PositiveEvent& event = training_set.events()[e];
+    EXPECT_EQ(n, event.negatives_begin);  // first negative is the fixed one
+    covered.insert(event.user);
+    const auto [begin, end] = training_set.user_events(event.user);
+    const uint32_t count = end - begin;
+    const uint32_t take = std::max<uint32_t>(
+        1, static_cast<uint32_t>(std::ceil(0.1 * count)));
+    EXPECT_LT(e - begin, take);
+  }
+  EXPECT_EQ(covered.size(), training_set.users_with_events().size());
+}
+
+TEST(TrainingSetTest, LargerSGrowsTrainingSet) {
+  Fixture fixture;
+  TrainingSetOptions s5;
+  s5.negatives_per_positive = 5;
+  TrainingSetOptions s20;
+  s20.negatives_per_positive = 20;
+  const auto small =
+      TrainingSet::Build(*fixture.split, *fixture.extractor, s5).ValueOrDie();
+  const auto large =
+      TrainingSet::Build(*fixture.split, *fixture.extractor, s20).ValueOrDie();
+  EXPECT_GT(large.num_quadruples(), small.num_quadruples());
+  EXPECT_EQ(small.events().size(), large.events().size());  // same positives
+}
+
+TEST(TrainingSetTest, DeterministicBySeed) {
+  Fixture fixture;
+  TrainingSetOptions options;
+  options.seed = 99;
+  const auto a =
+      TrainingSet::Build(*fixture.split, *fixture.extractor, options)
+          .ValueOrDie();
+  const auto b =
+      TrainingSet::Build(*fixture.split, *fixture.extractor, options)
+          .ValueOrDie();
+  ASSERT_EQ(a.negatives().size(), b.negatives().size());
+  for (size_t i = 0; i < a.negatives().size(); ++i) {
+    EXPECT_EQ(a.negatives()[i].item, b.negatives()[i].item);
+  }
+}
+
+}  // namespace
+}  // namespace sampling
+}  // namespace reconsume

@@ -1,0 +1,103 @@
+#include "core/ts_ppr_model.h"
+
+#include <gtest/gtest.h>
+
+#include "math/vector_ops.h"
+
+namespace reconsume {
+namespace core {
+namespace {
+
+TEST(TsPprModelTest, CreateValidatesArguments) {
+  TsPprConfig config;
+  EXPECT_FALSE(TsPprModel::Create(0, 5, 4, config).ok());
+  EXPECT_FALSE(TsPprModel::Create(5, 0, 4, config).ok());
+  EXPECT_FALSE(TsPprModel::Create(5, 5, 0, config).ok());
+  config.latent_dim = 0;
+  EXPECT_FALSE(TsPprModel::Create(5, 5, 4, config).ok());
+  config = TsPprConfig();
+  config.gamma = -1;
+  EXPECT_FALSE(TsPprModel::Create(5, 5, 4, config).ok());
+  config = TsPprConfig();
+  config.learning_rate = 0;
+  EXPECT_FALSE(TsPprModel::Create(5, 5, 4, config).ok());
+}
+
+TEST(TsPprModelTest, ShapesMatchConfig) {
+  TsPprConfig config;
+  config.latent_dim = 7;
+  const auto model = TsPprModel::Create(3, 11, 4, config).ValueOrDie();
+  EXPECT_EQ(model.num_users(), 3u);
+  EXPECT_EQ(model.num_items(), 11u);
+  EXPECT_EQ(model.latent_dim(), 7);
+  EXPECT_EQ(model.feature_dim(), 4);
+  EXPECT_EQ(model.user_factor(0).size(), 7u);
+  EXPECT_EQ(model.item_factor(10).size(), 7u);
+  EXPECT_EQ(model.mapping(2).rows(), 7u);
+  EXPECT_EQ(model.mapping(2).cols(), 4u);
+  EXPECT_TRUE(model.IsFinite());
+}
+
+TEST(TsPprModelTest, ScoreMatchesEquationFive) {
+  TsPprConfig config;
+  config.latent_dim = 3;
+  auto model = TsPprModel::Create(1, 2, 2, config).ValueOrDie();
+  // Set parameters by hand.
+  auto u = model.user_factor(0);
+  u[0] = 1.0;
+  u[1] = -1.0;
+  u[2] = 2.0;
+  auto v = model.item_factor(1);
+  v[0] = 0.5;
+  v[1] = 0.5;
+  v[2] = 0.0;
+  math::Matrix& a = model.mapping(0);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 2; ++c) a(r, c) = 0.1 * (r + 1) * (c + 1);
+  }
+  const std::vector<double> f = {1.0, 2.0};
+  // u^T v = 0.5 - 0.5 + 0 = 0. A f = [0.1+0.4, 0.2+0.8, 0.3+1.2].
+  // u^T (A f) = 0.5 - 1.0 + 3.0 = 2.5.
+  EXPECT_NEAR(model.Score(0, 1, f), 2.5, 1e-12);
+  EXPECT_NEAR(model.StaticScore(0, 1), 0.0, 1e-12);
+}
+
+TEST(TsPprModelTest, IdentityMappingWhenSquare) {
+  TsPprConfig config;
+  config.latent_dim = 4;
+  config.identity_mapping_when_square = true;
+  const auto model = TsPprModel::Create(2, 2, 4, config).ValueOrDie();
+  EXPECT_EQ(model.mapping(0), math::Matrix::Identity(4));
+  EXPECT_EQ(model.mapping(1), math::Matrix::Identity(4));
+}
+
+TEST(TsPprModelTest, IdentityIgnoredWhenNotSquare) {
+  TsPprConfig config;
+  config.latent_dim = 5;
+  config.identity_mapping_when_square = true;
+  const auto model = TsPprModel::Create(2, 2, 4, config).ValueOrDie();
+  EXPECT_EQ(model.mapping(0).rows(), 5u);
+  EXPECT_EQ(model.mapping(0).cols(), 4u);
+}
+
+TEST(TsPprModelTest, SeedControlsInitialization) {
+  TsPprConfig config;
+  const auto a = TsPprModel::Create(2, 3, 4, config).ValueOrDie();
+  const auto b = TsPprModel::Create(2, 3, 4, config).ValueOrDie();
+  config.seed += 1;
+  const auto c = TsPprModel::Create(2, 3, 4, config).ValueOrDie();
+  EXPECT_DOUBLE_EQ(a.user_factor(0)[0], b.user_factor(0)[0]);
+  EXPECT_NE(a.user_factor(0)[0], c.user_factor(0)[0]);
+}
+
+TEST(TsPprModelTest, NormsArePositiveAfterInit) {
+  TsPprConfig config;
+  const auto model = TsPprModel::Create(3, 3, 4, config).ValueOrDie();
+  EXPECT_GT(model.SquaredNormU(), 0.0);
+  EXPECT_GT(model.SquaredNormV(), 0.0);
+  EXPECT_GT(model.SquaredNormMappings(), 0.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace reconsume

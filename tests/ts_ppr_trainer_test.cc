@@ -1,0 +1,214 @@
+#include "core/ts_ppr_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/ts_ppr.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+
+namespace reconsume {
+namespace core {
+namespace {
+
+struct Fixture {
+  data::Dataset dataset;
+  std::unique_ptr<data::TrainTestSplit> split;
+  std::unique_ptr<features::StaticFeatureTable> table;
+  std::unique_ptr<features::FeatureExtractor> extractor;
+  std::unique_ptr<sampling::TrainingSet> training_set;
+
+  Fixture() {
+    dataset = data::SyntheticTraceGenerator(data::GowallaLikeProfile(0.05))
+                  .Generate()
+                  .ValueOrDie();
+    split = std::make_unique<data::TrainTestSplit>(
+        data::TrainTestSplit::Temporal(&dataset, 0.7).ValueOrDie());
+    table = std::make_unique<features::StaticFeatureTable>(
+        features::StaticFeatureTable::Compute(*split, 100).ValueOrDie());
+    extractor = std::make_unique<features::FeatureExtractor>(
+        table.get(), features::FeatureConfig::AllFeatures());
+    training_set = std::make_unique<sampling::TrainingSet>(
+        sampling::TrainingSet::Build(*split, *extractor, {}).ValueOrDie());
+  }
+
+  TsPprModel MakeModel(TsPprConfig config = {}) const {
+    return TsPprModel::Create(dataset.num_users(), dataset.num_items(), 4,
+                              config)
+        .ValueOrDie();
+  }
+};
+
+TEST(TsPprTrainerTest, RejectsNullAndMismatch) {
+  Fixture fixture;
+  TsPprTrainer trainer;
+  util::Rng rng(1);
+  auto model = fixture.MakeModel();
+  EXPECT_FALSE(trainer.Train(*fixture.training_set, nullptr, &rng).ok());
+  EXPECT_FALSE(trainer.Train(*fixture.training_set, &model, nullptr).ok());
+
+  TsPprConfig config;
+  auto wrong_f =
+      TsPprModel::Create(fixture.dataset.num_users(),
+                         fixture.dataset.num_items(), 3, config)
+          .ValueOrDie();
+  EXPECT_EQ(trainer.Train(*fixture.training_set, &wrong_f, &rng)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TsPprTrainerTest, TrainingIncreasesRTilde) {
+  Fixture fixture;
+  TrainOptions options;
+  options.convergence_tolerance = 1e-3;
+  TsPprTrainer trainer(options);
+  auto model = fixture.MakeModel();
+  util::Rng rng(7);
+  const auto report =
+      trainer.Train(*fixture.training_set, &model, &rng).ValueOrDie();
+  ASSERT_GE(report.curve.size(), 2u);
+  EXPECT_GT(report.final_r_tilde, report.curve.front().r_tilde);
+  EXPECT_GT(report.final_r_tilde, 0.3);  // separates positives from negatives
+  EXPECT_TRUE(model.IsFinite());
+  EXPECT_GT(report.steps, 0);
+}
+
+TEST(TsPprTrainerTest, ConvergenceStopsTraining) {
+  Fixture fixture;
+  TrainOptions options;
+  options.convergence_tolerance = 1e-2;  // loose: converge quickly
+  options.max_steps = 100'000'000;
+  TsPprTrainer trainer(options);
+  auto model = fixture.MakeModel();
+  util::Rng rng(7);
+  const auto report =
+      trainer.Train(*fixture.training_set, &model, &rng).ValueOrDie();
+  EXPECT_TRUE(report.converged);
+  EXPECT_LT(report.steps, options.max_steps);
+}
+
+TEST(TsPprTrainerTest, MaxStepsCapRespected) {
+  Fixture fixture;
+  TrainOptions options;
+  options.convergence_tolerance = 0.0;  // never converge
+  options.max_steps = 5000;
+  TsPprTrainer trainer(options);
+  auto model = fixture.MakeModel();
+  util::Rng rng(7);
+  const auto report =
+      trainer.Train(*fixture.training_set, &model, &rng).ValueOrDie();
+  EXPECT_FALSE(report.converged);
+  EXPECT_EQ(report.steps, 5000);
+}
+
+TEST(TsPprTrainerTest, CurveStepsAreMonotone) {
+  Fixture fixture;
+  TsPprTrainer trainer;
+  auto model = fixture.MakeModel();
+  util::Rng rng(3);
+  const auto report =
+      trainer.Train(*fixture.training_set, &model, &rng).ValueOrDie();
+  for (size_t i = 1; i < report.curve.size(); ++i) {
+    EXPECT_GT(report.curve[i].step, report.curve[i - 1].step);
+  }
+  EXPECT_DOUBLE_EQ(report.curve.back().r_tilde, report.final_r_tilde);
+}
+
+TEST(TsPprTrainerTest, HugeLearningRateDiverges) {
+  Fixture fixture;
+  TsPprConfig config;
+  config.learning_rate = 1e6;
+  config.gamma = 0.0;
+  config.lambda = 0.0;
+  auto model = fixture.MakeModel(config);
+  TrainOptions options;
+  options.max_steps = 200'000;
+  options.convergence_tolerance = 0.0;
+  TsPprTrainer trainer(options);
+  util::Rng rng(7);
+  const auto result = trainer.Train(*fixture.training_set, &model, &rng);
+  // Either an explicit divergence error, or (rarely) survival — but a blowup
+  // must never be reported as healthy convergence.
+  if (!result.ok()) {
+    EXPECT_EQ(result.status().code(), StatusCode::kNumericalError);
+  } else {
+    EXPECT_FALSE(result.ValueOrDie().converged);
+  }
+}
+
+TEST(TsPprTrainerTest, DeterministicGivenSeeds) {
+  Fixture fixture;
+  TsPprTrainer trainer;
+  auto model_a = fixture.MakeModel();
+  auto model_b = fixture.MakeModel();
+  util::Rng rng_a(11), rng_b(11);
+  const auto ra =
+      trainer.Train(*fixture.training_set, &model_a, &rng_a).ValueOrDie();
+  const auto rb =
+      trainer.Train(*fixture.training_set, &model_b, &rng_b).ValueOrDie();
+  EXPECT_EQ(ra.steps, rb.steps);
+  EXPECT_DOUBLE_EQ(ra.final_r_tilde, rb.final_r_tilde);
+  EXPECT_DOUBLE_EQ(model_a.user_factor(0)[0], model_b.user_factor(0)[0]);
+}
+
+TEST(TsPprTrainerTest, InverseDecayScheduleTrains) {
+  Fixture fixture;
+  TrainOptions options;
+  options.schedule = LearningRateSchedule::kInverseDecay;
+  options.decay_rate = 2.0;
+  TsPprTrainer trainer(options);
+  auto model = fixture.MakeModel();
+  util::Rng rng(5);
+  const auto report =
+      trainer.Train(*fixture.training_set, &model, &rng).ValueOrDie();
+  EXPECT_GT(report.final_r_tilde, report.curve.front().r_tilde);
+  EXPECT_TRUE(model.IsFinite());
+}
+
+TEST(TsPprTrainerTest, PerUserPrecisionsAverageToMiap) {
+  // collect_per_user: MiAP must equal the mean of per-user precisions and
+  // MaAP the hit-weighted mean.
+  Fixture fixture;
+  TsPprTrainer trainer;
+  auto model = fixture.MakeModel();
+  util::Rng rng(5);
+  ASSERT_TRUE(trainer.Train(*fixture.training_set, &model, &rng).ok());
+  features::FeatureExtractor extractor(fixture.table.get(),
+                                       features::FeatureConfig::AllFeatures());
+  TsPprRecommender recommender(&model, &extractor);
+
+  eval::EvalOptions options;
+  options.window_capacity = 100;
+  options.min_gap = 10;
+  options.collect_per_user = true;
+  eval::Evaluator evaluator(fixture.split.get(), options);
+  const auto result = evaluator.Evaluate(&recommender).ValueOrDie();
+  ASSERT_FALSE(result.per_user.empty());
+
+  for (size_t c = 0; c < result.top_ns.size(); ++c) {
+    double precision_sum = 0.0;
+    int64_t hits = 0, instances = 0;
+    for (const auto& user : result.per_user) {
+      precision_sum += user.Precision(c);
+      hits += user.hits[c];
+      instances += user.instances;
+    }
+    EXPECT_NEAR(result.miap[c],
+                precision_sum / static_cast<double>(result.per_user.size()),
+                1e-12);
+    EXPECT_NEAR(result.maap[c],
+                static_cast<double>(hits) / static_cast<double>(instances),
+                1e-12);
+  }
+}
+
+TEST(TsPprPipelineTest, FitProducesWorkingRecommender) {
+  Fixture fixture;
+  TsPprPipelineConfig config;
+  const auto pipeline = TsPpr::Fit(*fixture.split, config);
+  ASSERT_TRUE(pipeline.ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace reconsume

@@ -1,0 +1,148 @@
+#include "math/vector_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/random.h"
+
+namespace reconsume {
+namespace math {
+namespace {
+
+TEST(VectorOpsTest, DotBasic) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {4, -5, 6};
+  EXPECT_DOUBLE_EQ(Dot(x, y), 4 - 10 + 18);
+}
+
+TEST(VectorOpsTest, DotEmptyIsZero) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(Dot(empty, empty), 0.0);
+}
+
+TEST(VectorOpsTest, AxpyAccumulates) {
+  const std::vector<double> x = {1, 2};
+  std::vector<double> y = {10, 20};
+  Axpy(0.5, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 10.5);
+  EXPECT_DOUBLE_EQ(y[1], 21.0);
+}
+
+TEST(VectorOpsTest, ScaleInPlace) {
+  std::vector<double> x = {2, -4};
+  Scale(-0.5, x);
+  EXPECT_DOUBLE_EQ(x[0], -1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+}
+
+TEST(VectorOpsTest, SubtractIntoThirdAndAliased) {
+  const std::vector<double> x = {5, 7};
+  const std::vector<double> y = {2, 10};
+  std::vector<double> out(2);
+  Subtract(x, y, out);
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+  EXPECT_DOUBLE_EQ(out[1], -3.0);
+
+  std::vector<double> aliased = {5, 7};
+  Subtract(aliased, y, aliased);
+  EXPECT_DOUBLE_EQ(aliased[0], 3.0);
+  EXPECT_DOUBLE_EQ(aliased[1], -3.0);
+}
+
+TEST(VectorOpsTest, Norms) {
+  const std::vector<double> x = {3, -4};
+  EXPECT_DOUBLE_EQ(SquaredNorm(x), 25.0);
+  EXPECT_DOUBLE_EQ(Norm(x), 5.0);
+  EXPECT_DOUBLE_EQ(MaxAbs(x), 4.0);
+}
+
+TEST(VectorOpsTest, AllFiniteDetectsBadValues) {
+  EXPECT_TRUE(AllFinite(std::vector<double>{1, 2, 3}));
+  EXPECT_FALSE(AllFinite(std::vector<double>{
+      1, std::numeric_limits<double>::quiet_NaN()}));
+  EXPECT_FALSE(AllFinite(std::vector<double>{
+      std::numeric_limits<double>::infinity()}));
+  EXPECT_TRUE(AllFinite(std::vector<double>{}));
+}
+
+TEST(VectorOpsTest, FillSetsAll) {
+  std::vector<double> x(5, 1.0);
+  Fill(x, -2.5);
+  for (double v : x) EXPECT_DOUBLE_EQ(v, -2.5);
+}
+
+TEST(SigmoidTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(1.0), 1.0 / (1.0 + std::exp(-1.0)), 1e-15);
+  EXPECT_NEAR(Sigmoid(-1.0), 1.0 - Sigmoid(1.0), 1e-15);
+}
+
+TEST(SigmoidTest, SaturatesWithoutNan) {
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+  EXPECT_FALSE(std::isnan(Sigmoid(710.0)));
+  EXPECT_FALSE(std::isnan(Sigmoid(-710.0)));
+}
+
+class SigmoidPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SigmoidPropertyTest, SymmetryAndMonotonicity) {
+  const double m = GetParam();
+  EXPECT_NEAR(Sigmoid(m) + Sigmoid(-m), 1.0, 1e-12);
+  // Strict monotonicity only while representable; saturates at ~36.7 where
+  // 1 - sigmoid(m) underflows below double epsilon.
+  if (std::fabs(m) < 30) {
+    EXPECT_GT(Sigmoid(m + 0.1), Sigmoid(m));
+    EXPECT_GT(Sigmoid(m), 0.0);
+    EXPECT_LT(Sigmoid(m), 1.0);
+  } else {
+    EXPECT_GE(Sigmoid(m + 0.1), Sigmoid(m));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SigmoidPropertyTest,
+                         ::testing::Values(-50.0, -5.0, -1.0, -0.1, 0.0, 0.1,
+                                           1.0, 5.0, 50.0));
+
+class Log1pExpPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(Log1pExpPropertyTest, MatchesDefinitionAndLossIdentity) {
+  const double m = GetParam();
+  if (std::fabs(m) < 30) {
+    EXPECT_NEAR(Log1pExp(m), std::log1p(std::exp(m)), 1e-10);
+  }
+  // -ln sigmoid(m) == log(1 + e^{-m}).
+  EXPECT_NEAR(-std::log(Sigmoid(m)), Log1pExp(-m), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Log1pExpPropertyTest,
+                         ::testing::Values(-20.0, -2.0, 0.0, 2.0, 20.0, 100.0));
+
+TEST(Log1pExpTest, LargeInputIsLinear) {
+  EXPECT_NEAR(Log1pExp(1000.0), 1000.0, 1e-9);
+  EXPECT_NEAR(Log1pExp(-1000.0), 0.0, 1e-9);
+}
+
+TEST(VectorOpsPropertyTest, DotIsBilinearOnRandomVectors) {
+  util::Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> x(8), y(8), z(8);
+    for (size_t i = 0; i < 8; ++i) {
+      x[i] = rng.Gaussian(0, 1);
+      y[i] = rng.Gaussian(0, 1);
+      z[i] = rng.Gaussian(0, 1);
+    }
+    const double a = rng.UniformDouble(-2, 2);
+    // <ax + z, y> == a<x,y> + <z,y>
+    std::vector<double> axz = z;
+    Axpy(a, x, axz);
+    EXPECT_NEAR(Dot(axz, y), a * Dot(x, y) + Dot(z, y), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace math
+}  // namespace reconsume

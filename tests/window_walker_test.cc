@@ -1,0 +1,172 @@
+#include "window/window_walker.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/random.h"
+
+namespace reconsume {
+namespace window {
+namespace {
+
+using data::ConsumptionSequence;
+using data::ItemId;
+
+/// O(|W|) reference implementation recomputed from scratch at each step.
+struct NaiveWindow {
+  const ConsumptionSequence& seq;
+  int capacity;
+  int t = 0;
+
+  std::unordered_map<ItemId, int> Counts() const {
+    std::unordered_map<ItemId, int> counts;
+    const int begin = std::max(0, t - capacity);
+    for (int p = begin; p < t; ++p) ++counts[seq[static_cast<size_t>(p)]];
+    return counts;
+  }
+  int LastSeen(ItemId v) const {
+    for (int p = t - 1; p >= 0; --p) {
+      if (seq[static_cast<size_t>(p)] == v) return p;
+    }
+    return -1;
+  }
+};
+
+TEST(WindowWalkerTest, EmptyStateBeforeAdvance) {
+  const ConsumptionSequence seq = {1, 2, 3};
+  WindowWalker walker(&seq, 2);
+  EXPECT_EQ(walker.step(), 0);
+  EXPECT_FALSE(walker.Done());
+  EXPECT_EQ(walker.WindowSize(), 0);
+  EXPECT_FALSE(walker.Contains(1));
+  EXPECT_EQ(walker.NextItem(), 1);
+  EXPECT_FALSE(walker.NextIsRepeat());
+}
+
+TEST(WindowWalkerTest, BasicEvictionAtCapacity) {
+  const ConsumptionSequence seq = {1, 2, 3, 4};
+  WindowWalker walker(&seq, 2);
+  walker.Advance();  // window {1}
+  walker.Advance();  // window {1,2}
+  EXPECT_TRUE(walker.Contains(1));
+  walker.Advance();  // window {2,3}: 1 evicted
+  EXPECT_FALSE(walker.Contains(1));
+  EXPECT_TRUE(walker.Contains(2));
+  EXPECT_TRUE(walker.Contains(3));
+  EXPECT_EQ(walker.WindowSize(), 2);
+}
+
+TEST(WindowWalkerTest, CountTracksMultiplicity) {
+  const ConsumptionSequence seq = {5, 5, 5, 6};
+  WindowWalker walker(&seq, 3);
+  walker.Advance();
+  walker.Advance();
+  walker.Advance();
+  EXPECT_EQ(walker.CountInWindow(5), 3);
+  walker.Advance();  // evicts one 5, adds 6
+  EXPECT_EQ(walker.CountInWindow(5), 2);
+  EXPECT_EQ(walker.CountInWindow(6), 1);
+  EXPECT_EQ(walker.NumDistinctInWindow(), 2u);
+}
+
+TEST(WindowWalkerTest, LastSeenUsesFullHistoryBeyondWindow) {
+  const ConsumptionSequence seq = {9, 1, 2, 3};
+  WindowWalker walker(&seq, 2);
+  for (int i = 0; i < 4; ++i) walker.Advance();
+  // 9 left the window long ago but history remembers it.
+  EXPECT_FALSE(walker.Contains(9));
+  EXPECT_EQ(walker.LastSeenStep(9), 0);
+  EXPECT_EQ(walker.GapSince(9), 4);
+  EXPECT_EQ(walker.LastSeenStep(42), -1);
+}
+
+TEST(WindowWalkerTest, NextIsRepeatAndEligibility) {
+  //            t: 0  1  2  3
+  const ConsumptionSequence seq = {7, 8, 7, 7};
+  WindowWalker walker(&seq, 10);
+  walker.Advance();  // consumed 7
+  walker.Advance();  // consumed 8; next is 7, last seen t=0, gap 2
+  EXPECT_TRUE(walker.NextIsRepeat());
+  EXPECT_TRUE(walker.NextIsEligibleRepeat(1));
+  EXPECT_FALSE(walker.NextIsEligibleRepeat(2));  // gap not > 2
+  walker.Advance();  // consumed 7 again; next is 7 with gap 1
+  EXPECT_TRUE(walker.NextIsRepeat());
+  EXPECT_FALSE(walker.NextIsEligibleRepeat(1));
+}
+
+TEST(WindowWalkerTest, EligibleCandidatesFilterByGap) {
+  //            t: 0  1  2  3  4
+  const ConsumptionSequence seq = {1, 2, 3, 2, 9};
+  WindowWalker walker(&seq, 10);
+  for (int i = 0; i < 4; ++i) walker.Advance();
+  // At t=4: gaps are 1->4, 2->1 (reconsumed at t=3), 3->2.
+  std::vector<ItemId> candidates;
+  walker.EligibleCandidates(0, &candidates);
+  std::sort(candidates.begin(), candidates.end());
+  EXPECT_EQ(candidates, (std::vector<ItemId>{1, 2, 3}));
+  walker.EligibleCandidates(1, &candidates);
+  std::sort(candidates.begin(), candidates.end());
+  EXPECT_EQ(candidates, (std::vector<ItemId>{1, 3}));
+  walker.EligibleCandidates(3, &candidates);
+  EXPECT_EQ(candidates, (std::vector<ItemId>{1}));
+}
+
+TEST(WindowWalkerTest, CapacityOneWindow) {
+  const ConsumptionSequence seq = {1, 1, 2};
+  WindowWalker walker(&seq, 1);
+  walker.Advance();
+  EXPECT_TRUE(walker.NextIsRepeat());  // next 1, window {1}
+  walker.Advance();
+  EXPECT_FALSE(walker.NextIsRepeat());  // next 2, window {1}
+  walker.Advance();
+  EXPECT_TRUE(walker.Done());
+}
+
+TEST(WindowWalkerDeathTest, AdvancePastEndDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const ConsumptionSequence seq = {1};
+  WindowWalker walker(&seq, 2);
+  walker.Advance();
+  EXPECT_DEATH(walker.Advance(), "past end");
+}
+
+class WindowWalkerPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(WindowWalkerPropertyTest, MatchesNaiveReferenceOnRandomTraces) {
+  const auto [capacity, alphabet] = GetParam();
+  util::Rng rng(static_cast<uint64_t>(capacity * 1000 + alphabet));
+  ConsumptionSequence seq(400);
+  for (auto& v : seq) {
+    v = static_cast<ItemId>(rng.Uniform(static_cast<uint64_t>(alphabet)));
+  }
+
+  WindowWalker walker(&seq, capacity);
+  NaiveWindow naive{seq, capacity};
+  while (!walker.Done()) {
+    const auto expected = naive.Counts();
+    ASSERT_EQ(walker.window_counts().size(), expected.size())
+        << "t=" << walker.step();
+    for (const auto& [item, count] : expected) {
+      EXPECT_EQ(walker.CountInWindow(item), count);
+    }
+    // Spot-check last-seen agreement for the next item.
+    const ItemId next = walker.NextItem();
+    EXPECT_EQ(walker.LastSeenStep(next), naive.LastSeen(next));
+    EXPECT_EQ(walker.NextIsRepeat(), expected.count(next) > 0);
+
+    walker.Advance();
+    ++naive.t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WindowWalkerPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 5, 50, 100, 500),
+                       ::testing::Values(2, 10, 100)));
+
+}  // namespace
+}  // namespace window
+}  // namespace reconsume

@@ -1,0 +1,371 @@
+// reconsume_cli — command-line front end for the library.
+//
+//   reconsume_cli generate --profile=gowalla --scale=0.5 --out=trace.tsv
+//   reconsume_cli stats    --data=trace.tsv [--window=100]
+//   reconsume_cli train    --data=trace.tsv --model=tsppr.bin
+//                          [--k=40 --gamma=0.05 --lambda=0.01 --omega=10
+//                           --negatives=10 --window=100 --train-fraction=0.7
+//                           --tolerance=1e-3]
+//   reconsume_cli evaluate --data=trace.tsv --model=tsppr.bin
+//                          [--omega=10 --window=100 --train-fraction=0.7]
+//   reconsume_cli recommend --data=trace.tsv --model=tsppr.bin --user=<key>
+//                          [--n=10 --omega=10 --window=100]
+//
+// The trace format is the TSV event file of data::SaveDatasetTsv
+// ("user \t item \t time"); real Gowalla / Last.fm dumps load with
+// --format=gowalla / --format=lastfm.
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/simple_recommenders.h"
+#include "core/model_io.h"
+#include "core/ts_ppr.h"
+#include "data/dataset_stats.h"
+#include "data/loaders.h"
+#include "data/serialization.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/significance.h"
+#include "eval/table.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+using namespace reconsume;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: reconsume_cli <generate|stats|train|evaluate|"
+               "recommend|compare> [flags]\n(see the header of tools/reconsume_cli.cc"
+               " for the full flag list)\n");
+  return 2;
+}
+
+Result<data::Dataset> LoadData(const util::FlagSet& flags) {
+  RECONSUME_ASSIGN_OR_RETURN(const std::string path,
+                             flags.GetString("data", ""));
+  if (path.empty()) {
+    return Status::InvalidArgument("--data=<trace file> is required");
+  }
+  RECONSUME_ASSIGN_OR_RETURN(const std::string format,
+                             flags.GetString("format", "tsv"));
+  if (format == "tsv") return data::LoadDatasetTsv(path);
+  if (format == "gowalla") return data::GowallaLoader::Load(path);
+  if (format == "lastfm") return data::LastfmLoader::Load(path);
+  return Status::InvalidArgument("--format must be tsv, gowalla, or lastfm");
+}
+
+Result<int> CmdGenerate(const util::FlagSet& flags) {
+  RECONSUME_ASSIGN_OR_RETURN(const std::string profile_name,
+                             flags.GetString("profile", "gowalla"));
+  RECONSUME_ASSIGN_OR_RETURN(const double scale,
+                             flags.GetDouble("scale", 0.5));
+  RECONSUME_ASSIGN_OR_RETURN(const std::string out,
+                             flags.GetString("out", ""));
+  RECONSUME_ASSIGN_OR_RETURN(const int64_t seed, flags.GetInt("seed", 0));
+  if (out.empty()) return Status::InvalidArgument("--out=<file> is required");
+  RECONSUME_RETURN_NOT_OK(flags.CheckNoUnusedFlags());
+
+  data::SyntheticProfile profile;
+  if (profile_name == "gowalla") {
+    profile = data::GowallaLikeProfile(scale);
+  } else if (profile_name == "lastfm") {
+    profile = data::LastfmLikeProfile(scale);
+  } else {
+    return Status::InvalidArgument("--profile must be gowalla or lastfm");
+  }
+  if (seed != 0) profile.seed = static_cast<uint64_t>(seed);
+
+  RECONSUME_ASSIGN_OR_RETURN(const data::Dataset dataset,
+                             data::SyntheticTraceGenerator(profile).Generate());
+  RECONSUME_RETURN_NOT_OK(data::SaveDatasetTsv(dataset, out));
+  std::printf("wrote %s events for %s users to %s\n",
+              util::FormatWithCommas(dataset.num_interactions()).c_str(),
+              util::FormatWithCommas(
+                  static_cast<int64_t>(dataset.num_users()))
+                  .c_str(),
+              out.c_str());
+  return 0;
+}
+
+Result<int> CmdStats(const util::FlagSet& flags) {
+  RECONSUME_ASSIGN_OR_RETURN(const data::Dataset dataset, LoadData(flags));
+  RECONSUME_ASSIGN_OR_RETURN(const int64_t window,
+                             flags.GetInt("window", 100));
+  RECONSUME_RETURN_NOT_OK(flags.CheckNoUnusedFlags());
+  std::printf("%s\n",
+              data::FormatDatasetStats(
+                  "dataset", data::ComputeDatasetStats(
+                                 dataset, static_cast<int>(window)))
+                  .c_str());
+  return 0;
+}
+
+struct ProtocolFlags {
+  int window = 100;
+  int omega = 10;
+  double train_fraction = 0.7;
+};
+
+Result<ProtocolFlags> ReadProtocolFlags(const util::FlagSet& flags) {
+  ProtocolFlags out;
+  RECONSUME_ASSIGN_OR_RETURN(const int64_t window,
+                             flags.GetInt("window", out.window));
+  RECONSUME_ASSIGN_OR_RETURN(const int64_t omega,
+                             flags.GetInt("omega", out.omega));
+  RECONSUME_ASSIGN_OR_RETURN(
+      out.train_fraction,
+      flags.GetDouble("train-fraction", out.train_fraction));
+  out.window = static_cast<int>(window);
+  out.omega = static_cast<int>(omega);
+  return out;
+}
+
+Result<int> CmdTrain(const util::FlagSet& flags) {
+  RECONSUME_ASSIGN_OR_RETURN(const data::Dataset dataset, LoadData(flags));
+  RECONSUME_ASSIGN_OR_RETURN(const std::string model_path,
+                             flags.GetString("model", ""));
+  if (model_path.empty()) {
+    return Status::InvalidArgument("--model=<output file> is required");
+  }
+  RECONSUME_ASSIGN_OR_RETURN(const ProtocolFlags protocol,
+                             ReadProtocolFlags(flags));
+
+  core::TsPprPipelineConfig config;
+  RECONSUME_ASSIGN_OR_RETURN(const int64_t k, flags.GetInt("k", 40));
+  RECONSUME_ASSIGN_OR_RETURN(config.model.gamma,
+                             flags.GetDouble("gamma", 0.05));
+  RECONSUME_ASSIGN_OR_RETURN(config.model.lambda,
+                             flags.GetDouble("lambda", 0.01));
+  RECONSUME_ASSIGN_OR_RETURN(const int64_t negatives,
+                             flags.GetInt("negatives", 10));
+  RECONSUME_ASSIGN_OR_RETURN(config.train.convergence_tolerance,
+                             flags.GetDouble("tolerance", 1e-3));
+  RECONSUME_RETURN_NOT_OK(flags.CheckNoUnusedFlags());
+  config.model.latent_dim = static_cast<int>(k);
+  config.sampling.window_capacity = protocol.window;
+  config.sampling.min_gap = protocol.omega;
+  config.sampling.negatives_per_positive = static_cast<int>(negatives);
+
+  RECONSUME_ASSIGN_OR_RETURN(
+      const data::TrainTestSplit split,
+      data::TrainTestSplit::Temporal(&dataset, protocol.train_fraction));
+  RECONSUME_ASSIGN_OR_RETURN(core::TsPpr pipeline,
+                             core::TsPpr::Fit(split, config));
+  RECONSUME_RETURN_NOT_OK(core::SaveModel(pipeline.model(), model_path));
+  std::printf("trained on %s quadruples, %s SGD steps (converged=%s, "
+              "r~=%.4f, %.2fs); model -> %s\n",
+              util::FormatWithCommas(pipeline.num_quadruples()).c_str(),
+              util::FormatWithCommas(pipeline.train_report().steps).c_str(),
+              pipeline.train_report().converged ? "yes" : "no",
+              pipeline.train_report().final_r_tilde,
+              pipeline.train_report().wall_seconds, model_path.c_str());
+  return 0;
+}
+
+Result<int> CmdEvaluate(const util::FlagSet& flags) {
+  RECONSUME_ASSIGN_OR_RETURN(const data::Dataset dataset, LoadData(flags));
+  RECONSUME_ASSIGN_OR_RETURN(const std::string model_path,
+                             flags.GetString("model", ""));
+  if (model_path.empty()) {
+    return Status::InvalidArgument("--model=<model file> is required");
+  }
+  RECONSUME_ASSIGN_OR_RETURN(const ProtocolFlags protocol,
+                             ReadProtocolFlags(flags));
+  RECONSUME_RETURN_NOT_OK(flags.CheckNoUnusedFlags());
+
+  RECONSUME_ASSIGN_OR_RETURN(const core::TsPprModel model,
+                             core::LoadModel(model_path));
+  if (model.num_users() != dataset.num_users() ||
+      model.num_items() != dataset.num_items()) {
+    return Status::InvalidArgument(util::StringPrintf(
+        "model shape (%zu users, %zu items) does not match the dataset "
+        "(%zu, %zu); was it trained on this trace?",
+        model.num_users(), model.num_items(), dataset.num_users(),
+        dataset.num_items()));
+  }
+
+  RECONSUME_ASSIGN_OR_RETURN(
+      const data::TrainTestSplit split,
+      data::TrainTestSplit::Temporal(&dataset, protocol.train_fraction));
+  RECONSUME_ASSIGN_OR_RETURN(
+      const features::StaticFeatureTable table,
+      features::StaticFeatureTable::Compute(split, protocol.window));
+  const features::FeatureExtractor extractor(
+      &table, features::FeatureConfig::AllFeatures());
+  if (extractor.dimension() != model.feature_dim()) {
+    return Status::InvalidArgument("model feature_dim mismatch");
+  }
+  core::TsPprRecommender recommender(&model, &extractor);
+  baselines::RandomRecommender random_rec;
+  baselines::PopRecommender pop(&table);
+
+  eval::EvalOptions options;
+  options.window_capacity = protocol.window;
+  options.min_gap = protocol.omega;
+  eval::Evaluator evaluator(&split, options);
+
+  eval::TextTable report({"method", "MaAP@1", "MaAP@5", "MaAP@10", "MiAP@10"});
+  for (eval::Recommender* method :
+       {static_cast<eval::Recommender*>(&random_rec),
+        static_cast<eval::Recommender*>(&pop),
+        static_cast<eval::Recommender*>(&recommender)}) {
+    RECONSUME_ASSIGN_OR_RETURN(const eval::AccuracyResult acc,
+                               evaluator.Evaluate(method));
+    report.AddRow({acc.method, eval::TextTable::Cell(acc.MaapAt(1)),
+                   eval::TextTable::Cell(acc.MaapAt(5)),
+                   eval::TextTable::Cell(acc.MaapAt(10)),
+                   eval::TextTable::Cell(acc.MiapAt(10))});
+  }
+  std::printf("%s", report.ToString().c_str());
+  return 0;
+}
+
+Result<int> CmdRecommend(const util::FlagSet& flags) {
+  RECONSUME_ASSIGN_OR_RETURN(const data::Dataset dataset, LoadData(flags));
+  RECONSUME_ASSIGN_OR_RETURN(const std::string model_path,
+                             flags.GetString("model", ""));
+  RECONSUME_ASSIGN_OR_RETURN(const std::string user_key,
+                             flags.GetString("user", ""));
+  RECONSUME_ASSIGN_OR_RETURN(const int64_t n, flags.GetInt("n", 10));
+  RECONSUME_ASSIGN_OR_RETURN(const ProtocolFlags protocol,
+                             ReadProtocolFlags(flags));
+  RECONSUME_RETURN_NOT_OK(flags.CheckNoUnusedFlags());
+  if (model_path.empty() || user_key.empty()) {
+    return Status::InvalidArgument("--model and --user are required");
+  }
+  const data::UserId user = dataset.FindUser(user_key);
+  if (user == data::kInvalidUser) {
+    return Status::NotFound("user '" + user_key + "' not in the dataset");
+  }
+
+  RECONSUME_ASSIGN_OR_RETURN(const core::TsPprModel model,
+                             core::LoadModel(model_path));
+  RECONSUME_ASSIGN_OR_RETURN(
+      const data::TrainTestSplit split,
+      data::TrainTestSplit::Temporal(&dataset, protocol.train_fraction));
+  RECONSUME_ASSIGN_OR_RETURN(
+      const features::StaticFeatureTable table,
+      features::StaticFeatureTable::Compute(split, protocol.window));
+  const features::FeatureExtractor extractor(
+      &table, features::FeatureConfig::AllFeatures());
+  core::TsPprRecommender recommender(&model, &extractor);
+
+  // Recommend at the end of the user's observed history.
+  window::WindowWalker walker(&dataset.sequence(user), protocol.window);
+  while (!walker.Done()) walker.Advance();
+  std::vector<data::ItemId> candidates;
+  walker.EligibleCandidates(protocol.omega, &candidates);
+  if (candidates.empty()) {
+    std::printf("no reconsumable candidates for user %s\n", user_key.c_str());
+    return 0;
+  }
+  std::vector<double> scores(candidates.size());
+  recommender.Score(user, walker, candidates, scores);
+  std::vector<int> top;
+  eval::SelectTopN(scores, static_cast<int>(n), &top);
+
+  std::printf("top-%zu repeat recommendations for user %s (of %zu "
+              "candidates):\n",
+              top.size(), user_key.c_str(), candidates.size());
+  for (size_t rank = 0; rank < top.size(); ++rank) {
+    const data::ItemId item = candidates[static_cast<size_t>(top[rank])];
+    std::printf("  %2zu. %-12s score %+.4f  (gap %d, %d in window)\n",
+                rank + 1, dataset.item_key(item).c_str(),
+                scores[static_cast<size_t>(top[rank])], walker.GapSince(item),
+                walker.CountInWindow(item));
+  }
+  return 0;
+}
+
+Result<int> CmdCompare(const util::FlagSet& flags) {
+  RECONSUME_ASSIGN_OR_RETURN(const data::Dataset dataset, LoadData(flags));
+  RECONSUME_ASSIGN_OR_RETURN(const std::string model_path,
+                             flags.GetString("model", ""));
+  RECONSUME_ASSIGN_OR_RETURN(const ProtocolFlags protocol,
+                             ReadProtocolFlags(flags));
+  RECONSUME_RETURN_NOT_OK(flags.CheckNoUnusedFlags());
+  if (model_path.empty()) {
+    return Status::InvalidArgument("--model=<model file> is required");
+  }
+
+  RECONSUME_ASSIGN_OR_RETURN(const core::TsPprModel model,
+                             core::LoadModel(model_path));
+  RECONSUME_ASSIGN_OR_RETURN(
+      const data::TrainTestSplit split,
+      data::TrainTestSplit::Temporal(&dataset, protocol.train_fraction));
+  RECONSUME_ASSIGN_OR_RETURN(
+      const features::StaticFeatureTable table,
+      features::StaticFeatureTable::Compute(split, protocol.window));
+  const features::FeatureExtractor extractor(
+      &table, features::FeatureConfig::AllFeatures());
+  core::TsPprRecommender ts_ppr(&model, &extractor);
+
+  baselines::PopRecommender pop(&table);
+  baselines::RecencyRecommender recency;
+  baselines::RandomRecommender random_rec;
+
+  eval::EvalOptions options;
+  options.window_capacity = protocol.window;
+  options.min_gap = protocol.omega;
+
+  eval::TextTable report({"baseline", "Top-N", "wins/losses/ties",
+                          "mean dP(u)", "sign p", "wilcoxon p"});
+  for (eval::Recommender* baseline :
+       {static_cast<eval::Recommender*>(&random_rec),
+        static_cast<eval::Recommender*>(&pop),
+        static_cast<eval::Recommender*>(&recency)}) {
+    RECONSUME_ASSIGN_OR_RETURN(
+        const std::vector<eval::PairedComparison> comparisons,
+        eval::ComparePaired(split, options, &ts_ppr, baseline));
+    for (const auto& c : comparisons) {
+      report.AddRow(
+          {baseline->name(), std::to_string(c.top_n),
+           util::StringPrintf("%d/%d/%d", c.wins_a, c.wins_b, c.ties),
+           util::StringPrintf("%+.4f", c.mean_difference),
+           util::StringPrintf("%.2e", c.sign_test_p),
+           util::StringPrintf("%.2e", c.wilcoxon_p)});
+    }
+  }
+  std::printf("paired TS-PPR-vs-baseline tests (positive dP = TS-PPR "
+              "better):\n%s",
+              report.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags_result = util::FlagSet::Parse(argc, argv);
+  if (!flags_result.ok()) return Fail(flags_result.status());
+  const util::FlagSet& flags = flags_result.ValueOrDie();
+  if (flags.positional().empty()) return Usage();
+  const std::string& command = flags.positional()[0];
+
+  Result<int> result = Status::InvalidArgument("unknown command");
+  if (command == "generate") {
+    result = CmdGenerate(flags);
+  } else if (command == "stats") {
+    result = CmdStats(flags);
+  } else if (command == "train") {
+    result = CmdTrain(flags);
+  } else if (command == "evaluate") {
+    result = CmdEvaluate(flags);
+  } else if (command == "recommend") {
+    result = CmdRecommend(flags);
+  } else if (command == "compare") {
+    result = CmdCompare(flags);
+  } else {
+    return Usage();
+  }
+  if (!result.ok()) return Fail(result.status());
+  return result.ValueOrDie();
+}
