@@ -1,0 +1,102 @@
+// Extension: Hogwild training scaling — wall-clock speedup and accuracy
+// parity of the parallel TS-PPR trainer vs worker count, on the Gowalla-like
+// profile (the ROADMAP "fast as the hardware allows" axis; see
+// docs/training_internals.md for the mode's design).
+//
+// Expectations on a multi-core host: train wall time drops measurably by 4
+// workers (>1.5x vs sequential) while MaAP@10 stays within noise of the
+// num_threads=1 run. On a single hardware thread the speedup column
+// degenerates to ~1x — the table reports whatever the machine provides,
+// alongside the hardware_concurrency it saw.
+
+#include <cstdio>
+#include <thread>
+
+#include "bench/common.h"
+
+using namespace reconsume;
+
+namespace {
+
+struct Run {
+  core::TrainReport report;
+  double maap10 = 0.0;
+  double r_tilde = 0.0;
+};
+
+Run FitWith(const bench::DatasetBundle& bundle, int threads,
+            sampling::ShardStrategy strategy, const std::string& name) {
+  auto config = bench::MakeTsPprConfig(bundle);
+  config.train.num_threads = threads;
+  config.train.shard_strategy = strategy;
+  auto method = bench::FitTsPpr(bundle, config, name);
+  const auto* ts = static_cast<const core::TsPpr*>(method.owner.get());
+  Run run;
+  run.report = ts->train_report();
+  run.r_tilde = run.report.final_r_tilde;
+  run.maap10 = bench::EvaluateMethod(bundle, &method).MaapAt(10);
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  auto bundle = bench::MakeGowallaBundle();
+  bench::PrintHeader("EXT: Hogwild train scaling", bundle);
+  std::printf("hardware_concurrency=%u\n\n",
+              std::thread::hardware_concurrency());
+
+  // Speedup curve: worker count vs wall clock, accuracy carried along.
+  {
+    eval::TextTable table({"threads", "SGD steps", "r~", "train s", "speedup",
+                           "MaAP@10", "dMaAP vs 1t"});
+    double base_seconds = 0.0, base_maap = 0.0;
+    for (int threads : {1, 2, 4, 8}) {
+      const Run run = FitWith(bundle, threads,
+                              sampling::ShardStrategy::kContiguous,
+                              "TS-PPR/" + std::to_string(threads) + "t");
+      if (threads == 1) {
+        base_seconds = run.report.wall_seconds;
+        base_maap = run.maap10;
+      }
+      table.AddRow(
+          {std::to_string(threads),
+           util::FormatWithCommas(run.report.steps),
+           eval::TextTable::Cell(run.r_tilde, 3),
+           eval::TextTable::Cell(run.report.wall_seconds, 2),
+           eval::TextTable::Cell(
+               run.report.wall_seconds > 0
+                   ? base_seconds / run.report.wall_seconds
+                   : 0.0,
+               2),
+           eval::TextTable::Cell(run.maap10),
+           eval::TextTable::Cell(run.maap10 - base_maap)});
+    }
+    std::printf("=== wall-clock speedup + accuracy parity (kContiguous) ===\n"
+                "%s\n",
+                table.ToString().c_str());
+  }
+
+  // Shard-strategy comparison at a fixed worker count.
+  {
+    eval::TextTable table({"strategy", "SGD steps", "r~", "train s",
+                           "MaAP@10"});
+    const struct {
+      sampling::ShardStrategy strategy;
+      const char* name;
+    } strategies[] = {{sampling::ShardStrategy::kContiguous, "contiguous"},
+                      {sampling::ShardStrategy::kInterleaved, "interleaved"}};
+    for (const auto& s : strategies) {
+      const Run run = FitWith(bundle, 4, s.strategy,
+                              std::string("TS-PPR/") + s.name);
+      table.AddRow({s.name, util::FormatWithCommas(run.report.steps),
+                    eval::TextTable::Cell(run.r_tilde, 3),
+                    eval::TextTable::Cell(run.report.wall_seconds, 2),
+                    eval::TextTable::Cell(run.maap10)});
+    }
+    std::printf("=== shard strategies at 4 workers ===\n%s"
+                "(accuracy differences are run-to-run Hogwild noise)\n\n",
+                table.ToString().c_str());
+  }
+  return 0;
+}

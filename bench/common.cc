@@ -20,6 +20,18 @@ double GetScale() {
   return parsed.ValueOrDie();
 }
 
+int GetTrainThreads() {
+  const char* env = std::getenv("RECONSUME_TRAIN_THREADS");
+  if (env == nullptr) return 1;
+  const auto parsed = util::ParseInt64(env);
+  if (!parsed.ok() || parsed.ValueOrDie() < 1) {
+    RECONSUME_LOG(Warning) << "ignoring bad RECONSUME_TRAIN_THREADS='" << env
+                           << "'";
+    return 1;
+  }
+  return static_cast<int>(parsed.ValueOrDie());
+}
+
 DatasetBundle MakeBundle(const data::SyntheticProfile& profile,
                          const eval::ExperimentDefaults& defaults) {
   DatasetBundle bundle;
@@ -74,6 +86,7 @@ core::TsPprPipelineConfig MakeTsPprConfig(const DatasetBundle& bundle) {
   config.sampling.window_capacity = bundle.defaults.window_capacity;
   config.sampling.min_gap = bundle.defaults.min_gap;
   config.sampling.negatives_per_positive = bundle.defaults.negatives;
+  config.train.num_threads = GetTrainThreads();
   return config;
 }
 

@@ -34,6 +34,11 @@ namespace bench {
 /// Reads RECONSUME_SCALE (default 0.5).
 double GetScale();
 
+/// Reads RECONSUME_TRAIN_THREADS (default 1 — the exact sequential trainer).
+/// Values > 1 switch every TS-PPR fit in the bench harness to Hogwild
+/// training; aggregate metrics then vary within run-to-run noise.
+int GetTrainThreads();
+
 /// \brief A ready-to-experiment dataset: filtered data, split, feature table,
 /// and the paper's per-dataset defaults (Table 4).
 struct DatasetBundle {

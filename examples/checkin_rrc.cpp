@@ -9,8 +9,10 @@
 //   * per-method accuracy under the paper's protocol;
 //   * a Fig. 7-style feature ablation.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "baselines/dyrc.h"
 #include "baselines/simple_recommenders.h"
@@ -90,6 +92,10 @@ int main(int argc, char** argv) {
   config.sampling.window_capacity = defaults.window_capacity;
   config.sampling.min_gap = defaults.min_gap;
   config.sampling.negatives_per_positive = defaults.negatives;
+  // Real check-in dumps are large, so train with Hogwild workers on every
+  // available hardware thread (per-user sharding; docs/training_internals.md).
+  config.train.num_threads =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
 
   auto ts_ppr_result = core::TsPpr::Fit(split, config);
   RECONSUME_CHECK(ts_ppr_result.ok()) << ts_ppr_result.status();

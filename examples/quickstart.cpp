@@ -45,6 +45,9 @@ int main() {
   config.sampling.window_capacity = defaults.window_capacity;
   config.sampling.min_gap = defaults.min_gap;
   config.sampling.negatives_per_positive = defaults.negatives;
+  // config.train.num_threads = N enables Hogwild-parallel SGD (kept at the
+  // sequential default here so reruns print identical numbers; see
+  // docs/training_internals.md and examples/checkin_rrc.cpp).
 
   auto fit_result = core::TsPpr::Fit(split, config);
   RECONSUME_CHECK(fit_result.ok()) << fit_result.status();

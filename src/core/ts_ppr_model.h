@@ -3,6 +3,15 @@
 // the K-dimensional latent preference space (§4.2.1).
 //
 // Preference (Eq. 5):  r_uvt = u^T v + u^T A_u f_uvt = u^T (v + A_u f_uvt).
+//
+// Concurrency contract (the Hogwild trainer's view of this container):
+// parameters live in contiguous std::vector<double> storage, so every
+// element satisfies std::atomic_ref<double>'s alignment requirement and can
+// be read/written lock-free. During parallel training, rows of U and the
+// A_u matrices are partitioned per user (one owning worker each, plain
+// access), while rows of V are shared and must be accessed through relaxed
+// std::atomic_ref by every worker. Outside training the model is treated as
+// immutable and all the const accessors below are freely shareable.
 
 #ifndef RECONSUME_CORE_TS_PPR_MODEL_H_
 #define RECONSUME_CORE_TS_PPR_MODEL_H_
@@ -49,18 +58,29 @@ class TsPprModel {
   int feature_dim() const { return feature_dim_; }
   const TsPprConfig& config() const { return config_; }
 
+  /// \brief Mutable latent row of user u.
+  ///
+  /// During Hogwild training this row is private to the single worker that
+  /// owns user u (per-user sharding), so plain reads/writes are safe there.
   std::span<double> user_factor(data::UserId u) {
     return user_factors_.Row(static_cast<size_t>(u));
   }
   std::span<const double> user_factor(data::UserId u) const {
     return user_factors_.Row(static_cast<size_t>(u));
   }
+  /// \brief Mutable latent row of item v.
+  ///
+  /// Shared across Hogwild workers: during parallel training every access to
+  /// these elements must go through relaxed std::atomic_ref (the storage is
+  /// suitably aligned; see the header comment).
   std::span<double> item_factor(data::ItemId v) {
     return item_factors_.Row(static_cast<size_t>(v));
   }
   std::span<const double> item_factor(data::ItemId v) const {
     return item_factors_.Row(static_cast<size_t>(v));
   }
+  /// \brief Mutable feature mapping A_u; worker-private under per-user
+  /// sharding, like user_factor(u).
   math::Matrix& mapping(data::UserId u) {
     return mappings_[static_cast<size_t>(u)];
   }

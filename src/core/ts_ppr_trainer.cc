@@ -1,18 +1,32 @@
 #include "core/ts_ppr_trainer.h"
 
 #include <algorithm>
+#include <atomic>
+#include <barrier>
 #include <cmath>
+#include <cstdint>
+#include <span>
 
 #include "math/vector_ops.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace reconsume {
 namespace core {
 
 namespace {
 
+// The Hogwild mode publishes item-factor elements through relaxed
+// std::atomic_ref stores; that is only a sane design if those compile to
+// plain 8-byte moves.
+static_assert(std::atomic_ref<double>::is_always_lock_free,
+              "Hogwild TS-PPR training requires lock-free atomic doubles");
+
 /// r_{uv_i t} - r_{uv_j t} = u^T (v_i - v_j + A_u (f_i - f_j)).
+///
+/// Plain (non-atomic) reads: only called on a quiesced model — either the
+/// sequential path, or worker 0 during a barrier-protected convergence check.
 double PreferenceDifference(const TsPprModel& model,
                             const sampling::TrainingSet& data,
                             uint32_t event_index, uint32_t neg_index,
@@ -32,6 +46,91 @@ double PreferenceDifference(const TsPprModel& model,
   math::Subtract(vi, vj, d);
   model.mapping(event.user).MultiplyVectorAccumulate(1.0, fdiff, d);
   return math::Dot(u, d);
+}
+
+/// Per-worker allocation-free scratch for one SGD step.
+struct StepScratch {
+  StepScratch(size_t k, size_t f)
+      : fdiff(f), d(k), u_old(k), vi_local(k), vj_local(k) {}
+  std::vector<double> fdiff, d, u_old, vi_local, vj_local;
+};
+
+/// out[i] = relaxed atomic load of row[i]. A per-element-consistent snapshot
+/// of a shared item row; other Hogwild workers may be storing concurrently.
+void AtomicLoadRow(std::span<double> row, std::span<double> out) {
+  for (size_t i = 0; i < row.size(); ++i) {
+    out[i] = std::atomic_ref<double>(row[i]).load(std::memory_order_relaxed);
+  }
+}
+
+/// row[i] = relaxed atomic store of values[i]. Concurrent stores to the same
+/// element lose one update (standard Hogwild semantics) but never tear.
+void AtomicStoreRow(std::span<const double> values, std::span<double> row) {
+  for (size_t i = 0; i < row.size(); ++i) {
+    std::atomic_ref<double>(row[i]).store(values[i],
+                                          std::memory_order_relaxed);
+  }
+}
+
+/// Lines 6-10 of Algorithm 1: one SGD update on the sampled quadruple
+/// (Eq. 12-15), shared by the sequential and Hogwild paths.
+///
+/// Sharing discipline: the positive event's user row u and mapping A_u are
+/// owned by the calling worker (per-user sharding) and updated with plain
+/// arithmetic; the item rows v_i, v_j are shared across workers, so they are
+/// snapshotted with atomic loads, updated locally with the exact arithmetic
+/// of the sequential implementation, and published with atomic stores. With
+/// one worker the atomic round-trips are value-preserving, which is what
+/// keeps the num_threads=1 path bit-identical to the original loop.
+void SgdStep(const sampling::TrainingSet& data, double alpha,
+             uint32_t event_index, uint32_t neg_index, TsPprModel* model,
+             StepScratch* scratch) {
+  const TsPprConfig& config = model->config();
+  const double latent_decay = 1.0 - alpha * config.gamma;
+  const double mapping_decay = 1.0 - alpha * config.lambda;
+
+  const sampling::PositiveEvent& event = data.events()[event_index];
+  const sampling::NegativeSample& neg = data.negatives()[neg_index];
+  const auto fi = data.feature(event.feature_offset);
+  const auto fj = data.feature(neg.feature_offset);
+  auto u = model->user_factor(event.user);
+  auto vi = model->item_factor(event.item);
+  auto vj = model->item_factor(neg.item);
+  math::Matrix& a = model->mapping(event.user);
+
+  auto& fdiff = scratch->fdiff;
+  auto& d = scratch->d;
+  auto& u_old = scratch->u_old;
+  auto& vi_local = scratch->vi_local;
+  auto& vj_local = scratch->vj_local;
+
+  AtomicLoadRow(vi, vi_local);
+  AtomicLoadRow(vj, vj_local);
+
+  // d = v_i - v_j + A_u (f_i - f_j); the gradient w.r.t. u (Eq. 12).
+  math::Subtract(fi, fj, fdiff);
+  math::Subtract(vi_local, vj_local, d);
+  a.MultiplyVectorAccumulate(1.0, fdiff, d);
+
+  const double margin = math::Dot(u, d);
+  const double g = alpha * (1.0 - math::Sigmoid(margin));
+
+  // All updates read the pre-update parameters, so stash u.
+  std::copy(u.begin(), u.end(), u_old.begin());
+
+  math::Scale(latent_decay, u);
+  math::Axpy(g, d, u);  // Eq. 12
+
+  math::Scale(latent_decay, vi_local);
+  math::Axpy(g, u_old, vi_local);  // Eq. 13
+  AtomicStoreRow(vi_local, vi);
+
+  math::Scale(latent_decay, vj_local);
+  math::Axpy(-g, u_old, vj_local);  // Eq. 14
+  AtomicStoreRow(vj_local, vj);
+
+  a.ScaleInPlace(mapping_decay);
+  a.AddOuterProduct(g, u_old, fdiff);  // Eq. 15
 }
 
 }  // namespace
@@ -63,8 +162,16 @@ Result<TrainReport> TsPprTrainer::Train(
                               static_cast<double>(
                                   training_set.num_quadruples())));
 
-  std::vector<double> fdiff(f), d(k), u_old(k);
+  // alpha_t for the step with `steps_done` completed steps before it.
+  auto alpha_for = [&](int64_t steps_done) {
+    return options_.schedule == LearningRateSchedule::kConstant
+               ? base_alpha
+               : base_alpha / (1.0 + options_.decay_rate *
+                                         static_cast<double>(steps_done) /
+                                         quadruples);
+  };
 
+  std::vector<double> fdiff(f), d(k);
   auto compute_r_tilde = [&]() {
     double total = 0.0;
     for (const auto& [e, n] : small_batch) {
@@ -81,70 +188,118 @@ Result<TrainReport> TsPprTrainer::Train(
   report.curve.push_back({0, prev_r_tilde});
   int checks = 0;
 
-  while (report.steps < options_.max_steps) {
-    const double alpha =
-        options_.schedule == LearningRateSchedule::kConstant
-            ? base_alpha
-            : base_alpha / (1.0 + options_.decay_rate *
-                                      static_cast<double>(report.steps) /
-                                      quadruples);
-    const double latent_decay = 1.0 - alpha * config.gamma;
-    const double mapping_decay = 1.0 - alpha * config.lambda;
+  const int num_workers = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(std::max(1, options_.num_threads)),
+      training_set.users_with_events().size()));
 
-    // Lines 3-5: hierarchical uniform draw of (u, v_i, v_j, t).
-    const auto [event_index, neg_index] = training_set.SampleQuadruple(rng);
-    const sampling::PositiveEvent& event = training_set.events()[event_index];
-    const sampling::NegativeSample& neg = training_set.negatives()[neg_index];
+  if (num_workers <= 1) {
+    // The paper's sequential Algorithm 1, exactly as originally implemented
+    // (pinned bitwise by parallel_trainer_test's reference oracle).
+    StepScratch scratch(k, f);
+    while (report.steps < options_.max_steps) {
+      const double alpha = alpha_for(report.steps);
+      // Lines 3-5: hierarchical uniform draw of (u, v_i, v_j, t).
+      const auto [event_index, neg_index] = training_set.SampleQuadruple(rng);
+      SgdStep(training_set, alpha, event_index, neg_index, model, &scratch);
+      ++report.steps;
 
-    const auto fi = training_set.feature(event.feature_offset);
-    const auto fj = training_set.feature(neg.feature_offset);
-    auto u = model->user_factor(event.user);
-    auto vi = model->item_factor(event.item);
-    auto vj = model->item_factor(neg.item);
-    math::Matrix& a = model->mapping(event.user);
-
-    // d = v_i - v_j + A_u (f_i - f_j); the gradient w.r.t. u (Eq. 12).
-    math::Subtract(fi, fj, fdiff);
-    math::Subtract(vi, vj, d);
-    a.MultiplyVectorAccumulate(1.0, fdiff, d);
-
-    const double margin = math::Dot(u, d);
-    const double g = alpha * (1.0 - math::Sigmoid(margin));
-
-    // Lines 6-10: all updates read the pre-update parameters, so stash u.
-    std::copy(u.begin(), u.end(), u_old.begin());
-
-    math::Scale(latent_decay, u);
-    math::Axpy(g, d, u);  // Eq. 12
-
-    math::Scale(latent_decay, vi);
-    math::Axpy(g, u_old, vi);  // Eq. 13
-
-    math::Scale(latent_decay, vj);
-    math::Axpy(-g, u_old, vj);  // Eq. 14
-
-    a.ScaleInPlace(mapping_decay);
-    a.AddOuterProduct(g, u_old, fdiff);  // Eq. 15
-
-    ++report.steps;
-
-    if (report.steps % check_every == 0) {
-      const double r_tilde = compute_r_tilde();
-      report.curve.push_back({report.steps, r_tilde});
-      ++checks;
-      if (!std::isfinite(r_tilde)) {
-        return Status::NumericalError(
-            "TS-PPR training diverged (non-finite r_tilde); lower the "
-            "learning rate");
-      }
-      if (checks >= options_.min_checks &&
-          std::fabs(r_tilde - prev_r_tilde) <=
-              options_.convergence_tolerance) {
+      if (report.steps % check_every == 0) {
+        const double r_tilde = compute_r_tilde();
+        report.curve.push_back({report.steps, r_tilde});
+        ++checks;
+        if (!std::isfinite(r_tilde)) {
+          return Status::NumericalError(
+              "TS-PPR training diverged (non-finite r_tilde); lower the "
+              "learning rate");
+        }
+        if (checks >= options_.min_checks &&
+            std::fabs(r_tilde - prev_r_tilde) <=
+                options_.convergence_tolerance) {
+          prev_r_tilde = r_tilde;
+          report.converged = true;
+          break;
+        }
         prev_r_tilde = r_tilde;
-        report.converged = true;
-        break;
       }
-      prev_r_tilde = r_tilde;
+    }
+  } else {
+    // Hogwild mode: lockstep rounds of `check_every` total steps. Within a
+    // round every worker samples only from its own user shard and updates
+    // lock-free; at the end of a full round all workers meet at a barrier
+    // and worker 0 runs the Δr̃ check of §5.6.1 on the quiesced model.
+    const auto shards =
+        training_set.ShardUsers(num_workers, options_.shard_strategy);
+    RECONSUME_DCHECK(static_cast<int>(shards.size()) == num_workers);
+
+    // Prefix user counts: worker w's share of a round's quota is the w-th
+    // slice of a proportional split that sums to the quota exactly, so the
+    // user-marginal of the draw stays uniform even with uneven shards.
+    std::vector<int64_t> prefix(shards.size() + 1, 0);
+    for (size_t w = 0; w < shards.size(); ++w) {
+      prefix[w + 1] = prefix[w] + static_cast<int64_t>(shards[w].size());
+    }
+    const int64_t total_users = prefix.back();
+
+    std::atomic<int64_t> step_counter{0};
+    std::atomic<bool> stop{false};
+    std::barrier<> sync(num_workers);
+    // Written by worker 0 between the two barriers of a round, read
+    // elsewhere only after the trailing barrier (or after the join).
+    bool diverged = false;
+
+    const uint64_t base_seed = rng->Next();
+    util::ThreadPool::ParallelShards(
+        static_cast<size_t>(num_workers), base_seed,
+        [&](size_t w, util::Rng* worker_rng) {
+          StepScratch scratch(k, f);
+          const std::span<const data::UserId> my_users(shards[w]);
+          int64_t done = 0;  // identical across workers at round boundaries
+          while (true) {
+            const int64_t quota =
+                std::min<int64_t>(check_every, options_.max_steps - done);
+            const int64_t share = quota * prefix[w + 1] / total_users -
+                                  quota * prefix[w] / total_users;
+            for (int64_t i = 0; i < share; ++i) {
+              const int64_t step_id =
+                  step_counter.fetch_add(1, std::memory_order_relaxed);
+              const auto [event_index, neg_index] =
+                  training_set.SampleQuadrupleFrom(my_users, worker_rng);
+              SgdStep(training_set, alpha_for(step_id), event_index,
+                      neg_index, model, &scratch);
+            }
+            sync.arrive_and_wait();
+            if (w == 0) {
+              done += quota;
+              if (quota == check_every) {  // full round => check point
+                const double r_tilde = compute_r_tilde();
+                report.curve.push_back({done, r_tilde});
+                ++checks;
+                if (!std::isfinite(r_tilde)) {
+                  diverged = true;
+                  stop.store(true, std::memory_order_relaxed);
+                } else if (checks >= options_.min_checks &&
+                           std::fabs(r_tilde - prev_r_tilde) <=
+                               options_.convergence_tolerance) {
+                  report.converged = true;
+                  stop.store(true, std::memory_order_relaxed);
+                }
+                prev_r_tilde = r_tilde;
+              }
+              if (done >= options_.max_steps) {
+                stop.store(true, std::memory_order_relaxed);
+              }
+            }
+            sync.arrive_and_wait();
+            if (stop.load(std::memory_order_relaxed)) break;
+            if (w != 0) done += quota;
+          }
+        });
+
+    report.steps = step_counter.load();
+    if (diverged) {
+      return Status::NumericalError(
+          "TS-PPR training diverged (non-finite r_tilde); lower the "
+          "learning rate");
     }
   }
 

@@ -1,5 +1,17 @@
 // Algorithm 1: stochastic gradient descent over pre-sampled training
 // quadruples, with the small-batch Δr̃ convergence check of §5.6.1.
+//
+// Two execution modes share one SGD step kernel (see
+// docs/training_internals.md for the full walk-through):
+//  - num_threads <= 1: the paper's sequential loop, bit-for-bit identical to
+//    the original single-threaded implementation;
+//  - num_threads  > 1: Hogwild-style lock-free parallel SGD. Users are
+//    sharded across workers (each user's latent row u and mapping A_u are
+//    then worker-private), item factors V are updated lock-free through
+//    relaxed std::atomic_ref, and the Δr̃ convergence check stays globally
+//    coordinated: workers run lockstep rounds of `check_every` total steps
+//    (counted by one atomic step counter) separated by barriers at which a
+//    single worker evaluates the small batch on the quiesced model.
 
 #ifndef RECONSUME_CORE_TS_PPR_TRAINER_H_
 #define RECONSUME_CORE_TS_PPR_TRAINER_H_
@@ -38,6 +50,18 @@ struct TrainOptions {
   /// Require at least this many check intervals before declaring convergence
   /// (avoids stopping on the initial plateau).
   int min_checks = 3;
+  /// \brief Number of Hogwild SGD workers.
+  ///
+  /// 1 (the default) runs the exact sequential Algorithm 1; values > 1 train
+  /// with lock-free parallel updates. The effective count is clamped to the
+  /// number of users with events. With more than one worker, results are
+  /// statistically but not bitwise reproducible: every worker's *sample
+  /// sequence* is deterministic (per-worker RNG streams are derived from the
+  /// caller's Rng), but concurrent lock-free item updates make the exact
+  /// float values scheduling-dependent.
+  int num_threads = 1;
+  /// How users are partitioned across workers (ignored when num_threads<=1).
+  sampling::ShardStrategy shard_strategy = sampling::ShardStrategy::kContiguous;
 };
 
 /// \brief One convergence check point (the Fig. 12 curve).
@@ -55,13 +79,19 @@ struct TrainReport {
   std::vector<ConvergencePoint> curve;
 };
 
-/// \brief Runs Algorithm 1 on a model against a pre-sampled training set.
+/// \brief Runs Algorithm 1 on a model against a pre-sampled training set,
+/// sequentially or with Hogwild-parallel workers (TrainOptions::num_threads).
 class TsPprTrainer {
  public:
   explicit TsPprTrainer(TrainOptions options = {}) : options_(options) {}
 
   /// Trains in place. The model's feature_dim must match the training set.
   /// Returns NumericalError if parameters diverge to non-finite values.
+  ///
+  /// `rng` drives the quadruple sampling when num_threads <= 1; with more
+  /// workers it is consumed only to derive the per-worker streams (one
+  /// Next() draw), so a fixed caller seed still pins every worker's sample
+  /// sequence.
   Result<TrainReport> Train(const sampling::TrainingSet& training_set,
                             TsPprModel* model, util::Rng* rng) const;
 

@@ -126,10 +126,15 @@ Result<TrainingSet> TrainingSet::Build(
 
 std::pair<uint32_t, uint32_t> TrainingSet::SampleQuadruple(
     util::Rng* rng) const {
-  RECONSUME_DCHECK(!users_with_events_.empty());
-  const data::UserId u =
-      users_with_events_[rng->Uniform(users_with_events_.size())];
+  return SampleQuadrupleFrom(users_with_events_, rng);
+}
+
+std::pair<uint32_t, uint32_t> TrainingSet::SampleQuadrupleFrom(
+    std::span<const data::UserId> users, util::Rng* rng) const {
+  RECONSUME_DCHECK(!users.empty());
+  const data::UserId u = users[rng->Uniform(users.size())];
   const auto [begin, end] = user_events(u);
+  RECONSUME_DCHECK(end > begin);
   const uint32_t event_index =
       begin + static_cast<uint32_t>(rng->Uniform(end - begin));
   const PositiveEvent& event = events_[event_index];
@@ -137,6 +142,28 @@ std::pair<uint32_t, uint32_t> TrainingSet::SampleQuadruple(
       event.negatives_begin +
       static_cast<uint32_t>(rng->Uniform(event.negatives_count));
   return {event_index, neg_index};
+}
+
+std::vector<std::vector<data::UserId>> TrainingSet::ShardUsers(
+    int num_shards, ShardStrategy strategy) const {
+  RECONSUME_DCHECK(num_shards >= 1);
+  const size_t n = users_with_events_.size();
+  const size_t shards_count =
+      std::max<size_t>(1, std::min<size_t>(static_cast<size_t>(num_shards), n));
+  std::vector<std::vector<data::UserId>> shards(shards_count);
+  if (strategy == ShardStrategy::kInterleaved) {
+    for (size_t i = 0; i < n; ++i) {
+      shards[i % shards_count].push_back(users_with_events_[i]);
+    }
+  } else {
+    for (size_t w = 0; w < shards_count; ++w) {
+      const size_t begin = n * w / shards_count;
+      const size_t end = n * (w + 1) / shards_count;
+      shards[w].assign(users_with_events_.begin() + begin,
+                       users_with_events_.begin() + end);
+    }
+  }
+  return shards;
 }
 
 std::vector<std::pair<uint32_t, uint32_t>> TrainingSet::SmallBatch(

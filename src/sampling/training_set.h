@@ -38,6 +38,20 @@ struct PositiveEvent {
   uint32_t negatives_count = 0;
 };
 
+/// \brief How ShardUsers partitions users across parallel SGD workers.
+///
+/// Both strategies assign every user to exactly one shard, which is what the
+/// Hogwild trainer relies on: a user's latent row u and mapping A_u are then
+/// touched by a single worker and need no synchronization.
+enum class ShardStrategy {
+  /// Consecutive blocks of users_with_events(); shard sizes differ by at most
+  /// one. Cache-friendly (a worker's user rows are contiguous in U).
+  kContiguous,
+  /// Round-robin: user index i goes to shard i % N. Smooths out datasets
+  /// whose event counts drift along the user-id axis.
+  kInterleaved,
+};
+
 /// \brief Which recommendation task the quadruples train for.
 enum class TrainingTask {
   /// RRC (the paper's main task): positives are eligible windowed repeats,
@@ -98,6 +112,28 @@ class TrainingSet {
   /// events), uniform event of that user, uniform negative of that event.
   /// Returns {event index, negative index}. Precondition: num_quadruples()>0.
   std::pair<uint32_t, uint32_t> SampleQuadruple(util::Rng* rng) const;
+
+  /// \brief Algorithm 1's hierarchical draw restricted to a user subset.
+  ///
+  /// Same three uniform draws as SampleQuadruple, but the user comes from
+  /// `users` instead of the full users_with_events() list. This is the shard
+  /// view the Hogwild trainer samples through: each worker passes its own
+  /// shard, so the draw sequence of a worker depends only on its RNG stream
+  /// and its shard, never on other workers. Precondition: `users` is
+  /// non-empty and every listed user has at least one event.
+  std::pair<uint32_t, uint32_t> SampleQuadrupleFrom(
+      std::span<const data::UserId> users, util::Rng* rng) const;
+
+  /// \brief Partitions users_with_events() into per-worker shards.
+  ///
+  /// Returns min(num_shards, num users) non-empty shards; together they cover
+  /// every user with events exactly once (the per-user ownership invariant of
+  /// the Hogwild trainer). With one shard, the shard equals
+  /// users_with_events() in its original order, which is what makes the
+  /// single-worker parallel path sample-for-sample identical to the
+  /// sequential trainer. Precondition: num_shards >= 1.
+  std::vector<std::vector<data::UserId>> ShardUsers(
+      int num_shards, ShardStrategy strategy) const;
 
   /// The small-batch convergence subset (§4.2.2): each user's first
   /// ceil(fraction * #events) events, one fixed negative each (the first).

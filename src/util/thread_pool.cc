@@ -58,6 +58,28 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+void ThreadPool::ParallelShards(size_t num_shards, uint64_t base_seed,
+                                const std::function<void(size_t, Rng*)>& fn) {
+  if (num_shards == 0) return;
+  // Seeds are drawn up front from a single SplitMix64 stream so that shard
+  // w's Rng depends only on (base_seed, w).
+  SplitMix64 mixer(base_seed);
+  std::vector<uint64_t> seeds(num_shards);
+  for (uint64_t& seed : seeds) seed = mixer.Next();
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_shards - 1);
+  for (size_t w = 1; w < num_shards; ++w) {
+    threads.emplace_back([&fn, seed = seeds[w], w] {
+      Rng rng(seed);
+      fn(w, &rng);
+    });
+  }
+  Rng rng0(seeds[0]);
+  fn(0, &rng0);
+  for (std::thread& thread : threads) thread.join();
+}
+
 void ThreadPool::ParallelFor(size_t n, size_t num_threads,
                              const std::function<void(size_t)>& fn) {
   if (n == 0) return;

@@ -1,24 +1,33 @@
-// Fixed-size thread pool used for parallel per-user evaluation and for the
-// parameter sweeps in the benchmark harness.
+// Threading primitives: a fixed-size FIFO pool (parallel per-user
+// evaluation, benchmark parameter sweeps) and the ParallelShards fork-join
+// used by the Hogwild TS-PPR trainer, which hands each shard worker its own
+// deterministic RNG stream.
 
 #ifndef RECONSUME_UTIL_THREAD_POOL_H_
 #define RECONSUME_UTIL_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/random.h"
+
 namespace reconsume {
 namespace util {
 
 /// \brief A simple FIFO thread pool.
 ///
-/// Tasks are `std::function<void()>`; exceptions must not escape a task
-/// (fallible work should capture a Status into its own slot).
+/// Task-exception contract (load-bearing for the trainer and evaluator):
+/// tasks are `std::function<void()>` and exceptions must NOT escape a task —
+/// a throw would unwind a worker thread and terminate the process. Fallible
+/// work captures a Status into its own pre-allocated slot and the caller
+/// inspects the slots after Wait(); the same rule applies to the function
+/// run by ParallelFor and ParallelShards.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers (at least 1).
@@ -40,6 +49,22 @@ class ThreadPool {
   /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
   static void ParallelFor(size_t n, size_t num_threads,
                           const std::function<void(size_t)>& fn);
+
+  /// \brief Fork-join over long-lived shard workers with private RNG streams.
+  ///
+  /// Runs `fn(shard, &rng)` once per shard in [0, num_shards), each call on
+  /// its own dedicated thread (shard 0 runs on the calling thread), and
+  /// blocks until every shard returns. Unlike ParallelFor this guarantees
+  /// one *concurrent* thread per shard, so `fn` may contain barriers that
+  /// all shards must reach — the Hogwild trainer's convergence-check rounds
+  /// depend on exactly that.
+  ///
+  /// Each shard's Rng is seeded deterministically from `base_seed` and the
+  /// shard index alone (a SplitMix64 stream over base_seed), never from
+  /// thread scheduling: shard w sees the same draw sequence on every run and
+  /// on every machine. `fn` must not throw (see the class contract above).
+  static void ParallelShards(size_t num_shards, uint64_t base_seed,
+                             const std::function<void(size_t, Rng*)>& fn);
 
  private:
   void WorkerLoop();

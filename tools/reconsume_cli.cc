@@ -5,7 +5,7 @@
 //   reconsume_cli train    --data=trace.tsv --model=tsppr.bin
 //                          [--k=40 --gamma=0.05 --lambda=0.01 --omega=10
 //                           --negatives=10 --window=100 --train-fraction=0.7
-//                           --tolerance=1e-3]
+//                           --tolerance=1e-3 --threads=1]
 //   reconsume_cli evaluate --data=trace.tsv --model=tsppr.bin
 //                          [--omega=10 --window=100 --train-fraction=0.7]
 //   reconsume_cli recommend --data=trace.tsv --model=tsppr.bin --user=<key>
@@ -149,7 +149,15 @@ Result<int> CmdTrain(const util::FlagSet& flags) {
                              flags.GetInt("negatives", 10));
   RECONSUME_ASSIGN_OR_RETURN(config.train.convergence_tolerance,
                              flags.GetDouble("tolerance", 1e-3));
+  // Hogwild-parallel SGD workers; 1 = the paper's exact sequential loop
+  // (see docs/training_internals.md).
+  RECONSUME_ASSIGN_OR_RETURN(const int64_t threads,
+                             flags.GetInt("threads", 1));
+  if (threads < 1) {
+    return Status::InvalidArgument("--threads must be >= 1");
+  }
   RECONSUME_RETURN_NOT_OK(flags.CheckNoUnusedFlags());
+  config.train.num_threads = static_cast<int>(threads);
   config.model.latent_dim = static_cast<int>(k);
   config.sampling.window_capacity = protocol.window;
   config.sampling.min_gap = protocol.omega;
