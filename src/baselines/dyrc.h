@@ -13,8 +13,7 @@
 // i.e. the fitted model is exactly the paper's "mixed weighted" form:
 // popularity^a * recency-power-law^b.
 
-#ifndef RECONSUME_BASELINES_DYRC_H_
-#define RECONSUME_BASELINES_DYRC_H_
+#pragma once
 
 #include <string>
 
@@ -72,4 +71,3 @@ class DyrcRecommender : public eval::Recommender {
 }  // namespace baselines
 }  // namespace reconsume
 
-#endif  // RECONSUME_BASELINES_DYRC_H_

@@ -8,8 +8,7 @@
 // trained with S-BPR: positives are observed repeat events, negatives drawn
 // from the same window.
 
-#ifndef RECONSUME_BASELINES_FPMC_H_
-#define RECONSUME_BASELINES_FPMC_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -71,4 +70,3 @@ class FpmcRecommender : public eval::Recommender {
 }  // namespace baselines
 }  // namespace reconsume
 
-#endif  // RECONSUME_BASELINES_FPMC_H_

@@ -17,8 +17,7 @@
 // (bench_ext_markov) because it is the natural "sequence model with
 // forgetting" contrast to TS-PPR's feature-based approach.
 
-#ifndef RECONSUME_BASELINES_MARKOV_IF_H_
-#define RECONSUME_BASELINES_MARKOV_IF_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -81,4 +80,3 @@ class MarkovIfRecommender : public eval::Recommender {
 }  // namespace baselines
 }  // namespace reconsume
 
-#endif  // RECONSUME_BASELINES_MARKOV_IF_H_

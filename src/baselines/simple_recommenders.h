@@ -1,7 +1,6 @@
 // The three weighting-scheme baselines of §5.2: Random, Pop, and Recency.
 
-#ifndef RECONSUME_BASELINES_SIMPLE_RECOMMENDERS_H_
-#define RECONSUME_BASELINES_SIMPLE_RECOMMENDERS_H_
+#pragma once
 
 #include <cmath>
 #include <string>
@@ -101,4 +100,3 @@ class RecencyRecommender : public eval::Recommender {
 }  // namespace baselines
 }  // namespace reconsume
 
-#endif  // RECONSUME_BASELINES_SIMPLE_RECOMMENDERS_H_

@@ -14,8 +14,7 @@
 // consumption history. That scan is what makes this method's per-instance
 // latency proportional to |S_u| (the Fig. 13 narrative).
 
-#ifndef RECONSUME_BASELINES_SURVIVAL_RECOMMENDER_H_
-#define RECONSUME_BASELINES_SURVIVAL_RECOMMENDER_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -81,4 +80,3 @@ class SurvivalRecommender : public eval::Recommender {
 }  // namespace baselines
 }  // namespace reconsume
 
-#endif  // RECONSUME_BASELINES_SURVIVAL_RECOMMENDER_H_

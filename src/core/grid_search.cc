@@ -39,7 +39,9 @@ Result<GridSearchResult> GridSearchTsPpr(
   eval_options.window_capacity = base.sampling.window_capacity;
   eval_options.min_gap = base.sampling.min_gap;
   eval_options.top_ns = {options.selection_top_n};
-  const eval::Evaluator evaluator(&inner_split, eval_options);
+  RECONSUME_ASSIGN_OR_RETURN(
+      const eval::Evaluator evaluator,
+      eval::Evaluator::Create(&inner_split, eval_options));
 
   GridSearchResult result;
   result.best_config = base;

@@ -7,8 +7,7 @@
 // prefix and scored (MaAP@N) on the validation tail. Test events are never
 // visible to selection.
 
-#ifndef RECONSUME_CORE_GRID_SEARCH_H_
-#define RECONSUME_CORE_GRID_SEARCH_H_
+#pragma once
 
 #include <vector>
 
@@ -53,4 +52,3 @@ Result<GridSearchResult> GridSearchTsPpr(const data::TrainTestSplit& outer_split
 }  // namespace core
 }  // namespace reconsume
 
-#endif  // RECONSUME_CORE_GRID_SEARCH_H_

@@ -6,8 +6,7 @@
 //   U row-major | V row-major | A_u blocks row-major per user
 // A trailing FNV-1a checksum over the payload detects truncation/corruption.
 
-#ifndef RECONSUME_CORE_MODEL_IO_H_
-#define RECONSUME_CORE_MODEL_IO_H_
+#pragma once
 
 #include <string>
 
@@ -32,4 +31,3 @@ Result<TsPprModel> DeserializeModel(std::string_view bytes);
 }  // namespace core
 }  // namespace reconsume
 
-#endif  // RECONSUME_CORE_MODEL_IO_H_

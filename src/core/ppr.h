@@ -6,8 +6,7 @@
 // as a runnable model lets the ablation benches quantify exactly how much the
 // u^T A_u f_uvt term buys.
 
-#ifndef RECONSUME_CORE_PPR_H_
-#define RECONSUME_CORE_PPR_H_
+#pragma once
 
 #include <string>
 
@@ -69,4 +68,3 @@ class PprModel : public eval::Recommender {
 }  // namespace core
 }  // namespace reconsume
 
-#endif  // RECONSUME_CORE_PPR_H_

@@ -6,8 +6,7 @@
 // WindowWalker over a *growing* private copy of the user's history, so new
 // events can be observed after the dataset snapshot ended.
 
-#ifndef RECONSUME_CORE_RECOMMENDATION_SESSION_H_
-#define RECONSUME_CORE_RECOMMENDATION_SESSION_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -76,4 +75,3 @@ class RecommendationSession {
 }  // namespace core
 }  // namespace reconsume
 
-#endif  // RECONSUME_CORE_RECOMMENDATION_SESSION_H_

@@ -4,8 +4,7 @@
 // This is the one-call public entry point that the quickstart example and
 // every experiment use; the individual stages stay independently usable.
 
-#ifndef RECONSUME_CORE_TS_PPR_H_
-#define RECONSUME_CORE_TS_PPR_H_
+#pragma once
 
 #include <memory>
 
@@ -70,4 +69,3 @@ class TsPpr {
 }  // namespace core
 }  // namespace reconsume
 
-#endif  // RECONSUME_CORE_TS_PPR_H_

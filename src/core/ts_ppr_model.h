@@ -13,14 +13,14 @@
 // std::atomic_ref by every worker. Outside training the model is treated as
 // immutable and all the const accessors below are freely shareable.
 
-#ifndef RECONSUME_CORE_TS_PPR_MODEL_H_
-#define RECONSUME_CORE_TS_PPR_MODEL_H_
+#pragma once
 
 #include <span>
 #include <vector>
 
 #include "data/types.h"
 #include "math/matrix.h"
+#include "util/check.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -63,9 +63,11 @@ class TsPprModel {
   /// During Hogwild training this row is private to the single worker that
   /// owns user u (per-user sharding), so plain reads/writes are safe there.
   std::span<double> user_factor(data::UserId u) {
+    RC_DCHECK_INDEX(u, num_users());
     return user_factors_.Row(static_cast<size_t>(u));
   }
   std::span<const double> user_factor(data::UserId u) const {
+    RC_DCHECK_INDEX(u, num_users());
     return user_factors_.Row(static_cast<size_t>(u));
   }
   /// \brief Mutable latent row of item v.
@@ -74,17 +76,21 @@ class TsPprModel {
   /// these elements must go through relaxed std::atomic_ref (the storage is
   /// suitably aligned; see the header comment).
   std::span<double> item_factor(data::ItemId v) {
+    RC_DCHECK_INDEX(v, num_items());
     return item_factors_.Row(static_cast<size_t>(v));
   }
   std::span<const double> item_factor(data::ItemId v) const {
+    RC_DCHECK_INDEX(v, num_items());
     return item_factors_.Row(static_cast<size_t>(v));
   }
   /// \brief Mutable feature mapping A_u; worker-private under per-user
   /// sharding, like user_factor(u).
   math::Matrix& mapping(data::UserId u) {
+    RC_DCHECK_INDEX(u, mappings_.size());
     return mappings_[static_cast<size_t>(u)];
   }
   const math::Matrix& mapping(data::UserId u) const {
+    RC_DCHECK_INDEX(u, mappings_.size());
     return mappings_[static_cast<size_t>(u)];
   }
 
@@ -121,4 +127,3 @@ class TsPprModel {
 }  // namespace core
 }  // namespace reconsume
 
-#endif  // RECONSUME_CORE_TS_PPR_MODEL_H_

@@ -1,8 +1,7 @@
 // Recommendation with a trained TS-PPR model (§4.3): rank the window
 // candidates by r_uvt, extracting behavioral features on the fly.
 
-#ifndef RECONSUME_CORE_TS_PPR_RECOMMENDER_H_
-#define RECONSUME_CORE_TS_PPR_RECOMMENDER_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -51,4 +50,3 @@ class TsPprRecommender : public eval::Recommender {
 }  // namespace core
 }  // namespace reconsume
 
-#endif  // RECONSUME_CORE_TS_PPR_RECOMMENDER_H_

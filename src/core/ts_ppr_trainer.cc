@@ -8,6 +8,7 @@
 #include <span>
 
 #include "math/vector_ops.h"
+#include "util/check.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -82,9 +83,14 @@ void AtomicStoreRow(std::span<const double> values, std::span<double> row) {
 /// of the sequential implementation, and published with atomic stores. With
 /// one worker the atomic round-trips are value-preserving, which is what
 /// keeps the num_threads=1 path bit-identical to the original loop.
-void SgdStep(const sampling::TrainingSet& data, double alpha,
-             uint32_t event_index, uint32_t neg_index, TsPprModel* model,
-             StepScratch* scratch) {
+///
+/// Returns false when the step hits non-finite arithmetic — divergence is
+/// environmental (it depends on the data and the learning rate), so it is
+/// reported for the caller to surface as Status::NumericalError rather than
+/// tripping a contract check.
+[[nodiscard]] bool SgdStep(const sampling::TrainingSet& data, double alpha,
+                           uint32_t event_index, uint32_t neg_index,
+                           TsPprModel* model, StepScratch* scratch) {
   const TsPprConfig& config = model->config();
   const double latent_decay = 1.0 - alpha * config.gamma;
   const double mapping_decay = 1.0 - alpha * config.lambda;
@@ -113,7 +119,17 @@ void SgdStep(const sampling::TrainingSet& data, double alpha,
   a.MultiplyVectorAccumulate(1.0, fdiff, d);
 
   const double margin = math::Dot(u, d);
+  // A non-finite margin means the factors already blew up; bail before the
+  // update so the caller can fail with NumericalError at the culprit step
+  // instead of a round later at the Delta-r~ check, and so the model keeps
+  // its last finite state.
+  if (!std::isfinite(margin)) {
+    return false;
+  }
   const double g = alpha * (1.0 - math::Sigmoid(margin));
+  // Finite margin => sigmoid in [0, 1] => finite scale; anything else is a
+  // programming error in the sigmoid, not data-dependent divergence.
+  RC_DCHECK_FINITE(g);
 
   // All updates read the pre-update parameters, so stash u.
   std::copy(u.begin(), u.end(), u_old.begin());
@@ -131,6 +147,26 @@ void SgdStep(const sampling::TrainingSet& data, double alpha,
 
   a.ScaleInPlace(mapping_decay);
   a.AddOuterProduct(g, u_old, fdiff);  // Eq. 15
+
+  // Post-step bound: with a finite margin the factors can still overflow at
+  // the update itself (huge alpha); report that as divergence too.
+  return math::AllFinite(u) && math::AllFinite(vi_local) &&
+         math::AllFinite(vj_local);
+}
+
+/// Debug-only validation of the Hogwild ownership invariant: the shards are
+/// pairwise disjoint and together cover users_with_events() exactly once.
+bool ShardsPartitionUsers(
+    const std::vector<std::vector<data::UserId>>& shards,
+    const std::vector<data::UserId>& users_with_events) {
+  std::vector<data::UserId> all;
+  for (const auto& shard : shards) {
+    all.insert(all.end(), shard.begin(), shard.end());
+  }
+  std::vector<data::UserId> expected = users_with_events;
+  std::sort(all.begin(), all.end());
+  std::sort(expected.begin(), expected.end());
+  return all == expected;
 }
 
 }  // namespace
@@ -200,7 +236,12 @@ Result<TrainReport> TsPprTrainer::Train(
       const double alpha = alpha_for(report.steps);
       // Lines 3-5: hierarchical uniform draw of (u, v_i, v_j, t).
       const auto [event_index, neg_index] = training_set.SampleQuadruple(rng);
-      SgdStep(training_set, alpha, event_index, neg_index, model, &scratch);
+      if (!SgdStep(training_set, alpha, event_index, neg_index, model,
+                   &scratch)) {
+        return Status::NumericalError(
+            "TS-PPR training diverged (non-finite SGD step); lower the "
+            "learning rate");
+      }
       ++report.steps;
 
       if (report.steps % check_every == 0) {
@@ -229,7 +270,9 @@ Result<TrainReport> TsPprTrainer::Train(
     // and worker 0 runs the Δr̃ check of §5.6.1 on the quiesced model.
     const auto shards =
         training_set.ShardUsers(num_workers, options_.shard_strategy);
-    RECONSUME_DCHECK(static_cast<int>(shards.size()) == num_workers);
+    RC_CHECK(static_cast<int>(shards.size()) == num_workers);
+    RC_DCHECK(ShardsPartitionUsers(shards, training_set.users_with_events()))
+        << "shards must partition users_with_events (per-user ownership)";
 
     // Prefix user counts: worker w's share of a round's quota is the w-th
     // slice of a proportional split that sums to the quota exactly, so the
@@ -242,6 +285,8 @@ Result<TrainReport> TsPprTrainer::Train(
 
     std::atomic<int64_t> step_counter{0};
     std::atomic<bool> stop{false};
+    // Any worker can hit a non-finite step; first one wins the flag.
+    std::atomic<bool> step_diverged{false};
     std::barrier<> sync(num_workers);
     // Written by worker 0 between the two barriers of a round, read
     // elsewhere only after the trailing barrier (or after the join).
@@ -264,8 +309,14 @@ Result<TrainReport> TsPprTrainer::Train(
                   step_counter.fetch_add(1, std::memory_order_relaxed);
               const auto [event_index, neg_index] =
                   training_set.SampleQuadrupleFrom(my_users, worker_rng);
-              SgdStep(training_set, alpha_for(step_id), event_index,
-                      neg_index, model, &scratch);
+              if (!SgdStep(training_set, alpha_for(step_id), event_index,
+                           neg_index, model, &scratch)) {
+                // Stop the run; keep arriving at both barriers below so the
+                // other workers drain the round without deadlocking.
+                step_diverged.store(true, std::memory_order_relaxed);
+                stop.store(true, std::memory_order_relaxed);
+                break;
+              }
             }
             sync.arrive_and_wait();
             if (w == 0) {
@@ -296,6 +347,11 @@ Result<TrainReport> TsPprTrainer::Train(
         });
 
     report.steps = step_counter.load();
+    if (step_diverged.load(std::memory_order_relaxed)) {
+      return Status::NumericalError(
+          "TS-PPR training diverged (non-finite SGD step); lower the "
+          "learning rate");
+    }
     if (diverged) {
       return Status::NumericalError(
           "TS-PPR training diverged (non-finite r_tilde); lower the "

@@ -13,8 +13,7 @@
 //    (counted by one atomic step counter) separated by barriers at which a
 //    single worker evaluates the small batch on the quiesced model.
 
-#ifndef RECONSUME_CORE_TS_PPR_TRAINER_H_
-#define RECONSUME_CORE_TS_PPR_TRAINER_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -104,4 +103,3 @@ class TsPprTrainer {
 }  // namespace core
 }  // namespace reconsume
 
-#endif  // RECONSUME_CORE_TS_PPR_TRAINER_H_

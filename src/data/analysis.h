@@ -3,8 +3,7 @@
 // traces by. Used by bench_ext_dataset_analysis to show that the synthetic
 // profiles exhibit the qualitative structure the paper's datasets have.
 
-#ifndef RECONSUME_DATA_ANALYSIS_H_
-#define RECONSUME_DATA_ANALYSIS_H_
+#pragma once
 
 #include <vector>
 
@@ -47,4 +46,3 @@ std::vector<double> InterConsumptionGapDistribution(const Dataset& dataset,
 }  // namespace data
 }  // namespace reconsume
 
-#endif  // RECONSUME_DATA_ANALYSIS_H_

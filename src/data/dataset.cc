@@ -46,7 +46,11 @@ Dataset Dataset::FilterUsers(
   }
   // Second pass: rewrite sequences with compacted item ids.
   for (auto& seq : out.sequences_) {
-    for (ItemId& v : seq) v = item_remap[static_cast<size_t>(v)];
+    for (ItemId& v : seq) {
+      RC_DCHECK_INDEX(v, item_remap.size());
+      v = item_remap[static_cast<size_t>(v)];
+      RC_DCHECK(v != kInvalidItem) << "survivor item lost its dense id";
+    }
   }
   return out;
 }
@@ -65,6 +69,7 @@ Dataset Dataset::TruncatePerUser(const std::vector<size_t>& lengths) const {
                                sequences_[u].begin() +
                                    static_cast<ptrdiff_t>(keep));
     for (ItemId& v : prefix) {
+      RC_DCHECK_INDEX(v, item_remap.size());
       if (item_remap[static_cast<size_t>(v)] == kInvalidItem) {
         item_remap[static_cast<size_t>(v)] =
             static_cast<ItemId>(out.item_keys_.size());
@@ -137,9 +142,19 @@ Result<Dataset> DatasetBuilder::Build() {
                 if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
                 return a.arrival < b.arrival;
               });
+    // The dataset contract: per-user timestamps are non-decreasing after the
+    // sort, and every stored item id is dense in [0, num_items).
+    RC_DCHECK(std::is_sorted(events.begin(), events.end(),
+                             [](const PendingEvent& a, const PendingEvent& b) {
+                               return a.timestamp < b.timestamp;
+                             }))
+        << "user " << u << " timestamps not monotone after sort";
     auto& seq = out.sequences_[u];
     seq.reserve(events.size());
-    for (const PendingEvent& e : events) seq.push_back(e.item);
+    for (const PendingEvent& e : events) {
+      RC_DCHECK_INDEX(e.item, out.item_keys_.size());
+      seq.push_back(e.item);
+    }
   }
   pending_.clear();
   num_pending_ = 0;

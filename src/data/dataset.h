@@ -1,8 +1,7 @@
 // The Dataset: id-compacted per-user consumption sequences, plus the builder
 // that assembles one from raw interaction streams.
 
-#ifndef RECONSUME_DATA_DATASET_H_
-#define RECONSUME_DATA_DATASET_H_
+#pragma once
 
 #include <functional>
 #include <string>
@@ -10,6 +9,7 @@
 #include <vector>
 
 #include "data/types.h"
+#include "util/check.h"
 #include "util/status.h"
 
 namespace reconsume {
@@ -30,17 +30,20 @@ class Dataset {
   int64_t num_interactions() const;
 
   const ConsumptionSequence& sequence(UserId u) const {
-    return sequences_.at(static_cast<size_t>(u));
+    RC_CHECK_INDEX(u, sequences_.size());
+    return sequences_[static_cast<size_t>(u)];
   }
   const std::vector<ConsumptionSequence>& sequences() const {
     return sequences_;
   }
 
   const std::string& user_key(UserId u) const {
-    return user_keys_.at(static_cast<size_t>(u));
+    RC_CHECK_INDEX(u, user_keys_.size());
+    return user_keys_[static_cast<size_t>(u)];
   }
   const std::string& item_key(ItemId v) const {
-    return item_keys_.at(static_cast<size_t>(v));
+    RC_CHECK_INDEX(v, item_keys_.size());
+    return item_keys_[static_cast<size_t>(v)];
   }
 
   /// Dense id for an external key, or kInvalidUser / kInvalidItem.
@@ -106,4 +109,3 @@ class DatasetBuilder {
 }  // namespace data
 }  // namespace reconsume
 
-#endif  // RECONSUME_DATA_DATASET_H_

@@ -1,8 +1,7 @@
 // Dataset summary statistics: the Table 2 report plus the repeat-behaviour
 // profile numbers the experiment logs print.
 
-#ifndef RECONSUME_DATA_DATASET_STATS_H_
-#define RECONSUME_DATA_DATASET_STATS_H_
+#pragma once
 
 #include <string>
 
@@ -37,4 +36,3 @@ std::string FormatDatasetStats(const std::string& name,
 }  // namespace data
 }  // namespace reconsume
 
-#endif  // RECONSUME_DATA_DATASET_STATS_H_

@@ -5,8 +5,7 @@
 // drop in, while the experiments default to SyntheticTraceGenerator profiles
 // calibrated to the same statistics (see DESIGN.md §1).
 
-#ifndef RECONSUME_DATA_LOADERS_H_
-#define RECONSUME_DATA_LOADERS_H_
+#pragma once
 
 #include <string>
 
@@ -45,4 +44,3 @@ Result<int64_t> ParseIso8601(std::string_view text);
 }  // namespace data
 }  // namespace reconsume
 
-#endif  // RECONSUME_DATA_LOADERS_H_

@@ -1,8 +1,7 @@
 // Plain-text round-tripping of datasets: one "user_key \t item_key \t step"
 // row per event. Used to cache generated traces and to feed external tools.
 
-#ifndef RECONSUME_DATA_SERIALIZATION_H_
-#define RECONSUME_DATA_SERIALIZATION_H_
+#pragma once
 
 #include <string>
 
@@ -24,4 +23,3 @@ Result<Dataset> LoadDatasetTsv(const std::string& path);
 }  // namespace data
 }  // namespace reconsume
 
-#endif  // RECONSUME_DATA_SERIALIZATION_H_

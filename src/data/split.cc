@@ -19,6 +19,8 @@ Result<TrainTestSplit> TrainTestSplit::Temporal(const Dataset* dataset,
     const size_t len = dataset->sequence(static_cast<UserId>(u)).size();
     split_points[u] = static_cast<size_t>(
         std::floor(train_fraction * static_cast<double>(len)));
+    RC_DCHECK(split_points[u] <= len)
+        << "split point past end of user " << u << "'s sequence";
   }
   return TrainTestSplit(dataset, std::move(split_points));
 }

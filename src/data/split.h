@@ -1,11 +1,11 @@
 // Per-user temporal train/test split (paper §5.1: first 70% train, rest test).
 
-#ifndef RECONSUME_DATA_SPLIT_H_
-#define RECONSUME_DATA_SPLIT_H_
+#pragma once
 
 #include <vector>
 
 #include "data/dataset.h"
+#include "util/check.h"
 #include "util/status.h"
 
 namespace reconsume {
@@ -28,7 +28,8 @@ class TrainTestSplit {
 
   /// First test position for user u (== train length).
   size_t split_point(UserId u) const {
-    return split_points_.at(static_cast<size_t>(u));
+    RC_CHECK_INDEX(u, split_points_.size());
+    return split_points_[static_cast<size_t>(u)];
   }
   size_t train_size(UserId u) const { return split_point(u); }
   size_t test_size(UserId u) const {
@@ -49,4 +50,3 @@ class TrainTestSplit {
 }  // namespace data
 }  // namespace reconsume
 
-#endif  // RECONSUME_DATA_SPLIT_H_

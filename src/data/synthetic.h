@@ -7,8 +7,7 @@
 // familiarity (this is what the personalized mapping A_u can exploit), and
 // stable per-(user, item) affinities (what the static term u^T v can exploit).
 
-#ifndef RECONSUME_DATA_SYNTHETIC_H_
-#define RECONSUME_DATA_SYNTHETIC_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -99,4 +98,3 @@ class SyntheticTraceGenerator {
 }  // namespace data
 }  // namespace reconsume
 
-#endif  // RECONSUME_DATA_SYNTHETIC_H_

@@ -3,8 +3,7 @@
 // Users and items are compacted to dense 32-bit indices at dataset build time
 // so that model tables (U, V, A_u) can be flat arrays.
 
-#ifndef RECONSUME_DATA_TYPES_H_
-#define RECONSUME_DATA_TYPES_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -38,4 +37,3 @@ using ConsumptionSequence = std::vector<ItemId>;
 }  // namespace data
 }  // namespace reconsume
 
-#endif  // RECONSUME_DATA_TYPES_H_

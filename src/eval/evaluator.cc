@@ -56,14 +56,40 @@ double AccuracyResult::MiapAt(int n) const {
   return miap.at(IndexOfTopN(top_ns, n));
 }
 
+Status Evaluator::ValidateOptions(const EvalOptions& options) {
+  if (options.top_ns.empty()) {
+    return Status::InvalidArgument("Evaluator: top_ns must be non-empty");
+  }
+  for (int n : options.top_ns) {
+    if (n < 1) {
+      return Status::InvalidArgument("Evaluator: top_ns entries must be >= 1");
+    }
+  }
+  if (options.window_capacity < 2) {
+    return Status::InvalidArgument("Evaluator: window_capacity must be >= 2");
+  }
+  if (options.min_gap < 0 || options.min_gap >= options.window_capacity) {
+    return Status::InvalidArgument(
+        "Evaluator: train/test gap must satisfy 0 <= Omega < |W|, got "
+        "Omega=" + std::to_string(options.min_gap) +
+        " |W|=" + std::to_string(options.window_capacity));
+  }
+  return Status::OK();
+}
+
+Result<Evaluator> Evaluator::Create(const data::TrainTestSplit* split,
+                                    EvalOptions options) {
+  if (split == nullptr) {
+    return Status::InvalidArgument("Evaluator: null split");
+  }
+  RECONSUME_RETURN_NOT_OK(ValidateOptions(options));
+  return Evaluator(split, std::move(options));
+}
+
 Evaluator::Evaluator(const data::TrainTestSplit* split, EvalOptions options)
     : split_(split), options_(std::move(options)) {
-  RECONSUME_CHECK(split != nullptr);
-  RECONSUME_CHECK(!options_.top_ns.empty());
-  RECONSUME_CHECK(options_.window_capacity >= 2);
-  RECONSUME_CHECK(options_.min_gap >= 0 &&
-                  options_.min_gap < options_.window_capacity)
-      << "require 0 <= Omega < |W|";
+  RC_CHECK(split != nullptr);
+  RC_CHECK_OK(ValidateOptions(options_));
 }
 
 void Evaluator::EvaluateUser(Recommender* recommender, data::UserId user,
@@ -73,6 +99,8 @@ void Evaluator::EvaluateUser(Recommender* recommender, data::UserId user,
   const size_t num_cutoffs = options_.top_ns.size();
   const auto& seq = dataset.sequence(user);
   const size_t test_begin = split_->split_point(user);
+  RC_DCHECK(test_begin <= seq.size())
+      << "test window of user " << user << " starts past its sequence";
   window::WindowWalker walker(&seq, options_.window_capacity);
 
   // Warm the window over the training segment without evaluating.
@@ -129,7 +157,7 @@ void Evaluator::EvaluateUser(Recommender* recommender, data::UserId user,
           break;
         }
       }
-      RECONSUME_DCHECK(target_index < candidates.size());
+      RC_DCHECK_INDEX(target_index, candidates.size());
       const double target_score = scores[target_index];
       size_t rank = 0;
       for (size_t i = 0; i < candidates.size(); ++i) {
@@ -235,6 +263,11 @@ Result<AccuracyResult> Evaluator::Evaluate(Recommender* recommender) const {
       result.miap[c] = total.miap_sums[c] /
                        static_cast<double>(total.num_users_evaluated);
     }
+  }
+  // Eq. 22-24: every average precision is a probability.
+  for (size_t c = 0; c < num_cutoffs; ++c) {
+    RC_CHECK_PROB(result.maap[c]) << "MaAP@" << options_.top_ns[c];
+    RC_CHECK_PROB(result.miap[c]) << "MiAP@" << options_.top_ns[c];
   }
   result.per_user = std::move(total.per_user);
   std::sort(result.per_user.begin(), result.per_user.end(),

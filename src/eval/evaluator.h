@@ -2,8 +2,7 @@
 // test segment, and at every eligible repeat event ask the recommender to
 // rank the window candidates. Reports MaAP@N and MiAP@N (Eq. 22–24).
 
-#ifndef RECONSUME_EVAL_EVALUATOR_H_
-#define RECONSUME_EVAL_EVALUATOR_H_
+#pragma once
 
 #include <functional>
 #include <string>
@@ -88,7 +87,19 @@ struct AccuracyResult {
 /// \brief Runs the protocol over the test segments of a split.
 class Evaluator {
  public:
-  /// `split` must outlive the evaluator.
+  /// Validates a window configuration, in particular that the configured
+  /// minimum train/test gap Omega is representable inside the window
+  /// (0 <= min_gap < window_capacity — with gap >= |W| no candidate could
+  /// ever satisfy Eq. 9 and the protocol would silently evaluate nothing).
+  static Status ValidateOptions(const EvalOptions& options);
+
+  /// Status-returning construction: rejects invalid window configurations
+  /// instead of dying, so callers inside Result pipelines can propagate.
+  static Result<Evaluator> Create(const data::TrainTestSplit* split,
+                                  EvalOptions options);
+
+  /// `split` must outlive the evaluator. Dies (RC_CHECK_OK) on a window
+  /// configuration that ValidateOptions rejects; use Create to propagate.
   Evaluator(const data::TrainTestSplit* split, EvalOptions options);
 
   /// Evaluates one recommender over every user's test segment.
@@ -108,4 +119,3 @@ class Evaluator {
 }  // namespace eval
 }  // namespace reconsume
 
-#endif  // RECONSUME_EVAL_EVALUATOR_H_

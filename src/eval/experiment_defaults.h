@@ -1,8 +1,7 @@
 // Table 4 of the paper: default hyperparameter settings per dataset, plus
 // the protocol constants shared by every experiment.
 
-#ifndef RECONSUME_EVAL_EXPERIMENT_DEFAULTS_H_
-#define RECONSUME_EVAL_EXPERIMENT_DEFAULTS_H_
+#pragma once
 
 #include <string>
 
@@ -41,4 +40,3 @@ struct ExperimentDefaults {
 }  // namespace eval
 }  // namespace reconsume
 
-#endif  // RECONSUME_EVAL_EXPERIMENT_DEFAULTS_H_

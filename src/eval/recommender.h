@@ -1,8 +1,7 @@
 // The method-agnostic recommender interface that the evaluation protocol
 // drives. TS-PPR (src/core) and every baseline (src/baselines) implement it.
 
-#ifndef RECONSUME_EVAL_RECOMMENDER_H_
-#define RECONSUME_EVAL_RECOMMENDER_H_
+#pragma once
 
 #include <memory>
 #include <span>
@@ -51,4 +50,3 @@ void SelectTopN(std::span<const double> scores, int n,
 }  // namespace eval
 }  // namespace reconsume
 
-#endif  // RECONSUME_EVAL_RECOMMENDER_H_

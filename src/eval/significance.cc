@@ -13,7 +13,9 @@ namespace {
 
 /// Standard normal two-sided tail probability via erfc.
 double TwoSidedNormalP(double z) {
-  return std::erfc(std::fabs(z) / std::sqrt(2.0));
+  const double p = std::erfc(std::fabs(z) / std::sqrt(2.0));
+  RC_DCHECK_PROB(p);
+  return p;
 }
 
 }  // namespace
@@ -92,7 +94,8 @@ Result<std::vector<PairedComparison>> ComparePaired(
   }
   EvalOptions per_user_options = options;
   per_user_options.collect_per_user = true;
-  Evaluator evaluator(&split, per_user_options);
+  RECONSUME_ASSIGN_OR_RETURN(const Evaluator evaluator,
+                             Evaluator::Create(&split, per_user_options));
   RECONSUME_ASSIGN_OR_RETURN(const AccuracyResult result_a,
                              evaluator.Evaluate(method_a));
   RECONSUME_ASSIGN_OR_RETURN(const AccuracyResult result_b,
@@ -136,6 +139,8 @@ Result<std::vector<PairedComparison>> ComparePaired(
     comparison.sign_test_p = SignTestPValue(
         comparison.wins_a, comparison.wins_a + comparison.wins_b);
     comparison.wilcoxon_p = WilcoxonSignedRankPValue(differences);
+    RC_CHECK_PROB(comparison.sign_test_p);
+    RC_CHECK_PROB(comparison.wilcoxon_p);
     comparisons.push_back(std::move(comparison));
   }
   return comparisons;

@@ -6,8 +6,7 @@
 // sign test plus a Wilcoxon signed-rank test (normal approximation) give
 // p-values for the difference.
 
-#ifndef RECONSUME_EVAL_SIGNIFICANCE_H_
-#define RECONSUME_EVAL_SIGNIFICANCE_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -54,4 +53,3 @@ double WilcoxonSignedRankPValue(const std::vector<double>& differences);
 }  // namespace eval
 }  // namespace reconsume
 
-#endif  // RECONSUME_EVAL_SIGNIFICANCE_H_

@@ -1,8 +1,7 @@
 // Fixed-width text tables for the benchmark reports (Fig. 5/6 tables,
 // sensitivity sweeps, Table 3/5).
 
-#ifndef RECONSUME_EVAL_TABLE_H_
-#define RECONSUME_EVAL_TABLE_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -33,4 +32,3 @@ class TextTable {
 }  // namespace eval
 }  // namespace reconsume
 
-#endif  // RECONSUME_EVAL_TABLE_H_

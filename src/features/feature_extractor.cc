@@ -67,7 +67,8 @@ double FeatureExtractor::Familiarity(const window::WindowWalker& walker,
 
 void FeatureExtractor::Extract(const window::WindowWalker& walker,
                                data::ItemId v, std::span<double> out) const {
-  RECONSUME_DCHECK(out.size() == static_cast<size_t>(dimension()));
+  RC_DCHECK(out.size() == static_cast<size_t>(dimension()))
+      << "out=" << out.size() << " dim=" << dimension();
   size_t i = 0;
   if (config_.use_item_quality) out[i++] = table_->quality(v);
   if (config_.use_reconsumption_ratio) {
@@ -75,6 +76,9 @@ void FeatureExtractor::Extract(const window::WindowWalker& walker,
   }
   if (config_.use_recency) out[i++] = Recency(walker, v);
   if (config_.use_familiarity) out[i++] = Familiarity(walker, v);
+  // Every behavioral feature of SS4.1 is a bounded ratio; non-finite values
+  // here would silently poison the SGD gradients downstream.
+  for (size_t j = 0; j < i; ++j) RC_DCHECK_FINITE(out[j]);
 }
 
 }  // namespace features

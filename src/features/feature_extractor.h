@@ -2,8 +2,7 @@
 // kernel and per-feature masking (the Fig. 7 ablation removes one feature at
 // a time).
 
-#ifndef RECONSUME_FEATURES_FEATURE_EXTRACTOR_H_
-#define RECONSUME_FEATURES_FEATURE_EXTRACTOR_H_
+#pragma once
 
 #include <span>
 #include <string>
@@ -97,4 +96,3 @@ class FeatureExtractor {
 }  // namespace features
 }  // namespace reconsume
 
-#endif  // RECONSUME_FEATURES_FEATURE_EXTRACTOR_H_

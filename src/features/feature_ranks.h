@@ -2,8 +2,7 @@
 // item inside its time window when the window is sorted by one feature.
 // A steep (head-heavy) distribution means the feature is discriminative.
 
-#ifndef RECONSUME_FEATURES_FEATURE_RANKS_H_
-#define RECONSUME_FEATURES_FEATURE_RANKS_H_
+#pragma once
 
 #include <array>
 #include <string>
@@ -51,4 +50,3 @@ std::string FormatRankHistogram(const FeatureRankReport& report, int feature,
 }  // namespace features
 }  // namespace reconsume
 
-#endif  // RECONSUME_FEATURES_FEATURE_RANKS_H_

@@ -1,8 +1,7 @@
 // Static (per-item) behavioral features of §4.4.1: item quality and item
 // reconsumption ratio, both computed once over the training portion.
 
-#ifndef RECONSUME_FEATURES_STATIC_FEATURES_H_
-#define RECONSUME_FEATURES_STATIC_FEATURES_H_
+#pragma once
 
 #include <vector>
 
@@ -46,4 +45,3 @@ class StaticFeatureTable {
 }  // namespace features
 }  // namespace reconsume
 
-#endif  // RECONSUME_FEATURES_STATIC_FEATURES_H_

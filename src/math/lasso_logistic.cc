@@ -59,6 +59,9 @@ Result<LassoLogisticModel> FitLassoLogistic(
     if (row.size() != dim) {
       return Status::InvalidArgument("FitLassoLogistic: ragged feature rows");
     }
+    if (!AllFinite(row)) {
+      return Status::InvalidArgument("FitLassoLogistic: non-finite feature");
+    }
   }
   for (int label : y) {
     if (label != 0 && label != 1) {
@@ -85,6 +88,8 @@ Result<LassoLogisticModel> FitLassoLogistic(
     }
     Scale(1.0 / n, grad_w);
     grad_b /= n;
+    RC_DCHECK(AllFinite(grad_w)) << "LASSO gradient diverged at iter " << iter;
+    RC_DCHECK_FINITE(grad_b);
 
     // Proximal step with backtracking on the smooth loss.
     std::vector<double> w_next(dim);
@@ -118,6 +123,11 @@ Result<LassoLogisticModel> FitLassoLogistic(
 
     w.swap(w_next);
     b = b_next;
+    if (!std::isfinite(loss)) {
+      return Status::NumericalError(
+          "FitLassoLogistic: non-finite loss at iteration " +
+          std::to_string(iter));
+    }
     if (max_change < options.tolerance) break;
   }
 

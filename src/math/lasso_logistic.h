@@ -5,8 +5,7 @@
 // combined experiment in §5.7 uses as the repeat/novel switch upstream of
 // TS-PPR.
 
-#ifndef RECONSUME_MATH_LASSO_LOGISTIC_H_
-#define RECONSUME_MATH_LASSO_LOGISTIC_H_
+#pragma once
 
 #include <vector>
 
@@ -58,4 +57,3 @@ Result<LassoLogisticModel> FitLassoLogistic(
 }  // namespace math
 }  // namespace reconsume
 
-#endif  // RECONSUME_MATH_LASSO_LOGISTIC_H_

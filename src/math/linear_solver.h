@@ -1,8 +1,7 @@
 // Small dense linear solvers backing the Newton step of the Cox model and
 // the DYRC likelihood ascent.
 
-#ifndef RECONSUME_MATH_LINEAR_SOLVER_H_
-#define RECONSUME_MATH_LINEAR_SOLVER_H_
+#pragma once
 
 #include <vector>
 
@@ -24,4 +23,3 @@ Result<std::vector<double>> SolveLu(Matrix a, std::vector<double> b);
 }  // namespace math
 }  // namespace reconsume
 
-#endif  // RECONSUME_MATH_LINEAR_SOLVER_H_

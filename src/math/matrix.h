@@ -1,15 +1,14 @@
 // Dense row-major matrix used for the latent factor tables U, V and the
 // per-user feature mappings A_u.
 
-#ifndef RECONSUME_MATH_MATRIX_H_
-#define RECONSUME_MATH_MATRIX_H_
+#pragma once
 
 #include <cstddef>
 #include <span>
 #include <vector>
 
 #include "math/vector_ops.h"
-#include "util/logging.h"
+#include "util/check.h"
 #include "util/random.h"
 
 namespace reconsume {
@@ -27,21 +26,23 @@ class Matrix {
   bool empty() const { return data_.empty(); }
 
   double& operator()(size_t r, size_t c) {
-    RECONSUME_DCHECK(r < rows_ && c < cols_);
+    RC_DCHECK_INDEX(r, rows_);
+    RC_DCHECK_INDEX(c, cols_);
     return data_[r * cols_ + c];
   }
   double operator()(size_t r, size_t c) const {
-    RECONSUME_DCHECK(r < rows_ && c < cols_);
+    RC_DCHECK_INDEX(r, rows_);
+    RC_DCHECK_INDEX(c, cols_);
     return data_[r * cols_ + c];
   }
 
   /// Mutable view of row r.
   std::span<double> Row(size_t r) {
-    RECONSUME_DCHECK(r < rows_);
+    RC_DCHECK_INDEX(r, rows_);
     return {data_.data() + r * cols_, cols_};
   }
   std::span<const double> Row(size_t r) const {
-    RECONSUME_DCHECK(r < rows_);
+    RC_DCHECK_INDEX(r, rows_);
     return {data_.data() + r * cols_, cols_};
   }
 
@@ -62,21 +63,27 @@ class Matrix {
 
   /// out = this * x (matrix-vector product). Precondition: sizes match.
   void MultiplyVector(std::span<const double> x, std::span<double> out) const {
-    RECONSUME_DCHECK(x.size() == cols_ && out.size() == rows_);
+    RC_DCHECK(x.size() == cols_ && out.size() == rows_)
+        << "shape (" << rows_ << "x" << cols_ << ") vs x=" << x.size()
+        << " out=" << out.size();
     for (size_t r = 0; r < rows_; ++r) out[r] = Dot(Row(r), x);
   }
 
   /// out += alpha * this * x.
   void MultiplyVectorAccumulate(double alpha, std::span<const double> x,
                                 std::span<double> out) const {
-    RECONSUME_DCHECK(x.size() == cols_ && out.size() == rows_);
+    RC_DCHECK(x.size() == cols_ && out.size() == rows_)
+        << "shape (" << rows_ << "x" << cols_ << ") vs x=" << x.size()
+        << " out=" << out.size();
     for (size_t r = 0; r < rows_; ++r) out[r] += alpha * Dot(Row(r), x);
   }
 
   /// this += alpha * u * f^T (rank-1 update; Eq. 15 of the paper).
   void AddOuterProduct(double alpha, std::span<const double> u,
                        std::span<const double> f) {
-    RECONSUME_DCHECK(u.size() == rows_ && f.size() == cols_);
+    RC_DCHECK(u.size() == rows_ && f.size() == cols_)
+        << "shape (" << rows_ << "x" << cols_ << ") vs u=" << u.size()
+        << " f=" << f.size();
     for (size_t r = 0; r < rows_; ++r) {
       const double au = alpha * u[r];
       double* row = data_.data() + r * cols_;
@@ -103,4 +110,3 @@ class Matrix {
 }  // namespace math
 }  // namespace reconsume
 
-#endif  // RECONSUME_MATH_MATRIX_H_

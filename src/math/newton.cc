@@ -4,6 +4,7 @@
 
 #include "math/linear_solver.h"
 #include "math/vector_ops.h"
+#include "util/check.h"
 
 namespace reconsume {
 namespace math {
@@ -43,6 +44,8 @@ Result<NewtonReport> MinimizeNewton(const SecondOrderObjective& objective,
       auto solved = SolveCholesky(h, neg_grad);
       if (solved.ok()) {
         direction = std::move(solved).ValueOrDie();
+        RC_DCHECK(AllFinite(direction))
+            << "Cholesky produced a non-finite Newton direction";
         break;
       }
       ridge = ridge == 0.0 ? options.initial_ridge : ridge * 10.0;

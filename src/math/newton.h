@@ -4,8 +4,7 @@
 // DYRC weight estimation: both maximize a smooth log-likelihood in a handful
 // of parameters.
 
-#ifndef RECONSUME_MATH_NEWTON_H_
-#define RECONSUME_MATH_NEWTON_H_
+#pragma once
 
 #include <functional>
 #include <vector>
@@ -56,4 +55,3 @@ Result<NewtonReport> MinimizeNewton(const SecondOrderObjective& objective,
 }  // namespace math
 }  // namespace reconsume
 
-#endif  // RECONSUME_MATH_NEWTON_H_

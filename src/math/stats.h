@@ -1,8 +1,7 @@
 // Streaming statistics and histograms used by the dataset reports (Table 2)
 // and the feature-rank distributions (Fig. 4).
 
-#ifndef RECONSUME_MATH_STATS_H_
-#define RECONSUME_MATH_STATS_H_
+#pragma once
 
 #include <algorithm>
 #include <cmath>
@@ -85,4 +84,3 @@ double SpearmanCorrelation(const std::vector<double>& x,
 }  // namespace math
 }  // namespace reconsume
 
-#endif  // RECONSUME_MATH_STATS_H_

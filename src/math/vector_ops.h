@@ -4,22 +4,21 @@
 // updates, and rank-1 outer-product updates on small dense vectors; these
 // free functions keep that inner loop allocation-free.
 
-#ifndef RECONSUME_MATH_VECTOR_OPS_H_
-#define RECONSUME_MATH_VECTOR_OPS_H_
+#pragma once
 
 #include <cmath>
 #include <cstddef>
 #include <span>
 #include <vector>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace reconsume {
 namespace math {
 
 /// Dot product <x, y>. Precondition: equal sizes.
 inline double Dot(std::span<const double> x, std::span<const double> y) {
-  RECONSUME_DCHECK(x.size() == y.size());
+  RC_DCHECK(x.size() == y.size()) << "dim mismatch: " << x.size() << " vs " << y.size();
   double acc = 0.0;
   for (size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
   return acc;
@@ -28,7 +27,7 @@ inline double Dot(std::span<const double> x, std::span<const double> y) {
 /// y += alpha * x.
 inline void Axpy(double alpha, std::span<const double> x,
                  std::span<double> y) {
-  RECONSUME_DCHECK(x.size() == y.size());
+  RC_DCHECK(x.size() == y.size()) << "dim mismatch: " << x.size() << " vs " << y.size();
   for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
 }
 
@@ -40,7 +39,8 @@ inline void Scale(double alpha, std::span<double> x) {
 /// out = x - y (out may alias x).
 inline void Subtract(std::span<const double> x, std::span<const double> y,
                      std::span<double> out) {
-  RECONSUME_DCHECK(x.size() == y.size() && x.size() == out.size());
+  RC_DCHECK(x.size() == y.size() && x.size() == out.size())
+      << "dim mismatch: " << x.size() << ", " << y.size() << ", " << out.size();
   for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] - y[i];
 }
 
@@ -89,4 +89,3 @@ inline double Log1pExp(double m) {
 }  // namespace math
 }  // namespace reconsume
 
-#endif  // RECONSUME_MATH_VECTOR_OPS_H_

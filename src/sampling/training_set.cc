@@ -57,9 +57,15 @@ Result<TrainingSet> TrainingSet::Build(
       if (is_positive) {
         const data::ItemId positive = walker.NextItem();
         if (options.task == TrainingTask::kRepeat) {
+          // Eligibility (Eq. 9) already encodes the Omega gap: the walker
+          // only returns window items whose last consumption is > min_gap
+          // steps old, for the positive and every candidate negative.
+          RC_DCHECK(walker.NextIsEligibleRepeat(options.min_gap));
           walker.EligibleCandidates(options.min_gap, &candidates);
           // Negatives are eligible candidates other than the positive.
           std::erase(candidates, positive);
+          RC_DCHECK(std::find(candidates.begin(), candidates.end(),
+                              positive) == candidates.end());
         } else {
           // Negatives: uniform catalog items outside the window. Rejection
           // sampling; windows are small relative to the catalog.
@@ -117,6 +123,14 @@ Result<TrainingSet> TrainingSet::Build(
     }
   }
 
+  // One stored negative == one quadruple of D; the counters must agree, and
+  // every user range must nest inside events().
+  RC_CHECK(out.num_quadruples_ ==
+           static_cast<int64_t>(out.negatives_.size()))
+      << "quadruple count " << out.num_quadruples_ << " != stored negatives "
+      << out.negatives_.size();
+  RC_CHECK(out.user_event_ranges_.size() == dataset.num_users());
+
   if (out.num_quadruples_ == 0) {
     return Status::FailedPrecondition(
         "no eligible repeat events in the training data; check |W| and Omega");
@@ -131,22 +145,29 @@ std::pair<uint32_t, uint32_t> TrainingSet::SampleQuadruple(
 
 std::pair<uint32_t, uint32_t> TrainingSet::SampleQuadrupleFrom(
     std::span<const data::UserId> users, util::Rng* rng) const {
-  RECONSUME_DCHECK(!users.empty());
+  RC_DCHECK(!users.empty());
   const data::UserId u = users[rng->Uniform(users.size())];
   const auto [begin, end] = user_events(u);
-  RECONSUME_DCHECK(end > begin);
+  RC_DCHECK(end > begin) << "user " << u << " listed without events";
   const uint32_t event_index =
       begin + static_cast<uint32_t>(rng->Uniform(end - begin));
+  RC_DCHECK_INDEX(event_index, events_.size());
   const PositiveEvent& event = events_[event_index];
+  RC_DCHECK(event.user == u) << "event/user ownership mismatch";
   const uint32_t neg_index =
       event.negatives_begin +
       static_cast<uint32_t>(rng->Uniform(event.negatives_count));
+  RC_DCHECK_INDEX(neg_index, negatives_.size());
+  // Quadruple validity (Eq. 8): the negative must be a different item than
+  // the positive of the same event.
+  RC_DCHECK(negatives_[neg_index].item != event.item)
+      << "negative equals positive item " << event.item;
   return {event_index, neg_index};
 }
 
 std::vector<std::vector<data::UserId>> TrainingSet::ShardUsers(
     int num_shards, ShardStrategy strategy) const {
-  RECONSUME_DCHECK(num_shards >= 1);
+  RC_DCHECK(num_shards >= 1);
   const size_t n = users_with_events_.size();
   const size_t shards_count =
       std::max<size_t>(1, std::min<size_t>(static_cast<size_t>(num_shards), n));

@@ -7,8 +7,7 @@
 // negatives, so Algorithm 1's hierarchical draw (user → event → negative) is
 // three uniform integer draws.
 
-#ifndef RECONSUME_SAMPLING_TRAINING_SET_H_
-#define RECONSUME_SAMPLING_TRAINING_SET_H_
+#pragma once
 
 #include <cstdint>
 #include <span>
@@ -16,6 +15,7 @@
 
 #include "data/split.h"
 #include "features/feature_extractor.h"
+#include "util/check.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -94,7 +94,8 @@ class TrainingSet {
 
   /// Events of user u as [begin, end) indices into events().
   std::pair<uint32_t, uint32_t> user_events(data::UserId u) const {
-    return user_event_ranges_.at(static_cast<size_t>(u));
+    RC_CHECK_INDEX(u, user_event_ranges_.size());
+    return user_event_ranges_[static_cast<size_t>(u)];
   }
 
   const std::vector<PositiveEvent>& events() const { return events_; }
@@ -102,6 +103,10 @@ class TrainingSet {
 
   /// Feature vector at a stored offset.
   std::span<const double> feature(uint32_t offset) const {
+    RC_DCHECK(offset + static_cast<size_t>(feature_dim_) <=
+              feature_pool_.size())
+        << "feature offset " << offset << " overruns pool of "
+        << feature_pool_.size();
     return {feature_pool_.data() + offset, static_cast<size_t>(feature_dim_)};
   }
 
@@ -156,4 +161,3 @@ class TrainingSet {
 }  // namespace sampling
 }  // namespace reconsume
 
-#endif  // RECONSUME_SAMPLING_TRAINING_SET_H_

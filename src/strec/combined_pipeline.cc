@@ -18,7 +18,8 @@ Result<CombinedResult> EvaluateCombined(const data::TrainTestSplit& split,
                                         const window::WindowWalker& walker) {
     return classifier.PredictRepeat(user, walker);
   };
-  eval::Evaluator evaluator(&split, gated);
+  RECONSUME_ASSIGN_OR_RETURN(const eval::Evaluator evaluator,
+                             eval::Evaluator::Create(&split, gated));
   RECONSUME_ASSIGN_OR_RETURN(result.conditional,
                              evaluator.Evaluate(ts_ppr->recommender()));
   return result;

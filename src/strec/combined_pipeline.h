@@ -2,8 +2,7 @@
 // repeat-vs-novel at each step; TS-PPR recommends on the true repeats that
 // STREC correctly identified; the joint accuracy is the product.
 
-#ifndef RECONSUME_STREC_COMBINED_PIPELINE_H_
-#define RECONSUME_STREC_COMBINED_PIPELINE_H_
+#pragma once
 
 #include "core/ts_ppr.h"
 #include "eval/evaluator.h"
@@ -36,4 +35,3 @@ Result<CombinedResult> EvaluateCombined(const data::TrainTestSplit& split,
 }  // namespace strec
 }  // namespace reconsume
 
-#endif  // RECONSUME_STREC_COMBINED_PIPELINE_H_

@@ -12,8 +12,7 @@
 //
 // Rank fusion sidesteps the incomparability of raw scores across models.
 
-#ifndef RECONSUME_STREC_MIXTURE_RECOMMENDER_H_
-#define RECONSUME_STREC_MIXTURE_RECOMMENDER_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -81,4 +80,3 @@ class MixtureRecommender : public eval::Recommender {
 }  // namespace strec
 }  // namespace reconsume
 
-#endif  // RECONSUME_STREC_MIXTURE_RECOMMENDER_H_

@@ -15,8 +15,7 @@
 //   4. max dynamic familiarity over distinct window items
 //   5. recent repeat rate (fraction of the last 10 events that were repeats)
 
-#ifndef RECONSUME_STREC_STREC_CLASSIFIER_H_
-#define RECONSUME_STREC_STREC_CLASSIFIER_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -104,4 +103,3 @@ class StrecClassifier {
 }  // namespace strec
 }  // namespace reconsume
 
-#endif  // RECONSUME_STREC_STREC_CLASSIFIER_H_

@@ -5,8 +5,7 @@
 // estimator is implemented directly: Newton–Raphson on the Breslow partial
 // likelihood plus the Breslow baseline cumulative-hazard estimator.
 
-#ifndef RECONSUME_SURVIVAL_COX_MODEL_H_
-#define RECONSUME_SURVIVAL_COX_MODEL_H_
+#pragma once
 
 #include <vector>
 
@@ -80,4 +79,3 @@ class CoxModel {
 }  // namespace survival
 }  // namespace reconsume
 
-#endif  // RECONSUME_SURVIVAL_COX_MODEL_H_

@@ -1,0 +1,46 @@
+#include "util/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace reconsume {
+namespace util {
+
+namespace {
+
+void DefaultCheckFailureHandler(const CheckFailure& failure) {
+  // Basename only, mirroring the logging layer's format.
+  const char* base = failure.file;
+  for (const char* p = failure.file; p != nullptr && *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::fprintf(stderr, "[FATAL %s:%d] Check failed: %s %s\n",
+               base == nullptr ? "?" : base, failure.line,
+               failure.expression == nullptr ? "?" : failure.expression,
+               failure.message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::atomic<CheckFailureHandler> g_handler{&DefaultCheckFailureHandler};
+
+}  // namespace
+
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler) {
+  if (handler == nullptr) handler = &DefaultCheckFailureHandler;
+  return g_handler.exchange(handler);
+}
+
+namespace internal {
+
+void FailCheck(const CheckFailure& failure) {
+  g_handler.load()(failure);
+  // A handler must abort or throw; guard against one that returns.
+  DefaultCheckFailureHandler(failure);
+  std::abort();  // unreachable; DefaultCheckFailureHandler aborts
+}
+
+}  // namespace internal
+}  // namespace util
+}  // namespace reconsume

@@ -1,0 +1,186 @@
+// Project-wide contract/invariant layer.
+//
+// Every runtime invariant in reconsume is expressed through one of the
+// RC_CHECK_* macros below instead of <cassert> (tools/lint_reconsume.py bans
+// naked assert in src/). All failures route through a single pluggable
+// failure handler, which makes the macros death-testable: tests install a
+// throwing handler via SetCheckFailureHandler and assert on the exception
+// instead of forking a subprocess.
+//
+//   RC_CHECK(cond)            always-on; streams extra context:
+//                             RC_CHECK(n > 0) << "n was " << n;
+//   RC_CHECK_OK(status_expr)  always-on; fails with the Status message
+//   RC_DCHECK(cond)           debug-only; compiles out when NDEBUG is set
+//                             (RC_DCHECK_IS_ON tells you which mode you got)
+//
+// Domain macros for the paper's numeric invariants (each has a debug-only
+// RC_DCHECK_* twin for hot paths):
+//
+//   RC_CHECK_FINITE(x)        std::isfinite(x) — SGD gradients, r~, norms
+//   RC_CHECK_PROB(p)          p in [0, 1] — AP@N, MaAP/MiAP, p-values
+//   RC_CHECK_INDEX(i, n)      0 <= i < n with sign-safe comparison — dense ids
+//   RC_CHECK_SORTED(range)    std::is_sorted — per-user timestamp monotonicity
+//
+// On failure the condition's operands may be evaluated a second time to
+// format the message; side-effecting expressions inside a check are a bug.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "util/status.h"
+
+namespace reconsume {
+namespace util {
+
+/// \brief Everything known about one failed check, handed to the handler.
+struct CheckFailure {
+  const char* file = nullptr;
+  int line = 0;
+  /// The macro-stringified expression, e.g. "RC_CHECK_INDEX(u, num_users())".
+  const char* expression = nullptr;
+  /// Formatted context streamed at the call site (may be empty).
+  std::string message;
+};
+
+/// \brief Receives every failed RC_CHECK_*. Must not return normally; it
+/// either terminates the process or throws (death-style tests). If it does
+/// return, the caller aborts anyway.
+using CheckFailureHandler = void (*)(const CheckFailure& failure);
+
+/// \brief Installs a failure handler; returns the previous one. Passing
+/// nullptr restores the default (print file:line + message to stderr, abort).
+/// Thread-safe, but intended for test setup, not concurrent reinstallation.
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler);
+
+namespace internal {
+
+/// Invokes the installed handler; aborts if the handler returns.
+[[noreturn]] void FailCheck(const CheckFailure& failure);
+
+/// One in-flight failing check; collects streamed context, then fires the
+/// handler from its destructor (noexcept(false) so a test handler may throw).
+class CheckFailMessage {
+ public:
+  CheckFailMessage(const char* file, int line, const char* expression)
+      : file_(file), line_(line), expression_(expression) {}
+  CheckFailMessage(const CheckFailMessage&) = delete;
+  CheckFailMessage& operator=(const CheckFailMessage&) = delete;
+
+  ~CheckFailMessage() noexcept(false) {
+    FailCheck(CheckFailure{file_, line_, expression_, stream_.str()});
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expression_;
+  std::ostringstream stream_;
+};
+
+/// Lets the ternary in RC_CHECK produce void while still allowing `<< extra`
+/// on the failure branch (`&` binds looser than `<<`).
+struct CheckVoidify {
+  void operator&(std::ostream&) {}
+};
+
+template <typename T>
+constexpr bool CheckIsFinite(T value) {
+  static_assert(std::is_arithmetic_v<T>,
+                "RC_CHECK_FINITE takes a scalar; use math::AllFinite for "
+                "spans inside RC_CHECK");
+  return std::isfinite(static_cast<double>(value));
+}
+
+template <typename T>
+constexpr bool CheckIsProb(T value) {
+  static_assert(std::is_arithmetic_v<T>, "RC_CHECK_PROB takes a scalar");
+  const double p = static_cast<double>(value);
+  return p >= 0.0 && p <= 1.0;
+}
+
+/// 0 <= i < n without signed/unsigned comparison surprises.
+template <typename I, typename N>
+constexpr bool IndexInBounds(I i, N n) {
+  static_assert(std::is_integral_v<I> && std::is_integral_v<N>,
+                "RC_CHECK_INDEX takes integral index and size");
+  if constexpr (std::is_signed_v<I>) {
+    if (i < I{0}) return false;
+  }
+  return std::cmp_less(i, n);
+}
+
+template <typename Range>
+bool IsSortedRange(const Range& range) {
+  return std::is_sorted(std::begin(range), std::end(range));
+}
+
+}  // namespace internal
+}  // namespace util
+}  // namespace reconsume
+
+/// Core expansion shared by every RC_CHECK_* macro: `expr_text` is what the
+/// failure report names, `cond` is what actually gets evaluated.
+#define RC_CHECK_IMPL(cond, expr_text)                                     \
+  (cond) ? (void)0                                                         \
+         : ::reconsume::util::internal::CheckVoidify() &                   \
+               ::reconsume::util::internal::CheckFailMessage(              \
+                   __FILE__, __LINE__, expr_text)                          \
+                   .stream()
+
+/// Always-on invariant check; supports streaming extra context.
+#define RC_CHECK(condition) RC_CHECK_IMPL((condition), #condition)
+
+/// Always-on check that a Status-returning expression is OK.
+#define RC_CHECK_OK(expr)                                                  \
+  do {                                                                     \
+    const ::reconsume::Status rc_internal_status = (expr);                 \
+    RC_CHECK_IMPL(rc_internal_status.ok(), "RC_CHECK_OK(" #expr ")")       \
+        << rc_internal_status.ToString() << " ";                          \
+  } while (0)
+
+#define RC_CHECK_FINITE(val)                                               \
+  RC_CHECK_IMPL(::reconsume::util::internal::CheckIsFinite(val),           \
+                "RC_CHECK_FINITE(" #val ")")                               \
+      << "value=" << static_cast<double>(val) << " "
+
+#define RC_CHECK_PROB(val)                                                 \
+  RC_CHECK_IMPL(::reconsume::util::internal::CheckIsProb(val),             \
+                "RC_CHECK_PROB(" #val ")")                                 \
+      << "value=" << static_cast<double>(val) << " "
+
+#define RC_CHECK_INDEX(i, n)                                               \
+  RC_CHECK_IMPL(::reconsume::util::internal::IndexInBounds((i), (n)),      \
+                "RC_CHECK_INDEX(" #i ", " #n ")")                          \
+      << "index=" << (i) << " size=" << (n) << " "
+
+#define RC_CHECK_SORTED(range)                                             \
+  RC_CHECK_IMPL(::reconsume::util::internal::IsSortedRange(range),         \
+                "RC_CHECK_SORTED(" #range ")")
+
+// Debug-only variants. In NDEBUG builds the whole expression folds away
+// (`true || (...)` keeps it well-formed and streamable while letting the
+// optimizer drop the operands), so they are free on hot paths.
+#ifdef NDEBUG
+#define RC_DCHECK_IS_ON 0
+#define RC_DCHECK(condition) RC_CHECK(true || (condition))
+#define RC_DCHECK_FINITE(val) RC_CHECK(true || ((void)(val), true))
+#define RC_DCHECK_PROB(val) RC_CHECK(true || ((void)(val), true))
+#define RC_DCHECK_INDEX(i, n) RC_CHECK(true || ((void)(i), (void)(n), true))
+#define RC_DCHECK_SORTED(range) RC_CHECK(true || ((void)(range), true))
+#else
+#define RC_DCHECK_IS_ON 1
+#define RC_DCHECK(condition) RC_CHECK(condition)
+#define RC_DCHECK_FINITE(val) RC_CHECK_FINITE(val)
+#define RC_DCHECK_PROB(val) RC_CHECK_PROB(val)
+#define RC_DCHECK_INDEX(i, n) RC_CHECK_INDEX(i, n)
+#define RC_DCHECK_SORTED(range) RC_CHECK_SORTED(range)
+#endif

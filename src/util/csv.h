@@ -4,8 +4,7 @@
 // streaming splitter with good error messages (file:line) rather than a full
 // RFC-4180 parser.
 
-#ifndef RECONSUME_UTIL_CSV_H_
-#define RECONSUME_UTIL_CSV_H_
+#pragma once
 
 #include <fstream>
 #include <functional>
@@ -65,4 +64,3 @@ Status WriteStringToFile(const std::string& path, std::string_view contents);
 }  // namespace util
 }  // namespace reconsume
 
-#endif  // RECONSUME_UTIL_CSV_H_

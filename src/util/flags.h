@@ -2,8 +2,7 @@
 // experiment drivers. No global registry: parse argv into a FlagSet, then
 // pull typed values with defaults.
 
-#ifndef RECONSUME_UTIL_FLAGS_H_
-#define RECONSUME_UTIL_FLAGS_H_
+#pragma once
 
 #include <map>
 #include <string>
@@ -49,4 +48,3 @@ class FlagSet {
 }  // namespace util
 }  // namespace reconsume
 
-#endif  // RECONSUME_UTIL_FLAGS_H_

@@ -4,11 +4,12 @@
 //   RECONSUME_LOG(INFO) << "trained " << n << " epochs";
 //   RECONSUME_CHECK(x > 0) << "x must be positive, got " << x;
 
-#ifndef RECONSUME_UTIL_LOGGING_H_
-#define RECONSUME_UTIL_LOGGING_H_
+#pragma once
 
 #include <sstream>
 #include <string>
+
+#include "util/check.h"
 
 namespace reconsume {
 namespace util {
@@ -47,12 +48,6 @@ struct NullStream {
   }
 };
 
-/// Lets the ternary in RECONSUME_CHECK produce void while still allowing
-/// `<< extra` on the failure branch (`&` binds looser than `<<`).
-struct LogMessageVoidify {
-  void operator&(std::ostream&) {}
-};
-
 }  // namespace internal
 }  // namespace util
 }  // namespace reconsume
@@ -63,27 +58,9 @@ struct LogMessageVoidify {
 #define RECONSUME_LOG(severity)                                            \
   RECONSUME_LOG_INTERNAL(::reconsume::util::LogLevel::k##severity)
 
-/// Always-on invariant check; logs and aborts on failure. Supports streaming
-/// extra context: RECONSUME_CHECK(n > 0) << "n was " << n;
-#define RECONSUME_CHECK(condition)                                         \
-  (condition) ? (void)0                                                    \
-              : ::reconsume::util::internal::LogMessageVoidify() &         \
-                    RECONSUME_LOG_INTERNAL(                                \
-                        ::reconsume::util::LogLevel::kFatal)               \
-                        << "Check failed: " #condition " "
-
-#define RECONSUME_CHECK_OK(expr)                                           \
-  do {                                                                     \
-    ::reconsume::Status _st = (expr);                                      \
-    RECONSUME_CHECK(_st.ok()) << _st.ToString();                           \
-  } while (0)
-
-#ifdef NDEBUG
-// `true || (c)` keeps the expression well-formed (and streamable) while
-// letting the optimizer drop both the check and its operands.
-#define RECONSUME_DCHECK(condition) RECONSUME_CHECK(true || (condition))
-#else
-#define RECONSUME_DCHECK(condition) RECONSUME_CHECK(condition)
-#endif
-
-#endif  // RECONSUME_UTIL_LOGGING_H_
+// Invariant checks are aliases for the RC_CHECK contract layer (util/check.h)
+// so every failure in the tree routes through the same pluggable handler.
+// New code should use RC_CHECK / RC_DCHECK and the domain macros directly.
+#define RECONSUME_CHECK(condition) RC_CHECK(condition)
+#define RECONSUME_CHECK_OK(expr) RC_CHECK_OK(expr)
+#define RECONSUME_DCHECK(condition) RC_DCHECK(condition)

@@ -4,8 +4,7 @@
 // sampled quantities are reproducible across standard libraries, which
 // matters for experiment scripts that must print identical tables on rerun.
 
-#ifndef RECONSUME_UTIL_RANDOM_H_
-#define RECONSUME_UTIL_RANDOM_H_
+#pragma once
 
 #include <cmath>
 #include <cstddef>
@@ -176,4 +175,3 @@ class AliasSampler {
 }  // namespace util
 }  // namespace reconsume
 
-#endif  // RECONSUME_UTIL_RANDOM_H_

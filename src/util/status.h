@@ -4,8 +4,7 @@
 // a Result<T> when they produce a value) instead of throwing. Exceptions are
 // reserved for programming errors (checked via RECONSUME_DCHECK).
 
-#ifndef RECONSUME_UTIL_STATUS_H_
-#define RECONSUME_UTIL_STATUS_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -177,4 +176,3 @@ void Result<T>::CheckOk() const {
 
 }  // namespace reconsume
 
-#endif  // RECONSUME_UTIL_STATUS_H_

@@ -1,8 +1,7 @@
 // Wall-clock stopwatch used by the latency experiments (Fig. 13) and for
 // reporting training time.
 
-#ifndef RECONSUME_UTIL_STOPWATCH_H_
-#define RECONSUME_UTIL_STOPWATCH_H_
+#pragma once
 
 #include <chrono>
 #include <cstdint>
@@ -34,4 +33,3 @@ class Stopwatch {
 }  // namespace util
 }  // namespace reconsume
 
-#endif  // RECONSUME_UTIL_STOPWATCH_H_

@@ -1,7 +1,6 @@
 // Small string helpers shared by the dataset loaders and table writers.
 
-#ifndef RECONSUME_UTIL_STRING_UTIL_H_
-#define RECONSUME_UTIL_STRING_UTIL_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -47,4 +46,3 @@ std::string FormatWithCommas(int64_t value);
 }  // namespace util
 }  // namespace reconsume
 
-#endif  // RECONSUME_UTIL_STRING_UTIL_H_

@@ -3,8 +3,7 @@
 // used by the Hogwild TS-PPR trainer, which hands each shard worker its own
 // deterministic RNG stream.
 
-#ifndef RECONSUME_UTIL_THREAD_POOL_H_
-#define RECONSUME_UTIL_THREAD_POOL_H_
+#pragma once
 
 #include <condition_variable>
 #include <cstddef>
@@ -81,4 +80,3 @@ class ThreadPool {
 }  // namespace util
 }  // namespace reconsume
 
-#endif  // RECONSUME_UTIL_THREAD_POOL_H_

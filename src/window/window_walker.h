@@ -7,8 +7,7 @@
 // history (the recency feature looks beyond the window edge only for items
 // still inside the window, but keeping full history is simpler and exact).
 
-#ifndef RECONSUME_WINDOW_WINDOW_WALKER_H_
-#define RECONSUME_WINDOW_WINDOW_WALKER_H_
+#pragma once
 
 #include <unordered_map>
 #include <vector>
@@ -112,4 +111,3 @@ class WindowWalker {
 }  // namespace window
 }  // namespace reconsume
 
-#endif  // RECONSUME_WINDOW_WINDOW_WALKER_H_

@@ -1,0 +1,188 @@
+// Death-style coverage of the RC_CHECK contract layer (util/check.h).
+//
+// Instead of forking a subprocess per assertion, most tests install a
+// throwing failure handler via SetCheckFailureHandler and assert on the
+// exception; one real EXPECT_DEATH pins the default handler's abort + stderr
+// format. The DCHECK tests cover both build modes: with NDEBUG (the default
+// RelWithDebInfo tier-1 build) they verify RC_DCHECK compiles to a no-op
+// that does not evaluate its operands; in debug builds they verify it fires.
+
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace reconsume {
+namespace {
+
+/// What the throwing handler raises; carries the formatted failure.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+[[noreturn]] void ThrowingHandler(const util::CheckFailure& failure) {
+  throw CheckError(std::string(failure.expression) + " " + failure.message +
+                   " (" + failure.file + ":" + std::to_string(failure.line) +
+                   ")");
+}
+
+class CheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_ = util::SetCheckFailureHandler(&ThrowingHandler);
+  }
+  void TearDown() override { util::SetCheckFailureHandler(previous_); }
+
+ private:
+  util::CheckFailureHandler previous_ = nullptr;
+};
+
+std::string FailureMessage(const std::function<void()>& body) {
+  try {
+    body();
+  } catch (const CheckError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected the check to fail";
+  return "";
+}
+
+TEST_F(CheckTest, CheckPassesSilently) {
+  RC_CHECK(1 + 1 == 2);
+  RC_CHECK(true) << "context is not evaluated on success";
+}
+
+TEST_F(CheckTest, CheckFailureCarriesExpressionAndContext) {
+  const std::string what =
+      FailureMessage([] { RC_CHECK(2 < 1) << "ctx " << 42; });
+  EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+  EXPECT_NE(what.find("ctx 42"), std::string::npos) << what;
+  EXPECT_NE(what.find("check_test.cc"), std::string::npos) << what;
+}
+
+TEST_F(CheckTest, SuccessDoesNotEvaluateStreamedContext) {
+  int evaluations = 0;
+  RC_CHECK(true) << ++evaluations;
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST_F(CheckTest, CheckOk) {
+  RC_CHECK_OK(Status::OK());
+  const std::string what =
+      FailureMessage([] { RC_CHECK_OK(Status::IoError("gone")); });
+  EXPECT_NE(what.find("IOError: gone"), std::string::npos) << what;
+}
+
+TEST_F(CheckTest, CheckFinite) {
+  RC_CHECK_FINITE(0.0);
+  RC_CHECK_FINITE(-123.5);
+  RC_CHECK_FINITE(7);  // integral scalars work too
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(RC_CHECK_FINITE(nan), CheckError);
+  EXPECT_THROW(RC_CHECK_FINITE(inf), CheckError);
+  EXPECT_THROW(RC_CHECK_FINITE(-inf), CheckError);
+  const std::string what = FailureMessage([&] { RC_CHECK_FINITE(inf); });
+  EXPECT_NE(what.find("RC_CHECK_FINITE(inf)"), std::string::npos) << what;
+}
+
+TEST_F(CheckTest, CheckProb) {
+  RC_CHECK_PROB(0.0);
+  RC_CHECK_PROB(1.0);
+  RC_CHECK_PROB(0.25);
+  EXPECT_THROW(RC_CHECK_PROB(1.0000001), CheckError);
+  EXPECT_THROW(RC_CHECK_PROB(-0.0001), CheckError);
+  EXPECT_THROW(RC_CHECK_PROB(std::nan("")), CheckError);
+  const std::string what = FailureMessage([] { RC_CHECK_PROB(1.5); });
+  EXPECT_NE(what.find("value=1.5"), std::string::npos) << what;
+}
+
+TEST_F(CheckTest, CheckIndex) {
+  std::vector<int> v(3);
+  RC_CHECK_INDEX(0, v.size());
+  RC_CHECK_INDEX(2, v.size());
+  EXPECT_THROW(RC_CHECK_INDEX(3, v.size()), CheckError);
+  // Sign-safe: a negative signed index never passes against an unsigned
+  // size (the naive (size_t)(-1) < 3 comparison would).
+  const int negative = -1;
+  EXPECT_THROW(RC_CHECK_INDEX(negative, v.size()), CheckError);
+  const std::string what =
+      FailureMessage([&] { RC_CHECK_INDEX(negative, v.size()); });
+  EXPECT_NE(what.find("index=-1 size=3"), std::string::npos) << what;
+  // Mixed widths/signedness compare mathematically.
+  RC_CHECK_INDEX(static_cast<size_t>(1), 2);
+  RC_CHECK_INDEX(1, static_cast<size_t>(2));
+}
+
+TEST_F(CheckTest, CheckSorted) {
+  const std::vector<int> sorted = {1, 2, 2, 5};
+  RC_CHECK_SORTED(sorted);
+  const std::vector<int> empty;
+  RC_CHECK_SORTED(empty);
+  const std::vector<double> unsorted = {1.0, 0.5};
+  EXPECT_THROW(RC_CHECK_SORTED(unsorted), CheckError);
+}
+
+bool SideEffect(int* calls) {
+  ++(*calls);
+  return false;
+}
+
+TEST_F(CheckTest, DcheckMatchesBuildMode) {
+#ifdef NDEBUG
+  EXPECT_EQ(RC_DCHECK_IS_ON, 0);
+#else
+  EXPECT_EQ(RC_DCHECK_IS_ON, 1);
+#endif
+
+  int calls = 0;
+#if RC_DCHECK_IS_ON
+  EXPECT_THROW(RC_DCHECK(SideEffect(&calls)), CheckError);
+  EXPECT_EQ(calls, 1);
+  std::vector<int> unsorted = {2, 1};
+  EXPECT_THROW(RC_DCHECK(false) << "dbg", CheckError);
+  EXPECT_THROW(RC_DCHECK_FINITE(std::nan("")), CheckError);
+  EXPECT_THROW(RC_DCHECK_PROB(2.0), CheckError);
+  EXPECT_THROW(RC_DCHECK_INDEX(5, 3), CheckError);
+  EXPECT_THROW(RC_DCHECK_SORTED(unsorted), CheckError);
+#else
+  // Release: RC_DCHECK compiles out entirely — the failing condition is
+  // never evaluated, and failing domain checks are no-ops.
+  RC_DCHECK(SideEffect(&calls));
+  EXPECT_EQ(calls, 0);
+  std::vector<int> unsorted = {2, 1};
+  RC_DCHECK(false) << "dbg";
+  RC_DCHECK_FINITE(std::nan(""));
+  RC_DCHECK_PROB(2.0);
+  RC_DCHECK_INDEX(5, 3);
+  RC_DCHECK_SORTED(unsorted);
+#endif
+}
+
+TEST_F(CheckTest, SetHandlerReturnsPrevious) {
+  // SetUp installed ThrowingHandler; swapping it out hands it back.
+  util::CheckFailureHandler prev = util::SetCheckFailureHandler(nullptr);
+  EXPECT_EQ(prev, &ThrowingHandler);
+  util::SetCheckFailureHandler(&ThrowingHandler);
+}
+
+TEST(CheckDeathTest, DefaultHandlerAbortsWithFileLineAndContext) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(RC_CHECK(false) << "boom " << 7,
+               "Check failed: false boom 7");
+  EXPECT_DEATH(RC_CHECK_OK(Status::InvalidArgument("bad omega")),
+               "InvalidArgument: bad omega");
+  EXPECT_DEATH(RC_CHECK_PROB(2.0), "value=2");
+}
+
+}  // namespace
+}  // namespace reconsume

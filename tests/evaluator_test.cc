@@ -217,6 +217,62 @@ TEST(EvaluatorTest, LatencyMeasurementPopulatesField) {
   EXPECT_GT(result.mean_candidates, 0.0);
 }
 
+// Omega-gap regression (PAPER.md SS5): a window configuration whose
+// train/test minimum gap cannot fit inside the window must be rejected via
+// Status — with Omega >= |W| no candidate could ever satisfy Eq. 9 and the
+// protocol would silently evaluate nothing.
+TEST(EvaluatorValidationTest, RejectsGapViolatingWindowConfiguration) {
+  Fixture fixture({{1, 2, 3, 1, 2, 3, 1, 2, 3}});
+  EvalOptions options;
+  options.window_capacity = 10;
+  options.min_gap = 10;  // Omega == |W|: violates Omega < |W|
+  EXPECT_EQ(Evaluator::ValidateOptions(options).code(),
+            StatusCode::kInvalidArgument);
+
+  auto equal_gap = Evaluator::Create(fixture.split.get(), options);
+  ASSERT_FALSE(equal_gap.ok());
+  EXPECT_EQ(equal_gap.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(equal_gap.status().message().find("Omega"), std::string::npos);
+
+  options.min_gap = 25;  // Omega > |W|
+  EXPECT_FALSE(Evaluator::Create(fixture.split.get(), options).ok());
+
+  options.min_gap = -1;  // negative gap
+  EXPECT_FALSE(Evaluator::Create(fixture.split.get(), options).ok());
+
+  options.min_gap = 9;  // largest legal gap for |W| = 10
+  ASSERT_TRUE(Evaluator::Create(fixture.split.get(), options).ok());
+}
+
+TEST(EvaluatorValidationTest, RejectsDegenerateOptions) {
+  Fixture fixture({{1, 2, 1, 2}});
+  EvalOptions options;
+  options.top_ns = {};
+  EXPECT_EQ(Evaluator::Create(fixture.split.get(), options).status().code(),
+            StatusCode::kInvalidArgument);
+  options.top_ns = {0};
+  EXPECT_FALSE(Evaluator::Create(fixture.split.get(), options).ok());
+  options.top_ns = {1};
+  options.window_capacity = 1;
+  EXPECT_FALSE(Evaluator::Create(fixture.split.get(), options).ok());
+  EXPECT_EQ(Evaluator::Create(nullptr, EvalOptions{}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EvaluatorValidationTest, CreatedEvaluatorEvaluates) {
+  Fixture fixture({{1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 4}});
+  EvalOptions options;
+  options.window_capacity = 10;
+  options.min_gap = 1;
+  auto evaluator = Evaluator::Create(fixture.split.get(), options);
+  ASSERT_TRUE(evaluator.ok());
+  OracleRecommender oracle;
+  const auto result =
+      evaluator.ValueOrDie().Evaluate(&oracle).ValueOrDie();
+  EXPECT_GT(result.num_instances, 0);
+  EXPECT_DOUBLE_EQ(result.MaapAt(1), 1.0);
+}
+
 TEST(AccuracyResultDeathTest, UnknownCutoffDies) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   AccuracyResult result;

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Project-specific lint for the reconsume tree.
+
+Enforces the conventions the RC_CHECK contract layer and the logging layer
+rely on (see docs/correctness_tooling.md):
+
+  * no naked assert(...) in src/ or tools/*.cc — invariants go through the
+    RC_CHECK_* macros so they route through the pluggable failure handler
+  * no std::cout / std::cerr in src/ — library code reports through
+    RECONSUME_LOG or Status; printing is reserved for tools/, bench/, examples/
+  * no rand()/srand() — all randomness flows through util::Rng so runs are
+    seedable and reproducible
+  * every header in src/ starts with #pragma once
+
+Exit status: 0 when clean, 1 when any finding is reported.
+Usage: tools/lint_reconsume.py [--root DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# (name, regex, message). Patterns are applied line by line after comment and
+# string stripping.
+LINE_RULES = [
+    (
+        "naked-assert",
+        re.compile(r"(?<![_\w])assert\s*\("),
+        "use RC_CHECK / RC_DCHECK from util/check.h instead of assert()",
+    ),
+    (
+        "std-cout",
+        re.compile(r"std::c(out|err)\b"),
+        "library code must not print; use RECONSUME_LOG or return a Status",
+    ),
+    (
+        "libc-rand",
+        re.compile(r"(?<![_\w])s?rand\s*\("),
+        "use util::Rng (seedable, reproducible) instead of rand()/srand()",
+    ),
+]
+
+COMMENT_RE = re.compile(r"//.*$")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+def strip_noise(line: str) -> str:
+    """Drops string literals and // comments so rules see only code."""
+    line = STRING_RE.sub('""', line)
+    return COMMENT_RE.sub("", line)
+
+
+def lint_file(path: Path, rel: str, require_pragma_once: bool,
+              findings: list[str]) -> None:
+    text = path.read_text(encoding="utf-8")
+    in_block_comment = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        start = line.find("/*")
+        if start >= 0:
+            end = line.find("*/", start + 2)
+            if end < 0:
+                in_block_comment = True
+                line = line[:start]
+            else:
+                line = line[:start] + line[end + 2:]
+        line = strip_noise(line)
+        for name, pattern, message in LINE_RULES:
+            if name == "std-cout" and not rel.startswith("src/"):
+                continue  # tools/bench/examples may print
+            if "static_assert" in line and name == "naked-assert":
+                continue
+            if pattern.search(line):
+                findings.append(f"{rel}:{lineno}: [{name}] {message}")
+    if require_pragma_once and "#pragma once" not in text:
+        findings.append(f"{rel}:1: [pragma-once] header must use #pragma once")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: this script's parent)")
+    args = parser.parse_args()
+    root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
+
+    targets: list[Path] = []
+    for pattern in ("src/**/*.h", "src/**/*.cc", "tools/**/*.cc"):
+        targets.extend(sorted(root.glob(pattern)))
+
+    findings: list[str] = []
+    for path in targets:
+        rel = path.relative_to(root).as_posix()
+        require_pragma_once = rel.startswith("src/") and rel.endswith(".h")
+        lint_file(path, rel, require_pragma_once, findings)
+
+    if findings:
+        print(f"lint_reconsume: {len(findings)} finding(s)")
+        for finding in findings:
+            print("  " + finding)
+        return 1
+    print(f"lint_reconsume: OK ({len(targets)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

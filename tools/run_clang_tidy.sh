@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# clang-tidy driver for the reconsume tree (static half of the analysis
+# matrix; config lives in .clang-tidy, see docs/correctness_tooling.md).
+#
+# Generates a compile_commands.json build, then runs clang-tidy over every
+# translation unit in src/ and tools/. Warnings are reported but non-fatal by
+# default (readability-identifier-naming intentionally surfaces legacy
+# spellings); pass --werror to turn any warning into a failure, which is what
+# a strict pre-merge gate should use for new code.
+#
+# If clang-tidy is not installed, the script prints a notice and exits 0 so
+# that environments with only a gcc toolchain (like the dev container) can
+# still run the full tools/ suite; CI installs clang-tidy explicitly.
+#
+# Usage: tools/run_clang_tidy.sh [--werror] [build-dir]
+#   default build dir: build-tidy
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WERROR=0
+if [[ "${1:-}" == "--werror" ]]; then
+  WERROR=1
+  shift
+fi
+BUILD_DIR="${1:-build-tidy}"
+JOBS="${JOBS:-$(nproc)}"
+
+TIDY_BIN="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY_BIN" >/dev/null 2>&1; then
+  echo "run_clang_tidy: $TIDY_BIN not found; skipping (install clang-tidy" \
+       "to run the static-analysis half of the matrix)."
+  exit 0
+fi
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+  -DRECONSUME_BUILD_BENCHMARKS=OFF \
+  -DRECONSUME_BUILD_EXAMPLES=OFF \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+
+mapfile -t sources < <(find src tools -name '*.cc' | sort)
+echo "run_clang_tidy: checking ${#sources[@]} translation units"
+
+EXTRA_ARGS=()
+if [[ "$WERROR" == 1 ]]; then
+  EXTRA_ARGS+=("--warnings-as-errors=*")
+fi
+
+# run-clang-tidy parallelizes when available; fall back to a serial loop.
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -clang-tidy-binary "$TIDY_BIN" -p "$BUILD_DIR" \
+    -j "$JOBS" "${EXTRA_ARGS[@]}" "${sources[@]}"
+else
+  for source in "${sources[@]}"; do
+    "$TIDY_BIN" -p "$BUILD_DIR" "${EXTRA_ARGS[@]}" "$source"
+  done
+fi
+
+echo "run_clang_tidy: done."

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Unified sanitizer driver for the reconsume tree (the dynamic half of the
+# static/dynamic analysis matrix; see docs/correctness_tooling.md).
+#
+# Modes:
+#   tsan   ThreadSanitizer over the concurrency-sensitive tests only
+#          (thread_pool_test, parallel_trainer_test, parallel_eval_test).
+#          The Hogwild trainer is written to be TSan-clean: worker-private
+#          parameters are plain memory touched by one thread, shared item
+#          factors are accessed only through relaxed std::atomic_ref, and the
+#          convergence checks read the model behind std::barrier
+#          synchronization. A TSan report therefore indicates a genuine
+#          regression, not Hogwild-by-design noise.
+#   asan   AddressSanitizer (+LeakSanitizer) over the full ctest suite.
+#   ubsan  UndefinedBehaviorSanitizer over the full ctest suite, with
+#          recovery disabled so any report fails the run.
+#   all    tsan, then asan, then ubsan.
+#
+# asan/ubsan configure with CMAKE_BUILD_TYPE=Debug so that the RC_DCHECK
+# layer (debug-only contracts) is active under the sanitizers.
+#
+# Usage: tools/run_sanitizers.sh [tsan|asan|ubsan|all] [build-dir]
+#   default mode: all; default build dir: build-<mode>
+# Env: JOBS=<n> overrides the build parallelism.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-all}"
+JOBS="${JOBS:-$(nproc)}"
+
+run_tsan() {
+  local build_dir="${1:-build-tsan}"
+  cmake -B "$build_dir" -S . \
+    -DRECONSUME_TSAN=ON \
+    -DRECONSUME_BUILD_BENCHMARKS=OFF \
+    -DRECONSUME_BUILD_EXAMPLES=OFF \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$build_dir" -j "$JOBS" \
+    --target thread_pool_test parallel_trainer_test parallel_eval_test
+
+  # Fail on any race report even if the test would otherwise pass.
+  TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    "$build_dir/tests/thread_pool_test"
+  TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    "$build_dir/tests/parallel_trainer_test"
+  TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    "$build_dir/tests/parallel_eval_test"
+  echo "TSan concurrency tests passed."
+}
+
+run_full_suite() {
+  local option="$1" build_dir="$2" env_assign="$3"
+  cmake -B "$build_dir" -S . \
+    "-D${option}=ON" \
+    -DRECONSUME_BUILD_BENCHMARKS=OFF \
+    -DRECONSUME_BUILD_EXAMPLES=OFF \
+    -DCMAKE_BUILD_TYPE=Debug
+  cmake --build "$build_dir" -j "$JOBS"
+  (cd "$build_dir" && env "$env_assign" ctest --output-on-failure -j "$JOBS")
+}
+
+case "$MODE" in
+  tsan)
+    run_tsan "${2:-build-tsan}"
+    ;;
+  asan)
+    # abort_on_error makes gtest death tests see a real abort, and
+    # detect_leaks stays on by default on Linux.
+    run_full_suite RECONSUME_ASAN "${2:-build-asan}" \
+      "ASAN_OPTIONS=abort_on_error=1:${ASAN_OPTIONS:-}"
+    echo "ASan suite passed."
+    ;;
+  ubsan)
+    run_full_suite RECONSUME_UBSAN "${2:-build-ubsan}" \
+      "UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1:${UBSAN_OPTIONS:-}"
+    echo "UBSan suite passed."
+    ;;
+  all)
+    run_tsan build-tsan
+    run_full_suite RECONSUME_ASAN build-asan \
+      "ASAN_OPTIONS=abort_on_error=1:${ASAN_OPTIONS:-}"
+    run_full_suite RECONSUME_UBSAN build-ubsan \
+      "UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1:${UBSAN_OPTIONS:-}"
+    echo "Sanitizer matrix passed (tsan, asan, ubsan)."
+    ;;
+  *)
+    echo "usage: $0 [tsan|asan|ubsan|all] [build-dir]" >&2
+    exit 2
+    ;;
+esac

@@ -1,36 +1,8 @@
 #!/usr/bin/env bash
-# Builds the concurrency-sensitive tests under ThreadSanitizer
-# (-DRECONSUME_TSAN=ON) and runs them.
-#
-# The Hogwild trainer is written to be TSan-clean: worker-private parameters
-# (user rows, A_u mappings) are plain memory touched by one thread, shared
-# item factors are accessed only through relaxed std::atomic_ref, and the
-# convergence checks read the model behind std::barrier synchronization. A
-# TSan report from this script therefore indicates a genuine regression, not
-# Hogwild-by-design noise.
+# Back-compat wrapper: the TSan run now lives in the unified sanitizer
+# driver. See tools/run_sanitizers.sh (mode `tsan`).
 #
 # Usage: tools/run_tsan_tests.sh [build-dir]   (default: build-tsan)
 
 set -euo pipefail
-cd "$(dirname "$0")/.."
-
-BUILD_DIR="${1:-build-tsan}"
-JOBS="${JOBS:-$(nproc)}"
-
-cmake -B "$BUILD_DIR" -S . \
-  -DRECONSUME_TSAN=ON \
-  -DRECONSUME_BUILD_BENCHMARKS=OFF \
-  -DRECONSUME_BUILD_EXAMPLES=OFF \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
-
-cmake --build "$BUILD_DIR" -j "$JOBS" \
-  --target thread_pool_test parallel_trainer_test parallel_eval_test
-
-# Fail on any race report even if the test would otherwise pass.
-export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
-
-"$BUILD_DIR/tests/thread_pool_test"
-"$BUILD_DIR/tests/parallel_trainer_test"
-"$BUILD_DIR/tests/parallel_eval_test"
-
-echo "TSan concurrency tests passed."
+exec "$(dirname "$0")/run_sanitizers.sh" tsan "${1:-build-tsan}"
