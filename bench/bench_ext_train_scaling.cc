@@ -8,11 +8,19 @@
 // num_threads=1 run. On a single hardware thread the speedup column
 // degenerates to ~1x — the table reports whatever the machine provides,
 // alongside the hardware_concurrency it saw.
+//
+// Crash-safety flags (docs/robustness.md): --checkpoint-dir=<dir> makes each
+// run write RCCK checkpoints into its own <dir> subdirectory (one per
+// threads/strategy cell, since a checkpoint only resumes under the same
+// worker count); --resume additionally continues each cell from its latest
+// good checkpoint, so a killed benchmark re-run picks up where it stopped.
 
 #include <cstdio>
 #include <thread>
 
 #include "bench/common.h"
+#include "core/checkpoint.h"
+#include "util/flags.h"
 
 using namespace reconsume;
 
@@ -24,11 +32,33 @@ struct Run {
   double r_tilde = 0.0;
 };
 
+struct CheckpointFlags {
+  std::string dir;   // empty = checkpointing off
+  bool resume = false;
+};
+
 Run FitWith(const bench::DatasetBundle& bundle, int threads,
-            sampling::ShardStrategy strategy, const std::string& name) {
+            sampling::ShardStrategy strategy, const std::string& name,
+            const CheckpointFlags& ckpt) {
   auto config = bench::MakeTsPprConfig(bundle);
   config.train.num_threads = threads;
   config.train.shard_strategy = strategy;
+  if (!ckpt.dir.empty()) {
+    // One subdirectory per cell: resume requires the same worker count and
+    // shard strategy, so cells must not share checkpoint streams.
+    config.train.checkpoint_dir =
+        ckpt.dir + "/" + std::to_string(threads) + "t_" +
+        (strategy == sampling::ShardStrategy::kContiguous ? "contiguous"
+                                                          : "interleaved");
+    if (ckpt.resume) {
+      auto latest = core::FindLatestGoodCheckpoint(config.train.checkpoint_dir);
+      if (latest.ok()) {
+        config.resume_from = latest.ValueOrDie();
+        std::printf("[%s] resuming from %s\n", name.c_str(),
+                    config.resume_from.c_str());
+      }
+    }
+  }
   auto method = bench::FitTsPpr(bundle, config, name);
   const auto* ts = static_cast<const core::TsPpr*>(method.owner.get());
   Run run;
@@ -40,7 +70,23 @@ Run FitWith(const bench::DatasetBundle& bundle, int threads,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto flags_result = util::FlagSet::Parse(argc, argv);
+  if (!flags_result.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 flags_result.status().ToString().c_str());
+    return 2;
+  }
+  const util::FlagSet& flags = flags_result.ValueOrDie();
+  CheckpointFlags ckpt;
+  ckpt.dir = flags.GetString("checkpoint-dir", "").ValueOrDie();
+  ckpt.resume = flags.GetBool("resume", false).ValueOrDie();
+  const Status unused = flags.CheckNoUnusedFlags();
+  if (!unused.ok()) {
+    std::fprintf(stderr, "error: %s\n", unused.ToString().c_str());
+    return 2;
+  }
+
   auto bundle = bench::MakeGowallaBundle();
   bench::PrintHeader("EXT: Hogwild train scaling", bundle);
   std::printf("hardware_concurrency=%u\n\n",
@@ -54,7 +100,7 @@ int main() {
     for (int threads : {1, 2, 4, 8}) {
       const Run run = FitWith(bundle, threads,
                               sampling::ShardStrategy::kContiguous,
-                              "TS-PPR/" + std::to_string(threads) + "t");
+                              "TS-PPR/" + std::to_string(threads) + "t", ckpt);
       if (threads == 1) {
         base_seconds = run.report.wall_seconds;
         base_maap = run.maap10;
@@ -88,7 +134,7 @@ int main() {
                       {sampling::ShardStrategy::kInterleaved, "interleaved"}};
     for (const auto& s : strategies) {
       const Run run = FitWith(bundle, 4, s.strategy,
-                              std::string("TS-PPR/") + s.name);
+                              std::string("TS-PPR/") + s.name, ckpt);
       table.AddRow({s.name, util::FormatWithCommas(run.report.steps),
                     eval::TextTable::Cell(run.r_tilde, 3),
                     eval::TextTable::Cell(run.report.wall_seconds, 2),

@@ -1,0 +1,351 @@
+#include "core/checkpoint.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "core/model_io.h"
+#include "util/check.h"
+#include "util/crc32.h"
+#include "util/failpoint.h"
+#include "util/fileio.h"
+#include "util/logging.h"
+
+namespace reconsume {
+namespace core {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'C', 'C', 'K'};
+constexpr uint32_t kVersion = 1;
+// magic + version + total_size.
+constexpr size_t kHeaderBytes =
+    sizeof(kMagic) + sizeof(uint32_t) + sizeof(uint64_t);
+
+void AppendRaw(std::string* out, const void* data, size_t size) {
+  out->append(static_cast<const char*>(data), size);
+}
+template <typename T>
+void AppendValue(std::string* out, T value) {
+  AppendRaw(out, &value, sizeof(T));
+}
+
+void AppendRngState(std::string* out, const util::RngState& st) {
+  for (uint64_t word : st.s) AppendValue<uint64_t>(out, word);
+  AppendValue<double>(out, st.cached);
+  AppendValue<uint8_t>(out, st.has_cached ? 1 : 0);
+}
+
+/// Bounds-checked sequential reader; errors carry the byte offset within the
+/// checkpoint body.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes, size_t base_offset)
+      : bytes_(bytes), base_offset_(base_offset) {}
+
+  template <typename T>
+  Status Read(T* out) {
+    RECONSUME_RETURN_NOT_OK(Require(sizeof(T)));
+    std::memcpy(out, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::OK();
+  }
+
+  Status ReadString(size_t size, std::string* out) {
+    RECONSUME_RETURN_NOT_OK(Require(size));
+    out->assign(bytes_.data() + pos_, size);
+    pos_ += size;
+    return Status::OK();
+  }
+
+  Status ReadRngState(util::RngState* st) {
+    for (uint64_t& word : st->s) RECONSUME_RETURN_NOT_OK(Read(&word));
+    RECONSUME_RETURN_NOT_OK(Read(&st->cached));
+    uint8_t has_cached = 0;
+    RECONSUME_RETURN_NOT_OK(Read(&has_cached));
+    st->has_cached = has_cached != 0;
+    return Status::OK();
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  Status Require(size_t want) {
+    if (pos_ + want > bytes_.size()) {
+      return Status::InvalidArgument(
+          "checkpoint truncated at byte " +
+          std::to_string(base_offset_ + pos_) + ": need " +
+          std::to_string(want) + " more bytes, have " +
+          std::to_string(bytes_.size() - pos_));
+    }
+    return Status::OK();
+  }
+
+  std::string_view bytes_;
+  size_t base_offset_;
+  size_t pos_ = 0;
+};
+
+std::string CheckpointFileName(int64_t steps) {
+  std::string digits = std::to_string(steps);
+  if (digits.size() < 12) digits.insert(0, 12 - digits.size(), '0');
+  return "ckpt_" + digits + ".rck";
+}
+
+}  // namespace
+
+std::string SerializeCheckpoint(const TrainerCheckpoint& checkpoint) {
+  RC_CHECK(checkpoint.model.has_value())
+      << "SerializeCheckpoint: checkpoint has no model snapshot";
+  std::string out;
+  AppendRaw(&out, kMagic, sizeof(kMagic));
+  AppendValue<uint32_t>(&out, kVersion);
+  // Total-size placeholder, patched once the payload is assembled.
+  AppendValue<uint64_t>(&out, 0);
+
+  AppendValue<int64_t>(&out, checkpoint.steps);
+  AppendValue<int32_t>(&out, checkpoint.checks);
+  AppendValue<double>(&out, checkpoint.prev_r_tilde);
+  AppendValue<double>(&out, checkpoint.lr_scale);
+  AppendValue<int32_t>(&out, checkpoint.recoveries_used);
+  AppendRngState(&out, checkpoint.rng_state);
+  AppendValue<int32_t>(&out, checkpoint.num_workers);
+  AppendValue<uint8_t>(&out, static_cast<uint8_t>(checkpoint.shard_strategy));
+  AppendValue<uint64_t>(&out, checkpoint.hogwild_base_seed);
+  AppendValue<uint32_t>(&out,
+                        static_cast<uint32_t>(checkpoint.worker_rng_states.size()));
+  for (const util::RngState& st : checkpoint.worker_rng_states) {
+    AppendRngState(&out, st);
+  }
+  AppendValue<uint32_t>(&out, static_cast<uint32_t>(checkpoint.curve.size()));
+  for (const ConvergencePoint& point : checkpoint.curve) {
+    AppendValue<int64_t>(&out, point.step);
+    AppendValue<double>(&out, point.r_tilde);
+  }
+  AppendValue<uint32_t>(&out,
+                        static_cast<uint32_t>(checkpoint.recovery_log.size()));
+  for (const RecoveryEvent& event : checkpoint.recovery_log) {
+    AppendValue<int64_t>(&out, event.failed_at_step);
+    AppendValue<int64_t>(&out, event.resumed_from_step);
+    AppendValue<double>(&out, event.lr_scale_after);
+    AppendValue<uint32_t>(&out, static_cast<uint32_t>(event.reason.size()));
+    AppendRaw(&out, event.reason.data(), event.reason.size());
+  }
+
+  const std::string model_bytes = SerializeModel(*checkpoint.model);
+  AppendValue<uint64_t>(&out, model_bytes.size());
+  out.append(model_bytes);
+
+  const uint64_t total_size = out.size() + sizeof(uint32_t);  // + crc
+  std::memcpy(out.data() + sizeof(kMagic) + sizeof(uint32_t), &total_size,
+              sizeof(total_size));
+  AppendValue<uint32_t>(&out, util::Crc32(out));
+  return out;
+}
+
+Result<TrainerCheckpoint> DeserializeCheckpoint(std::string_view bytes) {
+  if (bytes.size() < kHeaderBytes + sizeof(uint32_t)) {
+    return Status::InvalidArgument("checkpoint file too small (" +
+                                   std::to_string(bytes.size()) + " bytes)");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a reconsume checkpoint file");
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + sizeof(kMagic), sizeof(version));
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(version));
+  }
+  uint64_t total_size = 0;
+  std::memcpy(&total_size, bytes.data() + sizeof(kMagic) + sizeof(uint32_t),
+              sizeof(total_size));
+  if (total_size < kHeaderBytes + sizeof(uint32_t)) {
+    return Status::InvalidArgument(
+        "checkpoint header declares impossible size " +
+        std::to_string(total_size));
+  }
+  if (bytes.size() < total_size) {
+    return Status::InvalidArgument(
+        "checkpoint truncated at byte " + std::to_string(bytes.size()) +
+        ": header declares " + std::to_string(total_size) + " bytes");
+  }
+  if (bytes.size() > total_size) {
+    return Status::InvalidArgument("checkpoint file has trailing bytes");
+  }
+
+  const std::string_view payload =
+      bytes.substr(0, bytes.size() - sizeof(uint32_t));
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + payload.size(), sizeof(uint32_t));
+  if (util::Crc32(payload) != stored_crc) {
+    return Status::InvalidArgument("checkpoint CRC-32 mismatch");
+  }
+
+  TrainerCheckpoint checkpoint;
+  ByteReader reader(payload.substr(kHeaderBytes), kHeaderBytes);
+  int32_t checks = 0, recoveries_used = 0, num_workers = 0;
+  RECONSUME_RETURN_NOT_OK(reader.Read(&checkpoint.steps));
+  RECONSUME_RETURN_NOT_OK(reader.Read(&checks));
+  RECONSUME_RETURN_NOT_OK(reader.Read(&checkpoint.prev_r_tilde));
+  RECONSUME_RETURN_NOT_OK(reader.Read(&checkpoint.lr_scale));
+  RECONSUME_RETURN_NOT_OK(reader.Read(&recoveries_used));
+  RECONSUME_RETURN_NOT_OK(reader.ReadRngState(&checkpoint.rng_state));
+  RECONSUME_RETURN_NOT_OK(reader.Read(&num_workers));
+  uint8_t shard_strategy = 0;
+  RECONSUME_RETURN_NOT_OK(reader.Read(&shard_strategy));
+  RECONSUME_RETURN_NOT_OK(reader.Read(&checkpoint.hogwild_base_seed));
+  checkpoint.checks = checks;
+  checkpoint.recoveries_used = recoveries_used;
+  checkpoint.num_workers = num_workers;
+  if (shard_strategy > static_cast<uint8_t>(sampling::ShardStrategy::kInterleaved)) {
+    return Status::InvalidArgument("checkpoint shard strategy out of range");
+  }
+  checkpoint.shard_strategy =
+      static_cast<sampling::ShardStrategy>(shard_strategy);
+  if (checkpoint.steps < 0 || checkpoint.checks < 0 ||
+      checkpoint.recoveries_used < 0 || checkpoint.num_workers < 1) {
+    return Status::InvalidArgument("checkpoint counters out of range");
+  }
+
+  uint32_t num_worker_states = 0;
+  RECONSUME_RETURN_NOT_OK(reader.Read(&num_worker_states));
+  if (num_worker_states > 1'000'000) {
+    return Status::InvalidArgument("checkpoint worker-state count out of range");
+  }
+  checkpoint.worker_rng_states.resize(num_worker_states);
+  for (util::RngState& st : checkpoint.worker_rng_states) {
+    RECONSUME_RETURN_NOT_OK(reader.ReadRngState(&st));
+  }
+
+  uint32_t curve_size = 0;
+  RECONSUME_RETURN_NOT_OK(reader.Read(&curve_size));
+  if (curve_size > 100'000'000) {
+    return Status::InvalidArgument("checkpoint curve size out of range");
+  }
+  checkpoint.curve.resize(curve_size);
+  for (ConvergencePoint& point : checkpoint.curve) {
+    RECONSUME_RETURN_NOT_OK(reader.Read(&point.step));
+    RECONSUME_RETURN_NOT_OK(reader.Read(&point.r_tilde));
+  }
+
+  uint32_t log_size = 0;
+  RECONSUME_RETURN_NOT_OK(reader.Read(&log_size));
+  if (log_size > 1'000'000) {
+    return Status::InvalidArgument("checkpoint recovery log out of range");
+  }
+  checkpoint.recovery_log.resize(log_size);
+  for (RecoveryEvent& event : checkpoint.recovery_log) {
+    RECONSUME_RETURN_NOT_OK(reader.Read(&event.failed_at_step));
+    RECONSUME_RETURN_NOT_OK(reader.Read(&event.resumed_from_step));
+    RECONSUME_RETURN_NOT_OK(reader.Read(&event.lr_scale_after));
+    uint32_t reason_size = 0;
+    RECONSUME_RETURN_NOT_OK(reader.Read(&reason_size));
+    RECONSUME_RETURN_NOT_OK(reader.ReadString(reason_size, &event.reason));
+  }
+
+  uint64_t model_size = 0;
+  RECONSUME_RETURN_NOT_OK(reader.Read(&model_size));
+  std::string model_bytes;
+  RECONSUME_RETURN_NOT_OK(
+      reader.ReadString(static_cast<size_t>(model_size), &model_bytes));
+  RECONSUME_ASSIGN_OR_RETURN(TsPprModel model, DeserializeModel(model_bytes));
+  checkpoint.model = std::move(model);
+
+  if (reader.pos() != payload.size() - kHeaderBytes) {
+    return Status::InvalidArgument("checkpoint payload has trailing bytes");
+  }
+  return checkpoint;
+}
+
+Status SaveCheckpoint(const TrainerCheckpoint& checkpoint,
+                      const std::string& path) {
+  RC_FAILPOINT("checkpoint/write");
+  return util::AtomicWriteFile(path, SerializeCheckpoint(checkpoint));
+}
+
+Result<TrainerCheckpoint> LoadCheckpoint(const std::string& path) {
+  RECONSUME_ASSIGN_OR_RETURN(const std::string bytes,
+                             util::ReadFileToString(path));
+  return DeserializeCheckpoint(bytes);
+}
+
+Result<CheckpointManager> CheckpointManager::Create(const std::string& dir,
+                                                    int retention) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("CheckpointManager: empty directory");
+  }
+  if (retention < 1) {
+    return Status::InvalidArgument("CheckpointManager: retention must be >= 1");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create checkpoint directory '" + dir +
+                           "': " + ec.message());
+  }
+  return CheckpointManager(dir, retention);
+}
+
+Status CheckpointManager::Write(const TrainerCheckpoint& checkpoint) {
+  RECONSUME_RETURN_NOT_OK(SaveCheckpoint(
+      checkpoint, dir_ + "/" + CheckpointFileName(checkpoint.steps)));
+  ++num_written_;
+  // Prune only after the new snapshot is durably in place, so a failure at
+  // any point leaves at least the previous good checkpoint on disk.
+  std::vector<std::string> files = ListCheckpointFiles(dir_);
+  while (files.size() > static_cast<size_t>(retention_)) {
+    std::error_code ec;
+    std::filesystem::remove(files.front(), ec);
+    if (ec) {
+      RECONSUME_LOG(Warning) << "failed to prune checkpoint " << files.front()
+                             << ": " << ec.message();
+      break;
+    }
+    files.erase(files.begin());
+  }
+  return Status::OK();
+}
+
+Result<TrainerCheckpoint> CheckpointManager::LoadLatestGood() const {
+  const std::vector<std::string> files = ListCheckpointFiles(dir_);
+  for (auto it = files.rbegin(); it != files.rend(); ++it) {
+    Result<TrainerCheckpoint> loaded = LoadCheckpoint(*it);
+    if (loaded.ok()) return loaded;
+    RECONSUME_LOG(Warning) << "skipping unusable checkpoint " << *it << ": "
+                           << loaded.status().ToString();
+  }
+  return Status::NotFound("no usable checkpoint in '" + dir_ + "'");
+}
+
+std::vector<std::string> ListCheckpointFiles(const std::string& dir) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return files;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 9 && name.rfind("ckpt_", 0) == 0 &&
+        name.compare(name.size() - 4, 4, ".rck") == 0) {
+      files.push_back(entry.path().string());
+    }
+  }
+  // Zero-padded step counts: lexicographic order == step order.
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+Result<std::string> FindLatestGoodCheckpoint(const std::string& dir) {
+  const std::vector<std::string> files = ListCheckpointFiles(dir);
+  for (auto it = files.rbegin(); it != files.rend(); ++it) {
+    Result<TrainerCheckpoint> loaded = LoadCheckpoint(*it);
+    if (loaded.ok()) return *it;
+    RECONSUME_LOG(Warning) << "skipping unusable checkpoint " << *it << ": "
+                           << loaded.status().ToString();
+  }
+  return Status::NotFound("no usable checkpoint in '" + dir + "'");
+}
+
+}  // namespace core
+}  // namespace reconsume

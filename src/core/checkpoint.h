@@ -1,0 +1,133 @@
+// Crash-safe checkpointing of TS-PPR training state.
+//
+// A TrainerCheckpoint is a complete snapshot of Algorithm 1 mid-flight: the
+// model parameters plus everything the trainer needs to continue the run as
+// if it had never stopped — step/check counters, the Δr̃ history, the
+// learning-rate backoff scale, and the exact RNG stream positions (the
+// caller's stream for sequential runs; the per-worker streams and the base
+// seed for Hogwild runs). Restoring a sequential checkpoint resumes
+// bit-identically; restoring a Hogwild checkpoint resumes every worker's
+// sample sequence exactly (float values stay scheduling-dependent, as in any
+// Hogwild run).
+//
+// On disk a checkpoint is a single "RCCK" file: versioned header with a
+// declared total size (so truncation is reported with byte offsets), the
+// serialized state, the embedded RCSM model image, and a trailing CRC-32.
+// CheckpointManager writes snapshots atomically (temp file + fsync + rename)
+// under a retention policy and loads the newest file that passes
+// verification, skipping corrupt or truncated ones. See docs/robustness.md.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/ts_ppr_model.h"
+#include "core/ts_ppr_trainer.h"
+#include "sampling/training_set.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace reconsume {
+namespace core {
+
+/// \brief Complete snapshot of a training run at a convergence-check
+/// boundary (also used in memory as the divergence-recovery rollback point).
+struct TrainerCheckpoint {
+  /// SGD steps completed when the snapshot was taken.
+  int64_t steps = 0;
+  /// Convergence checks completed (min_checks bookkeeping).
+  int checks = 0;
+  /// Δr̃ reference value of the last completed check.
+  double prev_r_tilde = 0.0;
+  /// Multiplier on the base learning rate (1.0 until divergence recovery
+  /// backs it off).
+  double lr_scale = 1.0;
+  /// Divergence recoveries consumed so far (bounded by max_recoveries).
+  int recoveries_used = 0;
+  /// The Fig. 12 curve up to and including this snapshot.
+  std::vector<ConvergencePoint> curve;
+  /// Recovery events up to this snapshot (carried across resume).
+  std::vector<RecoveryEvent> recovery_log;
+
+  /// Caller RNG stream position (sequential path; with Hogwild this is the
+  /// caller's stream *after* drawing the base seed).
+  util::RngState rng_state;
+  /// Worker topology the snapshot was taken under. num_workers == 1 marks a
+  /// sequential snapshot; resuming a parallel snapshot requires the same
+  /// worker count and shard strategy (per-user ownership must not move).
+  int num_workers = 1;
+  sampling::ShardStrategy shard_strategy = sampling::ShardStrategy::kContiguous;
+  /// Seed the per-worker streams were derived from (Hogwild only).
+  uint64_t hogwild_base_seed = 0;
+  /// Exact per-worker stream positions at the snapshot's round boundary
+  /// (Hogwild only; size num_workers).
+  std::vector<util::RngState> worker_rng_states;
+
+  /// Model parameters at the snapshot. Engaged on every deserialized or
+  /// manager-written checkpoint; optional only because TsPprModel has no
+  /// public default constructor.
+  std::optional<TsPprModel> model;
+};
+
+/// Serializes a checkpoint (model must be engaged) to the RCCK wire format.
+std::string SerializeCheckpoint(const TrainerCheckpoint& checkpoint);
+
+/// Parses and verifies an RCCK image. Truncated files yield InvalidArgument
+/// with the byte offset; corrupt files fail the CRC-32 check.
+Result<TrainerCheckpoint> DeserializeCheckpoint(std::string_view bytes);
+
+/// Atomically writes `checkpoint` to `path` (temp file + fsync + rename).
+/// Failpoint: "checkpoint/write".
+Status SaveCheckpoint(const TrainerCheckpoint& checkpoint,
+                      const std::string& path);
+
+/// Reads and verifies one checkpoint file.
+Result<TrainerCheckpoint> LoadCheckpoint(const std::string& path);
+
+/// \brief Writes versioned checkpoint files into a directory with retention.
+///
+/// Files are named `ckpt_<000000000steps>.rck`, so lexicographic order is
+/// step order. Retention keeps the newest `retention` files; older snapshots
+/// are pruned after each successful write — never before, so a crash during
+/// a write leaves the previous good checkpoint intact.
+class CheckpointManager {
+ public:
+  /// Creates the directory (and parents) if missing. retention >= 1.
+  static Result<CheckpointManager> Create(const std::string& dir,
+                                          int retention = 2);
+
+  /// Atomically writes `checkpoint` (model must be engaged), then prunes.
+  Status Write(const TrainerCheckpoint& checkpoint);
+
+  /// Loads the newest checkpoint that passes verification, skipping (with a
+  /// logged warning) any corrupt or truncated file in favor of the previous
+  /// good one. NotFound when no loadable checkpoint exists.
+  Result<TrainerCheckpoint> LoadLatestGood() const;
+
+  const std::string& dir() const { return dir_; }
+  int num_written() const { return num_written_; }
+
+ private:
+  CheckpointManager(std::string dir, int retention)
+      : dir_(std::move(dir)), retention_(retention) {}
+
+  std::string dir_;
+  int retention_;
+  int num_written_ = 0;
+};
+
+/// Checkpoint files in `dir` in ascending step order (full paths). Missing
+/// directory yields an empty list.
+std::vector<std::string> ListCheckpointFiles(const std::string& dir);
+
+/// Path of the newest checkpoint in `dir` that passes verification; NotFound
+/// when the directory holds no loadable checkpoint. Convenience for CLI
+/// `--resume <dir>` handling.
+Result<std::string> FindLatestGoodCheckpoint(const std::string& dir);
+
+}  // namespace core
+}  // namespace reconsume

@@ -2,7 +2,8 @@
 
 #include <cstring>
 
-#include "util/csv.h"
+#include "util/failpoint.h"
+#include "util/fileio.h"
 
 namespace reconsume {
 namespace core {
@@ -10,7 +11,13 @@ namespace core {
 namespace {
 
 constexpr char kMagic[4] = {'R', 'C', 'S', 'M'};
-constexpr uint32_t kVersion = 1;
+// v2 added the total-size header field right after the version, so a
+// truncated file is reported with its byte offset instead of surfacing as a
+// bare checksum mismatch.
+constexpr uint32_t kVersion = 2;
+// magic + version + total_size.
+constexpr size_t kHeaderBytes =
+    sizeof(kMagic) + sizeof(uint32_t) + sizeof(uint64_t);
 
 void AppendRaw(std::string* out, const void* data, size_t size) {
   out->append(static_cast<const char*>(data), size);
@@ -32,16 +39,14 @@ uint64_t Fnv1a(std::string_view bytes) {
   return hash;
 }
 
-/// Sequential reader with bounds checking.
+/// Sequential reader with bounds checking; errors carry the byte offset.
 class ByteReader {
  public:
   explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
 
   template <typename T>
   Status Read(T* out) {
-    if (pos_ + sizeof(T) > bytes_.size()) {
-      return Status::InvalidArgument("model file truncated");
-    }
+    RECONSUME_RETURN_NOT_OK(Require(sizeof(T)));
     std::memcpy(out, bytes_.data() + pos_, sizeof(T));
     pos_ += sizeof(T);
     return Status::OK();
@@ -49,9 +54,7 @@ class ByteReader {
 
   Status ReadDoubles(std::span<double> out) {
     const size_t want = out.size() * sizeof(double);
-    if (pos_ + want > bytes_.size()) {
-      return Status::InvalidArgument("model file truncated");
-    }
+    RECONSUME_RETURN_NOT_OK(Require(want));
     std::memcpy(out.data(), bytes_.data() + pos_, want);
     pos_ += want;
     return Status::OK();
@@ -60,6 +63,16 @@ class ByteReader {
   size_t pos() const { return pos_; }
 
  private:
+  Status Require(size_t want) {
+    if (pos_ + want > bytes_.size()) {
+      return Status::InvalidArgument(
+          "model file truncated at byte " + std::to_string(pos_) + ": need " +
+          std::to_string(want) + " more bytes, have " +
+          std::to_string(bytes_.size() - pos_));
+    }
+    return Status::OK();
+  }
+
   std::string_view bytes_;
   size_t pos_ = 0;
 };
@@ -70,6 +83,8 @@ std::string SerializeModel(const TsPprModel& model) {
   std::string out;
   AppendRaw(&out, kMagic, sizeof(kMagic));
   AppendValue<uint32_t>(&out, kVersion);
+  // Total-size placeholder, patched once the payload is assembled.
+  AppendValue<uint64_t>(&out, 0);
   AppendValue<uint64_t>(&out, model.num_users());
   AppendValue<uint64_t>(&out, model.num_items());
   AppendValue<uint32_t>(&out, static_cast<uint32_t>(model.latent_dim()));
@@ -89,14 +104,46 @@ std::string SerializeModel(const TsPprModel& model) {
   for (size_t u = 0; u < model.num_users(); ++u) {
     AppendSpan(&out, model.mapping(static_cast<data::UserId>(u)).Data());
   }
+
+  const uint64_t total_size = out.size() + sizeof(uint64_t);  // + checksum
+  std::memcpy(out.data() + sizeof(kMagic) + sizeof(uint32_t), &total_size,
+              sizeof(total_size));
   AppendValue<uint64_t>(&out, Fnv1a(out));
   return out;
 }
 
 Result<TsPprModel> DeserializeModel(std::string_view bytes) {
-  if (bytes.size() < sizeof(kMagic) + sizeof(uint64_t)) {
-    return Status::InvalidArgument("model file too small");
+  if (bytes.size() < kHeaderBytes + sizeof(uint64_t)) {
+    return Status::InvalidArgument(
+        "model file too small (" + std::to_string(bytes.size()) + " bytes)");
   }
+  // Identify the format before trusting anything else, so truncation can be
+  // reported with offsets instead of as a blind checksum failure.
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a reconsume model file");
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + sizeof(kMagic), sizeof(version));
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported model version " +
+                                   std::to_string(version));
+  }
+  uint64_t total_size = 0;
+  std::memcpy(&total_size, bytes.data() + sizeof(kMagic) + sizeof(uint32_t),
+              sizeof(total_size));
+  if (total_size < kHeaderBytes + sizeof(uint64_t)) {
+    return Status::InvalidArgument("model header declares impossible size " +
+                                   std::to_string(total_size));
+  }
+  if (bytes.size() < total_size) {
+    return Status::InvalidArgument(
+        "model file truncated at byte " + std::to_string(bytes.size()) +
+        ": header declares " + std::to_string(total_size) + " bytes");
+  }
+  if (bytes.size() > total_size) {
+    return Status::InvalidArgument("model file has trailing bytes");
+  }
+
   // Checksum covers everything before the trailing hash.
   const std::string_view payload =
       bytes.substr(0, bytes.size() - sizeof(uint64_t));
@@ -106,18 +153,7 @@ Result<TsPprModel> DeserializeModel(std::string_view bytes) {
     return Status::InvalidArgument("model file checksum mismatch");
   }
 
-  ByteReader reader(payload);
-  char magic[4];
-  RECONSUME_RETURN_NOT_OK(reader.Read(&magic));
-  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("not a reconsume model file");
-  }
-  uint32_t version = 0;
-  RECONSUME_RETURN_NOT_OK(reader.Read(&version));
-  if (version != kVersion) {
-    return Status::InvalidArgument("unsupported model version " +
-                                   std::to_string(version));
-  }
+  ByteReader reader(payload.substr(kHeaderBytes));
   uint64_t num_users = 0, num_items = 0;
   uint32_t latent_dim = 0, feature_dim = 0;
   RECONSUME_RETURN_NOT_OK(reader.Read(&num_users));
@@ -152,8 +188,8 @@ Result<TsPprModel> DeserializeModel(std::string_view bytes) {
     RECONSUME_RETURN_NOT_OK(reader.ReadDoubles(
         model.mapping(static_cast<data::UserId>(u)).Data()));
   }
-  if (reader.pos() != payload.size()) {
-    return Status::InvalidArgument("model file has trailing bytes");
+  if (reader.pos() != payload.size() - kHeaderBytes) {
+    return Status::InvalidArgument("model payload has trailing bytes");
   }
   if (!model.IsFinite()) {
     return Status::InvalidArgument("model file holds non-finite parameters");
@@ -162,10 +198,12 @@ Result<TsPprModel> DeserializeModel(std::string_view bytes) {
 }
 
 Status SaveModel(const TsPprModel& model, const std::string& path) {
-  return util::WriteStringToFile(path, SerializeModel(model));
+  RC_FAILPOINT("model_io/save");
+  return util::AtomicWriteFile(path, SerializeModel(model));
 }
 
 Result<TsPprModel> LoadModel(const std::string& path) {
+  RC_FAILPOINT("model_io/load");
   RECONSUME_ASSIGN_OR_RETURN(const std::string bytes,
                              util::ReadFileToString(path));
   return DeserializeModel(bytes);

@@ -31,9 +31,16 @@ Result<TsPpr> TsPpr::Fit(const data::TrainTestSplit& split,
 
   TsPprTrainer trainer(config.train);
   util::Rng rng(config.model.seed ^ 0x5DEECE66DULL);
-  RECONSUME_ASSIGN_OR_RETURN(
-      pipeline.train_report_,
-      trainer.Train(training_set, pipeline.model_.get(), &rng));
+  if (config.resume_from.empty()) {
+    RECONSUME_ASSIGN_OR_RETURN(
+        pipeline.train_report_,
+        trainer.Train(training_set, pipeline.model_.get(), &rng));
+  } else {
+    RECONSUME_ASSIGN_OR_RETURN(
+        pipeline.train_report_,
+        trainer.ResumeFrom(config.resume_from, training_set,
+                           pipeline.model_.get(), &rng));
+  }
 
   pipeline.recommender_ = std::make_unique<TsPprRecommender>(
       pipeline.model_.get(), pipeline.extractor_.get());

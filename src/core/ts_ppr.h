@@ -26,6 +26,12 @@ struct TsPprPipelineConfig {
   TrainOptions train;
   sampling::TrainingSetOptions sampling;
   features::FeatureConfig features;
+  /// When non-empty, Fit resumes training from this checkpoint file
+  /// (written by a previous run with train.checkpoint_dir set) instead of
+  /// starting from a fresh initialization. The checkpoint must have been
+  /// taken on the same dataset/split/configuration; shape mismatches fail
+  /// with InvalidArgument. See docs/robustness.md.
+  std::string resume_from;
 };
 
 /// \brief A fitted TS-PPR: owns the feature table, extractor, model, and the

@@ -5,10 +5,13 @@
 #include <barrier>
 #include <cmath>
 #include <cstdint>
+#include <optional>
 #include <span>
 
+#include "core/checkpoint.h"
 #include "math/vector_ops.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -174,6 +177,21 @@ bool ShardsPartitionUsers(
 Result<TrainReport> TsPprTrainer::Train(
     const sampling::TrainingSet& training_set, TsPprModel* model,
     util::Rng* rng) const {
+  return TrainImpl(training_set, model, rng, nullptr);
+}
+
+Result<TrainReport> TsPprTrainer::ResumeFrom(
+    const std::string& checkpoint_path,
+    const sampling::TrainingSet& training_set, TsPprModel* model,
+    util::Rng* rng) const {
+  RECONSUME_ASSIGN_OR_RETURN(const TrainerCheckpoint checkpoint,
+                             LoadCheckpoint(checkpoint_path));
+  return TrainImpl(training_set, model, rng, &checkpoint);
+}
+
+Result<TrainReport> TsPprTrainer::TrainImpl(
+    const sampling::TrainingSet& training_set, TsPprModel* model,
+    util::Rng* rng, const TrainerCheckpoint* resume) const {
   if (model == nullptr || rng == nullptr) {
     return Status::InvalidArgument("Train: null model or rng");
   }
@@ -183,6 +201,17 @@ Result<TrainReport> TsPprTrainer::Train(
   }
   if (training_set.num_quadruples() == 0) {
     return Status::FailedPrecondition("Train: empty training set");
+  }
+  if (options_.max_recoveries < 0) {
+    return Status::InvalidArgument("Train: max_recoveries must be >= 0");
+  }
+  if (options_.max_recoveries > 0 &&
+      !(options_.lr_backoff > 0.0 && options_.lr_backoff < 1.0)) {
+    return Status::InvalidArgument("Train: lr_backoff must be in (0, 1)");
+  }
+  if (!options_.checkpoint_dir.empty() && options_.checkpoint_every_checks < 1) {
+    return Status::InvalidArgument(
+        "Train: checkpoint_every_checks must be >= 1");
   }
 
   const TsPprConfig& config = model->config();
@@ -198,13 +227,20 @@ Result<TrainReport> TsPprTrainer::Train(
                               static_cast<double>(
                                   training_set.num_quadruples())));
 
+  // Learning-rate scale: 1.0 until divergence recovery backs it off. The
+  // multiplication by 1.0 is exact in IEEE arithmetic, so the default path
+  // stays bit-identical to the pre-recovery trainer.
+  double lr_scale = resume != nullptr ? resume->lr_scale : 1.0;
+
   // alpha_t for the step with `steps_done` completed steps before it.
   auto alpha_for = [&](int64_t steps_done) {
-    return options_.schedule == LearningRateSchedule::kConstant
-               ? base_alpha
-               : base_alpha / (1.0 + options_.decay_rate *
-                                         static_cast<double>(steps_done) /
-                                         quadruples);
+    const double alpha =
+        options_.schedule == LearningRateSchedule::kConstant
+            ? base_alpha
+            : base_alpha / (1.0 + options_.decay_rate *
+                                      static_cast<double>(steps_done) /
+                                      quadruples);
+    return alpha * lr_scale;
   };
 
   std::vector<double> fdiff(f), d(k);
@@ -218,56 +254,221 @@ Result<TrainReport> TsPprTrainer::Train(
                : total / static_cast<double>(small_batch.size());
   };
 
-  TrainReport report;
-  util::Stopwatch stopwatch;
-  double prev_r_tilde = compute_r_tilde();
-  report.curve.push_back({0, prev_r_tilde});
-  int checks = 0;
-
   const int num_workers = static_cast<int>(std::min<size_t>(
       static_cast<size_t>(std::max(1, options_.num_threads)),
       training_set.users_with_events().size()));
 
+  // --- Resume validation and run-state initialization ---
+  if (resume != nullptr) {
+    if (!resume->model.has_value()) {
+      return Status::InvalidArgument("resume: checkpoint has no model");
+    }
+    if (resume->model->num_users() != model->num_users() ||
+        resume->model->num_items() != model->num_items() ||
+        resume->model->latent_dim() != model->latent_dim() ||
+        resume->model->feature_dim() != model->feature_dim()) {
+      return Status::InvalidArgument(
+          "resume: checkpoint model shape does not match the target model");
+    }
+    if (resume->num_workers != num_workers) {
+      return Status::FailedPrecondition(
+          "resume: checkpoint was taken with " +
+          std::to_string(resume->num_workers) + " workers, options give " +
+          std::to_string(num_workers) +
+          " (per-user ownership must not move across a resume)");
+    }
+    if (num_workers > 1 && resume->shard_strategy != options_.shard_strategy) {
+      return Status::FailedPrecondition(
+          "resume: checkpoint shard strategy differs from options");
+    }
+    if (num_workers > 1 &&
+        resume->worker_rng_states.size() != static_cast<size_t>(num_workers)) {
+      return Status::InvalidArgument(
+          "resume: checkpoint is missing per-worker RNG states");
+    }
+    *model = *resume->model;
+    rng->SetState(resume->rng_state);
+  }
+
+  TrainReport report;
+  util::Stopwatch stopwatch;
+  double prev_r_tilde;
+  int checks;
+  int recoveries_used;
+  if (resume != nullptr) {
+    report.steps = resume->steps;
+    report.curve = resume->curve;
+    report.recovery_log = resume->recovery_log;
+    report.resumed_from_step = resume->steps;
+    prev_r_tilde = resume->prev_r_tilde;
+    checks = resume->checks;
+    recoveries_used = resume->recoveries_used;
+  } else {
+    prev_r_tilde = compute_r_tilde();
+    report.curve.push_back({0, prev_r_tilde});
+    checks = 0;
+    recoveries_used = 0;
+  }
+
+  std::optional<CheckpointManager> manager;
+  if (!options_.checkpoint_dir.empty()) {
+    RECONSUME_ASSIGN_OR_RETURN(
+        CheckpointManager created,
+        CheckpointManager::Create(options_.checkpoint_dir,
+                                  options_.checkpoint_retention));
+    manager = std::move(created);
+  }
+  const bool recovery_enabled = options_.max_recoveries > 0;
+
+  // Hogwild stream bookkeeping. `worker_states` always holds the per-worker
+  // RNG positions as of the last completed round boundary; it doubles as the
+  // restart vector for both on-disk checkpoints and in-memory rollbacks.
+  uint64_t hogwild_base_seed = 0;
+  std::vector<util::RngState> worker_states;
+  if (num_workers > 1) {
+    if (resume != nullptr) {
+      hogwild_base_seed = resume->hogwild_base_seed;
+      worker_states = resume->worker_rng_states;
+    } else {
+      hogwild_base_seed = rng->Next();
+      util::SplitMix64 mixer(hogwild_base_seed);
+      worker_states.resize(static_cast<size_t>(num_workers));
+      for (util::RngState& st : worker_states) {
+        st = util::Rng(mixer.Next()).GetState();
+      }
+    }
+  }
+
+  // Snapshot of the complete run state, taken only on a quiesced model (the
+  // sequential loop, or worker 0 between the two barriers of a round).
+  auto make_snapshot = [&]() {
+    TrainerCheckpoint snap;
+    snap.steps = report.steps;
+    snap.checks = checks;
+    snap.prev_r_tilde = prev_r_tilde;
+    snap.lr_scale = lr_scale;
+    snap.recoveries_used = recoveries_used;
+    snap.curve = report.curve;
+    snap.recovery_log = report.recovery_log;
+    snap.rng_state = rng->GetState();
+    snap.num_workers = num_workers;
+    snap.shard_strategy = options_.shard_strategy;
+    snap.hogwild_base_seed = hogwild_base_seed;
+    snap.worker_rng_states = worker_states;
+    snap.model = *model;
+    return snap;
+  };
+
+  // Rollback point for divergence recovery; refreshed at every finite Δr̃
+  // check. Held in memory (not read back from disk) so recovery works with
+  // checkpointing off and is immune to checkpoint cadence.
+  std::optional<TrainerCheckpoint> last_good;
+
+  // Rolls the run state back to `last_good` and backs off the learning rate.
+  // Returns false when the recovery budget is exhausted (caller propagates
+  // the original NumericalError).
+  auto try_rollback = [&](const Status& failure) {
+    if (!recovery_enabled || recoveries_used >= options_.max_recoveries ||
+        !last_good.has_value()) {
+      return false;
+    }
+    const int64_t failed_at = report.steps;
+    const TrainerCheckpoint& good = *last_good;
+    *model = *good.model;
+    report.steps = good.steps;
+    report.curve = good.curve;
+    checks = good.checks;
+    prev_r_tilde = good.prev_r_tilde;
+    rng->SetState(good.rng_state);
+    worker_states = good.worker_rng_states;
+    lr_scale *= options_.lr_backoff;
+    ++recoveries_used;
+    RecoveryEvent event;
+    event.failed_at_step = failed_at;
+    event.resumed_from_step = good.steps;
+    event.lr_scale_after = lr_scale;
+    event.reason = failure.message();
+    report.recovery_log.push_back(event);
+    RECONSUME_LOG(Warning) << "training diverged at step " << failed_at
+                           << "; rolling back to step " << good.steps
+                           << " with learning-rate scale " << lr_scale << " ("
+                           << recoveries_used << "/" << options_.max_recoveries
+                           << " recoveries)";
+    return true;
+  };
+
   if (num_workers <= 1) {
     // The paper's sequential Algorithm 1, exactly as originally implemented
-    // (pinned bitwise by parallel_trainer_test's reference oracle).
+    // (pinned bitwise by parallel_trainer_test's reference oracle), wrapped
+    // in the bounded divergence-recovery loop.
     StepScratch scratch(k, f);
-    while (report.steps < options_.max_steps) {
-      const double alpha = alpha_for(report.steps);
-      // Lines 3-5: hierarchical uniform draw of (u, v_i, v_j, t).
-      const auto [event_index, neg_index] = training_set.SampleQuadruple(rng);
-      if (!SgdStep(training_set, alpha, event_index, neg_index, model,
-                   &scratch)) {
-        return Status::NumericalError(
-            "TS-PPR training diverged (non-finite SGD step); lower the "
-            "learning rate");
-      }
-      ++report.steps;
-
-      if (report.steps % check_every == 0) {
-        const double r_tilde = compute_r_tilde();
-        report.curve.push_back({report.steps, r_tilde});
-        ++checks;
-        if (!std::isfinite(r_tilde)) {
-          return Status::NumericalError(
-              "TS-PPR training diverged (non-finite r_tilde); lower the "
-              "learning rate");
+    if (recovery_enabled) last_good = make_snapshot();
+    while (true) {
+      Status attempt = Status::OK();
+      while (report.steps < options_.max_steps) {
+        const double alpha = alpha_for(report.steps);
+        // Lines 3-5: hierarchical uniform draw of (u, v_i, v_j, t).
+        const auto [event_index, neg_index] =
+            training_set.SampleQuadruple(rng);
+        bool step_ok = SgdStep(training_set, alpha, event_index, neg_index,
+                               model, &scratch);
+#if RECONSUME_FAILPOINTS_ENABLED
+        // Injectable divergence for recovery tests: a fired point is treated
+        // exactly like a non-finite SGD step.
+        if (step_ok &&
+            !RC_FAILPOINT_STATUS("trainer/sgd_step_diverge").ok()) {
+          step_ok = false;
         }
-        if (checks >= options_.min_checks &&
-            std::fabs(r_tilde - prev_r_tilde) <=
-                options_.convergence_tolerance) {
-          prev_r_tilde = r_tilde;
-          report.converged = true;
+#endif
+        if (!step_ok) {
+          attempt = Status::NumericalError(
+              "TS-PPR training diverged (non-finite SGD step); lower the "
+              "learning rate");
           break;
         }
-        prev_r_tilde = r_tilde;
+        ++report.steps;
+
+        if (report.steps % check_every == 0) {
+          const double r_tilde = compute_r_tilde();
+          report.curve.push_back({report.steps, r_tilde});
+          ++checks;
+          if (!std::isfinite(r_tilde)) {
+            attempt = Status::NumericalError(
+                "TS-PPR training diverged (non-finite r_tilde); lower the "
+                "learning rate");
+            break;
+          }
+          const bool converged_now =
+              checks >= options_.min_checks &&
+              std::fabs(r_tilde - prev_r_tilde) <=
+                  options_.convergence_tolerance;
+          prev_r_tilde = r_tilde;
+          if (recovery_enabled) last_good = make_snapshot();
+          if (manager.has_value() &&
+              checks % options_.checkpoint_every_checks == 0) {
+            RECONSUME_RETURN_NOT_OK(manager->Write(make_snapshot()));
+            ++report.checkpoints_written;
+          }
+          // Simulated crash for kill-and-resume tests: fires after the
+          // checkpoint write, like a process dying between rounds.
+          RC_FAILPOINT("trainer/round");
+          if (converged_now) {
+            report.converged = true;
+            break;
+          }
+        }
       }
+      if (attempt.ok()) break;
+      if (!try_rollback(attempt)) return attempt;
     }
   } else {
     // Hogwild mode: lockstep rounds of `check_every` total steps. Within a
     // round every worker samples only from its own user shard and updates
     // lock-free; at the end of a full round all workers meet at a barrier
     // and worker 0 runs the Δr̃ check of §5.6.1 on the quiesced model.
+    // Between the two barriers of a round the model is quiesced, which is
+    // also where worker 0 harvests every worker's RNG position and writes
+    // checkpoints — a snapshot is therefore always a clean round boundary.
     const auto shards =
         training_set.ShardUsers(num_workers, options_.shard_strategy);
     RC_CHECK(static_cast<int>(shards.size()) == num_workers);
@@ -283,83 +484,149 @@ Result<TrainReport> TsPprTrainer::Train(
     }
     const int64_t total_users = prefix.back();
 
-    std::atomic<int64_t> step_counter{0};
-    std::atomic<bool> stop{false};
-    // Any worker can hit a non-finite step; first one wins the flag.
-    std::atomic<bool> step_diverged{false};
-    std::barrier<> sync(num_workers);
-    // Written by worker 0 between the two barriers of a round, read
-    // elsewhere only after the trailing barrier (or after the join).
-    bool diverged = false;
+    if (recovery_enabled) last_good = make_snapshot();
+    while (true) {
+      std::atomic<int64_t> step_counter{report.steps};
+      std::atomic<bool> stop{false};
+      // Any worker can hit a non-finite step; first one wins the flag.
+      std::atomic<bool> step_diverged{false};
+      std::barrier<> sync(num_workers);
+      // Written by worker 0 between the two barriers of a round, read
+      // elsewhere only after the trailing barrier (or after the join).
+      bool diverged = false;
+      // Checkpoint-write failure or injected round crash (worker 0 only).
+      Status round_status;
+      // Per-worker stream handles, published before the first barrier and
+      // read by worker 0 only on quiesced round boundaries.
+      std::vector<util::Rng*> worker_rngs(static_cast<size_t>(num_workers),
+                                          nullptr);
+      const std::vector<util::RngState> start_states = worker_states;
+      const int64_t start_steps = report.steps;
 
-    const uint64_t base_seed = rng->Next();
-    util::ThreadPool::ParallelShards(
-        static_cast<size_t>(num_workers), base_seed,
-        [&](size_t w, util::Rng* worker_rng) {
-          StepScratch scratch(k, f);
-          const std::span<const data::UserId> my_users(shards[w]);
-          int64_t done = 0;  // identical across workers at round boundaries
-          while (true) {
-            const int64_t quota =
-                std::min<int64_t>(check_every, options_.max_steps - done);
-            const int64_t share = quota * prefix[w + 1] / total_users -
-                                  quota * prefix[w] / total_users;
-            for (int64_t i = 0; i < share; ++i) {
-              const int64_t step_id =
-                  step_counter.fetch_add(1, std::memory_order_relaxed);
-              const auto [event_index, neg_index] =
-                  training_set.SampleQuadrupleFrom(my_users, worker_rng);
-              if (!SgdStep(training_set, alpha_for(step_id), event_index,
-                           neg_index, model, &scratch)) {
-                // Stop the run; keep arriving at both barriers below so the
-                // other workers drain the round without deadlocking.
-                step_diverged.store(true, std::memory_order_relaxed);
-                stop.store(true, std::memory_order_relaxed);
-                break;
-              }
-            }
-            sync.arrive_and_wait();
-            if (w == 0) {
-              done += quota;
-              if (quota == check_every) {  // full round => check point
-                const double r_tilde = compute_r_tilde();
-                report.curve.push_back({done, r_tilde});
-                ++checks;
-                if (!std::isfinite(r_tilde)) {
-                  diverged = true;
+      util::ThreadPool::ParallelShards(
+          static_cast<size_t>(num_workers), hogwild_base_seed,
+          [&](size_t w, util::Rng* worker_rng) {
+            // Fresh runs start from the seed-derived state ParallelShards
+            // already gave us; resumes and rollback retries overwrite it
+            // with the snapshot's exact stream position.
+            worker_rng->SetState(start_states[w]);
+            worker_rngs[w] = worker_rng;
+            StepScratch scratch(k, f);
+            const std::span<const data::UserId> my_users(shards[w]);
+            // Identical across workers at round boundaries.
+            int64_t done = start_steps;
+            while (true) {
+              const int64_t quota = std::max<int64_t>(
+                  0,
+                  std::min<int64_t>(check_every, options_.max_steps - done));
+              const int64_t share = quota * prefix[w + 1] / total_users -
+                                    quota * prefix[w] / total_users;
+              for (int64_t i = 0; i < share; ++i) {
+                const int64_t step_id =
+                    step_counter.fetch_add(1, std::memory_order_relaxed);
+                const auto [event_index, neg_index] =
+                    training_set.SampleQuadrupleFrom(my_users, worker_rng);
+                bool step_ok = SgdStep(training_set, alpha_for(step_id),
+                                       event_index, neg_index, model,
+                                       &scratch);
+#if RECONSUME_FAILPOINTS_ENABLED
+                if (step_ok &&
+                    !RC_FAILPOINT_STATUS("trainer/sgd_step_diverge").ok()) {
+                  step_ok = false;
+                }
+#endif
+                if (!step_ok) {
+                  // Stop the run; keep arriving at both barriers below so
+                  // the other workers drain the round without deadlocking.
+                  step_diverged.store(true, std::memory_order_relaxed);
                   stop.store(true, std::memory_order_relaxed);
-                } else if (checks >= options_.min_checks &&
-                           std::fabs(r_tilde - prev_r_tilde) <=
-                               options_.convergence_tolerance) {
-                  report.converged = true;
+                  break;
+                }
+              }
+              sync.arrive_and_wait();
+              if (w == 0) {
+                done += quota;
+                if (quota == check_every) {  // full round => check point
+                  const double r_tilde = compute_r_tilde();
+                  report.curve.push_back({done, r_tilde});
+                  ++checks;
+                  bool converged_now = false;
+                  if (!std::isfinite(r_tilde)) {
+                    diverged = true;
+                    stop.store(true, std::memory_order_relaxed);
+                  } else if (checks >= options_.min_checks &&
+                             std::fabs(r_tilde - prev_r_tilde) <=
+                                 options_.convergence_tolerance) {
+                    converged_now = true;
+                  }
+                  prev_r_tilde = r_tilde;
+                  if (std::isfinite(r_tilde) &&
+                      !step_diverged.load(std::memory_order_relaxed)) {
+                    report.steps = done;
+                    for (int i = 0; i < num_workers; ++i) {
+                      worker_states[static_cast<size_t>(i)] =
+                          worker_rngs[static_cast<size_t>(i)]->GetState();
+                    }
+                    if (recovery_enabled) last_good = make_snapshot();
+                    if (manager.has_value() &&
+                        checks % options_.checkpoint_every_checks == 0) {
+                      const Status written = manager->Write(make_snapshot());
+                      if (written.ok()) {
+                        ++report.checkpoints_written;
+                      } else {
+                        round_status = written;
+                        stop.store(true, std::memory_order_relaxed);
+                      }
+                    }
+                    if (round_status.ok()) {
+                      // Simulated crash between rounds (kill-and-resume
+                      // tests); fires after the checkpoint write.
+                      const Status crash =
+                          RC_FAILPOINT_STATUS("trainer/round");
+                      if (!crash.ok()) {
+                        round_status = crash;
+                        stop.store(true, std::memory_order_relaxed);
+                      }
+                    }
+                  }
+                  if (converged_now) {
+                    report.converged = true;
+                    stop.store(true, std::memory_order_relaxed);
+                  }
+                }
+                if (done >= options_.max_steps) {
                   stop.store(true, std::memory_order_relaxed);
                 }
-                prev_r_tilde = r_tilde;
               }
-              if (done >= options_.max_steps) {
-                stop.store(true, std::memory_order_relaxed);
-              }
+              sync.arrive_and_wait();
+              if (stop.load(std::memory_order_relaxed)) break;
+              if (w != 0) done += quota;
             }
-            sync.arrive_and_wait();
-            if (stop.load(std::memory_order_relaxed)) break;
-            if (w != 0) done += quota;
-          }
-        });
+          });
 
-    report.steps = step_counter.load();
-    if (step_diverged.load(std::memory_order_relaxed)) {
-      return Status::NumericalError(
-          "TS-PPR training diverged (non-finite SGD step); lower the "
-          "learning rate");
-    }
-    if (diverged) {
-      return Status::NumericalError(
-          "TS-PPR training diverged (non-finite r_tilde); lower the "
-          "learning rate");
+      report.steps = step_counter.load();
+      if (!round_status.ok()) {
+        // Injected crash or checkpoint-write failure: surface as-is (these
+        // are environmental, not divergence, so no rollback).
+        return round_status;
+      }
+      Status attempt = Status::OK();
+      if (step_diverged.load(std::memory_order_relaxed)) {
+        attempt = Status::NumericalError(
+            "TS-PPR training diverged (non-finite SGD step); lower the "
+            "learning rate");
+      } else if (diverged) {
+        attempt = Status::NumericalError(
+            "TS-PPR training diverged (non-finite r_tilde); lower the "
+            "learning rate");
+      }
+      if (attempt.ok()) break;
+      if (!try_rollback(attempt)) return attempt;
     }
   }
 
   report.final_r_tilde = prev_r_tilde;
+  report.final_lr_scale = lr_scale;
   report.wall_seconds = stopwatch.ElapsedSeconds();
   if (!model->IsFinite()) {
     return Status::NumericalError("TS-PPR parameters diverged");

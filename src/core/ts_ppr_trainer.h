@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/ts_ppr_model.h"
@@ -24,6 +25,8 @@
 
 namespace reconsume {
 namespace core {
+
+struct TrainerCheckpoint;  // core/checkpoint.h
 
 /// \brief Learning-rate schedule for the SGD loop.
 enum class LearningRateSchedule {
@@ -61,12 +64,42 @@ struct TrainOptions {
   int num_threads = 1;
   /// How users are partitioned across workers (ignored when num_threads<=1).
   sampling::ShardStrategy shard_strategy = sampling::ShardStrategy::kContiguous;
+
+  // --- Crash safety and divergence recovery (docs/robustness.md) ---
+
+  /// When non-empty, write a crash-safe checkpoint (atomic rename, CRC-32)
+  /// into this directory at convergence-check boundaries. Empty = off.
+  std::string checkpoint_dir;
+  /// Checkpoint cadence: one snapshot every K convergence checks (the
+  /// trainer's "epoch" granularity; checks happen every check_every steps).
+  int checkpoint_every_checks = 1;
+  /// How many checkpoint files to keep on disk (oldest pruned first).
+  int checkpoint_retention = 2;
+  /// \brief Bounded divergence recovery.
+  ///
+  /// When a run hits NumericalError (non-finite SGD step or Δr̃) and
+  /// max_recoveries > 0, the trainer rolls the model back to the last good
+  /// in-memory snapshot, multiplies the learning rate by lr_backoff, and
+  /// retries — up to max_recoveries times, after which the NumericalError is
+  /// returned. Every rollback is recorded in TrainReport::recovery_log.
+  /// 0 (the default) fails fast exactly like the original trainer.
+  int max_recoveries = 0;
+  /// Learning-rate multiplier applied at each recovery; must be in (0, 1).
+  double lr_backoff = 0.5;
 };
 
 /// \brief One convergence check point (the Fig. 12 curve).
 struct ConvergencePoint {
   int64_t step = 0;      ///< SGD steps completed
   double r_tilde = 0.0;  ///< average r_{uv_i t} - r_{uv_j t} over small batch
+};
+
+/// \brief One divergence rollback performed by the trainer.
+struct RecoveryEvent {
+  int64_t failed_at_step = 0;     ///< steps completed when divergence hit
+  int64_t resumed_from_step = 0;  ///< step of the snapshot rolled back to
+  double lr_scale_after = 1.0;    ///< learning-rate scale after the backoff
+  std::string reason;             ///< the NumericalError message
 };
 
 /// \brief Outcome of a training run.
@@ -76,6 +109,15 @@ struct TrainReport {
   double final_r_tilde = 0.0;
   double wall_seconds = 0.0;
   std::vector<ConvergencePoint> curve;
+  /// Divergence rollbacks taken during this run (empty when training never
+  /// hit a NumericalError or max_recoveries == 0).
+  std::vector<RecoveryEvent> recovery_log;
+  /// Final learning-rate scale (1.0 unless recovery backed it off).
+  double final_lr_scale = 1.0;
+  /// Checkpoint files written by this run.
+  int checkpoints_written = 0;
+  /// Step count of the checkpoint this run resumed from (0 = fresh start).
+  int64_t resumed_from_step = 0;
 };
 
 /// \brief Runs Algorithm 1 on a model against a pre-sampled training set,
@@ -94,9 +136,28 @@ class TsPprTrainer {
   Result<TrainReport> Train(const sampling::TrainingSet& training_set,
                             TsPprModel* model, util::Rng* rng) const;
 
+  /// \brief Continues a run from a checkpoint file (core/checkpoint.h).
+  ///
+  /// Overwrites `*model` with the snapshot's parameters and resumes training
+  /// exactly where the snapshot was taken: counters, Δr̃ history, learning-
+  /// rate scale, and RNG stream positions are all restored, so a sequential
+  /// (num_threads <= 1) resume is bit-identical to the uninterrupted run.
+  /// Parallel snapshots additionally require the current options to use the
+  /// same worker count and shard strategy (the per-user ownership layout is
+  /// part of the checkpoint), and resume every worker's sample stream
+  /// exactly. `rng` is re-synchronized from the snapshot; its incoming state
+  /// is ignored.
+  Result<TrainReport> ResumeFrom(const std::string& checkpoint_path,
+                                 const sampling::TrainingSet& training_set,
+                                 TsPprModel* model, util::Rng* rng) const;
+
   const TrainOptions& options() const { return options_; }
 
  private:
+  Result<TrainReport> TrainImpl(const sampling::TrainingSet& training_set,
+                                TsPprModel* model, util::Rng* rng,
+                                const TrainerCheckpoint* resume) const;
+
   TrainOptions options_;
 };
 

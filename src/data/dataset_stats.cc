@@ -78,6 +78,9 @@ std::string FormatDatasetStats(const std::string& name,
              static_cast<long long>(stats.min_sequence_length),
              static_cast<long long>(stats.max_sequence_length),
              100.0 * stats.repeat_fraction, stats.mean_user_item_pool);
+  if (stats.num_bad_lines > 0) {
+    out << " bad_lines=" << util::FormatWithCommas(stats.num_bad_lines);
+  }
   return out.str();
 }
 

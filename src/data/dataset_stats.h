@@ -23,6 +23,10 @@ struct DatasetStats {
   double repeat_fraction = 0.0;
   /// Mean distinct items per user.
   double mean_user_item_pool = 0.0;
+  /// Input lines the loader skipped under LoaderOptions::max_bad_lines.
+  /// Not derivable from the Dataset itself — callers that load from disk
+  /// copy it in from the loader's LoadReport; 0 for generated datasets.
+  int64_t num_bad_lines = 0;
 };
 
 /// Computes stats; `window` is the time-window capacity |W| used for the

@@ -1,6 +1,10 @@
 #include "data/loaders.h"
 
+#include <unordered_map>
+#include <utility>
+
 #include "util/csv.h"
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace reconsume {
@@ -12,6 +16,101 @@ namespace {
 constexpr int kDaysInMonth[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
 
 bool IsLeapYear(int y) { return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0; }
+
+/// Shared loader skeleton: tab-delimited rows, per-row parse callback, bad-
+/// line budget, and per-user timestamp-order validation.
+///
+/// `parse_row` turns a field vector of the expected arity into a
+/// RawInteraction or an error. Any row failure — wrong arity, parse error,
+/// order violation, rejection by the builder, or an injected
+/// "data/loaders/line" failpoint — consumes one unit of
+/// options.max_bad_lines; past the budget the load fails via reader.Error,
+/// which carries "path:line:".
+template <typename ParseRow>
+Result<Dataset> LoadTrace(const std::string& path, size_t expected_fields,
+                          const LoaderOptions& options, LoadReport* report,
+                          const ParseRow& parse_row) {
+  if (options.max_bad_lines < 0) {
+    return Status::InvalidArgument("max_bad_lines must be >= 0");
+  }
+  RECONSUME_ASSIGN_OR_RETURN(
+      util::DelimitedReader reader,
+      util::DelimitedReader::Open(path, {.delimiter = '\t'}));
+  DatasetBuilder builder;
+  LoadReport counts;
+  // Last accepted timestamp per user (order validation only).
+  std::unordered_map<std::string, int64_t> last_timestamp;
+  std::vector<std::string_view> fields;
+  // Cleanup-free single point of truth for the out-param, error or not.
+  auto publish = [&] {
+    if (report != nullptr) *report = counts;
+  };
+
+  while (reader.Next(&fields)) {
+    if (options.max_events > 0 && builder.num_pending() >= options.max_events) {
+      break;
+    }
+    ++counts.num_lines;
+
+    std::string why;
+    RawInteraction interaction;
+    const Status injected = RC_FAILPOINT_STATUS("data/loaders/line");
+    if (!injected.ok()) {
+      why = injected.message();
+    } else if (fields.size() != expected_fields) {
+      why = "expected " + std::to_string(expected_fields) +
+            " tab-separated fields, got " + std::to_string(fields.size());
+    } else {
+      Result<RawInteraction> parsed = parse_row(fields);
+      if (!parsed.ok()) {
+        why = parsed.status().message();
+      } else {
+        interaction = std::move(parsed).ValueOrDie();
+        if (options.timestamp_order != TimestampOrder::kAny) {
+          const auto it = last_timestamp.find(interaction.user_key);
+          if (it != last_timestamp.end()) {
+            const bool in_order =
+                options.timestamp_order == TimestampOrder::kAscending
+                    ? interaction.timestamp >= it->second
+                    : interaction.timestamp <= it->second;
+            if (!in_order) {
+              why = "out-of-order timestamp for user '" +
+                    interaction.user_key + "' (" +
+                    std::to_string(interaction.timestamp) + " after " +
+                    std::to_string(it->second) + ")";
+            }
+          }
+        }
+      }
+    }
+
+    if (why.empty()) {
+      const int64_t timestamp = interaction.timestamp;
+      std::string user_key = interaction.user_key;  // Add consumes the struct
+      const Status added = builder.Add(std::move(interaction));
+      if (added.ok()) {
+        ++counts.num_events;
+        if (options.timestamp_order != TimestampOrder::kAny) {
+          last_timestamp[std::move(user_key)] = timestamp;
+        }
+        continue;
+      }
+      why = added.message();
+    }
+
+    ++counts.num_bad_lines;
+    if (counts.num_bad_lines > options.max_bad_lines) {
+      publish();
+      return reader.Error(why);
+    }
+  }
+
+  publish();
+  if (builder.num_pending() == 0) {
+    return Status::InvalidArgument("no events in '" + path + "'");
+  }
+  return builder.Build();
+}
 
 }  // namespace
 
@@ -59,57 +158,45 @@ Result<int64_t> ParseIso8601(std::string_view text) {
 
 Result<Dataset> GowallaLoader::Load(const std::string& path,
                                     int64_t max_events) {
-  RECONSUME_ASSIGN_OR_RETURN(
-      util::DelimitedReader reader,
-      util::DelimitedReader::Open(path, {.delimiter = '\t'}));
-  DatasetBuilder builder;
-  std::vector<std::string_view> fields;
-  while (reader.Next(&fields)) {
-    if (max_events > 0 && builder.num_pending() >= max_events) break;
-    if (fields.size() != 5) {
-      return reader.Error("expected 5 tab-separated fields, got " +
-                          std::to_string(fields.size()));
-    }
-    auto ts = ParseIso8601(fields[1]);
-    if (!ts.ok()) return reader.Error(ts.status().message());
-    RECONSUME_RETURN_NOT_OK(builder.Add(RawInteraction{
-        std::string(fields[0]), std::string(fields[4]), ts.ValueOrDie()}));
-  }
-  if (builder.num_pending() == 0) {
-    return Status::InvalidArgument("no events in '" + path + "'");
-  }
-  return builder.Build();
+  return Load(path, LoaderOptions{.max_events = max_events});
+}
+
+Result<Dataset> GowallaLoader::Load(const std::string& path,
+                                    const LoaderOptions& options,
+                                    LoadReport* report) {
+  return LoadTrace(
+      path, 5, options, report,
+      [](const std::vector<std::string_view>& fields)
+          -> Result<RawInteraction> {
+        RECONSUME_ASSIGN_OR_RETURN(const int64_t ts, ParseIso8601(fields[1]));
+        return RawInteraction{std::string(fields[0]), std::string(fields[4]),
+                              ts};
+      });
 }
 
 Result<Dataset> LastfmLoader::Load(const std::string& path,
                                    int64_t max_events) {
-  RECONSUME_ASSIGN_OR_RETURN(
-      util::DelimitedReader reader,
-      util::DelimitedReader::Open(path, {.delimiter = '\t'}));
-  DatasetBuilder builder;
-  std::vector<std::string_view> fields;
-  while (reader.Next(&fields)) {
-    if (max_events > 0 && builder.num_pending() >= max_events) break;
-    if (fields.size() != 6) {
-      return reader.Error("expected 6 tab-separated fields, got " +
-                          std::to_string(fields.size()));
-    }
-    auto ts = ParseIso8601(fields[1]);
-    if (!ts.ok()) return reader.Error(ts.status().message());
-    std::string item_key(fields[4]);  // musicbrainz track id
-    if (item_key.empty()) {
-      item_key = std::string(fields[3]) + "||" + std::string(fields[5]);
-    }
-    if (item_key.empty() || item_key == "||") {
-      return reader.Error("row has neither track id nor names");
-    }
-    RECONSUME_RETURN_NOT_OK(builder.Add(RawInteraction{
-        std::string(fields[0]), std::move(item_key), ts.ValueOrDie()}));
-  }
-  if (builder.num_pending() == 0) {
-    return Status::InvalidArgument("no events in '" + path + "'");
-  }
-  return builder.Build();
+  return Load(path, LoaderOptions{.max_events = max_events});
+}
+
+Result<Dataset> LastfmLoader::Load(const std::string& path,
+                                   const LoaderOptions& options,
+                                   LoadReport* report) {
+  return LoadTrace(
+      path, 6, options, report,
+      [](const std::vector<std::string_view>& fields)
+          -> Result<RawInteraction> {
+        RECONSUME_ASSIGN_OR_RETURN(const int64_t ts, ParseIso8601(fields[1]));
+        std::string item_key(fields[4]);  // musicbrainz track id
+        if (item_key.empty()) {
+          item_key = std::string(fields[3]) + "||" + std::string(fields[5]);
+        }
+        if (item_key.empty() || item_key == "||") {
+          return Status::InvalidArgument("row has neither track id nor names");
+        }
+        return RawInteraction{std::string(fields[0]), std::move(item_key),
+                              ts};
+      });
 }
 
 }  // namespace data

@@ -4,9 +4,15 @@
 // downloads); these loaders accept the published formats so that real traces
 // drop in, while the experiments default to SyntheticTraceGenerator profiles
 // calibrated to the same statistics (see DESIGN.md §1).
+//
+// Robustness contract (docs/robustness.md): a malformed or out-of-order line
+// fails the load with a Status carrying "path:line:" — unless the caller
+// budgets for dirt with LoaderOptions::max_bad_lines, in which case up to
+// that many offending lines are skipped and counted in LoadReport.
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "data/dataset.h"
@@ -14,6 +20,33 @@
 
 namespace reconsume {
 namespace data {
+
+/// \brief Expected per-user timestamp order of the input file.
+enum class TimestampOrder {
+  kAny,         ///< no ordering requirement (the dataset builder sorts)
+  kAscending,   ///< each user's timestamps must be non-decreasing
+  kDescending,  ///< non-increasing (SNAP Gowalla / Last.fm dump order)
+};
+
+/// \brief Tolerance and validation knobs shared by the trace loaders.
+struct LoaderOptions {
+  /// > 0 truncates the read after this many accepted events (smoke tests).
+  int64_t max_events = 0;
+  /// Number of malformed / out-of-order lines to skip (and count) before the
+  /// load fails. 0 (the default) = strict: first bad line fails with its
+  /// line number.
+  int64_t max_bad_lines = 0;
+  /// When not kAny, a line whose timestamp breaks the per-user order counts
+  /// as a bad line.
+  TimestampOrder timestamp_order = TimestampOrder::kAny;
+};
+
+/// \brief What a loader saw while reading (bad-line accounting).
+struct LoadReport {
+  int64_t num_lines = 0;      ///< data lines consumed
+  int64_t num_bad_lines = 0;  ///< lines skipped under max_bad_lines
+  int64_t num_events = 0;     ///< interactions accepted into the dataset
+};
 
 /// \brief SNAP Gowalla check-in format:
 ///   user \t check-in-time(ISO-8601) \t latitude \t longitude \t location_id
@@ -23,6 +56,12 @@ class GowallaLoader {
  public:
   /// `max_events` > 0 truncates the read (useful for smoke tests).
   static Result<Dataset> Load(const std::string& path, int64_t max_events = 0);
+
+  /// Full-control overload; `report` (optional) receives the line accounting
+  /// even when the load fails.
+  static Result<Dataset> Load(const std::string& path,
+                              const LoaderOptions& options,
+                              LoadReport* report = nullptr);
 };
 
 /// \brief Last.fm 1K-user format (userid-timestamp-artid-artname-traid-traname):
@@ -34,6 +73,12 @@ class GowallaLoader {
 class LastfmLoader {
  public:
   static Result<Dataset> Load(const std::string& path, int64_t max_events = 0);
+
+  /// Full-control overload; `report` (optional) receives the line accounting
+  /// even when the load fails.
+  static Result<Dataset> Load(const std::string& path,
+                              const LoaderOptions& options,
+                              LoadReport* report = nullptr);
 };
 
 /// Parses "YYYY-MM-DDTHH:MM:SSZ" into seconds since an arbitrary fixed epoch.
@@ -43,4 +88,3 @@ Result<int64_t> ParseIso8601(std::string_view text);
 
 }  // namespace data
 }  // namespace reconsume
-

@@ -3,12 +3,15 @@
 #include <sstream>
 
 #include "util/csv.h"
+#include "util/failpoint.h"
+#include "util/fileio.h"
 #include "util/string_util.h"
 
 namespace reconsume {
 namespace data {
 
 Status SaveDatasetTsv(const Dataset& dataset, const std::string& path) {
+  RC_FAILPOINT("data/serialization/save");
   std::ostringstream out;
   for (size_t u = 0; u < dataset.num_users(); ++u) {
     const auto& seq = dataset.sequence(static_cast<UserId>(u));
@@ -17,10 +20,11 @@ Status SaveDatasetTsv(const Dataset& dataset, const std::string& path) {
           << dataset.item_key(seq[t]) << '\t' << t << '\n';
     }
   }
-  return util::WriteStringToFile(path, out.str());
+  return util::AtomicWriteFile(path, out.str());
 }
 
 Result<Dataset> LoadDatasetTsv(const std::string& path) {
+  RC_FAILPOINT("data/serialization/load");
   RECONSUME_ASSIGN_OR_RETURN(
       util::DelimitedReader reader,
       util::DelimitedReader::Open(path, {.delimiter = '\t'}));

@@ -13,11 +13,15 @@ namespace data {
 
 /// Writes `dataset` to `path` in the TSV event format. Events are emitted in
 /// per-user sequence order with the step index as the timestamp, so a reload
-/// reproduces identical sequences.
+/// reproduces identical sequences. The write is atomic (temp file + fsync +
+/// rename): a crash mid-save never leaves a partial file at `path`.
+/// Failpoint: "data/serialization/save".
 Status SaveDatasetTsv(const Dataset& dataset, const std::string& path);
 
 /// Loads a TSV event file written by SaveDatasetTsv (or any
-/// "user \t item \t integer-time" file).
+/// "user \t item \t integer-time" file). Strict: the first malformed line
+/// fails the load with its line number.
+/// Failpoint: "data/serialization/load".
 Result<Dataset> LoadDatasetTsv(const std::string& path);
 
 }  // namespace data

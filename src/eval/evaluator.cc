@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -26,6 +27,7 @@ struct Accumulator {
   std::vector<double> miap_sums;
   int64_t total_instances = 0;
   int num_users_evaluated = 0;
+  int num_users_skipped = 0;
   double total_candidates = 0.0;
   double total_latency_ms = 0.0;
   std::vector<PerUserResult> per_user;
@@ -40,6 +42,7 @@ struct Accumulator {
     }
     total_instances += other.total_instances;
     num_users_evaluated += other.num_users_evaluated;
+    num_users_skipped += other.num_users_skipped;
     total_candidates += other.total_candidates;
     total_latency_ms += other.total_latency_ms;
     per_user.insert(per_user.end(), other.per_user.begin(),
@@ -92,15 +95,21 @@ Evaluator::Evaluator(const data::TrainTestSplit* split, EvalOptions options)
   RC_CHECK_OK(ValidateOptions(options_));
 }
 
-void Evaluator::EvaluateUser(Recommender* recommender, data::UserId user,
-                             void* accumulator_opaque) const {
+Status Evaluator::EvaluateUser(Recommender* recommender, data::UserId user,
+                               void* accumulator_opaque) const {
+  RC_FAILPOINT("eval/user");
   Accumulator& accumulator = *static_cast<Accumulator*>(accumulator_opaque);
   const data::Dataset& dataset = split_->dataset();
   const size_t num_cutoffs = options_.top_ns.size();
   const auto& seq = dataset.sequence(user);
   const size_t test_begin = split_->split_point(user);
-  RC_DCHECK(test_begin <= seq.size())
-      << "test window of user " << user << " starts past its sequence";
+  if (test_begin > seq.size()) {
+    return Status::InvalidArgument(
+        "test window of user " + std::to_string(user) +
+        " starts past its sequence (split point " +
+        std::to_string(test_begin) + ", length " +
+        std::to_string(seq.size()) + ")");
+  }
   window::WindowWalker walker(&seq, options_.window_capacity);
 
   // Warm the window over the training segment without evaluating.
@@ -157,7 +166,12 @@ void Evaluator::EvaluateUser(Recommender* recommender, data::UserId user,
           break;
         }
       }
-      RC_DCHECK_INDEX(target_index, candidates.size());
+      if (target_index == candidates.size()) {
+        return Status::Internal(
+            "target item missing from the candidate set for user " +
+            std::to_string(user) + " at step " +
+            std::to_string(walker.step()));
+      }
       const double target_score = scores[target_index];
       size_t rank = 0;
       for (size_t i = 0; i < candidates.size(); ++i) {
@@ -191,6 +205,7 @@ void Evaluator::EvaluateUser(Recommender* recommender, data::UserId user,
           PerUserResult{user, user_instances, user_hits});
     }
   }
+  return Status::OK();
 }
 
 Result<AccuracyResult> Evaluator::Evaluate(Recommender* recommender) const {
@@ -218,26 +233,50 @@ Result<AccuracyResult> Evaluator::Evaluate(Recommender* recommender) const {
     }
   }
 
+  // Applies the skip_invalid_users policy to one user's outcome: skips are
+  // counted and logged, hard failures propagate out of Evaluate.
+  auto evaluate_user = [this](Recommender* rec, data::UserId user,
+                              Accumulator* accumulator) -> Status {
+    const Status status = EvaluateUser(rec, user, accumulator);
+    if (status.ok() || !options_.skip_invalid_users) return status;
+    ++accumulator->num_users_skipped;
+    RECONSUME_LOG(Warning) << "skipping user " << user
+                           << " in evaluation: " << status.message();
+    return Status::OK();
+  };
+
   if (!parallel) {
     for (size_t u = 0; u < num_users; ++u) {
-      EvaluateUser(recommender, static_cast<data::UserId>(u), &total);
+      RECONSUME_RETURN_NOT_OK(
+          evaluate_user(recommender, static_cast<data::UserId>(u), &total));
     }
   } else {
-    // Contiguous user chunks, one accumulator and clone per worker.
+    // Contiguous user chunks, one accumulator and clone per worker. Tasks
+    // must not throw (ThreadPool contract): each worker parks its first
+    // failure in its own Status slot and stops its chunk.
     const size_t num_workers = clones.size();
     std::vector<Accumulator> partials(num_workers, Accumulator(num_cutoffs));
+    std::vector<Status> worker_status(num_workers);
     util::ThreadPool pool(num_workers);
     for (size_t w = 0; w < num_workers; ++w) {
-      pool.Submit([this, w, num_workers, num_users, &clones, &partials] {
+      pool.Submit([this, w, num_workers, num_users, &clones, &partials,
+                   &worker_status, &evaluate_user] {
         const size_t begin = w * num_users / num_workers;
         const size_t end = (w + 1) * num_users / num_workers;
         for (size_t u = begin; u < end; ++u) {
-          EvaluateUser(clones[w].get(), static_cast<data::UserId>(u),
-                       &partials[w]);
+          const Status status = evaluate_user(
+              clones[w].get(), static_cast<data::UserId>(u), &partials[w]);
+          if (!status.ok()) {
+            worker_status[w] = status;
+            break;
+          }
         }
       });
     }
     pool.Wait();
+    for (const Status& status : worker_status) {
+      RECONSUME_RETURN_NOT_OK(status);
+    }
     for (const Accumulator& partial : partials) total.Merge(partial);
   }
 
@@ -248,6 +287,7 @@ Result<AccuracyResult> Evaluator::Evaluate(Recommender* recommender) const {
   result.miap.assign(num_cutoffs, 0.0);
   result.num_instances = total.total_instances;
   result.num_users_evaluated = total.num_users_evaluated;
+  result.num_users_skipped = total.num_users_skipped;
   if (total.total_instances > 0) {
     for (size_t c = 0; c < num_cutoffs; ++c) {
       result.maap[c] = static_cast<double>(total.global_hits[c]) /

@@ -50,6 +50,14 @@ struct EvalOptions {
   /// walker state W_{u,t-1}. Null = evaluate every eligible instance.
   std::function<bool(data::UserId, const window::WindowWalker&)>
       instance_filter;
+  /// \brief Skip-and-account policy for users whose test window fails
+  /// validation (e.g. a split point past the sequence end).
+  ///
+  /// false (the default): the first invalid user fails Evaluate with a
+  /// Status. true: the user is skipped with a logged warning and counted in
+  /// AccuracyResult::num_users_skipped; aggregate metrics cover the
+  /// remaining users only.
+  bool skip_invalid_users = false;
 };
 
 /// \brief Per-user tally (populated when EvalOptions::collect_per_user).
@@ -74,6 +82,9 @@ struct AccuracyResult {
   std::vector<double> miap;  ///< parallel to top_ns (Eq. 24)
   int64_t num_instances = 0;       ///< recommendation lists generated
   int num_users_evaluated = 0;     ///< users with >= 1 instance
+  /// Users dropped by EvalOptions::skip_invalid_users (0 when the policy is
+  /// off — an invalid user then fails the whole evaluation instead).
+  int num_users_skipped = 0;
   double mean_score_latency_ms = 0.0;
   double mean_candidates = 0.0;    ///< average candidate-set size
   /// One entry per evaluated user when EvalOptions::collect_per_user is set.
@@ -109,8 +120,10 @@ class Evaluator {
 
  private:
   /// Walks one user's test segment into the (type-erased) Accumulator.
-  void EvaluateUser(Recommender* recommender, data::UserId user,
-                    void* accumulator_opaque) const;
+  /// Non-OK when the user's window fails validation (or the "eval/user"
+  /// failpoint fires); the caller applies the skip_invalid_users policy.
+  Status EvaluateUser(Recommender* recommender, data::UserId user,
+                      void* accumulator_opaque) const;
 
   const data::TrainTestSplit* split_;
   EvalOptions options_;

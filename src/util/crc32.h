@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the checksum the
+// checkpoint format uses to detect truncated or corrupted snapshots.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace reconsume {
+namespace util {
+
+/// CRC-32 of `bytes`. Pass a previous result as `seed` to checksum a stream
+/// incrementally: Crc32(b, Crc32(a)) == Crc32(a + b).
+uint32_t Crc32(std::string_view bytes, uint32_t seed = 0);
+
+}  // namespace util
+}  // namespace reconsume

@@ -37,30 +37,5 @@ Status DelimitedReader::Error(std::string_view message) const {
   return Status::InvalidArgument(out.str());
 }
 
-Result<std::string> ReadFileToString(const std::string& path) {
-  std::ifstream stream(path, std::ios::binary);
-  if (!stream.is_open()) {
-    return Status::IoError("cannot open '" + path + "' for reading");
-  }
-  std::ostringstream contents;
-  contents << stream.rdbuf();
-  if (stream.bad()) {
-    return Status::IoError("read error on '" + path + "'");
-  }
-  return contents.str();
-}
-
-Status WriteStringToFile(const std::string& path, std::string_view contents) {
-  std::ofstream stream(path, std::ios::binary | std::ios::trunc);
-  if (!stream.is_open()) {
-    return Status::IoError("cannot open '" + path + "' for writing");
-  }
-  stream.write(contents.data(), static_cast<std::streamsize>(contents.size()));
-  if (!stream.good()) {
-    return Status::IoError("write error on '" + path + "'");
-  }
-  return Status::OK();
-}
-
 }  // namespace util
 }  // namespace reconsume

@@ -55,12 +55,6 @@ class DelimitedReader {
   int64_t line_number_ = 0;
 };
 
-/// Reads an entire file into memory; IoError on failure.
-Result<std::string> ReadFileToString(const std::string& path);
-
-/// Writes `contents` to `path`, replacing any existing file.
-Status WriteStringToFile(const std::string& path, std::string_view contents);
-
 }  // namespace util
 }  // namespace reconsume
 

@@ -1,0 +1,231 @@
+#include "util/failpoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace reconsume {
+namespace util {
+
+namespace {
+
+enum class Mode { kOff, kErrorOnce, kErrorEveryN, kProbability, kAbort };
+
+struct Point {
+  Mode mode = Mode::kOff;
+  int64_t every_n = 0;   ///< kErrorEveryN period
+  double probability = 0.0;
+  int64_t hits = 0;      ///< lifetime evaluations
+  int64_t fires = 0;     ///< lifetime injected faults
+  bool disarmed = false; ///< set after kErrorOnce fires
+};
+
+Result<Point> ParseSpec(std::string_view spec) {
+  Point point;
+  const std::string text(Trim(spec));
+  auto numeric_arg = [&](std::string_view prefix) -> Result<std::string> {
+    // "prefix(arg)" -> "arg"
+    if (text.size() < prefix.size() + 2 || text.back() != ')') {
+      return Status::InvalidArgument("malformed failpoint spec '" + text +
+                                     "'");
+    }
+    return text.substr(prefix.size() + 1,
+                       text.size() - prefix.size() - 2);
+  };
+  if (text == "off") {
+    point.mode = Mode::kOff;
+  } else if (text == "error-once") {
+    point.mode = Mode::kErrorOnce;
+  } else if (text == "abort") {
+    point.mode = Mode::kAbort;
+  } else if (text.rfind("error-every(", 0) == 0) {
+    point.mode = Mode::kErrorEveryN;
+    RECONSUME_ASSIGN_OR_RETURN(const std::string arg,
+                               numeric_arg("error-every"));
+    RECONSUME_ASSIGN_OR_RETURN(point.every_n, ParseInt64(arg));
+    if (point.every_n < 1) {
+      return Status::InvalidArgument("error-every(N) needs N >= 1, got " +
+                                     arg);
+    }
+  } else if (text.rfind("prob(", 0) == 0) {
+    point.mode = Mode::kProbability;
+    RECONSUME_ASSIGN_OR_RETURN(const std::string arg, numeric_arg("prob"));
+    RECONSUME_ASSIGN_OR_RETURN(point.probability, ParseDouble(arg));
+    if (point.probability < 0.0 || point.probability > 1.0) {
+      return Status::InvalidArgument("prob(P) needs P in [0, 1], got " + arg);
+    }
+  } else {
+    return Status::InvalidArgument(
+        "unknown failpoint spec '" + text +
+        "' (want off | error-once | error-every(N) | prob(P) | abort)");
+  }
+  return point;
+}
+
+}  // namespace
+
+struct FailpointRegistry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, Point, std::less<>> points;
+  Rng rng{0x5EEDFA11ULL};
+  /// Number of registered names; lets Evaluate skip the lock entirely while
+  /// the registry is empty, keeping failpoint sites in SGD-step-grade hot
+  /// loops at the cost of one relaxed atomic load.
+  std::atomic<size_t> num_points{0};
+};
+
+FailpointRegistry::FailpointRegistry() : impl_(new Impl) {}
+FailpointRegistry::~FailpointRegistry() { delete impl_; }
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* registry = [] {
+    auto* r = new FailpointRegistry();
+    if (const char* env = std::getenv("RECONSUME_FAILPOINTS");
+        env != nullptr && *env != '\0') {
+      const Status status = r->Configure(env);
+      if (!status.ok()) {
+        RECONSUME_LOG(Warning)
+            << "ignoring invalid RECONSUME_FAILPOINTS entries: "
+            << status.ToString();
+      }
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+Status FailpointRegistry::Set(std::string_view name, std::string_view spec) {
+  const std::string key(Trim(name));
+  if (key.empty()) {
+    return Status::InvalidArgument("failpoint name must be non-empty");
+  }
+  RECONSUME_ASSIGN_OR_RETURN(Point parsed, ParseSpec(spec));
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  Point& point = impl_->points[key];
+  // Preserve lifetime counters across re-arming; reset the firing state.
+  parsed.hits = point.hits;
+  parsed.fires = point.fires;
+  point = parsed;
+  impl_->num_points.store(impl_->points.size(), std::memory_order_release);
+  return Status::OK();
+}
+
+Status FailpointRegistry::Configure(std::string_view config) {
+  std::string first_error;
+  int bad_entries = 0;
+  for (const std::string_view entry : Split(config, ',')) {
+    const std::string_view trimmed = Trim(entry);
+    if (trimmed.empty()) continue;
+    const size_t eq = trimmed.find('=');
+    Status status =
+        eq == std::string_view::npos
+            ? Status::InvalidArgument("failpoint entry '" +
+                                      std::string(trimmed) +
+                                      "' is not name=spec")
+            : Set(trimmed.substr(0, eq), trimmed.substr(eq + 1));
+    if (!status.ok()) {
+      ++bad_entries;
+      if (first_error.empty()) first_error = status.message();
+    }
+  }
+  if (bad_entries > 0) {
+    return Status::InvalidArgument(std::to_string(bad_entries) +
+                                   " bad failpoint entr" +
+                                   (bad_entries == 1 ? "y" : "ies") + ": " +
+                                   first_error);
+  }
+  return Status::OK();
+}
+
+void FailpointRegistry::Disable(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->points.find(name);
+  if (it != impl_->points.end()) {
+    it->second.mode = Mode::kOff;
+    it->second.disarmed = false;
+  }
+}
+
+void FailpointRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->points.clear();
+  impl_->num_points.store(0, std::memory_order_release);
+}
+
+Status FailpointRegistry::Evaluate(const char* name) {
+  // Fast path: nothing registered, no lock taken.
+  if (impl_->num_points.load(std::memory_order_acquire) == 0) {
+    return Status::OK();
+  }
+  bool abort_requested = false;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    const auto it = impl_->points.find(std::string_view(name));
+    if (it == impl_->points.end()) return Status::OK();
+    Point& point = it->second;
+    ++point.hits;
+    bool fire = false;
+    switch (point.mode) {
+      case Mode::kOff:
+        break;
+      case Mode::kErrorOnce:
+        fire = !point.disarmed;
+        point.disarmed = true;
+        break;
+      case Mode::kErrorEveryN:
+        fire = point.hits % point.every_n == 0;
+        break;
+      case Mode::kProbability:
+        fire = impl_->rng.Bernoulli(point.probability);
+        break;
+      case Mode::kAbort:
+        fire = true;
+        abort_requested = true;
+        break;
+    }
+    if (!fire) return Status::OK();
+    ++point.fires;
+  }
+  if (abort_requested) {
+    // Simulated hard crash: route through the pluggable RC_CHECK failure
+    // handler so death-style tests can intercept it like any contract
+    // failure. (Outside tests this aborts the process.)
+    RC_CHECK(false) << "failpoint '" << name << "' fired in abort mode";
+  }
+  return Status::Internal(std::string("failpoint '") + name + "' fired");
+}
+
+int64_t FailpointRegistry::hits(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->points.find(name);
+  return it == impl_->points.end() ? 0 : it->second.hits;
+}
+
+int64_t FailpointRegistry::fires(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->points.find(name);
+  return it == impl_->points.end() ? 0 : it->second.fires;
+}
+
+void FailpointRegistry::SeedProbabilistic(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->rng.Seed(seed);
+}
+
+ScopedFailpoint::ScopedFailpoint(std::string name, std::string_view spec)
+    : name_(std::move(name)) {
+  RC_CHECK_OK(FailpointRegistry::Global().Set(name_, spec));
+}
+
+ScopedFailpoint::~ScopedFailpoint() {
+  FailpointRegistry::Global().Disable(name_);
+}
+
+}  // namespace util
+}  // namespace reconsume

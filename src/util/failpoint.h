@@ -1,0 +1,126 @@
+// Named-failpoint fault injection for testing the robustness layer.
+//
+// A failpoint is a named site in library code where an artificial fault can
+// be injected at runtime. Sites are declared with RC_FAILPOINT("area/op"):
+//
+//   Status SaveModel(...) {
+//     RC_FAILPOINT("model_io/save");   // may return an injected IoError here
+//     ...
+//   }
+//
+// Each point carries a per-point policy, configured either through the API
+// (FailpointRegistry::Set / ScopedFailpoint in tests) or the
+// RECONSUME_FAILPOINTS environment variable, a comma-separated list parsed
+// on first registry access:
+//
+//   RECONSUME_FAILPOINTS="model_io/save=error-once,trainer/round=error-every(3)"
+//
+// Policies (spec grammar accepted by Set):
+//   off             never fires (the default for every point)
+//   error-once      fires on the first hit only, then disarms
+//   error-every(N)  fires on every N-th hit (N >= 1)
+//   prob(P)         fires with probability P per hit (deterministic registry
+//                   RNG; reseed with SeedProbabilistic for reproducible runs)
+//   abort           routes through the RC_CHECK failure handler (simulated
+//                   hard crash; death-testable like any contract failure)
+//
+// A fired point returns Status::Internal("failpoint '<name>' fired"), which
+// the enclosing function propagates like any real fault — so every recovery
+// path (checkpoint resume, bad-line tolerance, eval skip policy) is testable
+// deterministically.
+//
+// Build gating: the whole mechanism compiles away unless
+// RECONSUME_FAILPOINTS_ENABLED is 1 (CMake option RECONSUME_FAILPOINTS,
+// default ON except for Release builds). When compiled out, RC_FAILPOINT
+// expands to nothing and RC_FAILPOINT_STATUS to Status::OK().
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+#ifndef RECONSUME_FAILPOINTS_ENABLED
+#define RECONSUME_FAILPOINTS_ENABLED 0
+#endif
+
+namespace reconsume {
+namespace util {
+
+/// \brief Process-wide registry of named failpoints. Thread-safe.
+class FailpointRegistry {
+ public:
+  /// The singleton used by RC_FAILPOINT. Loads RECONSUME_FAILPOINTS from the
+  /// environment on first access (invalid entries are logged and skipped).
+  static FailpointRegistry& Global();
+
+  /// Arms `name` with a policy spec (see the header comment for the
+  /// grammar). InvalidArgument on a malformed spec.
+  Status Set(std::string_view name, std::string_view spec);
+
+  /// Parses a comma-separated "name=spec,name=spec" list (the
+  /// RECONSUME_FAILPOINTS format) and arms every entry.
+  Status Configure(std::string_view config);
+
+  /// Disarms one point / every point.
+  void Disable(std::string_view name);
+  void Clear();
+
+  /// Evaluates the point: counts the hit and returns non-OK iff the armed
+  /// policy fires. Called by RC_FAILPOINT; OK for unknown/disarmed names.
+  Status Evaluate(const char* name);
+
+  /// Lifetime hit / fire counters of a point (0 for unknown names).
+  int64_t hits(std::string_view name) const;
+  int64_t fires(std::string_view name) const;
+
+  /// Reseeds the RNG behind prob(P) policies (default seed is fixed).
+  void SeedProbabilistic(uint64_t seed);
+
+  FailpointRegistry();
+  ~FailpointRegistry();
+  FailpointRegistry(const FailpointRegistry&) = delete;
+  FailpointRegistry& operator=(const FailpointRegistry&) = delete;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// \brief RAII failpoint arming for tests: arms on construction, disarms on
+/// destruction. Dies on a malformed spec (test setup error).
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string name, std::string_view spec);
+  ~ScopedFailpoint();
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace util
+}  // namespace reconsume
+
+#if RECONSUME_FAILPOINTS_ENABLED
+/// Evaluates the named failpoint and, when it fires, propagates the injected
+/// Status out of the enclosing Status/Result-returning function.
+#define RC_FAILPOINT(name)                                                  \
+  do {                                                                      \
+    ::reconsume::Status rc_fp_status =                                      \
+        ::reconsume::util::FailpointRegistry::Global().Evaluate(name);      \
+    if (!rc_fp_status.ok()) return rc_fp_status;                            \
+  } while (0)
+/// Expression form for contexts that cannot early-return (worker lambdas):
+/// yields the injected Status, or OK when the point does not fire.
+#define RC_FAILPOINT_STATUS(name) \
+  (::reconsume::util::FailpointRegistry::Global().Evaluate(name))
+#else
+#define RC_FAILPOINT(name) \
+  do {                     \
+  } while (0)
+#define RC_FAILPOINT_STATUS(name) (::reconsume::Status::OK())
+#endif

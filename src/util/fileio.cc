@@ -1,0 +1,101 @@
+#include "util/fileio.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/failpoint.h"
+
+namespace reconsume {
+namespace util {
+
+namespace {
+
+std::string Errno(const char* what, const std::string& path) {
+  return std::string(what) + " '" + path + "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream.is_open()) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream contents;
+  contents << stream.rdbuf();
+  if (stream.bad()) {
+    return Status::IoError("read error on '" + path + "'");
+  }
+  return contents.str();
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  std::ofstream stream(path, std::ios::binary | std::ios::trunc);
+  if (!stream.is_open()) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  stream.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  if (!stream.good()) {
+    return Status::IoError("write error on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  RC_FAILPOINT("util/atomic_write");
+  const std::string temp_path =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+  const int fd = ::open(temp_path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError(Errno("cannot create temp file", temp_path));
+  }
+  // Any failure from here on must remove the temp file so a retried write
+  // (or an unrelated later one) never sees a stale partial sibling.
+  auto fail = [&](std::string message) {
+    ::close(fd);
+    ::unlink(temp_path.c_str());
+    return Status::IoError(std::move(message));
+  };
+
+  size_t written = 0;
+  while (written < contents.size()) {
+    const ssize_t n = ::write(fd, contents.data() + written,
+                              contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail(Errno("write error on", temp_path));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    return fail(Errno("fsync error on", temp_path));
+  }
+  if (::close(fd) != 0) {
+    ::unlink(temp_path.c_str());
+    return Status::IoError(Errno("close error on", temp_path));
+  }
+  {
+    // Simulated crash between "temp file durable" and "rename published":
+    // the destination must be left untouched.
+    const Status injected = RC_FAILPOINT_STATUS("util/atomic_write/rename");
+    if (!injected.ok()) {
+      ::unlink(temp_path.c_str());
+      return injected;
+    }
+  }
+  if (::rename(temp_path.c_str(), path.c_str()) != 0) {
+    ::unlink(temp_path.c_str());
+    return Status::IoError(Errno("cannot rename temp file over", path));
+  }
+  return Status::OK();
+}
+
+}  // namespace util
+}  // namespace reconsume

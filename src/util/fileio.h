@@ -1,0 +1,40 @@
+// Whole-file I/O helpers, including the project's single durable-write
+// primitive.
+//
+// Every write of a model, checkpoint, or dataset artifact in src/ must go
+// through AtomicWriteFile (tools/lint_reconsume.py bans raw std::ofstream in
+// library code outside this helper): a crash mid-write then leaves either
+// the complete previous file or the complete new file — never a truncated
+// hybrid that a later load would have to disentangle.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace reconsume {
+namespace util {
+
+/// Reads an entire file into memory; IoError on failure.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `contents` to `path`, replacing any existing file. NOT crash-safe:
+/// an interrupted write leaves a truncated file. Reserved for scratch and
+/// test fixtures; durable artifacts go through AtomicWriteFile.
+Status WriteStringToFile(const std::string& path, std::string_view contents);
+
+/// \brief Crash-safe whole-file replacement: temp file + fsync + rename.
+///
+/// Writes `contents` to a temporary sibling of `path`, fsyncs it, then
+/// atomically renames it over `path` (POSIX rename within one directory).
+/// On any failure the temporary is removed and an existing `path` is left
+/// untouched. Failpoints: "util/atomic_write" (fails before any bytes are
+/// written), "util/atomic_write/rename" (fails after the temp file is
+/// complete but before it replaces `path` — the crash window atomicity
+/// protects against).
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+}  // namespace util
+}  // namespace reconsume

@@ -32,6 +32,23 @@ class SplitMix64 {
   uint64_t state_;
 };
 
+/// \brief Complete serializable state of an Rng (checkpoint/resume).
+///
+/// Covers the xoshiro256** words plus the Box–Muller Gaussian cache, so
+/// restoring a state resumes the exact draw sequence — including a pending
+/// cached normal deviate.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  double cached = 0.0;
+  bool has_cached = false;
+
+  bool operator==(const RngState& other) const {
+    return s[0] == other.s[0] && s[1] == other.s[1] && s[2] == other.s[2] &&
+           s[3] == other.s[3] && cached == other.cached &&
+           has_cached == other.has_cached;
+  }
+};
+
 /// \brief xoshiro256** 1.0 — the library-wide PRNG.
 ///
 /// Satisfies UniformRandomBitGenerator, so it also plugs into <random>
@@ -45,6 +62,22 @@ class Rng {
   void Seed(uint64_t seed) {
     SplitMix64 sm(seed);
     for (auto& s : state_) s = sm.Next();
+    has_cached_ = false;
+    cached_ = 0.0;
+  }
+
+  /// Snapshot / restore of the full generator state (bit-exact resume).
+  RngState GetState() const {
+    RngState st;
+    for (int i = 0; i < 4; ++i) st.s[i] = state_[i];
+    st.cached = cached_;
+    st.has_cached = has_cached_;
+    return st;
+  }
+  void SetState(const RngState& st) {
+    for (int i = 0; i < 4; ++i) state_[i] = st.s[i];
+    cached_ = st.cached;
+    has_cached_ = st.has_cached;
   }
 
   static constexpr result_type min() { return 0; }

@@ -1,0 +1,243 @@
+// Tests for the RCCK checkpoint layer: wire-format roundtrip, truncation and
+// corruption detection, atomic file writes, the CheckpointManager retention
+// policy, and fallback to the previous good snapshot when the newest file on
+// disk is damaged.
+
+#include "core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/failpoint.h"
+#include "util/fileio.h"
+#include "util/random.h"
+
+namespace reconsume {
+namespace core {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  std::string TempDir() {
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("reconsume_ckpt_test_" + std::to_string(counter_++) + "_" +
+          std::to_string(reinterpret_cast<uintptr_t>(this))))
+            .string();
+    dirs_.push_back(dir);
+    return dir;
+  }
+  void TearDown() override {
+    for (const auto& d : dirs_) std::filesystem::remove_all(d);
+  }
+  std::vector<std::string> dirs_;
+  int counter_ = 0;
+};
+
+TsPprModel MakeModel() {
+  TsPprConfig config;
+  config.latent_dim = 3;
+  return TsPprModel::Create(4, 5, 2, config).ValueOrDie();
+}
+
+TrainerCheckpoint MakeCheckpoint(int64_t steps) {
+  TrainerCheckpoint ckpt;
+  ckpt.steps = steps;
+  ckpt.checks = 2;
+  ckpt.prev_r_tilde = 0.375;
+  ckpt.lr_scale = 0.25;
+  ckpt.recoveries_used = 1;
+  ckpt.curve = {{0, 0.1}, {100, 0.2}, {steps, 0.375}};
+  RecoveryEvent event;
+  event.failed_at_step = 150;
+  event.resumed_from_step = 100;
+  event.lr_scale_after = 0.25;
+  event.reason = "injected divergence";
+  ckpt.recovery_log = {event};
+  util::Rng rng(steps == 0 ? 1 : static_cast<uint64_t>(steps));
+  rng.NextGaussian();  // populate the Box-Muller cache
+  ckpt.rng_state = rng.GetState();
+  ckpt.num_workers = 2;
+  ckpt.shard_strategy = sampling::ShardStrategy::kInterleaved;
+  ckpt.hogwild_base_seed = 0xDEADBEEFULL;
+  ckpt.worker_rng_states = {util::Rng(7).GetState(), util::Rng(8).GetState()};
+  ckpt.model = MakeModel();
+  return ckpt;
+}
+
+void ExpectCheckpointsEqual(const TrainerCheckpoint& a,
+                            const TrainerCheckpoint& b) {
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.checks, b.checks);
+  EXPECT_EQ(a.prev_r_tilde, b.prev_r_tilde);
+  EXPECT_EQ(a.lr_scale, b.lr_scale);
+  EXPECT_EQ(a.recoveries_used, b.recoveries_used);
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  for (size_t i = 0; i < a.curve.size(); ++i) {
+    EXPECT_EQ(a.curve[i].step, b.curve[i].step);
+    EXPECT_EQ(a.curve[i].r_tilde, b.curve[i].r_tilde);
+  }
+  ASSERT_EQ(a.recovery_log.size(), b.recovery_log.size());
+  for (size_t i = 0; i < a.recovery_log.size(); ++i) {
+    EXPECT_EQ(a.recovery_log[i].failed_at_step,
+              b.recovery_log[i].failed_at_step);
+    EXPECT_EQ(a.recovery_log[i].resumed_from_step,
+              b.recovery_log[i].resumed_from_step);
+    EXPECT_EQ(a.recovery_log[i].lr_scale_after,
+              b.recovery_log[i].lr_scale_after);
+    EXPECT_EQ(a.recovery_log[i].reason, b.recovery_log[i].reason);
+  }
+  EXPECT_TRUE(a.rng_state == b.rng_state);
+  EXPECT_EQ(a.num_workers, b.num_workers);
+  EXPECT_EQ(a.shard_strategy, b.shard_strategy);
+  EXPECT_EQ(a.hogwild_base_seed, b.hogwild_base_seed);
+  ASSERT_EQ(a.worker_rng_states.size(), b.worker_rng_states.size());
+  for (size_t i = 0; i < a.worker_rng_states.size(); ++i) {
+    EXPECT_TRUE(a.worker_rng_states[i] == b.worker_rng_states[i]);
+  }
+  ASSERT_TRUE(a.model.has_value());
+  ASSERT_TRUE(b.model.has_value());
+  ASSERT_EQ(a.model->num_users(), b.model->num_users());
+  ASSERT_EQ(a.model->num_items(), b.model->num_items());
+  for (size_t u = 0; u < a.model->num_users(); ++u) {
+    const auto ua = a.model->user_factor(static_cast<data::UserId>(u));
+    const auto ub = b.model->user_factor(static_cast<data::UserId>(u));
+    for (size_t c = 0; c < ua.size(); ++c) EXPECT_EQ(ua[c], ub[c]);
+  }
+  for (size_t v = 0; v < a.model->num_items(); ++v) {
+    const auto va = a.model->item_factor(static_cast<data::ItemId>(v));
+    const auto vb = b.model->item_factor(static_cast<data::ItemId>(v));
+    for (size_t c = 0; c < va.size(); ++c) EXPECT_EQ(va[c], vb[c]);
+  }
+}
+
+TEST_F(CheckpointTest, SerializeDeserializeRoundtrip) {
+  const TrainerCheckpoint original = MakeCheckpoint(200);
+  const std::string bytes = SerializeCheckpoint(original);
+  const TrainerCheckpoint loaded = DeserializeCheckpoint(bytes).ValueOrDie();
+  ExpectCheckpointsEqual(original, loaded);
+}
+
+TEST_F(CheckpointTest, SaveLoadFileRoundtrip) {
+  const std::string dir = TempDir();
+  ASSERT_TRUE(std::filesystem::create_directories(dir));
+  const std::string path = dir + "/snap.rck";
+  const TrainerCheckpoint original = MakeCheckpoint(300);
+  ASSERT_TRUE(SaveCheckpoint(original, path).ok());
+  ExpectCheckpointsEqual(original, LoadCheckpoint(path).ValueOrDie());
+}
+
+TEST_F(CheckpointTest, TruncatedFileReportsByteOffset) {
+  const std::string bytes = SerializeCheckpoint(MakeCheckpoint(100));
+  for (const size_t keep :
+       {bytes.size() / 2, bytes.size() - 1, size_t{20}}) {
+    const auto result =
+        DeserializeCheckpoint(std::string_view(bytes).substr(0, keep));
+    ASSERT_FALSE(result.ok()) << "kept " << keep << " bytes";
+    EXPECT_NE(result.status().message().find("truncated at byte"),
+              std::string::npos)
+        << result.status().message();
+  }
+}
+
+TEST_F(CheckpointTest, FlippedByteFailsCrc) {
+  std::string bytes = SerializeCheckpoint(MakeCheckpoint(100));
+  bytes[bytes.size() / 2] ^= 0x40;
+  const auto result = DeserializeCheckpoint(bytes);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST_F(CheckpointTest, WrongMagicRejected) {
+  std::string bytes = SerializeCheckpoint(MakeCheckpoint(100));
+  bytes[0] = 'X';
+  const auto result = DeserializeCheckpoint(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("not a reconsume checkpoint"),
+            std::string::npos);
+}
+
+TEST_F(CheckpointTest, ManagerCreatesDirectoryAndRejectsBadRetention) {
+  const std::string dir = TempDir();
+  EXPECT_FALSE(CheckpointManager::Create(dir, 0).ok());
+  EXPECT_FALSE(CheckpointManager::Create("", 2).ok());
+  auto manager = CheckpointManager::Create(dir + "/nested/deeper", 2);
+  ASSERT_TRUE(manager.ok());
+  EXPECT_TRUE(std::filesystem::is_directory(dir + "/nested/deeper"));
+}
+
+TEST_F(CheckpointTest, ManagerRetentionKeepsNewestFiles) {
+  const std::string dir = TempDir();
+  auto manager = CheckpointManager::Create(dir, 2).ValueOrDie();
+  for (const int64_t steps : {100, 200, 300, 400}) {
+    ASSERT_TRUE(manager.Write(MakeCheckpoint(steps)).ok());
+  }
+  EXPECT_EQ(manager.num_written(), 4);
+  const auto files = ListCheckpointFiles(dir);
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(LoadCheckpoint(files[0]).ValueOrDie().steps, 300);
+  EXPECT_EQ(LoadCheckpoint(files[1]).ValueOrDie().steps, 400);
+  EXPECT_EQ(manager.LoadLatestGood().ValueOrDie().steps, 400);
+}
+
+TEST_F(CheckpointTest, LoadLatestGoodSkipsCorruptNewest) {
+  const std::string dir = TempDir();
+  auto manager = CheckpointManager::Create(dir, 3).ValueOrDie();
+  ASSERT_TRUE(manager.Write(MakeCheckpoint(100)).ok());
+  ASSERT_TRUE(manager.Write(MakeCheckpoint(200)).ok());
+  const auto files = ListCheckpointFiles(dir);
+  ASSERT_EQ(files.size(), 2u);
+
+  // Corrupt the newest file in place: resume must fall back to step 100.
+  std::string bytes = util::ReadFileToString(files[1]).ValueOrDie();
+  bytes[bytes.size() / 2] ^= 0x01;
+  ASSERT_TRUE(util::WriteStringToFile(files[1], bytes).ok());
+
+  EXPECT_EQ(manager.LoadLatestGood().ValueOrDie().steps, 100);
+  EXPECT_EQ(FindLatestGoodCheckpoint(dir).ValueOrDie(), files[0]);
+}
+
+TEST_F(CheckpointTest, TruncatedNewestAlsoFallsBack) {
+  const std::string dir = TempDir();
+  auto manager = CheckpointManager::Create(dir, 3).ValueOrDie();
+  ASSERT_TRUE(manager.Write(MakeCheckpoint(100)).ok());
+  ASSERT_TRUE(manager.Write(MakeCheckpoint(200)).ok());
+  const auto files = ListCheckpointFiles(dir);
+  std::string bytes = util::ReadFileToString(files[1]).ValueOrDie();
+  ASSERT_TRUE(
+      util::WriteStringToFile(files[1], bytes.substr(0, bytes.size() / 3))
+          .ok());
+  EXPECT_EQ(manager.LoadLatestGood().ValueOrDie().steps, 100);
+}
+
+TEST_F(CheckpointTest, EmptyDirectoryIsNotFound) {
+  const std::string dir = TempDir();
+  auto manager = CheckpointManager::Create(dir, 2).ValueOrDie();
+  EXPECT_EQ(manager.LoadLatestGood().status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(FindLatestGoodCheckpoint(dir).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_TRUE(ListCheckpointFiles(dir).empty());
+  EXPECT_TRUE(ListCheckpointFiles(dir + "/does-not-exist").empty());
+}
+
+#if RECONSUME_FAILPOINTS_ENABLED
+
+TEST_F(CheckpointTest, FailedWriteKeepsPreviousGoodCheckpoint) {
+  const std::string dir = TempDir();
+  auto manager = CheckpointManager::Create(dir, 2).ValueOrDie();
+  ASSERT_TRUE(manager.Write(MakeCheckpoint(100)).ok());
+  {
+    util::ScopedFailpoint fp("checkpoint/write", "error-once");
+    EXPECT_FALSE(manager.Write(MakeCheckpoint(200)).ok());
+  }
+  // The failed write must not have pruned or damaged the existing snapshot.
+  EXPECT_EQ(manager.LoadLatestGood().ValueOrDie().steps, 100);
+  ASSERT_TRUE(manager.Write(MakeCheckpoint(300)).ok());
+  EXPECT_EQ(manager.LoadLatestGood().ValueOrDie().steps, 300);
+}
+
+#endif  // RECONSUME_FAILPOINTS_ENABLED
+
+}  // namespace
+}  // namespace core
+}  // namespace reconsume

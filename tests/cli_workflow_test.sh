@@ -26,6 +26,17 @@ echo "$OUT" | grep -q "Random"
 "$CLI" compare --data="$WORKDIR/trace.tsv" --model="$WORKDIR/model.bin" \
     | grep -q "wilcoxon"
 
+# Crash-safe training: the same command line works for the first run (empty
+# checkpoint directory -> fresh start) and for restarts (resumes the newest
+# good snapshot).
+"$CLI" train --data="$WORKDIR/trace.tsv" --model="$WORKDIR/model_ck.bin" \
+    --k=16 --checkpoint-dir="$WORKDIR/ckpt" --resume \
+    | grep -q "starting fresh"
+ls "$WORKDIR/ckpt" | grep -q '\.rck$'
+"$CLI" train --data="$WORKDIR/trace.tsv" --model="$WORKDIR/model_ck.bin" \
+    --k=16 --checkpoint-dir="$WORKDIR/ckpt" --resume \
+    | grep -q "resuming from"
+
 # Error paths exercise the Status plumbing.
 if "$CLI" evaluate --data=/nonexistent --model="$WORKDIR/model.bin" 2>/dev/null; then
   echo "expected failure on missing data" >&2

@@ -1,5 +1,7 @@
 #include "util/csv.h"
 
+#include "util/fileio.h"
+
 #include <gtest/gtest.h>
 
 #include <cstdio>

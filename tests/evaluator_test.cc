@@ -6,6 +6,7 @@
 
 #include "data/dataset.h"
 #include "eval/recommender.h"
+#include "util/failpoint.h"
 
 namespace reconsume {
 namespace eval {
@@ -281,6 +282,50 @@ TEST(AccuracyResultDeathTest, UnknownCutoffDies) {
   result.miap = {0.1, 0.2};
   EXPECT_DEATH(result.MaapAt(10), "not evaluated");
 }
+
+#if RECONSUME_FAILPOINTS_ENABLED
+
+TEST(EvaluatorSkipPolicyTest, InvalidUserFailsEvaluationByDefault) {
+  Fixture fixture({{1, 2, 1, 2, 1, 2, 1, 2}, {3, 4, 3, 4, 3, 4, 3, 4}});
+  EvalOptions options;
+  options.window_capacity = 10;
+  options.min_gap = 0;
+  Evaluator evaluator(fixture.split.get(), options);
+  OracleRecommender oracle;
+  util::ScopedFailpoint fp("eval/user", "error-once");
+  EXPECT_FALSE(evaluator.Evaluate(&oracle).ok());
+}
+
+TEST(EvaluatorSkipPolicyTest, SkipAndAccountKeepsTheRemainingUsers) {
+  Fixture fixture({{1, 2, 1, 2, 1, 2, 1, 2}, {3, 4, 3, 4, 3, 4, 3, 4}});
+  EvalOptions options;
+  options.window_capacity = 10;
+  options.min_gap = 0;
+  options.skip_invalid_users = true;
+  Evaluator evaluator(fixture.split.get(), options);
+  OracleRecommender oracle;
+  util::ScopedFailpoint fp("eval/user", "error-once");
+  const auto result = evaluator.Evaluate(&oracle).ValueOrDie();
+  // The first user's walk failed and was skipped; aggregates cover the rest.
+  EXPECT_EQ(result.num_users_skipped, 1);
+  EXPECT_EQ(result.num_users_evaluated, 1);
+  EXPECT_GT(result.num_instances, 0);
+  EXPECT_DOUBLE_EQ(result.MaapAt(1), 1.0);
+}
+
+TEST(EvaluatorSkipPolicyTest, SkippedCountIsZeroWithoutFaults) {
+  Fixture fixture({{1, 2, 1, 2, 1, 2, 1, 2}});
+  EvalOptions options;
+  options.window_capacity = 10;
+  options.min_gap = 0;
+  options.skip_invalid_users = true;
+  Evaluator evaluator(fixture.split.get(), options);
+  OracleRecommender oracle;
+  const auto result = evaluator.Evaluate(&oracle).ValueOrDie();
+  EXPECT_EQ(result.num_users_skipped, 0);
+}
+
+#endif  // RECONSUME_FAILPOINTS_ENABLED
 
 }  // namespace
 }  // namespace eval

@@ -1,0 +1,146 @@
+// Tests for the named-failpoint registry: policy grammar, firing semantics,
+// hit/fire accounting, the RECONSUME_FAILPOINTS list format, and the
+// RC_FAILPOINT macros. Compiled against the failpoints-enabled build; the
+// suite degenerates to the registry API when the macros are compiled out.
+
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace reconsume {
+namespace util {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::Global().Clear(); }
+  FailpointRegistry& registry() { return FailpointRegistry::Global(); }
+};
+
+TEST_F(FailpointTest, UnknownPointNeverFires) {
+  EXPECT_TRUE(registry().Evaluate("nobody/armed/this").ok());
+  EXPECT_EQ(registry().fires("nobody/armed/this"), 0);
+}
+
+TEST_F(FailpointTest, OffPolicyNeverFires) {
+  ASSERT_TRUE(registry().Set("t/off", "off").ok());
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(registry().Evaluate("t/off").ok());
+  EXPECT_EQ(registry().hits("t/off"), 5);
+  EXPECT_EQ(registry().fires("t/off"), 0);
+}
+
+TEST_F(FailpointTest, ErrorOnceFiresExactlyOnce) {
+  ASSERT_TRUE(registry().Set("t/once", "error-once").ok());
+  const Status first = registry().Evaluate("t/once");
+  ASSERT_FALSE(first.ok());
+  EXPECT_NE(first.message().find("t/once"), std::string::npos);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(registry().Evaluate("t/once").ok());
+  EXPECT_EQ(registry().fires("t/once"), 1);
+  EXPECT_EQ(registry().hits("t/once"), 5);
+}
+
+TEST_F(FailpointTest, ErrorEveryFiresOnEveryNthHit) {
+  ASSERT_TRUE(registry().Set("t/every", "error-every(3)").ok());
+  int fired = 0;
+  for (int i = 1; i <= 9; ++i) {
+    const bool fails = !registry().Evaluate("t/every").ok();
+    if (fails) ++fired;
+    EXPECT_EQ(fails, i % 3 == 0) << "hit " << i;
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(registry().fires("t/every"), 3);
+}
+
+TEST_F(FailpointTest, ProbZeroNeverProbOneAlwaysFires) {
+  ASSERT_TRUE(registry().Set("t/p0", "prob(0.0)").ok());
+  ASSERT_TRUE(registry().Set("t/p1", "prob(1.0)").ok());
+  registry().SeedProbabilistic(42);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(registry().Evaluate("t/p0").ok());
+    EXPECT_FALSE(registry().Evaluate("t/p1").ok());
+  }
+}
+
+TEST_F(FailpointTest, MalformedSpecsAreRejected) {
+  EXPECT_FALSE(registry().Set("t/bad", "sometimes").ok());
+  EXPECT_FALSE(registry().Set("t/bad", "error-every(0)").ok());
+  EXPECT_FALSE(registry().Set("t/bad", "error-every(x)").ok());
+  EXPECT_FALSE(registry().Set("t/bad", "prob(1.5)").ok());
+  EXPECT_FALSE(registry().Set("t/bad", "prob(-0.1)").ok());
+  EXPECT_FALSE(registry().Set("t/bad", "").ok());
+  // A rejected spec must not arm the point.
+  EXPECT_TRUE(registry().Evaluate("t/bad").ok());
+}
+
+TEST_F(FailpointTest, ConfigureParsesCommaSeparatedList) {
+  ASSERT_TRUE(
+      registry().Configure("t/a=error-once,t/b=error-every(2)").ok());
+  EXPECT_FALSE(registry().Evaluate("t/a").ok());
+  EXPECT_TRUE(registry().Evaluate("t/a").ok());
+  EXPECT_TRUE(registry().Evaluate("t/b").ok());
+  EXPECT_FALSE(registry().Evaluate("t/b").ok());
+}
+
+TEST_F(FailpointTest, ConfigureRejectsMalformedList) {
+  EXPECT_FALSE(registry().Configure("t/a").ok());           // no '='
+  EXPECT_FALSE(registry().Configure("t/a=error-once,=x").ok());
+}
+
+TEST_F(FailpointTest, DisableDisarmsOnePoint) {
+  ASSERT_TRUE(registry().Set("t/d1", "error-every(1)").ok());
+  ASSERT_TRUE(registry().Set("t/d2", "error-every(1)").ok());
+  registry().Disable("t/d1");
+  EXPECT_TRUE(registry().Evaluate("t/d1").ok());
+  EXPECT_FALSE(registry().Evaluate("t/d2").ok());
+}
+
+TEST_F(FailpointTest, ClearDisarmsEverything) {
+  ASSERT_TRUE(registry().Set("t/c", "error-every(1)").ok());
+  registry().Clear();
+  EXPECT_TRUE(registry().Evaluate("t/c").ok());
+}
+
+TEST_F(FailpointTest, ScopedFailpointDisarmsOnDestruction) {
+  {
+    ScopedFailpoint fp("t/scoped", "error-every(1)");
+    EXPECT_FALSE(registry().Evaluate("t/scoped").ok());
+  }
+  EXPECT_TRUE(registry().Evaluate("t/scoped").ok());
+}
+
+#if RECONSUME_FAILPOINTS_ENABLED
+
+Status FunctionWithFailpoint() {
+  RC_FAILPOINT("t/macro");
+  return Status::OK();
+}
+
+TEST_F(FailpointTest, MacroPropagatesInjectedStatus) {
+  ASSERT_TRUE(FunctionWithFailpoint().ok());
+  ScopedFailpoint fp("t/macro", "error-once");
+  const Status status = FunctionWithFailpoint();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("t/macro"), std::string::npos);
+  EXPECT_TRUE(FunctionWithFailpoint().ok());
+}
+
+TEST_F(FailpointTest, StatusMacroYieldsInjectedStatusWithoutReturning) {
+  ScopedFailpoint fp("t/macro2", "error-every(2)");
+  EXPECT_TRUE(RC_FAILPOINT_STATUS("t/macro2").ok());
+  EXPECT_FALSE(RC_FAILPOINT_STATUS("t/macro2").ok());
+}
+
+TEST_F(FailpointTest, AbortPolicyRoutesThroughCheckHandler) {
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Set("t/abort", "abort").ok());
+  EXPECT_DEATH(FailpointRegistry::Global().Evaluate("t/abort"),
+               "failpoint 't/abort' fired in abort mode");
+}
+
+#endif  // RECONSUME_FAILPOINTS_ENABLED
+
+}  // namespace
+}  // namespace util
+}  // namespace reconsume

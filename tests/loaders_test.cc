@@ -6,6 +6,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "util/failpoint.h"
+
 namespace reconsume {
 namespace data {
 namespace {
@@ -151,6 +153,137 @@ TEST_F(LoaderTest, EmptyFileFails) {
   EXPECT_FALSE(GowallaLoader::Load(path).ok());
   EXPECT_FALSE(LastfmLoader::Load(path).ok());
 }
+
+// --- LoaderOptions hardening (docs/robustness.md) ---
+
+TEST_F(LoaderTest, StrictModeFailsWithLineNumberOfFirstBadLine) {
+  const std::string path = WriteTemp(
+      "0\t2010-10-19T23:55:27Z\t1\t2\tA\n"
+      "0\tnot-a-time\t1\t2\tB\n"
+      "1\t2010-10-19T23:55:29Z\t1\t2\tC\n");
+  const auto result = GowallaLoader::Load(path, LoaderOptions{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find(":2:"), std::string::npos)
+      << result.status().message();
+}
+
+TEST_F(LoaderTest, MaxBadLinesSkipsAndCountsDirt) {
+  const std::string path = WriteTemp(
+      "0\t2010-10-19T23:55:27Z\t1\t2\tA\n"
+      "0\tnot-a-time\t1\t2\tB\n"        // bad timestamp
+      "0\t2010-10-19T23:55:28Z\t1\n"    // wrong arity
+      "1\t2010-10-19T23:55:29Z\t1\t2\tC\n");
+  LoaderOptions options;
+  options.max_bad_lines = 2;
+  LoadReport report;
+  const Dataset dataset =
+      GowallaLoader::Load(path, options, &report).ValueOrDie();
+  EXPECT_EQ(dataset.num_interactions(), 2);
+  EXPECT_EQ(report.num_lines, 4);
+  EXPECT_EQ(report.num_bad_lines, 2);
+  EXPECT_EQ(report.num_events, 2);
+}
+
+TEST_F(LoaderTest, BadLinesBeyondBudgetFailTheLoad) {
+  const std::string path = WriteTemp(
+      "0\t2010-10-19T23:55:27Z\t1\t2\tA\n"
+      "0\tnot-a-time\t1\t2\tB\n"
+      "0\talso-not-a-time\t1\t2\tC\n");
+  LoaderOptions options;
+  options.max_bad_lines = 1;
+  LoadReport report;
+  const auto result = GowallaLoader::Load(path, options, &report);
+  ASSERT_FALSE(result.ok());
+  // The failing line's number is reported, and the report is filled even on
+  // failure.
+  EXPECT_NE(result.status().message().find(":3:"), std::string::npos)
+      << result.status().message();
+  EXPECT_EQ(report.num_bad_lines, 2);
+}
+
+TEST_F(LoaderTest, NegativeBadLineBudgetIsRejected) {
+  const std::string path = WriteTemp("0\t2010-10-19T23:55:27Z\t1\t2\tA\n");
+  LoaderOptions options;
+  options.max_bad_lines = -1;
+  EXPECT_FALSE(GowallaLoader::Load(path, options).ok());
+}
+
+TEST_F(LoaderTest, TimestampOrderViolationCountsAsBadLine) {
+  // Descending per-user timestamps (the SNAP dump order), with one line out
+  // of order.
+  const std::string contents =
+      "0\t2010-10-19T23:55:29Z\t1\t2\tA\n"
+      "0\t2010-10-19T23:55:27Z\t1\t2\tB\n"
+      "0\t2010-10-19T23:55:28Z\t1\t2\tC\n";  // later than the previous line
+  const std::string path = WriteTemp(contents);
+
+  LoaderOptions strict;
+  strict.timestamp_order = TimestampOrder::kDescending;
+  const auto rejected = GowallaLoader::Load(path, strict);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.status().message().find(":3:"), std::string::npos);
+
+  LoaderOptions tolerant = strict;
+  tolerant.max_bad_lines = 1;
+  LoadReport report;
+  const Dataset dataset =
+      GowallaLoader::Load(path, tolerant, &report).ValueOrDie();
+  EXPECT_EQ(report.num_bad_lines, 1);
+  EXPECT_EQ(dataset.num_interactions(), 2);
+
+  // The same file is clean under kAny (the builder sorts).
+  LoaderOptions any;
+  EXPECT_TRUE(GowallaLoader::Load(path, any).ok());
+}
+
+TEST_F(LoaderTest, AscendingOrderAcceptsSortedInput) {
+  const std::string path = WriteTemp(
+      "0\t2010-10-19T23:55:27Z\t1\t2\tA\n"
+      "0\t2010-10-19T23:55:27Z\t1\t2\tB\n"  // ties are in order
+      "0\t2010-10-19T23:55:29Z\t1\t2\tC\n");
+  LoaderOptions options;
+  options.timestamp_order = TimestampOrder::kAscending;
+  EXPECT_TRUE(GowallaLoader::Load(path, options).ok());
+}
+
+TEST_F(LoaderTest, LastfmRespectsBadLineBudgetToo) {
+  const std::string path = WriteTemp(
+      "u\t2009-05-04T23:08:57Z\taid\tArtist\ttid\tSong\n"
+      "u\t2009-05-04T23:09:57Z\taid\t\t\t\n");  // no identity
+  LoaderOptions options;
+  options.max_bad_lines = 1;
+  LoadReport report;
+  const Dataset dataset =
+      LastfmLoader::Load(path, options, &report).ValueOrDie();
+  EXPECT_EQ(dataset.num_interactions(), 1);
+  EXPECT_EQ(report.num_bad_lines, 1);
+}
+
+#if RECONSUME_FAILPOINTS_ENABLED
+
+TEST_F(LoaderTest, InjectedLineFaultsConsumeTheBadLineBudget) {
+  const std::string path = WriteTemp(
+      "0\t2010-10-19T23:55:27Z\t1\t2\tA\n"
+      "0\t2010-10-19T23:55:28Z\t1\t2\tB\n"
+      "0\t2010-10-19T23:55:29Z\t1\t2\tC\n"
+      "0\t2010-10-19T23:55:30Z\t1\t2\tD\n");
+  util::ScopedFailpoint fp("data/loaders/line", "error-every(2)");
+  LoaderOptions options;
+  options.max_bad_lines = 2;
+  LoadReport report;
+  const Dataset dataset =
+      GowallaLoader::Load(path, options, &report).ValueOrDie();
+  // Every second line fails by injection; the budget absorbs both.
+  EXPECT_EQ(report.num_bad_lines, 2);
+  EXPECT_EQ(dataset.num_interactions(), 2);
+
+  // Strict loads fail on the first injected fault.
+  util::FailpointRegistry::Global().Clear();
+  util::ScopedFailpoint strict_fp("data/loaders/line", "error-once");
+  EXPECT_FALSE(GowallaLoader::Load(path, LoaderOptions{}).ok());
+}
+
+#endif  // RECONSUME_FAILPOINTS_ENABLED
 
 }  // namespace
 }  // namespace data

@@ -86,6 +86,38 @@ TEST(ModelIoTest, DetectsTruncation) {
   EXPECT_FALSE(DeserializeModel("").ok());
 }
 
+TEST(ModelIoTest, TruncationReportsByteOffsetAsInvalidArgument) {
+  const std::string bytes = SerializeModel(MakeModel());
+  // Cut past the header so the size field is intact and the report names the
+  // byte count actually present in the file.
+  const auto result = DeserializeModel(bytes.substr(0, bytes.size() - 20));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("truncated at byte " +
+                                           std::to_string(bytes.size() - 20)),
+            std::string::npos)
+      << result.status().message();
+}
+
+TEST(ModelIoTest, WrongMagicNamesTheFormat) {
+  std::string bytes = SerializeModel(MakeModel());
+  bytes[0] = 'X';
+  const auto result = DeserializeModel(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("not a reconsume model file"),
+            std::string::npos);
+}
+
+TEST(ModelIoTest, CorruptionNamesChecksumMismatch) {
+  std::string bytes = SerializeModel(MakeModel());
+  bytes[bytes.size() - 12] ^= 0x08;  // flip a payload byte near the tail
+  const auto result = DeserializeModel(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("checksum mismatch"),
+            std::string::npos)
+      << result.status().message();
+}
+
 TEST(ModelIoTest, DetectsTrailingGarbage) {
   std::string bytes = SerializeModel(MakeModel());
   bytes += "extra";

@@ -7,6 +7,7 @@
 
 #include "data/synthetic.h"
 #include "util/csv.h"
+#include "util/fileio.h"
 
 namespace reconsume {
 namespace data {

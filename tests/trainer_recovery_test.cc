@@ -1,0 +1,441 @@
+// End-to-end tests of the crash-safety and divergence-recovery layer of
+// TsPprTrainer (docs/robustness.md):
+//  - checkpointed runs write RCCK files at convergence-check boundaries;
+//  - a run killed between rounds (injected "trainer/round" crash) resumes
+//    from its latest checkpoint bit-identically to the uninterrupted run;
+//  - a corrupt newest checkpoint falls back to the previous good one;
+//  - an injected non-finite SGD step triggers rollback + learning-rate
+//    backoff and the run still completes;
+//  - resume topology validation (worker count / shard strategy).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/checkpoint.h"
+#include "core/ts_ppr_trainer.h"
+#include "data/synthetic.h"
+#include "util/failpoint.h"
+#include "util/fileio.h"
+
+namespace reconsume {
+namespace core {
+namespace {
+
+struct Fixture {
+  data::Dataset dataset;
+  std::unique_ptr<data::TrainTestSplit> split;
+  std::unique_ptr<features::StaticFeatureTable> table;
+  std::unique_ptr<features::FeatureExtractor> extractor;
+  std::unique_ptr<sampling::TrainingSet> training_set;
+
+  Fixture() {
+    dataset = data::SyntheticTraceGenerator(data::GowallaLikeProfile(0.05))
+                  .Generate()
+                  .ValueOrDie();
+    split = std::make_unique<data::TrainTestSplit>(
+        data::TrainTestSplit::Temporal(&dataset, 0.7).ValueOrDie());
+    table = std::make_unique<features::StaticFeatureTable>(
+        features::StaticFeatureTable::Compute(*split, 100).ValueOrDie());
+    extractor = std::make_unique<features::FeatureExtractor>(
+        table.get(), features::FeatureConfig::AllFeatures());
+    training_set = std::make_unique<sampling::TrainingSet>(
+        sampling::TrainingSet::Build(*split, *extractor, {}).ValueOrDie());
+  }
+
+  TsPprModel MakeModel(TsPprConfig config = {}) const {
+    return TsPprModel::Create(dataset.num_users(), dataset.num_items(), 4,
+                              config)
+        .ValueOrDie();
+  }
+};
+
+class TrainerRecoveryTest : public ::testing::Test {
+ protected:
+  std::string TempDir() {
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("reconsume_recovery_test_" + std::to_string(counter_++) + "_" +
+          std::to_string(reinterpret_cast<uintptr_t>(this))))
+            .string();
+    dirs_.push_back(dir);
+    return dir;
+  }
+  void TearDown() override {
+    util::FailpointRegistry::Global().Clear();
+    for (const auto& d : dirs_) std::filesystem::remove_all(d);
+  }
+  std::vector<std::string> dirs_;
+  int counter_ = 0;
+};
+
+void ExpectModelsBitIdentical(const TsPprModel& a, const TsPprModel& b) {
+  ASSERT_EQ(a.num_users(), b.num_users());
+  ASSERT_EQ(a.num_items(), b.num_items());
+  for (size_t u = 0; u < a.num_users(); ++u) {
+    const auto ua = a.user_factor(static_cast<data::UserId>(u));
+    const auto ub = b.user_factor(static_cast<data::UserId>(u));
+    for (size_t c = 0; c < ua.size(); ++c) {
+      ASSERT_EQ(ua[c], ub[c]) << "user " << u << " dim " << c;
+    }
+    ASSERT_TRUE(a.mapping(static_cast<data::UserId>(u)) ==
+                b.mapping(static_cast<data::UserId>(u)))
+        << "mapping of user " << u;
+  }
+  for (size_t v = 0; v < a.num_items(); ++v) {
+    const auto va = a.item_factor(static_cast<data::ItemId>(v));
+    const auto vb = b.item_factor(static_cast<data::ItemId>(v));
+    for (size_t c = 0; c < va.size(); ++c) {
+      ASSERT_EQ(va[c], vb[c]) << "item " << v << " dim " << c;
+    }
+  }
+}
+
+TEST_F(TrainerRecoveryTest, CheckpointedRunWritesSnapshots) {
+  Fixture fixture;
+  TrainOptions options;
+  // Small rounds so every short run crosses several check boundaries
+  // regardless of the synthetic |D|.
+  options.check_every_fraction = 0.001;
+  options.convergence_tolerance = 0.0;  // never converge
+  options.max_steps = 3000;
+  options.checkpoint_dir = TempDir();
+  options.checkpoint_retention = 2;
+
+  auto model = fixture.MakeModel();
+  util::Rng rng(17);
+  const auto report = TsPprTrainer(options)
+                          .Train(*fixture.training_set, &model, &rng)
+                          .ValueOrDie();
+  EXPECT_GT(report.checkpoints_written, 0);
+  const auto files = ListCheckpointFiles(options.checkpoint_dir);
+  ASSERT_FALSE(files.empty());
+  EXPECT_LE(files.size(), 2u);
+  const auto latest = LoadCheckpoint(files.back()).ValueOrDie();
+  EXPECT_GT(latest.steps, 0);
+  EXPECT_EQ(latest.num_workers, 1);
+  ASSERT_TRUE(latest.model.has_value());
+  EXPECT_TRUE(latest.model->IsFinite());
+}
+
+TEST_F(TrainerRecoveryTest, CheckpointCadenceHonorsEveryChecks) {
+  Fixture fixture;
+  TrainOptions options;
+  // Small rounds so every short run crosses several check boundaries
+  // regardless of the synthetic |D|.
+  options.check_every_fraction = 0.001;
+  options.convergence_tolerance = 0.0;
+  options.max_steps = 3000;
+  options.checkpoint_dir = TempDir();
+  options.checkpoint_every_checks = 2;
+  options.checkpoint_retention = 100;
+
+  auto model = fixture.MakeModel();
+  util::Rng rng(17);
+  const auto report = TsPprTrainer(options)
+                          .Train(*fixture.training_set, &model, &rng)
+                          .ValueOrDie();
+  // One snapshot per two convergence checks.
+  const int64_t checks = static_cast<int64_t>(report.curve.size()) - 1;
+  EXPECT_EQ(report.checkpoints_written, checks / 2);
+}
+
+TEST_F(TrainerRecoveryTest, ResumeRejectsMissingAndGarbageFiles) {
+  Fixture fixture;
+  TsPprTrainer trainer{TrainOptions{}};
+  auto model = fixture.MakeModel();
+  util::Rng rng(1);
+  EXPECT_FALSE(trainer
+                   .ResumeFrom("/no/such/ckpt.rck", *fixture.training_set,
+                               &model, &rng)
+                   .ok());
+  const std::string dir = TempDir();
+  ASSERT_TRUE(std::filesystem::create_directories(dir));
+  const std::string garbage = dir + "/garbage.rck";
+  ASSERT_TRUE(util::WriteStringToFile(garbage, "not a checkpoint").ok());
+  EXPECT_FALSE(
+      trainer.ResumeFrom(garbage, *fixture.training_set, &model, &rng).ok());
+}
+
+#if RECONSUME_FAILPOINTS_ENABLED
+
+TEST_F(TrainerRecoveryTest, KillAndResumeIsBitIdenticalSequentially) {
+  Fixture fixture;
+  TrainOptions options;
+  // Small rounds so every short run crosses several check boundaries
+  // regardless of the synthetic |D|.
+  options.check_every_fraction = 0.001;
+  options.convergence_tolerance = 0.0;  // pin the step count to max_steps
+  options.max_steps = 3000;
+
+  // Reference: one uninterrupted run.
+  auto model_full = fixture.MakeModel();
+  util::Rng rng_full(17);
+  const auto report_full = TsPprTrainer(options)
+                               .Train(*fixture.training_set, &model_full,
+                                      &rng_full)
+                               .ValueOrDie();
+  ASSERT_EQ(report_full.steps, 3000);
+
+  // Crashed run: dies right after writing its first checkpoint (the
+  // "trainer/round" point fires between rounds, like a process kill).
+  TrainOptions crashed = options;
+  crashed.checkpoint_dir = TempDir();
+  auto model_crashed = fixture.MakeModel();
+  util::Rng rng_crashed(17);
+  {
+    util::ScopedFailpoint fp("trainer/round", "error-once");
+    const auto result = TsPprTrainer(crashed).Train(
+        *fixture.training_set, &model_crashed, &rng_crashed);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find("trainer/round"),
+              std::string::npos);
+  }
+  const auto ckpt_path =
+      FindLatestGoodCheckpoint(crashed.checkpoint_dir).ValueOrDie();
+
+  // Resume with a fresh model and an unrelated RNG seed: both are overwritten
+  // from the snapshot, so the continuation must be bit-identical.
+  auto model_resumed = fixture.MakeModel();
+  util::Rng rng_resumed(999);
+  const auto report_resumed =
+      TsPprTrainer(options)
+          .ResumeFrom(ckpt_path, *fixture.training_set, &model_resumed,
+                      &rng_resumed)
+          .ValueOrDie();
+
+  EXPECT_GT(report_resumed.resumed_from_step, 0);
+  EXPECT_EQ(report_resumed.steps, report_full.steps);
+  EXPECT_EQ(report_resumed.converged, report_full.converged);
+  ASSERT_EQ(report_resumed.curve.size(), report_full.curve.size());
+  for (size_t i = 0; i < report_full.curve.size(); ++i) {
+    EXPECT_EQ(report_resumed.curve[i].step, report_full.curve[i].step);
+    EXPECT_EQ(report_resumed.curve[i].r_tilde, report_full.curve[i].r_tilde)
+        << "check point " << i;
+  }
+  EXPECT_EQ(report_resumed.final_r_tilde, report_full.final_r_tilde);
+  ExpectModelsBitIdentical(model_resumed, model_full);
+}
+
+TEST_F(TrainerRecoveryTest, ResumeAfterLaterCrashUsesNewestCheckpoint) {
+  Fixture fixture;
+  TrainOptions options;
+  // Small rounds so every short run crosses several check boundaries
+  // regardless of the synthetic |D|.
+  options.check_every_fraction = 0.001;
+  options.convergence_tolerance = 0.0;
+  options.max_steps = 3000;
+  options.checkpoint_dir = TempDir();
+  options.checkpoint_retention = 2;
+
+  auto model = fixture.MakeModel();
+  util::Rng rng(17);
+  {
+    util::ScopedFailpoint fp("trainer/round", "error-every(3)");
+    ASSERT_FALSE(TsPprTrainer(options)
+                     .Train(*fixture.training_set, &model, &rng)
+                     .ok());
+  }
+  const auto files = ListCheckpointFiles(options.checkpoint_dir);
+  ASSERT_FALSE(files.empty());
+  const auto newest = LoadCheckpoint(files.back()).ValueOrDie();
+
+  auto model_resumed = fixture.MakeModel();
+  util::Rng rng_resumed(2);
+  const auto report = TsPprTrainer(options)
+                          .ResumeFrom(files.back(), *fixture.training_set,
+                                      &model_resumed, &rng_resumed)
+                          .ValueOrDie();
+  EXPECT_EQ(report.resumed_from_step, newest.steps);
+  EXPECT_EQ(report.steps, 3000);
+}
+
+TEST_F(TrainerRecoveryTest, CorruptNewestCheckpointFallsBackOnResume) {
+  Fixture fixture;
+  TrainOptions options;
+  // Small rounds so every short run crosses several check boundaries
+  // regardless of the synthetic |D|.
+  options.check_every_fraction = 0.001;
+  options.convergence_tolerance = 0.0;
+  options.max_steps = 3000;
+  options.checkpoint_dir = TempDir();
+  options.checkpoint_retention = 10;
+
+  auto model = fixture.MakeModel();
+  util::Rng rng(17);
+  ASSERT_TRUE(TsPprTrainer(options)
+                  .Train(*fixture.training_set, &model, &rng)
+                  .ok());
+  auto files = ListCheckpointFiles(options.checkpoint_dir);
+  ASSERT_GE(files.size(), 2u);
+
+  // Flip a byte in the newest file: discovery must fall back to the previous
+  // snapshot, and resuming from it must work.
+  std::string bytes = util::ReadFileToString(files.back()).ValueOrDie();
+  bytes[bytes.size() / 2] ^= 0x10;
+  ASSERT_TRUE(util::WriteStringToFile(files.back(), bytes).ok());
+
+  const std::string good =
+      FindLatestGoodCheckpoint(options.checkpoint_dir).ValueOrDie();
+  EXPECT_EQ(good, files[files.size() - 2]);
+
+  auto model_resumed = fixture.MakeModel();
+  util::Rng rng_resumed(3);
+  EXPECT_TRUE(TsPprTrainer(options)
+                  .ResumeFrom(good, *fixture.training_set, &model_resumed,
+                              &rng_resumed)
+                  .ok());
+}
+
+TEST_F(TrainerRecoveryTest, InjectedDivergenceRollsBackAndBacksOffLr) {
+  Fixture fixture;
+  TrainOptions options;
+  // Small rounds so every short run crosses several check boundaries
+  // regardless of the synthetic |D|.
+  options.check_every_fraction = 0.001;
+  options.convergence_tolerance = 0.0;
+  options.max_steps = 2000;
+  options.max_recoveries = 2;
+  options.lr_backoff = 0.5;
+
+  auto model = fixture.MakeModel();
+  util::Rng rng(17);
+  util::ScopedFailpoint fp("trainer/sgd_step_diverge", "error-once");
+  const auto report = TsPprTrainer(options)
+                          .Train(*fixture.training_set, &model, &rng)
+                          .ValueOrDie();
+  // The injected non-finite step must have been recovered from — training
+  // completes, with the rollback recorded and the learning rate halved.
+  EXPECT_EQ(report.steps, 2000);
+  ASSERT_EQ(report.recovery_log.size(), 1u);
+  EXPECT_EQ(report.recovery_log[0].lr_scale_after, 0.5);
+  EXPECT_NE(report.recovery_log[0].reason.find("diverged"),
+            std::string::npos);
+  EXPECT_EQ(report.final_lr_scale, 0.5);
+  EXPECT_TRUE(model.IsFinite());
+}
+
+TEST_F(TrainerRecoveryTest, DivergenceWithoutRecoveryBudgetFailsFast) {
+  Fixture fixture;
+  TrainOptions options;
+  // Small rounds so every short run crosses several check boundaries
+  // regardless of the synthetic |D|.
+  options.check_every_fraction = 0.001;
+  options.convergence_tolerance = 0.0;
+  options.max_steps = 2000;
+  options.max_recoveries = 0;  // the original fail-fast behavior
+
+  auto model = fixture.MakeModel();
+  util::Rng rng(17);
+  util::ScopedFailpoint fp("trainer/sgd_step_diverge", "error-once");
+  const auto result =
+      TsPprTrainer(options).Train(*fixture.training_set, &model, &rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNumericalError);
+}
+
+TEST_F(TrainerRecoveryTest, RecoveryBudgetExhaustionPropagatesFailure) {
+  Fixture fixture;
+  TrainOptions options;
+  // Small rounds so every short run crosses several check boundaries
+  // regardless of the synthetic |D|.
+  options.check_every_fraction = 0.001;
+  options.convergence_tolerance = 0.0;
+  options.max_steps = 2000;
+  options.max_recoveries = 2;
+
+  auto model = fixture.MakeModel();
+  util::Rng rng(17);
+  // Fires on every hit: each retry diverges again until the budget runs out.
+  util::ScopedFailpoint fp("trainer/sgd_step_diverge", "error-every(1)");
+  const auto result =
+      TsPprTrainer(options).Train(*fixture.training_set, &model, &rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNumericalError);
+}
+
+TEST_F(TrainerRecoveryTest, HogwildKillAndResumeCompletesTheRun) {
+  Fixture fixture;
+  TrainOptions options;
+  options.num_threads = 2;
+  options.check_every_fraction = 0.001;
+  options.convergence_tolerance = 0.0;
+  options.max_steps = 3000;
+  options.checkpoint_dir = TempDir();
+
+  auto model = fixture.MakeModel();
+  util::Rng rng(23);
+  {
+    util::ScopedFailpoint fp("trainer/round", "error-once");
+    ASSERT_FALSE(TsPprTrainer(options)
+                     .Train(*fixture.training_set, &model, &rng)
+                     .ok());
+  }
+  const auto ckpt_path =
+      FindLatestGoodCheckpoint(options.checkpoint_dir).ValueOrDie();
+  const auto snapshot = LoadCheckpoint(ckpt_path).ValueOrDie();
+  EXPECT_EQ(snapshot.num_workers, 2);
+  ASSERT_EQ(snapshot.worker_rng_states.size(), 2u);
+
+  auto model_resumed = fixture.MakeModel();
+  util::Rng rng_resumed(4);
+  const auto report = TsPprTrainer(options)
+                          .ResumeFrom(ckpt_path, *fixture.training_set,
+                                      &model_resumed, &rng_resumed)
+                          .ValueOrDie();
+  EXPECT_EQ(report.resumed_from_step, snapshot.steps);
+  EXPECT_EQ(report.steps, 3000);
+  EXPECT_TRUE(model_resumed.IsFinite());
+  // The convergence-check grid continues on the same step boundaries as an
+  // uninterrupted run (per-worker sample streams are restored exactly).
+  for (size_t i = 1; i < report.curve.size(); ++i) {
+    EXPECT_GT(report.curve[i].step, report.curve[i - 1].step);
+  }
+}
+
+TEST_F(TrainerRecoveryTest, ParallelResumeRequiresSameTopology) {
+  Fixture fixture;
+  TrainOptions options;
+  options.num_threads = 2;
+  options.check_every_fraction = 0.001;
+  options.convergence_tolerance = 0.0;
+  options.max_steps = 3000;
+  options.checkpoint_dir = TempDir();
+
+  auto model = fixture.MakeModel();
+  util::Rng rng(23);
+  {
+    util::ScopedFailpoint fp("trainer/round", "error-once");
+    ASSERT_FALSE(TsPprTrainer(options)
+                     .Train(*fixture.training_set, &model, &rng)
+                     .ok());
+  }
+  const auto ckpt_path =
+      FindLatestGoodCheckpoint(options.checkpoint_dir).ValueOrDie();
+
+  // Different worker count: per-user ownership would move across workers.
+  TrainOptions wrong_workers = options;
+  wrong_workers.num_threads = 3;
+  auto model2 = fixture.MakeModel();
+  util::Rng rng2(5);
+  auto result = TsPprTrainer(wrong_workers)
+                    .ResumeFrom(ckpt_path, *fixture.training_set, &model2,
+                                &rng2);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+
+  // Different shard strategy: same problem.
+  TrainOptions wrong_strategy = options;
+  wrong_strategy.shard_strategy = sampling::ShardStrategy::kInterleaved;
+  auto result2 = TsPprTrainer(wrong_strategy)
+                     .ResumeFrom(ckpt_path, *fixture.training_set, &model2,
+                                 &rng2);
+  ASSERT_FALSE(result2.ok());
+  EXPECT_EQ(result2.status().code(), StatusCode::kFailedPrecondition);
+}
+
+#endif  // RECONSUME_FAILPOINTS_ENABLED
+
+}  // namespace
+}  // namespace core
+}  // namespace reconsume

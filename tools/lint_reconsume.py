@@ -10,6 +10,9 @@ rely on (see docs/correctness_tooling.md):
     RECONSUME_LOG or Status; printing is reserved for tools/, bench/, examples/
   * no rand()/srand() — all randomness flows through util::Rng so runs are
     seedable and reproducible
+  * no raw std::ofstream in src/ outside util/fileio.cc — on-disk artifacts
+    must go through util::AtomicWriteFile (temp + fsync + rename) so a crash
+    mid-write never leaves a torn file (see docs/robustness.md)
   * every header in src/ starts with #pragma once
 
 Exit status: 0 when clean, 1 when any finding is reported.
@@ -41,7 +44,16 @@ LINE_RULES = [
         re.compile(r"(?<![_\w])s?rand\s*\("),
         "use util::Rng (seedable, reproducible) instead of rand()/srand()",
     ),
+    (
+        "raw-ofstream",
+        re.compile(r"std::ofstream\b"),
+        "write files through util::AtomicWriteFile so crashes cannot leave "
+        "torn output (see docs/robustness.md)",
+    ),
 ]
+
+# Files exempt from the raw-ofstream rule: the atomic-write helper itself.
+RAW_OFSTREAM_ALLOWED = {"src/util/fileio.cc"}
 
 COMMENT_RE = re.compile(r"//.*$")
 STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
@@ -77,6 +89,9 @@ def lint_file(path: Path, rel: str, require_pragma_once: bool,
         for name, pattern, message in LINE_RULES:
             if name == "std-cout" and not rel.startswith("src/"):
                 continue  # tools/bench/examples may print
+            if name == "raw-ofstream" and (not rel.startswith("src/") or
+                                           rel in RAW_OFSTREAM_ALLOWED):
+                continue  # library writes go through the atomic helper
             if "static_assert" in line and name == "naked-assert":
                 continue
             if pattern.search(line):

@@ -5,7 +5,10 @@
 //   reconsume_cli train    --data=trace.tsv --model=tsppr.bin
 //                          [--k=40 --gamma=0.05 --lambda=0.01 --omega=10
 //                           --negatives=10 --window=100 --train-fraction=0.7
-//                           --tolerance=1e-3 --threads=1]
+//                           --tolerance=1e-3 --threads=1
+//                           --checkpoint-dir=ckpts --checkpoint-every=1
+//                           --checkpoint-retention=2 --resume
+//                           --max-recoveries=0 --lr-backoff=0.5]
 //   reconsume_cli evaluate --data=trace.tsv --model=tsppr.bin
 //                          [--omega=10 --window=100 --train-fraction=0.7]
 //   reconsume_cli recommend --data=trace.tsv --model=tsppr.bin --user=<key>
@@ -13,12 +16,14 @@
 //
 // The trace format is the TSV event file of data::SaveDatasetTsv
 // ("user \t item \t time"); real Gowalla / Last.fm dumps load with
-// --format=gowalla / --format=lastfm.
+// --format=gowalla / --format=lastfm (optionally --max-bad-lines=N to
+// tolerate up to N malformed rows; see docs/robustness.md).
 
 #include <cstdio>
 #include <string>
 
 #include "baselines/simple_recommenders.h"
+#include "core/checkpoint.h"
 #include "core/model_io.h"
 #include "core/ts_ppr.h"
 #include "data/dataset_stats.h"
@@ -49,7 +54,8 @@ int Usage() {
   return 2;
 }
 
-Result<data::Dataset> LoadData(const util::FlagSet& flags) {
+Result<data::Dataset> LoadData(const util::FlagSet& flags,
+                               data::LoadReport* report = nullptr) {
   RECONSUME_ASSIGN_OR_RETURN(const std::string path,
                              flags.GetString("data", ""));
   if (path.empty()) {
@@ -57,9 +63,23 @@ Result<data::Dataset> LoadData(const util::FlagSet& flags) {
   }
   RECONSUME_ASSIGN_OR_RETURN(const std::string format,
                              flags.GetString("format", "tsv"));
-  if (format == "tsv") return data::LoadDatasetTsv(path);
-  if (format == "gowalla") return data::GowallaLoader::Load(path);
-  if (format == "lastfm") return data::LastfmLoader::Load(path);
+  RECONSUME_ASSIGN_OR_RETURN(const int64_t max_bad_lines,
+                             flags.GetInt("max-bad-lines", 0));
+  data::LoaderOptions options;
+  options.max_bad_lines = max_bad_lines;
+  if (format == "tsv") {
+    if (max_bad_lines != 0) {
+      return Status::InvalidArgument(
+          "--max-bad-lines applies to --format=gowalla/lastfm only");
+    }
+    return data::LoadDatasetTsv(path);
+  }
+  if (format == "gowalla") {
+    return data::GowallaLoader::Load(path, options, report);
+  }
+  if (format == "lastfm") {
+    return data::LastfmLoader::Load(path, options, report);
+  }
   return Status::InvalidArgument("--format must be tsv, gowalla, or lastfm");
 }
 
@@ -97,15 +117,16 @@ Result<int> CmdGenerate(const util::FlagSet& flags) {
 }
 
 Result<int> CmdStats(const util::FlagSet& flags) {
-  RECONSUME_ASSIGN_OR_RETURN(const data::Dataset dataset, LoadData(flags));
+  data::LoadReport load_report;
+  RECONSUME_ASSIGN_OR_RETURN(const data::Dataset dataset,
+                             LoadData(flags, &load_report));
   RECONSUME_ASSIGN_OR_RETURN(const int64_t window,
                              flags.GetInt("window", 100));
   RECONSUME_RETURN_NOT_OK(flags.CheckNoUnusedFlags());
-  std::printf("%s\n",
-              data::FormatDatasetStats(
-                  "dataset", data::ComputeDatasetStats(
-                                 dataset, static_cast<int>(window)))
-                  .c_str());
+  data::DatasetStats stats =
+      data::ComputeDatasetStats(dataset, static_cast<int>(window));
+  stats.num_bad_lines = load_report.num_bad_lines;
+  std::printf("%s\n", data::FormatDatasetStats("dataset", stats).c_str());
   return 0;
 }
 
@@ -156,6 +177,42 @@ Result<int> CmdTrain(const util::FlagSet& flags) {
   if (threads < 1) {
     return Status::InvalidArgument("--threads must be >= 1");
   }
+
+  // Crash safety + divergence recovery (docs/robustness.md).
+  RECONSUME_ASSIGN_OR_RETURN(config.train.checkpoint_dir,
+                             flags.GetString("checkpoint-dir", ""));
+  RECONSUME_ASSIGN_OR_RETURN(
+      const int64_t checkpoint_every,
+      flags.GetInt("checkpoint-every", config.train.checkpoint_every_checks));
+  RECONSUME_ASSIGN_OR_RETURN(
+      const int64_t checkpoint_retention,
+      flags.GetInt("checkpoint-retention", config.train.checkpoint_retention));
+  RECONSUME_ASSIGN_OR_RETURN(const int64_t max_recoveries,
+                             flags.GetInt("max-recoveries", 0));
+  RECONSUME_ASSIGN_OR_RETURN(config.train.lr_backoff,
+                             flags.GetDouble("lr-backoff", 0.5));
+  RECONSUME_ASSIGN_OR_RETURN(const bool resume, flags.GetBool("resume", false));
+  config.train.checkpoint_every_checks = static_cast<int>(checkpoint_every);
+  config.train.checkpoint_retention = static_cast<int>(checkpoint_retention);
+  config.train.max_recoveries = static_cast<int>(max_recoveries);
+  if (resume) {
+    if (config.train.checkpoint_dir.empty()) {
+      return Status::InvalidArgument("--resume requires --checkpoint-dir");
+    }
+    // The same command line works for the first run and every restart: when
+    // the directory holds no usable checkpoint yet, train from scratch.
+    auto latest =
+        core::FindLatestGoodCheckpoint(config.train.checkpoint_dir);
+    if (latest.ok()) {
+      config.resume_from = latest.ValueOrDie();
+      std::printf("resuming from %s\n", config.resume_from.c_str());
+    } else if (latest.status().code() == StatusCode::kNotFound) {
+      std::printf("no checkpoint in %s yet; starting fresh\n",
+                  config.train.checkpoint_dir.c_str());
+    } else {
+      return latest.status();
+    }
+  }
   RECONSUME_RETURN_NOT_OK(flags.CheckNoUnusedFlags());
   config.train.num_threads = static_cast<int>(threads);
   config.model.latent_dim = static_cast<int>(k);
@@ -169,13 +226,29 @@ Result<int> CmdTrain(const util::FlagSet& flags) {
   RECONSUME_ASSIGN_OR_RETURN(core::TsPpr pipeline,
                              core::TsPpr::Fit(split, config));
   RECONSUME_RETURN_NOT_OK(core::SaveModel(pipeline.model(), model_path));
+  const core::TrainReport& report = pipeline.train_report();
   std::printf("trained on %s quadruples, %s SGD steps (converged=%s, "
               "r~=%.4f, %.2fs); model -> %s\n",
               util::FormatWithCommas(pipeline.num_quadruples()).c_str(),
-              util::FormatWithCommas(pipeline.train_report().steps).c_str(),
-              pipeline.train_report().converged ? "yes" : "no",
-              pipeline.train_report().final_r_tilde,
-              pipeline.train_report().wall_seconds, model_path.c_str());
+              util::FormatWithCommas(report.steps).c_str(),
+              report.converged ? "yes" : "no", report.final_r_tilde,
+              report.wall_seconds, model_path.c_str());
+  if (report.resumed_from_step > 0) {
+    std::printf("resumed at step %s\n",
+                util::FormatWithCommas(report.resumed_from_step).c_str());
+  }
+  if (report.checkpoints_written > 0) {
+    std::printf("wrote %d checkpoint(s) to %s\n", report.checkpoints_written,
+                config.train.checkpoint_dir.c_str());
+  }
+  for (const core::RecoveryEvent& event : report.recovery_log) {
+    std::printf("recovery: step %s failed (%s); rolled back to step %s, "
+                "lr scale now %.4g\n",
+                util::FormatWithCommas(event.failed_at_step).c_str(),
+                event.reason.c_str(),
+                util::FormatWithCommas(event.resumed_from_step).c_str(),
+                event.lr_scale_after);
+  }
   return 0;
 }
 
