@@ -2,6 +2,11 @@
 // r~ at each convergence check point (every |D|/10 SGD steps), until
 // |delta r~| <= 1e-3 (§5.6.1). The paper observes a higher converged r~ on
 // Gowalla than on Lastfm, mirroring the larger accuracy margin there.
+//
+// Accepts the standard bench flags (--json-out, --metrics-out, --trace-out,
+// --events-out, --progress-every); per-check timings come from the trainer's
+// own telemetry (`epoch` events, trainer.quadruples_per_sec histogram) rather
+// than bench-side stopwatches.
 
 #include <cstdio>
 
@@ -9,7 +14,8 @@
 
 using namespace reconsume;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchRun run("fig12_convergence", argc, argv);
   for (auto&& bundle : bench::MakeBothBundles()) {
     bench::PrintHeader("Fig. 12: convergence of r~ (S=10, Omega=10)", bundle);
     auto config = bench::MakeTsPprConfig(bundle);
@@ -35,6 +41,14 @@ int main() {
                 report.converged ? "yes" : "no",
                 util::FormatWithCommas(report.steps).c_str(),
                 report.final_r_tilde, report.wall_seconds);
+
+    run.AddValue(bundle.name, "converged", report.converged ? 1.0 : 0.0);
+    run.AddValue(bundle.name, "steps", static_cast<double>(report.steps));
+    run.AddValue(bundle.name, "checks",
+                 static_cast<double>(report.curve.size()));
+    run.AddValue(bundle.name, "final_r_tilde", report.final_r_tilde);
+    run.AddValue(bundle.name, "wall_seconds", report.wall_seconds);
   }
+  RECONSUME_CHECK_OK(run.Finish());
   return 0;
 }

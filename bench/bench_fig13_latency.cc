@@ -8,9 +8,11 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/common.h"
+#include "util/stopwatch.h"
 
 using namespace reconsume;
 
@@ -53,6 +55,32 @@ void CollectInstances(const bench::DatasetBundle& bundle, size_t max_instances,
   }
 }
 
+/// Histogram-based pre-pass: one timed scoring sweep per method through the
+/// shared obs::Histogram API, so the latency distribution (p50/p99, not just
+/// google-benchmark's mean) lands in --metrics-out / --json-out alongside
+/// every other experiment's telemetry.
+void RunHistogramPrepass(bench::BenchRun* run, const std::string& dataset) {
+  for (auto& method : g_fixture->methods) {
+    RC_TRACE_SPAN("bench/score_prepass");
+    obs::Histogram* const hist = obs::MetricsRegistry::Global().GetHistogram(
+        "bench.score_us." + method.name,
+        obs::ExponentialBuckets(0.01, 2.0, 30));
+    std::vector<double> scores;
+    util::Stopwatch stopwatch;
+    for (const Instance& instance : g_fixture->instances) {
+      scores.assign(instance.candidates.size(), 0.0);
+      stopwatch.Restart();
+      method.recommender->Score(instance.user, instance.walker,
+                                instance.candidates, scores);
+      hist->Observe(stopwatch.ElapsedMicros());
+    }
+    const obs::HistogramSnapshot snapshot = hist->Snapshot();
+    run->AddValue(dataset, method.name + ".mean_us", snapshot.Mean());
+    run->AddValue(dataset, method.name + ".p50_us", snapshot.Quantile(0.5));
+    run->AddValue(dataset, method.name + ".p99_us", snapshot.Quantile(0.99));
+  }
+}
+
 void BM_ScoreInstance(benchmark::State& state, bench::Method* method) {
   auto& instances = g_fixture->instances;
   std::vector<double> scores;
@@ -71,6 +99,9 @@ void BM_ScoreInstance(benchmark::State& state, bench::Method* method) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // BenchRun reads the bench/observability flags; google-benchmark later
+  // consumes its own --benchmark_* flags from the same argv.
+  bench::BenchRun run("fig13_latency", argc, argv);
   g_fixture = std::make_unique<LatencyFixture>();
   g_fixture->bundle = bench::MakeGowallaBundle();
   bench::PrintHeader("Fig. 13: online recommendation latency",
@@ -79,6 +110,7 @@ int main(int argc, char** argv) {
       bench::FitAllMethods(g_fixture->bundle, /*include_ppr_static=*/false);
   CollectInstances(g_fixture->bundle, 200, &g_fixture->instances);
   RECONSUME_CHECK(!g_fixture->instances.empty());
+  RunHistogramPrepass(&run, g_fixture->bundle.name);
 
   for (auto& method : g_fixture->methods) {
     benchmark::RegisterBenchmark(("ScoreInstance/" + method.name).c_str(),
@@ -90,5 +122,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   g_fixture.reset();
+  RECONSUME_CHECK_OK(run.Finish());
   return 0;
 }

@@ -2,7 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
+#include "obs/json_writer.h"
+#include "util/fileio.h"
+#include "util/flags.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -189,6 +193,84 @@ eval::AccuracyResult EvaluateMethod(const DatasetBundle& bundle,
   auto out = std::move(result).ValueOrDie();
   out.method = method->name;  // sweeps rename methods per configuration
   return out;
+}
+
+BenchRun::BenchRun(std::string experiment, int argc, const char* const* argv)
+    : experiment_(std::move(experiment)) {
+  auto flags = util::FlagSet::Parse(argc, argv);
+  RECONSUME_CHECK(flags.ok()) << flags.status();
+  auto json_path = flags.ValueOrDie().GetString("json-out", "");
+  RECONSUME_CHECK(json_path.ok()) << json_path.status();
+  json_path_ = std::move(json_path).ValueOrDie();
+  auto config = obs::TelemetryConfigFromFlags(flags.ValueOrDie());
+  RECONSUME_CHECK(config.ok()) << config.status();
+  auto session = obs::TelemetrySession::Start(config.ValueOrDie());
+  RECONSUME_CHECK(session.ok()) << session.status();
+  session_ = std::move(session).ValueOrDie();
+}
+
+BenchRun::~BenchRun() {
+  const Status finished = Finish();
+  if (!finished.ok()) {
+    RECONSUME_LOG(Error) << "bench finish failed: " << finished.ToString();
+  }
+}
+
+void BenchRun::AddValue(const std::string& dataset, const std::string& key,
+                        double value) {
+  DatasetResults* slot = nullptr;
+  for (DatasetResults& existing : results_) {
+    if (existing.dataset == dataset) {
+      slot = &existing;
+      break;
+    }
+  }
+  if (slot == nullptr) {
+    results_.push_back(DatasetResults{dataset, {}});
+    slot = &results_.back();
+  }
+  for (auto& [existing_key, existing_value] : slot->values) {
+    if (existing_key == key) {
+      existing_value = value;
+      return;
+    }
+  }
+  slot->values.emplace_back(key, value);
+}
+
+std::string BenchRun::ToJson() const {
+  obs::JsonWriter writer;
+  writer.BeginObject()
+      .Key("schema")
+      .Value("reconsume.bench.v1")
+      .Key("experiment")
+      .Value(experiment_)
+      .Key("results")
+      .BeginArray();
+  for (const DatasetResults& result : results_) {
+    writer.BeginObject()
+        .Key("dataset")
+        .Value(result.dataset)
+        .Key("values")
+        .BeginObject();
+    for (const auto& [key, value] : result.values) {
+      writer.Key(key).Value(value);
+    }
+    writer.EndObject().EndObject();
+  }
+  writer.EndArray().EndObject();
+  return std::move(writer).Take();
+}
+
+Status BenchRun::Finish() {
+  if (finished_) return Status::OK();
+  finished_ = true;
+  Status first = Status::OK();
+  if (!json_path_.empty()) {
+    first = util::AtomicWriteFile(json_path_, ToJson());
+  }
+  const Status telemetry = session_.Finish();
+  return first.ok() ? telemetry : first;
 }
 
 void PrintHeader(const std::string& experiment, const DatasetBundle& bundle) {

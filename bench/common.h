@@ -26,6 +26,9 @@
 #include "eval/experiment_defaults.h"
 #include "eval/table.h"
 #include "features/static_features.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace reconsume {
@@ -88,6 +91,50 @@ eval::AccuracyResult EvaluateMethod(const DatasetBundle& bundle, Method* method,
 
 /// Prints the standard bench header (experiment id + Table 4 defaults).
 void PrintHeader(const std::string& experiment, const DatasetBundle& bundle);
+
+/// \brief Standard run wrapper for bench binaries: common observability flags
+/// plus a machine-readable results document with a stable schema.
+///
+/// Flags (all optional):
+///   --json-out=r.json        standardized results document (schema below)
+///   --metrics-out/--trace-out/--events-out/--progress-every
+///                            the obs::TelemetryConfigFromFlags set
+///
+/// The results document:
+///   {"schema": "reconsume.bench.v1",
+///    "experiment": "<id>",
+///    "results": [{"dataset": "<name>", "values": {"<key>": <number>, ...}}]}
+///
+/// Keys keep AddValue order within a dataset; datasets keep first-seen order.
+/// Dies on malformed flags (bench binaries have no recovery path).
+class BenchRun {
+ public:
+  BenchRun(std::string experiment, int argc, const char* const* argv);
+  ~BenchRun();  ///< best-effort Finish
+  BenchRun(const BenchRun&) = delete;
+  BenchRun& operator=(const BenchRun&) = delete;
+
+  /// Records one scalar under `dataset` (repeated keys overwrite).
+  void AddValue(const std::string& dataset, const std::string& key,
+                double value);
+
+  /// The standardized document for the values recorded so far.
+  std::string ToJson() const;
+
+  /// Writes --json-out and closes the telemetry session. Idempotent.
+  Status Finish();
+
+ private:
+  struct DatasetResults {
+    std::string dataset;
+    std::vector<std::pair<std::string, double>> values;
+  };
+  std::string experiment_;
+  std::string json_path_;
+  std::vector<DatasetResults> results_;
+  obs::TelemetrySession session_;
+  bool finished_ = false;
+};
 
 }  // namespace bench
 }  // namespace reconsume

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "math/newton.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "window/window_walker.h"
 
@@ -32,6 +33,7 @@ struct ChoiceData {
 Result<DyrcRecommender> DyrcRecommender::Fit(
     const data::TrainTestSplit& split,
     const features::StaticFeatureTable* table, const DyrcOptions& options) {
+  RC_TRACE_SPAN("fit/dyrc");
   if (table == nullptr) {
     return Status::InvalidArgument("DYRC: null static feature table");
   }

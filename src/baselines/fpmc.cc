@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "math/vector_ops.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "window/window_walker.h"
 
@@ -23,6 +24,7 @@ struct FpmcEvent {
 
 Result<FpmcRecommender> FpmcRecommender::Fit(const data::TrainTestSplit& split,
                                              const FpmcConfig& config) {
+  RC_TRACE_SPAN("fit/fpmc");
   if (config.latent_dim < 1) {
     return Status::InvalidArgument("FPMC: latent_dim must be >= 1");
   }

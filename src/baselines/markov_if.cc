@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace reconsume {
@@ -30,6 +31,7 @@ void NormalizeRow(std::unordered_map<data::ItemId, double>* row,
 
 Result<MarkovIfRecommender> MarkovIfRecommender::Fit(
     const data::TrainTestSplit& split, const MarkovIfConfig& config) {
+  RC_TRACE_SPAN("fit/markov_if");
   if (!(config.personalization >= 0.0 && config.personalization <= 1.0)) {
     return Status::InvalidArgument("MarkovIF: personalization out of [0,1]");
   }

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace reconsume {
@@ -44,6 +45,7 @@ std::vector<double> SurvivalRecommender::MakeCovariates(
 Result<SurvivalRecommender> SurvivalRecommender::Fit(
     const data::TrainTestSplit& split,
     const features::StaticFeatureTable* table, const SurvivalOptions& options) {
+  RC_TRACE_SPAN("fit/survival");
   if (table == nullptr) {
     return Status::InvalidArgument("Survival: null static feature table");
   }

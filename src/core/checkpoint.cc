@@ -6,11 +6,15 @@
 #include <system_error>
 
 #include "core/model_io.h"
+#include "obs/event.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/crc32.h"
 #include "util/failpoint.h"
 #include "util/fileio.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace reconsume {
 namespace core {
@@ -289,9 +293,18 @@ Result<CheckpointManager> CheckpointManager::Create(const std::string& dir,
 }
 
 Status CheckpointManager::Write(const TrainerCheckpoint& checkpoint) {
+  RC_TRACE_SPAN("checkpoint/write");
+  const util::Stopwatch watch;
   RECONSUME_RETURN_NOT_OK(SaveCheckpoint(
       checkpoint, dir_ + "/" + CheckpointFileName(checkpoint.steps)));
   ++num_written_;
+  const double write_ms = watch.ElapsedMillis();
+  obs::MetricsRegistry::Global()
+      .GetHistogram("checkpoint.write_ms", obs::ExponentialBuckets(0.1, 2.0, 18))
+      ->Observe(write_ms);
+  RC_EMIT_EVENT(obs::Event("checkpoint_write")
+                    .Set("step", checkpoint.steps)
+                    .Set("ms", write_ms));
   // Prune only after the new snapshot is durably in place, so a failure at
   // any point leaves at least the previous good checkpoint on disk.
   std::vector<std::string> files = ListCheckpointFiles(dir_);

@@ -1,25 +1,33 @@
 #include "core/ts_ppr.h"
 
+#include "obs/trace.h"
+
 namespace reconsume {
 namespace core {
 
 Result<TsPpr> TsPpr::Fit(const data::TrainTestSplit& split,
                          const TsPprPipelineConfig& config) {
+  RC_TRACE_SPAN("fit/tsppr");
   TsPpr pipeline;
 
-  RECONSUME_ASSIGN_OR_RETURN(
-      features::StaticFeatureTable table,
-      features::StaticFeatureTable::Compute(split,
-                                            config.sampling.window_capacity));
-  pipeline.table_ =
-      std::make_unique<features::StaticFeatureTable>(std::move(table));
-  pipeline.extractor_ = std::make_unique<features::FeatureExtractor>(
-      pipeline.table_.get(), config.features);
+  {
+    RC_TRACE_SPAN("tsppr/features");
+    RECONSUME_ASSIGN_OR_RETURN(
+        features::StaticFeatureTable table,
+        features::StaticFeatureTable::Compute(
+            split, config.sampling.window_capacity));
+    pipeline.table_ =
+        std::make_unique<features::StaticFeatureTable>(std::move(table));
+    pipeline.extractor_ = std::make_unique<features::FeatureExtractor>(
+        pipeline.table_.get(), config.features);
+  }
 
   RECONSUME_ASSIGN_OR_RETURN(
-      sampling::TrainingSet training_set,
-      sampling::TrainingSet::Build(split, *pipeline.extractor_,
-                                   config.sampling));
+      sampling::TrainingSet training_set, [&] {
+        RC_TRACE_SPAN("tsppr/sampling");
+        return sampling::TrainingSet::Build(split, *pipeline.extractor_,
+                                            config.sampling);
+      }());
   pipeline.num_quadruples_ = training_set.num_quadruples();
 
   RECONSUME_ASSIGN_OR_RETURN(

@@ -10,6 +10,9 @@
 
 #include "core/checkpoint.h"
 #include "math/vector_ops.h"
+#include "obs/event.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
@@ -184,8 +187,18 @@ Result<TrainReport> TsPprTrainer::ResumeFrom(
     const std::string& checkpoint_path,
     const sampling::TrainingSet& training_set, TsPprModel* model,
     util::Rng* rng) const {
+  const util::Stopwatch watch;
   RECONSUME_ASSIGN_OR_RETURN(const TrainerCheckpoint checkpoint,
                              LoadCheckpoint(checkpoint_path));
+  const double restore_ms = watch.ElapsedMillis();
+  obs::MetricsRegistry::Global()
+      .GetHistogram("checkpoint.restore_ms",
+                    obs::ExponentialBuckets(0.1, 2.0, 18))
+      ->Observe(restore_ms);
+  RC_EMIT_EVENT(obs::Event("checkpoint_restore")
+                    .Set("path", checkpoint_path)
+                    .Set("step", checkpoint.steps)
+                    .Set("ms", restore_ms));
   return TrainImpl(training_set, model, rng, &checkpoint);
 }
 
@@ -290,6 +303,18 @@ Result<TrainReport> TsPprTrainer::TrainImpl(
     rng->SetState(resume->rng_state);
   }
 
+  RC_TRACE_SPAN("trainer/train");
+  // Cached metric handles: one registry lookup per run, lock-free recording
+  // after that (per check/round granularity, never per SGD step).
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter* const steps_counter = registry.GetCounter("trainer.steps");
+  obs::Counter* const recoveries_counter =
+      registry.GetCounter("trainer.recoveries");
+  obs::Histogram* const r_tilde_hist = registry.GetHistogram(
+      "trainer.epoch_r_tilde", obs::LinearBuckets(-1.0, 0.25, 60));
+  obs::Histogram* const qps_hist = registry.GetHistogram(
+      "trainer.quadruples_per_sec", obs::ExponentialBuckets(1e3, 2.0, 22));
+
   TrainReport report;
   util::Stopwatch stopwatch;
   double prev_r_tilde;
@@ -309,6 +334,17 @@ Result<TrainReport> TsPprTrainer::TrainImpl(
     checks = 0;
     recoveries_used = 0;
   }
+
+  // High-water mark of steps already folded into trainer.steps; rollbacks
+  // rewind it so replayed work counts as executed work.
+  int64_t steps_counted = report.steps;
+  RC_EMIT_EVENT(obs::Event("train_start")
+                    .Set("start_step", report.steps)
+                    .Set("max_steps", options_.max_steps)
+                    .Set("num_workers", num_workers)
+                    .Set("num_quadruples",
+                         static_cast<int64_t>(training_set.num_quadruples()))
+                    .Set("resumed", resume != nullptr));
 
   std::optional<CheckpointManager> manager;
   if (!options_.checkpoint_dir.empty()) {
@@ -389,6 +425,14 @@ Result<TrainReport> TsPprTrainer::TrainImpl(
     event.lr_scale_after = lr_scale;
     event.reason = failure.message();
     report.recovery_log.push_back(event);
+    steps_counted = good.steps;
+    recoveries_counter->Increment();
+    RC_EMIT_EVENT(obs::Event("recovery")
+                      .Set("failed_at_step", failed_at)
+                      .Set("resumed_from_step", good.steps)
+                      .Set("lr_scale_after", lr_scale)
+                      .Set("recoveries_used", recoveries_used)
+                      .Set("reason", std::string(failure.message())));
     RECONSUME_LOG(Warning) << "training diverged at step " << failed_at
                            << "; rolling back to step " << good.steps
                            << " with learning-rate scale " << lr_scale << " ("
@@ -405,6 +449,8 @@ Result<TrainReport> TsPprTrainer::TrainImpl(
     if (recovery_enabled) last_good = make_snapshot();
     while (true) {
       Status attempt = Status::OK();
+      util::Stopwatch check_watch;
+      int64_t steps_at_last_check = report.steps;
       while (report.steps < options_.max_steps) {
         const double alpha = alpha_for(report.steps);
         // Lines 3-5: hierarchical uniform draw of (u, v_i, v_j, t).
@@ -429,9 +475,28 @@ Result<TrainReport> TsPprTrainer::TrainImpl(
         ++report.steps;
 
         if (report.steps % check_every == 0) {
+          RC_TRACE_SPAN("trainer/check");
+          const double check_secs = check_watch.ElapsedSeconds();
+          const double steps_since_check =
+              static_cast<double>(report.steps - steps_at_last_check);
+          const double qps =
+              check_secs > 0.0 ? steps_since_check / check_secs : 0.0;
           const double r_tilde = compute_r_tilde();
           report.curve.push_back({report.steps, r_tilde});
           ++checks;
+          r_tilde_hist->Observe(r_tilde);
+          if (qps > 0.0) qps_hist->Observe(qps);
+          steps_counter->Increment(report.steps - steps_counted);
+          steps_counted = report.steps;
+          steps_at_last_check = report.steps;
+          RC_EMIT_EVENT(obs::Event("epoch")
+                            .Set("step", report.steps)
+                            .Set("check", checks)
+                            .Set("r_tilde", r_tilde)
+                            .Set("delta_r_tilde", r_tilde - prev_r_tilde)
+                            .Set("quadruples_per_sec", qps)
+                            .Set("lr_scale", lr_scale));
+          check_watch.Restart();
           if (!std::isfinite(r_tilde)) {
             attempt = Status::NumericalError(
                 "TS-PPR training diverged (non-finite r_tilde); lower the "
@@ -516,6 +581,7 @@ Result<TrainReport> TsPprTrainer::TrainImpl(
             // Identical across workers at round boundaries.
             int64_t done = start_steps;
             while (true) {
+              const util::Stopwatch round_watch;
               const int64_t quota = std::max<int64_t>(
                   0,
                   std::min<int64_t>(check_every, options_.max_steps - done));
@@ -543,13 +609,36 @@ Result<TrainReport> TsPprTrainer::TrainImpl(
                   break;
                 }
               }
+              // Per-worker round throughput into the lock-free histogram
+              // (before the barrier, so it measures this worker's SGD time,
+              // not its wait).
+              const double share_secs = round_watch.ElapsedSeconds();
+              if (share > 0 && share_secs > 0.0) {
+                qps_hist->Observe(static_cast<double>(share) / share_secs);
+              }
               sync.arrive_and_wait();
               if (w == 0) {
                 done += quota;
                 if (quota == check_every) {  // full round => check point
+                  RC_TRACE_SPAN("trainer/check");
+                  const double round_secs = round_watch.ElapsedSeconds();
                   const double r_tilde = compute_r_tilde();
                   report.curve.push_back({done, r_tilde});
                   ++checks;
+                  r_tilde_hist->Observe(r_tilde);
+                  steps_counter->Increment(done - steps_counted);
+                  steps_counted = done;
+                  RC_EMIT_EVENT(
+                      obs::Event("epoch")
+                          .Set("step", done)
+                          .Set("check", checks)
+                          .Set("r_tilde", r_tilde)
+                          .Set("delta_r_tilde", r_tilde - prev_r_tilde)
+                          .Set("quadruples_per_sec",
+                               round_secs > 0.0
+                                   ? static_cast<double>(quota) / round_secs
+                                   : 0.0)
+                          .Set("lr_scale", lr_scale));
                   bool converged_now = false;
                   if (!std::isfinite(r_tilde)) {
                     diverged = true;
@@ -631,6 +720,14 @@ Result<TrainReport> TsPprTrainer::TrainImpl(
   if (!model->IsFinite()) {
     return Status::NumericalError("TS-PPR parameters diverged");
   }
+  steps_counter->Increment(std::max<int64_t>(0, report.steps - steps_counted));
+  RC_EMIT_EVENT(obs::Event("train_end")
+                    .Set("steps", report.steps)
+                    .Set("converged", report.converged)
+                    .Set("r_tilde", report.final_r_tilde)
+                    .Set("recoveries", recoveries_used)
+                    .Set("checkpoints_written", report.checkpoints_written)
+                    .Set("wall_seconds", report.wall_seconds));
   return report;
 }
 

@@ -3,8 +3,12 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/event.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/csv.h"
 #include "util/failpoint.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace reconsume {
@@ -33,6 +37,8 @@ Result<Dataset> LoadTrace(const std::string& path, size_t expected_fields,
   if (options.max_bad_lines < 0) {
     return Status::InvalidArgument("max_bad_lines must be >= 0");
   }
+  RC_TRACE_SPAN("data/load");
+  const util::Stopwatch watch;
   RECONSUME_ASSIGN_OR_RETURN(
       util::DelimitedReader reader,
       util::DelimitedReader::Open(path, {.delimiter = '\t'}));
@@ -44,6 +50,17 @@ Result<Dataset> LoadTrace(const std::string& path, size_t expected_fields,
   // Cleanup-free single point of truth for the out-param, error or not.
   auto publish = [&] {
     if (report != nullptr) *report = counts;
+    if (counts.num_bad_lines > 0) {
+      obs::MetricsRegistry::Global()
+          .GetCounter("data.bad_lines")
+          ->Increment(counts.num_bad_lines);
+    }
+    RC_EMIT_EVENT(obs::Event("dataset_load")
+                      .Set("path", path)
+                      .Set("lines", counts.num_lines)
+                      .Set("events", counts.num_events)
+                      .Set("bad_lines", counts.num_bad_lines)
+                      .Set("ms", watch.ElapsedMillis()));
   };
 
   while (reader.Next(&fields)) {

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 
+#include "obs/event.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -120,6 +124,13 @@ Status Evaluator::EvaluateUser(Recommender* recommender, data::UserId user,
   util::Stopwatch stopwatch;
   std::vector<int64_t> user_hits(num_cutoffs, 0);
   int64_t user_instances = 0;
+  double user_latency_ms = 0.0;
+  // Lock-free shards: safe to record from every evaluation worker.
+  obs::Histogram* const user_score_hist =
+      options_.measure_latency
+          ? obs::MetricsRegistry::Global().GetHistogram(
+                "eval.user_score_ms", obs::ExponentialBuckets(1e-3, 2.0, 26))
+          : nullptr;
 
   while (!walker.Done()) {
     bool is_instance = false;
@@ -155,7 +166,9 @@ Status Evaluator::EvaluateUser(Recommender* recommender, data::UserId user,
       if (options_.measure_latency) stopwatch.Restart();
       recommender->Score(user, walker, candidates, scores);
       if (options_.measure_latency) {
-        accumulator.total_latency_ms += stopwatch.ElapsedMillis();
+        const double score_ms = stopwatch.ElapsedMillis();
+        accumulator.total_latency_ms += score_ms;
+        user_latency_ms += score_ms;
       }
 
       // Rank of the target under (score desc, candidate order asc).
@@ -195,6 +208,10 @@ Status Evaluator::EvaluateUser(Recommender* recommender, data::UserId user,
   if (user_instances > 0) {
     ++accumulator.num_users_evaluated;
     accumulator.total_instances += user_instances;
+    obs::MetricsRegistry::Global()
+        .GetCounter("eval.instances")
+        ->Increment(user_instances);
+    if (user_score_hist != nullptr) user_score_hist->Observe(user_latency_ms);
     for (size_t c = 0; c < num_cutoffs; ++c) {
       accumulator.global_hits[c] += user_hits[c];
       accumulator.miap_sums[c] += static_cast<double>(user_hits[c]) /
@@ -212,9 +229,16 @@ Result<AccuracyResult> Evaluator::Evaluate(Recommender* recommender) const {
   if (recommender == nullptr) {
     return Status::InvalidArgument("Evaluate: null recommender");
   }
+  RC_TRACE_SPAN("eval/evaluate");
   const data::Dataset& dataset = split_->dataset();
   const size_t num_users = dataset.num_users();
   const size_t num_cutoffs = options_.top_ns.size();
+  RC_EMIT_EVENT(obs::Event("eval_start")
+                    .Set("method", std::string(recommender->name()))
+                    .Set("num_users", static_cast<int64_t>(num_users))
+                    .Set("num_threads", options_.num_threads)
+                    .Set("window_capacity", options_.window_capacity)
+                    .Set("min_gap", options_.min_gap));
 
   Accumulator total(num_cutoffs);
 
@@ -240,8 +264,11 @@ Result<AccuracyResult> Evaluator::Evaluate(Recommender* recommender) const {
     const Status status = EvaluateUser(rec, user, accumulator);
     if (status.ok() || !options_.skip_invalid_users) return status;
     ++accumulator->num_users_skipped;
-    RECONSUME_LOG(Warning) << "skipping user " << user
-                           << " in evaluation: " << status.message();
+    obs::MetricsRegistry::Global()
+        .GetCounter("eval.users_skipped")
+        ->Increment();
+    RECONSUME_LOG(Warning).With("user", static_cast<long long>(user))
+        << "skipping user in evaluation: " << status.message();
     return Status::OK();
   };
 
@@ -314,6 +341,19 @@ Result<AccuracyResult> Evaluator::Evaluate(Recommender* recommender) const {
             [](const PerUserResult& a, const PerUserResult& b) {
               return a.user < b.user;
             });
+  if (obs::EventStream::Global().enabled()) {
+    obs::Event event("eval_end");
+    event.Set("method", std::string(recommender->name()))
+        .Set("num_instances", result.num_instances)
+        .Set("num_users_evaluated", result.num_users_evaluated)
+        .Set("num_users_skipped", result.num_users_skipped)
+        .Set("mean_score_latency_ms", result.mean_score_latency_ms);
+    for (size_t c = 0; c < num_cutoffs; ++c) {
+      const std::string n = std::to_string(options_.top_ns[c]);
+      event.Set("maap@" + n, result.maap[c]).Set("miap@" + n, result.miap[c]);
+    }
+    obs::EventStream::Global().Emit(std::move(event));
+  }
   return result;
 }
 

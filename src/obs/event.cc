@@ -1,0 +1,172 @@
+#include "obs/event.h"
+
+#include <algorithm>
+
+#include "obs/json_writer.h"
+#include "obs/trace.h"
+#include "util/fileio.h"
+
+namespace reconsume {
+namespace obs {
+
+Event& Event::Set(std::string key, int64_t value) {
+  Field field;
+  field.key = std::move(key);
+  field.kind = Field::Kind::kInt;
+  field.i = value;
+  fields_.push_back(std::move(field));
+  return *this;
+}
+
+Event& Event::Set(std::string key, double value) {
+  Field field;
+  field.key = std::move(key);
+  field.kind = Field::Kind::kDouble;
+  field.d = value;
+  fields_.push_back(std::move(field));
+  return *this;
+}
+
+Event& Event::Set(std::string key, std::string value) {
+  Field field;
+  field.key = std::move(key);
+  field.kind = Field::Kind::kString;
+  field.s = std::move(value);
+  fields_.push_back(std::move(field));
+  return *this;
+}
+
+Event& Event::Set(std::string key, bool value) {
+  Field field;
+  field.key = std::move(key);
+  field.kind = Field::Kind::kBool;
+  field.b = value;
+  fields_.push_back(std::move(field));
+  return *this;
+}
+
+const Event::Field* Event::Find(std::string_view key) const {
+  for (const Field& field : fields_) {
+    if (field.key == key) return &field;
+  }
+  return nullptr;
+}
+
+double Event::Number(std::string_view key, double fallback) const {
+  const Field* field = Find(key);
+  if (field == nullptr) return fallback;
+  switch (field->kind) {
+    case Field::Kind::kInt:
+      return static_cast<double>(field->i);
+    case Field::Kind::kDouble:
+      return field->d;
+    case Field::Kind::kBool:
+      return field->b ? 1.0 : 0.0;
+    case Field::Kind::kString:
+      return fallback;
+  }
+  return fallback;
+}
+
+std::string Event::ToJsonLine() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("type").Value(type_);
+  w.Key("seq").Value(seq);
+  w.Key("t_ns").Value(t_ns);
+  w.Key("tid").Value(tid);
+  for (const Field& field : fields_) {
+    w.Key(field.key);
+    switch (field.kind) {
+      case Field::Kind::kInt:
+        w.Value(field.i);
+        break;
+      case Field::Kind::kDouble:
+        w.Value(field.d);
+        break;
+      case Field::Kind::kString:
+        w.Value(field.s);
+        break;
+      case Field::Kind::kBool:
+        w.Value(field.b);
+        break;
+    }
+  }
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+void CaptureSink::Emit(const Event& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(event);
+}
+
+std::vector<Event> CaptureSink::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void CaptureSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+JsonlFileSink::~JsonlFileSink() {
+  Flush();  // best effort; an explicit Flush reports errors
+}
+
+void JsonlFileSink::Emit(const Event& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffer_ += event.ToJsonLine();
+  buffer_ += '\n';
+  dirty_ = true;
+}
+
+Status JsonlFileSink::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!dirty_) return Status::OK();
+  RECONSUME_RETURN_NOT_OK(util::AtomicWriteFile(path_, buffer_));
+  dirty_ = false;
+  return Status::OK();
+}
+
+EventStream& EventStream::Global() {
+  static EventStream* stream = new EventStream();
+  return *stream;
+}
+
+void EventStream::Attach(EventSink* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::find(sinks_.begin(), sinks_.end(), sink) == sinks_.end()) {
+    sinks_.push_back(sink);
+  }
+  enabled_.store(!sinks_.empty(), std::memory_order_relaxed);
+}
+
+void EventStream::Detach(EventSink* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+  enabled_.store(!sinks_.empty(), std::memory_order_relaxed);
+}
+
+void EventStream::Emit(Event event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sinks_.empty()) return;
+  if (event.seq < 0) event.seq = next_seq_++;
+  if (event.t_ns < 0) event.t_ns = MonotonicNanos();
+  if (event.tid < 0) event.tid = TraceRecorder::Global().ThisThreadLog()->tid;
+  for (EventSink* sink : sinks_) sink->Emit(event);
+}
+
+Status EventStream::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status first = Status::OK();
+  for (EventSink* sink : sinks_) {
+    const Status status = sink->Flush();
+    if (first.ok() && !status.ok()) first = status;
+  }
+  return first;
+}
+
+}  // namespace obs
+}  // namespace reconsume

@@ -1,0 +1,167 @@
+// Pillar 3 of the observability layer (docs/observability.md): a structured
+// training-telemetry stream. Producers (trainer, evaluator, checkpoint
+// manager, loaders) build typed Event records and hand them to the global
+// EventStream, which stamps sequence/clock/thread metadata and fans them out
+// to the attached sinks. The JSONL file sink turns a run into a
+// one-JSON-object-per-line log that tools/validate_telemetry.py checks in CI.
+//
+//   RC_EMIT_EVENT(obs::Event("epoch")
+//                     .Set("step", steps)
+//                     .Set("r_tilde", r_tilde));
+//
+// With no sink attached, RC_EMIT_EVENT is a single relaxed atomic load — the
+// Event is never even constructed (the macro guards before evaluating its
+// argument), mirroring the failpoint fast-path design.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace reconsume {
+namespace obs {
+
+/// \brief One telemetry record: a type tag plus ordered typed fields.
+class Event {
+ public:
+  explicit Event(std::string type) : type_(std::move(type)) {}
+
+  Event& Set(std::string key, int64_t value);
+  Event& Set(std::string key, int value) {
+    return Set(std::move(key), static_cast<int64_t>(value));
+  }
+  Event& Set(std::string key, double value);
+  Event& Set(std::string key, std::string value);
+  Event& Set(std::string key, const char* value) {
+    return Set(std::move(key), std::string(value));
+  }
+  Event& Set(std::string key, bool value);
+
+  const std::string& type() const { return type_; }
+
+  /// Stream-stamped metadata (see EventStream::Emit). A negative seq means
+  /// "not yet stamped"; tests may stamp manually for golden output.
+  int64_t seq = -1;
+  int64_t t_ns = -1;
+  int tid = -1;
+
+  /// {"type":...,"seq":...,"t_ns":...,"tid":...,<fields in Set order>} —
+  /// no trailing newline.
+  std::string ToJsonLine() const;
+
+  // --- typed field access (tests and sinks) ---
+  struct Field {
+    enum class Kind { kInt, kDouble, kString, kBool };
+    std::string key;
+    Kind kind;
+    int64_t i = 0;
+    double d = 0.0;
+    std::string s;
+    bool b = false;
+  };
+  const std::vector<Field>& fields() const { return fields_; }
+  /// First field with `key`, or nullptr.
+  const Field* Find(std::string_view key) const;
+  /// Numeric value of field `key` (int or double); `fallback` if absent.
+  double Number(std::string_view key, double fallback = 0.0) const;
+
+ private:
+  std::string type_;
+  std::vector<Field> fields_;
+};
+
+/// \brief Receives emitted events. Implementations must tolerate concurrent
+/// Emit calls being serialized by the stream (Emit is called under the
+/// stream's lock, one event at a time, in seq order).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void Emit(const Event& event) = 0;
+  /// Durably writes anything buffered. Default: nothing to flush.
+  virtual Status Flush() { return Status::OK(); }
+};
+
+/// \brief Test sink: retains every event in memory.
+class CaptureSink : public EventSink {
+ public:
+  void Emit(const Event& event) override;
+  /// Copy of everything captured so far.
+  std::vector<Event> events() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+/// \brief JSONL file sink. Lines buffer in memory and Flush() writes the
+/// whole file through util::AtomicWriteFile, so a crash mid-run leaves
+/// either the previous complete file or the new one — never a torn line.
+class JsonlFileSink : public EventSink {
+ public:
+  explicit JsonlFileSink(std::string path) : path_(std::move(path)) {}
+  ~JsonlFileSink() override;  ///< best-effort Flush
+
+  void Emit(const Event& event) override;
+  Status Flush() override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::mutex mu_;
+  std::string buffer_;
+  bool dirty_ = false;
+};
+
+/// \brief Global fan-out point for telemetry events.
+class EventStream {
+ public:
+  static EventStream& Global();
+
+  /// Attaches a sink (not owned; detach before destroying it). The stream
+  /// is enabled while at least one sink is attached.
+  void Attach(EventSink* sink);
+  void Detach(EventSink* sink);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Stamps seq (monotonic), t_ns (MonotonicNanos), tid (trace thread id)
+  /// on the event — unless the producer pre-stamped them (field >= 0) —
+  /// then forwards it to every attached sink. No-op when no sink is
+  /// attached.
+  void Emit(Event event);
+
+  /// Flushes every attached sink; first error wins.
+  Status Flush();
+
+  EventStream() = default;
+  EventStream(const EventStream&) = delete;
+  EventStream& operator=(const EventStream&) = delete;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::mutex mu_;
+  std::vector<EventSink*> sinks_;
+  int64_t next_seq_ = 0;
+};
+
+}  // namespace obs
+}  // namespace reconsume
+
+/// Emits `event_expr` into the global stream. The expression is evaluated
+/// only when a sink is attached, so un-instrumented runs pay one relaxed
+/// atomic load.
+#define RC_EMIT_EVENT(event_expr)                            \
+  do {                                                       \
+    if (::reconsume::obs::EventStream::Global().enabled()) { \
+      ::reconsume::obs::EventStream::Global().Emit(          \
+          (event_expr));                                     \
+    }                                                        \
+  } while (0)

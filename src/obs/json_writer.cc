@@ -1,0 +1,147 @@
+#include "obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace reconsume {
+namespace obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back({'o'});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  RC_CHECK(!stack_.empty() && stack_.back().kind == 'o' && !pending_key_)
+      << "EndObject outside an object";
+  stack_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back({'a'});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  RC_CHECK(!stack_.empty() && stack_.back().kind == 'a')
+      << "EndArray outside an array";
+  stack_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  RC_CHECK(!stack_.empty() && stack_.back().kind == 'o' && !pending_key_)
+      << "Key is only valid directly inside an object";
+  if (stack_.back().has_value) out_ += ',';
+  stack_.back().has_value = true;
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const char* value) {
+  return Value(std::string_view(value));
+}
+
+JsonWriter& JsonWriter::Value(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double value) {
+  if (!std::isfinite(value)) return Null();
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+std::string JsonWriter::Take() && {
+  RC_CHECK(stack_.empty() && !pending_key_)
+      << "Take on an incomplete JSON document";
+  return std::move(out_);
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    // Key already emitted the separator.
+    pending_key_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    RC_CHECK(stack_.back().kind == 'a')
+        << "object members need a Key before the value";
+    if (stack_.back().has_value) out_ += ',';
+    stack_.back().has_value = true;
+  }
+}
+
+}  // namespace obs
+}  // namespace reconsume

@@ -1,0 +1,69 @@
+// Minimal append-only JSON emitter for the observability exporters (metrics
+// JSON, Chrome trace JSON, JSONL event records). Not a parser: the obs layer
+// only ever *writes* JSON, and pulling in a full JSON library for that would
+// violate the no-new-dependencies rule.
+//
+// Usage:
+//   JsonWriter w;
+//   w.BeginObject().Key("steps").Value(int64_t{12}).Key("ok").Value(true);
+//   w.EndObject();
+//   std::string json = std::move(w).Take();
+//
+// Comma placement is automatic; nesting is tracked so Take() can assert the
+// document is complete. Non-finite doubles serialize as null (JSON has no
+// NaN/Inf literals, and Perfetto rejects them).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace reconsume {
+namespace obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes, control
+/// characters, backslash; everything else passes through byte-for-byte).
+std::string JsonEscape(std::string_view s);
+
+/// \brief Streaming JSON document builder.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Object member key; must be followed by a value or Begin*().
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view value);
+  JsonWriter& Value(const char* value);
+  JsonWriter& Value(int64_t value);
+  JsonWriter& Value(int value) { return Value(static_cast<int64_t>(value)); }
+  JsonWriter& Value(double value);  ///< non-finite -> null
+  JsonWriter& Value(bool value);
+  JsonWriter& Null();
+
+  /// The finished document. Dies (RC_CHECK) if containers are still open.
+  std::string Take() &&;
+  /// The buffer so far (tests / incremental inspection).
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  /// One frame per open container: 'o' / 'a', plus whether a value was
+  /// already emitted at that level (comma bookkeeping).
+  struct Frame {
+    char kind;
+    bool has_value = false;
+  };
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace obs
+}  // namespace reconsume

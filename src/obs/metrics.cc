@@ -1,0 +1,282 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "obs/json_writer.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace reconsume {
+namespace obs {
+
+namespace internal {
+
+int ShardIndex() {
+  static std::atomic<unsigned> next_slot{0};
+  thread_local const unsigned slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed);
+  static_assert((kMetricShards & (kMetricShards - 1)) == 0,
+                "kMetricShards must be a power of two");
+  return static_cast<int>(slot & (kMetricShards - 1));
+}
+
+}  // namespace internal
+
+namespace {
+
+inline uint64_t DoubleBits(double v) { return std::bit_cast<uint64_t>(v); }
+inline double BitsDouble(uint64_t b) { return std::bit_cast<double>(b); }
+
+/// CAS-loop add on a double stored as bits (relaxed: scrapes only need a
+/// consistent per-cell value, not cross-cell ordering).
+void AtomicAddDouble(std::atomic<uint64_t>* cell, double delta) {
+  uint64_t observed = cell->load(std::memory_order_relaxed);
+  while (!cell->compare_exchange_weak(
+      observed, DoubleBits(BitsDouble(observed) + delta),
+      std::memory_order_relaxed)) {
+  }
+}
+
+template <typename Better>
+void AtomicExtremum(std::atomic<uint64_t>* cell, double v, Better better) {
+  uint64_t observed = cell->load(std::memory_order_relaxed);
+  while (better(v, BitsDouble(observed)) &&
+         !cell->compare_exchange_weak(observed, DoubleBits(v),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Counter::Increment(int64_t delta) {
+  shards_[static_cast<size_t>(internal::ShardIndex())].value.fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Gauge::Gauge() : bits_(DoubleBits(0.0)) {}
+
+void Gauge::Set(double value) {
+  bits_.store(DoubleBits(value), std::memory_order_relaxed);
+}
+
+double Gauge::Value() const {
+  return BitsDouble(bits_.load(std::memory_order_relaxed));
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      shards_(std::make_unique<Shard[]>(kMetricShards)) {
+  RC_CHECK(!bounds_.empty()) << "histogram needs at least one bucket bound";
+  RC_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be ascending";
+  const size_t num_buckets = bounds_.size() + 1;
+  for (int s = 0; s < kMetricShards; ++s) {
+    shards_[s].buckets = std::make_unique<std::atomic<int64_t>[]>(num_buckets);
+    for (size_t b = 0; b < num_buckets; ++b) {
+      shards_[s].buckets[b].store(0, std::memory_order_relaxed);
+    }
+    shards_[s].sum_bits.store(DoubleBits(0.0), std::memory_order_relaxed);
+    shards_[s].min_bits.store(
+        DoubleBits(std::numeric_limits<double>::infinity()),
+        std::memory_order_relaxed);
+    shards_[s].max_bits.store(
+        DoubleBits(-std::numeric_limits<double>::infinity()),
+        std::memory_order_relaxed);
+  }
+}
+
+size_t Histogram::BucketIndex(double value) const {
+  // First bound >= value; the trailing overflow bucket catches the rest.
+  return static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+}
+
+void Histogram::Observe(double value) {
+  if (std::isnan(value)) return;
+  Shard& shard = shards_[static_cast<size_t>(internal::ShardIndex())];
+  shard.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&shard.sum_bits, value);
+  AtomicExtremum(&shard.min_bits, value, std::less<double>());
+  AtomicExtremum(&shard.max_bits, value, std::greater<double>());
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  for (int s = 0; s < kMetricShards; ++s) {
+    const Shard& shard = shards_[s];
+    for (size_t b = 0; b < snap.counts.size(); ++b) {
+      snap.counts[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.count += shard.count.load(std::memory_order_relaxed);
+    snap.sum += BitsDouble(shard.sum_bits.load(std::memory_order_relaxed));
+    min = std::min(min,
+                   BitsDouble(shard.min_bits.load(std::memory_order_relaxed)));
+    max = std::max(max,
+                   BitsDouble(shard.max_bits.load(std::memory_order_relaxed)));
+  }
+  snap.min = snap.count > 0 ? min : 0.0;
+  snap.max = snap.count > 0 ? max : 0.0;
+  return snap;
+}
+
+double HistogramSnapshot::Mean() const {
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const int64_t next = cumulative + counts[b];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate inside the bucket; clamp the bucket edges to the
+      // recorded extrema so the estimate never leaves [min, max].
+      const double lo =
+          b == 0 ? min : std::max(min, bounds[b - 1]);
+      const double hi = b < bounds.size() ? std::min(max, bounds[b]) : max;
+      const double within =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(counts[b]);
+      return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return max;
+}
+
+std::vector<double> LinearBuckets(double start, double width, int count) {
+  RC_CHECK(width > 0 && count > 0);
+  std::vector<double> bounds(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    bounds[static_cast<size_t>(i)] = start + width * (i + 1);
+  }
+  return bounds;
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count) {
+  RC_CHECK(start > 0 && factor > 1.0 && count > 0);
+  std::vector<double> bounds(static_cast<size_t>(count));
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds[static_cast<size_t>(i)] = bound;
+    bound *= factor;
+  }
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[std::string(name)];
+  if (slot == nullptr) slot.reset(new Counter());
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[std::string(name)];
+  if (slot == nullptr) slot.reset(new Gauge());
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[std::string(name)];
+  if (slot == nullptr) slot.reset(new Histogram(std::move(bounds)));
+  return slot.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    w.Key(name).Value(counter->Value());
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    w.Key(name).Value(gauge->Value());
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    const HistogramSnapshot snap = histogram->Snapshot();
+    w.Key(name).BeginObject();
+    w.Key("count").Value(snap.count);
+    w.Key("sum").Value(snap.sum);
+    w.Key("mean").Value(snap.Mean());
+    w.Key("min").Value(snap.min);
+    w.Key("max").Value(snap.max);
+    w.Key("p50").Value(snap.Quantile(0.5));
+    w.Key("p90").Value(snap.Quantile(0.9));
+    w.Key("p99").Value(snap.Quantile(0.99));
+    w.Key("bounds").BeginArray();
+    for (const double bound : snap.bounds) w.Value(bound);
+    w.EndArray();
+    w.Key("counts").BeginArray();
+    for (const int64_t c : snap.counts) w.Value(c);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += util::StringPrintf("counter %s %lld\n", name.c_str(),
+                              static_cast<long long>(counter->Value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += util::StringPrintf("gauge %s %g\n", name.c_str(), gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const HistogramSnapshot snap = histogram->Snapshot();
+    out += util::StringPrintf(
+        "histogram %s count=%lld mean=%g p50=%g p99=%g min=%g max=%g\n",
+        name.c_str(), static_cast<long long>(snap.count), snap.Mean(),
+        snap.Quantile(0.5), snap.Quantile(0.99), snap.min, snap.max);
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace obs
+}  // namespace reconsume

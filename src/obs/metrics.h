@@ -1,0 +1,162 @@
+// Pillar 1 of the observability layer (docs/observability.md): a process-wide
+// registry of named counters, gauges, and fixed-bucket histograms.
+//
+// Recording is designed for hot-ish paths shared by Hogwild workers and the
+// parallel evaluator: every mutable cell is sharded across kMetricShards
+// cache-line-padded atomic slots, a thread writes only the slot derived from
+// its thread-local shard index, and scrapes merge the shards. There are no
+// locks on the record path, only relaxed atomics, so instrumented code stays
+// TSan-clean and contention-free.
+//
+//   obs::Counter* steps = obs::MetricsRegistry::Global().GetCounter("trainer.steps");
+//   steps->Increment(check_every);
+//
+//   obs::Histogram* ms = obs::MetricsRegistry::Global().GetHistogram(
+//       "checkpoint.write_ms", obs::ExponentialBuckets(0.1, 2.0, 16));
+//   ms->Observe(watch.ElapsedMillis());
+//
+// Naming convention: lowercase dotted "component.metric", with the unit as a
+// trailing suffix (_ms, _us, _per_sec). See docs/observability.md.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace reconsume {
+namespace obs {
+
+/// Number of per-thread shards behind every counter/histogram. A power of
+/// two so the thread-slot modulo compiles to a mask.
+inline constexpr int kMetricShards = 16;
+
+namespace internal {
+/// Stable per-thread shard index in [0, kMetricShards): threads are assigned
+/// round-robin slots on first use, so a fixed worker pool spreads evenly.
+int ShardIndex();
+
+/// One cache line per shard so concurrent writers never false-share.
+struct alignas(64) PaddedCount {
+  std::atomic<int64_t> value{0};
+};
+}  // namespace internal
+
+/// \brief Monotonic event count.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1);
+  /// Merged value across shards (racy-exact: sums a relaxed snapshot).
+  int64_t Value() const;
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::array<internal::PaddedCount, kMetricShards> shards_;
+};
+
+/// \brief Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double value);
+  double Value() const;
+
+ private:
+  friend class MetricsRegistry;
+  Gauge();
+  std::atomic<uint64_t> bits_;
+};
+
+/// \brief Merged read-side view of a Histogram.
+struct HistogramSnapshot {
+  /// Upper bounds of the finite buckets, ascending. counts has one extra
+  /// trailing entry for the overflow bucket (> bounds.back()). A value v
+  /// lands in the first bucket with v <= bounds[i].
+  std::vector<double> bounds;
+  std::vector<int64_t> counts;
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< meaningful only when count > 0
+  double max = 0.0;
+
+  double Mean() const;
+  /// Linear-interpolated quantile estimate from the bucket counts; exact at
+  /// the recorded min/max. q in [0, 1].
+  double Quantile(double q) const;
+};
+
+/// \brief Fixed-bucket histogram with lock-free sharded recording.
+class Histogram {
+ public:
+  /// NaN observations are dropped (a poisoned measurement must not poison
+  /// min/max/sum); +/-inf land in the overflow/first bucket.
+  void Observe(double value);
+  HistogramSnapshot Snapshot() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<int64_t>[]> buckets;  // bounds.size() + 1
+    std::atomic<int64_t> count{0};
+    std::atomic<uint64_t> sum_bits;
+    std::atomic<uint64_t> min_bits;
+    std::atomic<uint64_t> max_bits;
+  };
+
+  size_t BucketIndex(double value) const;
+
+  std::vector<double> bounds_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+/// `count` buckets of uniform `width` starting at `start`:
+/// start+width, start+2*width, ...
+std::vector<double> LinearBuckets(double start, double width, int count);
+/// `count` bounds growing geometrically from `start` by `factor` (> 1).
+std::vector<double> ExponentialBuckets(double start, double factor, int count);
+
+/// \brief Process-wide metric registry. Thread-safe; metric objects returned
+/// by Get* stay valid until Reset().
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Finds or creates. The returned pointer is stable and never null.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  /// `bounds` (ascending, non-empty) is used only when the histogram does
+  /// not exist yet; later calls with the same name ignore it.
+  Histogram* GetHistogram(std::string_view name, std::vector<double> bounds);
+
+  /// Full scrape: {"counters": {...}, "gauges": {...}, "histograms": {...}}
+  /// with names in sorted order (deterministic golden-file output).
+  std::string ToJson() const;
+  /// One line per metric, "name value ..." — the human-readable summary.
+  std::string ToText() const;
+
+  /// Drops every registered metric (invalidates outstanding pointers).
+  /// Test-only; production code registers once and never resets.
+  void Reset();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace reconsume

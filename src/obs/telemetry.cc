@@ -1,0 +1,158 @@
+#include "obs/telemetry.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/failpoint.h"
+#include "util/fileio.h"
+
+namespace reconsume {
+namespace obs {
+
+Result<TelemetryConfig> TelemetryConfigFromFlags(const util::FlagSet& flags) {
+  TelemetryConfig config;
+  RECONSUME_ASSIGN_OR_RETURN(config.metrics_path,
+                             flags.GetString("metrics-out", ""));
+  RECONSUME_ASSIGN_OR_RETURN(config.trace_path,
+                             flags.GetString("trace-out", ""));
+  RECONSUME_ASSIGN_OR_RETURN(config.events_path,
+                             flags.GetString("events-out", ""));
+  RECONSUME_ASSIGN_OR_RETURN(config.progress_every_sec,
+                             flags.GetDouble("progress-every", 0.0));
+  if (config.progress_every_sec < 0) {
+    return Status::InvalidArgument("--progress-every must be >= 0 seconds");
+  }
+  return config;
+}
+
+ProgressReporter::ProgressReporter(double interval_sec)
+    : interval_ns_(static_cast<int64_t>(interval_sec * 1e9)) {}
+
+void ProgressReporter::Emit(const Event& event) {
+  // *_end events always print; everything else is rate-limited.
+  const bool is_final = event.type().size() >= 4 &&
+                        event.type().compare(event.type().size() - 4, 4,
+                                             "_end") == 0;
+  if (!is_final && last_print_ns_ >= 0 &&
+      event.t_ns - last_print_ns_ < interval_ns_) {
+    return;
+  }
+  last_print_ns_ = event.t_ns;
+  std::string line = "[telemetry " + event.type() + "]";
+  int printed = 0;
+  for (const Event::Field& field : event.fields()) {
+    if (++printed > 8) {
+      line += " ...";
+      break;
+    }
+    line += ' ';
+    line += field.key;
+    line += '=';
+    char buf[64];
+    switch (field.kind) {
+      case Event::Field::Kind::kInt:
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(field.i));
+        line += buf;
+        break;
+      case Event::Field::Kind::kDouble:
+        std::snprintf(buf, sizeof(buf), "%.4g", field.d);
+        line += buf;
+        break;
+      case Event::Field::Kind::kString:
+        line += field.s;
+        break;
+      case Event::Field::Kind::kBool:
+        line += field.b ? "true" : "false";
+        break;
+    }
+  }
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+Result<TelemetrySession> TelemetrySession::Start(TelemetryConfig config) {
+  TelemetrySession session;
+  session.config_ = config;
+  if (!config.any()) return session;  // inactive: nothing attached
+
+  if (!config.events_path.empty()) {
+    session.jsonl_ = std::make_unique<JsonlFileSink>(config.events_path);
+    EventStream::Global().Attach(session.jsonl_.get());
+  }
+  if (config.progress_every_sec > 0) {
+    session.progress_ =
+        std::make_unique<ProgressReporter>(config.progress_every_sec);
+    EventStream::Global().Attach(session.progress_.get());
+  }
+  if (!config.trace_path.empty()) {
+    TraceRecorder::Global().Clear();
+    TraceRecorder::Global().Enable();
+  }
+  // Surface failpoint trips (docs/robustness.md) in the telemetry stream.
+  util::FailpointRegistry::Global().SetFireListener(
+      [](const char* name, int64_t fires) {
+        MetricsRegistry::Global().GetCounter("failpoint.fires")->Increment();
+        RC_EMIT_EVENT(
+            Event("failpoint_fired").Set("name", name).Set("fires", fires));
+      });
+  session.active_ = true;
+  return session;
+}
+
+TelemetrySession::TelemetrySession(TelemetrySession&& other) noexcept
+    : config_(std::move(other.config_)),
+      jsonl_(std::move(other.jsonl_)),
+      progress_(std::move(other.progress_)),
+      active_(other.active_) {
+  other.active_ = false;
+}
+
+TelemetrySession& TelemetrySession::operator=(
+    TelemetrySession&& other) noexcept {
+  if (this != &other) {
+    Finish();
+    config_ = std::move(other.config_);
+    jsonl_ = std::move(other.jsonl_);
+    progress_ = std::move(other.progress_);
+    active_ = other.active_;
+    other.active_ = false;
+  }
+  return *this;
+}
+
+TelemetrySession::~TelemetrySession() { Finish(); }
+
+Status TelemetrySession::Finish() {
+  if (!active_) return Status::OK();
+  active_ = false;
+  util::FailpointRegistry::Global().SetFireListener(nullptr);
+
+  Status first = Status::OK();
+  auto note = [&first](const Status& status) {
+    if (first.ok() && !status.ok()) first = status;
+  };
+
+  if (jsonl_ != nullptr) {
+    EventStream::Global().Detach(jsonl_.get());
+    note(jsonl_->Flush());
+    jsonl_.reset();
+  }
+  if (progress_ != nullptr) {
+    EventStream::Global().Detach(progress_.get());
+    progress_.reset();
+  }
+  if (!config_.trace_path.empty()) {
+    TraceRecorder::Global().Disable();
+    note(TraceRecorder::Global().WriteChromeTrace(config_.trace_path));
+  }
+  if (!config_.metrics_path.empty()) {
+    note(util::AtomicWriteFile(config_.metrics_path,
+                               MetricsRegistry::Global().ToJson()));
+  }
+  return first;
+}
+
+}  // namespace obs
+}  // namespace reconsume

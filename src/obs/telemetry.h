@@ -1,0 +1,88 @@
+// Front door of the observability layer: one object that arms the three
+// pillars for a run and writes their outputs at the end.
+//
+//   auto session = obs::TelemetrySession::Start({
+//       .metrics_path = "m.json",    // MetricsRegistry::ToJson at Finish
+//       .trace_path = "t.json",      // Chrome/Perfetto trace at Finish
+//       .events_path = "e.jsonl",    // streaming JSONL event log
+//       .progress_every_sec = 5.0,   // stderr progress reporter cadence
+//   });
+//
+// An all-empty config yields an inactive session (every path free of sinks,
+// instrumentation at its atomic fast path), so CLI/bench code can start one
+// unconditionally. While active the session also listens for failpoint
+// fires, surfacing them as "failpoint_fired" events and a
+// "failpoint.fires" counter (docs/robustness.md recoveries thus appear in
+// the same stream as the training telemetry).
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/event.h"
+#include "util/flags.h"
+#include "util/status.h"
+
+namespace reconsume {
+namespace obs {
+
+struct TelemetryConfig {
+  std::string metrics_path;      ///< metrics JSON written at Finish; "" = off
+  std::string trace_path;        ///< Chrome trace JSON at Finish; "" = off
+  std::string events_path;       ///< JSONL event stream; "" = off
+  double progress_every_sec = 0; ///< stderr progress cadence; 0 = off
+
+  bool any() const {
+    return !metrics_path.empty() || !trace_path.empty() ||
+           !events_path.empty() || progress_every_sec > 0;
+  }
+};
+
+/// Reads the standard telemetry flags --metrics-out, --trace-out,
+/// --events-out, and --progress-every from a parsed FlagSet (marking them
+/// used, so CheckNoUnusedFlags callers can adopt telemetry wholesale).
+Result<TelemetryConfig> TelemetryConfigFromFlags(const util::FlagSet& flags);
+
+/// \brief Rate-limited stderr progress lines driven by the event stream.
+///
+/// Prints at most one line per `interval_sec`, except *_end events which
+/// always print (so a run's final numbers are never rate-limited away).
+class ProgressReporter : public EventSink {
+ public:
+  explicit ProgressReporter(double interval_sec);
+  void Emit(const Event& event) override;
+
+ private:
+  const int64_t interval_ns_;
+  int64_t last_print_ns_ = -1;
+};
+
+/// \brief RAII wiring for one instrumented run. Move-only.
+class TelemetrySession {
+ public:
+  /// Validates the config and attaches the requested sinks. Enables the
+  /// trace recorder iff trace_path is set.
+  static Result<TelemetrySession> Start(TelemetryConfig config);
+
+  /// Inactive session; Finish is a no-op.
+  TelemetrySession() = default;
+  TelemetrySession(TelemetrySession&& other) noexcept;
+  TelemetrySession& operator=(TelemetrySession&& other) noexcept;
+  ~TelemetrySession();  ///< best-effort Finish
+
+  /// Flushes the event sink, writes the metrics and trace files, detaches
+  /// everything. Idempotent.
+  Status Finish();
+
+  bool active() const { return active_; }
+
+ private:
+  TelemetryConfig config_;
+  std::unique_ptr<JsonlFileSink> jsonl_;
+  std::unique_ptr<ProgressReporter> progress_;
+  bool active_ = false;
+};
+
+}  // namespace obs
+}  // namespace reconsume

@@ -1,0 +1,125 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/json_writer.h"
+#include "util/fileio.h"
+
+namespace reconsume {
+namespace obs {
+
+int64_t MonotonicNanos() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              epoch)
+      .count();
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRecorder::TraceRecorder() {
+  MonotonicNanos();  // pin the epoch before any thread races to it
+}
+
+void TraceRecorder::Enable() {
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+internal::ThreadLog* TraceRecorder::ThisThreadLog() {
+  thread_local internal::ThreadLog* cached = nullptr;
+  if (cached != nullptr) return cached;
+  auto log = std::make_unique<internal::ThreadLog>();
+  std::lock_guard<std::mutex> lock(mu_);
+  log->tid = static_cast<int>(logs_.size());
+  cached = log.get();
+  logs_.push_back(std::move(log));
+  return cached;
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::vector<TraceEvent> merged;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& log : logs_) {
+      std::lock_guard<std::mutex> log_lock(log->mu);
+      merged.insert(merged.end(), log->events.begin(), log->events.end());
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.duration_ns > b.duration_ns;
+            });
+  return merged;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    log->events.clear();
+  }
+}
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").Value("ms");
+  w.Key("traceEvents").BeginArray();
+  for (const TraceEvent& event : events) {
+    w.BeginObject();
+    w.Key("name").Value(event.name);
+    w.Key("cat").Value("reconsume");
+    w.Key("ph").Value("X");
+    // Chrome trace timestamps are microseconds (fractions allowed).
+    w.Key("ts").Value(static_cast<double>(event.start_ns) / 1e3);
+    w.Key("dur").Value(static_cast<double>(event.duration_ns) / 1e3);
+    w.Key("pid").Value(1);
+    w.Key("tid").Value(event.tid);
+    w.Key("args").BeginObject().Key("depth").Value(event.depth).EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  return util::AtomicWriteFile(path, ToChromeTraceJson());
+}
+
+ScopedSpan::ScopedSpan(const char* name) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  if (!recorder.enabled()) return;
+  log_ = recorder.ThisThreadLog();
+  name_ = name;
+  depth_ = log_->depth++;
+  start_ns_ = MonotonicNanos();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (log_ == nullptr) return;
+  const int64_t end_ns = MonotonicNanos();
+  --log_->depth;
+  TraceEvent event;
+  event.name = name_;
+  event.tid = log_->tid;
+  event.depth = depth_;
+  event.start_ns = start_ns_;
+  event.duration_ns = end_ns - start_ns_;
+  std::lock_guard<std::mutex> lock(log_->mu);
+  log_->events.push_back(std::move(event));
+}
+
+}  // namespace obs
+}  // namespace reconsume

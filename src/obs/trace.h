@@ -1,0 +1,109 @@
+// Pillar 2 of the observability layer (docs/observability.md): scoped trace
+// spans with thread attribution, exported as Chrome-tracing / Perfetto JSON.
+//
+//   {
+//     RC_TRACE_SPAN("train");
+//     ...                      // nested spans from any thread attach here
+//   }                          // span closes when the scope exits
+//
+// Collection is off by default. When the recorder is disabled a span costs
+// one relaxed atomic load (the same fast-path shape as the failpoint layer),
+// so instrumented hot paths stay at baseline speed; enabling records into
+// per-thread buffers guarded by per-thread mutexes, never a global lock on
+// the record path.
+//
+// Open the exported file at chrome://tracing or https://ui.perfetto.dev.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace reconsume {
+namespace obs {
+
+/// Monotonic nanoseconds since the process's observability epoch (the first
+/// use of any obs clock). The single time source for spans and events.
+int64_t MonotonicNanos();
+
+/// \brief One completed span.
+struct TraceEvent {
+  std::string name;
+  int tid = 0;    ///< recorder-assigned thread id (0 = first thread seen)
+  int depth = 0;  ///< span nesting depth on its thread (0 = outermost)
+  int64_t start_ns = 0;
+  int64_t duration_ns = 0;
+};
+
+namespace internal {
+/// Per-thread span buffer; registered with the recorder on first use and
+/// kept alive for the process lifetime (worker threads may outlive scrapes).
+struct ThreadLog {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  int tid = 0;
+  int depth = 0;  ///< owning thread only
+};
+}  // namespace internal
+
+/// \brief Process-wide span collector. Thread-safe.
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  void Enable();
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// This thread's buffer (creating and registering it on first use).
+  internal::ThreadLog* ThisThreadLog();
+
+  /// Merged copy of every thread's completed spans, ordered by start time.
+  std::vector<TraceEvent> Snapshot() const;
+  /// Drops all recorded spans (thread registrations survive).
+  void Clear();
+
+  /// The Chrome trace-event JSON document ("X" complete events).
+  std::string ToChromeTraceJson() const;
+  /// Atomic-writes ToChromeTraceJson() to `path`.
+  Status WriteChromeTrace(const std::string& path) const;
+
+  TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  ///< guards logs_ registration and scrape iteration
+  std::vector<std::unique_ptr<internal::ThreadLog>> logs_;
+};
+
+/// \brief RAII span: samples the clock on entry when recording is enabled,
+/// appends one TraceEvent to the thread's buffer on exit.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  internal::ThreadLog* log_ = nullptr;  ///< null when recording was off
+  const char* name_ = nullptr;
+  int depth_ = 0;
+  int64_t start_ns_ = 0;
+};
+
+}  // namespace obs
+}  // namespace reconsume
+
+/// Opens a span covering the rest of the enclosing scope. `name` must be a
+/// string with static storage duration (typically a literal).
+#define RC_TRACE_SPAN(name) \
+  ::reconsume::obs::ScopedSpan RECONSUME_CONCAT_(rc_trace_span_, __LINE__)(name)

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <mutex>
 
 #include "util/check.h"
@@ -78,6 +79,9 @@ struct FailpointRegistry::Impl {
   /// the registry is empty, keeping failpoint sites in SGD-step-grade hot
   /// loops at the cost of one relaxed atomic load.
   std::atomic<size_t> num_points{0};
+  /// Fire observer, swapped under `mutex` but invoked outside it (the
+  /// listener may grab other locks — e.g. the telemetry event stream's).
+  std::shared_ptr<const std::function<void(const char*, int64_t)>> on_fire;
 };
 
 FailpointRegistry::FailpointRegistry() : impl_(new Impl) {}
@@ -164,6 +168,8 @@ Status FailpointRegistry::Evaluate(const char* name) {
     return Status::OK();
   }
   bool abort_requested = false;
+  int64_t fire_count = 0;
+  std::shared_ptr<const std::function<void(const char*, int64_t)>> listener;
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
     const auto it = impl_->points.find(std::string_view(name));
@@ -190,7 +196,8 @@ Status FailpointRegistry::Evaluate(const char* name) {
         break;
     }
     if (!fire) return Status::OK();
-    ++point.fires;
+    fire_count = ++point.fires;
+    listener = impl_->on_fire;
   }
   if (abort_requested) {
     // Simulated hard crash: route through the pluggable RC_CHECK failure
@@ -198,6 +205,7 @@ Status FailpointRegistry::Evaluate(const char* name) {
     // failure. (Outside tests this aborts the process.)
     RC_CHECK(false) << "failpoint '" << name << "' fired in abort mode";
   }
+  if (listener != nullptr) (*listener)(name, fire_count);
   return Status::Internal(std::string("failpoint '") + name + "' fired");
 }
 
@@ -216,6 +224,16 @@ int64_t FailpointRegistry::fires(std::string_view name) const {
 void FailpointRegistry::SeedProbabilistic(uint64_t seed) {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   impl_->rng.Seed(seed);
+}
+
+void FailpointRegistry::SetFireListener(
+    std::function<void(const char* name, int64_t fires)> listener) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->on_fire =
+      listener == nullptr
+          ? nullptr
+          : std::make_shared<const std::function<void(const char*, int64_t)>>(
+                std::move(listener));
 }
 
 ScopedFailpoint::ScopedFailpoint(std::string name, std::string_view spec)

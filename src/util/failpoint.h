@@ -37,6 +37,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -78,6 +79,17 @@ class FailpointRegistry {
 
   /// Reseeds the RNG behind prob(P) policies (default seed is fixed).
   void SeedProbabilistic(uint64_t seed);
+
+  /// \brief Observer invoked after a point fires (not on mere hits), with
+  /// the point's name and its lifetime fire count.
+  ///
+  /// Called outside the registry lock, on the thread that hit the point; the
+  /// listener must be thread-safe. One listener at a time (telemetry owns
+  /// it — see obs::TelemetrySession); nullptr removes it. Not invoked for
+  /// abort-mode fires (those route through the RC_CHECK failure handler
+  /// before returning).
+  void SetFireListener(
+      std::function<void(const char* name, int64_t fires)> listener);
 
   FailpointRegistry();
   ~FailpointRegistry();

@@ -1,18 +1,28 @@
 #include "util/logging.h"
 
 #include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <ctime>
+#include <memory>
 #include <mutex>
 
 namespace reconsume {
 namespace util {
 
 namespace {
+
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_log_mutex;
+std::mutex g_log_mutex;  ///< serializes stderr writes and sink swaps
+
+std::shared_ptr<const LogSink> g_sink;  ///< guarded by g_log_mutex
+
+void StderrSink(const LogRecord& record) {
+  const std::string line = FormatLogRecord(record);
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "%s\n", line.c_str());
+  std::fflush(stderr);
+}
+
 }  // namespace
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
@@ -35,24 +45,106 @@ const char* LogLevelName(LogLevel level) {
   return "?";
 }
 
+std::string FormatLogRecord(const LogRecord& record) {
+  std::string line = "[";
+  line += LogLevelName(record.level);
+  line += ' ';
+  line += record.file;
+  line += ':';
+  line += std::to_string(record.line);
+  line += "] ";
+  line += record.message;
+  for (const auto& [key, value] : record.fields) {
+    line += ' ';
+    line += key;
+    line += '=';
+    line += value;
+  }
+  return line;
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  g_sink = sink == nullptr
+               ? nullptr
+               : std::make_shared<const LogSink>(std::move(sink));
+}
+
 namespace internal {
 
-LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
-  const char* base = file;
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), base_(file), line_(line) {
   for (const char* p = file; *p != '\0'; ++p) {
-    if (*p == '/') base = p + 1;
+    if (*p == '/') base_ = p + 1;
   }
-  stream_ << "[" << LogLevelName(level) << " " << base << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
   const bool fatal = level_ == LogLevel::kFatal;
   if (fatal || static_cast<int>(level_) >= g_min_level.load()) {
-    std::lock_guard<std::mutex> lock(g_log_mutex);
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
-    std::fflush(stderr);
+    LogRecord record;
+    record.level = level_;
+    record.file = base_;
+    record.line = line_;
+    record.message = stream_.str();
+    record.fields = std::move(fields_);
+    std::shared_ptr<const LogSink> sink;
+    {
+      std::lock_guard<std::mutex> lock(g_log_mutex);
+      sink = g_sink;
+    }
+    // Invoked outside g_log_mutex: custom sinks may take their own locks
+    // (e.g. the telemetry event stream's) or log themselves.
+    if (sink != nullptr) {
+      (*sink)(record);
+    } else {
+      StderrSink(record);
+    }
   }
   if (fatal) std::abort();
+}
+
+LogMessage& LogMessage::With(std::string_view key, std::string_view value) {
+  fields_.emplace_back(std::string(key), std::string(value));
+  return *this;
+}
+
+LogMessage& LogMessage::With(std::string_view key, const char* value) {
+  return With(key, std::string_view(value));
+}
+
+LogMessage& LogMessage::With(std::string_view key, long long value) {
+  fields_.emplace_back(std::string(key), std::to_string(value));
+  return *this;
+}
+
+LogMessage& LogMessage::With(std::string_view key, unsigned long long value) {
+  fields_.emplace_back(std::string(key), std::to_string(value));
+  return *this;
+}
+
+LogMessage& LogMessage::With(std::string_view key, int value) {
+  return With(key, static_cast<long long>(value));
+}
+
+LogMessage& LogMessage::With(std::string_view key, long value) {
+  return With(key, static_cast<long long>(value));
+}
+
+LogMessage& LogMessage::With(std::string_view key, unsigned long value) {
+  return With(key, static_cast<unsigned long long>(value));
+}
+
+LogMessage& LogMessage::With(std::string_view key, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  fields_.emplace_back(std::string(key), buf);
+  return *this;
+}
+
+LogMessage& LogMessage::With(std::string_view key, bool value) {
+  fields_.emplace_back(std::string(key), value ? "true" : "false");
+  return *this;
 }
 
 }  // namespace internal

@@ -2,12 +2,25 @@
 //
 // Usage:
 //   RECONSUME_LOG(INFO) << "trained " << n << " epochs";
+//   RECONSUME_LOG(Warning).With("user", user).With("gap", gap)
+//       << "skipping user";
 //   RECONSUME_CHECK(x > 0) << "x must be positive, got " << x;
+//
+// Every statement renders as "[LEVEL file:line] message key=value ..." on
+// stderr by default. SetLogSink replaces that destination with a pluggable
+// consumer that receives the structured LogRecord (level, site, message,
+// typed-as-text fields), so telemetry layers can mirror warnings into an
+// event stream without reparsing formatted text. Fatal messages abort after
+// the sink runs regardless of which sink is installed.
 
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "util/check.h"
 
@@ -22,6 +35,27 @@ void SetLogLevel(LogLevel level);
 
 const char* LogLevelName(LogLevel level);
 
+/// \brief One emitted log statement, as handed to the sink.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  const char* file = "";  ///< basename of the emitting source file
+  int line = 0;
+  std::string message;  ///< streamed text, without the [LEVEL file:line] prefix
+  /// With(key, value) pairs in call order, values already rendered as text.
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+/// The stderr rendering: "[LEVEL file:line] message key=value ...".
+std::string FormatLogRecord(const LogRecord& record);
+
+/// \brief Process-wide log consumer. Must be thread-safe; called without any
+/// logging-internal lock held, on the emitting thread.
+using LogSink = std::function<void(const LogRecord&)>;
+
+/// Replaces the process-wide sink; nullptr restores the stderr default.
+/// The previous sink is dropped once every in-flight statement finishes.
+void SetLogSink(LogSink sink);
+
 namespace internal {
 
 /// One in-flight log statement; emits on destruction.
@@ -33,11 +67,32 @@ class LogMessage {
   LogMessage(const LogMessage&) = delete;
   LogMessage& operator=(const LogMessage&) = delete;
 
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  /// Attaches a structured key=value field (kept separate from the streamed
+  /// message so sinks see it typed-as-text instead of embedded prose).
+  LogMessage& With(std::string_view key, std::string_view value);
+  LogMessage& With(std::string_view key, const char* value);
+  LogMessage& With(std::string_view key, long long value);
+  LogMessage& With(std::string_view key, unsigned long long value);
+  LogMessage& With(std::string_view key, int value);
+  LogMessage& With(std::string_view key, long value);
+  LogMessage& With(std::string_view key, unsigned long value);
+  LogMessage& With(std::string_view key, double value);
+  LogMessage& With(std::string_view key, bool value);
+
   std::ostream& stream() { return stream_; }
 
  private:
   LogLevel level_;
+  const char* base_;
+  int line_;
   std::ostringstream stream_;
+  std::vector<std::pair<std::string, std::string>> fields_;
 };
 
 /// Swallows the streamed expression when the log level filters it out.
@@ -53,7 +108,7 @@ struct NullStream {
 }  // namespace reconsume
 
 #define RECONSUME_LOG_INTERNAL(level)                                      \
-  ::reconsume::util::internal::LogMessage(level, __FILE__, __LINE__).stream()
+  ::reconsume::util::internal::LogMessage(level, __FILE__, __LINE__)
 
 #define RECONSUME_LOG(severity)                                            \
   RECONSUME_LOG_INTERNAL(::reconsume::util::LogLevel::k##severity)

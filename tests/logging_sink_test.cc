@@ -1,0 +1,109 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace reconsume {
+namespace util {
+namespace {
+
+/// Captured copy of a LogRecord (the record's `file` pointer stays valid —
+/// it points into the __FILE__ literal — but we copy it for clarity).
+struct Captured {
+  LogLevel level;
+  std::string file;
+  int line;
+  std::string message;
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+class LoggingSinkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    records_.clear();
+    SetLogLevel(LogLevel::kInfo);
+    SetLogSink([this](const LogRecord& record) {
+      records_.push_back(Captured{record.level, record.file, record.line,
+                                  record.message, record.fields});
+    });
+  }
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetLogLevel(LogLevel::kInfo);
+  }
+
+  std::vector<Captured> records_;
+};
+
+TEST_F(LoggingSinkTest, SinkReceivesStructuredRecord) {
+  RECONSUME_LOG(Warning).With("user", 42).With("score", 0.25)
+      << "skipping user " << 42;
+  ASSERT_EQ(records_.size(), 1u);
+  const Captured& record = records_[0];
+  EXPECT_EQ(record.level, LogLevel::kWarning);
+  EXPECT_EQ(record.file, "logging_sink_test.cc");  // basename, not full path
+  EXPECT_GT(record.line, 0);
+  EXPECT_EQ(record.message, "skipping user 42");
+  ASSERT_EQ(record.fields.size(), 2u);
+  EXPECT_EQ(record.fields[0].first, "user");
+  EXPECT_EQ(record.fields[0].second, "42");
+  EXPECT_EQ(record.fields[1].first, "score");
+  EXPECT_EQ(record.fields[1].second, "0.25");
+}
+
+TEST_F(LoggingSinkTest, WithRendersEachValueType) {
+  RECONSUME_LOG(Info)
+          .With("s", "text")
+          .With("i", -3)
+          .With("u", 7ull)
+          .With("d", 1.5)
+          .With("b", true)
+      << "typed";
+  ASSERT_EQ(records_.size(), 1u);
+  const auto& fields = records_[0].fields;
+  ASSERT_EQ(fields.size(), 5u);
+  EXPECT_EQ(fields[0].second, "text");
+  EXPECT_EQ(fields[1].second, "-3");
+  EXPECT_EQ(fields[2].second, "7");
+  EXPECT_EQ(fields[3].second, "1.5");
+  EXPECT_EQ(fields[4].second, "true");
+}
+
+TEST_F(LoggingSinkTest, LevelFilterDropsBelowMinimum) {
+  RECONSUME_LOG(Debug) << "filtered out at the default Info level";
+  EXPECT_TRUE(records_.empty());
+
+  SetLogLevel(LogLevel::kDebug);
+  RECONSUME_LOG(Debug) << "now visible";
+  ASSERT_EQ(records_.size(), 1u);
+  EXPECT_EQ(records_[0].level, LogLevel::kDebug);
+
+  SetLogLevel(LogLevel::kError);
+  RECONSUME_LOG(Warning) << "dropped again";
+  EXPECT_EQ(records_.size(), 1u);
+}
+
+TEST_F(LoggingSinkTest, NullSinkRestoresStderrDefault) {
+  SetLogSink(nullptr);
+  // Goes to stderr, not to records_ — just exercising that the default path
+  // still works after a custom sink was installed.
+  RECONSUME_LOG(Info) << "back to stderr";
+  EXPECT_TRUE(records_.empty());
+}
+
+TEST(FormatLogRecordTest, Golden) {
+  LogRecord record;
+  record.level = LogLevel::kWarning;
+  record.file = "trainer.cc";
+  record.line = 12;
+  record.message = "diverged";
+  record.fields = {{"step", "100"}, {"lr", "0.05"}};
+  EXPECT_EQ(FormatLogRecord(record),
+            "[WARN trainer.cc:12] diverged step=100 lr=0.05");
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace reconsume

@@ -1,0 +1,130 @@
+#include "obs/event.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/fileio.h"
+
+namespace reconsume {
+namespace obs {
+namespace {
+
+Event MakeStamped(std::string type, int64_t seq) {
+  Event event(std::move(type));
+  event.seq = seq;
+  event.t_ns = 1000 + seq;
+  event.tid = 0;
+  return event;
+}
+
+TEST(EventTest, ToJsonLineGolden) {
+  Event event("epoch");
+  event.seq = 3;
+  event.t_ns = 123;
+  event.tid = 2;
+  event.Set("step", int64_t{4200})
+      .Set("r_tilde", 0.5)
+      .Set("note", "a\"b")
+      .Set("converged", false);
+  EXPECT_EQ(event.ToJsonLine(),
+            "{\"type\":\"epoch\",\"seq\":3,\"t_ns\":123,\"tid\":2,"
+            "\"step\":4200,\"r_tilde\":0.5,\"note\":\"a\\\"b\","
+            "\"converged\":false}");
+}
+
+TEST(EventTest, FindAndNumber) {
+  Event event("x");
+  event.Set("i", int64_t{7}).Set("d", 2.5).Set("s", "text").Set("b", true);
+  ASSERT_NE(event.Find("i"), nullptr);
+  EXPECT_EQ(event.Find("i")->i, 7);
+  EXPECT_EQ(event.Find("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(event.Number("i"), 7.0);
+  EXPECT_DOUBLE_EQ(event.Number("d"), 2.5);
+  EXPECT_DOUBLE_EQ(event.Number("b"), 1.0);
+  // Strings and absent keys fall back.
+  EXPECT_DOUBLE_EQ(event.Number("s", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(event.Number("missing", -1.0), -1.0);
+}
+
+TEST(EventStreamTest, StampsAndFansOutWhileAttached) {
+  CaptureSink sink;
+  EventStream& stream = EventStream::Global();
+  EXPECT_FALSE(stream.enabled());
+  stream.Attach(&sink);
+  EXPECT_TRUE(stream.enabled());
+
+  stream.Emit(Event("first"));
+  stream.Emit(Event("second"));
+  stream.Detach(&sink);
+  EXPECT_FALSE(stream.enabled());
+  stream.Emit(Event("after_detach"));  // dropped: no sink attached
+
+  const std::vector<Event> events = sink.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type(), "first");
+  EXPECT_EQ(events[1].type(), "second");
+  // The stream stamps seq/t_ns/tid; seq is strictly monotonic.
+  EXPECT_GE(events[0].seq, 0);
+  EXPECT_EQ(events[1].seq, events[0].seq + 1);
+  EXPECT_GE(events[0].t_ns, 0);
+  EXPECT_GE(events[0].tid, 0);
+}
+
+TEST(EventStreamTest, PreStampedFieldsAreKept) {
+  CaptureSink sink;
+  EventStream& stream = EventStream::Global();
+  stream.Attach(&sink);
+  stream.Emit(MakeStamped("golden", /*seq=*/99));
+  stream.Detach(&sink);
+
+  const std::vector<Event> events = sink.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].seq, 99);
+  EXPECT_EQ(events[0].t_ns, 1099);
+  EXPECT_EQ(events[0].tid, 0);
+}
+
+TEST(EventStreamTest, EmitMacroSkipsEvaluationWithoutSink) {
+  ASSERT_FALSE(EventStream::Global().enabled());
+  int calls = 0;
+  auto make_event = [&calls]() {
+    ++calls;
+    return Event("expensive");
+  };
+  RC_EMIT_EVENT(make_event());
+  EXPECT_EQ(calls, 0);
+
+  CaptureSink sink;
+  EventStream::Global().Attach(&sink);
+  RC_EMIT_EVENT(make_event());
+  EventStream::Global().Detach(&sink);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(sink.events().size(), 1u);
+}
+
+TEST(JsonlFileSinkTest, GoldenRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/events_test.jsonl";
+  JsonlFileSink sink(path);
+  sink.Emit(MakeStamped("a", 0));
+  Event second = MakeStamped("b", 1);
+  second.Set("k", int64_t{5});
+  sink.Emit(second);
+  ASSERT_TRUE(sink.Flush().ok());
+
+  const auto contents = util::ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.ValueOrDie(),
+            "{\"type\":\"a\",\"seq\":0,\"t_ns\":1000,\"tid\":0}\n"
+            "{\"type\":\"b\",\"seq\":1,\"t_ns\":1001,\"tid\":0,\"k\":5}\n");
+
+  // A second Flush with nothing new leaves the file untouched and still OK.
+  ASSERT_TRUE(sink.Flush().ok());
+  EXPECT_EQ(util::ReadFileToString(path).ValueOrDie(),
+            contents.ValueOrDie());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace reconsume

@@ -1,0 +1,175 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace reconsume {
+namespace obs {
+namespace {
+
+TEST(CounterTest, IncrementAndValue) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.counter");
+  EXPECT_EQ(counter->Value(), 0);
+  counter->Increment();
+  counter->Increment(41);
+  EXPECT_EQ(counter->Value(), 42);
+}
+
+TEST(CounterTest, SameNameSameObject) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.GetCounter("a"), registry.GetCounter("a"));
+  EXPECT_NE(registry.GetCounter("a"), registry.GetCounter("b"));
+}
+
+TEST(CounterTest, ConcurrentShardedIncrementsAreExact) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter->Value(), int64_t{kThreads} * kPerThread);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("test.gauge");
+  EXPECT_EQ(gauge->Value(), 0.0);
+  gauge->Set(3.25);
+  EXPECT_EQ(gauge->Value(), 3.25);
+  gauge->Set(-1.0);
+  EXPECT_EQ(gauge->Value(), -1.0);
+}
+
+TEST(HistogramTest, BucketRuleFirstBoundAtLeastValue) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("test.hist", {1.0, 2.0, 4.0});
+  hist->Observe(0.5);  // <= 1.0  -> bucket 0
+  hist->Observe(1.0);  // <= 1.0  -> bucket 0 (inclusive upper bound)
+  hist->Observe(1.5);  // <= 2.0  -> bucket 1
+  hist->Observe(4.0);  // <= 4.0  -> bucket 2
+  hist->Observe(9.0);  // > 4.0   -> overflow bucket
+  const HistogramSnapshot snapshot = hist->Snapshot();
+  ASSERT_EQ(snapshot.bounds.size(), 3u);
+  ASSERT_EQ(snapshot.counts.size(), 4u);
+  EXPECT_EQ(snapshot.counts[0], 2);
+  EXPECT_EQ(snapshot.counts[1], 1);
+  EXPECT_EQ(snapshot.counts[2], 1);
+  EXPECT_EQ(snapshot.counts[3], 1);
+  EXPECT_EQ(snapshot.count, 5);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 16.0);
+  EXPECT_DOUBLE_EQ(snapshot.min, 0.5);
+  EXPECT_DOUBLE_EQ(snapshot.max, 9.0);
+  EXPECT_DOUBLE_EQ(snapshot.Mean(), 3.2);
+}
+
+TEST(HistogramTest, NanDroppedInfinityLandsInOverflow) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("test.nan", {1.0});
+  hist->Observe(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(hist->Snapshot().count, 0);
+  hist->Observe(std::numeric_limits<double>::infinity());
+  const HistogramSnapshot snapshot = hist->Snapshot();
+  EXPECT_EQ(snapshot.count, 1);
+  EXPECT_EQ(snapshot.counts[1], 1);
+}
+
+TEST(HistogramTest, ConcurrentShardWritesMergeExactly) {
+  MetricsRegistry registry;
+  Histogram* hist =
+      registry.GetHistogram("test.merge", LinearBuckets(0.0, 1.0, 8));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist->Observe(static_cast<double>(t % 4));  // values 0..3
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const HistogramSnapshot snapshot = hist->Snapshot();
+  EXPECT_EQ(snapshot.count, int64_t{kThreads} * kPerThread);
+  int64_t bucket_total = 0;
+  for (int64_t c : snapshot.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, snapshot.count);
+  EXPECT_DOUBLE_EQ(snapshot.min, 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.max, 3.0);
+  // Sum of 0+1+2+3 per 4 threads' worth of writes, kPerThread each, twice
+  // (8 threads cover the residues 0..3 twice).
+  EXPECT_DOUBLE_EQ(snapshot.sum, 2.0 * kPerThread * (0 + 1 + 2 + 3));
+}
+
+TEST(HistogramTest, QuantileExactAtExtremes) {
+  MetricsRegistry registry;
+  Histogram* hist =
+      registry.GetHistogram("test.quantile", LinearBuckets(0.0, 10.0, 10));
+  for (int i = 1; i <= 100; ++i) hist->Observe(static_cast<double>(i));
+  const HistogramSnapshot snapshot = hist->Snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(1.0), 100.0);
+  const double median = snapshot.Quantile(0.5);
+  EXPECT_GE(median, 40.0);
+  EXPECT_LE(median, 60.0);
+}
+
+TEST(BucketHelpersTest, LinearAndExponential) {
+  const std::vector<double> linear = LinearBuckets(0.0, 0.5, 4);
+  ASSERT_EQ(linear.size(), 4u);
+  EXPECT_DOUBLE_EQ(linear[0], 0.5);
+  EXPECT_DOUBLE_EQ(linear[3], 2.0);
+
+  const std::vector<double> expo = ExponentialBuckets(1.0, 2.0, 5);
+  ASSERT_EQ(expo.size(), 5u);
+  EXPECT_DOUBLE_EQ(expo[0], 1.0);
+  EXPECT_DOUBLE_EQ(expo[4], 16.0);
+}
+
+TEST(MetricsRegistryTest, HistogramBoundsOnlyUsedOnFirstCreation) {
+  MetricsRegistry registry;
+  Histogram* first = registry.GetHistogram("test.once", {1.0, 2.0});
+  Histogram* second = registry.GetHistogram("test.once", {9.0});
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first->bounds().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, JsonAndTextScrape) {
+  MetricsRegistry registry;
+  registry.GetCounter("zz.counter")->Increment(7);
+  registry.GetGauge("aa.gauge")->Set(1.5);
+  registry.GetHistogram("mm.hist", {1.0})->Observe(0.5);
+
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"zz.counter\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"aa.gauge\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"mm.hist\""), std::string::npos);
+  // Deterministic: same registry scrapes identically.
+  EXPECT_EQ(json, registry.ToJson());
+
+  const std::string text = registry.ToText();
+  EXPECT_NE(text.find("zz.counter"), std::string::npos);
+  EXPECT_NE(text.find("mm.hist"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetDropsEverything) {
+  MetricsRegistry registry;
+  registry.GetCounter("gone")->Increment();
+  registry.Reset();
+  EXPECT_EQ(registry.GetCounter("gone")->Value(), 0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace reconsume

@@ -1,0 +1,139 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "util/fileio.h"
+#include "util/thread_pool.h"
+
+namespace reconsume {
+namespace obs {
+namespace {
+
+/// Tests share the global recorder; each starts from a clean, disabled slate.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::Global().Disable();
+    TraceRecorder::Global().Clear();
+  }
+  void TearDown() override {
+    TraceRecorder::Global().Disable();
+    TraceRecorder::Global().Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  {
+    RC_TRACE_SPAN("ignored");
+  }
+  EXPECT_TRUE(TraceRecorder::Global().Snapshot().empty());
+}
+
+TEST_F(TraceTest, RecordsNestedSpansWithDepth) {
+  TraceRecorder::Global().Enable();
+  {
+    RC_TRACE_SPAN("outer");
+    {
+      RC_TRACE_SPAN("inner");
+    }
+    {
+      RC_TRACE_SPAN("inner2");
+    }
+  }
+  TraceRecorder::Global().Disable();
+
+  const auto events = TraceRecorder::Global().Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  // Snapshot is ordered by start time: outer opened first.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].name, "inner2");
+  EXPECT_EQ(events[2].depth, 1);
+  for (const TraceEvent& event : events) {
+    EXPECT_GE(event.duration_ns, 0);
+    EXPECT_GE(event.start_ns, 0);
+  }
+  // The outer span encloses both inner spans.
+  EXPECT_LE(events[0].start_ns, events[1].start_ns);
+  EXPECT_GE(events[0].start_ns + events[0].duration_ns,
+            events[2].start_ns + events[2].duration_ns);
+}
+
+TEST_F(TraceTest, SpansNestAcrossParallelShards) {
+  TraceRecorder::Global().Enable();
+  constexpr size_t kShards = 4;
+  util::ThreadPool::ParallelShards(kShards, /*seed=*/17,
+                                   [](size_t, util::Rng*) {
+                                     RC_TRACE_SPAN("shard");
+                                     RC_TRACE_SPAN("shard_inner");
+                                   });
+  TraceRecorder::Global().Disable();
+
+  const auto events = TraceRecorder::Global().Snapshot();
+  size_t outer = 0;
+  size_t inner = 0;
+  std::set<int> tids;
+  for (const TraceEvent& event : events) {
+    if (event.name == "shard") {
+      ++outer;
+      EXPECT_EQ(event.depth, 0);
+      tids.insert(event.tid);
+    } else if (event.name == "shard_inner") {
+      ++inner;
+      EXPECT_EQ(event.depth, 1);
+    }
+  }
+  EXPECT_EQ(outer, kShards);
+  EXPECT_EQ(inner, kShards);
+  // Shard 0 runs on the calling thread, the rest on pool threads; every span
+  // carries its own thread's id.
+  EXPECT_GE(tids.size(), 2u);
+  EXPECT_LE(tids.size(), kShards);
+}
+
+TEST_F(TraceTest, ClearDropsSpansButKeepsRecording) {
+  TraceRecorder::Global().Enable();
+  {
+    RC_TRACE_SPAN("before");
+  }
+  TraceRecorder::Global().Clear();
+  {
+    RC_TRACE_SPAN("after");
+  }
+  TraceRecorder::Global().Disable();
+  const auto events = TraceRecorder::Global().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "after");
+}
+
+TEST_F(TraceTest, ChromeTraceJsonShape) {
+  TraceRecorder::Global().Enable();
+  {
+    RC_TRACE_SPAN("epoch \"quoted\"");
+  }
+  TraceRecorder::Global().Disable();
+
+  const std::string json = TraceRecorder::Global().ToChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  // Names are JSON-escaped.
+  EXPECT_NE(json.find("epoch \\\"quoted\\\""), std::string::npos);
+
+  const std::string path = ::testing::TempDir() + "/trace_test.json";
+  ASSERT_TRUE(TraceRecorder::Global().WriteChromeTrace(path).ok());
+  const auto written = util::ReadFileToString(path);
+  ASSERT_TRUE(written.ok());
+  EXPECT_EQ(written.ValueOrDie(), json);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace reconsume

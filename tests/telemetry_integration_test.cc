@@ -1,0 +1,282 @@
+// End-to-end checks that the trainer, evaluator, and checkpoint manager emit
+// the documented telemetry (docs/observability.md): event order over a real
+// training run, metrics counters that reconcile with the TrainReport, resume
+// and failpoint events, and TelemetrySession writing its configured outputs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "baselines/simple_recommenders.h"
+#include "core/checkpoint.h"
+#include "core/ts_ppr.h"
+#include "core/ts_ppr_trainer.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "obs/event.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "util/failpoint.h"
+#include "util/fileio.h"
+
+namespace reconsume {
+namespace core {
+namespace {
+
+struct Fixture {
+  data::Dataset dataset;
+  std::unique_ptr<data::TrainTestSplit> split;
+  std::unique_ptr<features::StaticFeatureTable> table;
+  std::unique_ptr<features::FeatureExtractor> extractor;
+  std::unique_ptr<sampling::TrainingSet> training_set;
+
+  Fixture() {
+    dataset = data::SyntheticTraceGenerator(data::GowallaLikeProfile(0.05))
+                  .Generate()
+                  .ValueOrDie();
+    split = std::make_unique<data::TrainTestSplit>(
+        data::TrainTestSplit::Temporal(&dataset, 0.7).ValueOrDie());
+    table = std::make_unique<features::StaticFeatureTable>(
+        features::StaticFeatureTable::Compute(*split, 100).ValueOrDie());
+    extractor = std::make_unique<features::FeatureExtractor>(
+        table.get(), features::FeatureConfig::AllFeatures());
+    training_set = std::make_unique<sampling::TrainingSet>(
+        sampling::TrainingSet::Build(*split, *extractor, {}).ValueOrDie());
+  }
+
+  TsPprModel MakeModel(TsPprConfig config = {}) const {
+    return TsPprModel::Create(dataset.num_users(), dataset.num_items(), 4,
+                              config)
+        .ValueOrDie();
+  }
+};
+
+std::vector<const obs::Event*> OfType(const std::vector<obs::Event>& events,
+                                      const std::string& type) {
+  std::vector<const obs::Event*> out;
+  for (const obs::Event& event : events) {
+    if (event.type() == type) out.push_back(&event);
+  }
+  return out;
+}
+
+TEST(TelemetryIntegrationTest, TrainerEmitsOrderedEventsAndExactStepCounter) {
+  Fixture fixture;
+  TrainOptions options;
+  options.checkpoint_dir = ::testing::TempDir() + "/telemetry_ckpt_order";
+  options.checkpoint_every_checks = 1;
+  TsPprTrainer trainer(options);
+  auto model = fixture.MakeModel();
+  util::Rng rng(7);
+
+  obs::MetricsRegistry::Global().Reset();
+  obs::CaptureSink sink;
+  obs::EventStream::Global().Attach(&sink);
+  const auto report =
+      trainer.Train(*fixture.training_set, &model, &rng).ValueOrDie();
+  obs::EventStream::Global().Detach(&sink);
+
+  const std::vector<obs::Event> events = sink.events();
+  ASSERT_GE(events.size(), 3u);
+  EXPECT_EQ(events.front().type(), "train_start");
+  EXPECT_EQ(events.back().type(), "train_end");
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GT(events[i].seq, events[i - 1].seq);  // stream stamping is ordered
+  }
+
+  // One epoch event per convergence check, steps matching the Fig. 12 curve
+  // (curve[0] is the pre-training baseline at step 0, which has no event).
+  const auto epochs = OfType(events, "epoch");
+  ASSERT_EQ(epochs.size() + 1, report.curve.size());
+  for (size_t i = 0; i < epochs.size(); ++i) {
+    EXPECT_EQ(static_cast<int64_t>(epochs[i]->Number("step")),
+              report.curve[i + 1].step);
+    EXPECT_DOUBLE_EQ(epochs[i]->Number("r_tilde"),
+                     report.curve[i + 1].r_tilde);
+    EXPECT_GT(epochs[i]->Number("quadruples_per_sec"), 0.0);
+  }
+
+  // Checkpoint writes reconcile with the report and land mid-run.
+  const auto writes = OfType(events, "checkpoint_write");
+  EXPECT_EQ(writes.size(), static_cast<size_t>(report.checkpoints_written));
+  ASSERT_GE(writes.size(), 1u);
+  for (const obs::Event* write : writes) {
+    EXPECT_GT(write->Number("step"), 0.0);
+    EXPECT_LE(write->Number("step"), static_cast<double>(report.steps));
+  }
+
+  // train_start/train_end fields mirror the report.
+  EXPECT_EQ(static_cast<int64_t>(events.front().Number("start_step")), 0);
+  EXPECT_EQ(static_cast<int64_t>(events.back().Number("steps")), report.steps);
+  EXPECT_EQ(events.back().Number("converged") != 0.0, report.converged);
+
+  // The steps counter, reset before the run, counts exactly the SGD steps.
+  EXPECT_EQ(
+      obs::MetricsRegistry::Global().GetCounter("trainer.steps")->Value(),
+      report.steps);
+  const obs::HistogramSnapshot r_tilde =
+      obs::MetricsRegistry::Global()
+          .GetHistogram("trainer.epoch_r_tilde", {})
+          ->Snapshot();
+  EXPECT_EQ(r_tilde.count, static_cast<int64_t>(report.curve.size()) - 1);
+}
+
+TEST(TelemetryIntegrationTest, ResumeEmitsCheckpointRestoreEvent) {
+  Fixture fixture;
+  TrainOptions options;
+  options.checkpoint_dir = ::testing::TempDir() + "/telemetry_ckpt_resume";
+  options.checkpoint_every_checks = 1;
+  TsPprTrainer trainer(options);
+  auto model = fixture.MakeModel();
+  util::Rng rng(7);
+  const auto first =
+      trainer.Train(*fixture.training_set, &model, &rng).ValueOrDie();
+  ASSERT_GE(first.checkpoints_written, 1);
+  const std::string path =
+      FindLatestGoodCheckpoint(options.checkpoint_dir).ValueOrDie();
+
+  obs::CaptureSink sink;
+  obs::EventStream::Global().Attach(&sink);
+  auto resumed_model = fixture.MakeModel();
+  util::Rng resume_rng(99);  // ignored: the snapshot re-synchronizes it
+  const auto resumed =
+      trainer.ResumeFrom(path, *fixture.training_set, &resumed_model,
+                         &resume_rng)
+          .ValueOrDie();
+  obs::EventStream::Global().Detach(&sink);
+
+  const std::vector<obs::Event> events = sink.events();
+  const auto restores = OfType(events, "checkpoint_restore");
+  ASSERT_EQ(restores.size(), 1u);
+  EXPECT_EQ(restores[0]->Find("path")->s, path);
+  EXPECT_EQ(static_cast<int64_t>(restores[0]->Number("step")),
+            resumed.resumed_from_step);
+  EXPECT_GT(resumed.resumed_from_step, 0);
+
+  const auto starts = OfType(events, "train_start");
+  ASSERT_EQ(starts.size(), 1u);
+  EXPECT_EQ(starts[0]->Number("resumed"), 1.0);
+  EXPECT_EQ(static_cast<int64_t>(starts[0]->Number("start_step")),
+            resumed.resumed_from_step);
+}
+
+TEST(TelemetryIntegrationTest, ParallelTrainerEmitsSameEventShape) {
+  Fixture fixture;
+  TrainOptions options;
+  options.num_threads = 2;
+  TsPprTrainer trainer(options);
+  auto model = fixture.MakeModel();
+  util::Rng rng(7);
+
+  obs::CaptureSink sink;
+  obs::EventStream::Global().Attach(&sink);
+  const auto report =
+      trainer.Train(*fixture.training_set, &model, &rng).ValueOrDie();
+  obs::EventStream::Global().Detach(&sink);
+
+  const std::vector<obs::Event> events = sink.events();
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(events.front().type(), "train_start");
+  EXPECT_EQ(static_cast<int64_t>(events.front().Number("num_workers")), 2);
+  EXPECT_EQ(events.back().type(), "train_end");
+  EXPECT_EQ(OfType(events, "epoch").size() + 1, report.curve.size());
+}
+
+TEST(TelemetryIntegrationTest, SessionWritesConfiguredOutputs) {
+  Fixture fixture;
+  obs::TelemetryConfig config;
+  config.metrics_path = ::testing::TempDir() + "/telemetry_m.json";
+  config.trace_path = ::testing::TempDir() + "/telemetry_t.json";
+  config.events_path = ::testing::TempDir() + "/telemetry_e.jsonl";
+  auto session = obs::TelemetrySession::Start(config).ValueOrDie();
+  ASSERT_TRUE(session.active());
+
+  TsPprTrainer trainer;
+  auto model = fixture.MakeModel();
+  util::Rng rng(7);
+  ASSERT_TRUE(trainer.Train(*fixture.training_set, &model, &rng).ok());
+  ASSERT_TRUE(session.Finish().ok());
+  EXPECT_FALSE(obs::EventStream::Global().enabled());
+  EXPECT_FALSE(obs::TraceRecorder::Global().enabled());
+
+  const std::string metrics =
+      util::ReadFileToString(config.metrics_path).ValueOrDie();
+  EXPECT_NE(metrics.find("trainer.steps"), std::string::npos);
+  EXPECT_NE(metrics.find("trainer.epoch_r_tilde"), std::string::npos);
+  EXPECT_NE(metrics.find("trainer.quadruples_per_sec"), std::string::npos);
+
+  const std::string events =
+      util::ReadFileToString(config.events_path).ValueOrDie();
+  EXPECT_NE(events.find("\"type\":\"train_start\""), std::string::npos);
+  EXPECT_NE(events.find("\"type\":\"epoch\""), std::string::npos);
+  EXPECT_NE(events.find("\"type\":\"train_end\""), std::string::npos);
+
+  const std::string trace =
+      util::ReadFileToString(config.trace_path).ValueOrDie();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("trainer/train"), std::string::npos);
+  EXPECT_NE(trace.find("trainer/check"), std::string::npos);
+
+  // Finish is idempotent and the session is now inactive.
+  EXPECT_TRUE(session.Finish().ok());
+  EXPECT_FALSE(session.active());
+}
+
+TEST(TelemetryIntegrationTest, EvaluatorEmitsEvalEvents) {
+  Fixture fixture;
+  baselines::RandomRecommender recommender;
+  eval::EvalOptions options;
+  options.window_capacity = 100;
+  options.min_gap = 10;
+  eval::Evaluator evaluator(fixture.split.get(), options);
+
+  obs::CaptureSink sink;
+  obs::EventStream::Global().Attach(&sink);
+  const auto result = evaluator.Evaluate(&recommender).ValueOrDie();
+  obs::EventStream::Global().Detach(&sink);
+
+  const std::vector<obs::Event> events = sink.events();
+  const auto starts = OfType(events, "eval_start");
+  const auto ends = OfType(events, "eval_end");
+  ASSERT_EQ(starts.size(), 1u);
+  ASSERT_EQ(ends.size(), 1u);
+  EXPECT_EQ(starts[0]->Find("method")->s, "Random");
+  EXPECT_EQ(static_cast<int64_t>(ends[0]->Number("num_instances")),
+            result.num_instances);
+  ASSERT_FALSE(result.maap.empty());
+  EXPECT_DOUBLE_EQ(ends[0]->Number("maap@1"), result.maap[0]);
+}
+
+#if RECONSUME_FAILPOINTS_ENABLED
+TEST(TelemetryIntegrationTest, FailpointTripsSurfaceInEventStream) {
+  Fixture fixture;
+  obs::TelemetryConfig config;
+  config.events_path = ::testing::TempDir() + "/telemetry_fp.jsonl";
+  auto session = obs::TelemetrySession::Start(config).ValueOrDie();
+
+  baselines::RandomRecommender recommender;
+  eval::EvalOptions options;
+  options.window_capacity = 100;
+  options.min_gap = 10;
+  options.skip_invalid_users = true;
+  eval::Evaluator evaluator(fixture.split.get(), options);
+  {
+    util::ScopedFailpoint fp("eval/user", "error-once");
+    const auto result = evaluator.Evaluate(&recommender).ValueOrDie();
+    EXPECT_EQ(result.num_users_skipped, 1);
+  }
+  ASSERT_TRUE(session.Finish().ok());
+
+  const std::string events =
+      util::ReadFileToString(config.events_path).ValueOrDie();
+  EXPECT_NE(events.find("\"type\":\"failpoint_fired\""), std::string::npos);
+  EXPECT_NE(events.find("eval/user"), std::string::npos);
+}
+#endif  // RECONSUME_FAILPOINTS_ENABLED
+
+}  // namespace
+}  // namespace core
+}  // namespace reconsume

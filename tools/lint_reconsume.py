@@ -13,6 +13,10 @@ rely on (see docs/correctness_tooling.md):
   * no raw std::ofstream in src/ outside util/fileio.cc — on-disk artifacts
     must go through util::AtomicWriteFile (temp + fsync + rename) so a crash
     mid-write never leaves a torn file (see docs/robustness.md)
+  * no raw std::chrono clocks in src/ outside util/stopwatch.h and
+    src/obs/trace.cc — timing goes through util::Stopwatch or
+    obs::MonotonicNanos so every duration shares one time source and lands
+    in the same telemetry (see docs/observability.md)
   * every header in src/ starts with #pragma once
 
 Exit status: 0 when clean, 1 when any finding is reported.
@@ -50,10 +54,19 @@ LINE_RULES = [
         "write files through util::AtomicWriteFile so crashes cannot leave "
         "torn output (see docs/robustness.md)",
     ),
+    (
+        "raw-clock",
+        re.compile(r"std::chrono::(steady|system|high_resolution)_clock\b"),
+        "time through util::Stopwatch or obs::MonotonicNanos so durations "
+        "share one clock and reach telemetry (see docs/observability.md)",
+    ),
 ]
 
 # Files exempt from the raw-ofstream rule: the atomic-write helper itself.
 RAW_OFSTREAM_ALLOWED = {"src/util/fileio.cc"}
+
+# Files exempt from the raw-clock rule: the two sanctioned clock wrappers.
+RAW_CLOCK_ALLOWED = {"src/util/stopwatch.h", "src/obs/trace.cc"}
 
 COMMENT_RE = re.compile(r"//.*$")
 STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
@@ -92,6 +105,9 @@ def lint_file(path: Path, rel: str, require_pragma_once: bool,
             if name == "raw-ofstream" and (not rel.startswith("src/") or
                                            rel in RAW_OFSTREAM_ALLOWED):
                 continue  # library writes go through the atomic helper
+            if name == "raw-clock" and (not rel.startswith("src/") or
+                                        rel in RAW_CLOCK_ALLOWED):
+                continue  # only the sanctioned wrappers touch the clock
             if "static_assert" in line and name == "naked-assert":
                 continue
             if pattern.search(line):

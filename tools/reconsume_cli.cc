@@ -18,6 +18,13 @@
 // ("user \t item \t time"); real Gowalla / Last.fm dumps load with
 // --format=gowalla / --format=lastfm (optionally --max-bad-lines=N to
 // tolerate up to N malformed rows; see docs/robustness.md).
+//
+// Every command additionally accepts the observability flags
+// (docs/observability.md):
+//   --metrics-out=m.json     metrics registry scrape, written at exit
+//   --trace-out=t.json       Chrome/Perfetto trace of the run
+//   --events-out=e.jsonl     structured JSONL telemetry stream
+//   --progress-every=SECS    rate-limited stderr progress lines
 
 #include <cstdio>
 #include <string>
@@ -34,6 +41,7 @@
 #include "eval/evaluator.h"
 #include "eval/significance.h"
 #include "eval/table.h"
+#include "obs/telemetry.h"
 #include "util/flags.h"
 #include "util/string_util.h"
 
@@ -431,6 +439,14 @@ int main(int argc, char** argv) {
   if (flags.positional().empty()) return Usage();
   const std::string& command = flags.positional()[0];
 
+  // Telemetry wraps the whole command: flags are consumed here (before each
+  // command's CheckNoUnusedFlags) and the outputs are written on the way out.
+  auto telemetry_config = obs::TelemetryConfigFromFlags(flags);
+  if (!telemetry_config.ok()) return Fail(telemetry_config.status());
+  auto session =
+      obs::TelemetrySession::Start(telemetry_config.ValueOrDie());
+  if (!session.ok()) return Fail(session.status());
+
   Result<int> result = Status::InvalidArgument("unknown command");
   if (command == "generate") {
     result = CmdGenerate(flags);
@@ -447,6 +463,8 @@ int main(int argc, char** argv) {
   } else {
     return Usage();
   }
+  const Status finished = session.ValueOrDie().Finish();
   if (!result.ok()) return Fail(result.status());
+  if (!finished.ok()) return Fail(finished);
   return result.ValueOrDie();
 }

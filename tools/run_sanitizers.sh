@@ -4,7 +4,9 @@
 #
 # Modes:
 #   tsan   ThreadSanitizer over the concurrency-sensitive tests only
-#          (thread_pool_test, parallel_trainer_test, parallel_eval_test).
+#          (thread_pool_test, parallel_trainer_test, parallel_eval_test,
+#          plus the lock-free observability layer: obs_metrics_test,
+#          obs_trace_test, telemetry_integration_test).
 #          The Hogwild trainer is written to be TSan-clean: worker-private
 #          parameters are plain memory touched by one thread, shared item
 #          factors are accessed only through relaxed std::atomic_ref, and the
@@ -36,16 +38,16 @@ run_tsan() {
     -DRECONSUME_BUILD_BENCHMARKS=OFF \
     -DRECONSUME_BUILD_EXAMPLES=OFF \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build "$build_dir" -j "$JOBS" \
-    --target thread_pool_test parallel_trainer_test parallel_eval_test
+  local tsan_tests=(thread_pool_test parallel_trainer_test parallel_eval_test
+                    obs_metrics_test obs_trace_test telemetry_integration_test)
+  cmake --build "$build_dir" -j "$JOBS" --target "${tsan_tests[@]}"
 
   # Fail on any race report even if the test would otherwise pass.
-  TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
-    "$build_dir/tests/thread_pool_test"
-  TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
-    "$build_dir/tests/parallel_trainer_test"
-  TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
-    "$build_dir/tests/parallel_eval_test"
+  local test
+  for test in "${tsan_tests[@]}"; do
+    TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+      "$build_dir/tests/$test"
+  done
   echo "TSan concurrency tests passed."
 }
 

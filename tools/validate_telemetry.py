@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Validates the telemetry artifacts a reconsume run writes (CI smoke gate).
+
+Checks three file kinds, any subset of which may be given:
+
+  --events  e.jsonl   one JSON object per line with type/seq/t_ns/tid stamps;
+                      seq must be unique and strictly increasing, and any
+                      train_start/train_end pair must bracket the epoch events
+  --metrics m.json    the MetricsRegistry export: counters/gauges/histograms
+                      maps; histogram invariants (count == sum of bucket
+                      counts, len(counts) == len(bounds) + 1) must hold
+  --trace   t.json    Chrome trace-event JSON: a traceEvents list of "X"
+                      events with numeric ts/dur and args.depth
+
+--require-metric NAME (repeatable) additionally asserts that NAME exists in
+the metrics file (as a counter, gauge, or histogram) and, for counters and
+histograms, that it actually observed something — the CI telemetry-smoke job
+uses this to pin the trainer/checkpoint instrumentation end to end.
+
+Exit status: 0 when every given artifact validates, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REQUIRED_EVENT_STAMPS = ("type", "seq", "t_ns", "tid")
+
+
+def fail(errors: list[str], message: str) -> None:
+    errors.append(message)
+
+
+def validate_events(path: Path, errors: list[str]) -> None:
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        fail(errors, f"{path}: unreadable: {exc}")
+        return
+    if not lines:
+        fail(errors, f"{path}: event log is empty")
+        return
+
+    seqs: list[int] = []
+    types: list[str] = []
+    for lineno, line in enumerate(lines, start=1):
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            fail(errors, f"{path}:{lineno}: not valid JSON: {exc}")
+            continue
+        if not isinstance(event, dict):
+            fail(errors, f"{path}:{lineno}: line is not a JSON object")
+            continue
+        for key in REQUIRED_EVENT_STAMPS:
+            if key not in event:
+                fail(errors, f"{path}:{lineno}: missing stamp '{key}'")
+        if isinstance(event.get("seq"), int):
+            seqs.append(event["seq"])
+        if isinstance(event.get("type"), str):
+            types.append(event["type"])
+
+    for i in range(1, len(seqs)):
+        if seqs[i] <= seqs[i - 1]:
+            fail(errors,
+                 f"{path}: seq not strictly increasing at line {i + 1} "
+                 f"({seqs[i - 1]} -> {seqs[i]})")
+            break
+
+    # When a training run is present, its lifecycle events must bracket the
+    # epoch stream: train_start before the first epoch, train_end after the
+    # last one.
+    if "train_start" in types and "train_end" in types:
+        first_epoch = types.index("epoch") if "epoch" in types else None
+        if first_epoch is not None:
+            if types.index("train_start") > first_epoch:
+                fail(errors, f"{path}: epoch event before train_start")
+            last_epoch = len(types) - 1 - types[::-1].index("epoch")
+            last_end = len(types) - 1 - types[::-1].index("train_end")
+            if last_end < last_epoch:
+                fail(errors, f"{path}: epoch event after train_end")
+
+
+def load_json(path: Path, errors: list[str]):
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(errors, f"{path}: {exc}")
+        return None
+
+
+def validate_metrics(path: Path, required: list[str],
+                     errors: list[str]) -> None:
+    doc = load_json(path, errors)
+    if doc is None:
+        return
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            fail(errors, f"{path}: missing '{section}' object")
+            return
+
+    for name, value in doc["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(errors, f"{path}: counter '{name}' is not a non-negative int")
+    for name, hist in doc["histograms"].items():
+        if not isinstance(hist, dict):
+            fail(errors, f"{path}: histogram '{name}' is not an object")
+            continue
+        bounds = hist.get("bounds")
+        counts = hist.get("counts")
+        if not isinstance(bounds, list) or not isinstance(counts, list):
+            fail(errors, f"{path}: histogram '{name}' lacks bounds/counts")
+            continue
+        if len(counts) != len(bounds) + 1:
+            fail(errors,
+                 f"{path}: histogram '{name}': len(counts)={len(counts)} != "
+                 f"len(bounds)+1={len(bounds) + 1}")
+        if sum(counts) != hist.get("count"):
+            fail(errors,
+                 f"{path}: histogram '{name}': bucket counts sum to "
+                 f"{sum(counts)} but count={hist.get('count')}")
+        if list(bounds) != sorted(bounds):
+            fail(errors, f"{path}: histogram '{name}': bounds not sorted")
+
+    for name in required:
+        if name in doc["counters"]:
+            if doc["counters"][name] <= 0:
+                fail(errors, f"{path}: required counter '{name}' is zero")
+        elif name in doc["histograms"]:
+            if doc["histograms"][name].get("count", 0) <= 0:
+                fail(errors, f"{path}: required histogram '{name}' is empty")
+        elif name not in doc["gauges"]:
+            fail(errors, f"{path}: required metric '{name}' not present")
+
+
+def validate_trace(path: Path, errors: list[str]) -> None:
+    doc = load_json(path, errors)
+    if doc is None:
+        return
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(errors, f"{path}: missing 'traceEvents' list")
+        return
+    if not events:
+        fail(errors, f"{path}: trace holds no spans")
+        return
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(errors, f"{path}: traceEvents[{i}] is not an object")
+            continue
+        if event.get("ph") != "X":
+            fail(errors, f"{path}: traceEvents[{i}] is not a complete event")
+        for key in ("name", "ts", "dur", "pid", "tid"):
+            if key not in event:
+                fail(errors, f"{path}: traceEvents[{i}] missing '{key}'")
+        if not isinstance(event.get("ts"), (int, float)) or \
+                not isinstance(event.get("dur"), (int, float)):
+            fail(errors, f"{path}: traceEvents[{i}] ts/dur not numeric")
+        args = event.get("args")
+        if not isinstance(args, dict) or "depth" not in args:
+            fail(errors, f"{path}: traceEvents[{i}] missing args.depth")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--events", type=Path, help="JSONL event log")
+    parser.add_argument("--metrics", type=Path, help="metrics JSON export")
+    parser.add_argument("--trace", type=Path, help="Chrome trace JSON")
+    parser.add_argument("--require-metric", action="append", default=[],
+                        metavar="NAME",
+                        help="metric that must exist (and be non-empty) in "
+                             "--metrics; repeatable")
+    args = parser.parse_args()
+    if not (args.events or args.metrics or args.trace):
+        parser.error("give at least one of --events/--metrics/--trace")
+    if args.require_metric and not args.metrics:
+        parser.error("--require-metric needs --metrics")
+
+    errors: list[str] = []
+    checked = []
+    if args.events:
+        validate_events(args.events, errors)
+        checked.append(str(args.events))
+    if args.metrics:
+        validate_metrics(args.metrics, args.require_metric, errors)
+        checked.append(str(args.metrics))
+    if args.trace:
+        validate_trace(args.trace, errors)
+        checked.append(str(args.trace))
+
+    if errors:
+        print(f"validate_telemetry: {len(errors)} error(s)")
+        for error in errors:
+            print("  " + error)
+        return 1
+    print(f"validate_telemetry: OK ({', '.join(checked)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
