@@ -1,0 +1,173 @@
+// Load generator for the serving layer (docs/serving.md): closed-loop client
+// threads replay a synthetic repeat-heavy trace against RecommendService as
+// mixed recommend/observe traffic and report QPS, tail latency, and the
+// measured ScoreCache hit rate.
+//
+// The traffic model makes cache behaviour observable on purpose: each client
+// draws users from a small hot pool (repeat queries against an unchanged
+// window hit the (user, epoch) cache) and turns every --observe-every-th
+// request into an Observe (which bumps the epoch and forces the next
+// recommend for that user to re-score).
+//
+//   ./bench_serve_load [--requests=12000 --serve-threads=4 --clients=8
+//                       --top-n=10 --observe-every=8 --hot-users=64
+//                       --cache-capacity=4096 --queue-capacity=1024
+//                       --json-out=r.json]
+//
+// JSON keys (reconsume.bench.v1): requests, serve_threads, clients, qps,
+// p50_us, p99_us, p999_us, cache_hit_rate, cache_hits, cache_misses,
+// sessions.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "serve/server.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+using namespace reconsume;
+
+namespace {
+
+struct LoadFlags {
+  int64_t requests = 12000;
+  int64_t serve_threads = 4;
+  int64_t clients = 8;
+  int64_t top_n = 10;
+  int64_t observe_every = 8;  ///< 1 observe per this many requests (0 = none)
+  int64_t hot_users = 64;     ///< pool each client draws users from
+  int64_t cache_capacity = 4096;
+  int64_t queue_capacity = 1024;
+};
+
+LoadFlags ReadLoadFlags(const util::FlagSet& flags) {
+  LoadFlags out;
+  out.requests = flags.GetInt("requests", out.requests).ValueOrDie();
+  out.serve_threads =
+      flags.GetInt("serve-threads", out.serve_threads).ValueOrDie();
+  out.clients = flags.GetInt("clients", out.clients).ValueOrDie();
+  out.top_n = flags.GetInt("top-n", out.top_n).ValueOrDie();
+  out.observe_every =
+      flags.GetInt("observe-every", out.observe_every).ValueOrDie();
+  out.hot_users = flags.GetInt("hot-users", out.hot_users).ValueOrDie();
+  out.cache_capacity =
+      flags.GetInt("cache-capacity", out.cache_capacity).ValueOrDie();
+  out.queue_capacity =
+      flags.GetInt("queue-capacity", out.queue_capacity).ValueOrDie();
+  RECONSUME_CHECK(out.requests >= 1 && out.serve_threads >= 1 &&
+                  out.clients >= 1 && out.top_n >= 1 && out.hot_users >= 1)
+      << "all load-generator sizes must be >= 1";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchRun run("serve_load", argc, argv);
+  auto flags = util::FlagSet::Parse(argc, argv);
+  RECONSUME_CHECK(flags.ok()) << flags.status();
+  const LoadFlags load = ReadLoadFlags(flags.ValueOrDie());
+
+  auto bundle = bench::MakeGowallaBundle();
+  bench::PrintHeader("serve_load", bundle);
+  auto method = bench::FitTsPpr(bundle, bench::MakeTsPprConfig(bundle));
+
+  serve::ServeConfig config;
+  config.num_threads = static_cast<int>(load.serve_threads);
+  config.queue_capacity = static_cast<size_t>(load.queue_capacity);
+  config.cache_capacity = static_cast<size_t>(load.cache_capacity);
+  config.window_capacity = bundle.defaults.window_capacity;
+  config.min_gap = bundle.defaults.min_gap;
+  serve::RecommendService service(bundle.dataset.get(), method.recommender,
+                                  config);
+
+  // The hot pool: the first users with a non-trivial history, shared by all
+  // clients so their queries overlap (that overlap is what the cache serves).
+  const size_t num_users = bundle.dataset->num_users();
+  std::vector<data::UserId> hot;
+  for (size_t u = 0; u < num_users && hot.size() <
+       static_cast<size_t>(load.hot_users); ++u) {
+    if (bundle.dataset->sequence(static_cast<data::UserId>(u)).size() >= 8) {
+      hot.push_back(static_cast<data::UserId>(u));
+    }
+  }
+  RECONSUME_CHECK(!hot.empty()) << "no users with enough history";
+
+  std::atomic<int64_t> issued{0};
+  std::atomic<int64_t> failed{0};
+  util::Stopwatch wall;
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(load.clients));
+  for (int64_t c = 0; c < load.clients; ++c) {
+    clients.emplace_back([&, c] {
+      util::Rng rng(0xBEEFu + static_cast<uint64_t>(c));
+      while (true) {
+        const int64_t seq = issued.fetch_add(1, std::memory_order_relaxed);
+        if (seq >= load.requests) break;
+        const data::UserId user = hot[rng.Uniform(hot.size())];
+        const bool observe =
+            load.observe_every > 0 && seq % load.observe_every == 0;
+        serve::ServeResponse response;
+        if (observe) {
+          // Re-consume something the user already consumed: repeat traffic.
+          const auto& seq_u = bundle.dataset->sequence(user);
+          const data::ItemId item = seq_u[rng.Uniform(seq_u.size())];
+          response = service.Observe(user, item).get();
+        } else {
+          response =
+              service.Recommend(user, static_cast<int>(load.top_n)).get();
+        }
+        if (!response.status.ok()) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double seconds = wall.ElapsedSeconds();
+  service.Shutdown();
+
+  const serve::ScoreCacheStats cache = service.cache_stats();
+  const obs::HistogramSnapshot latency = service.LatencySnapshot();
+  const double qps = seconds > 0 ? static_cast<double>(load.requests) / seconds
+                                 : 0.0;
+  RECONSUME_CHECK(failed.load() == 0)
+      << failed.load() << " requests failed";
+  RECONSUME_CHECK(service.requests_served() >= load.requests)
+      << "served " << service.requests_served() << " of " << load.requests;
+
+  std::printf("replayed %s requests (%s clients -> %s workers) in %.2fs — "
+              "%.0f QPS\n",
+              util::FormatWithCommas(load.requests).c_str(),
+              util::FormatWithCommas(load.clients).c_str(),
+              util::FormatWithCommas(load.serve_threads).c_str(), seconds,
+              qps);
+  std::printf("latency us: p50 %.1f  p99 %.1f  p999 %.1f\n",
+              latency.Quantile(0.5), latency.Quantile(0.99),
+              latency.Quantile(0.999));
+  std::printf("cache: %s hits / %s misses (hit rate %.3f), %s evictions, "
+              "%zu sessions\n",
+              util::FormatWithCommas(cache.hits).c_str(),
+              util::FormatWithCommas(cache.misses).c_str(), cache.HitRate(),
+              util::FormatWithCommas(cache.evictions).c_str(),
+              service.num_sessions());
+
+  const std::string ds = bundle.name;
+  run.AddValue(ds, "requests", static_cast<double>(load.requests));
+  run.AddValue(ds, "serve_threads", static_cast<double>(load.serve_threads));
+  run.AddValue(ds, "clients", static_cast<double>(load.clients));
+  run.AddValue(ds, "qps", qps);
+  run.AddValue(ds, "p50_us", latency.Quantile(0.5));
+  run.AddValue(ds, "p99_us", latency.Quantile(0.99));
+  run.AddValue(ds, "p999_us", latency.Quantile(0.999));
+  run.AddValue(ds, "cache_hit_rate", cache.HitRate());
+  run.AddValue(ds, "cache_hits", static_cast<double>(cache.hits));
+  run.AddValue(ds, "cache_misses", static_cast<double>(cache.misses));
+  run.AddValue(ds, "sessions", static_cast<double>(service.num_sessions()));
+  return 0;
+}

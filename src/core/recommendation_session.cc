@@ -60,7 +60,9 @@ std::vector<RankedItem> RecommendationSession::RecommendTopN(int n) {
 
   scores_.assign(candidates_.size(), 0.0);
   recommender_->Score(user_, *walker_, candidates_, scores_);
-  eval::SelectTopN(scores_, n, &top_);
+  // Partial selection: n is a small top-N request, candidates_ the whole
+  // window — the heap variant avoids sorting scratch the size of the window.
+  eval::SelectTopNHeap(scores_, n, &top_);
 
   out.reserve(top_.size());
   for (int index : top_) {

@@ -23,5 +23,36 @@ void SelectTopN(std::span<const double> scores, int n, std::vector<int>* top) {
   top->resize(take);
 }
 
+void SelectTopNHeap(std::span<const double> scores, int n,
+                    std::vector<int>* top) {
+  top->clear();
+  const size_t take =
+      std::min(static_cast<size_t>(std::max(n, 0)), scores.size());
+  if (take == 0) return;
+  // "prefer(a, b)": a ranks ahead of b. With this as the heap comparator the
+  // front is the *least preferred* of the kept set — the one a better
+  // candidate displaces.
+  const auto prefer = [&](int a, int b) {
+    if (scores[static_cast<size_t>(a)] != scores[static_cast<size_t>(b)]) {
+      return scores[static_cast<size_t>(a)] > scores[static_cast<size_t>(b)];
+    }
+    return a < b;
+  };
+  top->reserve(take);
+  for (int i = 0; i < static_cast<int>(scores.size()); ++i) {
+    if (top->size() < take) {
+      top->push_back(i);
+      std::push_heap(top->begin(), top->end(), prefer);
+    } else if (prefer(i, top->front())) {
+      std::pop_heap(top->begin(), top->end(), prefer);
+      top->back() = i;
+      std::push_heap(top->begin(), top->end(), prefer);
+    }
+  }
+  // sort_heap leaves ascending order under `prefer`, i.e. best-first — the
+  // same total order SelectTopN's partial_sort produces.
+  std::sort_heap(top->begin(), top->end(), prefer);
+}
+
 }  // namespace eval
 }  // namespace reconsume

@@ -47,6 +47,13 @@ class Recommender {
 void SelectTopN(std::span<const double> scores, int n,
                 std::vector<int>* top);
 
+/// Identical output to SelectTopN, computed with a bounded min-heap:
+/// O(m log n) comparisons and no O(m) index scratch, versus partial_sort's
+/// O(m + n log m) over the full index range. Preferred on the serving path,
+/// where n (a top-10 request) is tiny against m (the candidate window).
+void SelectTopNHeap(std::span<const double> scores, int n,
+                    std::vector<int>* top);
+
 }  // namespace eval
 }  // namespace reconsume
 

@@ -1,0 +1,117 @@
+// Stage 1 of the serving pipeline (docs/serving.md): a bounded MPMC queue
+// between request producers (API callers, the CLI stdin loop, load-generator
+// clients) and the worker pool that drains it.
+//
+// Semantics, chosen for a closed-loop service:
+//   * Push blocks while the queue is full — producers feel backpressure
+//     instead of growing an unbounded backlog (the ywci/inn stage shape:
+//     small single-purpose stages coupled by bounded buffers).
+//   * TryPush never blocks — open-loop callers can shed load themselves.
+//   * Pop blocks while the queue is empty. After Shutdown() the remaining
+//     items drain in FIFO order, then Pop returns false — a worker loop is
+//     simply `while (queue.Pop(&req)) { ... }`.
+//   * Push/TryPush after Shutdown() return false without enqueuing.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "util/check.h"
+
+namespace reconsume {
+namespace serve {
+
+/// \brief Bounded multi-producer/multi-consumer FIFO with shutdown draining.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    RC_CHECK(capacity >= 1) << "queue capacity must be >= 1";
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until space is available or the queue shuts down.
+  /// Returns false — leaving `item` untouched so the caller can still
+  /// fulfil any promise it carries — iff the queue was shut down.
+  bool Push(T& item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return items_.size() < capacity_ || shutdown_; });
+    if (shutdown_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Rvalue convenience; the item is lost when the push fails.
+  bool Push(T&& item) {
+    T local = std::move(item);
+    return Push(local);
+  }
+
+  /// Non-blocking Push. Returns false (leaving `item` untouched) when the
+  /// queue is full or shut down.
+  bool TryPush(T& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item arrives or the queue is shut down *and* drained.
+  /// Returns false iff shutdown has been requested and nothing remains.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || shutdown_; });
+    if (items_.empty()) return false;  // shutdown and drained
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Stops accepting new items and wakes every blocked producer/consumer.
+  /// Items already queued still drain through Pop. Idempotent.
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool shut_down() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return shutdown_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool shutdown_ = false;
+};
+
+}  // namespace serve
+}  // namespace reconsume

@@ -1,0 +1,158 @@
+#include "serve/score_cache.h"
+
+#include <algorithm>
+
+#include "obs/event.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace reconsume {
+namespace serve {
+
+namespace {
+
+obs::Counter* HitCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.cache.hits");
+  return counter;
+}
+
+obs::Counter* MissCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.cache.misses");
+  return counter;
+}
+
+obs::Counter* EvictionCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.cache.evictions");
+  return counter;
+}
+
+}  // namespace
+
+ScoreCache::ScoreCache(size_t capacity, size_t num_shards)
+    : capacity_(capacity), shards_(std::max<size_t>(num_shards, 1)) {
+  RC_CHECK(capacity >= 1) << "cache capacity must be >= 1";
+  // Even split, at least one user per shard so a tiny capacity still caches.
+  per_shard_capacity_ =
+      std::max<size_t>(1, (capacity_ + shards_.size() - 1) / shards_.size());
+}
+
+bool ScoreCache::Lookup(data::UserId user, int64_t epoch, int top_n,
+                        std::vector<core::RankedItem>* out) {
+  Shard* shard = ShardFor(user);
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    auto it = shard->entries.find(user);
+    if (it != shard->entries.end() && it->second.epoch == epoch) {
+      Entry& entry = it->second;
+      // The entry covers a top-`top_n` request when it was computed for at
+      // least that many, or when it exhausted the candidate set.
+      const bool exhausted =
+          entry.items.size() < static_cast<size_t>(entry.n_computed);
+      if (top_n <= entry.n_computed || exhausted) {
+        const size_t take =
+            std::min(entry.items.size(),
+                     static_cast<size_t>(std::max(top_n, 0)));
+        out->assign(entry.items.begin(),
+                    entry.items.begin() + static_cast<ptrdiff_t>(take));
+        shard->lru.splice(shard->lru.begin(), shard->lru, entry.lru_it);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        HitCounter()->Increment();
+        return true;
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  MissCounter()->Increment();
+  return false;
+}
+
+void ScoreCache::Insert(data::UserId user, int64_t epoch, int n_computed,
+                        std::vector<core::RankedItem> items) {
+  Shard* shard = ShardFor(user);
+  data::UserId evicted = data::kInvalidUser;
+  int64_t evicted_epoch = -1;
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    auto it = shard->entries.find(user);
+    if (it != shard->entries.end()) {
+      // Refresh in place (newer epoch or a wider n_computed).
+      it->second.epoch = epoch;
+      it->second.n_computed = n_computed;
+      it->second.items = std::move(items);
+      shard->lru.splice(shard->lru.begin(), shard->lru, it->second.lru_it);
+    } else {
+      if (shard->entries.size() >= per_shard_capacity_) {
+        const data::UserId victim = shard->lru.back();
+        shard->lru.pop_back();
+        auto victim_it = shard->entries.find(victim);
+        RC_CHECK(victim_it != shard->entries.end());
+        evicted = victim;
+        evicted_epoch = victim_it->second.epoch;
+        shard->entries.erase(victim_it);
+      }
+      shard->lru.push_front(user);
+      Entry entry;
+      entry.epoch = epoch;
+      entry.n_computed = n_computed;
+      entry.items = std::move(items);
+      entry.lru_it = shard->lru.begin();
+      shard->entries.emplace(user, std::move(entry));
+    }
+  }
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  if (evicted != data::kInvalidUser) {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    EvictionCounter()->Increment();
+    RC_EMIT_EVENT(obs::Event("cache_evict")
+                      .Set("user", static_cast<int64_t>(evicted))
+                      .Set("epoch", evicted_epoch));
+  }
+}
+
+void ScoreCache::Invalidate(data::UserId user) {
+  Shard* shard = ShardFor(user);
+  bool dropped = false;
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    auto it = shard->entries.find(user);
+    if (it != shard->entries.end()) {
+      shard->lru.erase(it->second.lru_it);
+      shard->entries.erase(it);
+      dropped = true;
+    }
+  }
+  if (dropped) invalidations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ScoreCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries.clear();
+    shard.lru.clear();
+  }
+}
+
+ScoreCacheStats ScoreCache::stats() const {
+  ScoreCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+size_t ScoreCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+}  // namespace serve
+}  // namespace reconsume

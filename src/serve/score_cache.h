@@ -1,0 +1,113 @@
+// Stage 3 of the serving pipeline (docs/serving.md): a memoized top-N score
+// cache, in the spirit of bcdb's MemoDB Evaluator — results are keyed by the
+// *inputs that determine them* and recomputed only when those inputs change.
+//
+// For TS-PPR the inputs of a ranking are (user, window-state). The window
+// state is summarized by the session's **epoch** — the number of events the
+// user's stream has absorbed — because the trailing window W_{u,t} (and hence
+// candidates, features, and scores) is a pure function of the history prefix.
+// A cached ranking is valid exactly while the user's epoch is unchanged; one
+// Observe() bumps the epoch and the stale entry simply never matches again
+// (and is dropped eagerly by Invalidate so it cannot occupy capacity).
+//
+// Sharded by user id: each shard holds its own mutex, hash map, and LRU list,
+// so concurrent lookups for different users rarely contend. One entry per
+// user — an entry for an older epoch is overwritten, never kept alongside.
+//
+// An entry computed for top-`n_computed` can serve any request with
+// n <= n_computed (deterministic tie-breaking makes the top list a total
+// order, so a shorter top-N is a prefix of a longer one). It can also serve
+// *any* n when it holds fewer than n_computed items — the candidate set was
+// exhausted, so no larger request could see more.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/recommendation_session.h"
+#include "data/types.h"
+
+namespace reconsume {
+namespace serve {
+
+/// \brief Counters describing cache effectiveness (racy-exact snapshots).
+struct ScoreCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t insertions = 0;
+  int64_t invalidations = 0;  ///< entries dropped by Invalidate()
+  int64_t evictions = 0;      ///< entries dropped by capacity pressure
+
+  double HitRate() const {
+    const int64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// \brief Sharded LRU cache of per-user top-N rankings keyed by epoch.
+class ScoreCache {
+ public:
+  /// `capacity` bounds the total number of cached users across all shards
+  /// (split evenly; each shard keeps at least one slot). `num_shards` must
+  /// be >= 1; more shards = less lock contention.
+  explicit ScoreCache(size_t capacity, size_t num_shards = 16);
+
+  /// Returns true and copies the cached ranking (truncated to `top_n`) when
+  /// an entry for (user, epoch) exists and covers a top-`top_n` request.
+  bool Lookup(data::UserId user, int64_t epoch, int top_n,
+              std::vector<core::RankedItem>* out);
+
+  /// Stores the ranking computed for top-`n_computed` at (user, epoch),
+  /// replacing any previous entry for the user and evicting the
+  /// least-recently-used user if the shard is at capacity.
+  void Insert(data::UserId user, int64_t epoch, int n_computed,
+              std::vector<core::RankedItem> items);
+
+  /// Drops the user's entry (called on Observe: the epoch advanced, so the
+  /// entry can never hit again).
+  void Invalidate(data::UserId user);
+
+  /// Drops everything (model hot-swap, tests).
+  void Clear();
+
+  ScoreCacheStats stats() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    int64_t epoch = -1;
+    int n_computed = 0;
+    std::vector<core::RankedItem> items;
+    std::list<data::UserId>::iterator lru_it;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<data::UserId, Entry> entries;
+    std::list<data::UserId> lru;  ///< front = most recently used
+  };
+
+  Shard* ShardFor(data::UserId user) {
+    return &shards_[static_cast<size_t>(user) % shards_.size()];
+  }
+
+  const size_t capacity_;
+  size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> insertions_{0};
+  std::atomic<int64_t> invalidations_{0};
+  std::atomic<int64_t> evictions_{0};
+};
+
+}  // namespace serve
+}  // namespace reconsume

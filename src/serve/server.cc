@@ -1,0 +1,182 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/event.h"
+#include "obs/trace.h"
+#include "util/check.h"
+#include "util/failpoint.h"
+
+namespace reconsume {
+namespace serve {
+
+RecommendService::RecommendService(const data::Dataset* dataset,
+                                   eval::Recommender* prototype,
+                                   ServeConfig config)
+    : config_(config),
+      sessions_(dataset, prototype, config.window_capacity, config.min_gap),
+      cache_(config.cache_capacity),
+      queue_(config.queue_capacity),
+      requests_counter_(
+          obs::MetricsRegistry::Global().GetCounter("serve.requests")),
+      latency_histogram_(obs::MetricsRegistry::Global().GetHistogram(
+          "serve.request_latency_us", obs::ExponentialBuckets(1.0, 2.0, 24))),
+      pool_(static_cast<size_t>(std::max(config.num_threads, 1))) {
+  RC_EMIT_EVENT(obs::Event("serve_start")
+                    .Set("threads", config_.num_threads)
+                    .Set("queue_capacity",
+                         static_cast<int64_t>(config_.queue_capacity))
+                    .Set("cache_capacity",
+                         static_cast<int64_t>(config_.cache_capacity))
+                    .Set("window", config_.window_capacity)
+                    .Set("min_gap", config_.min_gap));
+  for (size_t i = 0; i < pool_.num_threads(); ++i) {
+    pool_.Submit([this] { WorkerLoop(); });
+  }
+}
+
+RecommendService::~RecommendService() { Shutdown(); }
+
+void RecommendService::Shutdown() {
+  if (shut_down_.exchange(true)) return;
+  queue_.Shutdown();
+  pool_.Wait();
+}
+
+std::future<ServeResponse> RecommendService::Recommend(data::UserId user,
+                                                       int top_n) {
+  Request request;
+  request.kind = Request::Kind::kRecommend;
+  request.user = user;
+  request.top_n = top_n;
+  return Enqueue(std::move(request));
+}
+
+std::future<ServeResponse> RecommendService::Observe(data::UserId user,
+                                                     data::ItemId item) {
+  Request request;
+  request.kind = Request::Kind::kObserve;
+  request.user = user;
+  request.item = item;
+  return Enqueue(std::move(request));
+}
+
+std::future<ServeResponse> RecommendService::Enqueue(Request request) {
+  request.enqueue_ns = obs::MonotonicNanos();
+  std::future<ServeResponse> future = request.promise.get_future();
+  Status injected = RC_FAILPOINT_STATUS("serve/enqueue");
+  if (!injected.ok()) {
+    ServeResponse response;
+    response.status = std::move(injected);
+    request.promise.set_value(std::move(response));
+    return future;
+  }
+  if (!queue_.Push(request)) {
+    // Only fails after Shutdown(); a failed Push leaves the request (and its
+    // promise) with us, so the caller still gets a resolved future.
+    ServeResponse response;
+    response.status = Status::FailedPrecondition("service is shut down");
+    request.promise.set_value(std::move(response));
+  }
+  return future;
+}
+
+void RecommendService::WorkerLoop() {
+  Request request;
+  while (queue_.Pop(&request)) {
+    ServeResponse response = Handle(request);
+    const int64_t now_ns = obs::MonotonicNanos();
+    response.latency_ns = now_ns - request.enqueue_ns;
+    requests_counter_->Increment();
+    latency_histogram_->Observe(static_cast<double>(response.latency_ns) /
+                                1000.0);
+    served_.fetch_add(1, std::memory_order_relaxed);
+    RC_EMIT_EVENT(
+        obs::Event("request_done")
+            .Set("kind", request.kind == Request::Kind::kRecommend
+                             ? "recommend"
+                             : "observe")
+            .Set("user", static_cast<int64_t>(request.user))
+            .Set("cache_hit", response.cache_hit)
+            .Set("epoch", response.epoch)
+            .Set("latency_us",
+                 static_cast<double>(response.latency_ns) / 1000.0)
+            .Set("ok", response.status.ok()));
+    request.promise.set_value(std::move(response));
+  }
+}
+
+ServeResponse RecommendService::Handle(Request& request) {
+  switch (request.kind) {
+    case Request::Kind::kRecommend:
+      return HandleRecommend(request);
+    case Request::Kind::kObserve:
+      return HandleObserve(request);
+  }
+  ServeResponse response;
+  response.status = Status::Internal("unknown request kind");
+  return response;
+}
+
+ServeResponse RecommendService::HandleRecommend(const Request& request) {
+  ServeResponse response;
+  if (request.top_n < 1) {
+    response.status = Status::InvalidArgument("top_n must be >= 1");
+    return response;
+  }
+  UserSession* state = sessions_.GetOrCreate(request.user);
+  std::lock_guard<std::mutex> lock(state->mu);
+  response.epoch = state->epoch();
+
+  Status injected = RC_FAILPOINT_STATUS("serve/cache_lookup");
+  if (!injected.ok()) {
+    response.status = std::move(injected);
+    return response;
+  }
+  if (cache_.Lookup(request.user, response.epoch, request.top_n,
+                    &response.items)) {
+    response.cache_hit = true;
+    return response;
+  }
+
+  injected = RC_FAILPOINT_STATUS("serve/score");
+  if (!injected.ok()) {
+    response.status = std::move(injected);
+    return response;
+  }
+  if (sessions_.prototype_shared()) {
+    // The prototype cannot clone; all scoring funnels through one mutex.
+    std::lock_guard<std::mutex> score_lock(sessions_.prototype_mu());
+    response.items = state->session->RecommendTopN(request.top_n);
+  } else {
+    response.items = state->session->RecommendTopN(request.top_n);
+  }
+  cache_.Insert(request.user, response.epoch, request.top_n, response.items);
+  return response;
+}
+
+ServeResponse RecommendService::HandleObserve(const Request& request) {
+  ServeResponse response;
+  if (request.item == data::kInvalidItem) {
+    response.status = Status::InvalidArgument("observe requires an item");
+    return response;
+  }
+  UserSession* state = sessions_.GetOrCreate(request.user);
+  std::lock_guard<std::mutex> lock(state->mu);
+  state->session->Observe(request.item);
+  cache_.Invalidate(request.user);
+  response.epoch = state->epoch();
+  return response;
+}
+
+int64_t RecommendService::requests_served() const {
+  return served_.load(std::memory_order_relaxed);
+}
+
+obs::HistogramSnapshot RecommendService::LatencySnapshot() const {
+  return latency_histogram_->Snapshot();
+}
+
+}  // namespace serve
+}  // namespace reconsume

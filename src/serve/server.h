@@ -1,0 +1,126 @@
+// The serving core (docs/serving.md): ties the pipeline stages together.
+//
+//   callers ──► BoundedQueue<Request> ──► worker ThreadPool
+//                                            │
+//                              SessionMap (per-user state, sharded)
+//                                            │
+//                              ScoreCache (epoch-keyed memoization)
+//
+// Callers enqueue RecommendRequest / ObserveRequest messages and receive a
+// std::future<ServeResponse>; a fixed pool of workers drains the queue. The
+// queue is bounded, so a producer that outruns the workers blocks (closed
+// loop) — see BoundedQueue for the exact backpressure semantics.
+//
+// Consistency model: per-user linearizability. One mutex per UserSession
+// serializes all requests touching that user, so an Observe and the
+// Recommends around it apply in a definite order, and a cached ranking is
+// always consistent with the epoch it was computed at. Requests for
+// *different* users are independent and run concurrently; there is no
+// cross-user ordering guarantee.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "core/recommendation_session.h"
+#include "data/dataset.h"
+#include "data/types.h"
+#include "eval/recommender.h"
+#include "obs/metrics.h"
+#include "serve/request_queue.h"
+#include "serve/score_cache.h"
+#include "serve/session_map.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace reconsume {
+namespace serve {
+
+/// \brief Tunables for RecommendService.
+struct ServeConfig {
+  int num_threads = 4;        ///< worker threads draining the queue
+  size_t queue_capacity = 1024;
+  size_t cache_capacity = 4096;  ///< max users with a cached ranking
+  int window_capacity = 100;     ///< session window size (paper's K)
+  int min_gap = 10;              ///< reconsumption gap threshold (Omega)
+};
+
+/// \brief Outcome of one request, delivered through the future.
+struct ServeResponse {
+  Status status = Status::OK();
+  /// Ranked recommendations (Recommend only; empty for Observe).
+  std::vector<core::RankedItem> items;
+  bool cache_hit = false;
+  /// The user's window-state epoch the response reflects.
+  int64_t epoch = -1;
+  int64_t latency_ns = 0;  ///< enqueue → completion
+};
+
+/// \brief Multi-threaded TS-PPR serving core.
+///
+/// Thread-safe: Recommend/Observe may be called from any number of threads.
+/// `dataset` and `prototype` must outlive the service. The destructor shuts
+/// the queue down and joins the workers; in-flight requests complete.
+class RecommendService {
+ public:
+  RecommendService(const data::Dataset* dataset, eval::Recommender* prototype,
+                   ServeConfig config);
+  ~RecommendService();
+
+  RecommendService(const RecommendService&) = delete;
+  RecommendService& operator=(const RecommendService&) = delete;
+
+  /// Enqueues a top-`top_n` query for `user`. The future resolves once a
+  /// worker has served it (from cache or by scoring). Blocks while the
+  /// queue is full; resolves with FailedPrecondition after Shutdown().
+  std::future<ServeResponse> Recommend(data::UserId user, int top_n);
+
+  /// Enqueues one consumption event. Advances the user's epoch and
+  /// invalidates their cached ranking.
+  std::future<ServeResponse> Observe(data::UserId user, data::ItemId item);
+
+  /// Stops intake, drains queued requests, joins the workers. Idempotent;
+  /// also run by the destructor.
+  void Shutdown();
+
+  ScoreCacheStats cache_stats() const { return cache_.stats(); }
+  size_t num_sessions() const { return sessions_.size(); }
+  int64_t requests_served() const;
+  /// Snapshot of the enqueue→completion latency histogram (microseconds).
+  obs::HistogramSnapshot LatencySnapshot() const;
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  struct Request {
+    enum class Kind { kRecommend, kObserve };
+    Kind kind = Kind::kRecommend;
+    data::UserId user = data::kInvalidUser;
+    data::ItemId item = data::kInvalidItem;
+    int top_n = 0;
+    int64_t enqueue_ns = 0;
+    std::promise<ServeResponse> promise;
+  };
+
+  std::future<ServeResponse> Enqueue(Request request);
+  void WorkerLoop();
+  ServeResponse Handle(Request& request);
+  ServeResponse HandleRecommend(const Request& request);
+  ServeResponse HandleObserve(const Request& request);
+
+  const ServeConfig config_;
+  SessionMap sessions_;
+  ScoreCache cache_;
+  BoundedQueue<Request> queue_;
+  obs::Counter* requests_counter_;      // serve.requests
+  obs::Histogram* latency_histogram_;   // serve.request_latency_us
+  std::atomic<int64_t> served_{0};
+  std::atomic<bool> shut_down_{false};
+  util::ThreadPool pool_;  ///< last member: workers touch everything above
+};
+
+}  // namespace serve
+}  // namespace reconsume

@@ -1,0 +1,56 @@
+#include "serve/session_map.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace reconsume {
+namespace serve {
+
+SessionMap::SessionMap(const data::Dataset* dataset,
+                       eval::Recommender* prototype, int window_capacity,
+                       int min_gap, size_t num_shards)
+    : dataset_(dataset),
+      prototype_(prototype),
+      window_capacity_(window_capacity),
+      min_gap_(min_gap),
+      shards_(std::max<size_t>(num_shards, 1)) {
+  RC_CHECK(dataset_ != nullptr);
+  RC_CHECK(prototype_ != nullptr);
+  RC_CHECK(window_capacity_ >= 2) << "window capacity must be >= 2";
+  RC_CHECK(min_gap_ >= 0 && min_gap_ < window_capacity_)
+      << "min gap must be in [0, window)";
+  // Probe clone-ability once up front so every session takes the same path.
+  prototype_shared_ = (prototype_->Clone() == nullptr);
+}
+
+UserSession* SessionMap::GetOrCreate(data::UserId user) {
+  RC_CHECK_INDEX(user, dataset_->num_users());
+  Shard& shard = shards_[static_cast<size_t>(user) % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.sessions.find(user);
+  if (it != shard.sessions.end()) return it->second.get();
+
+  auto state = std::make_unique<UserSession>();
+  state->recommender = prototype_->Clone();
+  eval::Recommender* scorer =
+      state->recommender ? state->recommender.get() : prototype_;
+  state->session = std::make_unique<core::RecommendationSession>(
+      scorer, user, dataset_->sequence(user), window_capacity_, min_gap_);
+  UserSession* raw = state.get();
+  shard.sessions.emplace(user, std::move(state));
+  return raw;
+}
+
+size_t SessionMap::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.sessions.size();
+  }
+  return total;
+}
+
+}  // namespace serve
+}  // namespace reconsume

@@ -1,0 +1,79 @@
+// Stage 2 of the serving pipeline (docs/serving.md): per-user session state
+// behind a sharded map.
+//
+// Each user gets one UserSession: a private clone of the recommender (scoring
+// uses mutable scratch, so workers must never share one) plus a
+// core::RecommendationSession seeded from the user's historical sequence.
+// A per-user mutex serializes requests for the same user — the session's
+// window walker and the recommender scratch are single-threaded by design —
+// while requests for different users proceed in parallel.
+//
+// Sessions are created lazily on first touch and live for the map's lifetime
+// (pointers handed out stay valid), so memory grows with the number of
+// *active* users, not the catalog.
+
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/recommendation_session.h"
+#include "data/dataset.h"
+#include "eval/recommender.h"
+
+namespace reconsume {
+namespace serve {
+
+/// \brief One user's serving state. Lock `mu` around any session access.
+struct UserSession {
+  std::mutex mu;
+  /// Private recommender clone (null when the prototype cannot clone; the
+  /// map then points `session` at the shared prototype and the caller must
+  /// hold SessionMap::prototype_mu() while scoring).
+  std::unique_ptr<eval::Recommender> recommender;
+  std::unique_ptr<core::RecommendationSession> session;
+
+  /// Window-state epoch: number of events the session has absorbed. This is
+  /// the cache key component that invalidates on Observe.
+  int64_t epoch() const { return session->num_events(); }
+};
+
+/// \brief Sharded lazy map UserId -> UserSession.
+class SessionMap {
+ public:
+  /// `dataset` seeds each session with the user's full observed sequence;
+  /// `prototype` is cloned per user (both must outlive the map).
+  SessionMap(const data::Dataset* dataset, eval::Recommender* prototype,
+             int window_capacity, int min_gap, size_t num_shards = 16);
+
+  /// The user's session, created on first touch. Never null; the pointer is
+  /// stable for the map's lifetime.
+  UserSession* GetOrCreate(data::UserId user);
+
+  /// Number of sessions instantiated so far.
+  size_t size() const;
+
+  /// Serializes scoring when the prototype is not clone-able (see
+  /// UserSession::recommender). Uncontended in the normal cloning path.
+  std::mutex& prototype_mu() { return prototype_mu_; }
+  bool prototype_shared() const { return prototype_shared_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<data::UserId, std::unique_ptr<UserSession>> sessions;
+  };
+
+  const data::Dataset* dataset_;
+  eval::Recommender* prototype_;
+  const int window_capacity_;
+  const int min_gap_;
+  bool prototype_shared_ = false;
+  std::mutex prototype_mu_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace serve
+}  // namespace reconsume

@@ -31,6 +31,45 @@ TEST(SelectTopNTest, ClampsToSize) {
   EXPECT_TRUE(top.empty());
 }
 
+TEST(SelectTopNHeapTest, MatchesSelectTopNOrder) {
+  std::vector<int> top;
+  SelectTopNHeap(std::vector<double>{0.5, 0.9, 0.5, 0.1}, 3, &top);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1);
+  EXPECT_EQ(top[1], 0);  // same tie-break as SelectTopN: lower index first
+  EXPECT_EQ(top[2], 2);
+
+  SelectTopNHeap(std::vector<double>{1.0, 2.0}, 10, &top);
+  EXPECT_EQ(top.size(), 2u);
+  SelectTopNHeap(std::vector<double>{1.0, 2.0}, 0, &top);
+  EXPECT_TRUE(top.empty());
+  SelectTopNHeap(std::vector<double>{}, 3, &top);
+  EXPECT_TRUE(top.empty());
+}
+
+// Bit-identical parity on adversarial inputs: heavy ties, every n, and the
+// serving path's assumption that top-n is a prefix of top-m for n <= m.
+TEST(SelectTopNHeapTest, ParityWithPartialSortOnTieHeavyInputs) {
+  // Deterministic pseudo-random scores drawn from few distinct values.
+  std::vector<double> scores;
+  uint64_t state = 0x243F6A8885A308D3ull;
+  for (int i = 0; i < 200; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    scores.push_back(static_cast<double>((state >> 59) % 7) * 0.25);
+  }
+  std::vector<int> expected, actual;
+  for (int n = 0; n <= 210; n += 3) {
+    SelectTopN(scores, n, &expected);
+    SelectTopNHeap(scores, n, &actual);
+    ASSERT_EQ(actual, expected) << "n=" << n;
+  }
+  // Prefix property across widths (what ScoreCache relies on).
+  std::vector<int> top5, top20;
+  SelectTopNHeap(scores, 5, &top5);
+  SelectTopNHeap(scores, 20, &top20);
+  ASSERT_EQ(std::vector<int>(top20.begin(), top20.begin() + 5), top5);
+}
+
 /// Scripted recommender: ranks candidates by a fixed per-item priority.
 class ScriptedRecommender : public Recommender {
  public:

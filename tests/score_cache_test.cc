@@ -1,0 +1,142 @@
+// ScoreCache: epoch-keyed hit/miss semantics, invalidate-on-observe,
+// prefix-serving coverage, and LRU capacity eviction.
+
+#include "serve/score_cache.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace reconsume {
+namespace serve {
+namespace {
+
+std::vector<core::RankedItem> MakeRanking(int n, double base_score) {
+  std::vector<core::RankedItem> items;
+  items.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    core::RankedItem item;
+    item.item = static_cast<data::ItemId>(100 + i);
+    item.score = base_score - i;
+    items.push_back(item);
+  }
+  return items;
+}
+
+TEST(ScoreCacheTest, MissThenHitAtSameEpoch) {
+  ScoreCache cache(/*capacity=*/64);
+  std::vector<core::RankedItem> out;
+  EXPECT_FALSE(cache.Lookup(/*user=*/3, /*epoch=*/7, /*top_n=*/5, &out));
+
+  cache.Insert(3, 7, 5, MakeRanking(5, 10.0));
+  ASSERT_TRUE(cache.Lookup(3, 7, 5, &out));
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0].item, 100);
+  EXPECT_DOUBLE_EQ(out[0].score, 10.0);
+
+  const ScoreCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.insertions, 1);
+}
+
+TEST(ScoreCacheTest, EpochMismatchMisses) {
+  ScoreCache cache(64);
+  cache.Insert(3, 7, 5, MakeRanking(5, 10.0));
+  std::vector<core::RankedItem> out;
+  EXPECT_FALSE(cache.Lookup(3, /*epoch=*/8, 5, &out));  // newer window state
+  EXPECT_FALSE(cache.Lookup(3, /*epoch=*/6, 5, &out));  // older window state
+  EXPECT_TRUE(cache.Lookup(3, 7, 5, &out));
+}
+
+TEST(ScoreCacheTest, WiderEntryServesNarrowerRequestAsPrefix) {
+  ScoreCache cache(64);
+  cache.Insert(1, 0, /*n_computed=*/10, MakeRanking(10, 20.0));
+  std::vector<core::RankedItem> out;
+  ASSERT_TRUE(cache.Lookup(1, 0, /*top_n=*/3, &out));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].item, 100);
+  EXPECT_EQ(out[2].item, 102);
+  // ...but a wider request than computed must re-score.
+  EXPECT_FALSE(cache.Lookup(1, 0, /*top_n=*/11, &out));
+}
+
+TEST(ScoreCacheTest, ExhaustedCandidatesServeAnyWidth) {
+  ScoreCache cache(64);
+  // Asked for 10, got 4: the candidate set is exhausted, so any top-n
+  // request sees the complete ranking.
+  cache.Insert(1, 0, /*n_computed=*/10, MakeRanking(4, 20.0));
+  std::vector<core::RankedItem> out;
+  ASSERT_TRUE(cache.Lookup(1, 0, /*top_n=*/50, &out));
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(ScoreCacheTest, InvalidateDropsOnlyThatUser) {
+  ScoreCache cache(64);
+  cache.Insert(1, 0, 5, MakeRanking(5, 1.0));
+  cache.Insert(2, 0, 5, MakeRanking(5, 2.0));
+  cache.Invalidate(1);  // the serve path calls this on Observe
+  std::vector<core::RankedItem> out;
+  EXPECT_FALSE(cache.Lookup(1, 0, 5, &out));
+  EXPECT_TRUE(cache.Lookup(2, 0, 5, &out));
+  EXPECT_EQ(cache.stats().invalidations, 1);
+  EXPECT_EQ(cache.size(), 1u);
+
+  cache.Invalidate(1);  // absent: a no-op, not an error
+  EXPECT_EQ(cache.stats().invalidations, 1);
+}
+
+TEST(ScoreCacheTest, InsertRefreshesExistingUserInPlace) {
+  ScoreCache cache(64);
+  cache.Insert(5, 0, 5, MakeRanking(5, 1.0));
+  cache.Insert(5, 1, 5, MakeRanking(5, 9.0));  // epoch advanced
+  std::vector<core::RankedItem> out;
+  EXPECT_FALSE(cache.Lookup(5, 0, 5, &out));
+  ASSERT_TRUE(cache.Lookup(5, 1, 5, &out));
+  EXPECT_DOUBLE_EQ(out[0].score, 9.0);
+  EXPECT_EQ(cache.size(), 1u);  // one entry per user, not one per epoch
+}
+
+TEST(ScoreCacheTest, CapacityEvictsLeastRecentlyUsed) {
+  // One shard so the LRU order is globally observable.
+  ScoreCache cache(/*capacity=*/2, /*num_shards=*/1);
+  cache.Insert(1, 0, 5, MakeRanking(5, 1.0));
+  cache.Insert(2, 0, 5, MakeRanking(5, 2.0));
+
+  // Touch user 1 so user 2 becomes the LRU victim.
+  std::vector<core::RankedItem> out;
+  ASSERT_TRUE(cache.Lookup(1, 0, 5, &out));
+
+  cache.Insert(3, 0, 5, MakeRanking(5, 3.0));
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_TRUE(cache.Lookup(1, 0, 5, &out));
+  EXPECT_FALSE(cache.Lookup(2, 0, 5, &out));  // evicted
+  EXPECT_TRUE(cache.Lookup(3, 0, 5, &out));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ScoreCacheTest, ClearEmptiesEveryShard) {
+  ScoreCache cache(64, /*num_shards=*/4);
+  for (data::UserId u = 0; u < 16; ++u) {
+    cache.Insert(u, 0, 5, MakeRanking(5, 1.0));
+  }
+  EXPECT_EQ(cache.size(), 16u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  std::vector<core::RankedItem> out;
+  EXPECT_FALSE(cache.Lookup(0, 0, 5, &out));
+}
+
+TEST(ScoreCacheTest, HitRateAggregates) {
+  ScoreCache cache(64);
+  cache.Insert(1, 0, 5, MakeRanking(5, 1.0));
+  std::vector<core::RankedItem> out;
+  EXPECT_TRUE(cache.Lookup(1, 0, 5, &out));
+  EXPECT_TRUE(cache.Lookup(1, 0, 5, &out));
+  EXPECT_FALSE(cache.Lookup(9, 0, 5, &out));
+  EXPECT_NEAR(cache.stats().HitRate(), 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace reconsume

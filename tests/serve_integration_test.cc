@@ -1,0 +1,254 @@
+// End-to-end tests of RecommendService: cached and uncached paths return
+// rankings identical to direct RecommendationSession scoring, Observe
+// advances the epoch and invalidates, concurrent mixed traffic is TSan-clean,
+// failpoints surface as response statuses, and the serve events reach an
+// attached sink.
+
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/recommendation_session.h"
+#include "core/ts_ppr.h"
+#include "data/synthetic.h"
+#include "obs/event.h"
+#include "util/failpoint.h"
+
+namespace reconsume {
+namespace serve {
+namespace {
+
+struct ServeFixture {
+  data::Dataset dataset;
+  std::unique_ptr<data::TrainTestSplit> split;
+  std::unique_ptr<core::TsPpr> pipeline;
+
+  explicit ServeFixture(double scale = 0.05) {
+    dataset = data::SyntheticTraceGenerator(data::GowallaLikeProfile(scale))
+                  .Generate()
+                  .ValueOrDie();
+    split = std::make_unique<data::TrainTestSplit>(
+        data::TrainTestSplit::Temporal(&dataset, 0.7).ValueOrDie());
+    core::TsPprPipelineConfig config;
+    pipeline = std::make_unique<core::TsPpr>(
+        core::TsPpr::Fit(*split, config).ValueOrDie());
+  }
+
+  ServeConfig Config(int threads = 4) const {
+    ServeConfig config;
+    config.num_threads = threads;
+    config.queue_capacity = 64;
+    config.cache_capacity = 256;
+    config.window_capacity = 100;
+    config.min_gap = 10;
+    return config;
+  }
+};
+
+void ExpectSameRanking(const std::vector<core::RankedItem>& a,
+                       const std::vector<core::RankedItem>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].item, b[i].item) << "rank " << i;
+    EXPECT_DOUBLE_EQ(a[i].score, b[i].score) << "rank " << i;
+    EXPECT_EQ(a[i].gap, b[i].gap) << "rank " << i;
+    EXPECT_EQ(a[i].count_in_window, b[i].count_in_window) << "rank " << i;
+  }
+}
+
+TEST(ServeIntegrationTest, MatchesDirectSessionCachedAndUncached) {
+  ServeFixture fixture;
+  RecommendService service(&fixture.dataset, fixture.pipeline->recommender(),
+                           fixture.Config());
+
+  for (data::UserId user = 0;
+       user < std::min<data::UserId>(
+                  8, static_cast<data::UserId>(fixture.dataset.num_users()));
+       ++user) {
+    // Ground truth: a private session over the same model and history.
+    core::RecommendationSession direct(fixture.pipeline->recommender(), user,
+                                       fixture.dataset.sequence(user), 100,
+                                       10);
+    const std::vector<core::RankedItem> expected = direct.RecommendTopN(10);
+
+    ServeResponse uncached = service.Recommend(user, 10).get();
+    ASSERT_TRUE(uncached.status.ok()) << uncached.status.ToString();
+    EXPECT_FALSE(uncached.cache_hit);
+    ExpectSameRanking(uncached.items, expected);
+
+    // Same epoch, same request: must be served from cache, bit-identical.
+    ServeResponse cached = service.Recommend(user, 10).get();
+    ASSERT_TRUE(cached.status.ok());
+    EXPECT_TRUE(cached.cache_hit);
+    EXPECT_EQ(cached.epoch, uncached.epoch);
+    ExpectSameRanking(cached.items, expected);
+
+    // Narrower request: the cached top-10 serves a top-3 as a prefix.
+    ServeResponse narrow = service.Recommend(user, 3).get();
+    ASSERT_TRUE(narrow.status.ok());
+    EXPECT_TRUE(narrow.cache_hit);
+    const std::vector<core::RankedItem> expected3 = direct.RecommendTopN(3);
+    ExpectSameRanking(narrow.items, expected3);
+  }
+  EXPECT_GT(service.cache_stats().hits, 0);
+}
+
+TEST(ServeIntegrationTest, ObserveAdvancesEpochAndInvalidates) {
+  ServeFixture fixture;
+  RecommendService service(&fixture.dataset, fixture.pipeline->recommender(),
+                           fixture.Config());
+  const data::UserId user = 0;
+  const auto& history = fixture.dataset.sequence(user);
+  ASSERT_FALSE(history.empty());
+
+  ServeResponse before = service.Recommend(user, 5).get();
+  ASSERT_TRUE(before.status.ok());
+  EXPECT_EQ(before.epoch, static_cast<int64_t>(history.size()));
+
+  ServeResponse observed = service.Observe(user, history.back()).get();
+  ASSERT_TRUE(observed.status.ok());
+  EXPECT_EQ(observed.epoch, before.epoch + 1);
+
+  // The old cached ranking must not serve the new window state.
+  ServeResponse after = service.Recommend(user, 5).get();
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_FALSE(after.cache_hit);
+  EXPECT_EQ(after.epoch, before.epoch + 1);
+
+  // And the post-observe ranking matches a direct session fed the same event.
+  core::RecommendationSession direct(fixture.pipeline->recommender(), user,
+                                     history, 100, 10);
+  direct.Observe(history.back());
+  ExpectSameRanking(after.items, direct.RecommendTopN(5));
+}
+
+TEST(ServeIntegrationTest, RejectsBadRequests) {
+  ServeFixture fixture;
+  RecommendService service(&fixture.dataset, fixture.pipeline->recommender(),
+                           fixture.Config());
+  ServeResponse bad_n = service.Recommend(0, 0).get();
+  EXPECT_EQ(bad_n.status.code(), StatusCode::kInvalidArgument);
+  ServeResponse bad_item = service.Observe(0, data::kInvalidItem).get();
+  EXPECT_EQ(bad_item.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeIntegrationTest, ShutdownResolvesLateRequests) {
+  ServeFixture fixture;
+  RecommendService service(&fixture.dataset, fixture.pipeline->recommender(),
+                           fixture.Config());
+  ServeResponse ok = service.Recommend(0, 5).get();
+  ASSERT_TRUE(ok.status.ok());
+  service.Shutdown();
+  service.Shutdown();  // idempotent
+  ServeResponse late = service.Recommend(0, 5).get();
+  EXPECT_EQ(late.status.code(), StatusCode::kFailedPrecondition);
+}
+
+// The TSan target: many clients, mixed recommend/observe on overlapping
+// users, every response checked for internal consistency.
+TEST(ServeIntegrationTest, ConcurrentMixedTrafficIsConsistent) {
+  ServeFixture fixture;
+  RecommendService service(&fixture.dataset, fixture.pipeline->recommender(),
+                           fixture.Config(/*threads=*/4));
+  const auto num_users =
+      static_cast<data::UserId>(fixture.dataset.num_users());
+
+  constexpr int kClients = 6;
+  constexpr int kRequestsPerClient = 40;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const auto user =
+            static_cast<data::UserId>((c + i) % std::min<data::UserId>(
+                                                    num_users, 6));
+        if (i % 7 == 3) {
+          const auto& history = fixture.dataset.sequence(user);
+          ServeResponse r =
+              service.Observe(user, history[static_cast<size_t>(i) %
+                                            history.size()])
+                  .get();
+          EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+        } else {
+          ServeResponse r = service.Recommend(user, 5).get();
+          EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+          EXPECT_LE(r.items.size(), 5u);
+          for (size_t k = 1; k < r.items.size(); ++k) {
+            EXPECT_GE(r.items[k - 1].score, r.items[k].score);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  service.Shutdown();
+  EXPECT_EQ(service.requests_served(), kClients * kRequestsPerClient);
+}
+
+#if RECONSUME_FAILPOINTS_ENABLED
+TEST(ServeIntegrationTest, FailpointsSurfaceAsResponseStatus) {
+  ServeFixture fixture;
+  RecommendService service(&fixture.dataset, fixture.pipeline->recommender(),
+                           fixture.Config(/*threads=*/1));
+  {
+    util::ScopedFailpoint fp("serve/score", "error-once");
+    ServeResponse r = service.Recommend(0, 5).get();
+    EXPECT_FALSE(r.status.ok());
+    EXPECT_TRUE(r.items.empty());
+  }
+  {
+    util::ScopedFailpoint fp("serve/cache_lookup", "error-once");
+    ServeResponse r = service.Recommend(0, 5).get();
+    EXPECT_FALSE(r.status.ok());
+  }
+  {
+    util::ScopedFailpoint fp("serve/enqueue", "error-once");
+    ServeResponse r = service.Recommend(0, 5).get();
+    EXPECT_FALSE(r.status.ok());
+  }
+  // An injected failure must not poison later requests.
+  ServeResponse r = service.Recommend(0, 5).get();
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+}
+#endif  // RECONSUME_FAILPOINTS_ENABLED
+
+TEST(ServeIntegrationTest, EmitsServeEvents) {
+  obs::CaptureSink sink;
+  obs::EventStream::Global().Attach(&sink);
+  {
+    ServeFixture fixture;
+    RecommendService service(&fixture.dataset,
+                             fixture.pipeline->recommender(),
+                             fixture.Config(/*threads=*/2));
+    ASSERT_TRUE(service.Recommend(0, 5).get().status.ok());
+    ASSERT_TRUE(service.Recommend(0, 5).get().status.ok());
+    service.Shutdown();
+  }
+  obs::EventStream::Global().Detach(&sink);
+
+  int serve_start = 0, request_done = 0, cache_hits = 0;
+  for (const obs::Event& event : sink.events()) {
+    if (event.type() == "serve_start") {
+      ++serve_start;
+      EXPECT_EQ(event.Number("threads"), 2.0);
+    } else if (event.type() == "request_done") {
+      ++request_done;
+      EXPECT_NE(event.Find("kind"), nullptr);
+      EXPECT_GE(event.Number("latency_us"), 0.0);
+      if (event.Number("cache_hit") != 0.0) ++cache_hits;
+    }
+  }
+  EXPECT_EQ(serve_start, 1);
+  EXPECT_EQ(request_done, 2);
+  EXPECT_EQ(cache_hits, 1);  // the second identical query hit the cache
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace reconsume

@@ -1,0 +1,149 @@
+// BoundedQueue: FIFO order, backpressure on the full queue, and the
+// shutdown-drain contract the serve workers depend on.
+
+#include "serve/request_queue.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace reconsume {
+namespace serve {
+namespace {
+
+TEST(BoundedQueueTest, FifoSingleThread) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.Push(i));
+  EXPECT_EQ(queue.size(), 5u);
+  int out = -1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(queue.Pop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedQueueTest, TryPushRefusesWhenFull) {
+  BoundedQueue<int> queue(2);
+  int a = 1, b = 2, c = 3;
+  EXPECT_TRUE(queue.TryPush(a));
+  EXPECT_TRUE(queue.TryPush(b));
+  EXPECT_FALSE(queue.TryPush(c));
+  EXPECT_EQ(c, 3);  // rejected item is left intact
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilPopMakesRoom) {
+  BoundedQueue<int> queue(1);
+  EXPECT_TRUE(queue.Push(1));
+
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    int item = 2;
+    EXPECT_TRUE(queue.Push(item));  // blocks: the queue is full
+    pushed.store(true);
+  });
+
+  // The producer cannot finish while the queue stays full. A short sleep is
+  // not proof, but a regression here turns it into a reliable failure below.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+
+  int out = -1;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(BoundedQueueTest, ShutdownDrainsRemainingItems) {
+  BoundedQueue<int> queue(8);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  queue.Shutdown();
+
+  int rejected = 3;
+  EXPECT_FALSE(queue.Push(rejected));
+  EXPECT_EQ(rejected, 3);  // failed Push leaves the item with the caller
+  EXPECT_FALSE(queue.TryPush(rejected));
+
+  int out = -1;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(queue.Pop(&out));  // drained: every later Pop fails fast
+  EXPECT_FALSE(queue.Pop(&out));
+  EXPECT_TRUE(queue.shut_down());
+}
+
+TEST(BoundedQueueTest, ShutdownWakesBlockedConsumer) {
+  BoundedQueue<int> queue(4);
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    int out = -1;
+    EXPECT_FALSE(queue.Pop(&out));  // blocks on the empty queue
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(returned.load());
+  queue.Shutdown();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(BoundedQueueTest, ShutdownWakesBlockedProducer) {
+  BoundedQueue<int> queue(1);
+  EXPECT_TRUE(queue.Push(1));
+  std::thread producer([&] {
+    int item = 2;
+    EXPECT_FALSE(queue.Push(item));  // blocks full, then fails on shutdown
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.Shutdown();
+  producer.join();
+}
+
+TEST(BoundedQueueTest, ManyProducersManyConsumersDeliverEverything) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+  BoundedQueue<int> queue(16);  // small: forces constant backpressure
+
+  std::atomic<int64_t> sum{0};
+  std::atomic<int> count{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      int out = -1;
+      while (queue.Pop(&out)) {
+        sum.fetch_add(out, std::memory_order_relaxed);
+        count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int item = p * kPerProducer + i;
+        ASSERT_TRUE(queue.Push(item));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.Shutdown();
+  for (auto& t : threads) t.join();
+
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(count.load(), total);
+  EXPECT_EQ(sum.load(), static_cast<int64_t>(total) * (total - 1) / 2);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace reconsume

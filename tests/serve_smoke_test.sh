@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Serve-path smoke test: `reconsume_cli serve` must return the same ranked
+# items as the offline `recommend` command for the same user, the second
+# identical query must come from the score cache, and observe must bump the
+# epoch. Invoked by ctest with the path to the reconsume_cli binary as $1.
+set -euo pipefail
+
+CLI="$1"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+"$CLI" generate --profile=gowalla --scale=0.1 --out="$WORKDIR/trace.tsv" \
+    --seed=7 | grep -q "wrote"
+"$CLI" train --data="$WORKDIR/trace.tsv" --model="$WORKDIR/model.bin" \
+    --k=16 | grep -q "converged"
+
+# Ground truth: the offline recommend command for the same user (item lines
+# are the two-space-indented "  1. <item> score ..." rows).
+"$CLI" recommend --data="$WORKDIR/trace.tsv" --model="$WORKDIR/model.bin" \
+    --user=0 --n=5 | grep '^  ' > "$WORKDIR/expected.txt"
+test -s "$WORKDIR/expected.txt"
+
+# An item user 0 verifiably consumed: the top-ranked repeat recommendation.
+ITEM=$(awk 'NR==1{print $2}' "$WORKDIR/expected.txt")
+
+# The same query through the serving layer, twice (second must be cached),
+# then an observe and a fresh query at the new epoch.
+"$CLI" serve --data="$WORKDIR/trace.tsv" --model="$WORKDIR/model.bin" \
+    --serve-threads=2 --cache-capacity=16 > "$WORKDIR/serve_out.txt" <<EOF
+recommend 0 5
+recommend 0 5
+observe 0 $ITEM
+recommend 0 5
+stats
+quit
+EOF
+
+grep -q "^serving " "$WORKDIR/serve_out.txt"
+# The first serve response must rank exactly what offline recommend ranked.
+grep '^  ' "$WORKDIR/serve_out.txt" > "$WORKDIR/all_served.txt"
+head -n "$(wc -l < "$WORKDIR/expected.txt")" "$WORKDIR/all_served.txt" \
+    > "$WORKDIR/served.txt"
+diff -u "$WORKDIR/expected.txt" "$WORKDIR/served.txt"
+
+# Exactly one of the three recommends is served from cache (the repeat at the
+# unchanged epoch; the post-observe query re-scores at the new epoch).
+test "$(grep -c ', cached)' "$WORKDIR/serve_out.txt")" -eq 1
+grep -q "^observed 0 -> $ITEM" "$WORKDIR/serve_out.txt"
+grep -q "hit rate" "$WORKDIR/serve_out.txt"
+grep -q "latency us:" "$WORKDIR/serve_out.txt"
+
+# Epochs: the observe line's epoch is one past the first recommend's.
+FIRST_EPOCH=$(grep -m1 '^top-' "$WORKDIR/serve_out.txt" \
+    | sed 's/.*epoch \([0-9]*\).*/\1/')
+OBS_EPOCH=$(sed -n 's/^observed .*epoch \([0-9]*\).*/\1/p' "$WORKDIR/serve_out.txt")
+test "$OBS_EPOCH" -eq $((FIRST_EPOCH + 1))
+
+# Unknown users/items report errors without killing the loop.
+printf 'recommend nosuchuser 3\nstats\nquit\n' | \
+    "$CLI" serve --data="$WORKDIR/trace.tsv" --model="$WORKDIR/model.bin" \
+    > "$WORKDIR/errors_out.txt"
+grep -q "error: user 'nosuchuser'" "$WORKDIR/errors_out.txt"
+
+echo "serve smoke OK"

@@ -18,6 +18,10 @@ rely on (see docs/correctness_tooling.md):
     obs::MonotonicNanos so every duration shares one time source and lands
     in the same telemetry (see docs/observability.md)
   * every header in src/ starts with #pragma once
+  * every --flag mentioned in docs/*.md or README.md is actually registered
+    somewhere: by a FlagSet Get*/Has call site in C++ (src/, tools/, bench/)
+    or an argparse add_argument in tools/*.py — documentation cannot drift
+    ahead of (or behind) the CLI surface
 
 Exit status: 0 when clean, 1 when any finding is reported.
 Usage: tools/lint_reconsume.py [--root DIR]
@@ -67,6 +71,49 @@ RAW_OFSTREAM_ALLOWED = {"src/util/fileio.cc"}
 
 # Files exempt from the raw-clock rule: the two sanctioned clock wrappers.
 RAW_CLOCK_ALLOWED = {"src/util/stopwatch.h", "src/obs/trace.cc"}
+
+# --flags that belong to external tools the docs legitimately invoke (cmake,
+# ctest, clang-tidy driver, google-benchmark), not to this repo's FlagSet.
+EXTERNAL_FLAGS = {"build", "test-dir", "output-on-failure", "werror", "help"}
+
+# FlagSet registration happens at the Get*/Has call site; these patterns are
+# the harvest for "which flags exist".
+CXX_FLAG_RE = re.compile(r'(?:Get(?:String|Int|Double|Bool)|Has)\s*\(\s*"([a-z0-9][a-z0-9-]*)"')
+PY_FLAG_RE = re.compile(r'add_argument\(\s*"--([a-z0-9][a-z0-9-]*)"')
+DOC_FLAG_RE = re.compile(r"--([A-Za-z0-9][A-Za-z0-9_-]*)")
+
+
+def harvest_registered_flags(root: Path) -> set[str]:
+    """Collects every flag name the tree can actually parse."""
+    flags: set[str] = set()
+    for pattern in ("src/**/*.h", "src/**/*.cc", "tools/**/*.cc",
+                    "bench/**/*.h", "bench/**/*.cc"):
+        for path in root.glob(pattern):
+            flags.update(CXX_FLAG_RE.findall(path.read_text(encoding="utf-8")))
+    for path in root.glob("tools/*.py"):
+        flags.update(PY_FLAG_RE.findall(path.read_text(encoding="utf-8")))
+    return flags
+
+
+def lint_doc_flags(root: Path, findings: list[str]) -> int:
+    """Flags --tokens in the docs that no CLI/bench/tool registers."""
+    registered = harvest_registered_flags(root) | EXTERNAL_FLAGS
+    docs = sorted(root.glob("docs/**/*.md")) + [root / "README.md"]
+    checked = 0
+    for path in docs:
+        if not path.is_file():
+            continue
+        checked += 1
+        rel = path.relative_to(root).as_posix()
+        for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            for name in DOC_FLAG_RE.findall(line):
+                if name in registered or name.startswith("benchmark_"):
+                    continue
+                findings.append(
+                    f"{rel}:{lineno}: [docs-flag] '--{name}' is not a flag "
+                    "any CLI/bench/tool registers — stale or misspelled docs")
+    return checked
 
 COMMENT_RE = re.compile(r"//.*$")
 STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
@@ -132,13 +179,14 @@ def main() -> int:
         rel = path.relative_to(root).as_posix()
         require_pragma_once = rel.startswith("src/") and rel.endswith(".h")
         lint_file(path, rel, require_pragma_once, findings)
+    doc_count = lint_doc_flags(root, findings)
 
     if findings:
         print(f"lint_reconsume: {len(findings)} finding(s)")
         for finding in findings:
             print("  " + finding)
         return 1
-    print(f"lint_reconsume: OK ({len(targets)} files clean)")
+    print(f"lint_reconsume: OK ({len(targets)} files, {doc_count} docs clean)")
     return 0
 
 

@@ -13,6 +13,16 @@
 //                          [--omega=10 --window=100 --train-fraction=0.7]
 //   reconsume_cli recommend --data=trace.tsv --model=tsppr.bin --user=<key>
 //                          [--n=10 --omega=10 --window=100]
+//   reconsume_cli serve    --data=trace.tsv --model=tsppr.bin
+//                          [--serve-threads=4 --queue-capacity=1024
+//                           --cache-capacity=4096 --omega=10 --window=100
+//                           --train-fraction=0.7]
+//
+// `serve` reads one request per line from stdin (see docs/serving.md):
+//   recommend <user-key> [n]     rank the user's current top-n
+//   observe <user-key> <item-key>  append one consumption event
+//   stats                        print QPS counters and cache hit rate
+//   quit                         drain and exit (EOF works too)
 //
 // The trace format is the TSV event file of data::SaveDatasetTsv
 // ("user \t item \t time"); real Gowalla / Last.fm dumps load with
@@ -42,6 +52,7 @@
 #include "eval/significance.h"
 #include "eval/table.h"
 #include "obs/telemetry.h"
+#include "serve/server.h"
 #include "util/flags.h"
 #include "util/string_util.h"
 
@@ -57,7 +68,7 @@ int Fail(const Status& status) {
 int Usage() {
   std::fprintf(stderr,
                "usage: reconsume_cli <generate|stats|train|evaluate|"
-               "recommend|compare> [flags]\n(see the header of tools/reconsume_cli.cc"
+               "recommend|serve|compare> [flags]\n(see the header of tools/reconsume_cli.cc"
                " for the full flag list)\n");
   return 2;
 }
@@ -375,6 +386,152 @@ Result<int> CmdRecommend(const util::FlagSet& flags) {
   return 0;
 }
 
+void PrintRankedItems(const data::Dataset& dataset,
+                      const std::vector<core::RankedItem>& items) {
+  for (size_t rank = 0; rank < items.size(); ++rank) {
+    const core::RankedItem& r = items[rank];
+    std::printf("  %2zu. %-12s score %+.4f  (gap %d, %d in window)\n",
+                rank + 1, dataset.item_key(r.item).c_str(), r.score, r.gap,
+                r.count_in_window);
+  }
+}
+
+void PrintServeStats(const serve::RecommendService& service) {
+  const serve::ScoreCacheStats cache = service.cache_stats();
+  const obs::HistogramSnapshot latency = service.LatencySnapshot();
+  std::printf("served %s requests across %zu sessions\n",
+              util::FormatWithCommas(service.requests_served()).c_str(),
+              service.num_sessions());
+  std::printf("cache: %s hits / %s misses (hit rate %.3f), %s evictions\n",
+              util::FormatWithCommas(cache.hits).c_str(),
+              util::FormatWithCommas(cache.misses).c_str(), cache.HitRate(),
+              util::FormatWithCommas(cache.evictions).c_str());
+  std::printf("latency us: p50 %.1f  p99 %.1f  p999 %.1f\n",
+              latency.Quantile(0.5), latency.Quantile(0.99),
+              latency.Quantile(0.999));
+}
+
+Result<int> CmdServe(const util::FlagSet& flags) {
+  RECONSUME_ASSIGN_OR_RETURN(const data::Dataset dataset, LoadData(flags));
+  RECONSUME_ASSIGN_OR_RETURN(const std::string model_path,
+                             flags.GetString("model", ""));
+  RECONSUME_ASSIGN_OR_RETURN(const ProtocolFlags protocol,
+                             ReadProtocolFlags(flags));
+  RECONSUME_ASSIGN_OR_RETURN(const int64_t serve_threads,
+                             flags.GetInt("serve-threads", 4));
+  RECONSUME_ASSIGN_OR_RETURN(const int64_t queue_capacity,
+                             flags.GetInt("queue-capacity", 1024));
+  RECONSUME_ASSIGN_OR_RETURN(const int64_t cache_capacity,
+                             flags.GetInt("cache-capacity", 4096));
+  RECONSUME_RETURN_NOT_OK(flags.CheckNoUnusedFlags());
+  if (model_path.empty()) {
+    return Status::InvalidArgument("--model=<model file> is required");
+  }
+  if (serve_threads < 1 || queue_capacity < 1 || cache_capacity < 1) {
+    return Status::InvalidArgument(
+        "--serve-threads, --queue-capacity, --cache-capacity must be >= 1");
+  }
+
+  RECONSUME_ASSIGN_OR_RETURN(const core::TsPprModel model,
+                             core::LoadModel(model_path));
+  RECONSUME_ASSIGN_OR_RETURN(
+      const data::TrainTestSplit split,
+      data::TrainTestSplit::Temporal(&dataset, protocol.train_fraction));
+  RECONSUME_ASSIGN_OR_RETURN(
+      const features::StaticFeatureTable table,
+      features::StaticFeatureTable::Compute(split, protocol.window));
+  const features::FeatureExtractor extractor(
+      &table, features::FeatureConfig::AllFeatures());
+  if (extractor.dimension() != model.feature_dim()) {
+    return Status::InvalidArgument("model feature_dim mismatch");
+  }
+  core::TsPprRecommender recommender(&model, &extractor);
+
+  serve::ServeConfig config;
+  config.num_threads = static_cast<int>(serve_threads);
+  config.queue_capacity = static_cast<size_t>(queue_capacity);
+  config.cache_capacity = static_cast<size_t>(cache_capacity);
+  config.window_capacity = protocol.window;
+  config.min_gap = protocol.omega;
+  serve::RecommendService service(&dataset, &recommender, config);
+  std::printf("serving %zu users on %d threads (queue %zu, cache %zu); "
+              "reading requests from stdin\n",
+              dataset.num_users(), config.num_threads, config.queue_capacity,
+              config.cache_capacity);
+  std::fflush(stdout);
+
+  char line[4096];
+  while (std::fgets(line, sizeof(line), stdin) != nullptr) {
+    const std::vector<std::string_view> tokens =
+        util::SplitWhitespace(util::Trim(line));
+    if (tokens.empty()) continue;
+    const std::string_view verb = tokens[0];
+    if (verb == "quit" || verb == "exit") break;
+    if (verb == "stats") {
+      PrintServeStats(service);
+      std::fflush(stdout);
+      continue;
+    }
+    if (verb == "recommend" && (tokens.size() == 2 || tokens.size() == 3)) {
+      const std::string user_key(tokens[1]);
+      int64_t n = 10;
+      if (tokens.size() == 3) {
+        auto parsed = util::ParseInt64(tokens[2]);
+        if (!parsed.ok() || parsed.ValueOrDie() < 1) {
+          std::printf("error: bad top-n '%s'\n", std::string(tokens[2]).c_str());
+          continue;
+        }
+        n = parsed.ValueOrDie();
+      }
+      const data::UserId user = dataset.FindUser(user_key);
+      if (user == data::kInvalidUser) {
+        std::printf("error: user '%s' not in the dataset\n", user_key.c_str());
+        continue;
+      }
+      serve::ServeResponse response =
+          service.Recommend(user, static_cast<int>(n)).get();
+      if (!response.status.ok()) {
+        std::printf("error: %s\n", response.status.ToString().c_str());
+        continue;
+      }
+      std::printf("top-%zu for user %s (epoch %lld%s):\n",
+                  response.items.size(), user_key.c_str(),
+                  static_cast<long long>(response.epoch),
+                  response.cache_hit ? ", cached" : "");
+      PrintRankedItems(dataset, response.items);
+      std::fflush(stdout);
+      continue;
+    }
+    if (verb == "observe" && tokens.size() == 3) {
+      const std::string user_key(tokens[1]);
+      const std::string item_key(tokens[2]);
+      const data::UserId user = dataset.FindUser(user_key);
+      const data::ItemId item = dataset.FindItem(item_key);
+      if (user == data::kInvalidUser || item == data::kInvalidItem) {
+        std::printf("error: unknown user '%s' or item '%s'\n",
+                    user_key.c_str(), item_key.c_str());
+        continue;
+      }
+      serve::ServeResponse response = service.Observe(user, item).get();
+      if (!response.status.ok()) {
+        std::printf("error: %s\n", response.status.ToString().c_str());
+        continue;
+      }
+      std::printf("observed %s -> %s (epoch %lld)\n", user_key.c_str(),
+                  item_key.c_str(), static_cast<long long>(response.epoch));
+      std::fflush(stdout);
+      continue;
+    }
+    std::printf("error: bad request '%s' (try: recommend <user> [n] | "
+                "observe <user> <item> | stats | quit)\n",
+                std::string(util::Trim(line)).c_str());
+    std::fflush(stdout);
+  }
+  service.Shutdown();
+  PrintServeStats(service);
+  return 0;
+}
+
 Result<int> CmdCompare(const util::FlagSet& flags) {
   RECONSUME_ASSIGN_OR_RETURN(const data::Dataset dataset, LoadData(flags));
   RECONSUME_ASSIGN_OR_RETURN(const std::string model_path,
@@ -458,6 +615,8 @@ int main(int argc, char** argv) {
     result = CmdEvaluate(flags);
   } else if (command == "recommend") {
     result = CmdRecommend(flags);
+  } else if (command == "serve") {
+    result = CmdServe(flags);
   } else if (command == "compare") {
     result = CmdCompare(flags);
   } else {

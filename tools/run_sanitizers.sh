@@ -5,8 +5,10 @@
 # Modes:
 #   tsan   ThreadSanitizer over the concurrency-sensitive tests only
 #          (thread_pool_test, parallel_trainer_test, parallel_eval_test,
-#          plus the lock-free observability layer: obs_metrics_test,
-#          obs_trace_test, telemetry_integration_test).
+#          the lock-free observability layer: obs_metrics_test,
+#          obs_trace_test, telemetry_integration_test, plus the serving
+#          layer: serve_queue_test, score_cache_test,
+#          serve_integration_test — see docs/serving.md).
 #          The Hogwild trainer is written to be TSan-clean: worker-private
 #          parameters are plain memory touched by one thread, shared item
 #          factors are accessed only through relaxed std::atomic_ref, and the
@@ -39,7 +41,8 @@ run_tsan() {
     -DRECONSUME_BUILD_EXAMPLES=OFF \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   local tsan_tests=(thread_pool_test parallel_trainer_test parallel_eval_test
-                    obs_metrics_test obs_trace_test telemetry_integration_test)
+                    obs_metrics_test obs_trace_test telemetry_integration_test
+                    serve_queue_test score_cache_test serve_integration_test)
   cmake --build "$build_dir" -j "$JOBS" --target "${tsan_tests[@]}"
 
   # Fail on any race report even if the test would otherwise pass.

@@ -17,6 +17,13 @@ the metrics file (as a counter, gauge, or histogram) and, for counters and
 histograms, that it actually observed something — the CI telemetry-smoke job
 uses this to pin the trainer/checkpoint instrumentation end to end.
 
+--require-serve-events additionally asserts the serving layer's event
+protocol inside --events (see docs/serving.md): exactly one serve_start per
+service carrying its configuration, at least one request_done carrying the
+per-request stamps (kind/user/cache_hit/epoch/latency_us/ok), and every
+cache_evict naming the user and epoch it dropped. The CI serve-smoke job
+uses this against a `reconsume_cli serve --events-out=...` session.
+
 Exit status: 0 when every given artifact validates, 1 otherwise.
 """
 
@@ -82,6 +89,49 @@ def validate_events(path: Path, errors: list[str]) -> None:
             last_end = len(types) - 1 - types[::-1].index("train_end")
             if last_end < last_epoch:
                 fail(errors, f"{path}: epoch event after train_end")
+
+
+def validate_serve_events(path: Path, errors: list[str]) -> None:
+    """Checks the serve-layer event protocol (docs/serving.md §5)."""
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        fail(errors, f"{path}: unreadable: {exc}")
+        return
+    events = []
+    for line in lines:
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # validate_events already reports malformed lines
+        if isinstance(event, dict):
+            events.append(event)
+
+    starts = [e for e in events if e.get("type") == "serve_start"]
+    if len(starts) != 1:
+        fail(errors, f"{path}: expected exactly one serve_start event, "
+                     f"found {len(starts)}")
+    for event in starts:
+        for key in ("threads", "queue_capacity", "cache_capacity",
+                    "window", "min_gap"):
+            if key not in event:
+                fail(errors, f"{path}: serve_start missing '{key}'")
+
+    done = [e for e in events if e.get("type") == "request_done"]
+    if not done:
+        fail(errors, f"{path}: no request_done events — the serve session "
+                     "handled no requests")
+    for i, event in enumerate(done):
+        for key in ("kind", "user", "cache_hit", "epoch", "latency_us", "ok"):
+            if key not in event:
+                fail(errors, f"{path}: request_done[{i}] missing '{key}'")
+                break
+
+    for i, event in enumerate(e for e in events
+                              if e.get("type") == "cache_evict"):
+        for key in ("user", "epoch"):
+            if key not in event:
+                fail(errors, f"{path}: cache_evict[{i}] missing '{key}'")
 
 
 def load_json(path: Path, errors: list[str]):
@@ -173,16 +223,23 @@ def main() -> int:
                         metavar="NAME",
                         help="metric that must exist (and be non-empty) in "
                              "--metrics; repeatable")
+    parser.add_argument("--require-serve-events", action="store_true",
+                        help="assert the serve_start/request_done/cache_evict "
+                             "protocol in --events (docs/serving.md)")
     args = parser.parse_args()
     if not (args.events or args.metrics or args.trace):
         parser.error("give at least one of --events/--metrics/--trace")
     if args.require_metric and not args.metrics:
         parser.error("--require-metric needs --metrics")
+    if args.require_serve_events and not args.events:
+        parser.error("--require-serve-events needs --events")
 
     errors: list[str] = []
     checked = []
     if args.events:
         validate_events(args.events, errors)
+        if args.require_serve_events:
+            validate_serve_events(args.events, errors)
         checked.append(str(args.events))
     if args.metrics:
         validate_metrics(args.metrics, args.require_metric, errors)
