@@ -16,6 +16,12 @@
 // CheckpointManager writes snapshots atomically (temp file + fsync + rename)
 // under a retention policy and loads the newest file that passes
 // verification, skipping corrupt or truncated ones. See docs/robustness.md.
+//
+// Threading contract: CheckpointManager is single-writer by design — the
+// trainer calls Save only from the convergence-check barrier, where every
+// other worker is quiesced, so the manager needs (and has) no locks and no
+// thread-safety annotations (docs/static_analysis.md §limits). Concurrent
+// Save calls from multiple threads are a caller bug, not a supported mode.
 
 #pragma once
 

@@ -12,6 +12,14 @@
 //    coordinated: workers run lockstep rounds of `check_every` total steps
 //    (counted by one atomic step counter) separated by barriers at which a
 //    single worker evaluates the small batch on the quiesced model.
+//
+// Threading contract: the trainer holds no mutexes at all — its concurrency
+// is atomics plus std::barrier, which Clang Thread Safety Analysis cannot
+// model (docs/static_analysis.md §limits). The invariants that substitute
+// for lock annotations here: V is touched only through std::atomic_ref,
+// per-user rows are partition-private by the sharding, and every cross-round
+// read of the quiesced model happens after a barrier arrival. TSan in CI is
+// the checker of record for this file, not -Wthread-safety.
 
 #pragma once
 

@@ -97,17 +97,17 @@ std::string Event::ToJsonLine() const {
 }
 
 void CaptureSink::Emit(const Event& event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   events_.push_back(event);
 }
 
 std::vector<Event> CaptureSink::events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return events_;
 }
 
 void CaptureSink::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   events_.clear();
 }
 
@@ -116,14 +116,14 @@ JsonlFileSink::~JsonlFileSink() {
 }
 
 void JsonlFileSink::Emit(const Event& event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   buffer_ += event.ToJsonLine();
   buffer_ += '\n';
   dirty_ = true;
 }
 
 Status JsonlFileSink::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (!dirty_) return Status::OK();
   RECONSUME_RETURN_NOT_OK(util::AtomicWriteFile(path_, buffer_));
   dirty_ = false;
@@ -136,7 +136,7 @@ EventStream& EventStream::Global() {
 }
 
 void EventStream::Attach(EventSink* sink) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (std::find(sinks_.begin(), sinks_.end(), sink) == sinks_.end()) {
     sinks_.push_back(sink);
   }
@@ -144,24 +144,41 @@ void EventStream::Attach(EventSink* sink) {
 }
 
 void EventStream::Detach(EventSink* sink) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Taking emit_mu_ first (the same order Emit uses) makes Detach a drain
+  // barrier: once it returns, no emission can still be calling into `sink`.
+  util::MutexLock emit_lock(&emit_mu_);
+  util::MutexLock lock(&mu_);
   sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
   enabled_.store(!sinks_.empty(), std::memory_order_relaxed);
 }
 
 void EventStream::Emit(Event event) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (sinks_.empty()) return;
-  if (event.seq < 0) event.seq = next_seq_++;
+  // Sample clock and thread id before touching any stream lock: ThisThreadLog
+  // takes the trace recorder's registration lock, and nesting that inside the
+  // stream's locks would couple the two subsystems' lock orders.
   if (event.t_ns < 0) event.t_ns = MonotonicNanos();
   if (event.tid < 0) event.tid = TraceRecorder::Global().ThisThreadLog()->tid;
-  for (EventSink* sink : sinks_) sink->Emit(event);
+  util::MutexLock emit_lock(&emit_mu_);
+  std::vector<EventSink*> sinks;
+  {
+    util::MutexLock lock(&mu_);
+    if (sinks_.empty()) return;
+    sinks = sinks_;
+  }
+  if (event.seq < 0) event.seq = next_seq_++;
+  // Fan out while holding only emit_mu_ (serialization), never mu_ — sinks
+  // are free to log or attach/detach other sinks from their callback.
+  for (EventSink* sink : sinks) sink->Emit(event);
 }
 
 Status EventStream::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<EventSink*> sinks;
+  {
+    util::MutexLock lock(&mu_);
+    sinks = sinks_;
+  }
   Status first = Status::OK();
-  for (EventSink* sink : sinks_) {
+  for (EventSink* sink : sinks) {
     const Status status = sink->Flush();
     if (first.ok() && !status.ok()) first = status;
   }

@@ -17,12 +17,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace reconsume {
 namespace obs {
@@ -76,9 +76,12 @@ class Event {
   std::vector<Field> fields_;
 };
 
-/// \brief Receives emitted events. Implementations must tolerate concurrent
-/// Emit calls being serialized by the stream (Emit is called under the
-/// stream's lock, one event at a time, in seq order).
+/// \brief Receives emitted events. The stream serializes Emit calls under
+/// its emission lock (one event at a time, in seq order), but does NOT hold
+/// the sink-registration lock during the callback — a sink may therefore
+/// log, emit metrics, or attach/detach *other* sinks from inside Emit. A
+/// sink must not detach itself from within its own Emit (Detach waits for
+/// in-flight emissions to drain, so that self-call would deadlock).
 class EventSink {
  public:
   virtual ~EventSink() = default;
@@ -96,8 +99,8 @@ class CaptureSink : public EventSink {
   void Clear();
 
  private:
-  mutable std::mutex mu_;
-  std::vector<Event> events_;
+  mutable util::Mutex mu_;
+  std::vector<Event> events_ RC_GUARDED_BY(mu_);
 };
 
 /// \brief JSONL file sink. Lines buffer in memory and Flush() writes the
@@ -114,10 +117,11 @@ class JsonlFileSink : public EventSink {
   const std::string& path() const { return path_; }
 
  private:
+  /// Immutable after construction. rc:unguarded(set-once-in-ctor)
   std::string path_;
-  std::mutex mu_;
-  std::string buffer_;
-  bool dirty_ = false;
+  util::Mutex mu_;
+  std::string buffer_ RC_GUARDED_BY(mu_);
+  bool dirty_ RC_GUARDED_BY(mu_) = false;
 };
 
 /// \brief Global fan-out point for telemetry events.
@@ -127,19 +131,24 @@ class EventStream {
 
   /// Attaches a sink (not owned; detach before destroying it). The stream
   /// is enabled while at least one sink is attached.
-  void Attach(EventSink* sink);
-  void Detach(EventSink* sink);
+  void Attach(EventSink* sink) RC_EXCLUDES(mu_);
+  /// Waits for any in-flight emission to drain before returning, so after
+  /// Detach the sink is guaranteed to receive no further callbacks. Must not
+  /// be called from inside a sink's own Emit (see EventSink).
+  void Detach(EventSink* sink) RC_EXCLUDES(emit_mu_, mu_);
 
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Stamps seq (monotonic), t_ns (MonotonicNanos), tid (trace thread id)
   /// on the event — unless the producer pre-stamped them (field >= 0) —
   /// then forwards it to every attached sink. No-op when no sink is
-  /// attached.
-  void Emit(Event event);
+  /// attached. t_ns/tid are sampled before any stream lock is taken, so the
+  /// trace recorder's lock never nests inside this stream's.
+  void Emit(Event event) RC_EXCLUDES(emit_mu_, mu_);
 
-  /// Flushes every attached sink; first error wins.
-  Status Flush();
+  /// Flushes every attached sink; first error wins. Sinks flush outside the
+  /// registration lock (a sink's Flush may log or take its own locks).
+  Status Flush() RC_EXCLUDES(mu_);
 
   EventStream() = default;
   EventStream(const EventStream&) = delete;
@@ -147,9 +156,15 @@ class EventStream {
 
  private:
   std::atomic<bool> enabled_{false};
-  std::mutex mu_;
-  std::vector<EventSink*> sinks_;
-  int64_t next_seq_ = 0;
+  /// Serializes emissions end to end (stamping + sink fan-out), preserving
+  /// the one-event-at-a-time, seq-ordered sink contract. Held across sink
+  /// callbacks; never nested inside mu_. Lock order: emit_mu_ -> mu_.
+  util::Mutex emit_mu_;
+  /// Guards sink registration only; NOT held while calling into sinks, so a
+  /// sink callback may attach/detach other sinks or log without deadlock.
+  util::Mutex mu_;
+  std::vector<EventSink*> sinks_ RC_GUARDED_BY(mu_);
+  int64_t next_seq_ RC_GUARDED_BY(emit_mu_) = 0;
 };
 
 }  // namespace obs

@@ -191,14 +191,14 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto& slot = counters_[std::string(name)];
   if (slot == nullptr) slot.reset(new Counter());
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto& slot = gauges_[std::string(name)];
   if (slot == nullptr) slot.reset(new Gauge());
   return slot.get();
@@ -206,14 +206,14 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name) {
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto& slot = histograms_[std::string(name)];
   if (slot == nullptr) slot.reset(new Histogram(std::move(bounds)));
   return slot.get();
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   JsonWriter w;
   w.BeginObject();
   w.Key("counters").BeginObject();
@@ -252,7 +252,7 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 std::string MetricsRegistry::ToText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   std::string out;
   for (const auto& [name, counter] : counters_) {
     out += util::StringPrintf("counter %s %lld\n", name.c_str(),
@@ -272,7 +272,7 @@ std::string MetricsRegistry::ToText() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

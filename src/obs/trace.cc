@@ -38,7 +38,7 @@ internal::ThreadLog* TraceRecorder::ThisThreadLog() {
   thread_local internal::ThreadLog* cached = nullptr;
   if (cached != nullptr) return cached;
   auto log = std::make_unique<internal::ThreadLog>();
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   log->tid = static_cast<int>(logs_.size());
   cached = log.get();
   logs_.push_back(std::move(log));
@@ -48,9 +48,9 @@ internal::ThreadLog* TraceRecorder::ThisThreadLog() {
 std::vector<TraceEvent> TraceRecorder::Snapshot() const {
   std::vector<TraceEvent> merged;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     for (const auto& log : logs_) {
-      std::lock_guard<std::mutex> log_lock(log->mu);
+      util::MutexLock log_lock(&log->mu);
       merged.insert(merged.end(), log->events.begin(), log->events.end());
     }
   }
@@ -63,9 +63,9 @@ std::vector<TraceEvent> TraceRecorder::Snapshot() const {
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   for (const auto& log : logs_) {
-    std::lock_guard<std::mutex> log_lock(log->mu);
+    util::MutexLock log_lock(&log->mu);
     log->events.clear();
   }
 }
@@ -117,7 +117,7 @@ ScopedSpan::~ScopedSpan() {
   event.depth = depth_;
   event.start_ns = start_ns_;
   event.duration_ns = end_ns - start_ns_;
-  std::lock_guard<std::mutex> lock(log_->mu);
+  util::MutexLock lock(&log_->mu);
   log_->events.push_back(std::move(event));
 }
 

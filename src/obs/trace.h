@@ -19,11 +19,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace reconsume {
 namespace obs {
@@ -45,10 +45,14 @@ namespace internal {
 /// Per-thread span buffer; registered with the recorder on first use and
 /// kept alive for the process lifetime (worker threads may outlive scrapes).
 struct ThreadLog {
-  std::mutex mu;
-  std::vector<TraceEvent> events;
+  util::Mutex mu;
+  std::vector<TraceEvent> events RC_GUARDED_BY(mu);
+  /// Assigned once at registration, immutable after publication; readable
+  /// without the lock. rc:unguarded(write-once-before-publication)
   int tid = 0;
-  int depth = 0;  ///< owning thread only
+  /// Span nesting depth; touched only by the owning thread, never shared.
+  /// rc:unguarded(owning-thread-only)
+  int depth = 0;
 };
 }  // namespace internal
 
@@ -80,8 +84,8 @@ class TraceRecorder {
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;  ///< guards logs_ registration and scrape iteration
-  std::vector<std::unique_ptr<internal::ThreadLog>> logs_;
+  mutable util::Mutex mu_;  ///< guards logs_ registration and scrape iteration
+  std::vector<std::unique_ptr<internal::ThreadLog>> logs_ RC_GUARDED_BY(mu_);
 };
 
 /// \brief RAII span: samples the clock on entry when recording is enabled,

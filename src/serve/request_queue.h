@@ -14,13 +14,12 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
 
 #include "util/check.h"
+#include "util/sync.h"
 
 namespace reconsume {
 namespace serve {
@@ -39,14 +38,14 @@ class BoundedQueue {
   /// Blocks until space is available or the queue shuts down.
   /// Returns false — leaving `item` untouched so the caller can still
   /// fulfil any promise it carries — iff the queue was shut down.
-  bool Push(T& item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [&] { return items_.size() < capacity_ || shutdown_; });
-    if (shutdown_) return false;
-    items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_.notify_one();
+  bool Push(T& item) RC_EXCLUDES(mu_) {
+    {
+      util::MutexLock lock(&mu_);
+      while (items_.size() >= capacity_ && !shutdown_) not_full_.Wait(&mu_);
+      if (shutdown_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.NotifyOne();
     return true;
   }
 
@@ -58,47 +57,48 @@ class BoundedQueue {
 
   /// Non-blocking Push. Returns false (leaving `item` untouched) when the
   /// queue is full or shut down.
-  bool TryPush(T& item) {
+  bool TryPush(T& item) RC_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(&mu_);
       if (shutdown_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Blocks until an item arrives or the queue is shut down *and* drained.
   /// Returns false iff shutdown has been requested and nothing remains.
-  bool Pop(T* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || shutdown_; });
-    if (items_.empty()) return false;  // shutdown and drained
-    *out = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+  bool Pop(T* out) RC_EXCLUDES(mu_) {
+    {
+      util::MutexLock lock(&mu_);
+      while (items_.empty() && !shutdown_) not_empty_.Wait(&mu_);
+      if (items_.empty()) return false;  // shutdown and drained
+      *out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.NotifyOne();
     return true;
   }
 
   /// Stops accepting new items and wakes every blocked producer/consumer.
   /// Items already queued still drain through Pop. Idempotent.
-  void Shutdown() {
+  void Shutdown() RC_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(&mu_);
       shutdown_ = true;
     }
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
-  bool shut_down() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool shut_down() const RC_EXCLUDES(mu_) {
+    util::MutexLock lock(&mu_);
     return shutdown_;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const RC_EXCLUDES(mu_) {
+    util::MutexLock lock(&mu_);
     return items_.size();
   }
 
@@ -106,11 +106,11 @@ class BoundedQueue {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool shutdown_ = false;
+  mutable util::Mutex mu_;
+  util::CondVar not_full_;
+  util::CondVar not_empty_;
+  std::deque<T> items_ RC_GUARDED_BY(mu_);
+  bool shutdown_ RC_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace serve

@@ -43,7 +43,7 @@ bool ScoreCache::Lookup(data::UserId user, int64_t epoch, int top_n,
                         std::vector<core::RankedItem>* out) {
   Shard* shard = ShardFor(user);
   {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(&shard->mu);
     auto it = shard->entries.find(user);
     if (it != shard->entries.end() && it->second.epoch == epoch) {
       Entry& entry = it->second;
@@ -75,7 +75,7 @@ void ScoreCache::Insert(data::UserId user, int64_t epoch, int n_computed,
   data::UserId evicted = data::kInvalidUser;
   int64_t evicted_epoch = -1;
   {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(&shard->mu);
     auto it = shard->entries.find(user);
     if (it != shard->entries.end()) {
       // Refresh in place (newer epoch or a wider n_computed).
@@ -116,7 +116,7 @@ void ScoreCache::Invalidate(data::UserId user) {
   Shard* shard = ShardFor(user);
   bool dropped = false;
   {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(&shard->mu);
     auto it = shard->entries.find(user);
     if (it != shard->entries.end()) {
       shard->lru.erase(it->second.lru_it);
@@ -129,7 +129,7 @@ void ScoreCache::Invalidate(data::UserId user) {
 
 void ScoreCache::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(&shard.mu);
     shard.entries.clear();
     shard.lru.clear();
   }
@@ -148,7 +148,7 @@ ScoreCacheStats ScoreCache::stats() const {
 size_t ScoreCache::size() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(&shard.mu);
     total += shard.entries.size();
   }
   return total;

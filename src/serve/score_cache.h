@@ -26,12 +26,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/recommendation_session.h"
 #include "data/types.h"
+#include "util/sync.h"
 
 namespace reconsume {
 namespace serve {
@@ -89,9 +89,10 @@ class ScoreCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<data::UserId, Entry> entries;
-    std::list<data::UserId> lru;  ///< front = most recently used
+    mutable util::Mutex mu;
+    std::unordered_map<data::UserId, Entry> entries RC_GUARDED_BY(mu);
+    /// front = most recently used
+    std::list<data::UserId> lru RC_GUARDED_BY(mu);
   };
 
   Shard* ShardFor(data::UserId user) {

@@ -126,7 +126,7 @@ ServeResponse RecommendService::HandleRecommend(const Request& request) {
     return response;
   }
   UserSession* state = sessions_.GetOrCreate(request.user);
-  std::lock_guard<std::mutex> lock(state->mu);
+  util::MutexLock lock(&state->mu);
   response.epoch = state->epoch();
 
   Status injected = RC_FAILPOINT_STATUS("serve/cache_lookup");
@@ -147,7 +147,7 @@ ServeResponse RecommendService::HandleRecommend(const Request& request) {
   }
   if (sessions_.prototype_shared()) {
     // The prototype cannot clone; all scoring funnels through one mutex.
-    std::lock_guard<std::mutex> score_lock(sessions_.prototype_mu());
+    util::MutexLock score_lock(sessions_.prototype_mu());
     response.items = state->session->RecommendTopN(request.top_n);
   } else {
     response.items = state->session->RecommendTopN(request.top_n);
@@ -163,7 +163,7 @@ ServeResponse RecommendService::HandleObserve(const Request& request) {
     return response;
   }
   UserSession* state = sessions_.GetOrCreate(request.user);
-  std::lock_guard<std::mutex> lock(state->mu);
+  util::MutexLock lock(&state->mu);
   state->session->Observe(request.item);
   cache_.Invalidate(request.user);
   response.epoch = state->epoch();

@@ -28,16 +28,23 @@ SessionMap::SessionMap(const data::Dataset* dataset,
 UserSession* SessionMap::GetOrCreate(data::UserId user) {
   RC_CHECK_INDEX(user, dataset_->num_users());
   Shard& shard = shards_[static_cast<size_t>(user) % shards_.size()];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(&shard.mu);
   auto it = shard.sessions.find(user);
   if (it != shard.sessions.end()) return it->second.get();
 
   auto state = std::make_unique<UserSession>();
-  state->recommender = prototype_->Clone();
-  eval::Recommender* scorer =
-      state->recommender ? state->recommender.get() : prototype_;
-  state->session = std::make_unique<core::RecommendationSession>(
-      scorer, user, dataset_->sequence(user), window_capacity_, min_gap_);
+  {
+    // The fresh session is still private to this thread, but its fields are
+    // guarded state: initialize under its own (uncontended) mutex so the
+    // happens-before edge to future lockers is explicit, not argued. Lock
+    // order shard.mu -> UserSession::mu matches the request path.
+    util::MutexLock init_lock(&state->mu);
+    state->recommender = prototype_->Clone();
+    eval::Recommender* scorer =
+        state->recommender ? state->recommender.get() : prototype_;
+    state->session = std::make_unique<core::RecommendationSession>(
+        scorer, user, dataset_->sequence(user), window_capacity_, min_gap_);
+  }
   UserSession* raw = state.get();
   shard.sessions.emplace(user, std::move(state));
   return raw;
@@ -46,7 +53,7 @@ UserSession* SessionMap::GetOrCreate(data::UserId user) {
 size_t SessionMap::size() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(&shard.mu);
     total += shard.sessions.size();
   }
   return total;

@@ -15,29 +15,29 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/recommendation_session.h"
 #include "data/dataset.h"
 #include "eval/recommender.h"
+#include "util/sync.h"
 
 namespace reconsume {
 namespace serve {
 
 /// \brief One user's serving state. Lock `mu` around any session access.
 struct UserSession {
-  std::mutex mu;
+  util::Mutex mu;
   /// Private recommender clone (null when the prototype cannot clone; the
   /// map then points `session` at the shared prototype and the caller must
   /// hold SessionMap::prototype_mu() while scoring).
-  std::unique_ptr<eval::Recommender> recommender;
-  std::unique_ptr<core::RecommendationSession> session;
+  std::unique_ptr<eval::Recommender> recommender RC_GUARDED_BY(mu);
+  std::unique_ptr<core::RecommendationSession> session RC_GUARDED_BY(mu);
 
   /// Window-state epoch: number of events the session has absorbed. This is
   /// the cache key component that invalidates on Observe.
-  int64_t epoch() const { return session->num_events(); }
+  int64_t epoch() const RC_REQUIRES(mu) { return session->num_events(); }
 };
 
 /// \brief Sharded lazy map UserId -> UserSession.
@@ -57,21 +57,26 @@ class SessionMap {
 
   /// Serializes scoring when the prototype is not clone-able (see
   /// UserSession::recommender). Uncontended in the normal cloning path.
-  std::mutex& prototype_mu() { return prototype_mu_; }
+  util::Mutex* prototype_mu() RC_RETURN_CAPABILITY(prototype_mu_) {
+    return &prototype_mu_;
+  }
   bool prototype_shared() const { return prototype_shared_; }
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<data::UserId, std::unique_ptr<UserSession>> sessions;
+    mutable util::Mutex mu;
+    std::unordered_map<data::UserId, std::unique_ptr<UserSession>> sessions
+        RC_GUARDED_BY(mu);
   };
 
   const data::Dataset* dataset_;
   eval::Recommender* prototype_;
   const int window_capacity_;
   const int min_gap_;
-  bool prototype_shared_ = false;
-  std::mutex prototype_mu_;
+  bool prototype_shared_ = false;  ///< written once by the constructor
+  util::Mutex prototype_mu_;
+  /// Sized once in the constructor, never resized; the shards themselves
+  /// carry their own locks. rc:unguarded(fixed-after-construction)
   std::vector<Shard> shards_;
 };
 

@@ -4,12 +4,12 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/string_util.h"
+#include "util/sync.h"
 
 namespace reconsume {
 namespace util {
@@ -72,16 +72,17 @@ Result<Point> ParseSpec(std::string_view spec) {
 }  // namespace
 
 struct FailpointRegistry::Impl {
-  mutable std::mutex mutex;
-  std::map<std::string, Point, std::less<>> points;
-  Rng rng{0x5EEDFA11ULL};
+  mutable Mutex mutex;
+  std::map<std::string, Point, std::less<>> points RC_GUARDED_BY(mutex);
+  Rng rng RC_GUARDED_BY(mutex){0x5EEDFA11ULL};
   /// Number of registered names; lets Evaluate skip the lock entirely while
   /// the registry is empty, keeping failpoint sites in SGD-step-grade hot
   /// loops at the cost of one relaxed atomic load.
   std::atomic<size_t> num_points{0};
   /// Fire observer, swapped under `mutex` but invoked outside it (the
   /// listener may grab other locks — e.g. the telemetry event stream's).
-  std::shared_ptr<const std::function<void(const char*, int64_t)>> on_fire;
+  std::shared_ptr<const std::function<void(const char*, int64_t)>> on_fire
+      RC_GUARDED_BY(mutex);
 };
 
 FailpointRegistry::FailpointRegistry() : impl_(new Impl) {}
@@ -110,7 +111,7 @@ Status FailpointRegistry::Set(std::string_view name, std::string_view spec) {
     return Status::InvalidArgument("failpoint name must be non-empty");
   }
   RECONSUME_ASSIGN_OR_RETURN(Point parsed, ParseSpec(spec));
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(&impl_->mutex);
   Point& point = impl_->points[key];
   // Preserve lifetime counters across re-arming; reset the firing state.
   parsed.hits = point.hits;
@@ -148,7 +149,7 @@ Status FailpointRegistry::Configure(std::string_view config) {
 }
 
 void FailpointRegistry::Disable(std::string_view name) {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(&impl_->mutex);
   const auto it = impl_->points.find(name);
   if (it != impl_->points.end()) {
     it->second.mode = Mode::kOff;
@@ -157,7 +158,7 @@ void FailpointRegistry::Disable(std::string_view name) {
 }
 
 void FailpointRegistry::Clear() {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(&impl_->mutex);
   impl_->points.clear();
   impl_->num_points.store(0, std::memory_order_release);
 }
@@ -171,7 +172,7 @@ Status FailpointRegistry::Evaluate(const char* name) {
   int64_t fire_count = 0;
   std::shared_ptr<const std::function<void(const char*, int64_t)>> listener;
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    MutexLock lock(&impl_->mutex);
     const auto it = impl_->points.find(std::string_view(name));
     if (it == impl_->points.end()) return Status::OK();
     Point& point = it->second;
@@ -210,25 +211,25 @@ Status FailpointRegistry::Evaluate(const char* name) {
 }
 
 int64_t FailpointRegistry::hits(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(&impl_->mutex);
   const auto it = impl_->points.find(name);
   return it == impl_->points.end() ? 0 : it->second.hits;
 }
 
 int64_t FailpointRegistry::fires(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(&impl_->mutex);
   const auto it = impl_->points.find(name);
   return it == impl_->points.end() ? 0 : it->second.fires;
 }
 
 void FailpointRegistry::SeedProbabilistic(uint64_t seed) {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(&impl_->mutex);
   impl_->rng.Seed(seed);
 }
 
 void FailpointRegistry::SetFireListener(
     std::function<void(const char* name, int64_t fires)> listener) {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(&impl_->mutex);
   impl_->on_fire =
       listener == nullptr
           ? nullptr

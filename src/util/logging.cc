@@ -4,7 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
+
+#include "util/sync.h"
 
 namespace reconsume {
 namespace util {
@@ -12,13 +13,13 @@ namespace util {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_log_mutex;  ///< serializes stderr writes and sink swaps
+Mutex g_log_mutex;  ///< serializes stderr writes and sink swaps
 
-std::shared_ptr<const LogSink> g_sink;  ///< guarded by g_log_mutex
+std::shared_ptr<const LogSink> g_sink RC_GUARDED_BY(g_log_mutex);
 
 void StderrSink(const LogRecord& record) {
   const std::string line = FormatLogRecord(record);
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(&g_log_mutex);
   std::fprintf(stderr, "%s\n", line.c_str());
   std::fflush(stderr);
 }
@@ -64,7 +65,7 @@ std::string FormatLogRecord(const LogRecord& record) {
 }
 
 void SetLogSink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(&g_log_mutex);
   g_sink = sink == nullptr
                ? nullptr
                : std::make_shared<const LogSink>(std::move(sink));
@@ -90,7 +91,7 @@ LogMessage::~LogMessage() {
     record.fields = std::move(fields_);
     std::shared_ptr<const LogSink> sink;
     {
-      std::lock_guard<std::mutex> lock(g_log_mutex);
+      MutexLock lock(&g_log_mutex);
       sink = g_sink;
     }
     // Invoked outside g_log_mutex: custom sinks may take their own locks

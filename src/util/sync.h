@@ -1,0 +1,200 @@
+// Annotated synchronization primitives: the only sanctioned way to lock in
+// this tree (docs/static_analysis.md).
+//
+// Every wrapper carries Clang Thread Safety Analysis capability attributes,
+// so a Clang build with -DRECONSUME_THREAD_SAFETY=ON proves the locking
+// contracts at compile time: a member declared RC_GUARDED_BY(mu_) cannot be
+// touched without holding mu_, a method declared RC_REQUIRES(mu_) cannot be
+// called without it, and a MutexLock cannot leak past its scope. Off-Clang
+// (GCC, MSVC) the attributes expand to nothing and the wrappers compile down
+// to the raw std primitives they hold — zero overhead either way.
+//
+//   class ScoreBoard {
+//    public:
+//     void Add(int v) {
+//       MutexLock lock(&mu_);
+//       total_ += v;
+//     }
+//    private:
+//     util::Mutex mu_;
+//     int total_ RC_GUARDED_BY(mu_) = 0;
+//   };
+//
+// Raw std::mutex / std::lock_guard / std::condition_variable are banned
+// outside this header by tools/static_analysis/rc_analyze.py and the
+// raw-sync-include rule in tools/lint_reconsume.py.
+//
+// CondVar deliberately has no predicate-wait overload: TSA analyzes a lambda
+// body as a separate function that does not hold the caller's locks, so the
+// idiomatic form here is an explicit while loop around CondVar::Wait — every
+// guarded access then stays lexically inside the scope that holds the lock:
+//
+//   MutexLock lock(&mu_);
+//   while (queue_.empty() && !shutdown_) not_empty_.Wait(&mu_);
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// --- Thread safety attribute macros (RC_* spellings of the Clang TSA
+// attribute set). Active on any Clang; no-ops elsewhere. The CMake option
+// RECONSUME_THREAD_SAFETY only controls whether violations are *errors*
+// (-Wthread-safety -Werror=thread-safety-analysis); the annotations
+// themselves are always visible to Clang so IDEs and clang-tidy see them.
+#if defined(__clang__)
+#define RC_TSA_ATTR_(x) __attribute__((x))
+#else
+#define RC_TSA_ATTR_(x)  // no-op off-Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex", "shared_mutex").
+#define RC_CAPABILITY(x) RC_TSA_ATTR_(capability(x))
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define RC_SCOPED_CAPABILITY RC_TSA_ATTR_(scoped_lockable)
+/// Data member readable/writable only while holding `x`.
+#define RC_GUARDED_BY(x) RC_TSA_ATTR_(guarded_by(x))
+/// Pointer / smart-pointer member whose *pointee* is protected by `x`.
+#define RC_PT_GUARDED_BY(x) RC_TSA_ATTR_(pt_guarded_by(x))
+/// Function may only be called while holding the listed capabilities.
+#define RC_REQUIRES(...) RC_TSA_ATTR_(requires_capability(__VA_ARGS__))
+#define RC_REQUIRES_SHARED(...) \
+  RC_TSA_ATTR_(requires_shared_capability(__VA_ARGS__))
+/// Function acquires / releases the listed capabilities.
+#define RC_ACQUIRE(...) RC_TSA_ATTR_(acquire_capability(__VA_ARGS__))
+#define RC_ACQUIRE_SHARED(...) \
+  RC_TSA_ATTR_(acquire_shared_capability(__VA_ARGS__))
+#define RC_RELEASE(...) RC_TSA_ATTR_(release_capability(__VA_ARGS__))
+#define RC_RELEASE_SHARED(...) \
+  RC_TSA_ATTR_(release_shared_capability(__VA_ARGS__))
+/// Function conditionally acquires; `b` is the success return value.
+#define RC_TRY_ACQUIRE(b, ...) \
+  RC_TSA_ATTR_(try_acquire_capability(b, __VA_ARGS__))
+#define RC_TRY_ACQUIRE_SHARED(b, ...) \
+  RC_TSA_ATTR_(try_acquire_shared_capability(b, __VA_ARGS__))
+/// Function must NOT be called while holding the listed capabilities
+/// (deadlock guard for self-locking public methods).
+#define RC_EXCLUDES(...) RC_TSA_ATTR_(locks_excluded(__VA_ARGS__))
+/// Runtime assertion that the capability is held (trust boundary).
+#define RC_ASSERT_CAPABILITY(x) RC_TSA_ATTR_(assert_capability(x))
+/// Accessor returning a reference/pointer to the named capability.
+#define RC_RETURN_CAPABILITY(x) RC_TSA_ATTR_(lock_returned(x))
+/// Last-resort opt-out for one function. Policy (docs/static_analysis.md):
+/// every use needs a comment justifying why the analysis cannot see the
+/// synchronization; blanket suppression of whole classes is forbidden.
+#define RC_NO_THREAD_SAFETY_ANALYSIS RC_TSA_ATTR_(no_thread_safety_analysis)
+
+namespace reconsume {
+namespace util {
+
+class CondVar;
+
+/// \brief Annotated exclusive mutex (wraps std::mutex).
+class RC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() RC_ACQUIRE() { mu_.lock(); }
+  void Unlock() RC_RELEASE() { mu_.unlock(); }
+  bool TryLock() RC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// \brief Annotated reader/writer mutex (wraps std::shared_mutex).
+class RC_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() RC_ACQUIRE() { mu_.lock(); }
+  void Unlock() RC_RELEASE() { mu_.unlock(); }
+  bool TryLock() RC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void LockShared() RC_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RC_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool TryLockShared() RC_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// \brief Scoped exclusive lock on a Mutex (the std::lock_guard shape).
+class RC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) RC_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RC_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// \brief Scoped exclusive lock on a SharedMutex.
+class RC_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex* mu) RC_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterLock() RC_RELEASE() { mu_->Unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// \brief Scoped shared (read) lock on a SharedMutex.
+class RC_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex* mu) RC_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->LockShared();
+  }
+  ~ReaderLock() RC_RELEASE() { mu_->UnlockShared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// \brief Condition variable bound to util::Mutex.
+///
+/// Wait atomically releases the mutex while sleeping and reacquires it
+/// before returning, exactly like std::condition_variable::wait — callers
+/// hold the mutex across the call, which is what RC_REQUIRES expresses.
+/// Spurious wakeups happen; always wait in a while loop (see the header
+/// comment for the sanctioned idiom).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex* mu) RC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's MutexLock still owns the mutex
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace util
+}  // namespace reconsume

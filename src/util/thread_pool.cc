@@ -17,43 +17,42 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (auto& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     RECONSUME_CHECK(!shutting_down_) << "Submit after shutdown";
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(&mutex_);
+  while (in_flight_ != 0) all_done_.Wait(&mutex_);
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock,
-                           [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(&mutex_);
+      while (!shutting_down_ && queue_.empty()) work_available_.Wait(&mutex_);
       if (queue_.empty()) return;  // shutting down
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--in_flight_ == 0) all_done_.notify_all();
+      MutexLock lock(&mutex_);
+      if (--in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

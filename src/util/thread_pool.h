@@ -2,19 +2,22 @@
 // evaluation, benchmark parameter sweeps) and the ParallelShards fork-join
 // used by the Hogwild TS-PPR trainer, which hands each shard worker its own
 // deterministic RNG stream.
+//
+// Lock discipline is machine-checked: every member touched by more than one
+// thread declares its lock with RC_GUARDED_BY, and a Clang build with
+// -DRECONSUME_THREAD_SAFETY=ON proves the contracts (docs/static_analysis.md).
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/random.h"
+#include "util/sync.h"
 
 namespace reconsume {
 namespace util {
@@ -38,10 +41,10 @@ class ThreadPool {
 
   /// Enqueues a task. Must not be called after Wait() has begun from another
   /// thread unless externally synchronized.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) RC_EXCLUDES(mutex_);
 
   /// Blocks until all submitted tasks have finished.
-  void Wait();
+  void Wait() RC_EXCLUDES(mutex_);
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -66,17 +69,18 @@ class ThreadPool {
                              const std::function<void(size_t, Rng*)>& fn);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() RC_EXCLUDES(mutex_);
 
+  /// Written only by the constructor, joined by the destructor; the worker
+  /// threads themselves never touch this vector. rc:unguarded(init-only)
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ RC_GUARDED_BY(mutex_);
+  size_t in_flight_ RC_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ RC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace util
 }  // namespace reconsume
-

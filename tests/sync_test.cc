@@ -1,0 +1,149 @@
+#include "util/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace reconsume {
+namespace util {
+namespace {
+
+TEST(MutexTest, MutexLockSerializesIncrements) {
+  Mutex mu;
+  int counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        MutexLock lock(&mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter, kThreads * kPerThread);
+}
+
+TEST(MutexTest, TryLockFailsWhileHeldElsewhere) {
+  Mutex mu;
+  mu.Lock();
+  bool acquired = true;
+  std::thread prober([&] {
+    acquired = mu.TryLock();
+    if (acquired) mu.Unlock();  // keeps the analysis (and the test) honest
+  });
+  prober.join();
+  EXPECT_FALSE(acquired);
+  mu.Unlock();
+
+  std::thread retaker([&] {
+    acquired = mu.TryLock();
+    if (acquired) mu.Unlock();
+  });
+  retaker.join();
+  EXPECT_TRUE(acquired);
+}
+
+TEST(CondVarTest, WaitWakesOnNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  int observed = 0;
+  std::thread waiter([&] {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(&mu);
+    observed = 42;
+  });
+  {
+    MutexLock lock(&mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  waiter.join();
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  std::atomic<int> woke{0};
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    waiters.emplace_back([&] {
+      MutexLock lock(&mu);
+      while (!go) cv.Wait(&mu);
+      woke.fetch_add(1);
+    });
+  }
+  {
+    MutexLock lock(&mu);
+    go = true;
+  }
+  cv.NotifyAll();
+  for (std::thread& thread : waiters) thread.join();
+  EXPECT_EQ(woke.load(), kWaiters);
+}
+
+TEST(SharedMutexTest, ReadersShareWritersExclude) {
+  SharedMutex mu;
+  int value = 0;
+
+  // Two readers hold the lock simultaneously: each waits for the other to
+  // arrive before releasing, which only terminates if sharing works.
+  std::atomic<int> readers_in{0};
+  auto reader = [&] {
+    ReaderLock lock(&mu);
+    readers_in.fetch_add(1);
+    while (readers_in.load() < 2) std::this_thread::yield();
+    EXPECT_EQ(value, 0);
+  };
+  std::thread r1(reader);
+  std::thread r2(reader);
+  r1.join();
+  r2.join();
+
+  // Writers get exclusivity: concurrent increments never tear.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        WriterLock lock(&mu);
+        ++value;
+      }
+    });
+  }
+  for (std::thread& thread : writers) thread.join();
+  EXPECT_EQ(value, kThreads * kPerThread);
+}
+
+TEST(SharedMutexTest, TryLockRespectsReaders) {
+  SharedMutex mu;
+  mu.LockShared();
+  bool got_exclusive = true;
+  bool got_shared = false;
+  std::thread prober([&] {
+    got_exclusive = mu.TryLock();
+    if (got_exclusive) mu.Unlock();
+    got_shared = mu.TryLockShared();
+    if (got_shared) mu.UnlockShared();
+  });
+  prober.join();
+  EXPECT_FALSE(got_exclusive);  // a reader blocks writers...
+  EXPECT_TRUE(got_shared);      // ...but not other readers
+  mu.UnlockShared();
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace reconsume

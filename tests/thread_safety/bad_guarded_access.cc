@@ -1,0 +1,30 @@
+// Negative-compilation fixture: reading an RC_GUARDED_BY member without
+// holding its mutex MUST be rejected by a Clang build with
+// -Wthread-safety -Werror=thread-safety-analysis (the run_negative_compile
+// harness asserts this file does not compile under the option).
+
+#include "util/sync.h"
+
+namespace reconsume {
+
+class Box {
+ public:
+  int Read() const { return value_; }  // guarded read, no lock held
+
+  void Write(int v) {
+    util::MutexLock lock(&mu_);
+    value_ = v;
+  }
+
+ private:
+  mutable util::Mutex mu_;
+  int value_ RC_GUARDED_BY(mu_) = 0;
+};
+
+int Touch() {
+  Box box;
+  box.Write(7);
+  return box.Read();
+}
+
+}  // namespace reconsume

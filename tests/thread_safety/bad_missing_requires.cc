@@ -1,0 +1,29 @@
+// Negative-compilation fixture: calling an RC_REQUIRES(mu) method without
+// holding mu MUST be rejected by a Clang build with
+// -Wthread-safety -Werror=thread-safety-analysis (the run_negative_compile
+// harness asserts this file does not compile under the option).
+
+#include "util/sync.h"
+
+namespace reconsume {
+
+class Ledger {
+ public:
+  void Add(int v) RC_REQUIRES(mu_) { total_ += v; }
+
+  void Unsafe(int v) {
+    Add(v);  // requires mu_, which is not held here
+  }
+
+  util::Mutex mu_;
+
+ private:
+  int total_ RC_GUARDED_BY(mu_) = 0;
+};
+
+void Touch() {
+  Ledger ledger;
+  ledger.Unsafe(3);
+}
+
+}  // namespace reconsume

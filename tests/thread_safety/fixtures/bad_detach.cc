@@ -1,0 +1,14 @@
+// rc_analyze fixture: R4 must flag detached threads. A detached thread
+// outlives the state it touches and makes shutdown untestable; every
+// thread in this tree is joined.
+
+#include <thread>
+
+namespace fixture {
+
+void FireAndForget() {
+  std::thread worker([] {});
+  worker.detach();
+}
+
+}  // namespace fixture

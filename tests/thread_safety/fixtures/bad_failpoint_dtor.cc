@@ -1,0 +1,16 @@
+// rc_analyze fixture: R3 must flag fault injection inside a destructor —
+// destructors run during unwinding and shutdown, where an injected fault
+// turns into double-fault undefined behavior.
+
+#include "util/failpoint.h"
+
+namespace fixture {
+
+class Flusher {
+ public:
+  ~Flusher() {
+    RC_FAILPOINT("flusher/dtor_flush");
+  }
+};
+
+}  // namespace fixture

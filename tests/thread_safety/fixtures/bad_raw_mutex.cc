@@ -1,0 +1,20 @@
+// rc_analyze fixture: R1 must flag raw standard-library synchronization
+// primitives used outside src/util/sync.h. Never built; fed to the analyzer.
+
+#include <mutex>
+
+namespace fixture {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    std::lock_guard<std::mutex> lock(mu_);
+    balance_ += amount;
+  }
+
+ private:
+  std::mutex mu_;
+  int balance_ = 0;
+};
+
+}  // namespace fixture

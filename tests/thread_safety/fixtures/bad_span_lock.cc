@@ -1,0 +1,16 @@
+// rc_analyze fixture: R5 must flag a blocking lock acquisition lexically
+// inside an RC_TRACE_SPAN scope on the serve request path — lock waits
+// must not be charged to request spans.
+
+#include "obs/trace.h"
+#include "util/sync.h"
+
+namespace fixture {
+
+int HandleRequest(reconsume::util::Mutex* mu, const int* value) {
+  RC_TRACE_SPAN("serve.handle");
+  reconsume::util::MutexLock lock(mu);
+  return *value;
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// rc_analyze fixture: R2 must flag (a) a mutex member no annotation ever
+// references and (b) a container member of a mutex-bearing class with
+// neither RC_GUARDED_BY nor an rc:unguarded(reason) comment.
+
+#include <vector>
+
+#include "util/sync.h"
+
+namespace fixture {
+
+class SessionTable {
+ public:
+  void Put(int key) {
+    util::MutexLock lock(&mu_);
+    rows_.push_back(key);
+  }
+
+ private:
+  util::Mutex mu_;
+  util::Mutex stats_mu_;
+  std::vector<int> rows_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,71 @@
+// Positive control for the negative-compilation harness: idiomatic use of
+// every util/sync.h wrapper. This file MUST compile cleanly under
+// -Wthread-safety -Werror=thread-safety-analysis — if it stops compiling,
+// the wrappers (not the fixtures) regressed.
+
+#include <deque>
+
+#include "util/sync.h"
+
+namespace reconsume {
+
+class Mailbox {
+ public:
+  void Post(int message) RC_EXCLUDES(mu_) {
+    {
+      util::MutexLock lock(&mu_);
+      messages_.push_back(message);
+    }
+    arrived_.NotifyOne();
+  }
+
+  int Take() RC_EXCLUDES(mu_) {
+    util::MutexLock lock(&mu_);
+    while (messages_.empty()) arrived_.Wait(&mu_);
+    const int message = messages_.front();
+    messages_.pop_front();
+    return message;
+  }
+
+  bool TryPeek(int* out) RC_EXCLUDES(mu_) {
+    if (!mu_.TryLock()) return false;
+    const bool any = !messages_.empty();
+    if (any) *out = messages_.front();
+    mu_.Unlock();
+    return any;
+  }
+
+ private:
+  util::Mutex mu_;
+  util::CondVar arrived_;
+  std::deque<int> messages_ RC_GUARDED_BY(mu_);
+};
+
+class Snapshot {
+ public:
+  int Read() const RC_EXCLUDES(state_mu_) {
+    util::ReaderLock lock(&state_mu_);
+    return state_;
+  }
+
+  void Update(int v) RC_EXCLUDES(state_mu_) {
+    util::WriterLock lock(&state_mu_);
+    state_ = v;
+  }
+
+ private:
+  mutable util::SharedMutex state_mu_;
+  int state_ RC_GUARDED_BY(state_mu_) = 0;
+};
+
+int Exercise() {
+  Mailbox mailbox;
+  mailbox.Post(1);
+  int peeked = 0;
+  mailbox.TryPeek(&peeked);
+  Snapshot snapshot;
+  snapshot.Update(mailbox.Take());
+  return snapshot.Read() + peeked;
+}
+
+}  // namespace reconsume

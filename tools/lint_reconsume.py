@@ -17,10 +17,14 @@ rely on (see docs/correctness_tooling.md):
     src/obs/trace.cc — timing goes through util::Stopwatch or
     obs::MonotonicNanos so every duration shares one time source and lands
     in the same telemetry (see docs/observability.md)
+  * no <mutex> / <shared_mutex> / <condition_variable> includes in src/
+    outside util/sync.h — locking goes through the annotated wrappers in
+    util/sync.h so the Clang thread-safety build can prove the lock
+    discipline (see docs/static_analysis.md)
   * every header in src/ starts with #pragma once
   * every --flag mentioned in docs/*.md or README.md is actually registered
     somewhere: by a FlagSet Get*/Has call site in C++ (src/, tools/, bench/)
-    or an argparse add_argument in tools/*.py — documentation cannot drift
+    or an argparse add_argument in tools/**/*.py — documentation cannot drift
     ahead of (or behind) the CLI surface
 
 Exit status: 0 when clean, 1 when any finding is reported.
@@ -64,6 +68,13 @@ LINE_RULES = [
         "time through util::Stopwatch or obs::MonotonicNanos so durations "
         "share one clock and reach telemetry (see docs/observability.md)",
     ),
+    (
+        "raw-sync-include",
+        re.compile(r"#\s*include\s*<(mutex|shared_mutex|condition_variable)>"),
+        "lock through the annotated wrappers in util/sync.h so the Clang "
+        "thread-safety build can prove the discipline "
+        "(see docs/static_analysis.md)",
+    ),
 ]
 
 # Files exempt from the raw-ofstream rule: the atomic-write helper itself.
@@ -71,6 +82,10 @@ RAW_OFSTREAM_ALLOWED = {"src/util/fileio.cc"}
 
 # Files exempt from the raw-clock rule: the two sanctioned clock wrappers.
 RAW_CLOCK_ALLOWED = {"src/util/stopwatch.h", "src/obs/trace.cc"}
+
+# Files exempt from the raw-sync-include rule: the annotated wrappers
+# themselves (the only place raw primitives may live).
+RAW_SYNC_ALLOWED = {"src/util/sync.h"}
 
 # --flags that belong to external tools the docs legitimately invoke (cmake,
 # ctest, clang-tidy driver, google-benchmark), not to this repo's FlagSet.
@@ -90,7 +105,7 @@ def harvest_registered_flags(root: Path) -> set[str]:
                     "bench/**/*.h", "bench/**/*.cc"):
         for path in root.glob(pattern):
             flags.update(CXX_FLAG_RE.findall(path.read_text(encoding="utf-8")))
-    for path in root.glob("tools/*.py"):
+    for path in root.glob("tools/**/*.py"):
         flags.update(PY_FLAG_RE.findall(path.read_text(encoding="utf-8")))
     return flags
 
@@ -155,6 +170,9 @@ def lint_file(path: Path, rel: str, require_pragma_once: bool,
             if name == "raw-clock" and (not rel.startswith("src/") or
                                         rel in RAW_CLOCK_ALLOWED):
                 continue  # only the sanctioned wrappers touch the clock
+            if name == "raw-sync-include" and (not rel.startswith("src/") or
+                                               rel in RAW_SYNC_ALLOWED):
+                continue  # only util/sync.h wraps the raw primitives
             if "static_assert" in line and name == "naked-assert":
                 continue
             if pattern.search(line):

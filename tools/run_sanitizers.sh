@@ -23,6 +23,12 @@
 # asan/ubsan configure with CMAKE_BUILD_TYPE=Debug so that the RC_DCHECK
 # layer (debug-only contracts) is active under the sanitizers.
 #
+# The static counterpart to the tsan mode is the clang thread-safety build:
+#   CC=clang CXX=clang++ cmake -B build-ts -S . -DRECONSUME_THREAD_SAFETY=ON
+# which proves the lock discipline at compile time (docs/static_analysis.md).
+# TSan catches what the annotations cannot see (the atomics/barrier paths);
+# the annotations catch what TSan's schedules may miss.
+#
 # Usage: tools/run_sanitizers.sh [tsan|asan|ubsan|all] [build-dir]
 #   default mode: all; default build dir: build-<mode>
 # Env: JOBS=<n> overrides the build parallelism.

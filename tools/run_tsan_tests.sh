@@ -2,6 +2,10 @@
 # Back-compat wrapper: the TSan run now lives in the unified sanitizer
 # driver. See tools/run_sanitizers.sh (mode `tsan`).
 #
+# TSan is the dynamic half; the static half is the clang thread-safety
+# build (-DRECONSUME_THREAD_SAFETY=ON, docs/static_analysis.md), which
+# proves the mutex discipline the annotations in util/sync.h declare.
+#
 # Usage: tools/run_tsan_tests.sh [build-dir]   (default: build-tsan)
 
 set -euo pipefail

