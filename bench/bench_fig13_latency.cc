@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -59,21 +61,50 @@ void CollectInstances(const bench::DatasetBundle& bundle, size_t max_instances,
 /// shared obs::Histogram API, so the latency distribution (p50/p99, not just
 /// google-benchmark's mean) lands in --metrics-out / --json-out alongside
 /// every other experiment's telemetry.
+///
+/// Each instance is timed as the minimum over kSweeps full passes of
+/// kRepsPerSweep back-to-back repetitions (after one untimed warmup pass).
+/// A single-shot timer makes the histogram's p99 a scheduler lottery — one
+/// preemption lands in the tail bucket — and even min-of-R in one burst
+/// loses to sustained contention. Spreading the repetitions across sweeps
+/// that are minutes of instances apart isolates each instance's
+/// deterministic cost, so the reported percentiles reflect the
+/// candidate-set-size distribution the figure is actually about. The perf
+/// CI gate compares these percentiles across commits, which only works if
+/// they are stable run-to-run.
+constexpr int kSweeps = 4;
+constexpr int kRepsPerSweep = 4;
+
 void RunHistogramPrepass(bench::BenchRun* run, const std::string& dataset) {
   for (auto& method : g_fixture->methods) {
     RC_TRACE_SPAN("bench/score_prepass");
     obs::Histogram* const hist = obs::MetricsRegistry::Global().GetHistogram(
         "bench.score_us." + method.name,
         obs::ExponentialBuckets(0.01, 2.0, 30));
+    const size_t num_instances = g_fixture->instances.size();
+    std::vector<double> best_us(num_instances,
+                                std::numeric_limits<double>::infinity());
     std::vector<double> scores;
     util::Stopwatch stopwatch;
-    for (const Instance& instance : g_fixture->instances) {
+    for (size_t i = 0; i < num_instances; ++i) {  // warmup pass
+      const Instance& instance = g_fixture->instances[i];
       scores.assign(instance.candidates.size(), 0.0);
-      stopwatch.Restart();
       method.recommender->Score(instance.user, instance.walker,
                                 instance.candidates, scores);
-      hist->Observe(stopwatch.ElapsedMicros());
     }
+    for (int sweep = 0; sweep < kSweeps; ++sweep) {
+      for (size_t i = 0; i < num_instances; ++i) {
+        const Instance& instance = g_fixture->instances[i];
+        scores.assign(instance.candidates.size(), 0.0);
+        for (int rep = 0; rep < kRepsPerSweep; ++rep) {
+          stopwatch.Restart();
+          method.recommender->Score(instance.user, instance.walker,
+                                    instance.candidates, scores);
+          best_us[i] = std::min(best_us[i], stopwatch.ElapsedMicros());
+        }
+      }
+    }
+    for (double us : best_us) hist->Observe(us);
     const obs::HistogramSnapshot snapshot = hist->Snapshot();
     run->AddValue(dataset, method.name + ".mean_us", snapshot.Mean());
     run->AddValue(dataset, method.name + ".p50_us", snapshot.Quantile(0.5));

@@ -1,22 +1,40 @@
 // Microbenchmarks of the hot paths under Algorithm 1 and the evaluation
-// protocol: BLAS-1 kernels, the rank-1 mapping update, one full SGD step,
-// window maintenance, and behavioral feature extraction.
+// protocol: BLAS-1 kernels (scalar reference vs the runtime-dispatched SIMD
+// tier), the batched scoring engine, the rank-1 mapping update, one full SGD
+// step, window maintenance, and behavioral feature extraction.
+//
+// Custom main: a Stopwatch-based pre-pass records per-op timings through
+// bench::BenchRun (reconsume.bench.v1 JSON via --json-out) before the
+// google-benchmark registrations run — the JSON feeds
+// tools/check_bench_regression.py in the perf-smoke CI leg.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
 #include "core/ts_ppr.h"
+#include "core/ts_ppr_recommender.h"
 #include "data/split.h"
 #include "data/synthetic.h"
 #include "features/feature_extractor.h"
+#include "math/kernels.h"
 #include "math/matrix.h"
+#include "math/simd.h"
 #include "math/vector_ops.h"
 #include "sampling/training_set.h"
 #include "util/random.h"
+#include "util/stopwatch.h"
 #include "window/window_walker.h"
 
 using namespace reconsume;
 
 namespace {
+
+constexpr size_t kDims[] = {4, 40, 80, 128};
 
 void BM_Dot(benchmark::State& state) {
   const size_t k = static_cast<size_t>(state.range(0));
@@ -25,7 +43,20 @@ void BM_Dot(benchmark::State& state) {
     benchmark::DoNotOptimize(math::Dot(x, y));
   }
 }
-BENCHMARK(BM_Dot)->Arg(4)->Arg(40)->Arg(80);
+BENCHMARK(BM_Dot)->Arg(4)->Arg(40)->Arg(80)->Arg(128);
+
+void BM_KernelDot(benchmark::State& state, const math::KernelOps& kernels) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  std::vector<double> x(k, 0.5), y(k, 0.25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::KernelDot(kernels, x, y));
+  }
+}
+BENCHMARK_CAPTURE(BM_KernelDot, scalar, math::ScalarKernels())
+    ->Arg(4)
+    ->Arg(40)
+    ->Arg(80)
+    ->Arg(128);
 
 void BM_Axpy(benchmark::State& state) {
   const size_t k = static_cast<size_t>(state.range(0));
@@ -35,7 +66,40 @@ void BM_Axpy(benchmark::State& state) {
     benchmark::DoNotOptimize(y.data());
   }
 }
-BENCHMARK(BM_Axpy)->Arg(40);
+BENCHMARK(BM_Axpy)->Arg(4)->Arg(40)->Arg(80)->Arg(128);
+
+void BM_KernelAxpy(benchmark::State& state, const math::KernelOps& kernels) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  std::vector<double> x(k, 0.5), y(k, 0.25);
+  for (auto _ : state) {
+    math::KernelAxpy(kernels, 0.01, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK_CAPTURE(BM_KernelAxpy, scalar, math::ScalarKernels())
+    ->Arg(4)
+    ->Arg(40)
+    ->Arg(80)
+    ->Arg(128);
+
+/// rows x K row-major matrix dotted against one K-vector (the batched
+/// candidate-scoring primitive). range(0) = K, rows fixed at 64.
+void BM_DotBatch(benchmark::State& state, const math::KernelOps& kernels) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const size_t rows = 64;
+  std::vector<double> q(k, 0.5), matrix(rows * k, 0.25), out(rows, 0.0);
+  for (auto _ : state) {
+    kernels.dot_batch(q.data(), matrix.data(), rows, k, k, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows));
+}
+BENCHMARK_CAPTURE(BM_DotBatch, scalar, math::ScalarKernels())
+    ->Arg(4)
+    ->Arg(40)
+    ->Arg(80)
+    ->Arg(128);
 
 void BM_OuterProductUpdate(benchmark::State& state) {
   const size_t k = static_cast<size_t>(state.range(0));
@@ -46,7 +110,7 @@ void BM_OuterProductUpdate(benchmark::State& state) {
     benchmark::DoNotOptimize(a.Data().data());
   }
 }
-BENCHMARK(BM_OuterProductUpdate)->Arg(40);
+BENCHMARK(BM_OuterProductUpdate)->Arg(4)->Arg(40)->Arg(80)->Arg(128);
 
 void BM_Sigmoid(benchmark::State& state) {
   double x = -8.0;
@@ -78,6 +142,7 @@ struct PipelineFixture {
   std::unique_ptr<features::StaticFeatureTable> table;
   std::unique_ptr<features::FeatureExtractor> extractor;
   std::unique_ptr<sampling::TrainingSet> training_set;
+  std::unique_ptr<core::TsPprModel> model;
 
   static PipelineFixture& Get() {
     static PipelineFixture* fixture = [] {
@@ -95,19 +160,30 @@ struct PipelineFixture {
       f->training_set = std::make_unique<sampling::TrainingSet>(
           sampling::TrainingSet::Build(*f->split, *f->extractor, {})
               .ValueOrDie());
+      core::TsPprConfig config;
+      config.latent_dim = 40;
+      f->model = std::make_unique<core::TsPprModel>(
+          core::TsPprModel::Create(f->dataset.num_users(),
+                                   f->dataset.num_items(), 4, config)
+              .ValueOrDie());
       return f;
     }();
     return *fixture;
+  }
+
+  /// A warmed walker over sequence 0 plus its eligible candidate set.
+  window::WindowWalker MakeWalker(std::vector<data::ItemId>* candidates) {
+    window::WindowWalker walker(&dataset.sequence(0), 100);
+    while (walker.step() < 120) walker.Advance();
+    walker.EligibleCandidates(10, candidates);
+    return walker;
   }
 };
 
 void BM_FeatureExtraction(benchmark::State& state) {
   auto& fixture = PipelineFixture::Get();
-  const auto& seq = fixture.dataset.sequence(0);
-  window::WindowWalker walker(&seq, 100);
-  while (walker.step() < 120) walker.Advance();
   std::vector<data::ItemId> candidates;
-  walker.EligibleCandidates(10, &candidates);
+  window::WindowWalker walker = fixture.MakeWalker(&candidates);
   std::vector<double> f(4);
   size_t i = 0;
   for (auto _ : state) {
@@ -117,6 +193,26 @@ void BM_FeatureExtraction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FeatureExtraction);
+
+/// End-to-end candidate-span scoring: the naive per-candidate model apply vs
+/// the batched engine (w_u precompute + blocked SoA + SIMD kernels).
+void BM_ScoreCandidates(benchmark::State& state, core::ScoringMode mode) {
+  auto& fixture = PipelineFixture::Get();
+  std::vector<data::ItemId> candidates;
+  window::WindowWalker walker = fixture.MakeWalker(&candidates);
+  core::TsPprRecommender recommender(fixture.model.get(),
+                                     fixture.extractor.get(), "TS-PPR", mode);
+  std::vector<double> scores(candidates.size(), 0.0);
+  for (auto _ : state) {
+    recommender.Score(0, walker, candidates, scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(candidates.size()));
+}
+BENCHMARK_CAPTURE(BM_ScoreCandidates, naive, core::ScoringMode::kNaive);
+BENCHMARK_CAPTURE(BM_ScoreCandidates, scalar, core::ScoringMode::kScalar);
+BENCHMARK_CAPTURE(BM_ScoreCandidates, simd, core::ScoringMode::kSimd);
 
 void BM_SgdStepTsPpr(benchmark::State& state) {
   auto& fixture = PipelineFixture::Get();
@@ -137,6 +233,100 @@ void BM_SgdStepTsPpr(benchmark::State& state) {
 }
 BENCHMARK(BM_SgdStepTsPpr)->Arg(10)->Arg(40)->Unit(benchmark::kMicrosecond);
 
+// ---------------------------------------------------------------------------
+// BenchRun pre-pass: Stopwatch min-of-trials per-op timings -> JSON.
+
+/// Best per-op nanoseconds for `fn` (called `iters` times per trial) over
+/// several temporally spread trials; the min suppresses scheduler noise the
+/// same way the fig13 prepass does.
+template <typename Fn>
+double BestNsPerOp(Fn&& fn, int iters, int trials = 5) {
+  util::Stopwatch stopwatch;
+  double best = std::numeric_limits<double>::infinity();
+  for (int t = 0; t < trials; ++t) {
+    stopwatch.Restart();
+    for (int i = 0; i < iters; ++i) fn();
+    best = std::min(best, stopwatch.ElapsedMicros() * 1e3 /
+                              static_cast<double>(iters));
+  }
+  return best;
+}
+
+void RecordKernelTimings(bench::BenchRun* run, const std::string& tier,
+                         const math::KernelOps& kernels) {
+  constexpr const char* kDataset = "micro";
+  for (size_t k : kDims) {
+    std::vector<double> x(k, 0.5), y(k, 0.25);
+    const std::string suffix =
+        ".k" + std::to_string(k) + "." + tier + "_ns";
+    run->AddValue(kDataset, "dot" + suffix, BestNsPerOp(
+                                                [&] {
+                                                  benchmark::DoNotOptimize(
+                                                      kernels.dot(x.data(),
+                                                                  y.data(), k));
+                                                },
+                                                20000));
+    run->AddValue(kDataset, "axpy" + suffix, BestNsPerOp(
+                                                 [&] {
+                                                   kernels.axpy(1e-9, x.data(),
+                                                                y.data(), k);
+                                                   benchmark::DoNotOptimize(
+                                                       y.data());
+                                                 },
+                                                 20000));
+    const size_t rows = 64;
+    std::vector<double> matrix(rows * k, 0.25), out(rows, 0.0);
+    run->AddValue(kDataset, "dot_batch.rows64" + suffix,
+                  BestNsPerOp(
+                      [&] {
+                        kernels.dot_batch(x.data(), matrix.data(), rows, k, k,
+                                          out.data());
+                        benchmark::DoNotOptimize(out.data());
+                      },
+                      2000));
+  }
+}
+
+void RecordScoringTimings(bench::BenchRun* run, const std::string& label,
+                          core::ScoringMode mode) {
+  constexpr const char* kDataset = "micro";
+  auto& fixture = PipelineFixture::Get();
+  std::vector<data::ItemId> candidates;
+  window::WindowWalker walker = fixture.MakeWalker(&candidates);
+  core::TsPprRecommender recommender(fixture.model.get(),
+                                     fixture.extractor.get(), "TS-PPR", mode);
+  std::vector<double> scores(candidates.size(), 0.0);
+  const double ns = BestNsPerOp(
+      [&] {
+        recommender.Score(0, walker, candidates, scores);
+        benchmark::DoNotOptimize(scores.data());
+      },
+      500);
+  run->AddValue(kDataset, "score_candidates." + label + "_us", ns * 1e-3);
+  run->AddValue(kDataset, "score_candidates.num_candidates",
+                static_cast<double>(candidates.size()));
+}
+
+void RunPrepass(bench::BenchRun* run) {
+  RecordKernelTimings(run, "scalar", math::ScalarKernels());
+  // The active tier duplicates scalar when AVX2 is unavailable; recording it
+  // unconditionally keeps the JSON schema stable across machines.
+  RecordKernelTimings(run, "simd", math::ActiveKernels());
+  run->AddValue("micro", "simd_level_avx2",
+                math::DetectSimdLevel() == math::SimdLevel::kAvx2 ? 1.0 : 0.0);
+  RecordScoringTimings(run, "naive", core::ScoringMode::kNaive);
+  RecordScoringTimings(run, "scalar", core::ScoringMode::kScalar);
+  RecordScoringTimings(run, "simd", core::ScoringMode::kSimd);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::BenchRun run("micro_kernels", argc, argv);
+  RunPrepass(&run);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  RECONSUME_CHECK_OK(run.Finish());
+  return 0;
+}

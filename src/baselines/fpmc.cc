@@ -57,8 +57,8 @@ Result<FpmcRecommender> FpmcRecommender::Fit(const data::TrainTestSplit& split,
           event.basket_begin = static_cast<uint32_t>(baskets.size());
           std::vector<data::ItemId> basket;
           basket.reserve(walker.window_counts().size());
-          for (const auto& [item, count] : walker.window_counts()) {
-            (void)count;
+          for (const auto& [item, entry] : walker.window_counts()) {
+            (void)entry;
             basket.push_back(item);
           }
           if (static_cast<int>(basket.size()) > config.basket_cap) {
@@ -185,8 +185,8 @@ void FpmcRecommender::Score(data::UserId user,
   // paper's "medium" latency bucket in Fig. 13).
   eta_scratch_.assign(il_.cols(), 0.0);
   size_t basket_size = 0;
-  for (const auto& [item, count] : walker.window_counts()) {
-    (void)count;
+  for (const auto& [item, entry] : walker.window_counts()) {
+    (void)entry;
     math::Axpy(1.0, li_.Row(static_cast<size_t>(item)), eta_scratch_);
     ++basket_size;
   }

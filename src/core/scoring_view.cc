@@ -1,0 +1,197 @@
+#include "core/scoring_view.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "util/logging.h"
+
+namespace reconsume {
+namespace core {
+
+ScoringMode ResolveScoringMode(ScoringMode mode) {
+  if (mode != ScoringMode::kAuto) return mode;
+  static const ScoringMode env_mode = [] {
+    const char* env = std::getenv("RECONSUME_SCORING");
+    const std::string choice = env == nullptr ? "auto" : env;
+    if (choice == "naive") return ScoringMode::kNaive;
+    if (choice == "scalar") return ScoringMode::kScalar;
+    if (choice == "simd" || choice == "auto") return ScoringMode::kSimd;
+    RECONSUME_LOG(Warning) << "unknown RECONSUME_SCORING value '" << choice
+                           << "' (expected auto|naive|scalar|simd); using auto";
+    return ScoringMode::kSimd;
+  }();
+  return env_mode;
+}
+
+BlockedItemFactors::BlockedItemFactors(const TsPprModel& model)
+    : num_items_(model.num_items()),
+      k_(static_cast<size_t>(model.latent_dim())),
+      num_blocks_((num_items_ + math::kBlockItems - 1) / math::kBlockItems),
+      data_(num_blocks_ * k_ * math::kBlockItems, 0.0) {
+  for (size_t v = 0; v < num_items_; ++v) {
+    const auto row = model.item_factor(static_cast<data::ItemId>(v));
+    double* block = data_.data() + (v / math::kBlockItems) * k_ *
+                                       math::kBlockItems;
+    const size_t lane = v % math::kBlockItems;
+    for (size_t d = 0; d < k_; ++d) {
+      block[d * math::kBlockItems + lane] = row[d];
+    }
+  }
+}
+
+ScoringView::ScoringView(const TsPprModel* model,
+                         std::shared_ptr<const BlockedItemFactors> blocks,
+                         const math::KernelOps* kernels)
+    : model_(model), blocks_(std::move(blocks)), kernels_(kernels) {
+  RECONSUME_CHECK(model_ != nullptr && blocks_ != nullptr &&
+                  kernels_ != nullptr);
+  RECONSUME_CHECK(blocks_->num_items() == model_->num_items() &&
+                  blocks_->k() == static_cast<size_t>(model_->latent_dim()))
+      << "blocked factors were built from a different model shape";
+  const size_t k = blocks_->k();
+  const size_t f = static_cast<size_t>(model_->feature_dim());
+  factor_tile_.resize(k * math::kBlockItems, 0.0);
+  feature_tile_.resize(f * math::kBlockItems, 0.0);
+  uv_lane_.resize(math::kBlockItems, 0.0);
+  wf_lane_.resize(math::kBlockItems, 0.0);
+  feature_scratch_.resize(f, 0.0);
+  window_stamp_.resize(blocks_->num_items(), 0u);
+  window_gap_.resize(blocks_->num_items(), 0);
+  window_count_.resize(blocks_->num_items(), 0);
+}
+
+bool ScoringView::BuildWindowIndex(const window::WindowWalker& walker,
+                                   size_t num_candidates) {
+  const auto& counts = walker.window_counts();
+  // The pass costs one hash probe per distinct in-window item; the index
+  // saves ~2 probes per candidate. Skip it for tiny candidate lists.
+  if (2 * num_candidates < counts.size()) return false;
+  if (++window_epoch_ == 0) {  // u32 wrap: flush every stale stamp once
+    std::fill(window_stamp_.begin(), window_stamp_.end(), 0u);
+    window_epoch_ = 1;
+  }
+  window_size_ = walker.WindowSize();
+  const int step = walker.step();
+  for (const auto& [item, entry] : counts) {
+    const size_t idx = static_cast<size_t>(item);
+    RC_DCHECK_INDEX(idx, window_stamp_.size());
+    window_stamp_[idx] = window_epoch_;
+    window_count_[idx] = entry.count;
+    window_gap_[idx] = step - entry.last_seen;  // == GapSince, no hash probe
+  }
+  return true;
+}
+
+void ScoringView::FillFeatures(const features::FeatureExtractor& extractor,
+                               const window::WindowWalker& walker,
+                               data::ItemId v, bool use_index) {
+  const size_t idx = static_cast<size_t>(v);
+  if (use_index && idx < window_stamp_.size() &&
+      window_stamp_[idx] == window_epoch_) {
+    extractor.ExtractFromWindowState(v, window_gap_[idx], window_count_[idx],
+                                     window_size_, feature_scratch_);
+    return;
+  }
+  // Off-window candidates (catalog tasks) keep the walker path: recency may
+  // still be nonzero for items seen before the window edge.
+  extractor.Extract(walker, v, feature_scratch_);
+}
+
+void ScoringView::EnsureUserWeights(data::UserId user) {
+  if (user == weights_user_) return;
+  const math::Matrix& a = model_->mapping(user);
+  const auto u = model_->user_factor(user);
+  user_weights_.assign(a.cols(), 0.0);
+  // w_u[d] = sum_r u[r] * A_u(r, d): K axpys over the F-vector. Element-wise
+  // updates round identically in every kernel tier, so w_u — and with it the
+  // whole engine — stays bit-identical between scalar and SIMD.
+  for (size_t r = 0; r < a.rows(); ++r) {
+    math::KernelAxpy(*kernels_, u[r], a.Row(r), user_weights_);
+  }
+  weights_user_ = user;
+}
+
+void ScoringView::ScoreTile(std::span<const double> user_vec,
+                            const features::FeatureExtractor& extractor,
+                            const window::WindowWalker& walker,
+                            std::span<const data::ItemId> candidates,
+                            size_t begin, size_t count, bool use_index,
+                            std::span<double> scores) {
+  const size_t k = user_vec.size();
+  const size_t f = feature_scratch_.size();
+  // Pack the candidates' factor rows into the dim-major tile. Row reads are
+  // contiguous; the strided tile writes stay inside one K x 8 scratch that
+  // lives in L1 across the whole request.
+  for (size_t lane = 0; lane < count; ++lane) {
+    const auto row = model_->item_factor(candidates[begin + lane]);
+    for (size_t d = 0; d < k; ++d) {
+      factor_tile_[d * math::kBlockItems + lane] = row[d];
+    }
+  }
+  kernels_->score_block(user_vec.data(), k, factor_tile_.data(),
+                        uv_lane_.data());
+  for (size_t lane = 0; lane < count; ++lane) {
+    FillFeatures(extractor, walker, candidates[begin + lane], use_index);
+    for (size_t d = 0; d < f; ++d) {
+      feature_tile_[d * math::kBlockItems + lane] = feature_scratch_[d];
+    }
+  }
+  kernels_->score_block(user_weights_.data(), f, feature_tile_.data(),
+                        wf_lane_.data());
+  for (size_t lane = 0; lane < count; ++lane) {
+    scores[begin + lane] = uv_lane_[lane] + wf_lane_[lane];
+  }
+}
+
+void ScoringView::ScoreCandidates(data::UserId user,
+                                  const features::FeatureExtractor& extractor,
+                                  const window::WindowWalker& walker,
+                                  std::span<const data::ItemId> candidates,
+                                  std::span<double> scores) {
+  RC_DCHECK(candidates.size() == scores.size());
+  if (candidates.empty()) return;
+  EnsureUserWeights(user);
+  const auto u = model_->user_factor(user);
+  const bool use_index = BuildWindowIndex(walker, candidates.size());
+
+  // Full-catalog iota lists (the kUnified evaluation task and catalog
+  // sweeps) score straight off the prebuilt SoA blocks — no packing at all.
+  bool iota = candidates.size() == blocks_->num_items();
+  for (size_t i = 0; iota && i < candidates.size(); ++i) {
+    iota = candidates[i] == static_cast<data::ItemId>(i);
+  }
+  if (iota) {
+    const size_t f = feature_scratch_.size();
+    for (size_t b = 0; b < blocks_->num_blocks(); ++b) {
+      kernels_->score_block(u.data(), u.size(), blocks_->Block(b),
+                            uv_lane_.data());
+      const size_t begin = b * math::kBlockItems;
+      const size_t count =
+          std::min(math::kBlockItems, candidates.size() - begin);
+      for (size_t lane = 0; lane < count; ++lane) {
+        FillFeatures(extractor, walker, candidates[begin + lane], use_index);
+        for (size_t d = 0; d < f; ++d) {
+          feature_tile_[d * math::kBlockItems + lane] = feature_scratch_[d];
+        }
+      }
+      kernels_->score_block(user_weights_.data(), f, feature_tile_.data(),
+                            wf_lane_.data());
+      for (size_t lane = 0; lane < count; ++lane) {
+        scores[begin + lane] = uv_lane_[lane] + wf_lane_[lane];
+      }
+    }
+    return;
+  }
+
+  for (size_t begin = 0; begin < candidates.size();
+       begin += math::kBlockItems) {
+    const size_t count =
+        std::min(math::kBlockItems, candidates.size() - begin);
+    ScoreTile(u, extractor, walker, candidates, begin, count, use_index,
+              scores);
+  }
+}
+
+}  // namespace core
+}  // namespace reconsume

@@ -3,15 +3,41 @@
 namespace reconsume {
 namespace core {
 
+TsPprRecommender::TsPprRecommender(const TsPprModel* model,
+                                   const features::FeatureExtractor* extractor,
+                                   std::string name, ScoringMode mode)
+    : model_(model),
+      extractor_(extractor),
+      name_(std::move(name)),
+      mode_(ResolveScoringMode(mode)),
+      feature_scratch_(
+          extractor == nullptr ? 0 : static_cast<size_t>(extractor->dimension())) {
+  RECONSUME_CHECK(model != nullptr && extractor != nullptr);
+  RECONSUME_CHECK(model->feature_dim() == extractor->dimension())
+      << "model F=" << model->feature_dim()
+      << " != extractor F=" << extractor->dimension();
+  if (mode_ != ScoringMode::kNaive) {
+    blocks_ = std::make_shared<const BlockedItemFactors>(*model);
+    const math::KernelOps& kernels = mode_ == ScoringMode::kScalar
+                                         ? math::ScalarKernels()
+                                         : math::ActiveKernels();
+    view_.emplace(model_, blocks_, &kernels);
+  }
+}
+
 void TsPprRecommender::Score(data::UserId user,
                              const window::WindowWalker& walker,
                              std::span<const data::ItemId> candidates,
                              std::span<double> scores) {
   RECONSUME_DCHECK(candidates.size() == scores.size());
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    extractor_->Extract(walker, candidates[i], feature_scratch_);
-    scores[i] = model_->Score(user, candidates[i], feature_scratch_);
+  if (mode_ == ScoringMode::kNaive) {
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      extractor_->Extract(walker, candidates[i], feature_scratch_);
+      scores[i] = model_->Score(user, candidates[i], feature_scratch_);
+    }
+    return;
   }
+  view_->ScoreCandidates(user, *extractor_, walker, candidates, scores);
 }
 
 }  // namespace core

@@ -1,11 +1,21 @@
 // Recommendation with a trained TS-PPR model (§4.3): rank the window
 // candidates by r_uvt, extracting behavioral features on the fly.
+//
+// By default scoring runs through the vectorized engine (core/scoring_view.h):
+// a shared blocked-SoA copy of the item factors plus a per-clone ScoringView
+// that precomputes w_u = A_u^T u once per user and scores candidate tiles
+// with the runtime-dispatched SIMD kernels. ScoringMode::kNaive keeps the
+// original per-candidate TsPprModel::Score loop as the reference path
+// (parity tests, the BM_ScoreCandidates baseline, RECONSUME_SCORING=naive).
 
 #pragma once
 
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/scoring_view.h"
 #include "core/ts_ppr_model.h"
 #include "eval/recommender.h"
 #include "features/feature_extractor.h"
@@ -16,19 +26,12 @@ namespace core {
 /// \brief eval::Recommender over a trained TsPprModel.
 class TsPprRecommender : public eval::Recommender {
  public:
-  /// Both pointees must outlive the recommender.
+  /// Both pointees must outlive the recommender. The blocked SoA factor copy
+  /// is built once here and shared (immutably) with every Clone().
   TsPprRecommender(const TsPprModel* model,
                    const features::FeatureExtractor* extractor,
-                   std::string name = "TS-PPR")
-      : model_(model),
-        extractor_(extractor),
-        name_(std::move(name)),
-        feature_scratch_(static_cast<size_t>(extractor->dimension())) {
-    RECONSUME_CHECK(model != nullptr && extractor != nullptr);
-    RECONSUME_CHECK(model->feature_dim() == extractor->dimension())
-        << "model F=" << model->feature_dim()
-        << " != extractor F=" << extractor->dimension();
-  }
+                   std::string name = "TS-PPR",
+                   ScoringMode mode = ScoringMode::kAuto);
 
   std::string name() const override { return name_; }
 
@@ -40,13 +43,18 @@ class TsPprRecommender : public eval::Recommender {
              std::span<const data::ItemId> candidates,
              std::span<double> scores) override;
 
+  /// The resolved mode (never kAuto).
+  ScoringMode scoring_mode() const { return mode_; }
+
  private:
   const TsPprModel* model_;
   const features::FeatureExtractor* extractor_;
   std::string name_;
+  ScoringMode mode_;
+  std::shared_ptr<const BlockedItemFactors> blocks_;  ///< engine modes only
+  std::optional<ScoringView> view_;  ///< per-clone scratch; copied by value
   std::vector<double> feature_scratch_;
 };
 
 }  // namespace core
 }  // namespace reconsume
-

@@ -121,6 +121,9 @@ Status Evaluator::EvaluateUser(Recommender* recommender, data::UserId user,
 
   std::vector<data::ItemId> candidates;
   std::vector<double> scores;
+  std::vector<int> top;
+  int max_top_n = 0;
+  for (int n : options_.top_ns) max_top_n = std::max(max_top_n, n);
   util::Stopwatch stopwatch;
   std::vector<int64_t> user_hits(num_cutoffs, 0);
   int64_t user_instances = 0;
@@ -171,7 +174,6 @@ Status Evaluator::EvaluateUser(Recommender* recommender, data::UserId user,
         user_latency_ms += score_ms;
       }
 
-      // Rank of the target under (score desc, candidate order asc).
       size_t target_index = candidates.size();
       for (size_t i = 0; i < candidates.size(); ++i) {
         if (candidates[i] == target) {
@@ -185,12 +187,17 @@ Status Evaluator::EvaluateUser(Recommender* recommender, data::UserId user,
             std::to_string(user) + " at step " +
             std::to_string(walker.step()));
       }
-      const double target_score = scores[target_index];
-      size_t rank = 0;
-      for (size_t i = 0; i < candidates.size(); ++i) {
-        if (scores[i] > target_score ||
-            (scores[i] == target_score && i < target_index)) {
-          ++rank;
+      // Rank of the target under (score desc, candidate order asc), via the
+      // same bounded-heap partial selection the serving path uses: the
+      // target's position in the top-max(N) list is exactly the number of
+      // candidates preferred over it, and a target outside the list has
+      // rank >= max(N), i.e. it misses every cutoff.
+      SelectTopNHeap(scores, max_top_n, &top);
+      size_t rank = static_cast<size_t>(max_top_n);
+      for (size_t p = 0; p < top.size(); ++p) {
+        if (static_cast<size_t>(top[p]) == target_index) {
+          rank = p;
+          break;
         }
       }
 

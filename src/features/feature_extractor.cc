@@ -43,8 +43,12 @@ double FeatureExtractor::Recency(const window::WindowWalker& walker,
                                  data::ItemId v) const {
   // Items the user never consumed have no recency signal at all — this makes
   // the extractor total, so the same f_uvt serves the novel-item task (§4.3).
-  if (walker.LastSeenStep(v) < 0) return 0.0;
-  const int gap = walker.GapSince(v);  // >= 1 for seen items
+  const int last = walker.LastSeenStep(v);
+  if (last < 0) return 0.0;
+  return RecencyFromGap(walker.step() - last);  // gap >= 1 for seen items
+}
+
+double FeatureExtractor::RecencyFromGap(int gap) const {
   switch (config_.recency_kernel) {
     case RecencyKernel::kHyperbolic:
       return 1.0 / static_cast<double>(gap);
@@ -78,6 +82,27 @@ void FeatureExtractor::Extract(const window::WindowWalker& walker,
   if (config_.use_familiarity) out[i++] = Familiarity(walker, v);
   // Every behavioral feature of SS4.1 is a bounded ratio; non-finite values
   // here would silently poison the SGD gradients downstream.
+  for (size_t j = 0; j < i; ++j) RC_DCHECK_FINITE(out[j]);
+}
+
+void FeatureExtractor::ExtractFromWindowState(data::ItemId v, int gap,
+                                              int count, int window_size,
+                                              std::span<double> out) const {
+  RC_DCHECK(out.size() == static_cast<size_t>(dimension()))
+      << "out=" << out.size() << " dim=" << dimension();
+  // Mirrors Extract feature-for-feature: same ordering, same formulas, same
+  // rounding — callers may mix the two paths and get bit-identical f_uvt.
+  size_t i = 0;
+  if (config_.use_item_quality) out[i++] = table_->quality(v);
+  if (config_.use_reconsumption_ratio) {
+    out[i++] = table_->reconsumption_ratio(v);
+  }
+  if (config_.use_recency) out[i++] = gap < 0 ? 0.0 : RecencyFromGap(gap);
+  if (config_.use_familiarity) {
+    out[i++] = window_size == 0 ? 0.0
+                                : static_cast<double>(count) /
+                                      static_cast<double>(window_size);
+  }
   for (size_t j = 0; j < i; ++j) RC_DCHECK_FINITE(out[j]);
 }
 

@@ -80,6 +80,17 @@ class FeatureExtractor {
     return out;
   }
 
+  /// \brief Same f_uvt from precomputed window state instead of walker
+  /// lookups: `gap` is t - l_ut(v) (< 0 when the user never consumed v) and
+  /// `count` is v's occurrence count in the current window.
+  ///
+  /// This is the batched-scoring fast path (core/scoring_view.h): the engine
+  /// resolves gap/count for every in-window item in one pass over the window
+  /// multiset, then fills feature tiles without per-candidate hash lookups.
+  /// Bit-identical to Extract — both paths share the same feature formulas.
+  void ExtractFromWindowState(data::ItemId v, int gap, int count,
+                              int window_size, std::span<double> out) const;
+
   /// Individual feature values (used by Fig. 4 and by simple baselines).
   double ItemQuality(data::ItemId v) const { return table_->quality(v); }
   double ReconsumptionRatio(data::ItemId v) const {
@@ -87,6 +98,9 @@ class FeatureExtractor {
   }
   double Recency(const window::WindowWalker& walker, data::ItemId v) const;
   double Familiarity(const window::WindowWalker& walker, data::ItemId v) const;
+
+  /// The recency kernel applied to a known gap >= 1 (Eq. 19/20, ref. [14]).
+  double RecencyFromGap(int gap) const;
 
  private:
   const StaticFeatureTable* table_;

@@ -1,0 +1,183 @@
+#include "math/kernels.h"
+
+#include "util/check.h"
+
+#if RECONSUME_SIMD_X86
+#include <immintrin.h>
+#endif
+
+namespace reconsume {
+namespace math {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar tier. The striped layout mirrors the AVX2 lane structure exactly:
+// 8 accumulators, lane j owning elements j, j+8, ..., combined pairwise.
+// ---------------------------------------------------------------------------
+
+double ScalarDot(const double* x, const double* y, size_t n) {
+  double lane[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  const size_t main = n & ~size_t{7};
+  for (size_t i = 0; i < main; i += 8) {
+    for (size_t j = 0; j < 8; ++j) lane[j] += x[i + j] * y[i + j];
+  }
+  double acc = ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+               ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+  for (size_t i = main; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void ScalarAxpy(double alpha, const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScalarDotBatch(const double* q, const double* rows, size_t num_rows,
+                    size_t k, size_t stride, double* out) {
+  for (size_t r = 0; r < num_rows; ++r) {
+    out[r] = ScalarDot(q, rows + r * stride, k);
+  }
+}
+
+void ScalarScoreBlock(const double* q, size_t k, const double* block,
+                      double* out) {
+  double acc[kBlockItems] = {0, 0, 0, 0, 0, 0, 0, 0};
+  for (size_t d = 0; d < k; ++d) {
+    const double qd = q[d];
+    const double* items = block + d * kBlockItems;
+    for (size_t l = 0; l < kBlockItems; ++l) acc[l] += qd * items[l];
+  }
+  for (size_t l = 0; l < kBlockItems; ++l) out[l] = acc[l];
+}
+
+#if RECONSUME_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// AVX2 tier. mul+add only (no FMA): per lane this is the same operation
+// sequence as the scalar mirror, so results are bit-identical.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) double Avx2Dot(const double* x,
+                                               const double* y, size_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();  // lanes 0..3 (i % 8 in 0..3)
+  __m256d acc_hi = _mm256_setzero_pd();  // lanes 4..7
+  const size_t main = n & ~size_t{7};
+  for (size_t i = 0; i < main; i += 8) {
+    acc_lo = _mm256_add_pd(
+        acc_lo, _mm256_mul_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i)));
+    acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(_mm256_loadu_pd(x + i + 4),
+                                                 _mm256_loadu_pd(y + i + 4)));
+  }
+  alignas(32) double lane[8];
+  _mm256_store_pd(lane, acc_lo);
+  _mm256_store_pd(lane + 4, acc_hi);
+  double acc = ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+               ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+  for (size_t i = main; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+__attribute__((target("avx2"))) void Avx2Axpy(double alpha, const double* x,
+                                              double* y, size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  const size_t main = n & ~size_t{3};
+  for (size_t i = 0; i < main; i += 4) {
+    const __m256d yi = _mm256_loadu_pd(y + i);
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(yi, _mm256_mul_pd(va, _mm256_loadu_pd(x + i))));
+  }
+  for (size_t i = main; i < n; ++i) y[i] += alpha * x[i];
+}
+
+__attribute__((target("avx2"))) void Avx2DotBatch(const double* q,
+                                                  const double* rows,
+                                                  size_t num_rows, size_t k,
+                                                  size_t stride, double* out) {
+  for (size_t r = 0; r < num_rows; ++r) {
+    out[r] = Avx2Dot(q, rows + r * stride, k);
+  }
+}
+
+__attribute__((target("avx2"))) void Avx2ScoreBlock(const double* q, size_t k,
+                                                    const double* block,
+                                                    double* out) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  for (size_t d = 0; d < k; ++d) {
+    const __m256d qd = _mm256_set1_pd(q[d]);
+    const double* items = block + d * kBlockItems;
+    acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(qd, _mm256_loadu_pd(items)));
+    acc_hi =
+        _mm256_add_pd(acc_hi, _mm256_mul_pd(qd, _mm256_loadu_pd(items + 4)));
+  }
+  _mm256_storeu_pd(out, acc_lo);
+  _mm256_storeu_pd(out + 4, acc_hi);
+}
+
+#endif  // RECONSUME_SIMD_X86
+
+}  // namespace
+
+const KernelOps& ScalarKernels() {
+  static constexpr KernelOps ops = {"scalar", ScalarDot, ScalarAxpy,
+                                    ScalarDotBatch, ScalarScoreBlock};
+  return ops;
+}
+
+const KernelOps& Avx2Kernels() {
+#if RECONSUME_SIMD_X86
+  static constexpr KernelOps ops = {"avx2", Avx2Dot, Avx2Axpy, Avx2DotBatch,
+                                    Avx2ScoreBlock};
+  return ops;
+#else
+  return ScalarKernels();
+#endif
+}
+
+const KernelOps& KernelsFor(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return ScalarKernels();
+    case SimdLevel::kAvx2:
+      return Avx2Kernels();
+  }
+  return ScalarKernels();
+}
+
+const KernelOps& ActiveKernels() {
+  static const KernelOps& ops = KernelsFor(DetectSimdLevel());
+  return ops;
+}
+
+double KernelDot(const KernelOps& ops, std::span<const double> x,
+                 std::span<const double> y) {
+  RC_DCHECK(x.size() == y.size())
+      << "dim mismatch: " << x.size() << " vs " << y.size();
+  return ops.dot(x.data(), y.data(), x.size());
+}
+
+void KernelAxpy(const KernelOps& ops, double alpha, std::span<const double> x,
+                std::span<double> y) {
+  RC_DCHECK(x.size() == y.size())
+      << "dim mismatch: " << x.size() << " vs " << y.size();
+  ops.axpy(alpha, x.data(), y.data(), x.size());
+}
+
+void KernelDotBatch(const KernelOps& ops, std::span<const double> q,
+                    std::span<const double> rows, size_t num_rows,
+                    size_t stride, std::span<double> out) {
+  RC_DCHECK(out.size() >= num_rows);
+  RC_DCHECK(stride >= q.size());
+  RC_DCHECK(num_rows == 0 || rows.size() >= (num_rows - 1) * stride + q.size());
+  ops.dot_batch(q.data(), rows.data(), num_rows, q.size(), stride, out.data());
+}
+
+void KernelScoreBlock(const KernelOps& ops, std::span<const double> q,
+                      std::span<const double> block, std::span<double> out) {
+  RC_DCHECK(block.size() >= q.size() * kBlockItems);
+  RC_DCHECK(out.size() >= kBlockItems);
+  ops.score_block(q.data(), q.size(), block.data(), out.data());
+}
+
+}  // namespace math
+}  // namespace reconsume

@@ -1,0 +1,94 @@
+// Vectorized BLAS-1/2 kernels behind a runtime-dispatched registry.
+//
+// vector_ops.h stays the plain scalar reference for the *training* inner
+// loop; this layer is the read-side hot path (candidate scoring, Eq. 5).
+// Every kernel exists in a scalar and an AVX2 flavor with a pinned
+// floating-point reduction contract, so the two flavors are bit-identical
+// and the parity tests (tests/kernels_test.cc) can assert exact equality:
+//
+//   * Dot / DotBatch use a *striped* reduction: 8 independent accumulators,
+//     lane j summing elements j, j+8, j+16, ... of the first n&~7 elements
+//     in index order, combined as ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)),
+//     plus a sequential tail. The AVX2 version performs the same per-lane
+//     operation sequence with two 4-double vectors (no FMA — fused rounding
+//     would break bit parity with the scalar mirror). Note this differs from
+//     vector_ops::Dot's sequential sum in the last ulp; anything needing
+//     bit-compatibility with the trainer keeps using vector_ops.
+//   * Axpy is element-wise, so scalar and AVX2 round identically.
+//   * ScoreBlock vectorizes *across items*, not across dims: each lane
+//     accumulates its own item's sum in plain index order, which makes the
+//     result bit-identical to a per-item sequential vector_ops::Dot. This is
+//     the kernel the scoring engine builds on, and why the whole SIMD
+//     scoring path can be bit-identical to its scalar fallback.
+//
+// Dispatch: ActiveKernels() resolves once per process from
+// math::DetectSimdLevel() (CPU detection + RECONSUME_SIMD override).
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "math/simd.h"
+
+namespace reconsume {
+namespace math {
+
+/// Items per SoA block / scoring tile: 8 doubles = two AVX2 vectors = one
+/// 64-byte cache line per dimension.
+inline constexpr size_t kBlockItems = 8;
+
+/// \brief One instruction-set tier's kernel implementations.
+///
+/// Raw-pointer signatures keep the registry a plain aggregate of function
+/// pointers (trivially hot-swappable, no virtual dispatch); the span
+/// wrappers below add the debug-mode shape checks.
+struct KernelOps {
+  const char* name;  ///< "scalar" or "avx2"
+
+  /// Striped-reduction dot product <x, y> over n elements.
+  double (*dot)(const double* x, const double* y, size_t n);
+
+  /// y += alpha * x over n elements.
+  void (*axpy)(double alpha, const double* x, double* y, size_t n);
+
+  /// out[r] = dot(q, rows + r*stride) for num_rows row-major rows of k
+  /// elements each; the "one query against N contiguous rows" kernel.
+  void (*dot_batch)(const double* q, const double* rows, size_t num_rows,
+                    size_t k, size_t stride, double* out);
+
+  /// out[l] = sum_d q[d] * block[d*kBlockItems + l] for l < kBlockItems.
+  /// `block` is one K x kBlockItems dim-major SoA tile: for each dimension
+  /// d, the kBlockItems items' values are contiguous. Per-lane accumulation
+  /// is in plain d order, so each out[l] is bit-identical to a sequential
+  /// dot of q with item l's factor row.
+  void (*score_block)(const double* q, size_t k, const double* block,
+                      double* out);
+};
+
+/// The portable reference tier (also the bit-parity oracle).
+const KernelOps& ScalarKernels();
+
+/// The AVX2 tier; identical to ScalarKernels() when the build cannot carry
+/// AVX2 bodies (non-x86 or non-GCC/Clang).
+const KernelOps& Avx2Kernels();
+
+/// The tier for an explicit level (parity tests, bench sweeps).
+const KernelOps& KernelsFor(SimdLevel level);
+
+/// The process-wide tier: KernelsFor(DetectSimdLevel()), resolved once.
+const KernelOps& ActiveKernels();
+
+/// Span convenience wrappers over a KernelOps tier (debug shape checks).
+double KernelDot(const KernelOps& ops, std::span<const double> x,
+                 std::span<const double> y);
+void KernelAxpy(const KernelOps& ops, double alpha, std::span<const double> x,
+                std::span<double> y);
+void KernelDotBatch(const KernelOps& ops, std::span<const double> q,
+                    std::span<const double> rows, size_t num_rows,
+                    size_t stride, std::span<double> out);
+void KernelScoreBlock(const KernelOps& ops, std::span<const double> q,
+                      std::span<const double> block, std::span<double> out);
+
+}  // namespace math
+}  // namespace reconsume

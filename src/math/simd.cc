@@ -1,0 +1,65 @@
+#include "math/simd.h"
+
+#include <cstring>
+#include <string>
+
+#include "util/logging.h"
+
+namespace reconsume {
+namespace math {
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool CpuSupportsAvx2() {
+#if RECONSUME_SIMD_X86
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+SimdLevel MaxSupportedSimdLevel() {
+  return (BuildSupportsAvx2() && CpuSupportsAvx2()) ? SimdLevel::kAvx2
+                                                    : SimdLevel::kScalar;
+}
+
+namespace {
+
+SimdLevel ResolveSimdLevel() {
+  const char* env = std::getenv("RECONSUME_SIMD");
+  const std::string choice = env == nullptr ? "auto" : env;
+  if (choice == "scalar") return SimdLevel::kScalar;
+  if (choice == "avx2" || choice == "auto") {
+    const SimdLevel max = MaxSupportedSimdLevel();
+    if (choice == "avx2" && max != SimdLevel::kAvx2) {
+      RECONSUME_LOG(Warning)
+          << "RECONSUME_SIMD=avx2 requested but "
+          << (BuildSupportsAvx2() ? "the CPU does not support AVX2"
+                                  : "this build carries no AVX2 kernels")
+          << "; falling back to scalar kernels";
+      return SimdLevel::kScalar;
+    }
+    return max;
+  }
+  RECONSUME_LOG(Warning) << "unknown RECONSUME_SIMD value '" << choice
+                         << "' (expected auto|scalar|avx2); using auto";
+  return MaxSupportedSimdLevel();
+}
+
+}  // namespace
+
+SimdLevel DetectSimdLevel() {
+  static const SimdLevel level = ResolveSimdLevel();
+  return level;
+}
+
+}  // namespace math
+}  // namespace reconsume

@@ -1,0 +1,93 @@
+// SIMD capability layer: compile-time feature gates, runtime CPU detection,
+// and 64-byte-aligned storage for the vectorized kernels in math/kernels.h.
+//
+// The kernel registry (kernels.h) dispatches on DetectSimdLevel(), which
+// combines what this binary was compiled with, what the CPU reports at
+// runtime, and an explicit RECONSUME_SIMD environment override:
+//
+//   RECONSUME_SIMD=auto    use the best supported level (default)
+//   RECONSUME_SIMD=scalar  force the scalar reference kernels
+//   RECONSUME_SIMD=avx2    force AVX2 (falls back to scalar, with a warning,
+//                          when the CPU or build cannot run it)
+//
+// The AVX2 kernels are compiled with per-function target attributes, so no
+// global -mavx2 flag is needed and the binary stays runnable on any x86-64.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+// Per-function target("avx2") attributes are a GCC/Clang x86 extension; on
+// other compilers or architectures the registry only ever offers scalar.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define RECONSUME_SIMD_X86 1
+#else
+#define RECONSUME_SIMD_X86 0
+#endif
+
+namespace reconsume {
+namespace math {
+
+/// Alignment of all kernel-facing buffers: one cache line, which also covers
+/// the 32-byte AVX2 vector alignment.
+inline constexpr size_t kSimdAlignment = 64;
+
+/// \brief Instruction-set tiers the kernel registry can dispatch between.
+enum class SimdLevel {
+  kScalar,  ///< portable reference kernels (also the parity oracle)
+  kAvx2,    ///< 256-bit AVX2 kernels, 4 doubles per vector
+};
+
+/// "scalar" / "avx2" — used in logs, bench labels, and the registry.
+const char* SimdLevelName(SimdLevel level);
+
+/// True when the *CPU* can execute AVX2 (independent of how we compiled).
+bool CpuSupportsAvx2();
+
+/// True when this binary carries AVX2 kernel bodies at all.
+constexpr bool BuildSupportsAvx2() { return RECONSUME_SIMD_X86 != 0; }
+
+/// Best level this build + CPU combination can run.
+SimdLevel MaxSupportedSimdLevel();
+
+/// MaxSupportedSimdLevel() filtered through the RECONSUME_SIMD override.
+/// Resolved once per process (the first call wins; the result is cached).
+SimdLevel DetectSimdLevel();
+
+/// \brief Minimal 64-byte-aligned allocator for kernel-facing scratch.
+///
+/// std::vector's default allocator only guarantees alignof(std::max_align_t)
+/// (16 on x86-64); the blocked SoA layout and tile scratch want cache-line
+/// alignment so vector loads never split lines.
+template <typename T>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) {}  // NOLINT(google-explicit-constructor)
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(kSimdAlignment)));
+  }
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t(kSimdAlignment));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const {
+    return true;
+  }
+};
+
+/// Cache-line-aligned double buffer; the storage type of every blocked SoA
+/// table and kernel scratch tile.
+using AlignedVector = std::vector<double, AlignedAllocator<double>>;
+
+}  // namespace math
+}  // namespace reconsume

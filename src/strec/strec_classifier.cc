@@ -45,10 +45,10 @@ std::vector<double> WindowFeatures(const window::WindowWalker& walker,
     const double num_distinct =
         static_cast<double>(walker.NumDistinctInWindow());
     distinct_ratio = num_distinct / static_cast<double>(window_size);
-    for (const auto& [item, count] : walker.window_counts()) {
+    for (const auto& [item, entry] : walker.window_counts()) {
       mean_ir += table.reconsumption_ratio(item);
       max_familiarity =
-          std::max(max_familiarity, static_cast<double>(count) /
+          std::max(max_familiarity, static_cast<double>(entry.count) /
                                         static_cast<double>(window_size));
     }
     mean_ir /= num_distinct;

@@ -6,7 +6,9 @@ namespace window {
 void WindowWalker::Advance() {
   RECONSUME_CHECK(!Done()) << "Advance past end of sequence";
   const data::ItemId entering = (*sequence_)[static_cast<size_t>(step_)];
-  ++in_window_[entering];
+  WindowEntry& entry = in_window_[entering];
+  ++entry.count;
+  entry.last_seen = step_;
   last_seen_[entering] = step_;
   ++step_;
   if (step_ > capacity_) {
@@ -14,7 +16,7 @@ void WindowWalker::Advance() {
         (*sequence_)[static_cast<size_t>(step_ - capacity_ - 1)];
     auto it = in_window_.find(leaving);
     RECONSUME_DCHECK(it != in_window_.end());
-    if (--it->second == 0) in_window_.erase(it);
+    if (--it->second.count == 0) in_window_.erase(it);
   }
 }
 
@@ -22,9 +24,8 @@ void WindowWalker::EligibleCandidates(int min_gap,
                                       std::vector<data::ItemId>* out) const {
   out->clear();
   out->reserve(in_window_.size());
-  for (const auto& [item, count] : in_window_) {
-    (void)count;
-    if (GapSince(item) > min_gap) out->push_back(item);
+  for (const auto& [item, entry] : in_window_) {
+    if (step_ - entry.last_seen > min_gap) out->push_back(item);
   }
 }
 

@@ -27,6 +27,17 @@ namespace window {
 /// event at position t = step().
 class WindowWalker {
  public:
+  /// \brief Per-item state for a distinct item currently inside the window.
+  ///
+  /// `last_seen` equals LastSeenStep(item): an in-window item's most recent
+  /// occurrence is by definition inside the window, so batched consumers
+  /// (core/scoring_view.h's window index) read count *and* gap from one map
+  /// iteration with no extra hash probes.
+  struct WindowEntry {
+    int count = 0;      ///< occurrences of the item in the window
+    int last_seen = 0;  ///< step of the item's most recent consumption
+  };
+
   /// `sequence` must outlive the walker. capacity >= 1.
   WindowWalker(const data::ConsumptionSequence* sequence, int capacity)
       : sequence_(sequence), capacity_(capacity) {
@@ -58,7 +69,7 @@ class WindowWalker {
   /// Number of occurrences of v in the current window.
   int CountInWindow(data::ItemId v) const {
     const auto it = in_window_.find(v);
-    return it == in_window_.end() ? 0 : it->second;
+    return it == in_window_.end() ? 0 : it->second.count;
   }
 
   /// Step of v's most recent consumption over the whole history, or -1.
@@ -74,8 +85,9 @@ class WindowWalker {
     return step_ - last;
   }
 
-  /// Distinct items currently in the window with their counts.
-  const std::unordered_map<data::ItemId, int>& window_counts() const {
+  /// Distinct items currently in the window with their count and last-seen
+  /// step (see WindowEntry).
+  const std::unordered_map<data::ItemId, WindowEntry>& window_counts() const {
     return in_window_;
   }
 
@@ -104,8 +116,8 @@ class WindowWalker {
   const data::ConsumptionSequence* sequence_;
   int capacity_;
   int step_ = 0;
-  std::unordered_map<data::ItemId, int> in_window_;
-  std::unordered_map<data::ItemId, int> last_seen_;
+  std::unordered_map<data::ItemId, WindowEntry> in_window_;
+  std::unordered_map<data::ItemId, int> last_seen_;  ///< full history
 };
 
 }  // namespace window

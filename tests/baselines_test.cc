@@ -159,8 +159,8 @@ TEST(FpmcTest, ScoreAgreesWithScoreWithBasket) {
   fpmc.Score(0, walker, candidates, scores);
 
   std::vector<data::ItemId> basket;
-  for (const auto& [item, count] : walker.window_counts()) {
-    (void)count;
+  for (const auto& [item, entry] : walker.window_counts()) {
+    (void)entry;
     basket.push_back(item);
   }
   for (size_t i = 0; i < candidates.size(); ++i) {

@@ -105,8 +105,8 @@ TEST(FeatureExtractorTest, AllFeaturesInUnitInterval) {
   window::WindowWalker walker(&fixture.dataset.sequence(0), 5);
   walker.Advance();
   while (!walker.Done()) {
-    for (const auto& [item, count] : walker.window_counts()) {
-      (void)count;
+    for (const auto& [item, entry] : walker.window_counts()) {
+      (void)entry;
       const auto f = extractor.Extract(walker, item);
       for (double v : f) {
         EXPECT_GE(v, 0.0);

@@ -1,0 +1,198 @@
+// Bit-exact parity tests for the SIMD kernel layer (math/kernels.h).
+//
+// The kernel contract pins the reduction shape (8-lane striped dot, in-order
+// score_block accumulation), so for every size — including empty inputs,
+// non-multiple-of-8 tails, and unaligned base pointers — the AVX2 tier must
+// produce *bit-identical* doubles to the scalar tier, not merely close ones.
+
+#include "math/kernels.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "math/simd.h"
+#include "math/vector_ops.h"
+#include "util/random.h"
+
+namespace reconsume {
+namespace math {
+namespace {
+
+// Awkward sizes: 0, 1, around the 8-lane boundary, and larger odd lengths.
+constexpr size_t kSizes[] = {0, 1, 3, 7, 8, 9, 15, 31, 40, 63, 64, 65, 100, 128, 129};
+
+std::vector<double> RandomVector(util::Rng* rng, size_t n) {
+  std::vector<double> v(n);
+  // Mixed magnitudes so reassociation would actually change the result:
+  // a wrong reduction order fails these tests rather than passing by luck.
+  for (auto& x : v) {
+    x = (rng->NextDouble() - 0.5) * (rng->Uniform(4) == 0 ? 1e6 : 1.0);
+  }
+  return v;
+}
+
+bool HaveAvx2() { return DetectSimdLevel() == SimdLevel::kAvx2; }
+
+TEST(KernelsTest, DotMatchesScalarBitExact) {
+  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2 on this machine";
+  const KernelOps& scalar = ScalarKernels();
+  const KernelOps& avx2 = Avx2Kernels();
+  util::Rng rng(123);
+  for (size_t n : kSizes) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto x = RandomVector(&rng, n);
+      const auto y = RandomVector(&rng, n);
+      const double a = scalar.dot(x.data(), y.data(), n);
+      const double b = avx2.dot(x.data(), y.data(), n);
+      EXPECT_EQ(a, b) << "n=" << n << " trial=" << trial;
+    }
+  }
+}
+
+TEST(KernelsTest, DotUnalignedBaseMatches) {
+  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2 on this machine";
+  const KernelOps& scalar = ScalarKernels();
+  const KernelOps& avx2 = Avx2Kernels();
+  util::Rng rng(321);
+  for (size_t n : kSizes) {
+    // Offset the base pointer by one double so the AVX2 loads are unaligned;
+    // the kernels use unaligned loads and must not care.
+    const auto x = RandomVector(&rng, n + 1);
+    const auto y = RandomVector(&rng, n + 1);
+    EXPECT_EQ(scalar.dot(x.data() + 1, y.data() + 1, n),
+              avx2.dot(x.data() + 1, y.data() + 1, n))
+        << "n=" << n;
+  }
+}
+
+TEST(KernelsTest, AxpyMatchesScalarBitExact) {
+  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2 on this machine";
+  const KernelOps& scalar = ScalarKernels();
+  const KernelOps& avx2 = Avx2Kernels();
+  util::Rng rng(7);
+  for (size_t n : kSizes) {
+    const auto x = RandomVector(&rng, n + 1);
+    const auto base = RandomVector(&rng, n + 1);
+    const double alpha = rng.NextDouble() * 3.0 - 1.5;
+    auto y1 = base;
+    auto y2 = base;
+    scalar.axpy(alpha, x.data(), y1.data(), n);
+    avx2.axpy(alpha, x.data(), y2.data(), n);
+    EXPECT_EQ(y1, y2) << "n=" << n;
+    // Unaligned tails: run on the +1-offset subspan as well.
+    y1 = base;
+    y2 = base;
+    scalar.axpy(alpha, x.data() + 1, y1.data() + 1, n);
+    avx2.axpy(alpha, x.data() + 1, y2.data() + 1, n);
+    EXPECT_EQ(y1, y2) << "n=" << n << " (offset base)";
+  }
+}
+
+TEST(KernelsTest, DotBatchMatchesScalarBitExact) {
+  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2 on this machine";
+  const KernelOps& scalar = ScalarKernels();
+  const KernelOps& avx2 = Avx2Kernels();
+  util::Rng rng(99);
+  for (size_t k : {size_t{1}, size_t{4}, size_t{7}, size_t{40}, size_t{129}}) {
+    for (size_t rows : {size_t{0}, size_t{1}, size_t{5}, size_t{64}}) {
+      const auto q = RandomVector(&rng, k);
+      // Stride > k exercises the padded-row case.
+      const size_t stride = k + 3;
+      const auto matrix = RandomVector(&rng, rows * stride + 1);
+      std::vector<double> out1(rows, -1.0), out2(rows, -2.0);
+      scalar.dot_batch(q.data(), matrix.data() + 1, rows, k, stride,
+                       out1.data());
+      avx2.dot_batch(q.data(), matrix.data() + 1, rows, k, stride,
+                     out2.data());
+      EXPECT_EQ(out1, out2) << "k=" << k << " rows=" << rows;
+    }
+  }
+}
+
+TEST(KernelsTest, ScoreBlockMatchesScalarBitExact) {
+  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2 on this machine";
+  const KernelOps& scalar = ScalarKernels();
+  const KernelOps& avx2 = Avx2Kernels();
+  util::Rng rng(2024);
+  for (size_t k : {size_t{1}, size_t{3}, size_t{4}, size_t{40}, size_t{128}}) {
+    const auto q = RandomVector(&rng, k);
+    AlignedVector block(k * kBlockItems);
+    for (auto& v : block) v = rng.NextDouble() - 0.5;
+    AlignedVector out1(kBlockItems, -1.0), out2(kBlockItems, -2.0);
+    scalar.score_block(q.data(), k, block.data(), out1.data());
+    avx2.score_block(q.data(), k, block.data(), out2.data());
+    for (size_t l = 0; l < kBlockItems; ++l) {
+      EXPECT_EQ(out1[l], out2[l]) << "k=" << k << " lane=" << l;
+    }
+  }
+}
+
+TEST(KernelsTest, ScoreBlockMatchesInOrderDot) {
+  // The engine's cross-tier bit-parity rests on score_block accumulating in
+  // plain dimension order per item — i.e. exactly a sequential dot product.
+  const KernelOps& ops = ActiveKernels();
+  util::Rng rng(5);
+  const size_t k = 40;
+  const auto q = RandomVector(&rng, k);
+  AlignedVector block(k * kBlockItems);
+  for (auto& v : block) v = rng.NextDouble() - 0.5;
+  AlignedVector out(kBlockItems, 0.0);
+  ops.score_block(q.data(), k, block.data(), out.data());
+  for (size_t lane = 0; lane < kBlockItems; ++lane) {
+    double expect = 0.0;
+    for (size_t d = 0; d < k; ++d) {
+      expect += q[d] * block[d * kBlockItems + lane];
+    }
+    EXPECT_EQ(expect, out[lane]) << "lane=" << lane;
+  }
+}
+
+TEST(KernelsTest, ScalarDotIsCloseToReferenceDot) {
+  // The striped scalar dot may differ from vector_ops::Dot in the last ulps
+  // (different association) but must agree to high relative precision.
+  const KernelOps& ops = ScalarKernels();
+  util::Rng rng(77);
+  for (size_t n : kSizes) {
+    const auto x = RandomVector(&rng, n);
+    const auto y = RandomVector(&rng, n);
+    const double reference = Dot(x, y);
+    const double striped = ops.dot(x.data(), y.data(), n);
+    EXPECT_NEAR(striped, reference,
+                1e-9 * (1.0 + std::abs(reference)))
+        << "n=" << n;
+  }
+}
+
+TEST(KernelsTest, EmptyAndSingleElementEdges) {
+  const KernelOps& ops = ActiveKernels();
+  EXPECT_EQ(ops.dot(nullptr, nullptr, 0), 0.0);
+  const double x = 3.0;
+  double y = 4.0;
+  ops.axpy(2.0, &x, &y, 1);
+  EXPECT_EQ(y, 10.0);
+  EXPECT_EQ(ops.dot(&x, &y, 1), 30.0);
+}
+
+TEST(KernelsTest, KernelsForSelectsTier) {
+  EXPECT_STREQ(KernelsFor(SimdLevel::kScalar).name, ScalarKernels().name);
+  if (HaveAvx2()) {
+    EXPECT_STREQ(KernelsFor(SimdLevel::kAvx2).name, Avx2Kernels().name);
+    EXPECT_STREQ(ActiveKernels().name, Avx2Kernels().name);
+  }
+}
+
+TEST(SimdTest, LevelNameRoundTrips) {
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAvx2), "avx2");
+}
+
+TEST(SimdTest, AlignedVectorIsAligned) {
+  AlignedVector v(17, 0.0);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(v.data()) % kSimdAlignment, 0u);
+}
+
+}  // namespace
+}  // namespace math
+}  // namespace reconsume

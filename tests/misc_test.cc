@@ -128,8 +128,8 @@ TEST(PowerLawKernelTest, ExponentOneMatchesHyperbolic) {
 
   window::WindowWalker walker(&fixture.dataset.sequence(0), 5);
   for (int i = 0; i < 5; ++i) walker.Advance();
-  for (const auto& [item, count] : walker.window_counts()) {
-    (void)count;
+  for (const auto& [item, entry] : walker.window_counts()) {
+    (void)entry;
     EXPECT_DOUBLE_EQ(power_extractor.Recency(walker, item),
                      hyper_extractor.Recency(walker, item));
   }

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate over reconsume.bench.v1 JSON documents.
+
+Two modes, composable in one invocation:
+
+Drift mode (--baseline/--current): for every numeric key present in both
+documents (optionally filtered by the --keys regex), fail if the current
+value regressed by more than --max-drift (fraction, default 0.15). Keys are
+latencies — larger is worse; improvements never fail. Use against a committed
+baseline on a quiet, comparable machine.
+
+Ratio mode (--ratio A.json:key B.json:key --min-ratio R): fail unless
+value(A)/value(B) >= R. Because both values come from the same run on the
+same machine (e.g. naive-vs-engine p99 from one bench invocation), this gate
+is machine-independent and safe for shared CI runners.
+
+Exit status: 0 = all gates pass, 1 = regression, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load_values(path):
+    """Flattens a reconsume.bench.v1 document to {dataset/key: value}."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench_regression: cannot read {path}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "reconsume.bench.v1":
+        print(f"check_bench_regression: {path} is not reconsume.bench.v1",
+              file=sys.stderr)
+        sys.exit(2)
+    values = {}
+    for result in doc.get("results", []):
+        dataset = result.get("dataset", "")
+        for key, value in result.get("values", {}).items():
+            if isinstance(value, (int, float)):
+                values[f"{dataset}/{key}"] = float(value)
+    return values
+
+
+def check_drift(baseline_path, current_path, key_regex, max_drift):
+    baseline = load_values(baseline_path)
+    current = load_values(current_path)
+    pattern = re.compile(key_regex)
+    shared = [k for k in baseline if k in current and pattern.search(k)]
+    if not shared:
+        print(f"check_bench_regression: no shared keys match /{key_regex}/",
+              file=sys.stderr)
+        sys.exit(2)
+    failures = 0
+    for key in sorted(shared):
+        base, cur = baseline[key], current[key]
+        if base <= 0.0:
+            continue  # counts/flags and degenerate timings: not a latency
+        drift = (cur - base) / base
+        status = "ok"
+        if drift > max_drift:
+            status = "REGRESSION"
+            failures += 1
+        print(f"  {key}: {base:.4g} -> {cur:.4g} "
+              f"({drift:+.1%}, limit +{max_drift:.0%}) {status}")
+    return failures
+
+
+def parse_ref(ref):
+    """Splits 'path.json:dataset/key' (or 'path.json:key') into parts."""
+    path, sep, key = ref.rpartition(":")
+    if not sep or not path:
+        print(f"check_bench_regression: bad --ratio ref '{ref}' "
+              "(want file.json:key)", file=sys.stderr)
+        sys.exit(2)
+    return path, key
+
+
+def lookup(values, key, path):
+    # Accept both bare keys and dataset-qualified ones.
+    if key in values:
+        return values[key]
+    matches = [v for k, v in values.items() if k.endswith("/" + key)]
+    if len(matches) != 1:
+        print(f"check_bench_regression: key '{key}' is "
+              f"{'ambiguous' if matches else 'missing'} in {path}",
+              file=sys.stderr)
+        sys.exit(2)
+    return matches[0]
+
+
+def check_ratio(num_ref, den_ref, min_ratio):
+    num_path, num_key = parse_ref(num_ref)
+    den_path, den_key = parse_ref(den_ref)
+    num = lookup(load_values(num_path), num_key, num_path)
+    den = lookup(load_values(den_path), den_key, den_path)
+    if den <= 0.0:
+        print(f"check_bench_regression: denominator {den_key} is {den}",
+              file=sys.stderr)
+        sys.exit(2)
+    ratio = num / den
+    ok = ratio >= min_ratio
+    print(f"  {num_key} / {den_key} = {num:.4g} / {den:.4g} "
+          f"= {ratio:.2f}x (floor {min_ratio:.2f}x) "
+          f"{'ok' if ok else 'REGRESSION'}")
+    return 0 if ok else 1
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline", default=None,
+                        help="committed baseline JSON (drift mode)")
+    parser.add_argument("--current", default=None,
+                        help="freshly measured JSON (drift mode)")
+    parser.add_argument("--keys", default=".",
+                        help="regex filtering which keys the drift gate "
+                        "checks (default: all shared keys)")
+    parser.add_argument("--max-drift", type=float, default=0.15,
+                        help="max allowed fractional regression per key "
+                        "(default 0.15 = +15%%)")
+    parser.add_argument("--ratio", nargs=2, metavar=("NUM", "DEN"),
+                        default=None,
+                        help="ratio mode: two file.json:key refs; fails "
+                        "unless NUM/DEN >= --min-ratio")
+    parser.add_argument("--min-ratio", type=float, default=2.0,
+                        help="floor for --ratio (default 2.0)")
+    args = parser.parse_args()
+
+    if (args.baseline is None) != (args.current is None):
+        parser.error("--baseline and --current must be given together")
+    if args.baseline is None and args.ratio is None:
+        parser.error("nothing to check: give --baseline/--current "
+                     "and/or --ratio")
+
+    failures = 0
+    if args.baseline is not None:
+        print(f"drift gate: {args.current} vs {args.baseline}")
+        failures += check_drift(args.baseline, args.current, args.keys,
+                                args.max_drift)
+    if args.ratio is not None:
+        print("ratio gate:")
+        failures += check_ratio(args.ratio[0], args.ratio[1], args.min_ratio)
+    if failures:
+        print(f"check_bench_regression: {failures} gate(s) FAILED")
+        return 1
+    print("check_bench_regression: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,7 +48,8 @@ run_tsan() {
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   local tsan_tests=(thread_pool_test parallel_trainer_test parallel_eval_test
                     obs_metrics_test obs_trace_test telemetry_integration_test
-                    serve_queue_test score_cache_test serve_integration_test)
+                    serve_queue_test score_cache_test serve_integration_test
+                    kernels_test scoring_engine_test)
   cmake --build "$build_dir" -j "$JOBS" --target "${tsan_tests[@]}"
 
   # Fail on any race report even if the test would otherwise pass.
