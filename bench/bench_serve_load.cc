@@ -1,31 +1,50 @@
-// Load generator for the serving layer (docs/serving.md): closed-loop client
-// threads replay a synthetic repeat-heavy trace against RecommendService as
-// mixed recommend/observe traffic and report QPS, tail latency, and the
-// measured ScoreCache hit rate.
+// Load generator for the serving layer (docs/serving.md): client threads
+// replay a synthetic repeat-heavy trace against RecommendService as mixed
+// recommend/observe traffic and report QPS, tail latency, and the measured
+// ScoreCache hit rate.
 //
-// The traffic model makes cache behaviour observable on purpose: each client
-// draws users from a small hot pool (repeat queries against an unchanged
-// window hit the (user, epoch) cache) and turns every --observe-every-th
-// request into an Observe (which bumps the epoch and forces the next
-// recommend for that user to re-score).
+// Two modes:
+//
+//   * Closed loop (default): each client waits for its response before
+//     issuing the next request. Producers feel queue backpressure; nothing
+//     sheds. The traffic model makes cache behaviour observable on purpose:
+//     each client draws users from a small hot pool and turns every
+//     --observe-every-th request into an Observe (which bumps the epoch and
+//     forces the next recommend for that user to re-score).
+//
+//   * --overload: open-window chaos mode (docs/serving.md §8.6). Clients
+//     keep ~2x the queue capacity in flight with per-request deadlines, so
+//     admission control and the degradation ladder actually engage; a
+//     mid-load hot-swap (including one failpoint-forced rollback) runs
+//     under full traffic. The bench asserts the resilience contract: every
+//     future resolves (ok / degraded / shed / deadline — never a hang,
+//     never an uncategorized error).
 //
 //   ./bench_serve_load [--requests=12000 --serve-threads=4 --clients=8
 //                       --top-n=10 --observe-every=8 --hot-users=64
 //                       --cache-capacity=4096 --queue-capacity=1024
-//                       --json-out=r.json]
+//                       --overload --timeout-us=50000 --enqueue-timeout-us=2000
+//                       --shed-watermark=0.9 --max-queue-delay-us=0
+//                       --swap-mid-load --json-out=r.json]
 //
 // JSON keys (reconsume.bench.v1): requests, serve_threads, clients, qps,
 // p50_us, p99_us, p999_us, cache_hit_rate, cache_hits, cache_misses,
-// sessions.
+// sessions, ok, degraded, shed, deadline, shed_rate, degraded_rate,
+// deadline_rate, model_swaps, model_rollbacks, overload.
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <deque>
+#include <future>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "bench/common.h"
 #include "serve/server.h"
+#include "util/failpoint.h"
 #include "util/flags.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
@@ -43,6 +62,12 @@ struct LoadFlags {
   int64_t hot_users = 64;     ///< pool each client draws users from
   int64_t cache_capacity = 4096;
   int64_t queue_capacity = 1024;
+  bool overload = false;       ///< open-window 2x-saturation chaos mode
+  int64_t timeout_us = 50000;  ///< per-request deadline in overload mode
+  int64_t enqueue_timeout_us = 2000;
+  double shed_watermark = 0.9;
+  int64_t max_queue_delay_us = 0;
+  bool swap_mid_load = true;  ///< hot-swap (plus a forced rollback) mid-run
 };
 
 LoadFlags ReadLoadFlags(const util::FlagSet& flags) {
@@ -59,10 +84,54 @@ LoadFlags ReadLoadFlags(const util::FlagSet& flags) {
       flags.GetInt("cache-capacity", out.cache_capacity).ValueOrDie();
   out.queue_capacity =
       flags.GetInt("queue-capacity", out.queue_capacity).ValueOrDie();
+  out.overload = flags.GetBool("overload", out.overload).ValueOrDie();
+  out.timeout_us = flags.GetInt("timeout-us", out.timeout_us).ValueOrDie();
+  out.enqueue_timeout_us =
+      flags.GetInt("enqueue-timeout-us", out.enqueue_timeout_us).ValueOrDie();
+  out.shed_watermark =
+      flags.GetDouble("shed-watermark", out.shed_watermark).ValueOrDie();
+  out.max_queue_delay_us =
+      flags.GetInt("max-queue-delay-us", out.max_queue_delay_us).ValueOrDie();
+  out.swap_mid_load =
+      flags.GetBool("swap-mid-load", out.swap_mid_load).ValueOrDie();
   RECONSUME_CHECK(out.requests >= 1 && out.serve_threads >= 1 &&
                   out.clients >= 1 && out.top_n >= 1 && out.hot_users >= 1)
       << "all load-generator sizes must be >= 1";
   return out;
+}
+
+/// Per-bench outcome tally; every issued request lands in exactly one bucket.
+struct Outcomes {
+  std::atomic<int64_t> ok{0};
+  std::atomic<int64_t> degraded{0};
+  std::atomic<int64_t> shed{0};
+  std::atomic<int64_t> deadline{0};
+  std::atomic<int64_t> error{0};
+  std::atomic<int64_t> hung{0};  ///< future unresolved after the grace wait
+};
+
+void Categorize(std::future<serve::ServeResponse>& future, Outcomes* out) {
+  // Resilience contract: every future resolves. The generous grace wait only
+  // exists so a violation becomes a counted `hung` instead of a stuck bench.
+  if (future.wait_for(std::chrono::seconds(30)) !=
+      std::future_status::ready) {
+    out->hung.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const serve::ServeResponse response = future.get();
+  if (response.status.ok()) {
+    if (response.degraded) {
+      out->degraded.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      out->ok.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else if (response.status.code() == StatusCode::kUnavailable) {
+    out->shed.fetch_add(1, std::memory_order_relaxed);
+  } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
+    out->deadline.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    out->error.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace
@@ -83,8 +152,15 @@ int main(int argc, char** argv) {
   config.cache_capacity = static_cast<size_t>(load.cache_capacity);
   config.window_capacity = bundle.defaults.window_capacity;
   config.min_gap = bundle.defaults.min_gap;
-  serve::RecommendService service(bundle.dataset.get(), method.recommender,
-                                  config);
+  if (load.overload) {
+    config.resilience.enqueue_timeout_us = load.enqueue_timeout_us;
+    config.resilience.shed_watermark = load.shed_watermark;
+    config.resilience.max_queue_delay_us = load.max_queue_delay_us;
+  }
+  serve::RecommendService service(
+      bundle.dataset.get(),
+      std::shared_ptr<eval::Recommender>(method.owner, method.recommender),
+      config);
 
   // The hot pool: the first users with a non-trivial history, shared by all
   // clients so their queries overlap (that overlap is what the cache serves).
@@ -98,55 +174,128 @@ int main(int argc, char** argv) {
   }
   RECONSUME_CHECK(!hot.empty()) << "no users with enough history";
 
+  // Open-window sizing: together the clients keep ~2x the queue capacity in
+  // flight, the "2x saturation" point the resilience gate is specified at.
+  const size_t max_inflight = std::max<size_t>(
+      1, 2 * static_cast<size_t>(load.queue_capacity) /
+             static_cast<size_t>(load.clients));
+  serve::RequestOptions options;
+  if (load.overload) options.timeout_us = load.timeout_us;
+
+  Outcomes outcomes;
   std::atomic<int64_t> issued{0};
-  std::atomic<int64_t> failed{0};
   util::Stopwatch wall;
   std::vector<std::thread> clients;
   clients.reserve(static_cast<size_t>(load.clients));
   for (int64_t c = 0; c < load.clients; ++c) {
     clients.emplace_back([&, c] {
       util::Rng rng(0xBEEFu + static_cast<uint64_t>(c));
+      std::deque<std::future<serve::ServeResponse>> inflight;
       while (true) {
         const int64_t seq = issued.fetch_add(1, std::memory_order_relaxed);
         if (seq >= load.requests) break;
         const data::UserId user = hot[rng.Uniform(hot.size())];
         const bool observe =
             load.observe_every > 0 && seq % load.observe_every == 0;
-        serve::ServeResponse response;
+        std::future<serve::ServeResponse> future;
         if (observe) {
           // Re-consume something the user already consumed: repeat traffic.
           const auto& seq_u = bundle.dataset->sequence(user);
           const data::ItemId item = seq_u[rng.Uniform(seq_u.size())];
-          response = service.Observe(user, item).get();
+          future = service.Observe(user, item, options);
         } else {
-          response =
-              service.Recommend(user, static_cast<int>(load.top_n)).get();
+          future =
+              service.Recommend(user, static_cast<int>(load.top_n), options);
         }
-        if (!response.status.ok()) {
-          failed.fetch_add(1, std::memory_order_relaxed);
+        if (!load.overload) {
+          // Closed loop: wait in place, keep exactly one in flight.
+          Categorize(future, &outcomes);
+          continue;
         }
+        inflight.push_back(std::move(future));
+        while (inflight.size() > max_inflight) {
+          Categorize(inflight.front(), &outcomes);
+          inflight.pop_front();
+        }
+      }
+      while (!inflight.empty()) {
+        Categorize(inflight.front(), &outcomes);
+        inflight.pop_front();
       }
     });
   }
+
+  // Mid-load hot-swap: once a third of the traffic is in, force one
+  // validation rollback (old model keeps serving), then land a real swap
+  // while the clients keep hammering the service.
+  std::thread swapper;
+  if (load.overload && load.swap_mid_load) {
+    swapper = std::thread([&] {
+      while (issued.load(std::memory_order_relaxed) < load.requests / 3) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      auto refit = bench::FitTsPpr(bundle, bench::MakeTsPprConfig(bundle));
+      std::shared_ptr<eval::Recommender> candidate(refit.owner,
+                                                   refit.recommender);
+#if RECONSUME_FAILPOINTS_ENABLED
+      {
+        util::ScopedFailpoint fp("serve/swap_validate", "error-once");
+        auto rolled_back = service.SwapModel(candidate, "tsppr-reject");
+        RECONSUME_CHECK(!rolled_back.ok())
+            << "forced validation failure did not roll back";
+      }
+#endif
+      auto swapped = service.SwapModel(candidate, "tsppr-v2");
+      RECONSUME_CHECK(swapped.ok()) << swapped.status();
+      std::printf("mid-load swap landed at model epoch %lld\n",
+                  static_cast<long long>(swapped.ValueOrDie()));
+    });
+  }
+
   for (std::thread& t : clients) t.join();
+  if (swapper.joinable()) swapper.join();
   const double seconds = wall.ElapsedSeconds();
   service.Shutdown();
 
   const serve::ScoreCacheStats cache = service.cache_stats();
+  const serve::ResilienceStats resilience = service.resilience_stats();
   const obs::HistogramSnapshot latency = service.LatencySnapshot();
   const double qps = seconds > 0 ? static_cast<double>(load.requests) / seconds
                                  : 0.0;
-  RECONSUME_CHECK(failed.load() == 0)
-      << failed.load() << " requests failed";
+
+  // The contract both modes enforce: no hangs, no uncategorized errors.
+  // Sheds and deadline misses are legal only under --overload.
+  RECONSUME_CHECK(outcomes.hung.load() == 0)
+      << outcomes.hung.load() << " requests never resolved";
+  RECONSUME_CHECK(outcomes.error.load() == 0)
+      << outcomes.error.load() << " requests failed outside the "
+      << "shed/deadline/degraded contract";
+  if (!load.overload) {
+    RECONSUME_CHECK(outcomes.shed.load() == 0 &&
+                    outcomes.deadline.load() == 0)
+        << "closed-loop traffic must not shed or miss deadlines";
+  }
   RECONSUME_CHECK(service.requests_served() >= load.requests)
       << "served " << service.requests_served() << " of " << load.requests;
 
-  std::printf("replayed %s requests (%s clients -> %s workers) in %.2fs — "
+  const double total = static_cast<double>(load.requests);
+  const double shed_rate = static_cast<double>(outcomes.shed.load()) / total;
+  const double degraded_rate =
+      static_cast<double>(outcomes.degraded.load()) / total;
+  const double deadline_rate =
+      static_cast<double>(outcomes.deadline.load()) / total;
+
+  std::printf("replayed %s requests (%s clients -> %s workers%s) in %.2fs — "
               "%.0f QPS\n",
               util::FormatWithCommas(load.requests).c_str(),
               util::FormatWithCommas(load.clients).c_str(),
-              util::FormatWithCommas(load.serve_threads).c_str(), seconds,
-              qps);
+              util::FormatWithCommas(load.serve_threads).c_str(),
+              load.overload ? ", overload" : "", seconds, qps);
+  std::printf("outcomes: %s ok, %s degraded, %s shed, %s deadline\n",
+              util::FormatWithCommas(outcomes.ok.load()).c_str(),
+              util::FormatWithCommas(outcomes.degraded.load()).c_str(),
+              util::FormatWithCommas(outcomes.shed.load()).c_str(),
+              util::FormatWithCommas(outcomes.deadline.load()).c_str());
   std::printf("latency us: p50 %.1f  p99 %.1f  p999 %.1f\n",
               latency.Quantile(0.5), latency.Quantile(0.99),
               latency.Quantile(0.999));
@@ -156,6 +305,12 @@ int main(int argc, char** argv) {
               util::FormatWithCommas(cache.misses).c_str(), cache.HitRate(),
               util::FormatWithCommas(cache.evictions).c_str(),
               service.num_sessions());
+  std::printf("resilience: %lld breaker trips, %lld swaps, %lld rollbacks, "
+              "model epoch %lld\n",
+              static_cast<long long>(resilience.breaker_trips),
+              static_cast<long long>(resilience.model_swaps),
+              static_cast<long long>(resilience.model_rollbacks),
+              static_cast<long long>(service.model_epoch()));
 
   const std::string ds = bundle.name;
   run.AddValue(ds, "requests", static_cast<double>(load.requests));
@@ -169,5 +324,16 @@ int main(int argc, char** argv) {
   run.AddValue(ds, "cache_hits", static_cast<double>(cache.hits));
   run.AddValue(ds, "cache_misses", static_cast<double>(cache.misses));
   run.AddValue(ds, "sessions", static_cast<double>(service.num_sessions()));
+  run.AddValue(ds, "ok", static_cast<double>(outcomes.ok.load()));
+  run.AddValue(ds, "degraded", static_cast<double>(outcomes.degraded.load()));
+  run.AddValue(ds, "shed", static_cast<double>(outcomes.shed.load()));
+  run.AddValue(ds, "deadline", static_cast<double>(outcomes.deadline.load()));
+  run.AddValue(ds, "shed_rate", shed_rate);
+  run.AddValue(ds, "degraded_rate", degraded_rate);
+  run.AddValue(ds, "deadline_rate", deadline_rate);
+  run.AddValue(ds, "model_swaps", static_cast<double>(resilience.model_swaps));
+  run.AddValue(ds, "model_rollbacks",
+               static_cast<double>(resilience.model_rollbacks));
+  run.AddValue(ds, "overload", load.overload ? 1.0 : 0.0);
   return 0;
 }

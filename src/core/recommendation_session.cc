@@ -74,5 +74,41 @@ std::vector<RankedItem> RecommendationSession::RecommendTopN(int n) {
   return out;
 }
 
+std::vector<RankedItem> RecommendationSession::RecommendFallbackTopN(int n) {
+  SyncWalker();
+  walker_->EligibleCandidates(min_gap_, &candidates_);
+  std::vector<RankedItem> out;
+  if (candidates_.empty() || n <= 0) return out;
+
+  // Repeat-history score: count dominates, recency breaks ties. Encoding
+  // both into one double keeps SelectTopNHeap's deterministic tie-break
+  // (descending score, ascending candidate index) intact: gap is bounded by
+  // the window capacity, so count * capacity strictly dominates any gap
+  // contribution.
+  const double capacity = static_cast<double>(window_capacity_ + 1);
+  scores_.assign(candidates_.size(), 0.0);
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    const data::ItemId item = candidates_[i];
+    const double count = static_cast<double>(walker_->CountInWindow(item));
+    const double gap = static_cast<double>(walker_->GapSince(item));
+    scores_[i] = count * capacity - gap;
+  }
+  eval::SelectTopNHeap(scores_, n, &top_);
+
+  out.reserve(top_.size());
+  for (int index : top_) {
+    const data::ItemId item = candidates_[static_cast<size_t>(index)];
+    out.push_back(RankedItem{item, scores_[static_cast<size_t>(index)],
+                             walker_->GapSince(item),
+                             walker_->CountInWindow(item)});
+  }
+  return out;
+}
+
+void RecommendationSession::set_recommender(eval::Recommender* recommender) {
+  RECONSUME_CHECK(recommender != nullptr);
+  recommender_ = recommender;
+}
+
 }  // namespace core
 }  // namespace reconsume

@@ -49,6 +49,19 @@ class RecommendationSession {
   /// when fewer candidates exist). Empty when nothing is reconsumable.
   std::vector<RankedItem> RecommendTopN(int n);
 
+  /// Model-free degraded ranking (docs/serving.md §8.3): orders the same
+  /// candidate set by repeat-history evidence alone — window count
+  /// descending, then recency (smaller gap first), then item id. In the
+  /// RepeatNet repeat/explore decomposition this is the pure repeat head:
+  /// much weaker than TS-PPR, but computable when the scoring path is
+  /// tripped, and never empty when RecommendTopN would not be.
+  std::vector<RankedItem> RecommendFallbackTopN(int n);
+
+  /// Swaps the scorer (model hot-swap). The new recommender must outlive
+  /// the session; window state and history are untouched, so the next
+  /// RecommendTopN scores the same candidates under the new model.
+  void set_recommender(eval::Recommender* recommender);
+
   data::UserId user() const { return user_; }
   int window_capacity() const { return window_capacity_; }
   int min_gap() const { return min_gap_; }

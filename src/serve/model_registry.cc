@@ -1,0 +1,98 @@
+#include "serve/model_registry.h"
+
+#include <utility>
+
+#include "obs/event.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/failpoint.h"
+
+namespace reconsume {
+namespace serve {
+
+namespace {
+
+obs::Counter* SwapCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.model_swaps");
+  return counter;
+}
+
+obs::Counter* RollbackCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.model_rollbacks");
+  return counter;
+}
+
+std::shared_ptr<const ModelSnapshot> MakeSnapshot(
+    int64_t epoch, std::string name,
+    std::shared_ptr<eval::Recommender> prototype) {
+  auto snapshot = std::make_shared<ModelSnapshot>();
+  snapshot->epoch = epoch;
+  snapshot->name = std::move(name);
+  snapshot->clonable = (prototype->Clone() != nullptr);
+  snapshot->prototype = std::move(prototype);
+  return snapshot;
+}
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(std::shared_ptr<eval::Recommender> initial,
+                             std::string name) {
+  RC_CHECK(initial != nullptr) << "registry needs an initial model";
+  util::MutexLock lock(&mu_);
+  current_ = MakeSnapshot(1, std::move(name), std::move(initial));
+}
+
+std::shared_ptr<const ModelSnapshot> ModelRegistry::Current() const {
+  util::MutexLock lock(&mu_);
+  return current_;
+}
+
+int64_t ModelRegistry::current_epoch() const {
+  util::MutexLock lock(&mu_);
+  return current_->epoch;
+}
+
+Result<int64_t> ModelRegistry::Promote(
+    std::shared_ptr<eval::Recommender> candidate, std::string name,
+    const std::function<Status(eval::Recommender&)>& validate) {
+  if (candidate == nullptr) {
+    return Status::InvalidArgument("cannot promote a null model");
+  }
+  util::MutexLock swap_lock(&swap_mu_);
+  RC_EMIT_EVENT(obs::Event("model_swap_start").Set("name", name));
+
+  // Validation gate: the injected failpoint and the probe run while the old
+  // snapshot is still current, so a crash or failure here is a no-op swap.
+  Status validation = RC_FAILPOINT_STATUS("serve/swap_validate");
+  if (validation.ok() && validate) validation = validate(*candidate);
+  if (!validation.ok()) {
+    rollbacks_.fetch_add(1, std::memory_order_relaxed);
+    RollbackCounter()->Increment();
+    RC_EMIT_EVENT(obs::Event("model_swap")
+                      .Set("name", name)
+                      .Set("ok", false)
+                      .Set("error", validation.ToString()));
+    return Status(StatusCode::kFailedPrecondition,
+                  "model validation failed, swap rolled back: " +
+                      validation.ToString());
+  }
+
+  int64_t epoch = 0;
+  {
+    util::MutexLock lock(&mu_);
+    epoch = next_epoch_++;
+    current_ = MakeSnapshot(epoch, name, std::move(candidate));
+  }
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  SwapCounter()->Increment();
+  RC_EMIT_EVENT(obs::Event("model_swap")
+                    .Set("name", name)
+                    .Set("ok", true)
+                    .Set("epoch", epoch));
+  return epoch;
+}
+
+}  // namespace serve
+}  // namespace reconsume

@@ -1,0 +1,98 @@
+// Atomic model hot-swap for the serving layer (docs/serving.md §8.4).
+//
+// A ModelRegistry holds the *current* model as an epoch-stamped, immutable
+// snapshot behind a shared_ptr. Workers grab one snapshot per request and
+// use only it — prototype, clonability, epoch — so a ranking is always the
+// product of exactly one model epoch, even while a swap is in flight; the
+// shared_ptr keeps a superseded model alive until its last in-flight
+// request drops it.
+//
+// Promotion is gated: the candidate must pass a caller-supplied validation
+// probe (smoke-scoring a probe set, see RecommendService::SwapModel) before
+// it becomes current. A failed validation is a *rollback* — the old
+// snapshot stays current, the candidate is discarded, and the failure is
+// reported through Status and a `model_swap` event. The `serve/swap_validate`
+// failpoint injects exactly this path for tests and chaos benches.
+//
+// Cache coherence: every promotion bumps the model epoch; the serving layer
+// forwards that epoch into ScoreCache::AdvanceModelEpoch, which atomically
+// invalidates every ranking computed under older models (score_cache.h).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "eval/recommender.h"
+#include "util/status.h"
+#include "util/sync.h"
+
+namespace reconsume {
+namespace serve {
+
+/// \brief One immutable, epoch-stamped model generation.
+struct ModelSnapshot {
+  /// Monotonic model generation; bumps on every successful promotion.
+  int64_t epoch = 0;
+  /// Label for telemetry (file path, "initial", ...).
+  std::string name;
+  /// The prototype recommender workers clone per user session. Immutable
+  /// for the snapshot's lifetime; kept alive by every in-flight request
+  /// that grabbed this snapshot.
+  std::shared_ptr<eval::Recommender> prototype;
+  /// Probed once at promotion: Clone() != nullptr. When false, scoring
+  /// through this snapshot serializes behind SessionMap::prototype_mu().
+  bool clonable = false;
+};
+
+/// \brief Holds the current model snapshot; swaps are validated and atomic.
+///
+/// Thread-safe: Current() may be called from every worker on every request
+/// (one mutex-protected shared_ptr copy); Promote serializes swaps.
+class ModelRegistry {
+ public:
+  /// Registers the initial model at epoch 1. `initial` must not be null.
+  ModelRegistry(std::shared_ptr<eval::Recommender> initial, std::string name);
+
+  /// The current snapshot (never null). Grab once per request.
+  std::shared_ptr<const ModelSnapshot> Current() const RC_EXCLUDES(mu_);
+  int64_t current_epoch() const RC_EXCLUDES(mu_);
+
+  /// Validation-gated atomic swap. Runs `validate` on the candidate (plus
+  /// the `serve/swap_validate` failpoint); on success the candidate becomes
+  /// current at a bumped epoch which is returned. On failure the previous
+  /// snapshot stays current (rollback) and the validation error is
+  /// returned. Concurrent Promotes serialize; Current() is never blocked
+  /// behind a validation run.
+  Result<int64_t> Promote(
+      std::shared_ptr<eval::Recommender> candidate, std::string name,
+      const std::function<Status(eval::Recommender&)>& validate)
+      RC_EXCLUDES(swap_mu_, mu_);
+
+  /// Lifetime successful promotions (the initial model counts as 0).
+  int64_t swaps() const { return swaps_.load(std::memory_order_relaxed); }
+  /// Lifetime validation failures that rolled back.
+  int64_t rollbacks() const {
+    return rollbacks_.load(std::memory_order_relaxed);
+  }
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+ private:
+  /// Serializes promotions end to end (validation included) so two swaps
+  /// cannot interleave their validate/publish pairs. Never held by readers.
+  util::Mutex swap_mu_;
+  /// Guards the current-snapshot pointer only; held for one shared_ptr copy.
+  mutable util::Mutex mu_;
+  std::shared_ptr<const ModelSnapshot> current_ RC_GUARDED_BY(mu_);
+  int64_t next_epoch_ RC_GUARDED_BY(mu_) = 2;  // initial model is epoch 1
+  std::atomic<int64_t> swaps_{0};
+  std::atomic<int64_t> rollbacks_{0};
+};
+
+}  // namespace serve
+}  // namespace reconsume

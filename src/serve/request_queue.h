@@ -7,17 +7,32 @@
 //     instead of growing an unbounded backlog (the ywci/inn stage shape:
 //     small single-purpose stages coupled by bounded buffers).
 //   * TryPush never blocks — open-loop callers can shed load themselves.
+//   * TryEnqueueFor blocks for at most the given timeout — the sanctioned
+//     form on the serving request path (rc_analyze rule R6 bans unbounded
+//     Push there): a producer that cannot enqueue within its budget gets
+//     `false` back and sheds the request instead of stalling forever.
 //   * Pop blocks while the queue is empty. After Shutdown() the remaining
 //     items drain in FIFO order, then Pop returns false — a worker loop is
 //     simply `while (queue.Pop(&req)) { ... }`.
-//   * Push/TryPush after Shutdown() return false without enqueuing.
+//   * Push/TryPush/TryEnqueueFor after Shutdown() return false without
+//     enqueuing.
+//
+// Producer-starvation contract: Shutdown() wakes every producer blocked in
+// Push or TryEnqueueFor *promptly* (one NotifyAll under the lock — no
+// producer stays parked past the notify), and a timed-out TryEnqueueFor
+// always returns within its timeout plus scheduling noise. On every `false`
+// return the item is left untouched, so a caller can still resolve any
+// promise the item carries.
 
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/sync.h"
 
@@ -53,6 +68,27 @@ class BoundedQueue {
   bool Push(T&& item) {
     T local = std::move(item);
     return Push(local);
+  }
+
+  /// Bounded-wait Push: blocks for at most `timeout_ns` while the queue is
+  /// full. Returns false (leaving `item` untouched) when no slot opened
+  /// within the timeout or the queue shut down. A non-positive timeout is
+  /// an immediate TryPush.
+  bool TryEnqueueFor(T& item, int64_t timeout_ns) RC_EXCLUDES(mu_) {
+    const int64_t deadline_ns =
+        obs::MonotonicNanos() + std::max<int64_t>(timeout_ns, 0);
+    {
+      util::MutexLock lock(&mu_);
+      while (items_.size() >= capacity_ && !shutdown_) {
+        const int64_t remaining_ns = deadline_ns - obs::MonotonicNanos();
+        if (remaining_ns <= 0) return false;  // timed out, item untouched
+        not_full_.WaitFor(&mu_, remaining_ns);
+      }
+      if (shutdown_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.NotifyOne();
+    return true;
   }
 
   /// Non-blocking Push. Returns false (leaving `item` untouched) when the

@@ -1,0 +1,125 @@
+#include "serve/resilience.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace reconsume {
+namespace serve {
+
+AdmissionController::AdmissionController(const ResilienceConfig& config,
+                                         size_t queue_capacity) {
+  RC_CHECK(queue_capacity >= 1);
+  if (config.shed_watermark >= 1.0) {
+    // Disabled: the queue itself (TryEnqueueFor timeout) is the only brake.
+    watermark_depth_ = queue_capacity + 1;
+  } else {
+    const double fraction = std::max(config.shed_watermark, 0.0);
+    watermark_depth_ = std::max<size_t>(
+        1, static_cast<size_t>(
+               std::floor(fraction * static_cast<double>(queue_capacity))));
+  }
+  max_queue_delay_ns_ = config.max_queue_delay_us > 0
+                            ? config.max_queue_delay_us * 1000
+                            : 0;
+}
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(int trip_failures, int64_t cooldown_ns)
+    : trip_failures_(trip_failures), cooldown_ns_(cooldown_ns) {
+  RC_CHECK(trip_failures >= 1) << "breaker must trip on >= 1 failure";
+  RC_CHECK(cooldown_ns >= 0);
+}
+
+bool CircuitBreaker::AllowRequest() {
+  util::MutexLock lock(&mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen: {
+      const int64_t now_ns = obs::MonotonicNanos();
+      if (now_ns - opened_at_ns_ < cooldown_ns_) return false;
+      // Cooldown elapsed: this caller becomes the half-open probe.
+      state_ = BreakerState::kHalfOpen;
+      probe_in_flight_ = true;
+      return true;
+    }
+    case BreakerState::kHalfOpen:
+      if (probe_in_flight_) return false;  // one probe at a time
+      probe_in_flight_ = true;
+      return true;
+  }
+  return true;  // unreachable
+}
+
+void CircuitBreaker::RecordSuccess() {
+  util::MutexLock lock(&mu_);
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kHalfOpen) {
+    state_ = BreakerState::kClosed;
+    probe_in_flight_ = false;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  util::MutexLock lock(&mu_);
+  ++consecutive_failures_;
+  if (state_ == BreakerState::kHalfOpen) {
+    // The probe failed: back to open for another cooldown.
+    state_ = BreakerState::kOpen;
+    opened_at_ns_ = obs::MonotonicNanos();
+    probe_in_flight_ = false;
+    trips_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (state_ == BreakerState::kClosed &&
+      consecutive_failures_ >= trip_failures_) {
+    state_ = BreakerState::kOpen;
+    opened_at_ns_ = obs::MonotonicNanos();
+    trips_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  util::MutexLock lock(&mu_);
+  return state_;
+}
+
+BreakerPanel::BreakerPanel(int num_shards, int trip_failures,
+                           int64_t cooldown_ns) {
+  const int shards = std::max(num_shards, 1);
+  shards_.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(
+        std::make_unique<CircuitBreaker>(trip_failures, cooldown_ns));
+  }
+}
+
+int64_t BreakerPanel::total_trips() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) total += shard->trips();
+  return total;
+}
+
+int BreakerPanel::open_shards() const {
+  int open = 0;
+  for (const auto& shard : shards_) {
+    if (shard->state() != BreakerState::kClosed) ++open;
+  }
+  return open;
+}
+
+}  // namespace serve
+}  // namespace reconsume

@@ -1,0 +1,149 @@
+// Resilience layer for the serving stack (docs/serving.md §8): the pieces
+// that keep the service answering under overload and partial failure instead
+// of stalling or cascading.
+//
+//   * Request deadlines — absolute monotonic deadlines carried on each
+//     request and checked at enqueue, dequeue, and pre-score, so expired
+//     work resolves with DeadlineExceeded instead of burning a worker.
+//   * Admission control — queue-depth watermark shedding at enqueue plus
+//     queue-delay shedding at dequeue: under saturation the service trades
+//     a bounded fraction of requests (resolved Unavailable, never hung) for
+//     tail latency the survivors can live with.
+//   * Circuit breaker — a per-user-shard breaker around the scoring path.
+//     N consecutive failures trip it open; while open, requests skip full
+//     scoring and take the degradation ladder (stale cache → repeat-history
+//     fallback); after a cooldown one half-open probe decides whether to
+//     close it again.
+//
+// The ladder itself lives in RecommendService::HandleRecommend — these
+// classes are pure policy, deterministic and testable in isolation.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/sync.h"
+
+namespace reconsume {
+namespace serve {
+
+/// \brief Overload and degradation tunables (embedded in ServeConfig).
+struct ResilienceConfig {
+  /// Producer-side bounded wait when the queue is full (rc_analyze rule R6:
+  /// no unbounded Enqueue on the serve path). On timeout the request is
+  /// shed, not blocked.
+  int64_t enqueue_timeout_us = 20000;
+  /// Queue-depth fraction above which *droppable* requests (recommends) are
+  /// shed at enqueue. Observes are state mutations and always admitted.
+  /// >= 1.0 disables watermark shedding.
+  double shed_watermark = 0.9;
+  /// Shed a recommend at dequeue when it already waited longer than this
+  /// (its response would be stale and the queue behind it is drowning).
+  /// 0 disables queue-delay shedding.
+  int64_t max_queue_delay_us = 0;
+  /// Consecutive scoring failures that trip a shard's breaker open.
+  int breaker_trip_failures = 5;
+  /// Open -> half-open cooldown before a probe request is let through.
+  int64_t breaker_cooldown_ms = 250;
+  /// Breaker shards (users hash onto them; failure domains are isolated).
+  int breaker_shards = 16;
+  /// Allow the cheap repeat-history fallback ranker as the last ladder
+  /// tier. Off, the ladder ends at stale cache and then errors.
+  bool enable_fallback = true;
+};
+
+/// Absolute monotonic deadline from a relative timeout; 0 = no deadline.
+inline int64_t DeadlineFromTimeoutUs(int64_t timeout_us) {
+  return timeout_us <= 0 ? 0 : obs::MonotonicNanos() + timeout_us * 1000;
+}
+
+/// True iff `deadline_ns` is a real deadline that has already passed.
+inline bool DeadlineExpired(int64_t deadline_ns) {
+  return deadline_ns > 0 && obs::MonotonicNanos() >= deadline_ns;
+}
+
+/// \brief Pure shed policy: watermark at enqueue, queue delay at dequeue.
+class AdmissionController {
+ public:
+  AdmissionController(const ResilienceConfig& config, size_t queue_capacity);
+
+  /// Shed a droppable request before enqueue? (depth at/over watermark)
+  bool ShouldShedAtEnqueue(size_t queue_depth) const {
+    return queue_depth >= watermark_depth_;
+  }
+
+  /// Shed a droppable request at dequeue? (it already waited too long)
+  bool ShouldShedAtDequeue(int64_t queue_delay_ns) const {
+    return max_queue_delay_ns_ > 0 && queue_delay_ns > max_queue_delay_ns_;
+  }
+
+  size_t watermark_depth() const { return watermark_depth_; }
+
+ private:
+  size_t watermark_depth_;
+  int64_t max_queue_delay_ns_;
+};
+
+/// \brief Breaker states, named for telemetry.
+enum class BreakerState { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+const char* BreakerStateName(BreakerState state);
+
+/// \brief One shard's circuit breaker around the scoring path.
+///
+/// Closed: requests score normally; `trip_failures` *consecutive* failures
+/// trip it open. Open: AllowRequest() refuses (callers degrade) until the
+/// cooldown elapses, then the breaker goes half-open. Half-open: exactly one
+/// in-flight probe is admitted; its success closes the breaker, its failure
+/// re-opens it for another cooldown. Thread-safe.
+class CircuitBreaker {
+ public:
+  CircuitBreaker(int trip_failures, int64_t cooldown_ns);
+
+  /// True when the caller may attempt full scoring. In the half-open state
+  /// only one caller at a time gets true (the probe).
+  bool AllowRequest() RC_EXCLUDES(mu_);
+  /// Reports the outcome of a scoring attempt that AllowRequest admitted.
+  void RecordSuccess() RC_EXCLUDES(mu_);
+  void RecordFailure() RC_EXCLUDES(mu_);
+
+  BreakerState state() const RC_EXCLUDES(mu_);
+  /// Lifetime closed->open transitions (including half-open re-opens).
+  int64_t trips() const { return trips_.load(std::memory_order_relaxed); }
+
+ private:
+  const int trip_failures_;
+  const int64_t cooldown_ns_;
+  mutable util::Mutex mu_;
+  BreakerState state_ RC_GUARDED_BY(mu_) = BreakerState::kClosed;
+  int consecutive_failures_ RC_GUARDED_BY(mu_) = 0;
+  int64_t opened_at_ns_ RC_GUARDED_BY(mu_) = 0;
+  bool probe_in_flight_ RC_GUARDED_BY(mu_) = false;
+  std::atomic<int64_t> trips_{0};
+};
+
+/// \brief Per-shard breakers; users hash onto shards so one poisoned model
+/// slice cannot open the breaker for the whole service.
+class BreakerPanel {
+ public:
+  BreakerPanel(int num_shards, int trip_failures, int64_t cooldown_ns);
+
+  CircuitBreaker* For(int64_t user) {
+    return shards_[static_cast<size_t>(user) %
+                   shards_.size()].get();
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+  int64_t total_trips() const;
+  /// Number of shards currently not closed (degraded service area).
+  int open_shards() const;
+
+ private:
+  std::vector<std::unique_ptr<CircuitBreaker>> shards_;
+};
+
+}  // namespace serve
+}  // namespace reconsume

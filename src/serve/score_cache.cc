@@ -23,6 +23,12 @@ obs::Counter* MissCounter() {
   return counter;
 }
 
+obs::Counter* StaleHitCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.cache.stale_hits");
+  return counter;
+}
+
 obs::Counter* EvictionCounter() {
   static obs::Counter* counter =
       obs::MetricsRegistry::Global().GetCounter("serve.cache.evictions");
@@ -39,13 +45,14 @@ ScoreCache::ScoreCache(size_t capacity, size_t num_shards)
       std::max<size_t>(1, (capacity_ + shards_.size() - 1) / shards_.size());
 }
 
-bool ScoreCache::Lookup(data::UserId user, int64_t epoch, int top_n,
-                        std::vector<core::RankedItem>* out) {
+bool ScoreCache::Lookup(data::UserId user, int64_t epoch, int64_t model_epoch,
+                        int top_n, std::vector<core::RankedItem>* out) {
   Shard* shard = ShardFor(user);
   {
     util::MutexLock lock(&shard->mu);
     auto it = shard->entries.find(user);
-    if (it != shard->entries.end() && it->second.epoch == epoch) {
+    if (it != shard->entries.end() && it->second.epoch == epoch &&
+        it->second.model_epoch == model_epoch) {
       Entry& entry = it->second;
       // The entry covers a top-`top_n` request when it was computed for at
       // least that many, or when it exhausted the candidate set.
@@ -69,8 +76,39 @@ bool ScoreCache::Lookup(data::UserId user, int64_t epoch, int top_n,
   return false;
 }
 
-void ScoreCache::Insert(data::UserId user, int64_t epoch, int n_computed,
-                        std::vector<core::RankedItem> items) {
+bool ScoreCache::LookupStale(data::UserId user, int64_t model_epoch,
+                             int top_n, std::vector<core::RankedItem>* out,
+                             int64_t* stale_epoch) {
+  Shard* shard = ShardFor(user);
+  {
+    util::MutexLock lock(&shard->mu);
+    auto it = shard->entries.find(user);
+    if (it != shard->entries.end() &&
+        it->second.model_epoch == model_epoch) {
+      Entry& entry = it->second;
+      const size_t take = std::min(
+          entry.items.size(), static_cast<size_t>(std::max(top_n, 0)));
+      out->assign(entry.items.begin(),
+                  entry.items.begin() + static_cast<ptrdiff_t>(take));
+      if (stale_epoch != nullptr) *stale_epoch = entry.epoch;
+      shard->lru.splice(shard->lru.begin(), shard->lru, entry.lru_it);
+      stale_hits_.fetch_add(1, std::memory_order_relaxed);
+      StaleHitCounter()->Increment();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ScoreCache::Insert(data::UserId user, int64_t epoch, int64_t model_epoch,
+                        int n_computed, std::vector<core::RankedItem> items) {
+  if (model_epoch != model_epoch_.load(std::memory_order_acquire)) {
+    // A hot-swap landed between scoring and insert: the ranking belongs to
+    // a superseded model. Matching-by-entry-epoch already makes it
+    // unservable; dropping it keeps swap invalidation exact.
+    rejected_inserts_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   Shard* shard = ShardFor(user);
   data::UserId evicted = data::kInvalidUser;
   int64_t evicted_epoch = -1;
@@ -80,6 +118,7 @@ void ScoreCache::Insert(data::UserId user, int64_t epoch, int n_computed,
     if (it != shard->entries.end()) {
       // Refresh in place (newer epoch or a wider n_computed).
       it->second.epoch = epoch;
+      it->second.model_epoch = model_epoch;
       it->second.n_computed = n_computed;
       it->second.items = std::move(items);
       shard->lru.splice(shard->lru.begin(), shard->lru, it->second.lru_it);
@@ -96,6 +135,7 @@ void ScoreCache::Insert(data::UserId user, int64_t epoch, int n_computed,
       shard->lru.push_front(user);
       Entry entry;
       entry.epoch = epoch;
+      entry.model_epoch = model_epoch;
       entry.n_computed = n_computed;
       entry.items = std::move(items);
       entry.lru_it = shard->lru.begin();
@@ -127,6 +167,20 @@ void ScoreCache::Invalidate(data::UserId user) {
   if (dropped) invalidations_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void ScoreCache::AdvanceModelEpoch(int64_t model_epoch) {
+  // Publish the new epoch FIRST so an Insert racing with this clear is
+  // either rejected (it reads the new epoch) or leaves an entry whose
+  // recorded model epoch can never match a post-swap Lookup. Clearing
+  // before publishing would leave a window where old-model inserts land in
+  // an already-"clean" cache and look current.
+  model_epoch_.store(model_epoch, std::memory_order_release);
+  for (Shard& shard : shards_) {
+    util::MutexLock lock(&shard.mu);
+    shard.entries.clear();
+    shard.lru.clear();
+  }
+}
+
 void ScoreCache::Clear() {
   for (Shard& shard : shards_) {
     util::MutexLock lock(&shard.mu);
@@ -139,9 +193,11 @@ ScoreCacheStats ScoreCache::stats() const {
   ScoreCacheStats stats;
   stats.hits = hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.stale_hits = stale_hits_.load(std::memory_order_relaxed);
   stats.insertions = insertions_.load(std::memory_order_relaxed);
   stats.invalidations = invalidations_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.rejected_inserts = rejected_inserts_.load(std::memory_order_relaxed);
   return stats;
 }
 

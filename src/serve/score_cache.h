@@ -2,13 +2,27 @@
 // cache, in the spirit of bcdb's MemoDB Evaluator — results are keyed by the
 // *inputs that determine them* and recomputed only when those inputs change.
 //
-// For TS-PPR the inputs of a ranking are (user, window-state). The window
-// state is summarized by the session's **epoch** — the number of events the
-// user's stream has absorbed — because the trailing window W_{u,t} (and hence
-// candidates, features, and scores) is a pure function of the history prefix.
-// A cached ranking is valid exactly while the user's epoch is unchanged; one
-// Observe() bumps the epoch and the stale entry simply never matches again
-// (and is dropped eagerly by Invalidate so it cannot occupy capacity).
+// For TS-PPR the inputs of a ranking are (model, user, window-state):
+//
+//   * The window state is summarized by the session's **epoch** — the number
+//     of events the user's stream has absorbed — because the trailing window
+//     W_{u,t} (and hence candidates, features, and scores) is a pure
+//     function of the history prefix. One Observe() bumps the epoch and the
+//     stale entry simply never matches again (and is dropped eagerly by
+//     Invalidate so it cannot occupy capacity).
+//   * The model is summarized by the registry's **model epoch**
+//     (model_registry.h). Every entry records the model epoch its scores
+//     were computed under, and a hit requires it to match the model epoch
+//     the caller is serving — so a hot-swap can never serve an old model's
+//     ranking as fresh.
+//
+// Hot-swap coherence (the race this layer is audited against): a worker may
+// be scoring under model epoch E while AdvanceModelEpoch(E+1) clears the
+// cache; its Insert then arrives *after* the clear. Two defenses make the
+// race benign: the insert is dropped when its model epoch is no longer
+// current (hygiene), and even if a stale-model entry slipped in, Lookup
+// matches entries by recorded model epoch, so it could never hit a request
+// served at E+1 (correctness). tests/score_cache_test.cc pins both.
 //
 // Sharded by user id: each shard holds its own mutex, hash map, and LRU list,
 // so concurrent lookups for different users rarely contend. One entry per
@@ -40,9 +54,11 @@ namespace serve {
 struct ScoreCacheStats {
   int64_t hits = 0;
   int64_t misses = 0;
+  int64_t stale_hits = 0;  ///< degraded LookupStale() servings
   int64_t insertions = 0;
   int64_t invalidations = 0;  ///< entries dropped by Invalidate()
   int64_t evictions = 0;      ///< entries dropped by capacity pressure
+  int64_t rejected_inserts = 0;  ///< dropped: model epoch moved during scoring
 
   double HitRate() const {
     const int64_t total = hits + misses;
@@ -50,30 +66,53 @@ struct ScoreCacheStats {
   }
 };
 
-/// \brief Sharded LRU cache of per-user top-N rankings keyed by epoch.
+/// \brief Sharded LRU cache of per-user top-N rankings keyed by
+/// (session epoch, model epoch).
 class ScoreCache {
  public:
   /// `capacity` bounds the total number of cached users across all shards
   /// (split evenly; each shard keeps at least one slot). `num_shards` must
-  /// be >= 1; more shards = less lock contention.
+  /// be >= 1; more shards = less lock contention. The cache starts at model
+  /// epoch 1, matching a fresh ModelRegistry.
   explicit ScoreCache(size_t capacity, size_t num_shards = 16);
 
   /// Returns true and copies the cached ranking (truncated to `top_n`) when
-  /// an entry for (user, epoch) exists and covers a top-`top_n` request.
-  bool Lookup(data::UserId user, int64_t epoch, int top_n,
-              std::vector<core::RankedItem>* out);
+  /// an entry for (user, epoch) exists, was computed under `model_epoch`,
+  /// and covers a top-`top_n` request.
+  bool Lookup(data::UserId user, int64_t epoch, int64_t model_epoch,
+              int top_n, std::vector<core::RankedItem>* out);
 
-  /// Stores the ranking computed for top-`n_computed` at (user, epoch),
-  /// replacing any previous entry for the user and evicting the
-  /// least-recently-used user if the shard is at capacity.
-  void Insert(data::UserId user, int64_t epoch, int n_computed,
-              std::vector<core::RankedItem> items);
+  /// Degraded-tier lookup (docs/serving.md §8.3): returns the user's entry
+  /// regardless of its session epoch — a ranking for a slightly older
+  /// window beats no ranking when the scoring path is unhealthy — but still
+  /// requires the model epoch to match (a wrong-model ranking is never
+  /// acceptable). The entry's own epoch is reported through `stale_epoch`
+  /// so the response can carry what it actually reflects. The result may be
+  /// shorter than `top_n`.
+  bool LookupStale(data::UserId user, int64_t model_epoch, int top_n,
+                   std::vector<core::RankedItem>* out, int64_t* stale_epoch);
+
+  /// Stores the ranking computed for top-`n_computed` at (user, epoch)
+  /// under `model_epoch`, replacing any previous entry for the user and
+  /// evicting the least-recently-used user if the shard is at capacity.
+  /// Silently dropped when `model_epoch` is no longer the cache's current
+  /// model epoch (a hot-swap landed while the ranking was being computed).
+  void Insert(data::UserId user, int64_t epoch, int64_t model_epoch,
+              int n_computed, std::vector<core::RankedItem> items);
 
   /// Drops the user's entry (called on Observe: the epoch advanced, so the
   /// entry can never hit again).
   void Invalidate(data::UserId user);
 
-  /// Drops everything (model hot-swap, tests).
+  /// Hot-swap invalidation: records `model_epoch` as current, then drops
+  /// every entry. Entries inserted concurrently under the old model epoch
+  /// can never hit afterwards (see the header comment's race audit).
+  void AdvanceModelEpoch(int64_t model_epoch);
+  int64_t model_epoch() const {
+    return model_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Drops everything (tests).
   void Clear();
 
   ScoreCacheStats stats() const;
@@ -83,6 +122,7 @@ class ScoreCache {
  private:
   struct Entry {
     int64_t epoch = -1;
+    int64_t model_epoch = -1;
     int n_computed = 0;
     std::vector<core::RankedItem> items;
     std::list<data::UserId>::iterator lru_it;
@@ -103,11 +143,17 @@ class ScoreCache {
   size_t per_shard_capacity_;
   std::vector<Shard> shards_;
 
+  /// The model epoch fresh inserts must carry (release on advance, acquire
+  /// on read — the advance happens-before the clears it triggers).
+  std::atomic<int64_t> model_epoch_{1};
+
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> stale_hits_{0};
   std::atomic<int64_t> insertions_{0};
   std::atomic<int64_t> invalidations_{0};
   std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> rejected_inserts_{0};
 };
 
 }  // namespace serve

@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "obs/event.h"
@@ -11,18 +12,46 @@
 namespace reconsume {
 namespace serve {
 
+const char* ServedByName(ServedBy served_by) {
+  switch (served_by) {
+    case ServedBy::kNone:
+      return "none";
+    case ServedBy::kFull:
+      return "full";
+    case ServedBy::kCache:
+      return "cache";
+    case ServedBy::kStaleCache:
+      return "stale_cache";
+    case ServedBy::kFallback:
+      return "fallback";
+  }
+  return "unknown";
+}
+
 RecommendService::RecommendService(const data::Dataset* dataset,
-                                   eval::Recommender* prototype,
+                                   std::shared_ptr<eval::Recommender> model,
                                    ServeConfig config)
     : config_(config),
-      sessions_(dataset, prototype, config.window_capacity, config.min_gap),
+      dataset_(dataset),
+      registry_(std::move(model), "initial"),
+      sessions_(dataset, config.window_capacity, config.min_gap),
       cache_(config.cache_capacity),
+      admission_(config.resilience, config.queue_capacity),
+      breakers_(config.resilience.breaker_shards,
+                config.resilience.breaker_trip_failures,
+                config.resilience.breaker_cooldown_ms * 1000000),
       queue_(config.queue_capacity),
       requests_counter_(
           obs::MetricsRegistry::Global().GetCounter("serve.requests")),
+      shed_counter_(obs::MetricsRegistry::Global().GetCounter("serve.shed")),
+      deadline_counter_(obs::MetricsRegistry::Global().GetCounter(
+          "serve.deadline_exceeded")),
+      degraded_counter_(
+          obs::MetricsRegistry::Global().GetCounter("serve.degraded")),
       latency_histogram_(obs::MetricsRegistry::Global().GetHistogram(
           "serve.request_latency_us", obs::ExponentialBuckets(1.0, 2.0, 24))),
       pool_(static_cast<size_t>(std::max(config.num_threads, 1))) {
+  RC_CHECK(dataset_ != nullptr);
   RC_EMIT_EVENT(obs::Event("serve_start")
                     .Set("threads", config_.num_threads)
                     .Set("queue_capacity",
@@ -30,7 +59,9 @@ RecommendService::RecommendService(const data::Dataset* dataset,
                     .Set("cache_capacity",
                          static_cast<int64_t>(config_.cache_capacity))
                     .Set("window", config_.window_capacity)
-                    .Set("min_gap", config_.min_gap));
+                    .Set("min_gap", config_.min_gap)
+                    .Set("shed_watermark", config_.resilience.shed_watermark)
+                    .Set("breaker_shards", config_.resilience.breaker_shards));
   for (size_t i = 0; i < pool_.num_threads(); ++i) {
     pool_.Submit([this] { WorkerLoop(); });
   }
@@ -45,21 +76,52 @@ void RecommendService::Shutdown() {
 }
 
 std::future<ServeResponse> RecommendService::Recommend(data::UserId user,
-                                                       int top_n) {
+                                                       int top_n,
+                                                       RequestOptions options) {
   Request request;
   request.kind = Request::Kind::kRecommend;
   request.user = user;
   request.top_n = top_n;
+  request.deadline_ns = DeadlineFromTimeoutUs(options.timeout_us);
   return Enqueue(std::move(request));
 }
 
 std::future<ServeResponse> RecommendService::Observe(data::UserId user,
-                                                     data::ItemId item) {
+                                                     data::ItemId item,
+                                                     RequestOptions options) {
   Request request;
   request.kind = Request::Kind::kObserve;
   request.user = user;
   request.item = item;
+  request.deadline_ns = DeadlineFromTimeoutUs(options.timeout_us);
   return Enqueue(std::move(request));
+}
+
+ServeResponse RecommendService::ShedResponse(const Request& request,
+                                             const char* reason,
+                                             std::atomic<int64_t>* counter) {
+  counter->fetch_add(1, std::memory_order_relaxed);
+  shed_counter_->Increment();
+  RC_EMIT_EVENT(obs::Event("request_shed")
+                    .Set("user", static_cast<int64_t>(request.user))
+                    .Set("reason", reason));
+  ServeResponse response;
+  response.status =
+      Status::Unavailable(std::string("request shed: ") + reason);
+  return response;
+}
+
+ServeResponse RecommendService::DeadlineResponse(const Request& request,
+                                                 const char* where) {
+  deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  deadline_counter_->Increment();
+  RC_EMIT_EVENT(obs::Event("deadline_exceeded")
+                    .Set("user", static_cast<int64_t>(request.user))
+                    .Set("where", where));
+  ServeResponse response;
+  response.status = Status::DeadlineExceeded(
+      std::string("deadline expired at ") + where);
+  return response;
 }
 
 std::future<ServeResponse> RecommendService::Enqueue(Request request) {
@@ -69,15 +131,41 @@ std::future<ServeResponse> RecommendService::Enqueue(Request request) {
   if (!injected.ok()) {
     ServeResponse response;
     response.status = std::move(injected);
-    request.promise.set_value(std::move(response));
+    Resolve(request, std::move(response));
     return future;
   }
-  if (!queue_.Push(request)) {
-    // Only fails after Shutdown(); a failed Push leaves the request (and its
-    // promise) with us, so the caller still gets a resolved future.
-    ServeResponse response;
-    response.status = Status::FailedPrecondition("service is shut down");
-    request.promise.set_value(std::move(response));
+  // Checkpoint 1 of 3: a deadline that expired before we even queued.
+  if (DeadlineExpired(request.deadline_ns)) {
+    Resolve(request, DeadlineResponse(request, "enqueue"));
+    return future;
+  }
+  const bool droppable = request.kind == Request::Kind::kRecommend;
+  if (droppable) {
+    // Admission control: recommends are droppable (a retry recomputes the
+    // same answer); observes are state mutations and skip the watermark.
+    if (!RC_FAILPOINT_STATUS("serve/overload").ok()) {
+      Resolve(request, ShedResponse(request, "failpoint", &shed_enqueue_));
+      return future;
+    }
+    if (admission_.ShouldShedAtEnqueue(queue_.size())) {
+      Resolve(request, ShedResponse(request, "watermark", &shed_enqueue_));
+      return future;
+    }
+  }
+  // Bounded enqueue (rc_analyze R6: no unbounded producer blocking): wait
+  // at most the enqueue budget, clipped to whatever deadline remains.
+  int64_t wait_ns = config_.resilience.enqueue_timeout_us * 1000;
+  if (request.deadline_ns > 0) {
+    wait_ns = std::min(wait_ns, request.deadline_ns - request.enqueue_ns);
+  }
+  if (!queue_.TryEnqueueFor(request, wait_ns)) {
+    if (queue_.shut_down()) {
+      ServeResponse response;
+      response.status = Status::FailedPrecondition("service is shut down");
+      Resolve(request, std::move(response));
+    } else {
+      Resolve(request, ShedResponse(request, "queue_full", &shed_enqueue_));
+    }
   }
   return future;
 }
@@ -85,26 +173,45 @@ std::future<ServeResponse> RecommendService::Enqueue(Request request) {
 void RecommendService::WorkerLoop() {
   Request request;
   while (queue_.Pop(&request)) {
-    ServeResponse response = Handle(request);
-    const int64_t now_ns = obs::MonotonicNanos();
-    response.latency_ns = now_ns - request.enqueue_ns;
-    requests_counter_->Increment();
-    latency_histogram_->Observe(static_cast<double>(response.latency_ns) /
-                                1000.0);
-    served_.fetch_add(1, std::memory_order_relaxed);
-    RC_EMIT_EVENT(
-        obs::Event("request_done")
-            .Set("kind", request.kind == Request::Kind::kRecommend
-                             ? "recommend"
-                             : "observe")
-            .Set("user", static_cast<int64_t>(request.user))
-            .Set("cache_hit", response.cache_hit)
-            .Set("epoch", response.epoch)
-            .Set("latency_us",
-                 static_cast<double>(response.latency_ns) / 1000.0)
-            .Set("ok", response.status.ok()));
-    request.promise.set_value(std::move(response));
+    ServeResponse response;
+    const int64_t dequeue_ns = obs::MonotonicNanos();
+    if (DeadlineExpired(request.deadline_ns)) {
+      // Checkpoint 2 of 3: the request died in the queue — resolve it
+      // instead of burning a worker on an answer nobody is waiting for.
+      response = DeadlineResponse(request, "dequeue");
+    } else if (request.kind == Request::Kind::kRecommend &&
+               admission_.ShouldShedAtDequeue(dequeue_ns -
+                                              request.enqueue_ns)) {
+      response = ShedResponse(request, "queue_delay", &shed_queue_delay_);
+    } else {
+      response = Handle(request);
+    }
+    Resolve(request, std::move(response));
   }
+}
+
+void RecommendService::Resolve(Request& request, ServeResponse response) {
+  response.latency_ns = obs::MonotonicNanos() - request.enqueue_ns;
+  requests_counter_->Increment();
+  latency_histogram_->Observe(static_cast<double>(response.latency_ns) /
+                              1000.0);
+  served_.fetch_add(1, std::memory_order_relaxed);
+  if (response.degraded) degraded_counter_->Increment();
+  RC_EMIT_EVENT(
+      obs::Event("request_done")
+          .Set("kind", request.kind == Request::Kind::kRecommend
+                           ? "recommend"
+                           : "observe")
+          .Set("user", static_cast<int64_t>(request.user))
+          .Set("cache_hit", response.cache_hit)
+          .Set("degraded", response.degraded)
+          .Set("served_by", ServedByName(response.served_by))
+          .Set("epoch", response.epoch)
+          .Set("model_epoch", response.model_epoch)
+          .Set("latency_us",
+               static_cast<double>(response.latency_ns) / 1000.0)
+          .Set("ok", response.status.ok()));
+  request.promise.set_value(std::move(response));
 }
 
 ServeResponse RecommendService::Handle(Request& request) {
@@ -125,8 +232,14 @@ ServeResponse RecommendService::HandleRecommend(const Request& request) {
     response.status = Status::InvalidArgument("top_n must be >= 1");
     return response;
   }
-  UserSession* state = sessions_.GetOrCreate(request.user);
+  // ONE snapshot per request: everything below — session rebind, cache key,
+  // scoring, response stamping — uses this model generation and no other,
+  // so the ranking is atomic with respect to concurrent hot-swaps.
+  std::shared_ptr<const ModelSnapshot> snapshot = registry_.Current();
+  response.model_epoch = snapshot->epoch;
+  UserSession* state = sessions_.GetOrCreate(request.user, snapshot);
   util::MutexLock lock(&state->mu);
+  state->RefreshModel(snapshot);
   response.epoch = state->epoch();
 
   Status injected = RC_FAILPOINT_STATUS("serve/cache_lookup");
@@ -134,25 +247,85 @@ ServeResponse RecommendService::HandleRecommend(const Request& request) {
     response.status = std::move(injected);
     return response;
   }
-  if (cache_.Lookup(request.user, response.epoch, request.top_n,
-                    &response.items)) {
+  if (cache_.Lookup(request.user, response.epoch, snapshot->epoch,
+                    request.top_n, &response.items)) {
     response.cache_hit = true;
+    response.served_by = ServedBy::kCache;
     return response;
   }
 
-  injected = RC_FAILPOINT_STATUS("serve/score");
-  if (!injected.ok()) {
-    response.status = std::move(injected);
-    return response;
+  // Checkpoint 3 of 3: scoring is the expensive part — last chance to bail.
+  if (DeadlineExpired(request.deadline_ns)) {
+    return DeadlineResponse(request, "pre_score");
   }
-  if (sessions_.prototype_shared()) {
-    // The prototype cannot clone; all scoring funnels through one mutex.
+
+  CircuitBreaker* breaker = breakers_.For(static_cast<int64_t>(request.user));
+  if (!breaker->AllowRequest()) {
+    return Degrade(request, state, snapshot->epoch, response.epoch,
+                   "breaker_open");
+  }
+  Status score_status = RC_FAILPOINT_STATUS("serve/score");
+  if (!score_status.ok()) {
+    breaker->RecordFailure();
+    return Degrade(request, state, snapshot->epoch, response.epoch,
+                   "score_error");
+  }
+  if (!snapshot->clonable) {
+    // The snapshot's prototype cannot clone; scoring funnels through one
+    // mutex shared by every session bound to a non-clonable model.
     util::MutexLock score_lock(sessions_.prototype_mu());
     response.items = state->session->RecommendTopN(request.top_n);
   } else {
     response.items = state->session->RecommendTopN(request.top_n);
   }
-  cache_.Insert(request.user, response.epoch, request.top_n, response.items);
+  breaker->RecordSuccess();
+  response.served_by = ServedBy::kFull;
+  cache_.Insert(request.user, response.epoch, snapshot->epoch, request.top_n,
+                response.items);
+  return response;
+}
+
+ServeResponse RecommendService::Degrade(const Request& request,
+                                        UserSession* state,
+                                        int64_t model_epoch,
+                                        int64_t live_epoch,
+                                        const char* reason) {
+  ServeResponse response;
+  response.model_epoch = model_epoch;
+  response.degraded = true;
+  // Tier 2: a stale cache entry — an older window's ranking from the SAME
+  // model beats recomputing through a tripped scoring path.
+  int64_t stale_epoch = -1;
+  if (cache_.LookupStale(request.user, model_epoch, request.top_n,
+                         &response.items, &stale_epoch)) {
+    response.epoch = stale_epoch;
+    response.served_by = ServedBy::kStaleCache;
+    degraded_stale_.fetch_add(1, std::memory_order_relaxed);
+    RC_EMIT_EVENT(obs::Event("degraded")
+                      .Set("reason", reason)
+                      .Set("tier", "stale_cache")
+                      .Set("user", static_cast<int64_t>(request.user)));
+    return response;
+  }
+  // Tier 3: the model-free repeat-history ranker — always computable, never
+  // touches the recommender, so it cannot re-trip the breaker.
+  if (config_.resilience.enable_fallback) {
+    response.items = state->session->RecommendFallbackTopN(request.top_n);
+    response.epoch = live_epoch;
+    response.served_by = ServedBy::kFallback;
+    degraded_fallback_.fetch_add(1, std::memory_order_relaxed);
+    RC_EMIT_EVENT(obs::Event("degraded")
+                      .Set("reason", reason)
+                      .Set("tier", "fallback")
+                      .Set("user", static_cast<int64_t>(request.user)));
+    return response;
+  }
+  response.degraded = false;
+  response.served_by = ServedBy::kNone;
+  response.epoch = live_epoch;
+  response.status = Status::Unavailable(
+      std::string("scoring unavailable (") + reason +
+      ") and no degraded tier is enabled");
   return response;
 }
 
@@ -162,12 +335,73 @@ ServeResponse RecommendService::HandleObserve(const Request& request) {
     response.status = Status::InvalidArgument("observe requires an item");
     return response;
   }
-  UserSession* state = sessions_.GetOrCreate(request.user);
+  std::shared_ptr<const ModelSnapshot> snapshot = registry_.Current();
+  response.model_epoch = snapshot->epoch;
+  UserSession* state = sessions_.GetOrCreate(request.user, snapshot);
   util::MutexLock lock(&state->mu);
+  state->RefreshModel(snapshot);
   state->session->Observe(request.item);
   cache_.Invalidate(request.user);
   response.epoch = state->epoch();
   return response;
+}
+
+Status RecommendService::ValidateCandidate(eval::Recommender& candidate) const {
+  // Smoke-score a probe set of real users: a candidate must prove it can
+  // rank before it may serve. Runs under the registry's swap mutex with the
+  // old model still current, so a failure here is a clean rollback.
+  const size_t num_users = dataset_->num_users();
+  int probed = 0;
+  for (size_t u = 0; u < num_users && probed < 4; ++u) {
+    const data::UserId user = static_cast<data::UserId>(u);
+    if (dataset_->sequence(user).size() < 2) continue;
+    core::RecommendationSession probe(&candidate, user,
+                                      dataset_->sequence(user),
+                                      config_.window_capacity,
+                                      config_.min_gap);
+    for (const core::RankedItem& item : probe.RecommendTopN(10)) {
+      if (!std::isfinite(item.score)) {
+        return Status::InvalidArgument(
+            "candidate produced a non-finite score for user " +
+            std::to_string(u));
+      }
+    }
+    ++probed;
+  }
+  if (probed == 0) {
+    return Status::FailedPrecondition(
+        "no probe users available to validate the candidate");
+  }
+  return Status::OK();
+}
+
+Result<int64_t> RecommendService::SwapModel(
+    std::shared_ptr<eval::Recommender> candidate, std::string name) {
+  Result<int64_t> result = registry_.Promote(
+      std::move(candidate), std::move(name),
+      [this](eval::Recommender& model) { return ValidateCandidate(model); });
+  if (result.ok()) {
+    // Publish the new epoch into the cache, which invalidates every ranking
+    // computed under older models (see score_cache.h's race audit).
+    cache_.AdvanceModelEpoch(result.ValueOrDie());
+  }
+  return result;
+}
+
+ResilienceStats RecommendService::resilience_stats() const {
+  ResilienceStats stats;
+  stats.shed_enqueue = shed_enqueue_.load(std::memory_order_relaxed);
+  stats.shed_queue_delay = shed_queue_delay_.load(std::memory_order_relaxed);
+  stats.deadline_exceeded =
+      deadline_exceeded_.load(std::memory_order_relaxed);
+  stats.degraded_stale = degraded_stale_.load(std::memory_order_relaxed);
+  stats.degraded_fallback =
+      degraded_fallback_.load(std::memory_order_relaxed);
+  stats.breaker_trips = breakers_.total_trips();
+  stats.open_breaker_shards = breakers_.open_shards();
+  stats.model_swaps = registry_.swaps();
+  stats.model_rollbacks = registry_.rollbacks();
+  return stats;
 }
 
 int64_t RecommendService::requests_served() const {

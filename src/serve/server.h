@@ -7,16 +7,26 @@
 //                              ScoreCache (epoch-keyed memoization)
 //
 // Callers enqueue RecommendRequest / ObserveRequest messages and receive a
-// std::future<ServeResponse>; a fixed pool of workers drains the queue. The
-// queue is bounded, so a producer that outruns the workers blocks (closed
-// loop) — see BoundedQueue for the exact backpressure semantics.
+// std::future<ServeResponse>; a fixed pool of workers drains the queue.
+//
+// Resilience (docs/serving.md §8): every request carries an optional
+// deadline, checked at enqueue, at dequeue, and again before scoring;
+// admission control sheds droppable requests at a queue-depth watermark and
+// bounds every enqueue wait (rc_analyze rule R6), so under overload requests
+// resolve Unavailable instead of hanging; a per-shard circuit breaker around
+// the scoring path sends requests down a degradation ladder
+// (full scoring → stale cache → repeat-history fallback); and models
+// hot-swap atomically through a validated, epoch-stamped ModelRegistry.
+// Every request, on every path, resolves its future exactly once.
 //
 // Consistency model: per-user linearizability. One mutex per UserSession
 // serializes all requests touching that user, so an Observe and the
 // Recommends around it apply in a definite order, and a cached ranking is
 // always consistent with the epoch it was computed at. Requests for
 // *different* users are independent and run concurrently; there is no
-// cross-user ordering guarantee.
+// cross-user ordering guarantee. A ranking is additionally the product of
+// exactly one model epoch: the worker grabs one ModelSnapshot per request
+// and uses only it, even while a swap lands mid-request.
 
 #pragma once
 
@@ -24,6 +34,7 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/recommendation_session.h"
@@ -31,7 +42,9 @@
 #include "data/types.h"
 #include "eval/recommender.h"
 #include "obs/metrics.h"
+#include "serve/model_registry.h"
 #include "serve/request_queue.h"
+#include "serve/resilience.h"
 #include "serve/score_cache.h"
 #include "serve/session_map.h"
 #include "util/status.h"
@@ -47,7 +60,25 @@ struct ServeConfig {
   size_t cache_capacity = 4096;  ///< max users with a cached ranking
   int window_capacity = 100;     ///< session window size (paper's K)
   int min_gap = 10;              ///< reconsumption gap threshold (Omega)
+  ResilienceConfig resilience;   ///< overload & degradation policy (§8)
 };
+
+/// \brief Per-request options.
+struct RequestOptions {
+  /// Relative deadline; 0 = none. Expired requests resolve with
+  /// DeadlineExceeded at the next checkpoint instead of being served.
+  int64_t timeout_us = 0;
+};
+
+/// \brief Which ladder tier produced a recommend response.
+enum class ServedBy {
+  kNone = 0,       ///< not a ranking (observe, or an error)
+  kFull,           ///< fresh model scoring
+  kCache,          ///< exact (epoch, model-epoch) cache hit
+  kStaleCache,     ///< degraded: older-epoch cache entry, same model
+  kFallback,       ///< degraded: model-free repeat-history ranker
+};
+const char* ServedByName(ServedBy served_by);
 
 /// \brief Outcome of one request, delivered through the future.
 struct ServeResponse {
@@ -55,41 +86,79 @@ struct ServeResponse {
   /// Ranked recommendations (Recommend only; empty for Observe).
   std::vector<core::RankedItem> items;
   bool cache_hit = false;
-  /// The user's window-state epoch the response reflects.
+  /// True when the response came from a degraded ladder tier.
+  bool degraded = false;
+  ServedBy served_by = ServedBy::kNone;
+  /// The user's window-state epoch the response reflects (for a stale-cache
+  /// serving this is the *entry's* epoch, older than the live session's).
   int64_t epoch = -1;
+  /// The model generation that computed the ranking.
+  int64_t model_epoch = -1;
   int64_t latency_ns = 0;  ///< enqueue → completion
+};
+
+/// \brief Resilience counters (racy-exact snapshots) for benches and stats.
+struct ResilienceStats {
+  int64_t shed_enqueue = 0;      ///< watermark / full-queue / failpoint sheds
+  int64_t shed_queue_delay = 0;  ///< dequeue-side queue-delay sheds
+  int64_t deadline_exceeded = 0;
+  int64_t degraded_stale = 0;     ///< served from a stale cache entry
+  int64_t degraded_fallback = 0;  ///< served by the repeat-history ranker
+  int64_t breaker_trips = 0;
+  int open_breaker_shards = 0;
+  int64_t model_swaps = 0;
+  int64_t model_rollbacks = 0;
 };
 
 /// \brief Multi-threaded TS-PPR serving core.
 ///
-/// Thread-safe: Recommend/Observe may be called from any number of threads.
-/// `dataset` and `prototype` must outlive the service. The destructor shuts
-/// the queue down and joins the workers; in-flight requests complete.
+/// Thread-safe: Recommend/Observe/SwapModel may be called from any number of
+/// threads. `dataset` must outlive the service; the service shares ownership
+/// of every model it serves. The destructor shuts the queue down and joins
+/// the workers; in-flight requests complete.
 class RecommendService {
  public:
-  RecommendService(const data::Dataset* dataset, eval::Recommender* prototype,
+  RecommendService(const data::Dataset* dataset,
+                   std::shared_ptr<eval::Recommender> model,
                    ServeConfig config);
   ~RecommendService();
 
   RecommendService(const RecommendService&) = delete;
   RecommendService& operator=(const RecommendService&) = delete;
 
-  /// Enqueues a top-`top_n` query for `user`. The future resolves once a
-  /// worker has served it (from cache or by scoring). Blocks while the
-  /// queue is full; resolves with FailedPrecondition after Shutdown().
-  std::future<ServeResponse> Recommend(data::UserId user, int top_n);
+  /// Enqueues a top-`top_n` query for `user`. The future always resolves:
+  /// with a ranking (possibly degraded), Unavailable when shed,
+  /// DeadlineExceeded when `options.timeout_us` elapsed first, or
+  /// FailedPrecondition after Shutdown(). Never blocks longer than the
+  /// enqueue budget (ResilienceConfig::enqueue_timeout_us).
+  std::future<ServeResponse> Recommend(data::UserId user, int top_n,
+                                       RequestOptions options = {});
 
   /// Enqueues one consumption event. Advances the user's epoch and
-  /// invalidates their cached ranking.
-  std::future<ServeResponse> Observe(data::UserId user, data::ItemId item);
+  /// invalidates their cached ranking. Observes are never watermark-shed
+  /// (they mutate state), but a full queue still bounds the wait — on
+  /// timeout the future resolves Unavailable and the event is NOT applied.
+  std::future<ServeResponse> Observe(data::UserId user, data::ItemId item,
+                                     RequestOptions options = {});
+
+  /// Atomic model hot-swap: smoke-scores `candidate` against a probe set of
+  /// real users (plus the `serve/swap_validate` failpoint), and on success
+  /// publishes it at a new model epoch and invalidates the score cache.
+  /// On validation failure the old model keeps serving (rollback) and the
+  /// error is returned. In-flight requests finish on whichever snapshot
+  /// they grabbed; each ranking reflects exactly one model epoch.
+  Result<int64_t> SwapModel(std::shared_ptr<eval::Recommender> candidate,
+                            std::string name);
 
   /// Stops intake, drains queued requests, joins the workers. Idempotent;
   /// also run by the destructor.
   void Shutdown();
 
   ScoreCacheStats cache_stats() const { return cache_.stats(); }
+  ResilienceStats resilience_stats() const;
   size_t num_sessions() const { return sessions_.size(); }
   int64_t requests_served() const;
+  int64_t model_epoch() const { return registry_.current_epoch(); }
   /// Snapshot of the enqueue→completion latency histogram (microseconds).
   obs::HistogramSnapshot LatencySnapshot() const;
   const ServeConfig& config() const { return config_; }
@@ -102,22 +171,46 @@ class RecommendService {
     data::ItemId item = data::kInvalidItem;
     int top_n = 0;
     int64_t enqueue_ns = 0;
+    int64_t deadline_ns = 0;  ///< absolute monotonic; 0 = none
     std::promise<ServeResponse> promise;
   };
 
   std::future<ServeResponse> Enqueue(Request request);
   void WorkerLoop();
+  /// The single funnel every request resolves through: stamps latency,
+  /// bumps counters, emits `request_done`, fulfils the promise.
+  void Resolve(Request& request, ServeResponse response);
   ServeResponse Handle(Request& request);
   ServeResponse HandleRecommend(const Request& request);
   ServeResponse HandleObserve(const Request& request);
+  /// Ladder tiers below full scoring. Requires `state->mu` held.
+  ServeResponse Degrade(const Request& request, UserSession* state,
+                        int64_t model_epoch, int64_t live_epoch,
+                        const char* reason) RC_REQUIRES(state->mu);
+  ServeResponse ShedResponse(const Request& request, const char* reason,
+                             std::atomic<int64_t>* counter);
+  ServeResponse DeadlineResponse(const Request& request, const char* where);
+  Status ValidateCandidate(eval::Recommender& candidate) const;
 
   const ServeConfig config_;
+  const data::Dataset* dataset_;
+  ModelRegistry registry_;
   SessionMap sessions_;
   ScoreCache cache_;
+  AdmissionController admission_;
+  BreakerPanel breakers_;
   BoundedQueue<Request> queue_;
   obs::Counter* requests_counter_;      // serve.requests
+  obs::Counter* shed_counter_;          // serve.shed
+  obs::Counter* deadline_counter_;      // serve.deadline_exceeded
+  obs::Counter* degraded_counter_;      // serve.degraded
   obs::Histogram* latency_histogram_;   // serve.request_latency_us
   std::atomic<int64_t> served_{0};
+  std::atomic<int64_t> shed_enqueue_{0};
+  std::atomic<int64_t> shed_queue_delay_{0};
+  std::atomic<int64_t> deadline_exceeded_{0};
+  std::atomic<int64_t> degraded_stale_{0};
+  std::atomic<int64_t> degraded_fallback_{0};
   std::atomic<bool> shut_down_{false};
   util::ThreadPool pool_;  ///< last member: workers touch everything above
 };

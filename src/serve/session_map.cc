@@ -8,25 +8,33 @@
 namespace reconsume {
 namespace serve {
 
-SessionMap::SessionMap(const data::Dataset* dataset,
-                       eval::Recommender* prototype, int window_capacity,
+bool UserSession::RefreshModel(
+    const std::shared_ptr<const ModelSnapshot>& snapshot) {
+  if (model != nullptr && model->epoch == snapshot->epoch) return false;
+  model = snapshot;
+  recommender = snapshot->prototype->Clone();
+  eval::Recommender* scorer =
+      recommender ? recommender.get() : snapshot->prototype.get();
+  session->set_recommender(scorer);
+  return true;
+}
+
+SessionMap::SessionMap(const data::Dataset* dataset, int window_capacity,
                        int min_gap, size_t num_shards)
     : dataset_(dataset),
-      prototype_(prototype),
       window_capacity_(window_capacity),
       min_gap_(min_gap),
       shards_(std::max<size_t>(num_shards, 1)) {
   RC_CHECK(dataset_ != nullptr);
-  RC_CHECK(prototype_ != nullptr);
   RC_CHECK(window_capacity_ >= 2) << "window capacity must be >= 2";
   RC_CHECK(min_gap_ >= 0 && min_gap_ < window_capacity_)
       << "min gap must be in [0, window)";
-  // Probe clone-ability once up front so every session takes the same path.
-  prototype_shared_ = (prototype_->Clone() == nullptr);
 }
 
-UserSession* SessionMap::GetOrCreate(data::UserId user) {
+UserSession* SessionMap::GetOrCreate(
+    data::UserId user, const std::shared_ptr<const ModelSnapshot>& model) {
   RC_CHECK_INDEX(user, dataset_->num_users());
+  RC_CHECK(model != nullptr);
   Shard& shard = shards_[static_cast<size_t>(user) % shards_.size()];
   util::MutexLock lock(&shard.mu);
   auto it = shard.sessions.find(user);
@@ -39,9 +47,10 @@ UserSession* SessionMap::GetOrCreate(data::UserId user) {
     // happens-before edge to future lockers is explicit, not argued. Lock
     // order shard.mu -> UserSession::mu matches the request path.
     util::MutexLock init_lock(&state->mu);
-    state->recommender = prototype_->Clone();
+    state->model = model;
+    state->recommender = model->prototype->Clone();
     eval::Recommender* scorer =
-        state->recommender ? state->recommender.get() : prototype_;
+        state->recommender ? state->recommender.get() : model->prototype.get();
     state->session = std::make_unique<core::RecommendationSession>(
         scorer, user, dataset_->sequence(user), window_capacity_, min_gap_);
   }

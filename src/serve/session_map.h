@@ -1,12 +1,19 @@
 // Stage 2 of the serving pipeline (docs/serving.md): per-user session state
 // behind a sharded map.
 //
-// Each user gets one UserSession: a private clone of the recommender (scoring
-// uses mutable scratch, so workers must never share one) plus a
-// core::RecommendationSession seeded from the user's historical sequence.
-// A per-user mutex serializes requests for the same user — the session's
-// window walker and the recommender scratch are single-threaded by design —
-// while requests for different users proceed in parallel.
+// Each user gets one UserSession: a private clone of the current model's
+// recommender (scoring uses mutable scratch, so workers must never share
+// one) plus a core::RecommendationSession seeded from the user's historical
+// sequence. A per-user mutex serializes requests for the same user — the
+// session's window walker and the recommender scratch are single-threaded by
+// design — while requests for different users proceed in parallel.
+//
+// Hot-swap awareness (docs/serving.md §8.4): sessions are bound to a
+// ModelSnapshot, not a raw recommender. The worker grabs one snapshot per
+// request and calls RefreshModel under the user lock; when the session's
+// snapshot is older it re-clones from the new prototype in place, so the
+// very next ranking is computed by the new model while window state and
+// history carry over untouched.
 //
 // Sessions are created lazily on first touch and live for the map's lifetime
 // (pointers handed out stay valid), so memory grows with the number of
@@ -21,6 +28,7 @@
 #include "core/recommendation_session.h"
 #include "data/dataset.h"
 #include "eval/recommender.h"
+#include "serve/model_registry.h"
 #include "util/sync.h"
 
 namespace reconsume {
@@ -29,38 +37,54 @@ namespace serve {
 /// \brief One user's serving state. Lock `mu` around any session access.
 struct UserSession {
   util::Mutex mu;
-  /// Private recommender clone (null when the prototype cannot clone; the
-  /// map then points `session` at the shared prototype and the caller must
-  /// hold SessionMap::prototype_mu() while scoring).
+  /// The model generation this session currently scores with. The
+  /// shared_ptr keeps the snapshot (and its prototype) alive even after a
+  /// swap supersedes it.
+  std::shared_ptr<const ModelSnapshot> model RC_GUARDED_BY(mu);
+  /// Private recommender clone (null when the snapshot is not clonable; the
+  /// session then points at the shared prototype and the caller must hold
+  /// SessionMap::prototype_mu() while scoring).
   std::unique_ptr<eval::Recommender> recommender RC_GUARDED_BY(mu);
   std::unique_ptr<core::RecommendationSession> session RC_GUARDED_BY(mu);
 
   /// Window-state epoch: number of events the session has absorbed. This is
   /// the cache key component that invalidates on Observe.
   int64_t epoch() const RC_REQUIRES(mu) { return session->num_events(); }
+  /// The model epoch the session's next ranking will be computed under.
+  int64_t model_epoch() const RC_REQUIRES(mu) { return model->epoch; }
+
+  /// Rebinds the session to `snapshot` if it is a different model epoch:
+  /// re-clones the recommender from the new prototype and swaps it into the
+  /// RecommendationSession. No-op when the epochs already match. Returns
+  /// true when a rebind happened.
+  bool RefreshModel(const std::shared_ptr<const ModelSnapshot>& snapshot)
+      RC_REQUIRES(mu);
 };
 
 /// \brief Sharded lazy map UserId -> UserSession.
 class SessionMap {
  public:
-  /// `dataset` seeds each session with the user's full observed sequence;
-  /// `prototype` is cloned per user (both must outlive the map).
-  SessionMap(const data::Dataset* dataset, eval::Recommender* prototype,
-             int window_capacity, int min_gap, size_t num_shards = 16);
+  /// `dataset` seeds each session with the user's full observed sequence
+  /// and must outlive the map. Model prototypes arrive per call via
+  /// snapshots (SessionMap holds no model of its own).
+  SessionMap(const data::Dataset* dataset, int window_capacity, int min_gap,
+             size_t num_shards = 16);
 
-  /// The user's session, created on first touch. Never null; the pointer is
-  /// stable for the map's lifetime.
-  UserSession* GetOrCreate(data::UserId user);
+  /// The user's session, created on first touch and bound to `model`.
+  /// Never null; the pointer is stable for the map's lifetime. An existing
+  /// session is returned as-is — callers rebind via RefreshModel under the
+  /// user lock, which they need to take anyway.
+  UserSession* GetOrCreate(data::UserId user,
+                           const std::shared_ptr<const ModelSnapshot>& model);
 
   /// Number of sessions instantiated so far.
   size_t size() const;
 
-  /// Serializes scoring when the prototype is not clone-able (see
+  /// Serializes scoring when the bound snapshot is not clone-able (see
   /// UserSession::recommender). Uncontended in the normal cloning path.
   util::Mutex* prototype_mu() RC_RETURN_CAPABILITY(prototype_mu_) {
     return &prototype_mu_;
   }
-  bool prototype_shared() const { return prototype_shared_; }
 
  private:
   struct Shard {
@@ -70,10 +94,8 @@ class SessionMap {
   };
 
   const data::Dataset* dataset_;
-  eval::Recommender* prototype_;
   const int window_capacity_;
   const int min_gap_;
-  bool prototype_shared_ = false;  ///< written once by the constructor
   util::Mutex prototype_mu_;
   /// Sized once in the constructor, never resized; the shards themselves
   /// carry their own locks. rc:unguarded(fixed-after-construction)

@@ -27,6 +27,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kNumericalError:
       return "NumericalError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

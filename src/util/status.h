@@ -27,6 +27,8 @@ enum class StatusCode : int8_t {
   kNotImplemented = 7,
   kInternal = 8,
   kNumericalError = 9,  ///< divergence, non-finite values, singular systems
+  kDeadlineExceeded = 10,  ///< request deadline elapsed before completion
+  kUnavailable = 11,       ///< transient overload: request was shed, retry
 };
 
 /// \brief Returns a human-readable name for a StatusCode (e.g. "IOError").
@@ -73,6 +75,12 @@ class Status {
   }
   static Status NumericalError(std::string msg) {
     return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

@@ -34,7 +34,9 @@
 
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <shared_mutex>
 
@@ -187,6 +189,21 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // the caller's MutexLock still owns the mutex
+  }
+
+  /// Bounded wait: sleeps at most `timeout_ns` nanoseconds. Returns false on
+  /// timeout, true when woken by a notify (or spuriously — re-check the
+  /// predicate either way, in the same while loop as an untimed Wait). The
+  /// mutex is held again before returning in both cases. A non-positive
+  /// timeout degrades to an immediate timed-out return, so callers can pass
+  /// a remaining-budget computation without clamping.
+  bool WaitFor(Mutex* mu, int64_t timeout_ns) RC_REQUIRES(mu) {
+    if (timeout_ns <= 0) return false;
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    const std::cv_status status =
+        cv_.wait_for(lock, std::chrono::nanoseconds(timeout_ns));
+    lock.release();  // the caller's MutexLock still owns the mutex
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -1,8 +1,12 @@
 // ScoreCache: epoch-keyed hit/miss semantics, invalidate-on-observe,
-// prefix-serving coverage, and LRU capacity eviction.
+// prefix-serving coverage, LRU capacity eviction, and the model-epoch
+// coherence rules the hot-swap path depends on (stale lookups, insert
+// rejection, and the advance/insert race — score_cache.h's audit).
 
 #include "serve/score_cache.h"
 
+#include <atomic>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -10,6 +14,10 @@
 namespace reconsume {
 namespace serve {
 namespace {
+
+// The cache starts at model epoch 1 (matching a fresh ModelRegistry); the
+// single-model tests below all insert and look up at that epoch.
+constexpr int64_t kModel = 1;
 
 std::vector<core::RankedItem> MakeRanking(int n, double base_score) {
   std::vector<core::RankedItem> items;
@@ -26,10 +34,11 @@ std::vector<core::RankedItem> MakeRanking(int n, double base_score) {
 TEST(ScoreCacheTest, MissThenHitAtSameEpoch) {
   ScoreCache cache(/*capacity=*/64);
   std::vector<core::RankedItem> out;
-  EXPECT_FALSE(cache.Lookup(/*user=*/3, /*epoch=*/7, /*top_n=*/5, &out));
+  EXPECT_FALSE(cache.Lookup(/*user=*/3, /*epoch=*/7, kModel, /*top_n=*/5,
+                            &out));
 
-  cache.Insert(3, 7, 5, MakeRanking(5, 10.0));
-  ASSERT_TRUE(cache.Lookup(3, 7, 5, &out));
+  cache.Insert(3, 7, kModel, 5, MakeRanking(5, 10.0));
+  ASSERT_TRUE(cache.Lookup(3, 7, kModel, 5, &out));
   ASSERT_EQ(out.size(), 5u);
   EXPECT_EQ(out[0].item, 100);
   EXPECT_DOUBLE_EQ(out[0].score, 10.0);
@@ -42,43 +51,43 @@ TEST(ScoreCacheTest, MissThenHitAtSameEpoch) {
 
 TEST(ScoreCacheTest, EpochMismatchMisses) {
   ScoreCache cache(64);
-  cache.Insert(3, 7, 5, MakeRanking(5, 10.0));
+  cache.Insert(3, 7, kModel, 5, MakeRanking(5, 10.0));
   std::vector<core::RankedItem> out;
-  EXPECT_FALSE(cache.Lookup(3, /*epoch=*/8, 5, &out));  // newer window state
-  EXPECT_FALSE(cache.Lookup(3, /*epoch=*/6, 5, &out));  // older window state
-  EXPECT_TRUE(cache.Lookup(3, 7, 5, &out));
+  EXPECT_FALSE(cache.Lookup(3, /*epoch=*/8, kModel, 5, &out));  // newer window
+  EXPECT_FALSE(cache.Lookup(3, /*epoch=*/6, kModel, 5, &out));  // older window
+  EXPECT_TRUE(cache.Lookup(3, 7, kModel, 5, &out));
 }
 
 TEST(ScoreCacheTest, WiderEntryServesNarrowerRequestAsPrefix) {
   ScoreCache cache(64);
-  cache.Insert(1, 0, /*n_computed=*/10, MakeRanking(10, 20.0));
+  cache.Insert(1, 0, kModel, /*n_computed=*/10, MakeRanking(10, 20.0));
   std::vector<core::RankedItem> out;
-  ASSERT_TRUE(cache.Lookup(1, 0, /*top_n=*/3, &out));
+  ASSERT_TRUE(cache.Lookup(1, 0, kModel, /*top_n=*/3, &out));
   ASSERT_EQ(out.size(), 3u);
   EXPECT_EQ(out[0].item, 100);
   EXPECT_EQ(out[2].item, 102);
   // ...but a wider request than computed must re-score.
-  EXPECT_FALSE(cache.Lookup(1, 0, /*top_n=*/11, &out));
+  EXPECT_FALSE(cache.Lookup(1, 0, kModel, /*top_n=*/11, &out));
 }
 
 TEST(ScoreCacheTest, ExhaustedCandidatesServeAnyWidth) {
   ScoreCache cache(64);
   // Asked for 10, got 4: the candidate set is exhausted, so any top-n
   // request sees the complete ranking.
-  cache.Insert(1, 0, /*n_computed=*/10, MakeRanking(4, 20.0));
+  cache.Insert(1, 0, kModel, /*n_computed=*/10, MakeRanking(4, 20.0));
   std::vector<core::RankedItem> out;
-  ASSERT_TRUE(cache.Lookup(1, 0, /*top_n=*/50, &out));
+  ASSERT_TRUE(cache.Lookup(1, 0, kModel, /*top_n=*/50, &out));
   EXPECT_EQ(out.size(), 4u);
 }
 
 TEST(ScoreCacheTest, InvalidateDropsOnlyThatUser) {
   ScoreCache cache(64);
-  cache.Insert(1, 0, 5, MakeRanking(5, 1.0));
-  cache.Insert(2, 0, 5, MakeRanking(5, 2.0));
+  cache.Insert(1, 0, kModel, 5, MakeRanking(5, 1.0));
+  cache.Insert(2, 0, kModel, 5, MakeRanking(5, 2.0));
   cache.Invalidate(1);  // the serve path calls this on Observe
   std::vector<core::RankedItem> out;
-  EXPECT_FALSE(cache.Lookup(1, 0, 5, &out));
-  EXPECT_TRUE(cache.Lookup(2, 0, 5, &out));
+  EXPECT_FALSE(cache.Lookup(1, 0, kModel, 5, &out));
+  EXPECT_TRUE(cache.Lookup(2, 0, kModel, 5, &out));
   EXPECT_EQ(cache.stats().invalidations, 1);
   EXPECT_EQ(cache.size(), 1u);
 
@@ -88,11 +97,11 @@ TEST(ScoreCacheTest, InvalidateDropsOnlyThatUser) {
 
 TEST(ScoreCacheTest, InsertRefreshesExistingUserInPlace) {
   ScoreCache cache(64);
-  cache.Insert(5, 0, 5, MakeRanking(5, 1.0));
-  cache.Insert(5, 1, 5, MakeRanking(5, 9.0));  // epoch advanced
+  cache.Insert(5, 0, kModel, 5, MakeRanking(5, 1.0));
+  cache.Insert(5, 1, kModel, 5, MakeRanking(5, 9.0));  // epoch advanced
   std::vector<core::RankedItem> out;
-  EXPECT_FALSE(cache.Lookup(5, 0, 5, &out));
-  ASSERT_TRUE(cache.Lookup(5, 1, 5, &out));
+  EXPECT_FALSE(cache.Lookup(5, 0, kModel, 5, &out));
+  ASSERT_TRUE(cache.Lookup(5, 1, kModel, 5, &out));
   EXPECT_DOUBLE_EQ(out[0].score, 9.0);
   EXPECT_EQ(cache.size(), 1u);  // one entry per user, not one per epoch
 }
@@ -100,41 +109,133 @@ TEST(ScoreCacheTest, InsertRefreshesExistingUserInPlace) {
 TEST(ScoreCacheTest, CapacityEvictsLeastRecentlyUsed) {
   // One shard so the LRU order is globally observable.
   ScoreCache cache(/*capacity=*/2, /*num_shards=*/1);
-  cache.Insert(1, 0, 5, MakeRanking(5, 1.0));
-  cache.Insert(2, 0, 5, MakeRanking(5, 2.0));
+  cache.Insert(1, 0, kModel, 5, MakeRanking(5, 1.0));
+  cache.Insert(2, 0, kModel, 5, MakeRanking(5, 2.0));
 
   // Touch user 1 so user 2 becomes the LRU victim.
   std::vector<core::RankedItem> out;
-  ASSERT_TRUE(cache.Lookup(1, 0, 5, &out));
+  ASSERT_TRUE(cache.Lookup(1, 0, kModel, 5, &out));
 
-  cache.Insert(3, 0, 5, MakeRanking(5, 3.0));
+  cache.Insert(3, 0, kModel, 5, MakeRanking(5, 3.0));
   EXPECT_EQ(cache.stats().evictions, 1);
-  EXPECT_TRUE(cache.Lookup(1, 0, 5, &out));
-  EXPECT_FALSE(cache.Lookup(2, 0, 5, &out));  // evicted
-  EXPECT_TRUE(cache.Lookup(3, 0, 5, &out));
+  EXPECT_TRUE(cache.Lookup(1, 0, kModel, 5, &out));
+  EXPECT_FALSE(cache.Lookup(2, 0, kModel, 5, &out));  // evicted
+  EXPECT_TRUE(cache.Lookup(3, 0, kModel, 5, &out));
   EXPECT_EQ(cache.size(), 2u);
 }
 
 TEST(ScoreCacheTest, ClearEmptiesEveryShard) {
   ScoreCache cache(64, /*num_shards=*/4);
   for (data::UserId u = 0; u < 16; ++u) {
-    cache.Insert(u, 0, 5, MakeRanking(5, 1.0));
+    cache.Insert(u, 0, kModel, 5, MakeRanking(5, 1.0));
   }
   EXPECT_EQ(cache.size(), 16u);
   cache.Clear();
   EXPECT_EQ(cache.size(), 0u);
   std::vector<core::RankedItem> out;
-  EXPECT_FALSE(cache.Lookup(0, 0, 5, &out));
+  EXPECT_FALSE(cache.Lookup(0, 0, kModel, 5, &out));
 }
 
 TEST(ScoreCacheTest, HitRateAggregates) {
   ScoreCache cache(64);
-  cache.Insert(1, 0, 5, MakeRanking(5, 1.0));
+  cache.Insert(1, 0, kModel, 5, MakeRanking(5, 1.0));
   std::vector<core::RankedItem> out;
-  EXPECT_TRUE(cache.Lookup(1, 0, 5, &out));
-  EXPECT_TRUE(cache.Lookup(1, 0, 5, &out));
-  EXPECT_FALSE(cache.Lookup(9, 0, 5, &out));
+  EXPECT_TRUE(cache.Lookup(1, 0, kModel, 5, &out));
+  EXPECT_TRUE(cache.Lookup(1, 0, kModel, 5, &out));
+  EXPECT_FALSE(cache.Lookup(9, 0, kModel, 5, &out));
   EXPECT_NEAR(cache.stats().HitRate(), 2.0 / 3.0, 1e-12);
+}
+
+// --- model-epoch coherence (hot-swap support) ---
+
+TEST(ScoreCacheTest, AdvanceModelEpochDropsEverything) {
+  ScoreCache cache(64);
+  EXPECT_EQ(cache.model_epoch(), 1);
+  cache.Insert(1, 0, kModel, 5, MakeRanking(5, 1.0));
+  cache.Insert(2, 3, kModel, 5, MakeRanking(5, 2.0));
+
+  cache.AdvanceModelEpoch(2);
+  EXPECT_EQ(cache.model_epoch(), 2);
+  EXPECT_EQ(cache.size(), 0u);
+  std::vector<core::RankedItem> out;
+  EXPECT_FALSE(cache.Lookup(1, 0, 2, 5, &out));
+  // The new model's rankings cache normally.
+  cache.Insert(1, 0, 2, 5, MakeRanking(5, 7.0));
+  EXPECT_TRUE(cache.Lookup(1, 0, 2, 5, &out));
+}
+
+TEST(ScoreCacheTest, StaleModelInsertIsRejected) {
+  ScoreCache cache(64);
+  cache.AdvanceModelEpoch(2);
+  // A worker that grabbed the old snapshot finishes scoring after the swap:
+  // its insert must not land.
+  cache.Insert(1, 0, /*model_epoch=*/1, 5, MakeRanking(5, 1.0));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().rejected_inserts, 1);
+  EXPECT_EQ(cache.stats().insertions, 0);
+}
+
+TEST(ScoreCacheTest, LookupNeverCrossesModelEpochs) {
+  ScoreCache cache(64);
+  cache.Insert(1, 0, kModel, 5, MakeRanking(5, 1.0));
+  std::vector<core::RankedItem> out;
+  // Same user+epoch, wrong model: must miss (fresh and stale alike).
+  EXPECT_FALSE(cache.Lookup(1, 0, /*model_epoch=*/2, 5, &out));
+  int64_t stale_epoch = -1;
+  EXPECT_FALSE(cache.LookupStale(1, /*model_epoch=*/2, 5, &out,
+                                 &stale_epoch));
+}
+
+TEST(ScoreCacheTest, LookupStaleServesOlderEpochSameModel) {
+  ScoreCache cache(64);
+  cache.Insert(1, /*epoch=*/4, kModel, 5, MakeRanking(5, 1.0));
+  std::vector<core::RankedItem> out;
+  // The live session moved to epoch 6; the fresh path misses...
+  EXPECT_FALSE(cache.Lookup(1, 6, kModel, 5, &out));
+  // ...but the degraded tier takes the epoch-4 entry and reports its age.
+  int64_t stale_epoch = -1;
+  ASSERT_TRUE(cache.LookupStale(1, kModel, 5, &out, &stale_epoch));
+  EXPECT_EQ(stale_epoch, 4);
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_EQ(cache.stats().stale_hits, 1);
+}
+
+// The swap race from score_cache.h's header audit, run for real: writers
+// keep inserting under whatever model epoch they last read while another
+// thread advances it. Invariant: a Lookup at the *new* epoch never returns
+// a ranking inserted under an older one. Run under TSan this also proves
+// the publish-then-clear ordering is data-race-free.
+TEST(ScoreCacheTest, SwapDuringInsertNeverServesOldModelAsFresh) {
+  ScoreCache cache(256, /*num_shards=*/4);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&cache, &stop, w] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int64_t model = cache.model_epoch();
+        for (data::UserId u = 0; u < 32; ++u) {
+          // Scores encode the model epoch so a cross-epoch leak is visible.
+          cache.Insert(u, /*epoch=*/w, model, 3,
+                       MakeRanking(3, static_cast<double>(model) * 1000.0));
+        }
+      }
+    });
+  }
+  std::vector<core::RankedItem> out;
+  for (int64_t next = 2; next < 50; ++next) {
+    cache.AdvanceModelEpoch(next);
+    for (data::UserId u = 0; u < 32; ++u) {
+      for (int w = 0; w < 4; ++w) {
+        if (cache.Lookup(u, w, next, 3, &out)) {
+          ASSERT_FALSE(out.empty());
+          // A hit at epoch `next` must carry epoch-`next` scores.
+          EXPECT_DOUBLE_EQ(out[0].score, static_cast<double>(next) * 1000.0);
+        }
+      }
+    }
+  }
+  stop.store(true);
+  for (std::thread& t : writers) t.join();
 }
 
 }  // namespace

@@ -108,6 +108,77 @@ TEST(BoundedQueueTest, ShutdownWakesBlockedProducer) {
   producer.join();
 }
 
+TEST(BoundedQueueTest, TryEnqueueForSucceedsWithoutWaitingWhenRoom) {
+  BoundedQueue<int> queue(2);
+  int a = 1;
+  EXPECT_TRUE(queue.TryEnqueueFor(a, /*timeout_ns=*/0));  // immediate TryPush
+  int b = 2;
+  EXPECT_TRUE(queue.TryEnqueueFor(b, 1000000));
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(BoundedQueueTest, TryEnqueueForTimesOutOnFullQueue) {
+  BoundedQueue<int> queue(1);
+  EXPECT_TRUE(queue.Push(1));
+  int rejected = 7;
+  // 2ms budget against a queue nobody drains: must return false within the
+  // timeout (plus scheduling noise) and leave the item untouched.
+  EXPECT_FALSE(queue.TryEnqueueFor(rejected, 2000000));
+  EXPECT_EQ(rejected, 7);
+  EXPECT_EQ(queue.size(), 1u);
+
+  // A non-positive timeout degenerates to TryPush.
+  EXPECT_FALSE(queue.TryEnqueueFor(rejected, 0));
+  EXPECT_FALSE(queue.TryEnqueueFor(rejected, -5));
+  EXPECT_EQ(rejected, 7);
+}
+
+TEST(BoundedQueueTest, TryEnqueueForSucceedsWhenConsumerMakesRoom) {
+  BoundedQueue<int> queue(1);
+  EXPECT_TRUE(queue.Push(1));
+  std::atomic<bool> enqueued{false};
+  std::thread producer([&] {
+    int item = 2;
+    // Generous timeout: the pop below lands long before 5s.
+    EXPECT_TRUE(queue.TryEnqueueFor(item, 5000000000LL));
+    enqueued.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(enqueued.load());
+  int out = -1;
+  ASSERT_TRUE(queue.Pop(&out));
+  producer.join();
+  EXPECT_TRUE(enqueued.load());
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(BoundedQueueTest, ShutdownWakesTimedProducerPromptly) {
+  BoundedQueue<int> queue(1);
+  EXPECT_TRUE(queue.Push(1));
+  std::atomic<bool> returned{false};
+  std::thread producer([&] {
+    int item = 2;
+    // Would park for 30s if Shutdown failed to wake timed waiters.
+    EXPECT_FALSE(queue.TryEnqueueFor(item, 30000000000LL));
+    EXPECT_EQ(item, 2);  // untouched on the false return
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(returned.load());
+  queue.Shutdown();
+  producer.join();  // promptness: the join returns in ms, not 30s
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(BoundedQueueTest, TryEnqueueForAfterShutdownFailsFast) {
+  BoundedQueue<int> queue(4);
+  queue.Shutdown();
+  int item = 9;
+  EXPECT_FALSE(queue.TryEnqueueFor(item, 1000000000LL));
+  EXPECT_EQ(item, 9);
+}
+
 TEST(BoundedQueueTest, ManyProducersManyConsumersDeliverEverything) {
   constexpr int kProducers = 4;
   constexpr int kConsumers = 4;

@@ -1,0 +1,569 @@
+// Serving resilience (docs/serving.md §8): deadline propagation, admission
+// control, the circuit breaker + degradation ladder, and atomic model
+// hot-swap — including the chaos contract that every request resolves
+// (ok / degraded / shed / deadline) and never hangs, and the swap-under-load
+// guarantee that each ranking reflects exactly one model epoch.
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ts_ppr.h"
+#include "data/synthetic.h"
+#include "serve/resilience.h"
+#include "serve/server.h"
+#include "util/failpoint.h"
+
+namespace reconsume {
+namespace serve {
+namespace {
+
+// --- policy units (no service) ---
+
+TEST(AdmissionControllerTest, WatermarkDepthMath) {
+  ResilienceConfig config;
+  config.shed_watermark = 0.5;
+  AdmissionController admission(config, /*queue_capacity=*/10);
+  EXPECT_EQ(admission.watermark_depth(), 5u);
+  EXPECT_FALSE(admission.ShouldShedAtEnqueue(4));
+  EXPECT_TRUE(admission.ShouldShedAtEnqueue(5));
+  EXPECT_TRUE(admission.ShouldShedAtEnqueue(10));
+}
+
+TEST(AdmissionControllerTest, WatermarkAtOneDisablesShedding) {
+  ResilienceConfig config;
+  config.shed_watermark = 1.0;
+  AdmissionController admission(config, 10);
+  EXPECT_FALSE(admission.ShouldShedAtEnqueue(10));  // full queue: still admit
+}
+
+TEST(AdmissionControllerTest, TinyWatermarkKeepsOneSlot) {
+  ResilienceConfig config;
+  config.shed_watermark = 0.0;
+  AdmissionController admission(config, 10);
+  EXPECT_EQ(admission.watermark_depth(), 1u);  // never sheds an empty queue
+  EXPECT_FALSE(admission.ShouldShedAtEnqueue(0));
+  EXPECT_TRUE(admission.ShouldShedAtEnqueue(1));
+}
+
+TEST(AdmissionControllerTest, QueueDelayShedding) {
+  ResilienceConfig config;
+  config.max_queue_delay_us = 100;
+  AdmissionController admission(config, 10);
+  EXPECT_FALSE(admission.ShouldShedAtDequeue(100000));  // exactly the limit
+  EXPECT_TRUE(admission.ShouldShedAtDequeue(100001));
+  config.max_queue_delay_us = 0;  // disabled
+  AdmissionController off(config, 10);
+  EXPECT_FALSE(off.ShouldShedAtDequeue(1e15));
+}
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailuresOnly) {
+  CircuitBreaker breaker(/*trip_failures=*/3, /*cooldown_ns=*/1000000000LL);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordSuccess();  // resets the consecutive count
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest());
+  breaker.RecordFailure();  // third consecutive: trips
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.trips(), 1);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeClosesOnSuccess) {
+  CircuitBreaker breaker(/*trip_failures=*/1, /*cooldown_ns=*/1000000LL);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  // Wait out the 1ms cooldown, then exactly one probe is admitted.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(breaker.AllowRequest());  // probe already in flight
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeReopensOnFailure) {
+  CircuitBreaker breaker(/*trip_failures=*/1, /*cooldown_ns=*/1000000LL);
+  breaker.RecordFailure();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(breaker.AllowRequest());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.trips(), 2);
+}
+
+TEST(BreakerPanelTest, ShardsIsolateUsers) {
+  BreakerPanel panel(/*num_shards=*/4, /*trip_failures=*/1,
+                     /*cooldown_ns=*/1000000000LL);
+  EXPECT_EQ(panel.num_shards(), 4u);
+  panel.For(0)->RecordFailure();  // trips shard 0 only
+  EXPECT_EQ(panel.For(0)->state(), BreakerState::kOpen);
+  EXPECT_EQ(panel.For(1)->state(), BreakerState::kClosed);
+  EXPECT_EQ(panel.For(4), panel.For(0));  // 4 % 4 == 0: same shard
+  EXPECT_EQ(panel.open_shards(), 1);
+  EXPECT_EQ(panel.total_trips(), 1);
+}
+
+// --- service-level fixtures ---
+
+struct ServeFixture {
+  data::Dataset dataset;
+  std::unique_ptr<data::TrainTestSplit> split;
+  std::unique_ptr<core::TsPpr> pipeline;
+
+  explicit ServeFixture(double scale = 0.05) {
+    dataset = data::SyntheticTraceGenerator(data::GowallaLikeProfile(scale))
+                  .Generate()
+                  .ValueOrDie();
+    split = std::make_unique<data::TrainTestSplit>(
+        data::TrainTestSplit::Temporal(&dataset, 0.7).ValueOrDie());
+    core::TsPprPipelineConfig config;
+    pipeline = std::make_unique<core::TsPpr>(
+        core::TsPpr::Fit(*split, config).ValueOrDie());
+  }
+
+  ServeConfig Config(int threads = 4) const {
+    ServeConfig config;
+    config.num_threads = threads;
+    config.queue_capacity = 64;
+    config.cache_capacity = 256;
+    config.window_capacity = 100;
+    config.min_gap = 10;
+    return config;
+  }
+
+  std::shared_ptr<eval::Recommender> Model() const {
+    return std::shared_ptr<eval::Recommender>(std::shared_ptr<void>(),
+                                              pipeline->recommender());
+  }
+};
+
+/// Scores every candidate as `direction * item id`: two directions give two
+/// models whose rankings are reversals of each other, so a response reveals
+/// which model produced it from the item order alone.
+class DirectionalRecommender : public eval::Recommender {
+ public:
+  explicit DirectionalRecommender(double direction) : direction_(direction) {}
+  std::string name() const override {
+    return direction_ > 0 ? "ItemAsc" : "ItemDesc";
+  }
+  void Score(data::UserId /*user*/, const window::WindowWalker& /*walker*/,
+             std::span<const data::ItemId> candidates,
+             std::span<double> scores) override {
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      scores[i] = direction_ * static_cast<double>(candidates[i]);
+    }
+  }
+  std::unique_ptr<eval::Recommender> Clone() const override {
+    return std::make_unique<DirectionalRecommender>(direction_);
+  }
+
+ private:
+  double direction_;
+};
+
+/// direction > 0: items must be in strictly descending id order (higher id
+/// scored higher); direction < 0: strictly ascending.
+void ExpectDirectionalOrder(const std::vector<core::RankedItem>& items,
+                            double direction, int64_t model_epoch) {
+  for (size_t i = 1; i < items.size(); ++i) {
+    if (direction > 0) {
+      EXPECT_GT(items[i - 1].item, items[i].item)
+          << "epoch " << model_epoch << " served a mixed-model ranking";
+    } else {
+      EXPECT_LT(items[i - 1].item, items[i].item)
+          << "epoch " << model_epoch << " served a mixed-model ranking";
+    }
+  }
+}
+
+// --- deadlines & shedding ---
+
+TEST(ServeResilienceTest, TinyDeadlinesResolveAsDeadlineExceeded) {
+  ServeFixture fixture;
+  ServeConfig config = fixture.Config(/*threads=*/1);
+  RecommendService service(&fixture.dataset, fixture.Model(), config);
+
+  RequestOptions options;
+  options.timeout_us = 1;  // expires in the queue for all practical purposes
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(service.Recommend(0, 5, options));
+  }
+  int deadline = 0;
+  for (auto& future : futures) {
+    ServeResponse r = future.get();  // must resolve, never hang
+    if (r.status.code() == StatusCode::kDeadlineExceeded) ++deadline;
+  }
+  EXPECT_GT(deadline, 0);
+  EXPECT_EQ(service.resilience_stats().deadline_exceeded, deadline);
+}
+
+TEST(ServeResilienceTest, NoDeadlineMeansNoExpiry) {
+  ServeFixture fixture;
+  RecommendService service(&fixture.dataset, fixture.Model(),
+                           fixture.Config());
+  ServeResponse r = service.Recommend(0, 5).get();  // default: timeout_us=0
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(service.resilience_stats().deadline_exceeded, 0);
+}
+
+TEST(ServeResilienceTest, SaturationShedsInsteadOfBlocking) {
+  ServeFixture fixture;
+  ServeConfig config = fixture.Config(/*threads=*/1);
+  config.queue_capacity = 4;
+  config.resilience.shed_watermark = 0.5;
+  config.resilience.enqueue_timeout_us = 100;
+  RecommendService service(&fixture.dataset, fixture.Model(), config);
+
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 200; ++i) {
+    // Distinct users defeat the cache, so each request costs real scoring
+    // and the single worker falls behind immediately.
+    futures.push_back(service.Recommend(
+        static_cast<data::UserId>(
+            i % static_cast<int>(fixture.dataset.num_users())),
+        5));
+  }
+  int64_t shed = 0, ok = 0;
+  for (auto& future : futures) {
+    ServeResponse r = future.get();
+    if (r.status.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(r.status.code(), StatusCode::kUnavailable)
+          << r.status.ToString();
+      ++shed;
+    }
+  }
+  EXPECT_GT(shed, 0) << "a 4-deep queue under 200 requests must shed";
+  EXPECT_GT(ok, 0) << "shedding must not starve admitted requests";
+  const ResilienceStats stats = service.resilience_stats();
+  EXPECT_EQ(stats.shed_enqueue + stats.shed_queue_delay, shed);
+}
+
+TEST(ServeResilienceTest, ObservesAreNeverWatermarkShed) {
+  ServeFixture fixture;
+  ServeConfig config = fixture.Config(/*threads=*/1);
+  config.queue_capacity = 4;
+  config.resilience.shed_watermark = 0.5;
+  // Generous enqueue budget: observes wait for a slot instead of shedding.
+  config.resilience.enqueue_timeout_us = 5000000;
+  RecommendService service(&fixture.dataset, fixture.Model(), config);
+
+  const auto& history = fixture.dataset.sequence(0);
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(service.Observe(0, history.back()));
+  }
+  for (auto& future : futures) {
+    ServeResponse r = future.get();
+    EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+  }
+}
+
+// --- hot-swap ---
+
+TEST(ServeResilienceTest, SwapModelBumpsEpochAndInvalidatesCache) {
+  ServeFixture fixture;
+  RecommendService service(&fixture.dataset, fixture.Model(),
+                           fixture.Config());
+  EXPECT_EQ(service.model_epoch(), 1);
+
+  ServeResponse before = service.Recommend(0, 5).get();
+  ASSERT_TRUE(before.status.ok());
+  EXPECT_EQ(before.model_epoch, 1);
+
+  auto swapped = service.SwapModel(
+      std::make_shared<DirectionalRecommender>(+1.0), "asc");
+  ASSERT_TRUE(swapped.ok()) << swapped.status();
+  EXPECT_EQ(swapped.ValueOrDie(), 2);
+  EXPECT_EQ(service.model_epoch(), 2);
+
+  // The old model's cached ranking must not serve the new epoch: this is a
+  // fresh scoring by the directional model, not a cache hit.
+  ServeResponse after = service.Recommend(0, 5).get();
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_FALSE(after.cache_hit);
+  EXPECT_EQ(after.model_epoch, 2);
+  ExpectDirectionalOrder(after.items, +1.0, 2);
+  EXPECT_EQ(service.resilience_stats().model_swaps, 1);
+}
+
+TEST(ServeResilienceTest, NullCandidateIsRejected) {
+  ServeFixture fixture;
+  RecommendService service(&fixture.dataset, fixture.Model(),
+                           fixture.Config());
+  auto result = service.SwapModel(nullptr, "null");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(service.model_epoch(), 1);
+}
+
+TEST(ServeResilienceTest, SwapUnderLoadServesExactlyOneEpochPerRequest) {
+  ServeFixture fixture;
+  ServeConfig config = fixture.Config(/*threads=*/4);
+  RecommendService service(
+      &fixture.dataset, std::make_shared<DirectionalRecommender>(+1.0),
+      config);
+
+  const auto probe_users = std::min<data::UserId>(
+      6, static_cast<data::UserId>(fixture.dataset.num_users()));
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> checked{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto user = static_cast<data::UserId>((c + i++) % probe_users);
+        ServeResponse r = service.Recommend(user, 8).get();
+        ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+        ASSERT_GE(r.model_epoch, 1);
+        // Epoch parity identifies the model (swaps strictly alternate):
+        // odd = ascending direction (+1), even = descending (-1). A ranking
+        // mixing both directions, or cached under the wrong epoch, fails.
+        const double direction = (r.model_epoch % 2 == 1) ? +1.0 : -1.0;
+        ExpectDirectionalOrder(r.items, direction, r.model_epoch);
+        checked.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Six swaps under full traffic, alternating the direction every time.
+  for (int swap = 0; swap < 6; ++swap) {
+    const double direction = (swap % 2 == 0) ? -1.0 : +1.0;  // epoch swap+2
+    auto swapped = service.SwapModel(
+        std::make_shared<DirectionalRecommender>(direction),
+        direction > 0 ? "asc" : "desc");
+    ASSERT_TRUE(swapped.ok()) << swapped.status();
+    EXPECT_EQ(swapped.ValueOrDie(), swap + 2);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  service.Shutdown();
+  EXPECT_GT(checked.load(), 0);
+  EXPECT_EQ(service.model_epoch(), 7);
+  EXPECT_EQ(service.resilience_stats().model_swaps, 6);
+  // Rankings computed under superseded snapshots are dropped, not served.
+  const ScoreCacheStats cache = service.cache_stats();
+  EXPECT_GE(cache.rejected_inserts, 0);
+}
+
+#if RECONSUME_FAILPOINTS_ENABLED
+TEST(ServeResilienceTest, FailedValidationRollsBackAndKeepsServing) {
+  ServeFixture fixture;
+  RecommendService service(&fixture.dataset, fixture.Model(),
+                           fixture.Config());
+  {
+    util::ScopedFailpoint fp("serve/swap_validate", "error-once");
+    auto result = service.SwapModel(
+        std::make_shared<DirectionalRecommender>(+1.0), "rejected");
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  }
+  // Rollback: the original model still serves at the original epoch.
+  EXPECT_EQ(service.model_epoch(), 1);
+  EXPECT_EQ(service.resilience_stats().model_rollbacks, 1);
+  EXPECT_EQ(service.resilience_stats().model_swaps, 0);
+  ServeResponse r = service.Recommend(0, 5).get();
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.model_epoch, 1);
+}
+
+// --- degradation ladder ---
+
+TEST(ServeResilienceTest, ScoreFailureFallsBackToStaleCacheTier) {
+  ServeFixture fixture;
+  RecommendService service(&fixture.dataset, fixture.Model(),
+                           fixture.Config(/*threads=*/1));
+  // Prime the cache with a healthy top-3 for user 0.
+  ServeResponse primed = service.Recommend(0, 3).get();
+  ASSERT_TRUE(primed.status.ok());
+  ASSERT_FALSE(primed.items.empty());
+
+  // A top-8 request misses the fresh path (entry too narrow) and scoring
+  // fails: the ladder serves the narrower cached ranking as stale.
+  util::ScopedFailpoint fp("serve/score", "error-once");
+  ServeResponse degraded = service.Recommend(0, 8).get();
+  ASSERT_TRUE(degraded.status.ok()) << degraded.status.ToString();
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_EQ(degraded.served_by, ServedBy::kStaleCache);
+  EXPECT_EQ(degraded.epoch, primed.epoch);
+  EXPECT_EQ(degraded.items.size(), primed.items.size());
+  EXPECT_EQ(service.resilience_stats().degraded_stale, 1);
+  EXPECT_GT(service.cache_stats().stale_hits, 0);
+}
+
+TEST(ServeResilienceTest, ScoreFailureFallsBackToRepeatHistoryRanker) {
+  ServeFixture fixture;
+  RecommendService service(&fixture.dataset, fixture.Model(),
+                           fixture.Config(/*threads=*/1));
+  // Nothing cached for user 1: the ladder ends at the model-free ranker.
+  util::ScopedFailpoint fp("serve/score", "error-once");
+  ServeResponse r = service.Recommend(1, 5).get();
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(r.served_by, ServedBy::kFallback);
+  // Fallback ranks by repeat-history evidence: count desc, then gap asc.
+  for (size_t i = 1; i < r.items.size(); ++i) {
+    const auto& a = r.items[i - 1];
+    const auto& b = r.items[i];
+    EXPECT_TRUE(a.count_in_window > b.count_in_window ||
+                (a.count_in_window == b.count_in_window && a.gap <= b.gap))
+        << "fallback order violated at rank " << i;
+  }
+  EXPECT_EQ(service.resilience_stats().degraded_fallback, 1);
+}
+
+TEST(ServeResilienceTest, DisabledFallbackSurfacesUnavailable) {
+  ServeFixture fixture;
+  ServeConfig config = fixture.Config(/*threads=*/1);
+  config.resilience.enable_fallback = false;
+  RecommendService service(&fixture.dataset, fixture.Model(), config);
+  util::ScopedFailpoint fp("serve/score", "error-once");
+  ServeResponse r = service.Recommend(1, 5).get();
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+}
+
+TEST(ServeResilienceTest, BreakerTripsAfterConsecutiveScoreFailures) {
+  ServeFixture fixture;
+  ServeConfig config = fixture.Config(/*threads=*/1);
+  config.resilience.breaker_trip_failures = 3;
+  config.resilience.breaker_cooldown_ms = 60000;  // stays open for the test
+  config.resilience.breaker_shards = 1;           // one failure domain
+  RecommendService service(&fixture.dataset, fixture.Model(), config);
+
+  util::ScopedFailpoint fp("serve/score", "error-every(1)");  // always fail
+  // Each request fails scoring and degrades; the third trips the breaker.
+  // Distinct users dodge both cache tiers (nothing primed) so every request
+  // reaches the scoring path while the breaker is closed.
+  for (int i = 0; i < 3; ++i) {
+    ServeResponse r = service.Recommend(static_cast<data::UserId>(i), 5)
+                          .get();
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_TRUE(r.degraded);
+  }
+  EXPECT_EQ(service.resilience_stats().breaker_trips, 1);
+  EXPECT_EQ(service.resilience_stats().open_breaker_shards, 1);
+
+  // Open breaker: requests degrade WITHOUT consuming scoring attempts —
+  // the failpoint hit count stays where the trip left it.
+  const int64_t fallbacks_before =
+      service.resilience_stats().degraded_fallback;
+  ServeResponse r = service.Recommend(5, 5).get();
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(service.resilience_stats().degraded_fallback,
+            fallbacks_before + 1);
+}
+
+// The chaos drill: mixed traffic, random scoring failures, saturated queue,
+// tiny deadlines, hot-swaps (one forced rollback) — every request resolves
+// into exactly one of {ok, degraded, shed, deadline}; nothing hangs, no
+// uncategorized errors escape.
+TEST(ServeResilienceTest, ChaosEveryRequestResolves) {
+  ServeFixture fixture;
+  ServeConfig config = fixture.Config(/*threads=*/2);
+  config.queue_capacity = 16;
+  config.resilience.shed_watermark = 0.75;
+  config.resilience.enqueue_timeout_us = 500;
+  config.resilience.breaker_trip_failures = 2;
+  config.resilience.breaker_cooldown_ms = 5;
+  RecommendService service(&fixture.dataset, fixture.Model(), config);
+
+  util::ScopedFailpoint fp("serve/score", "prob(0.3)");
+  const auto num_users =
+      static_cast<data::UserId>(fixture.dataset.num_users());
+
+  std::atomic<int64_t> ok{0}, degraded{0}, shed{0}, deadline{0}, other{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 6; ++c) {
+    clients.emplace_back([&, c] {
+      std::deque<std::future<ServeResponse>> inflight;
+      auto drain_one = [&](std::future<ServeResponse>& future) {
+        ASSERT_EQ(future.wait_for(std::chrono::seconds(30)),
+                  std::future_status::ready)
+            << "a request hung";
+        ServeResponse r = future.get();
+        if (r.status.ok()) {
+          (r.degraded ? degraded : ok).fetch_add(1);
+        } else if (r.status.code() == StatusCode::kUnavailable) {
+          shed.fetch_add(1);
+        } else if (r.status.code() == StatusCode::kDeadlineExceeded) {
+          deadline.fetch_add(1);
+        } else if (r.status.code() == StatusCode::kInvalidArgument) {
+          ok.fetch_add(1);  // the deliberate bad request below
+        } else {
+          other.fetch_add(1);
+        }
+      };
+      RequestOptions options;
+      for (int i = 0; i < 150; ++i) {
+        const auto user = static_cast<data::UserId>(
+            (c * 31 + i) % std::min<data::UserId>(num_users, 12));
+        options.timeout_us = (i % 3 == 0) ? 2000 : 0;
+        std::future<ServeResponse> future;
+        if (i % 9 == 4) {
+          const auto& history = fixture.dataset.sequence(user);
+          future = service.Observe(
+              user, history[static_cast<size_t>(i) % history.size()],
+              options);
+        } else if (i % 40 == 13) {
+          future = service.Recommend(user, 0, options);  // invalid top_n
+        } else {
+          future = service.Recommend(user, 5, options);
+        }
+        inflight.push_back(std::move(future));
+        while (inflight.size() > 8) {
+          drain_one(inflight.front());
+          inflight.pop_front();
+        }
+      }
+      while (!inflight.empty()) {
+        drain_one(inflight.front());
+        inflight.pop_front();
+      }
+    });
+  }
+
+  // Hot-swaps land while the chaos runs: one forced rollback, one real.
+  {
+    util::ScopedFailpoint swap_fp("serve/swap_validate", "error-once");
+    auto rolled_back = service.SwapModel(
+        std::make_shared<DirectionalRecommender>(+1.0), "chaos-reject");
+    EXPECT_FALSE(rolled_back.ok());
+  }
+  auto swapped = service.SwapModel(
+      std::make_shared<DirectionalRecommender>(+1.0), "chaos-v2");
+  EXPECT_TRUE(swapped.ok()) << swapped.status();
+
+  for (auto& t : clients) t.join();
+  service.Shutdown();
+
+  const int64_t total =
+      ok.load() + degraded.load() + shed.load() + deadline.load();
+  EXPECT_EQ(other.load(), 0) << "uncategorized failures escaped the ladder";
+  EXPECT_EQ(total, 6 * 150);
+  EXPECT_GT(degraded.load(), 0) << "prob(0.3) score failures must degrade";
+  EXPECT_EQ(service.resilience_stats().model_rollbacks, 1);
+  EXPECT_EQ(service.resilience_stats().model_swaps, 1);
+}
+#endif  // RECONSUME_FAILPOINTS_ENABLED
+
+}  // namespace
+}  // namespace serve
+}  // namespace reconsume

@@ -1,0 +1,26 @@
+// rc_analyze fixture: R6 must flag unbounded blocking calls on the serve
+// request path — a bare queue Push() that parks the producer forever when
+// the queue is full, and a bare future get() that parks a worker with no
+// deadline. The serving stack bounds both (TryEnqueueFor, the Resolve
+// funnel); see docs/serving.md §8.
+
+#include <future>
+
+#include "serve/request_queue.h"
+
+namespace fixture {
+
+struct Request {
+  int user = 0;
+};
+
+bool EnqueueForever(reconsume::serve::BoundedQueue<Request>* queue,
+                    Request request) {
+  return queue->Push(request);  // R6: unbounded producer block
+}
+
+int WaitForever(std::future<int> response_future) {
+  return response_future.get();  // R6: worker parked with no deadline
+}
+
+}  // namespace fixture

@@ -14,6 +14,14 @@ value(A)/value(B) >= R. Because both values come from the same run on the
 same machine (e.g. naive-vs-engine p99 from one bench invocation), this gate
 is machine-independent and safe for shared CI runners.
 
+Range mode (--range file.json:key MIN MAX, repeatable): fail unless
+MIN <= value <= MAX. For rates and fractions that must land in a sane band
+rather than merely not regress — the CI overload-smoke job pins the
+bench_serve_load --overload shed_rate with it: a rate of 0 means admission
+control never engaged (the overload was not an overload), a rate near 1
+means the service shed everything instead of degrading (docs/serving.md
+§8). Like ratio mode, machine-independent.
+
 Exit status: 0 = all gates pass, 1 = regression, 2 = usage/IO error.
 """
 
@@ -109,6 +117,25 @@ def check_ratio(num_ref, den_ref, min_ratio):
     return 0 if ok else 1
 
 
+def check_range(ref, lo_text, hi_text):
+    path, key = parse_ref(ref)
+    try:
+        lo, hi = float(lo_text), float(hi_text)
+    except ValueError:
+        print(f"check_bench_regression: bad --range bounds "
+              f"'{lo_text}'/'{hi_text}' (want numbers)", file=sys.stderr)
+        sys.exit(2)
+    if lo > hi:
+        print(f"check_bench_regression: --range bounds inverted "
+              f"({lo} > {hi})", file=sys.stderr)
+        sys.exit(2)
+    value = lookup(load_values(path), key, path)
+    ok = lo <= value <= hi
+    print(f"  {key} = {value:.4g} (band [{lo:.4g}, {hi:.4g}]) "
+          f"{'ok' if ok else 'OUT OF RANGE'}")
+    return 0 if ok else 1
+
+
 def main():
     parser = argparse.ArgumentParser(
         description=__doc__,
@@ -129,13 +156,17 @@ def main():
                         "unless NUM/DEN >= --min-ratio")
     parser.add_argument("--min-ratio", type=float, default=2.0,
                         help="floor for --ratio (default 2.0)")
+    parser.add_argument("--range", dest="ranges", nargs=3, action="append",
+                        metavar=("REF", "MIN", "MAX"), default=[],
+                        help="range mode: file.json:key MIN MAX; fails "
+                        "unless MIN <= value <= MAX (repeatable)")
     args = parser.parse_args()
 
     if (args.baseline is None) != (args.current is None):
         parser.error("--baseline and --current must be given together")
-    if args.baseline is None and args.ratio is None:
-        parser.error("nothing to check: give --baseline/--current "
-                     "and/or --ratio")
+    if args.baseline is None and args.ratio is None and not args.ranges:
+        parser.error("nothing to check: give --baseline/--current, "
+                     "--ratio, and/or --range")
 
     failures = 0
     if args.baseline is not None:
@@ -145,6 +176,10 @@ def main():
     if args.ratio is not None:
         print("ratio gate:")
         failures += check_ratio(args.ratio[0], args.ratio[1], args.min_ratio)
+    if args.ranges:
+        print("range gate:")
+        for ref, lo, hi in args.ranges:
+            failures += check_range(ref, lo, hi)
     if failures:
         print(f"check_bench_regression: {failures} gate(s) FAILED")
         return 1

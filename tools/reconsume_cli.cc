@@ -398,18 +398,41 @@ void PrintRankedItems(const data::Dataset& dataset,
 
 void PrintServeStats(const serve::RecommendService& service) {
   const serve::ScoreCacheStats cache = service.cache_stats();
+  const serve::ResilienceStats resilience = service.resilience_stats();
   const obs::HistogramSnapshot latency = service.LatencySnapshot();
-  std::printf("served %s requests across %zu sessions\n",
+  std::printf("served %s requests across %zu sessions (model epoch %lld)\n",
               util::FormatWithCommas(service.requests_served()).c_str(),
-              service.num_sessions());
+              service.num_sessions(),
+              static_cast<long long>(service.model_epoch()));
   std::printf("cache: %s hits / %s misses (hit rate %.3f), %s evictions\n",
               util::FormatWithCommas(cache.hits).c_str(),
               util::FormatWithCommas(cache.misses).c_str(), cache.HitRate(),
               util::FormatWithCommas(cache.evictions).c_str());
+  std::printf("resilience: %lld shed, %lld deadline, %lld degraded "
+              "(%lld stale / %lld fallback), %lld breaker trips, "
+              "%lld swaps / %lld rollbacks\n",
+              static_cast<long long>(resilience.shed_enqueue +
+                                     resilience.shed_queue_delay),
+              static_cast<long long>(resilience.deadline_exceeded),
+              static_cast<long long>(resilience.degraded_stale +
+                                     resilience.degraded_fallback),
+              static_cast<long long>(resilience.degraded_stale),
+              static_cast<long long>(resilience.degraded_fallback),
+              static_cast<long long>(resilience.breaker_trips),
+              static_cast<long long>(resilience.model_swaps),
+              static_cast<long long>(resilience.model_rollbacks));
   std::printf("latency us: p50 %.1f  p99 %.1f  p999 %.1f\n",
               latency.Quantile(0.5), latency.Quantile(0.99),
               latency.Quantile(0.999));
 }
+
+/// Keeps a hot-swapped model and its recommender alive together; the
+/// registry's snapshot aliases into this holder.
+struct SwappableModel {
+  explicit SwappableModel(core::TsPprModel m) : model(std::move(m)) {}
+  core::TsPprModel model;
+  std::unique_ptr<core::TsPprRecommender> recommender;
+};
 
 Result<int> CmdServe(const util::FlagSet& flags) {
   RECONSUME_ASSIGN_OR_RETURN(const data::Dataset dataset, LoadData(flags));
@@ -453,7 +476,14 @@ Result<int> CmdServe(const util::FlagSet& flags) {
   config.cache_capacity = static_cast<size_t>(cache_capacity);
   config.window_capacity = protocol.window;
   config.min_gap = protocol.omega;
-  serve::RecommendService service(&dataset, &recommender, config);
+  // Non-owning view: the initial model and recommender live on this frame
+  // for the whole serve loop; swapped-in models own themselves (see
+  // SwappableModel below).
+  serve::RecommendService service(
+      &dataset,
+      std::shared_ptr<eval::Recommender>(std::shared_ptr<void>(),
+                                         &recommender),
+      config);
   std::printf("serving %zu users on %d threads (queue %zu, cache %zu); "
               "reading requests from stdin\n",
               dataset.num_users(), config.num_threads, config.queue_capacity,
@@ -494,11 +524,43 @@ Result<int> CmdServe(const util::FlagSet& flags) {
         std::printf("error: %s\n", response.status.ToString().c_str());
         continue;
       }
-      std::printf("top-%zu for user %s (epoch %lld%s):\n",
+      std::printf("top-%zu for user %s (epoch %lld, model %lld%s%s):\n",
                   response.items.size(), user_key.c_str(),
                   static_cast<long long>(response.epoch),
-                  response.cache_hit ? ", cached" : "");
+                  static_cast<long long>(response.model_epoch),
+                  response.cache_hit ? ", cached" : "",
+                  response.degraded ? ", degraded" : "");
       PrintRankedItems(dataset, response.items);
+      std::fflush(stdout);
+      continue;
+    }
+    if (verb == "swap-model" && tokens.size() == 2) {
+      const std::string path(tokens[1]);
+      auto loaded = core::LoadModel(path);
+      if (!loaded.ok()) {
+        std::printf("error: %s\n", loaded.status().ToString().c_str());
+        std::fflush(stdout);
+        continue;
+      }
+      auto holder =
+          std::make_shared<SwappableModel>(std::move(loaded).ValueOrDie());
+      if (holder->model.feature_dim() != extractor.dimension()) {
+        std::printf("error: model '%s' feature_dim mismatch\n", path.c_str());
+        std::fflush(stdout);
+        continue;
+      }
+      holder->recommender = std::make_unique<core::TsPprRecommender>(
+          &holder->model, &extractor);
+      std::shared_ptr<eval::Recommender> candidate(
+          holder, holder->recommender.get());
+      auto swapped = service.SwapModel(std::move(candidate), path);
+      if (!swapped.ok()) {
+        std::printf("error: %s\n", swapped.status().ToString().c_str());
+      } else {
+        std::printf("swapped to model '%s' (model epoch %lld)\n",
+                    path.c_str(),
+                    static_cast<long long>(swapped.ValueOrDie()));
+      }
       std::fflush(stdout);
       continue;
     }
@@ -523,7 +585,7 @@ Result<int> CmdServe(const util::FlagSet& flags) {
       continue;
     }
     std::printf("error: bad request '%s' (try: recommend <user> [n] | "
-                "observe <user> <item> | stats | quit)\n",
+                "observe <user> <item> | swap-model <file> | stats | quit)\n",
                 std::string(util::Trim(line)).c_str());
     std::fflush(stdout);
   }

@@ -30,19 +30,29 @@ docs/static_analysis.md) with rules the compiler cannot or does not express:
                            request path must not charge lock waits to spans
                            (it skews the latency attribution the load bench
                            consumes) nor hold spans open across contention.
+  R6  unbounded-serve-wait an unbounded blocking call on the serve
+                           request path (src/serve/): a bare queue .Push()
+                           (blocks the producer forever when the queue is
+                           full — use TryPush or TryEnqueueFor with a
+                           bounded budget, docs/serving.md §8) or a bare
+                           future .get() (parks a worker with no deadline —
+                           bound the wait with wait_for, or resolve through
+                           the service's Resolve funnel). The queue's own
+                           definition (src/serve/request_queue.h) is exempt:
+                           it implements the bounded calls.
 
 Engines: with python clang bindings + a loadable libclang available, R1/R4
 run over the token stream of a real Clang lex (exact comment/string
 stripping); otherwise a pure-regex engine runs so CI can never silently
-skip the check. The engine in use is always printed. R2/R3/R5 are lexical
-in both engines by design — they express project conventions, not language
-semantics.
+skip the check. The engine in use is always printed. R2/R3/R5/R6 are
+lexical in both engines by design — they express project conventions, not
+language semantics.
 
 Usage:
   rc_analyze.py --root .                      # tree mode: scan src/
   rc_analyze.py --scan f1.cc f2.cc            # fixture mode: all rules, any path
   rc_analyze.py --scan fixtures/* \
-      --expect-violations --require-rules R1,R2,R3,R4,R5
+      --expect-violations --require-rules R1,R2,R3,R4,R5,R6
 
 Exit codes: 0 clean (or expected violations all present), 1 violations
 found, 2 usage / rule-coverage failure.
@@ -84,11 +94,16 @@ LOCK_ACQ = re.compile(
     r"\b(?:MutexLock|WriterLock|ReaderLock)\s+\w+\s*\(|"
     r"(?:->|\.)\s*Lock(?:Shared)?\s*\(\)"
 )
+UNBOUNDED_PUSH = re.compile(r"(?:\.|->)\s*Push\s*\(")
+FUTURE_GET = re.compile(
+    r"\b\w*[Ff]uture\w*\s*(?:\.|->)\s*get\s*\(\s*\)|"
+    r"\bget_future\s*\(\s*\)\s*\.\s*get\s*\(\s*\)"
+)
 UNGUARDED_OK = "rc:unguarded"
 
 SYNC_HEADER_SUFFIX = ("src/util/sync.h", "src\\util\\sync.h")
 
-ALL_RULES = ("R1", "R2", "R3", "R4", "R5")
+ALL_RULES = ("R1", "R2", "R3", "R4", "R5", "R6")
 
 
 class Finding:
@@ -169,6 +184,8 @@ class ClassScope:
 def scan_file(path: Path, rel: str, *, serve_rules: bool, findings: list):
     text = path.read_text(encoding="utf-8", errors="replace")
     is_sync_header = rel.replace("\\", "/").endswith("src/util/sync.h")
+    is_queue_header = rel.replace("\\", "/").endswith(
+        "src/serve/request_queue.h")
 
     depth = 0
     class_stack = []
@@ -269,6 +286,22 @@ def scan_file(path: Path, rel: str, *, serve_rules: bool, findings: list):
                     "blocking lock acquisition inside an RC_TRACE_SPAN "
                     "scope on the serve request path — end the span before "
                     "locking, or span the post-lock work"))
+
+        # --- R6: unbounded blocking calls on the serve path.
+        if serve_rules and not is_queue_header:
+            if UNBOUNDED_PUSH.search(code):
+                findings.append(Finding(
+                    "R6", rel, lineno,
+                    "unbounded queue Push() on the serve path blocks the "
+                    "producer forever under saturation — use TryPush or "
+                    "TryEnqueueFor with a bounded budget (docs/serving.md "
+                    "§8)"))
+            if FUTURE_GET.search(code):
+                findings.append(Finding(
+                    "R6", rel, lineno,
+                    "bare future get() on the serve path parks a worker "
+                    "with no deadline — bound the wait (wait_for) or "
+                    "resolve the promise through the Resolve funnel"))
 
         # --- brace bookkeeping (after rule checks so `{` on the same line
         # counts for the *next* line's depth).

@@ -20,9 +20,18 @@ uses this to pin the trainer/checkpoint instrumentation end to end.
 --require-serve-events additionally asserts the serving layer's event
 protocol inside --events (see docs/serving.md): exactly one serve_start per
 service carrying its configuration, at least one request_done carrying the
-per-request stamps (kind/user/cache_hit/epoch/latency_us/ok), and every
-cache_evict naming the user and epoch it dropped. The CI serve-smoke job
-uses this against a `reconsume_cli serve --events-out=...` session.
+per-request stamps (kind/user/cache_hit/degraded/served_by/epoch/
+model_epoch/latency_us/ok), and every cache_evict naming the user and epoch
+it dropped. The CI serve-smoke job uses this against a
+`reconsume_cli serve --events-out=...` session.
+
+--require-degrade-events additionally asserts the resilience protocol
+(docs/serving.md §8) inside --events: at least one `degraded` event, each
+carrying reason/tier/user with the tier one of stale_cache|fallback, and
+every `request_shed` carrying user/reason. The CI overload-smoke job uses
+this against a `bench_serve_load --overload` run with an injected scoring
+failpoint — it proves the degradation ladder actually engaged under
+overload rather than the service merely erroring fast.
 
 Exit status: 0 when every given artifact validates, 1 otherwise.
 """
@@ -122,7 +131,8 @@ def validate_serve_events(path: Path, errors: list[str]) -> None:
         fail(errors, f"{path}: no request_done events — the serve session "
                      "handled no requests")
     for i, event in enumerate(done):
-        for key in ("kind", "user", "cache_hit", "epoch", "latency_us", "ok"):
+        for key in ("kind", "user", "cache_hit", "degraded", "served_by",
+                    "epoch", "model_epoch", "latency_us", "ok"):
             if key not in event:
                 fail(errors, f"{path}: request_done[{i}] missing '{key}'")
                 break
@@ -132,6 +142,42 @@ def validate_serve_events(path: Path, errors: list[str]) -> None:
         for key in ("user", "epoch"):
             if key not in event:
                 fail(errors, f"{path}: cache_evict[{i}] missing '{key}'")
+
+
+def validate_degrade_events(path: Path, errors: list[str]) -> None:
+    """Checks the resilience event protocol (docs/serving.md §8)."""
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        fail(errors, f"{path}: unreadable: {exc}")
+        return
+    events = []
+    for line in lines:
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # validate_events already reports malformed lines
+        if isinstance(event, dict):
+            events.append(event)
+
+    degraded = [e for e in events if e.get("type") == "degraded"]
+    if not degraded:
+        fail(errors, f"{path}: no 'degraded' events — the degradation "
+                     "ladder never engaged (is the scoring failpoint armed "
+                     "and the build configured with RECONSUME_FAILPOINTS?)")
+    for i, event in enumerate(degraded):
+        for key in ("reason", "tier", "user"):
+            if key not in event:
+                fail(errors, f"{path}: degraded[{i}] missing '{key}'")
+        tier = event.get("tier")
+        if tier is not None and tier not in ("stale_cache", "fallback"):
+            fail(errors, f"{path}: degraded[{i}] has unknown tier '{tier}'")
+
+    for i, event in enumerate(e for e in events
+                              if e.get("type") == "request_shed"):
+        for key in ("user", "reason"):
+            if key not in event:
+                fail(errors, f"{path}: request_shed[{i}] missing '{key}'")
 
 
 def load_json(path: Path, errors: list[str]):
@@ -226,6 +272,9 @@ def main() -> int:
     parser.add_argument("--require-serve-events", action="store_true",
                         help="assert the serve_start/request_done/cache_evict "
                              "protocol in --events (docs/serving.md)")
+    parser.add_argument("--require-degrade-events", action="store_true",
+                        help="assert the degraded/request_shed resilience "
+                             "protocol in --events (docs/serving.md §8)")
     args = parser.parse_args()
     if not (args.events or args.metrics or args.trace):
         parser.error("give at least one of --events/--metrics/--trace")
@@ -233,6 +282,8 @@ def main() -> int:
         parser.error("--require-metric needs --metrics")
     if args.require_serve_events and not args.events:
         parser.error("--require-serve-events needs --events")
+    if args.require_degrade_events and not args.events:
+        parser.error("--require-degrade-events needs --events")
 
     errors: list[str] = []
     checked = []
@@ -240,6 +291,8 @@ def main() -> int:
         validate_events(args.events, errors)
         if args.require_serve_events:
             validate_serve_events(args.events, errors)
+        if args.require_degrade_events:
+            validate_degrade_events(args.events, errors)
         checked.append(str(args.events))
     if args.metrics:
         validate_metrics(args.metrics, args.require_metric, errors)
