@@ -20,17 +20,28 @@
 //     future resolves (ok / degraded / shed / deadline — never a hang,
 //     never an uncategorized error).
 //
+// Request tracing (docs/observability.md, "Request tracing"):
+// --trace-sample=R (default: the RECONSUME_TRACE_SAMPLE env var) arms the
+// tail sampler at ordinary-retention rate R for the measured run; pair with
+// --trace-out/--events-out to export the stitched per-request trace.
+// --trace-overhead prepends two extra passes — tracing fully off vs span
+// recording at 100% retention — and reports the p99 cost of tracing.
+//
 //   ./bench_serve_load [--requests=12000 --serve-threads=4 --clients=8
 //                       --top-n=10 --observe-every=8 --hot-users=64
 //                       --cache-capacity=4096 --queue-capacity=1024
 //                       --overload --timeout-us=50000 --enqueue-timeout-us=2000
 //                       --shed-watermark=0.9 --max-queue-delay-us=0
-//                       --swap-mid-load --json-out=r.json]
+//                       --swap-mid-load --trace-sample=0.05 --trace-overhead
+//                       --json-out=r.json]
 //
 // JSON keys (reconsume.bench.v1): requests, serve_threads, clients, qps,
 // p50_us, p99_us, p999_us, cache_hit_rate, cache_hits, cache_misses,
 // sessions, ok, degraded, shed, deadline, shed_rate, degraded_rate,
-// deadline_rate, model_swaps, model_rollbacks, overload.
+// deadline_rate, model_swaps, model_rollbacks, overload, trace_sample,
+// traces_retained, traces_dropped, slo_availability_burn,
+// slo_latency_burn; with --trace-overhead also trace_off_p99_us,
+// trace_on_p99_us, trace_overhead_ratio.
 
 #include <algorithm>
 #include <atomic>
@@ -43,6 +54,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "obs/tail_sampler.h"
 #include "serve/server.h"
 #include "util/failpoint.h"
 #include "util/flags.h"
@@ -68,6 +80,10 @@ struct LoadFlags {
   double shed_watermark = 0.9;
   int64_t max_queue_delay_us = 0;
   bool swap_mid_load = true;  ///< hot-swap (plus a forced rollback) mid-run
+  /// Tail-sampling rate for the measured run (< 0 = sampler untouched).
+  /// Default comes from RECONSUME_TRACE_SAMPLE; the flag overrides it.
+  double trace_sample = -1.0;
+  bool trace_overhead = false;  ///< measure p99 with tracing off vs 100%
 };
 
 LoadFlags ReadLoadFlags(const util::FlagSet& flags) {
@@ -94,6 +110,11 @@ LoadFlags ReadLoadFlags(const util::FlagSet& flags) {
       flags.GetInt("max-queue-delay-us", out.max_queue_delay_us).ValueOrDie();
   out.swap_mid_load =
       flags.GetBool("swap-mid-load", out.swap_mid_load).ValueOrDie();
+  out.trace_sample =
+      flags.GetDouble("trace-sample", obs::TraceSampleRateFromEnv(-1.0))
+          .ValueOrDie();
+  out.trace_overhead =
+      flags.GetBool("trace-overhead", out.trace_overhead).ValueOrDie();
   RECONSUME_CHECK(out.requests >= 1 && out.serve_threads >= 1 &&
                   out.clients >= 1 && out.top_n >= 1 && out.hot_users >= 1)
       << "all load-generator sizes must be >= 1";
@@ -134,24 +155,40 @@ void Categorize(std::future<serve::ServeResponse>& future, Outcomes* out) {
   }
 }
 
-}  // namespace
+/// Everything one pass of the load produces; plain values so the overhead
+/// passes and the measured pass share the same plumbing.
+struct PassResult {
+  double seconds = 0;
+  double qps = 0;
+  obs::HistogramSnapshot latency;
+  serve::ScoreCacheStats cache;
+  serve::ResilienceStats resilience;
+  std::vector<obs::SloSnapshot> slos;
+  size_t sessions = 0;
+  int64_t model_epoch = 0;
+  int64_t ok = 0;
+  int64_t degraded = 0;
+  int64_t shed = 0;
+  int64_t deadline = 0;
+  int64_t error = 0;
+  int64_t hung = 0;
+  int64_t served = 0;
+};
 
-int main(int argc, char** argv) {
-  bench::BenchRun run("serve_load", argc, argv);
-  auto flags = util::FlagSet::Parse(argc, argv);
-  RECONSUME_CHECK(flags.ok()) << flags.status();
-  const LoadFlags load = ReadLoadFlags(flags.ValueOrDie());
-
-  auto bundle = bench::MakeGowallaBundle();
-  bench::PrintHeader("serve_load", bundle);
-  auto method = bench::FitTsPpr(bundle, bench::MakeTsPprConfig(bundle));
-
+/// One full load pass against a fresh service. `trace_sample` feeds
+/// ServeConfig::trace_sample (the service arms the global sampler when
+/// >= 0); `allow_swap` gates the mid-load hot-swap (the overhead passes
+/// skip it so the A/B p99s compare pure serve-path cost).
+PassResult RunLoad(const bench::DatasetBundle& bundle,
+                   const bench::Method& method, const LoadFlags& load,
+                   double trace_sample, bool allow_swap) {
   serve::ServeConfig config;
   config.num_threads = static_cast<int>(load.serve_threads);
   config.queue_capacity = static_cast<size_t>(load.queue_capacity);
   config.cache_capacity = static_cast<size_t>(load.cache_capacity);
   config.window_capacity = bundle.defaults.window_capacity;
   config.min_gap = bundle.defaults.min_gap;
+  config.trace_sample = trace_sample;
   if (load.overload) {
     config.resilience.enqueue_timeout_us = load.enqueue_timeout_us;
     config.resilience.shed_watermark = load.shed_watermark;
@@ -229,7 +266,7 @@ int main(int argc, char** argv) {
   // validation rollback (old model keeps serving), then land a real swap
   // while the clients keep hammering the service.
   std::thread swapper;
-  if (load.overload && load.swap_mid_load) {
+  if (load.overload && allow_swap) {
     swapper = std::thread([&] {
       while (issued.load(std::memory_order_relaxed) < load.requests / 3) {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -254,86 +291,202 @@ int main(int argc, char** argv) {
 
   for (std::thread& t : clients) t.join();
   if (swapper.joinable()) swapper.join();
-  const double seconds = wall.ElapsedSeconds();
+  PassResult result;
+  result.seconds = wall.ElapsedSeconds();
   service.Shutdown();
 
-  const serve::ScoreCacheStats cache = service.cache_stats();
-  const serve::ResilienceStats resilience = service.resilience_stats();
-  const obs::HistogramSnapshot latency = service.LatencySnapshot();
-  const double qps = seconds > 0 ? static_cast<double>(load.requests) / seconds
-                                 : 0.0;
+  result.qps = result.seconds > 0
+                   ? static_cast<double>(load.requests) / result.seconds
+                   : 0.0;
+  result.latency = service.LatencySnapshot();
+  result.cache = service.cache_stats();
+  result.resilience = service.resilience_stats();
+  result.slos = service.SloSnapshots();
+  result.sessions = service.num_sessions();
+  result.model_epoch = service.model_epoch();
+  result.ok = outcomes.ok.load();
+  result.degraded = outcomes.degraded.load();
+  result.shed = outcomes.shed.load();
+  result.deadline = outcomes.deadline.load();
+  result.error = outcomes.error.load();
+  result.hung = outcomes.hung.load();
+  result.served = service.requests_served();
+  return result;
+}
 
+/// Asserts the resilience contract on one pass's outcomes.
+void CheckContract(const LoadFlags& load, const PassResult& pass) {
   // The contract both modes enforce: no hangs, no uncategorized errors.
   // Sheds and deadline misses are legal only under --overload.
-  RECONSUME_CHECK(outcomes.hung.load() == 0)
-      << outcomes.hung.load() << " requests never resolved";
-  RECONSUME_CHECK(outcomes.error.load() == 0)
-      << outcomes.error.load() << " requests failed outside the "
+  RECONSUME_CHECK(pass.hung == 0) << pass.hung << " requests never resolved";
+  RECONSUME_CHECK(pass.error == 0)
+      << pass.error << " requests failed outside the "
       << "shed/deadline/degraded contract";
   if (!load.overload) {
-    RECONSUME_CHECK(outcomes.shed.load() == 0 &&
-                    outcomes.deadline.load() == 0)
+    RECONSUME_CHECK(pass.shed == 0 && pass.deadline == 0)
         << "closed-loop traffic must not shed or miss deadlines";
   }
-  RECONSUME_CHECK(service.requests_served() >= load.requests)
-      << "served " << service.requests_served() << " of " << load.requests;
+  RECONSUME_CHECK(pass.served >= load.requests)
+      << "served " << pass.served << " of " << load.requests;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchRun run("serve_load", argc, argv);
+  auto flags = util::FlagSet::Parse(argc, argv);
+  RECONSUME_CHECK(flags.ok()) << flags.status();
+  const LoadFlags load = ReadLoadFlags(flags.ValueOrDie());
+
+  auto bundle = bench::MakeGowallaBundle();
+  bench::PrintHeader("serve_load", bundle);
+  auto method = bench::FitTsPpr(bundle, bench::MakeTsPprConfig(bundle));
+
+  // Tracing-overhead A/B (runs BEFORE the measured pass so a recorder reset
+  // cannot eat the measured pass's spans): same workload once with tracing
+  // fully off, once with spans on and 100% retention. Order matters: the
+  // off pass runs first because its requests are untraced (no trace ids in
+  // the event stream), and when this run exports a trace (--trace-out armed
+  // the recorder) the on pass's spans and sampler verdicts are deliberately
+  // NOT cleared afterwards — its request_done events already carry
+  // trace_retained, so wiping the spans would break the exported artifacts'
+  // integrity contract (tools/validate_telemetry.py
+  // --require-trace-integrity).
+  double trace_off_p99 = 0;
+  double trace_on_p99 = 0;
+  if (load.trace_overhead) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+    obs::TraceTailSampler& sampler = obs::TraceTailSampler::Global();
+    const bool exporting = recorder.enabled();
+
+    recorder.Disable();
+    sampler.Disable();
+    const PassResult off = RunLoad(bundle, method, load,
+                                   /*trace_sample=*/-1.0,
+                                   /*allow_swap=*/false);
+    CheckContract(load, off);
+    trace_off_p99 = off.latency.Quantile(0.99);
+
+    recorder.Enable();
+    const PassResult on = RunLoad(bundle, method, load,
+                                  /*trace_sample=*/1.0,
+                                  /*allow_swap=*/false);
+    CheckContract(load, on);
+    trace_on_p99 = on.latency.Quantile(0.99);
+
+    if (!exporting) {
+      // Nothing exports this run's spans: scrub the A/B state entirely so
+      // the measured pass starts from the pre-overhead baseline.
+      recorder.Disable();
+      recorder.Clear();
+      sampler.Disable();
+      sampler.Clear();
+    }
+    std::printf("trace overhead: p99 off %.1fus on %.1fus (x%.3f)\n",
+                trace_off_p99, trace_on_p99,
+                trace_off_p99 > 0 ? trace_on_p99 / trace_off_p99 : 0.0);
+  }
+
+  // Sampler counters are process-global and may include the overhead
+  // passes; report the measured pass as a delta.
+  const obs::TailSamplerStats stats_before =
+      obs::TraceTailSampler::Global().stats();
+  const PassResult pass =
+      RunLoad(bundle, method, load, load.trace_sample, load.swap_mid_load);
+  CheckContract(load, pass);
+  const obs::TailSamplerStats stats_after =
+      obs::TraceTailSampler::Global().stats();
+  obs::TailSamplerStats sampler_stats;
+  sampler_stats.considered = stats_after.considered - stats_before.considered;
+  sampler_stats.retained_forced =
+      stats_after.retained_forced - stats_before.retained_forced;
+  sampler_stats.retained_slow =
+      stats_after.retained_slow - stats_before.retained_slow;
+  sampler_stats.retained_sampled =
+      stats_after.retained_sampled - stats_before.retained_sampled;
+  sampler_stats.dropped = stats_after.dropped - stats_before.dropped;
 
   const double total = static_cast<double>(load.requests);
-  const double shed_rate = static_cast<double>(outcomes.shed.load()) / total;
-  const double degraded_rate =
-      static_cast<double>(outcomes.degraded.load()) / total;
-  const double deadline_rate =
-      static_cast<double>(outcomes.deadline.load()) / total;
+  const double shed_rate = static_cast<double>(pass.shed) / total;
+  const double degraded_rate = static_cast<double>(pass.degraded) / total;
+  const double deadline_rate = static_cast<double>(pass.deadline) / total;
 
   std::printf("replayed %s requests (%s clients -> %s workers%s) in %.2fs — "
               "%.0f QPS\n",
               util::FormatWithCommas(load.requests).c_str(),
               util::FormatWithCommas(load.clients).c_str(),
               util::FormatWithCommas(load.serve_threads).c_str(),
-              load.overload ? ", overload" : "", seconds, qps);
+              load.overload ? ", overload" : "", pass.seconds, pass.qps);
   std::printf("outcomes: %s ok, %s degraded, %s shed, %s deadline\n",
-              util::FormatWithCommas(outcomes.ok.load()).c_str(),
-              util::FormatWithCommas(outcomes.degraded.load()).c_str(),
-              util::FormatWithCommas(outcomes.shed.load()).c_str(),
-              util::FormatWithCommas(outcomes.deadline.load()).c_str());
+              util::FormatWithCommas(pass.ok).c_str(),
+              util::FormatWithCommas(pass.degraded).c_str(),
+              util::FormatWithCommas(pass.shed).c_str(),
+              util::FormatWithCommas(pass.deadline).c_str());
   std::printf("latency us: p50 %.1f  p99 %.1f  p999 %.1f\n",
-              latency.Quantile(0.5), latency.Quantile(0.99),
-              latency.Quantile(0.999));
+              pass.latency.Quantile(0.5), pass.latency.Quantile(0.99),
+              pass.latency.Quantile(0.999));
   std::printf("cache: %s hits / %s misses (hit rate %.3f), %s evictions, "
               "%zu sessions\n",
-              util::FormatWithCommas(cache.hits).c_str(),
-              util::FormatWithCommas(cache.misses).c_str(), cache.HitRate(),
-              util::FormatWithCommas(cache.evictions).c_str(),
-              service.num_sessions());
+              util::FormatWithCommas(pass.cache.hits).c_str(),
+              util::FormatWithCommas(pass.cache.misses).c_str(),
+              pass.cache.HitRate(),
+              util::FormatWithCommas(pass.cache.evictions).c_str(),
+              pass.sessions);
   std::printf("resilience: %lld breaker trips, %lld swaps, %lld rollbacks, "
               "model epoch %lld\n",
-              static_cast<long long>(resilience.breaker_trips),
-              static_cast<long long>(resilience.model_swaps),
-              static_cast<long long>(resilience.model_rollbacks),
-              static_cast<long long>(service.model_epoch()));
+              static_cast<long long>(pass.resilience.breaker_trips),
+              static_cast<long long>(pass.resilience.model_swaps),
+              static_cast<long long>(pass.resilience.model_rollbacks),
+              static_cast<long long>(pass.model_epoch));
+  if (load.trace_sample >= 0) {
+    std::printf("tracing: %lld considered, %lld retained "
+                "(%lld forced, %lld slow, %lld sampled), %lld dropped\n",
+                static_cast<long long>(sampler_stats.considered),
+                static_cast<long long>(sampler_stats.retained()),
+                static_cast<long long>(sampler_stats.retained_forced),
+                static_cast<long long>(sampler_stats.retained_slow),
+                static_cast<long long>(sampler_stats.retained_sampled),
+                static_cast<long long>(sampler_stats.dropped));
+  }
+  std::printf("%s", obs::RenderSloDashboard(pass.slos).c_str());
 
   const std::string ds = bundle.name;
   run.AddValue(ds, "requests", static_cast<double>(load.requests));
   run.AddValue(ds, "serve_threads", static_cast<double>(load.serve_threads));
   run.AddValue(ds, "clients", static_cast<double>(load.clients));
-  run.AddValue(ds, "qps", qps);
-  run.AddValue(ds, "p50_us", latency.Quantile(0.5));
-  run.AddValue(ds, "p99_us", latency.Quantile(0.99));
-  run.AddValue(ds, "p999_us", latency.Quantile(0.999));
-  run.AddValue(ds, "cache_hit_rate", cache.HitRate());
-  run.AddValue(ds, "cache_hits", static_cast<double>(cache.hits));
-  run.AddValue(ds, "cache_misses", static_cast<double>(cache.misses));
-  run.AddValue(ds, "sessions", static_cast<double>(service.num_sessions()));
-  run.AddValue(ds, "ok", static_cast<double>(outcomes.ok.load()));
-  run.AddValue(ds, "degraded", static_cast<double>(outcomes.degraded.load()));
-  run.AddValue(ds, "shed", static_cast<double>(outcomes.shed.load()));
-  run.AddValue(ds, "deadline", static_cast<double>(outcomes.deadline.load()));
+  run.AddValue(ds, "qps", pass.qps);
+  run.AddValue(ds, "p50_us", pass.latency.Quantile(0.5));
+  run.AddValue(ds, "p99_us", pass.latency.Quantile(0.99));
+  run.AddValue(ds, "p999_us", pass.latency.Quantile(0.999));
+  run.AddValue(ds, "cache_hit_rate", pass.cache.HitRate());
+  run.AddValue(ds, "cache_hits", static_cast<double>(pass.cache.hits));
+  run.AddValue(ds, "cache_misses", static_cast<double>(pass.cache.misses));
+  run.AddValue(ds, "sessions", static_cast<double>(pass.sessions));
+  run.AddValue(ds, "ok", static_cast<double>(pass.ok));
+  run.AddValue(ds, "degraded", static_cast<double>(pass.degraded));
+  run.AddValue(ds, "shed", static_cast<double>(pass.shed));
+  run.AddValue(ds, "deadline", static_cast<double>(pass.deadline));
   run.AddValue(ds, "shed_rate", shed_rate);
   run.AddValue(ds, "degraded_rate", degraded_rate);
   run.AddValue(ds, "deadline_rate", deadline_rate);
-  run.AddValue(ds, "model_swaps", static_cast<double>(resilience.model_swaps));
+  run.AddValue(ds, "model_swaps",
+               static_cast<double>(pass.resilience.model_swaps));
   run.AddValue(ds, "model_rollbacks",
-               static_cast<double>(resilience.model_rollbacks));
+               static_cast<double>(pass.resilience.model_rollbacks));
   run.AddValue(ds, "overload", load.overload ? 1.0 : 0.0);
+  run.AddValue(ds, "trace_sample", load.trace_sample);
+  run.AddValue(ds, "traces_retained",
+               static_cast<double>(sampler_stats.retained()));
+  run.AddValue(ds, "traces_dropped",
+               static_cast<double>(sampler_stats.dropped));
+  for (const obs::SloSnapshot& slo : pass.slos) {
+    run.AddValue(ds, "slo_" + slo.name + "_burn", slo.burn_long);
+  }
+  if (load.trace_overhead) {
+    run.AddValue(ds, "trace_off_p99_us", trace_off_p99);
+    run.AddValue(ds, "trace_on_p99_us", trace_on_p99);
+    run.AddValue(ds, "trace_overhead_ratio",
+                 trace_off_p99 > 0 ? trace_on_p99 / trace_off_p99 : 0.0);
+  }
   return 0;
 }

@@ -81,6 +81,10 @@ Histogram::Histogram(std::vector<double> bounds)
   RC_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
       << "histogram bounds must be ascending";
   const size_t num_buckets = bounds_.size() + 1;
+  exemplars_ = std::make_unique<std::atomic<uint64_t>[]>(num_buckets);
+  for (size_t b = 0; b < num_buckets; ++b) {
+    exemplars_[b].store(0, std::memory_order_relaxed);
+  }
   for (int s = 0; s < kMetricShards; ++s) {
     shards_[s].buckets = std::make_unique<std::atomic<int64_t>[]>(num_buckets);
     for (size_t b = 0; b < num_buckets; ++b) {
@@ -113,10 +117,23 @@ void Histogram::Observe(double value) {
   AtomicExtremum(&shard.max_bits, value, std::greater<double>());
 }
 
+void Histogram::Observe(double value, uint64_t exemplar_trace_id) {
+  if (std::isnan(value)) return;
+  Observe(value);
+  if (exemplar_trace_id != 0) {
+    exemplars_[BucketIndex(value)].store(exemplar_trace_id,
+                                         std::memory_order_relaxed);
+  }
+}
+
 HistogramSnapshot Histogram::Snapshot() const {
   HistogramSnapshot snap;
   snap.bounds = bounds_;
   snap.counts.assign(bounds_.size() + 1, 0);
+  snap.exemplars.resize(bounds_.size() + 1);
+  for (size_t b = 0; b < snap.exemplars.size(); ++b) {
+    snap.exemplars[b] = exemplars_[b].load(std::memory_order_relaxed);
+  }
   double min = std::numeric_limits<double>::infinity();
   double max = -std::numeric_limits<double>::infinity();
   for (int s = 0; s < kMetricShards; ++s) {
@@ -243,6 +260,11 @@ std::string MetricsRegistry::ToJson() const {
     w.EndArray();
     w.Key("counts").BeginArray();
     for (const int64_t c : snap.counts) w.Value(c);
+    w.EndArray();
+    w.Key("exemplars").BeginArray();
+    for (const uint64_t e : snap.exemplars) {
+      w.Value(static_cast<int64_t>(e));
+    }
     w.EndArray();
     w.EndObject();
   }

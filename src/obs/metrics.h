@@ -81,6 +81,11 @@ struct HistogramSnapshot {
   /// lands in the first bucket with v <= bounds[i].
   std::vector<double> bounds;
   std::vector<int64_t> counts;
+  /// Per-bucket exemplar: trace id of the most recent observation that
+  /// landed in the bucket with a non-zero trace attached (0 = none). Links
+  /// a latency bucket straight to a retained trace (docs/observability.md,
+  /// "Request tracing"). Parallel to `counts`.
+  std::vector<uint64_t> exemplars;
   int64_t count = 0;
   double sum = 0.0;
   double min = 0.0;  ///< meaningful only when count > 0
@@ -98,6 +103,11 @@ class Histogram {
   /// NaN observations are dropped (a poisoned measurement must not poison
   /// min/max/sum); +/-inf land in the overflow/first bucket.
   void Observe(double value);
+  /// Observe() plus an exemplar: when `exemplar_trace_id` is non-zero it is
+  /// stored (last write wins) as the bucket's exemplar, linking the metric
+  /// to a trace. Still lock-free; pass only *retained* trace ids, or the
+  /// exemplar will point at a trace the export filtered away.
+  void Observe(double value, uint64_t exemplar_trace_id);
   HistogramSnapshot Snapshot() const;
   const std::vector<double>& bounds() const { return bounds_; }
 
@@ -117,6 +127,9 @@ class Histogram {
 
   std::vector<double> bounds_;
   std::unique_ptr<Shard[]> shards_;
+  /// Unsharded on purpose: "most recent exemplar per bucket" is a
+  /// last-write-wins cell, so a single relaxed store is the exact semantic.
+  std::unique_ptr<std::atomic<uint64_t>[]> exemplars_;  // bounds.size() + 1
 };
 
 /// `count` buckets of uniform `width` starting at `start`:

@@ -1,0 +1,167 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/event.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace reconsume {
+namespace obs {
+
+namespace {
+constexpr int64_t kNanosPerSecond = 1000000000;
+}  // namespace
+
+std::string RenderSloDashboard(const std::vector<SloSnapshot>& snapshots) {
+  std::string out;
+  for (const SloSnapshot& s : snapshots) {
+    out += util::StringPrintf(
+        "SLO %-14s target %7.3f%%  window %ds\n", s.name.c_str(),
+        s.objective * 100.0, s.window_seconds);
+    out += util::StringPrintf(
+        "    good %lld  bad %lld  compliance %7.3f%%  "
+        "burn %.2fx/%ds %.2fx/%ds  budget left %3.0f%%\n",
+        static_cast<long long>(s.good), static_cast<long long>(s.bad),
+        s.compliance * 100.0, s.burn_short, s.short_window_seconds,
+        s.burn_long, s.window_seconds, s.budget_remaining * 100.0);
+  }
+  return out;
+}
+
+SloMonitor::SloMonitor(SloConfig config) : config_(std::move(config)) {
+  RC_CHECK(config_.objective > 0.0 && config_.objective < 1.0)
+      << "SLO objective must be in (0, 1)";
+  RC_CHECK(config_.window_seconds >= 1 && config_.short_window_seconds >= 1 &&
+           config_.short_window_seconds <= config_.window_seconds)
+      << "SLO windows must satisfy 1 <= short <= long";
+  burn_short_gauge_ = MetricsRegistry::Global().GetGauge(
+      "slo." + config_.name + ".burn_short");
+  burn_long_gauge_ = MetricsRegistry::Global().GetGauge(
+      "slo." + config_.name + ".burn_long");
+  util::MutexLock lock(&mu_);
+  ring_.assign(static_cast<size_t>(config_.window_seconds), Bucket());
+}
+
+double SloMonitor::BurnOver(int window_seconds, int64_t now_second) const {
+  int64_t good = 0;
+  int64_t bad = 0;
+  for (const Bucket& bucket : ring_) {
+    if (bucket.second < 0 || bucket.second > now_second ||
+        bucket.second <= now_second - window_seconds) {
+      continue;
+    }
+    good += bucket.good;
+    bad += bucket.bad;
+  }
+  const int64_t total = good + bad;
+  if (total == 0) return 0.0;
+  const double bad_fraction =
+      static_cast<double>(bad) / static_cast<double>(total);
+  return bad_fraction / (1.0 - config_.objective);
+}
+
+void SloMonitor::AdvanceTo(int64_t second) {
+  if (second <= current_second_) return;
+  // A gap longer than the ring means every bucket is stale; reset them all
+  // instead of walking the (possibly huge) range second by second.
+  const int64_t span = second - current_second_;
+  if (current_second_ < 0 ||
+      span >= static_cast<int64_t>(ring_.size())) {
+    for (Bucket& bucket : ring_) bucket = Bucket();
+  } else {
+    for (int64_t s = current_second_ + 1; s <= second; ++s) {
+      Bucket& bucket = ring_[static_cast<size_t>(
+          s % static_cast<int64_t>(ring_.size()))];
+      bucket.second = s;
+      bucket.good = 0;
+      bucket.bad = 0;
+    }
+  }
+  Bucket& head = ring_[static_cast<size_t>(
+      second % static_cast<int64_t>(ring_.size()))];
+  head.second = second;
+  current_second_ = second;
+}
+
+void SloMonitor::Record(bool good, int64_t now_ns) {
+  if (now_ns < 0) now_ns = MonotonicNanos();
+  const int64_t second = now_ns / kNanosPerSecond;
+  bool emit_alert = false;
+  double burn_short = 0;
+  double burn_long = 0;
+  {
+    util::MutexLock lock(&mu_);
+    const bool rotated = second > current_second_;
+    AdvanceTo(second);
+    Bucket& bucket = ring_[static_cast<size_t>(
+        second % static_cast<int64_t>(ring_.size()))];
+    if (bucket.second == second) {
+      // (A racing recorder may already have rotated past a laggard's
+      // second; an event older than the ring is simply dropped.)
+      if (good) {
+        ++bucket.good;
+      } else {
+        ++bucket.bad;
+      }
+    }
+    if (rotated) {
+      burn_short = BurnOver(config_.short_window_seconds, second);
+      burn_long = BurnOver(config_.window_seconds, second);
+      burn_short_gauge_->Set(burn_short);
+      burn_long_gauge_->Set(burn_long);
+      if (config_.alert_burn_rate > 0 &&
+          burn_short >= config_.alert_burn_rate) {
+        if (!alert_raised_) {
+          alert_raised_ = true;
+          emit_alert = true;
+        }
+      } else {
+        alert_raised_ = false;
+      }
+    }
+  }
+  if (emit_alert) {
+    alerts_.fetch_add(1, std::memory_order_relaxed);
+    RC_EMIT_EVENT(Event("slo_burn")
+                      .Set("slo", config_.name)
+                      .Set("objective", config_.objective)
+                      .Set("burn_rate_short", burn_short)
+                      .Set("burn_rate_long", burn_long)
+                      .Set("short_window_s", config_.short_window_seconds)
+                      .Set("window_s", config_.window_seconds));
+  }
+}
+
+SloSnapshot SloMonitor::snapshot(int64_t now_ns) const {
+  if (now_ns < 0) now_ns = MonotonicNanos();
+  const int64_t second = now_ns / kNanosPerSecond;
+  SloSnapshot snap;
+  snap.name = config_.name;
+  snap.objective = config_.objective;
+  snap.window_seconds = config_.window_seconds;
+  snap.short_window_seconds = config_.short_window_seconds;
+  util::MutexLock lock(&mu_);
+  for (const Bucket& bucket : ring_) {
+    if (bucket.second < 0 || bucket.second > second ||
+        bucket.second <= second - config_.window_seconds) {
+      continue;
+    }
+    snap.good += bucket.good;
+    snap.bad += bucket.bad;
+  }
+  const int64_t total = snap.good + snap.bad;
+  snap.compliance =
+      total > 0 ? static_cast<double>(snap.good) / static_cast<double>(total)
+                : 1.0;
+  snap.burn_short = BurnOver(config_.short_window_seconds, second);
+  snap.burn_long = BurnOver(config_.window_seconds, second);
+  snap.budget_remaining = std::max(0.0, 1.0 - snap.burn_long);
+  return snap;
+}
+
+}  // namespace obs
+}  // namespace reconsume

@@ -1,0 +1,106 @@
+// Rolling-window SLO tracking with burn-rate alerting
+// (docs/observability.md, "Request tracing"; the SRE-workbook multiwindow
+// burn-rate idiom).
+//
+// One SloMonitor tracks one objective — "at least `objective` of events are
+// good over the long window". Events land in per-second ring buckets;
+// burn rate over a window is
+//
+//     burn = (bad / total) / (1 - objective)
+//
+// so burn 1.0 consumes the error budget exactly at the rate that exhausts
+// it by the end of the window, and burn >> 1 is an incident. Burn is
+// reported over a short and a long window (fast detection + low noise);
+// when the short-window burn crosses `alert_burn_rate`, the monitor emits a
+// rate-limited `slo_burn` event and mirrors both burns into gauges
+// (`slo.<name>.burn_short` / `slo.<name>.burn_long`).
+//
+// Record() takes one mutex; burn recomputation happens only when the
+// per-second bucket rotates, so the per-event cost is a lock + two adds.
+// Timestamps default to obs::MonotonicNanos() but every entry point accepts
+// an explicit clock for deterministic tests.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/sync.h"
+
+namespace reconsume {
+namespace obs {
+
+class Gauge;
+
+/// \brief One objective's tunables.
+struct SloConfig {
+  std::string name;             ///< gauge/event label, e.g. "availability"
+  double objective = 0.999;     ///< target good fraction in (0, 1)
+  int window_seconds = 300;     ///< long window (ring length)
+  int short_window_seconds = 60;
+  /// Short-window burn at/above which slo_burn events fire (<= 0 disables).
+  double alert_burn_rate = 1.0;
+};
+
+/// \brief Point-in-time view for dashboards (`serve stats`, statusz).
+struct SloSnapshot {
+  std::string name;
+  double objective = 0;
+  int window_seconds = 0;
+  int short_window_seconds = 0;
+  int64_t good = 0;  ///< long-window totals
+  int64_t bad = 0;
+  double compliance = 1.0;  ///< good fraction over the long window (1 = idle)
+  double burn_short = 0;
+  double burn_long = 0;
+  /// Error budget left over the long window: 1 - burn_long, floored at 0.
+  double budget_remaining = 1.0;
+};
+
+/// Fixed-width text dashboard over a set of snapshots — the `serve stats`
+/// SLO block. Returned (not printed): library code never writes to stdio.
+std::string RenderSloDashboard(const std::vector<SloSnapshot>& snapshots);
+
+/// \brief Rolling-window burn-rate monitor for one objective. Thread-safe.
+class SloMonitor {
+ public:
+  explicit SloMonitor(SloConfig config);
+
+  /// Records one event at `now_ns` (obs::MonotonicNanos() when negative).
+  void Record(bool good, int64_t now_ns = -1);
+
+  SloSnapshot snapshot(int64_t now_ns = -1) const;
+  const SloConfig& config() const { return config_; }
+  /// slo_burn events emitted so far (rate-limited to bucket rotations).
+  int64_t alerts() const { return alerts_.load(std::memory_order_relaxed); }
+
+  SloMonitor(const SloMonitor&) = delete;
+  SloMonitor& operator=(const SloMonitor&) = delete;
+
+ private:
+  struct Bucket {
+    int64_t second = -1;  ///< absolute second this bucket holds, -1 = empty
+    int64_t good = 0;
+    int64_t bad = 0;
+  };
+
+  /// Rotates the ring up to `second`, recomputing burn and alerting on each
+  /// actual rotation. Requires mu_ held.
+  void AdvanceTo(int64_t second) RC_REQUIRES(mu_);
+  double BurnOver(int windows_seconds, int64_t now_second) const
+      RC_REQUIRES(mu_);
+
+  const SloConfig config_;
+  Gauge* burn_short_gauge_;  ///< slo.<name>.burn_short
+  Gauge* burn_long_gauge_;   ///< slo.<name>.burn_long
+  mutable util::Mutex mu_;
+  std::vector<Bucket> ring_ RC_GUARDED_BY(mu_);
+  int64_t current_second_ RC_GUARDED_BY(mu_) = -1;
+  bool alert_raised_ RC_GUARDED_BY(mu_) = false;  ///< edge-trigger latch
+  std::atomic<int64_t> alerts_{0};
+};
+
+}  // namespace obs
+}  // namespace reconsume

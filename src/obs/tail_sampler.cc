@@ -1,0 +1,185 @@
+#include "obs/tail_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace reconsume {
+namespace obs {
+
+namespace {
+/// Recompute the slow threshold every this many window inserts: nth_element
+/// over the ring is O(window), so amortize it instead of paying per request.
+constexpr size_t kThresholdRefreshEvery = 128;
+}  // namespace
+
+const char* TailSampleVerdictName(TailSampleVerdict verdict) {
+  switch (verdict) {
+    case TailSampleVerdict::kDropped:
+      return "dropped";
+    case TailSampleVerdict::kForced:
+      return "forced";
+    case TailSampleVerdict::kSlow:
+      return "slow";
+    case TailSampleVerdict::kSampled:
+      return "sampled";
+  }
+  return "unknown";
+}
+
+TraceTailSampler& TraceTailSampler::Global() {
+  static TraceTailSampler* sampler = new TraceTailSampler();
+  return *sampler;
+}
+
+void TraceTailSampler::Enable(const TailSamplerConfig& config) {
+  util::MutexLock lock(&mu_);
+  const double previous_rate = config_.sample_rate;
+  config_ = config;
+  config_.sample_rate = std::clamp(config.sample_rate, 0.0, 1.0);
+  // Reconfiguring the rate restarts the deterministic 1-in-N pacing;
+  // otherwise a high-rate phase leaves kept >> rate * seen and a following
+  // low-rate phase samples nothing until seen catches up.
+  if (config_.sample_rate != previous_rate) {
+    ordinary_seen_ = 0;
+    ordinary_kept_ = 0;
+  }
+  config_.latency_window = std::max<size_t>(config.latency_window, 8);
+  config_.slow_quantile = std::clamp(config.slow_quantile, 0.0, 1.0);
+  if (latency_ring_.size() != config_.latency_window) {
+    latency_ring_.assign(config_.latency_window, 0.0);
+    latency_next_ = 0;
+    latency_seen_ = 0;
+    threshold_valid_ = false;
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceTailSampler::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void TraceTailSampler::Remember(uint64_t trace_id,
+                                std::unordered_set<uint64_t>* set,
+                                std::deque<uint64_t>* order,
+                                size_t capacity) {
+  if (set->insert(trace_id).second) {
+    order->push_back(trace_id);
+    while (order->size() > std::max<size_t>(capacity, 1)) {
+      set->erase(order->front());
+      order->pop_front();
+    }
+  }
+}
+
+TailSampleVerdict TraceTailSampler::RecordOutcome(uint64_t trace_id,
+                                                  double latency_us,
+                                                  bool always_keep) {
+  if (!enabled()) return TailSampleVerdict::kSampled;
+  util::MutexLock lock(&mu_);
+  active_.store(true, std::memory_order_relaxed);
+  ++stats_.considered;
+
+  // Every finished request feeds the rolling latency window, retained or
+  // not — the p99 threshold must describe the traffic, not the sample.
+  if (std::isfinite(latency_us)) {
+    latency_ring_[latency_next_] = latency_us;
+    latency_next_ = (latency_next_ + 1) % latency_ring_.size();
+    ++latency_seen_;
+    if (latency_seen_ >= config_.min_slow_observations &&
+        (!threshold_valid_ || latency_seen_ % kThresholdRefreshEvery == 0)) {
+      const size_t filled = std::min(latency_seen_, latency_ring_.size());
+      std::vector<double> window(latency_ring_.begin(),
+                                 latency_ring_.begin() +
+                                     static_cast<std::ptrdiff_t>(filled));
+      const size_t rank = std::min(
+          filled - 1, static_cast<size_t>(config_.slow_quantile *
+                                          static_cast<double>(filled)));
+      std::nth_element(window.begin(),
+                       window.begin() + static_cast<std::ptrdiff_t>(rank),
+                       window.end());
+      slow_threshold_us_ = window[rank];
+      threshold_valid_ = true;
+    }
+  }
+
+  TailSampleVerdict verdict = TailSampleVerdict::kDropped;
+  if (always_keep) {
+    verdict = TailSampleVerdict::kForced;
+    ++stats_.retained_forced;
+  } else if (threshold_valid_ && latency_us >= slow_threshold_us_) {
+    verdict = TailSampleVerdict::kSlow;
+    ++stats_.retained_slow;
+  } else {
+    // Deterministic 1-in-N: keep whenever the running kept count falls
+    // behind seen * rate. rate 1.0 keeps everything, 0.0 nothing.
+    ++ordinary_seen_;
+    const double target =
+        config_.sample_rate * static_cast<double>(ordinary_seen_);
+    if (static_cast<double>(ordinary_kept_) < target) {
+      ++ordinary_kept_;
+      verdict = TailSampleVerdict::kSampled;
+      ++stats_.retained_sampled;
+    }
+  }
+
+  if (verdict == TailSampleVerdict::kDropped) {
+    ++stats_.dropped;
+    Remember(trace_id, &dropped_, &dropped_order_, config_.dropped_capacity);
+  } else {
+    Remember(trace_id, &retained_, &retained_order_,
+             config_.retained_capacity);
+  }
+  return verdict;
+}
+
+bool TraceTailSampler::IsRetained(uint64_t trace_id) const {
+  util::MutexLock lock(&mu_);
+  return retained_.count(trace_id) > 0;
+}
+
+bool TraceTailSampler::IsDropped(uint64_t trace_id) const {
+  util::MutexLock lock(&mu_);
+  return dropped_.count(trace_id) > 0;
+}
+
+TailSamplerStats TraceTailSampler::stats() const {
+  util::MutexLock lock(&mu_);
+  return stats_;
+}
+
+double TraceTailSampler::slow_threshold_us() const {
+  util::MutexLock lock(&mu_);
+  return threshold_valid_ ? slow_threshold_us_
+                          : std::numeric_limits<double>::infinity();
+}
+
+void TraceTailSampler::Clear() {
+  util::MutexLock lock(&mu_);
+  active_.store(false, std::memory_order_relaxed);
+  latency_ring_.assign(std::max<size_t>(config_.latency_window, 8), 0.0);
+  latency_next_ = 0;
+  latency_seen_ = 0;
+  slow_threshold_us_ = 0;
+  threshold_valid_ = false;
+  ordinary_seen_ = 0;
+  ordinary_kept_ = 0;
+  retained_.clear();
+  retained_order_.clear();
+  dropped_.clear();
+  dropped_order_.clear();
+  stats_ = TailSamplerStats();
+}
+
+double TraceSampleRateFromEnv(double fallback) {
+  const char* env = std::getenv("RECONSUME_TRACE_SAMPLE");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const double rate = std::strtod(env, &end);
+  if (end == env || !std::isfinite(rate)) return fallback;
+  return rate;
+}
+
+}  // namespace obs
+}  // namespace reconsume

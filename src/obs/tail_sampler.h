@@ -1,0 +1,144 @@
+// Tail-based trace sampling (docs/observability.md, "Request tracing").
+//
+// Head sampling decides before a request runs and therefore keeps a blind
+// random slice; tail sampling decides *after the outcome is known*, so the
+// interesting traces survive by construction:
+//
+//   * forced    — degraded / shed / deadline-exceeded / errored requests are
+//                 always retained (the traces you debug an incident with),
+//   * slow      — requests at or above the rolling p99 of recent latencies
+//                 are retained (the tail the serve histogram reports),
+//   * sampled   — a deterministic 1-in-N slice of ordinary fast requests is
+//                 retained for baseline comparison (`sample_rate`).
+//
+// Everything else is dropped: TraceRecorder::ToChromeTraceJson consults the
+// sampler at export time and omits dropped traces, and the per-thread span
+// buffers compact dropped traces away when they grow past a soft cap, so a
+// long-running instrumented service is bounded by the *retained* set, not
+// by total traffic.
+//
+// The sampler is process-global (like the recorder it filters). When it was
+// never enabled, every trace exports — the pre-sampling behaviour.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "util/sync.h"
+
+namespace reconsume {
+namespace obs {
+
+/// \brief Tail-sampling policy knobs.
+struct TailSamplerConfig {
+  /// Fraction of ordinary (fast, successful) requests to retain, in [0, 1].
+  /// Retention is deterministic (every k-th ordinary request), not random.
+  double sample_rate = 0.0;
+  /// Rolling latency window feeding the slow-outlier threshold.
+  size_t latency_window = 1024;
+  /// Quantile of the rolling window at/above which a request is "slow".
+  double slow_quantile = 0.99;
+  /// Observations required before the slow threshold engages (a cold p99
+  /// over three samples would retain everything).
+  size_t min_slow_observations = 100;
+  /// Retained / dropped trace-id rings: oldest entries fall off first. A
+  /// dropped id evicted early merely skips compaction (spans linger until
+  /// export filtering); a retained id evicted early would break the
+  /// trace-integrity contract, so keep this comfortably above the number of
+  /// retained traces a run can produce.
+  size_t retained_capacity = 1 << 16;
+  size_t dropped_capacity = 1 << 16;
+};
+
+/// Why a trace was retained (telemetry labels).
+enum class TailSampleVerdict { kDropped = 0, kForced, kSlow, kSampled };
+const char* TailSampleVerdictName(TailSampleVerdict verdict);
+
+/// \brief Racy-exact counters for stats output.
+struct TailSamplerStats {
+  int64_t considered = 0;
+  int64_t retained_forced = 0;
+  int64_t retained_slow = 0;
+  int64_t retained_sampled = 0;
+  int64_t dropped = 0;
+  int64_t retained() const {
+    return retained_forced + retained_slow + retained_sampled;
+  }
+};
+
+/// \brief Process-wide tail sampler. Thread-safe; one mutex, taken once per
+/// *finished traced request* (not per span), so it is far off the span
+/// record path.
+class TraceTailSampler {
+ public:
+  static TraceTailSampler& Global();
+
+  /// Arms the sampler (idempotent; reconfigures in place). Decisions made
+  /// before a reconfigure keep their verdicts.
+  void Enable(const TailSamplerConfig& config);
+  /// Stops influencing new decisions; existing verdicts still filter the
+  /// export. Clear() to forget those too.
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  /// True once any decision has been recorded — the export-time filter
+  /// applies iff active, so runs that never sampled export everything.
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
+  /// Decides retention for a finished request. `always_keep` marks the
+  /// forced class (degraded / shed / deadline / error). Returns the verdict;
+  /// anything but kDropped means the trace's spans survive export. When the
+  /// sampler is disabled this records nothing and returns kSampled (treat
+  /// everything as retained).
+  TailSampleVerdict RecordOutcome(uint64_t trace_id, double latency_us,
+                                  bool always_keep);
+
+  bool IsRetained(uint64_t trace_id) const;
+  bool IsDropped(uint64_t trace_id) const;
+
+  TailSamplerStats stats() const;
+  /// Current slow-retention threshold in microseconds (+inf while the
+  /// rolling window is still below min_slow_observations).
+  double slow_threshold_us() const;
+
+  /// Forgets every decision and counter (test / run-boundary reset).
+  void Clear();
+
+  TraceTailSampler() = default;
+  TraceTailSampler(const TraceTailSampler&) = delete;
+  TraceTailSampler& operator=(const TraceTailSampler&) = delete;
+
+ private:
+  void Remember(uint64_t trace_id, std::unordered_set<uint64_t>* set,
+                std::deque<uint64_t>* order, size_t capacity)
+      RC_REQUIRES(mu_);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<bool> active_{false};
+  mutable util::Mutex mu_;
+  TailSamplerConfig config_ RC_GUARDED_BY(mu_);
+  std::vector<double> latency_ring_ RC_GUARDED_BY(mu_);
+  size_t latency_next_ RC_GUARDED_BY(mu_) = 0;
+  size_t latency_seen_ RC_GUARDED_BY(mu_) = 0;
+  double slow_threshold_us_ RC_GUARDED_BY(mu_) = 0;
+  bool threshold_valid_ RC_GUARDED_BY(mu_) = false;
+  int64_t ordinary_seen_ RC_GUARDED_BY(mu_) = 0;
+  int64_t ordinary_kept_ RC_GUARDED_BY(mu_) = 0;
+  std::unordered_set<uint64_t> retained_ RC_GUARDED_BY(mu_);
+  std::deque<uint64_t> retained_order_ RC_GUARDED_BY(mu_);
+  std::unordered_set<uint64_t> dropped_ RC_GUARDED_BY(mu_);
+  std::deque<uint64_t> dropped_order_ RC_GUARDED_BY(mu_);
+  TailSamplerStats stats_ RC_GUARDED_BY(mu_);
+};
+
+/// Parses the RECONSUME_TRACE_SAMPLE environment variable as a sample rate.
+/// Returns `fallback` when unset or unparsable; the CLI/bench --trace-sample
+/// flag overrides it.
+double TraceSampleRateFromEnv(double fallback);
+
+}  // namespace obs
+}  // namespace reconsume

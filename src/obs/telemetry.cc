@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/tail_sampler.h"
 #include "obs/trace.h"
 #include "util/failpoint.h"
 #include "util/fileio.h"
@@ -88,6 +89,9 @@ Result<TelemetrySession> TelemetrySession::Start(TelemetryConfig config) {
   }
   if (!config.trace_path.empty()) {
     TraceRecorder::Global().Clear();
+    // Forget tail-sampling verdicts from any earlier run in this process:
+    // stale retained/dropped sets would filter the fresh trace wrongly.
+    TraceTailSampler::Global().Clear();
     TraceRecorder::Global().Enable();
   }
   // Surface failpoint trips (docs/robustness.md) in the telemetry stream.

@@ -2,12 +2,48 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 
 #include "obs/json_writer.h"
+#include "obs/tail_sampler.h"
 #include "util/fileio.h"
 
 namespace reconsume {
 namespace obs {
+
+namespace {
+
+/// Fresh threads start compacting at this buffer size; the watermark then
+/// adapts to twice the surviving span count so a thread whose traces are all
+/// retained does not rescan on every append.
+constexpr size_t kCompactEvery = 8192;
+
+/// Drops spans of sampler-dropped traces from one thread's buffer. Traces
+/// without a verdict yet (in flight) are kept — they may still be retained.
+/// Lock order: log->mu is held, and the sampler's mutex nests inside it; the
+/// sampler never calls back into the recorder, so the order is acyclic.
+void CompactLocked(internal::ThreadLog* log) RC_REQUIRES(log->mu) {
+  TraceTailSampler& sampler = TraceTailSampler::Global();
+  if (sampler.active()) {
+    log->events.erase(
+        std::remove_if(log->events.begin(), log->events.end(),
+                       [&sampler](const TraceEvent& event) {
+                         return event.trace_id != 0 &&
+                                sampler.IsDropped(event.trace_id);
+                       }),
+        log->events.end());
+  }
+  log->compact_watermark =
+      std::max(kCompactEvery, log->events.size() * 2);
+}
+
+void AppendLocked(internal::ThreadLog* log, TraceEvent event)
+    RC_REQUIRES(log->mu) {
+  log->events.push_back(std::move(event));
+  if (log->events.size() >= log->compact_watermark) CompactLocked(log);
+}
+
+}  // namespace
 
 int64_t MonotonicNanos() {
   using Clock = std::chrono::steady_clock;
@@ -45,6 +81,24 @@ internal::ThreadLog* TraceRecorder::ThisThreadLog() {
   return cached;
 }
 
+void TraceRecorder::RecordSpan(const char* name, uint64_t trace_id,
+                               uint64_t span_id, uint64_t parent_span_id,
+                               int64_t start_ns, int64_t duration_ns) {
+  if (!enabled()) return;
+  internal::ThreadLog* log = ThisThreadLog();
+  TraceEvent event;
+  event.name = name;
+  event.tid = log->tid;
+  event.depth = log->depth;
+  event.start_ns = start_ns;
+  event.duration_ns = duration_ns;
+  event.trace_id = trace_id;
+  event.span_id = span_id;
+  event.parent_span_id = parent_span_id;
+  util::MutexLock lock(&log->mu);
+  AppendLocked(log, std::move(event));
+}
+
 std::vector<TraceEvent> TraceRecorder::Snapshot() const {
   std::vector<TraceEvent> merged;
   {
@@ -54,10 +108,13 @@ std::vector<TraceEvent> TraceRecorder::Snapshot() const {
       merged.insert(merged.end(), log->events.begin(), log->events.end());
     }
   }
+  // span_id is unique per span while recording, so this key is a total
+  // order: merges are byte-stable even when threads tie on start_ns.
   std::sort(merged.begin(), merged.end(),
             [](const TraceEvent& a, const TraceEvent& b) {
-              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
-                                              : a.duration_ns > b.duration_ns;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.trace_id != b.trace_id) return a.trace_id < b.trace_id;
+              return a.span_id < b.span_id;
             });
   return merged;
 }
@@ -67,11 +124,39 @@ void TraceRecorder::Clear() {
   for (const auto& log : logs_) {
     util::MutexLock log_lock(&log->mu);
     log->events.clear();
+    log->compact_watermark = kCompactEvery;
   }
 }
 
 std::string TraceRecorder::ToChromeTraceJson() const {
-  const std::vector<TraceEvent> events = Snapshot();
+  std::vector<TraceEvent> events = Snapshot();
+  TraceTailSampler& sampler = TraceTailSampler::Global();
+  if (sampler.active()) {
+    // Tail sampling: only traces the sampler explicitly retained survive.
+    // Traces with no verdict (still in flight at export) are filtered too —
+    // a partial tree with no root span would fail trace integrity.
+    events.erase(std::remove_if(events.begin(), events.end(),
+                                [&sampler](const TraceEvent& event) {
+                                  return event.trace_id != 0 &&
+                                         !sampler.IsRetained(event.trace_id);
+                                }),
+                 events.end());
+  }
+
+  // Earliest span per (trace, tid): the anchor points for flow arrows that
+  // stitch a trace's threads together in the Perfetto UI. std::map keeps
+  // the emission order deterministic.
+  std::map<uint64_t, std::map<int, const TraceEvent*>> trace_tids;
+  for (const TraceEvent& event : events) {
+    if (event.trace_id == 0) continue;
+    const TraceEvent*& anchor = trace_tids[event.trace_id][event.tid];
+    if (anchor == nullptr || event.start_ns < anchor->start_ns ||
+        (event.start_ns == anchor->start_ns &&
+         event.span_id < anchor->span_id)) {
+      anchor = &event;
+    }
+  }
+
   JsonWriter w;
   w.BeginObject();
   w.Key("displayTimeUnit").Value("ms");
@@ -86,8 +171,40 @@ std::string TraceRecorder::ToChromeTraceJson() const {
     w.Key("dur").Value(static_cast<double>(event.duration_ns) / 1e3);
     w.Key("pid").Value(1);
     w.Key("tid").Value(event.tid);
-    w.Key("args").BeginObject().Key("depth").Value(event.depth).EndObject();
+    w.Key("args").BeginObject();
+    w.Key("depth").Value(event.depth);
+    if (event.trace_id != 0) {
+      w.Key("trace_id").Value(static_cast<int64_t>(event.trace_id));
+      w.Key("span_id").Value(static_cast<int64_t>(event.span_id));
+      w.Key("parent_span_id")
+          .Value(static_cast<int64_t>(event.parent_span_id));
+    }
     w.EndObject();
+    w.EndObject();
+  }
+  for (const auto& [trace_id, tids] : trace_tids) {
+    if (tids.size() < 2) continue;
+    const TraceEvent* origin = nullptr;
+    for (const auto& [tid, anchor] : tids) {
+      if (origin == nullptr || anchor->start_ns < origin->start_ns ||
+          (anchor->start_ns == origin->start_ns &&
+           anchor->span_id < origin->span_id)) {
+        origin = anchor;
+      }
+    }
+    for (const auto& [tid, anchor] : tids) {
+      const bool is_origin = anchor == origin;
+      w.BeginObject();
+      w.Key("name").Value("request");
+      w.Key("cat").Value("flow");
+      w.Key("ph").Value(is_origin ? "s" : "f");
+      if (!is_origin) w.Key("bp").Value("e");
+      w.Key("ts").Value(static_cast<double>(anchor->start_ns) / 1e3);
+      w.Key("pid").Value(1);
+      w.Key("tid").Value(anchor->tid);
+      w.Key("id").Value(static_cast<int64_t>(trace_id));
+      w.EndObject();
+    }
   }
   w.EndArray();
   w.EndObject();
@@ -98,18 +215,37 @@ Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
   return util::AtomicWriteFile(path, ToChromeTraceJson());
 }
 
-ScopedSpan::ScopedSpan(const char* name) {
+void ScopedSpan::Open(const char* name, const TraceContext& parent) {
   TraceRecorder& recorder = TraceRecorder::Global();
   if (!recorder.enabled()) return;
   log_ = recorder.ThisThreadLog();
   name_ = name;
   depth_ = log_->depth++;
+  trace_id_ = parent.trace_id;
+  parent_span_id_ = parent.span_id;
+  span_id_ = NextSpanId();
+  TraceContext self;
+  self.trace_id = trace_id_;
+  self.span_id = span_id_;
+  self.parent_span_id = parent_span_id_;
+  saved_context_ = ExchangeCurrentTraceContext(self);
   start_ns_ = MonotonicNanos();
+}
+
+ScopedSpan::ScopedSpan(const char* name) {
+  Open(name, CurrentTraceContext());
+}
+
+ScopedSpan::ScopedSpan(const char* name, const TraceContext& ctx) {
+  // A zero context degrades to plain-span behaviour: inherit whatever is
+  // current instead of detaching the span from an enclosing trace.
+  Open(name, ctx.traced() ? ctx : CurrentTraceContext());
 }
 
 ScopedSpan::~ScopedSpan() {
   if (log_ == nullptr) return;
   const int64_t end_ns = MonotonicNanos();
+  ExchangeCurrentTraceContext(saved_context_);
   --log_->depth;
   TraceEvent event;
   event.name = name_;
@@ -117,8 +253,11 @@ ScopedSpan::~ScopedSpan() {
   event.depth = depth_;
   event.start_ns = start_ns_;
   event.duration_ns = end_ns - start_ns_;
+  event.trace_id = trace_id_;
+  event.span_id = span_id_;
+  event.parent_span_id = parent_span_id_;
   util::MutexLock lock(&log_->mu);
-  log_->events.push_back(std::move(event));
+  AppendLocked(log_, std::move(event));
 }
 
 }  // namespace obs

@@ -6,6 +6,17 @@
 //     ...                      // nested spans from any thread attach here
 //   }                          // span closes when the scope exits
 //
+// Request-scoped stitching (docs/observability.md, "Request tracing"): a
+// span may additionally belong to a trace — a TraceContext minted where a
+// request is born and carried across thread boundaries inside the request.
+// RC_TRACE_SPAN_IN(ctx, name) adopts such a context on the far side of a
+// queue hop; while it is open, plain RC_TRACE_SPAN spans inherit the trace
+// through a thread-local current context, so one request reconstructs as a
+// single rooted span tree even though it crossed producer and worker
+// threads. The Perfetto export emits flow arrows between the threads of a
+// trace, and the tail sampler (obs/tail_sampler.h) filters which traces
+// survive the export.
+//
 // Collection is off by default. When the recorder is disabled a span costs
 // one relaxed atomic load (the same fast-path shape as the failpoint layer),
 // so instrumented hot paths stay at baseline speed; enabling records into
@@ -22,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace_context.h"
 #include "util/status.h"
 #include "util/sync.h"
 
@@ -39,6 +51,9 @@ struct TraceEvent {
   int depth = 0;  ///< span nesting depth on its thread (0 = outermost)
   int64_t start_ns = 0;
   int64_t duration_ns = 0;
+  uint64_t trace_id = 0;        ///< 0 = not part of a request trace
+  uint64_t span_id = 0;         ///< unique while recording is enabled
+  uint64_t parent_span_id = 0;  ///< 0 = root (within trace_id's tree)
 };
 
 namespace internal {
@@ -53,6 +68,10 @@ struct ThreadLog {
   /// Span nesting depth; touched only by the owning thread, never shared.
   /// rc:unguarded(owning-thread-only)
   int depth = 0;
+  /// Soft size cap: when `events` grows past this, spans belonging to
+  /// sampler-dropped traces are compacted away and the watermark adapts
+  /// (trace.cc), bounding long-running instrumented services.
+  size_t compact_watermark RC_GUARDED_BY(mu) = 8192;
 };
 }  // namespace internal
 
@@ -68,12 +87,28 @@ class TraceRecorder {
   /// This thread's buffer (creating and registering it on first use).
   internal::ThreadLog* ThisThreadLog();
 
-  /// Merged copy of every thread's completed spans, ordered by start time.
+  /// Appends one already-timed span to this thread's buffer — the injection
+  /// point for spans whose interval was measured across threads and has no
+  /// scope to live in (e.g. a request's queue wait: entered on the producer,
+  /// exited on the worker). Pass NextSpanId() for a fresh `span_id`, or a
+  /// pre-minted id (a TraceContext's own span_id) when children already
+  /// reference it. No-op while disabled.
+  void RecordSpan(const char* name, uint64_t trace_id, uint64_t span_id,
+                  uint64_t parent_span_id, int64_t start_ns,
+                  int64_t duration_ns);
+
+  /// Merged copy of every thread's completed spans. The order is total and
+  /// reproducible for a given span set — (start_ns, trace_id, span_id) with
+  /// span_id unique per span — so trace-smoke diffs are stable even when
+  /// threads tie on the same clock tick.
   std::vector<TraceEvent> Snapshot() const;
   /// Drops all recorded spans (thread registrations survive).
   void Clear();
 
-  /// The Chrome trace-event JSON document ("X" complete events).
+  /// The Chrome trace-event JSON document: "X" complete events (traced
+  /// spans carry args.trace_id/span_id/parent_span_id), plus "s"/"f" flow
+  /// events binding each multi-thread trace's threads together. While the
+  /// tail sampler is active, traces it dropped are omitted.
   std::string ToChromeTraceJson() const;
   /// Atomic-writes ToChromeTraceJson() to `path`.
   Status WriteChromeTrace(const std::string& path) const;
@@ -90,18 +125,31 @@ class TraceRecorder {
 
 /// \brief RAII span: samples the clock on entry when recording is enabled,
 /// appends one TraceEvent to the thread's buffer on exit.
+///
+/// Trace affiliation: the default constructor inherits the thread's current
+/// TraceContext (if any); the two-argument form adopts an explicit context
+/// — its span becomes a child of ctx.span_id — which is how a worker stitches
+/// onto a trace minted on a producer thread. Either way, while the span is
+/// open it is the thread's current context, so nested spans chain under it.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name);
+  ScopedSpan(const char* name, const TraceContext& ctx);
   ~ScopedSpan();
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
  private:
+  void Open(const char* name, const TraceContext& parent);
+
   internal::ThreadLog* log_ = nullptr;  ///< null when recording was off
   const char* name_ = nullptr;
   int depth_ = 0;
   int64_t start_ns_ = 0;
+  uint64_t trace_id_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_span_id_ = 0;
+  TraceContext saved_context_;  ///< restored on close
 };
 
 }  // namespace obs
@@ -111,3 +159,10 @@ class ScopedSpan {
 /// string with static storage duration (typically a literal).
 #define RC_TRACE_SPAN(name) \
   ::reconsume::obs::ScopedSpan RECONSUME_CONCAT_(rc_trace_span_, __LINE__)(name)
+
+/// Opens a span under an explicit TraceContext (typically one carried across
+/// a thread boundary inside a request), stitching this thread's work into
+/// that request's span tree. A zero context behaves like RC_TRACE_SPAN.
+#define RC_TRACE_SPAN_IN(ctx, name)                                     \
+  ::reconsume::obs::ScopedSpan RECONSUME_CONCAT_(rc_trace_span_,        \
+                                                 __LINE__)((name), (ctx))

@@ -1,0 +1,44 @@
+#include "obs/trace_context.h"
+
+#include <atomic>
+
+namespace reconsume {
+namespace obs {
+
+namespace {
+
+// Separate counters so span ids stay dense even when traces are sparse.
+// Both start at 1: id 0 is reserved for "none" everywhere.
+std::atomic<uint64_t> next_trace_id{1};
+std::atomic<uint64_t> next_span_id{1};
+
+TraceContext& ThreadCurrent() {
+  thread_local TraceContext current;
+  return current;
+}
+
+}  // namespace
+
+uint64_t NextSpanId() {
+  return next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceContext MintTraceContext() {
+  TraceContext context;
+  context.trace_id = next_trace_id.fetch_add(1, std::memory_order_relaxed);
+  context.span_id = NextSpanId();
+  context.parent_span_id = 0;
+  return context;
+}
+
+const TraceContext& CurrentTraceContext() { return ThreadCurrent(); }
+
+TraceContext ExchangeCurrentTraceContext(const TraceContext& context) {
+  TraceContext& current = ThreadCurrent();
+  const TraceContext saved = current;
+  current = context;
+  return saved;
+}
+
+}  // namespace obs
+}  // namespace reconsume

@@ -1,0 +1,67 @@
+// Request-scoped trace identity (docs/observability.md, "Request tracing").
+//
+// A TraceContext names one causal tree: a trace_id shared by every span a
+// request produces, the span_id of the context's own span, and the parent it
+// hangs under. Contexts are minted where a request is born (e.g.
+// RecommendService::Recommend), carried *inside* the request across thread
+// boundaries (producer → BoundedQueue → worker), and adopted on the far side
+// with RC_TRACE_SPAN_IN, so the request's lifecycle reconstructs as a single
+// rooted tree instead of per-thread fragments.
+//
+// Propagation model: each thread holds a current context. RC_TRACE_SPAN
+// spans opened while a context is current inherit its trace and parent
+// automatically (and become the current context for their own scope), so
+// only the cross-thread hop needs the explicit RC_TRACE_SPAN_IN.
+//
+// Ids are process-unique monotonic counters starting at 1; 0 always means
+// "none" (an untraced span or a root with no parent).
+
+#pragma once
+
+#include <cstdint>
+
+namespace reconsume {
+namespace obs {
+
+/// \brief Identity of one causal span tree, carried across threads by value.
+struct TraceContext {
+  uint64_t trace_id = 0;        ///< 0 = not traced
+  uint64_t span_id = 0;         ///< the context's own span
+  uint64_t parent_span_id = 0;  ///< 0 = root of the trace
+
+  bool traced() const { return trace_id != 0; }
+};
+
+/// A fresh process-unique span id (never 0).
+uint64_t NextSpanId();
+
+/// Mints the root context of a new trace: fresh trace_id, fresh span_id,
+/// no parent. The minted span_id is the trace's root span; whoever closes
+/// the request records that span (see TraceRecorder::RecordSpan).
+TraceContext MintTraceContext();
+
+/// This thread's current context ({0,0,0} when none). Spans opened via
+/// RC_TRACE_SPAN while a context is current attach under it.
+const TraceContext& CurrentTraceContext();
+
+/// Installs `context` as this thread's current context and returns the
+/// previous one. Prefer ScopedTraceContext / ScopedSpan, which restore.
+TraceContext ExchangeCurrentTraceContext(const TraceContext& context);
+
+/// \brief RAII adoption of a context on this thread (restores on exit).
+/// Use when code needs the *context* propagated without opening a span of
+/// its own; span-opening callers should use RC_TRACE_SPAN_IN instead.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& context)
+      : saved_(ExchangeCurrentTraceContext(context)) {}
+  ~ScopedTraceContext() { ExchangeCurrentTraceContext(saved_); }
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+}  // namespace obs
+}  // namespace reconsume

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/event.h"
+#include "obs/tail_sampler.h"
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/failpoint.h"
@@ -52,6 +53,22 @@ RecommendService::RecommendService(const data::Dataset* dataset,
           "serve.request_latency_us", obs::ExponentialBuckets(1.0, 2.0, 24))),
       pool_(static_cast<size_t>(std::max(config.num_threads, 1))) {
   RC_CHECK(dataset_ != nullptr);
+  if (config_.trace_sample >= 0) {
+    obs::TailSamplerConfig sampler_config;
+    sampler_config.sample_rate = config_.trace_sample;
+    obs::TraceTailSampler::Global().Enable(sampler_config);
+  }
+  {
+    obs::SloConfig slo;
+    slo.objective = config_.slo_objective;
+    slo.window_seconds = config_.slo_window_seconds;
+    slo.short_window_seconds = config_.slo_short_window_seconds;
+    slo.alert_burn_rate = config_.slo_alert_burn_rate;
+    slo.name = "availability";
+    slo_availability_ = std::make_unique<obs::SloMonitor>(slo);
+    slo.name = "latency";
+    slo_latency_ = std::make_unique<obs::SloMonitor>(slo);
+  }
   RC_EMIT_EVENT(obs::Event("serve_start")
                     .Set("threads", config_.num_threads)
                     .Set("queue_capacity",
@@ -125,6 +142,12 @@ ServeResponse RecommendService::DeadlineResponse(const Request& request,
 }
 
 std::future<ServeResponse> RecommendService::Enqueue(Request request) {
+  // Birth of the trace: one context per request, carried inside it across
+  // the queue so the worker's spans hang off the same tree.
+  if (obs::TraceRecorder::Global().enabled()) {
+    request.trace = obs::MintTraceContext();
+  }
+  RC_TRACE_SPAN_IN(request.trace, "serve/enqueue");
   request.enqueue_ns = obs::MonotonicNanos();
   std::future<ServeResponse> future = request.promise.get_future();
   Status injected = RC_FAILPOINT_STATUS("serve/enqueue");
@@ -175,16 +198,28 @@ void RecommendService::WorkerLoop() {
   while (queue_.Pop(&request)) {
     ServeResponse response;
     const int64_t dequeue_ns = obs::MonotonicNanos();
-    if (DeadlineExpired(request.deadline_ns)) {
-      // Checkpoint 2 of 3: the request died in the queue — resolve it
-      // instead of burning a worker on an answer nobody is waiting for.
-      response = DeadlineResponse(request, "dequeue");
-    } else if (request.kind == Request::Kind::kRecommend &&
-               admission_.ShouldShedAtDequeue(dequeue_ns -
-                                              request.enqueue_ns)) {
-      response = ShedResponse(request, "queue_delay", &shed_queue_delay_);
-    } else {
-      response = Handle(request);
+    if (request.trace.traced()) {
+      // The queue wait has no scope of its own — it started on the producer
+      // and ended here — so inject it as a pre-timed child of the request.
+      obs::TraceRecorder::Global().RecordSpan(
+          "serve/queue_wait", request.trace.trace_id, obs::NextSpanId(),
+          request.trace.span_id, request.enqueue_ns,
+          dequeue_ns - request.enqueue_ns);
+    }
+    {
+      // Cross-thread stitch: adopt the context minted at submission.
+      RC_TRACE_SPAN_IN(request.trace, "serve/handle");
+      if (DeadlineExpired(request.deadline_ns)) {
+        // Checkpoint 2 of 3: the request died in the queue — resolve it
+        // instead of burning a worker on an answer nobody is waiting for.
+        response = DeadlineResponse(request, "dequeue");
+      } else if (request.kind == Request::Kind::kRecommend &&
+                 admission_.ShouldShedAtDequeue(dequeue_ns -
+                                                request.enqueue_ns)) {
+        response = ShedResponse(request, "queue_delay", &shed_queue_delay_);
+      } else {
+        response = Handle(request);
+      }
     }
     Resolve(request, std::move(response));
   }
@@ -192,11 +227,42 @@ void RecommendService::WorkerLoop() {
 
 void RecommendService::Resolve(Request& request, ServeResponse response) {
   response.latency_ns = obs::MonotonicNanos() - request.enqueue_ns;
+  const double latency_us = static_cast<double>(response.latency_ns) / 1000.0;
+  const bool ok = response.status.ok();
+
+  // Tracing epilogue: close the request's root span (it opened at
+  // submission, possibly on another thread) and let the tail sampler decide
+  // — now that the outcome is known — whether this trace survives export.
+  uint64_t exemplar_trace_id = 0;
+  bool trace_retained = false;
+  if (request.trace.traced()) {
+    obs::TraceRecorder::Global().RecordSpan(
+        "serve/request", request.trace.trace_id, request.trace.span_id,
+        /*parent_span_id=*/0, request.enqueue_ns, response.latency_ns);
+    obs::TraceTailSampler& sampler = obs::TraceTailSampler::Global();
+    if (sampler.enabled()) {
+      const bool always_keep = response.degraded || !ok;
+      trace_retained = sampler.RecordOutcome(request.trace.trace_id,
+                                             latency_us, always_keep) !=
+                       obs::TailSampleVerdict::kDropped;
+    } else {
+      trace_retained = true;  // no sampler: every trace exports
+    }
+    // Exemplars must point at traces a reader can still open.
+    if (trace_retained) exemplar_trace_id = request.trace.trace_id;
+  }
+
   requests_counter_->Increment();
-  latency_histogram_->Observe(static_cast<double>(response.latency_ns) /
-                              1000.0);
+  latency_histogram_->Observe(latency_us, exemplar_trace_id);
   served_.fetch_add(1, std::memory_order_relaxed);
   if (response.degraded) degraded_counter_->Increment();
+  slo_availability_->Record(ok);
+  if (ok) {
+    // Failures are the availability SLO's job; the latency SLO grades only
+    // answered requests against the latency budget.
+    slo_latency_->Record(latency_us <=
+                         static_cast<double>(config_.slo_latency_target_us));
+  }
   RC_EMIT_EVENT(
       obs::Event("request_done")
           .Set("kind", request.kind == Request::Kind::kRecommend
@@ -208,9 +274,10 @@ void RecommendService::Resolve(Request& request, ServeResponse response) {
           .Set("served_by", ServedByName(response.served_by))
           .Set("epoch", response.epoch)
           .Set("model_epoch", response.model_epoch)
-          .Set("latency_us",
-               static_cast<double>(response.latency_ns) / 1000.0)
-          .Set("ok", response.status.ok()));
+          .Set("latency_us", latency_us)
+          .Set("ok", ok)
+          .Set("trace_id", static_cast<int64_t>(request.trace.trace_id))
+          .Set("trace_retained", trace_retained));
   request.promise.set_value(std::move(response));
 }
 
@@ -247,8 +314,13 @@ ServeResponse RecommendService::HandleRecommend(const Request& request) {
     response.status = std::move(injected);
     return response;
   }
-  if (cache_.Lookup(request.user, response.epoch, snapshot->epoch,
-                    request.top_n, &response.items)) {
+  bool cache_hit;
+  {
+    RC_TRACE_SPAN("serve/cache_lookup");
+    cache_hit = cache_.Lookup(request.user, response.epoch, snapshot->epoch,
+                              request.top_n, &response.items);
+  }
+  if (cache_hit) {
     response.cache_hit = true;
     response.served_by = ServedBy::kCache;
     return response;
@@ -260,7 +332,12 @@ ServeResponse RecommendService::HandleRecommend(const Request& request) {
   }
 
   CircuitBreaker* breaker = breakers_.For(static_cast<int64_t>(request.user));
-  if (!breaker->AllowRequest()) {
+  bool allow;
+  {
+    RC_TRACE_SPAN("serve/breaker");
+    allow = breaker->AllowRequest();
+  }
+  if (!allow) {
     return Degrade(request, state, snapshot->epoch, response.epoch,
                    "breaker_open");
   }
@@ -272,10 +349,14 @@ ServeResponse RecommendService::HandleRecommend(const Request& request) {
   }
   if (!snapshot->clonable) {
     // The snapshot's prototype cannot clone; scoring funnels through one
-    // mutex shared by every session bound to a non-clonable model.
+    // mutex shared by every session bound to a non-clonable model. The span
+    // opens after the lock so it measures scoring, not the queue for it
+    // (rc_analyze R5).
     util::MutexLock score_lock(sessions_.prototype_mu());
+    RC_TRACE_SPAN("serve/score");
     response.items = state->session->RecommendTopN(request.top_n);
   } else {
+    RC_TRACE_SPAN("serve/score");
     response.items = state->session->RecommendTopN(request.top_n);
   }
   breaker->RecordSuccess();
@@ -290,6 +371,7 @@ ServeResponse RecommendService::Degrade(const Request& request,
                                         int64_t model_epoch,
                                         int64_t live_epoch,
                                         const char* reason) {
+  RC_TRACE_SPAN("serve/degrade");
   ServeResponse response;
   response.model_epoch = model_epoch;
   response.degraded = true;
@@ -340,8 +422,11 @@ ServeResponse RecommendService::HandleObserve(const Request& request) {
   UserSession* state = sessions_.GetOrCreate(request.user, snapshot);
   util::MutexLock lock(&state->mu);
   state->RefreshModel(snapshot);
-  state->session->Observe(request.item);
-  cache_.Invalidate(request.user);
+  {
+    RC_TRACE_SPAN("serve/observe_apply");
+    state->session->Observe(request.item);
+    cache_.Invalidate(request.user);
+  }
   response.epoch = state->epoch();
   return response;
 }
@@ -410,6 +495,10 @@ int64_t RecommendService::requests_served() const {
 
 obs::HistogramSnapshot RecommendService::LatencySnapshot() const {
   return latency_histogram_->Snapshot();
+}
+
+std::vector<obs::SloSnapshot> RecommendService::SloSnapshots() const {
+  return {slo_availability_->snapshot(), slo_latency_->snapshot()};
 }
 
 }  // namespace serve

@@ -42,6 +42,8 @@
 #include "data/types.h"
 #include "eval/recommender.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/trace_context.h"
 #include "serve/model_registry.h"
 #include "serve/request_queue.h"
 #include "serve/resilience.h"
@@ -61,6 +63,22 @@ struct ServeConfig {
   int window_capacity = 100;     ///< session window size (paper's K)
   int min_gap = 10;              ///< reconsumption gap threshold (Omega)
   ResilienceConfig resilience;   ///< overload & degradation policy (§8)
+
+  /// Request tracing (docs/observability.md, "Request tracing"): ordinary-
+  /// request retention rate for the global tail sampler. >= 0 arms the
+  /// sampler (degraded / shed / deadline / slow requests are always kept on
+  /// top of this rate); < 0 leaves the sampler untouched, so when the trace
+  /// recorder is on every trace exports unfiltered.
+  double trace_sample = -1.0;
+
+  /// Rolling SLOs surfaced by SloSnapshots() and the `serve stats` verb.
+  double slo_objective = 0.999;  ///< good-fraction target for both SLOs
+  /// An ok request counts "good" for the latency SLO iff it finished within
+  /// this budget (enqueue → resolve).
+  int64_t slo_latency_target_us = 50000;
+  int slo_window_seconds = 300;        ///< long (budget) window
+  int slo_short_window_seconds = 60;   ///< fast-burn detection window
+  double slo_alert_burn_rate = 1.0;    ///< slo_burn alert threshold (<=0 off)
 };
 
 /// \brief Per-request options.
@@ -161,6 +179,9 @@ class RecommendService {
   int64_t model_epoch() const { return registry_.current_epoch(); }
   /// Snapshot of the enqueue→completion latency histogram (microseconds).
   obs::HistogramSnapshot LatencySnapshot() const;
+  /// The service's SLOs (availability, latency), for dashboards — feed to
+  /// obs::RenderSloDashboard for the `serve stats` text block.
+  std::vector<obs::SloSnapshot> SloSnapshots() const;
   const ServeConfig& config() const { return config_; }
 
  private:
@@ -172,6 +193,9 @@ class RecommendService {
     int top_n = 0;
     int64_t enqueue_ns = 0;
     int64_t deadline_ns = 0;  ///< absolute monotonic; 0 = none
+    /// Trace identity minted at submission and carried across the queue
+    /// boundary; workers adopt it so the request's spans form one tree.
+    obs::TraceContext trace;
     std::promise<ServeResponse> promise;
   };
 
@@ -205,6 +229,8 @@ class RecommendService {
   obs::Counter* deadline_counter_;      // serve.deadline_exceeded
   obs::Counter* degraded_counter_;      // serve.degraded
   obs::Histogram* latency_histogram_;   // serve.request_latency_us
+  std::unique_ptr<obs::SloMonitor> slo_availability_;
+  std::unique_ptr<obs::SloMonitor> slo_latency_;
   std::atomic<int64_t> served_{0};
   std::atomic<int64_t> shed_enqueue_{0};
   std::atomic<int64_t> shed_queue_delay_{0};

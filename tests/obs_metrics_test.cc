@@ -111,6 +111,46 @@ TEST(HistogramTest, ConcurrentShardWritesMergeExactly) {
   EXPECT_DOUBLE_EQ(snapshot.sum, 2.0 * kPerThread * (0 + 1 + 2 + 3));
 }
 
+TEST(HistogramTest, ExemplarsLinkBucketsToTraces) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("test.exemplar", {1.0, 2.0});
+  hist->Observe(0.5, /*exemplar_trace_id=*/101);
+  hist->Observe(0.7, /*exemplar_trace_id=*/102);  // same bucket: last wins
+  hist->Observe(5.0, /*exemplar_trace_id=*/999);  // overflow bucket
+  hist->Observe(1.5);                             // no exemplar attached
+  hist->Observe(1.7, /*exemplar_trace_id=*/0);    // zero id: not recorded
+
+  const HistogramSnapshot snapshot = hist->Snapshot();
+  ASSERT_EQ(snapshot.exemplars.size(), snapshot.counts.size());
+  EXPECT_EQ(snapshot.exemplars[0], 102u);
+  EXPECT_EQ(snapshot.exemplars[1], 0u);
+  EXPECT_EQ(snapshot.exemplars[2], 999u);
+  // The exemplar overload still counts the observation itself.
+  EXPECT_EQ(snapshot.counts[0], 2);
+  EXPECT_EQ(snapshot.counts[1], 2);
+  EXPECT_EQ(snapshot.counts[2], 1);
+  EXPECT_EQ(snapshot.count, 5);
+}
+
+TEST(HistogramTest, ExemplarNanObservationDropped) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("test.exemplar_nan", {1.0});
+  hist->Observe(std::numeric_limits<double>::quiet_NaN(),
+                /*exemplar_trace_id=*/55);
+  const HistogramSnapshot snapshot = hist->Snapshot();
+  EXPECT_EQ(snapshot.count, 0);
+  for (uint64_t exemplar : snapshot.exemplars) EXPECT_EQ(exemplar, 0u);
+}
+
+TEST(HistogramTest, ExemplarsAppearInJsonScrape) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("test.exemplar_json", {1.0});
+  hist->Observe(0.5, /*exemplar_trace_id=*/77);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"exemplars\""), std::string::npos);
+  EXPECT_NE(json.find("77"), std::string::npos);
+}
+
 TEST(HistogramTest, QuantileExactAtExtremes) {
   MetricsRegistry registry;
   Histogram* hist =

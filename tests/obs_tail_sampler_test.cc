@@ -1,0 +1,166 @@
+// TraceTailSampler unit tests: verdict classes (forced / slow / sampled /
+// dropped), deterministic sampling rates, the rolling slow threshold,
+// Clear() semantics, and RECONSUME_TRACE_SAMPLE parsing.
+
+#include "obs/tail_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace reconsume {
+namespace obs {
+namespace {
+
+/// Tests share the global sampler; each starts from a clean, disabled slate.
+class TailSamplerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceTailSampler::Global().Disable();
+    TraceTailSampler::Global().Clear();
+  }
+  void TearDown() override {
+    TraceTailSampler::Global().Disable();
+    TraceTailSampler::Global().Clear();
+  }
+
+  /// Slow class disarmed: the threshold needs more observations than any
+  /// test here produces.
+  static TailSamplerConfig NoSlowConfig(double sample_rate) {
+    TailSamplerConfig config;
+    config.sample_rate = sample_rate;
+    config.min_slow_observations = 1 << 20;
+    return config;
+  }
+};
+
+TEST_F(TailSamplerTest, DisabledTreatsEverythingAsRetained) {
+  TraceTailSampler& sampler = TraceTailSampler::Global();
+  EXPECT_FALSE(sampler.enabled());
+  EXPECT_EQ(sampler.RecordOutcome(1, 1.0, /*always_keep=*/false),
+            TailSampleVerdict::kSampled);
+  // A disabled sampler records nothing and never becomes active, so the
+  // export-time filter stays off.
+  EXPECT_FALSE(sampler.active());
+  EXPECT_EQ(sampler.stats().considered, 0);
+}
+
+TEST_F(TailSamplerTest, ForcedOutcomesAlwaysRetained) {
+  TraceTailSampler& sampler = TraceTailSampler::Global();
+  sampler.Enable(NoSlowConfig(/*sample_rate=*/0.0));
+  EXPECT_EQ(sampler.RecordOutcome(7, 5.0, /*always_keep=*/true),
+            TailSampleVerdict::kForced);
+  EXPECT_EQ(sampler.RecordOutcome(8, 5.0, /*always_keep=*/false),
+            TailSampleVerdict::kDropped);
+  EXPECT_TRUE(sampler.active());
+  EXPECT_TRUE(sampler.IsRetained(7));
+  EXPECT_FALSE(sampler.IsDropped(7));
+  EXPECT_TRUE(sampler.IsDropped(8));
+  EXPECT_FALSE(sampler.IsRetained(8));
+  const TailSamplerStats stats = sampler.stats();
+  EXPECT_EQ(stats.considered, 2);
+  EXPECT_EQ(stats.retained_forced, 1);
+  EXPECT_EQ(stats.dropped, 1);
+  EXPECT_EQ(stats.retained(), 1);
+}
+
+TEST_F(TailSamplerTest, SamplingIsDeterministicAtTheConfiguredRate) {
+  TraceTailSampler& sampler = TraceTailSampler::Global();
+  sampler.Enable(NoSlowConfig(/*sample_rate=*/0.5));
+  int sampled = 0;
+  for (uint64_t trace = 1; trace <= 10; ++trace) {
+    if (sampler.RecordOutcome(trace, 1.0, /*always_keep=*/false) ==
+        TailSampleVerdict::kSampled) {
+      ++sampled;
+    }
+  }
+  EXPECT_EQ(sampled, 5);
+
+  sampler.Clear();
+  sampler.Enable(NoSlowConfig(/*sample_rate=*/1.0));
+  for (uint64_t trace = 1; trace <= 10; ++trace) {
+    EXPECT_EQ(sampler.RecordOutcome(trace, 1.0, /*always_keep=*/false),
+              TailSampleVerdict::kSampled);
+  }
+
+  sampler.Clear();
+  sampler.Enable(NoSlowConfig(/*sample_rate=*/0.0));
+  for (uint64_t trace = 1; trace <= 10; ++trace) {
+    EXPECT_EQ(sampler.RecordOutcome(trace, 1.0, /*always_keep=*/false),
+              TailSampleVerdict::kDropped);
+  }
+}
+
+TEST_F(TailSamplerTest, SlowOutliersRetainedOnceThresholdEngages) {
+  TraceTailSampler& sampler = TraceTailSampler::Global();
+  TailSamplerConfig config;
+  config.sample_rate = 0.0;
+  config.latency_window = 8;
+  config.slow_quantile = 0.5;
+  config.min_slow_observations = 8;
+  sampler.Enable(config);
+  EXPECT_TRUE(std::isinf(sampler.slow_threshold_us()));
+
+  // Uniform 10us traffic: the first 7 requests precede the threshold; the
+  // 8th activates it at the window median (10us) and, at >= threshold,
+  // lands in the slow class itself.
+  for (uint64_t trace = 1; trace <= 7; ++trace) {
+    EXPECT_EQ(sampler.RecordOutcome(trace, 10.0, /*always_keep=*/false),
+              TailSampleVerdict::kDropped);
+  }
+  EXPECT_EQ(sampler.RecordOutcome(8, 10.0, /*always_keep=*/false),
+            TailSampleVerdict::kSlow);
+  EXPECT_DOUBLE_EQ(sampler.slow_threshold_us(), 10.0);
+
+  // Fast requests drop; a tail outlier is retained as slow.
+  EXPECT_EQ(sampler.RecordOutcome(9, 1.0, /*always_keep=*/false),
+            TailSampleVerdict::kDropped);
+  EXPECT_EQ(sampler.RecordOutcome(10, 50.0, /*always_keep=*/false),
+            TailSampleVerdict::kSlow);
+  EXPECT_TRUE(sampler.IsRetained(10));
+  EXPECT_EQ(sampler.stats().retained_slow, 2);
+}
+
+TEST_F(TailSamplerTest, ClearForgetsDecisionsButStaysEnabled) {
+  TraceTailSampler& sampler = TraceTailSampler::Global();
+  sampler.Enable(NoSlowConfig(/*sample_rate=*/1.0));
+  EXPECT_EQ(sampler.RecordOutcome(5, 1.0, /*always_keep=*/false),
+            TailSampleVerdict::kSampled);
+  EXPECT_TRUE(sampler.active());
+  EXPECT_TRUE(sampler.IsRetained(5));
+
+  sampler.Clear();
+  EXPECT_TRUE(sampler.enabled());
+  EXPECT_FALSE(sampler.active());
+  EXPECT_FALSE(sampler.IsRetained(5));
+  EXPECT_EQ(sampler.stats().considered, 0);
+}
+
+TEST_F(TailSamplerTest, VerdictNames) {
+  EXPECT_STREQ(TailSampleVerdictName(TailSampleVerdict::kDropped), "dropped");
+  EXPECT_STREQ(TailSampleVerdictName(TailSampleVerdict::kForced), "forced");
+  EXPECT_STREQ(TailSampleVerdictName(TailSampleVerdict::kSlow), "slow");
+  EXPECT_STREQ(TailSampleVerdictName(TailSampleVerdict::kSampled), "sampled");
+}
+
+TEST(TraceSampleRateFromEnvTest, ParsesOverridesAndFallsBack) {
+  ::unsetenv("RECONSUME_TRACE_SAMPLE");
+  EXPECT_DOUBLE_EQ(TraceSampleRateFromEnv(-1.0), -1.0);
+
+  ::setenv("RECONSUME_TRACE_SAMPLE", "0.25", 1);
+  EXPECT_DOUBLE_EQ(TraceSampleRateFromEnv(-1.0), 0.25);
+
+  ::setenv("RECONSUME_TRACE_SAMPLE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(TraceSampleRateFromEnv(-1.0), -1.0);
+
+  ::setenv("RECONSUME_TRACE_SAMPLE", "", 1);
+  EXPECT_DOUBLE_EQ(TraceSampleRateFromEnv(0.5), 0.5);
+
+  ::unsetenv("RECONSUME_TRACE_SAMPLE");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace reconsume

@@ -3,9 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <set>
 #include <string>
+#include <thread>
 
+#include "obs/tail_sampler.h"
+#include "obs/trace_context.h"
 #include "util/fileio.h"
 #include "util/thread_pool.h"
 
@@ -13,16 +17,21 @@ namespace reconsume {
 namespace obs {
 namespace {
 
-/// Tests share the global recorder; each starts from a clean, disabled slate.
+/// Tests share the global recorder and tail sampler; each starts from a
+/// clean, disabled slate.
 class TraceTest : public ::testing::Test {
  protected:
   void SetUp() override {
     TraceRecorder::Global().Disable();
     TraceRecorder::Global().Clear();
+    TraceTailSampler::Global().Disable();
+    TraceTailSampler::Global().Clear();
   }
   void TearDown() override {
     TraceRecorder::Global().Disable();
     TraceRecorder::Global().Clear();
+    TraceTailSampler::Global().Disable();
+    TraceTailSampler::Global().Clear();
   }
 };
 
@@ -132,6 +141,250 @@ TEST_F(TraceTest, ChromeTraceJsonShape) {
   const auto written = util::ReadFileToString(path);
   ASSERT_TRUE(written.ok());
   EXPECT_EQ(written.ValueOrDie(), json);
+}
+
+TEST(TraceContextTest, MintedIdsAreUniqueAndNonZero) {
+  const TraceContext a = MintTraceContext();
+  const TraceContext b = MintTraceContext();
+  EXPECT_NE(a.trace_id, 0u);
+  EXPECT_NE(a.span_id, 0u);
+  EXPECT_EQ(a.parent_span_id, 0u);
+  EXPECT_TRUE(a.traced());
+  EXPECT_NE(a.trace_id, b.trace_id);
+  EXPECT_NE(a.span_id, b.span_id);
+  EXPECT_NE(NextSpanId(), NextSpanId());
+  EXPECT_FALSE(TraceContext().traced());
+}
+
+TEST(TraceContextTest, ScopedAdoptionRestoresPreviousContext) {
+  const TraceContext before = CurrentTraceContext();
+  const TraceContext minted = MintTraceContext();
+  {
+    ScopedTraceContext adopt(minted);
+    EXPECT_EQ(CurrentTraceContext().trace_id, minted.trace_id);
+    EXPECT_EQ(CurrentTraceContext().span_id, minted.span_id);
+  }
+  EXPECT_EQ(CurrentTraceContext().trace_id, before.trace_id);
+  EXPECT_EQ(CurrentTraceContext().span_id, before.span_id);
+}
+
+// Satellite: snapshot-merge ordering must be a total, reproducible order even
+// when spans tie on start_ns — (start_ns, trace_id, span_id).
+TEST_F(TraceTest, SnapshotOrderIsStableUnderStartTimeTies) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Enable();
+  recorder.RecordSpan("b", /*trace_id=*/7, /*span_id=*/30,
+                      /*parent_span_id=*/0, /*start_ns=*/1000,
+                      /*duration_ns=*/10);
+  recorder.RecordSpan("c", 9, 10, 0, 1000, 10);
+  recorder.RecordSpan("a", 7, 20, 0, 1000, 10);
+  recorder.RecordSpan("d", 2, 40, 0, 500, 10);
+  recorder.Disable();
+
+  const auto events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].name, "d");  // earliest start_ns first
+  EXPECT_EQ(events[1].name, "a");  // then trace_id 7, span_id 20
+  EXPECT_EQ(events[2].name, "b");  // trace_id 7, span_id 30
+  EXPECT_EQ(events[3].name, "c");  // trace_id 9
+  // Reproducible: a second snapshot merges to the identical order.
+  const auto again = recorder.Snapshot();
+  ASSERT_EQ(again.size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(again[i].span_id, events[i].span_id) << "index " << i;
+  }
+}
+
+TEST_F(TraceTest, PlainSpansInheritTheCurrentContext) {
+  TraceRecorder::Global().Enable();
+  const TraceContext ctx = MintTraceContext();
+  {
+    ScopedTraceContext adopt(ctx);
+    RC_TRACE_SPAN("parent");
+    {
+      RC_TRACE_SPAN("child");
+    }
+  }
+  {
+    RC_TRACE_SPAN("outside");
+  }
+  TraceRecorder::Global().Disable();
+
+  std::map<std::string, TraceEvent> by_name;
+  for (const TraceEvent& event : TraceRecorder::Global().Snapshot()) {
+    by_name[event.name] = event;
+  }
+  ASSERT_EQ(by_name.size(), 3u);
+  const TraceEvent& parent = by_name.at("parent");
+  const TraceEvent& child = by_name.at("child");
+  const TraceEvent& outside = by_name.at("outside");
+
+  EXPECT_EQ(parent.trace_id, ctx.trace_id);
+  EXPECT_EQ(parent.parent_span_id, ctx.span_id);
+  EXPECT_NE(parent.span_id, 0u);
+  EXPECT_EQ(child.trace_id, ctx.trace_id);
+  EXPECT_EQ(child.parent_span_id, parent.span_id);
+  // Outside the adopted scope, spans carry no trace affiliation.
+  EXPECT_EQ(outside.trace_id, 0u);
+  EXPECT_EQ(outside.parent_span_id, 0u);
+}
+
+// The cross-thread hop: a context minted on this thread, adopted with
+// RC_TRACE_SPAN_IN on another, reconstructs as one tree with the worker's
+// nested span chained under the adopted span — and the export stitches the
+// two threads with flow events.
+TEST_F(TraceTest, SpanInStitchesAcrossThreads) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Enable();
+  const TraceContext ctx = MintTraceContext();
+  {
+    RC_TRACE_SPAN_IN(ctx, "producer");
+  }
+  std::thread worker([&ctx] {
+    RC_TRACE_SPAN_IN(ctx, "worker");
+    RC_TRACE_SPAN("worker_inner");
+  });
+  worker.join();
+  // Close the root the way a service resolves a finished request.
+  recorder.RecordSpan("request", ctx.trace_id, ctx.span_id,
+                      /*parent_span_id=*/0, /*start_ns=*/0,
+                      /*duration_ns=*/100);
+  recorder.Disable();
+
+  std::map<std::string, TraceEvent> by_name;
+  for (const TraceEvent& event : recorder.Snapshot()) {
+    by_name[event.name] = event;
+  }
+  ASSERT_EQ(by_name.size(), 4u);
+  for (const auto& [name, event] : by_name) {
+    EXPECT_EQ(event.trace_id, ctx.trace_id) << name;
+  }
+  EXPECT_EQ(by_name.at("request").span_id, ctx.span_id);
+  EXPECT_EQ(by_name.at("request").parent_span_id, 0u);
+  EXPECT_EQ(by_name.at("producer").parent_span_id, ctx.span_id);
+  EXPECT_EQ(by_name.at("worker").parent_span_id, ctx.span_id);
+  EXPECT_EQ(by_name.at("worker_inner").parent_span_id,
+            by_name.at("worker").span_id);
+  EXPECT_NE(by_name.at("producer").tid, by_name.at("worker").tid);
+
+  // The trace touches two threads, so the export carries flow events
+  // binding them, and every traced span carries its ids as args.
+  const std::string json = recorder.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"flow\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":"), std::string::npos);
+  EXPECT_NE(json.find("\"parent_span_id\":"), std::string::npos);
+}
+
+TEST_F(TraceTest, ZeroContextSpanInBehavesLikePlainSpan) {
+  TraceRecorder::Global().Enable();
+  {
+    RC_TRACE_SPAN_IN(TraceContext(), "plain");
+  }
+  TraceRecorder::Global().Disable();
+  const auto events = TraceRecorder::Global().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, 0u);
+  EXPECT_EQ(events[0].parent_span_id, 0u);
+}
+
+TEST_F(TraceTest, RecordSpanInjectsPreTimedSpans) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  // No-op while disabled.
+  recorder.RecordSpan("ignored", 1, 2, 3, 0, 10);
+  EXPECT_TRUE(recorder.Snapshot().empty());
+
+  recorder.Enable();
+  recorder.RecordSpan("queue_wait", 11, 22, 33, 1234, 567);
+  recorder.Disable();
+  const auto events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "queue_wait");
+  EXPECT_EQ(events[0].trace_id, 11u);
+  EXPECT_EQ(events[0].span_id, 22u);
+  EXPECT_EQ(events[0].parent_span_id, 33u);
+  EXPECT_EQ(events[0].start_ns, 1234);
+  EXPECT_EQ(events[0].duration_ns, 567);
+}
+
+// Export-time filtering: while the sampler is active, dropped and
+// still-undecided traces are omitted; retained traces and untraced spans
+// survive.
+TEST_F(TraceTest, ExportOmitsSamplerDroppedAndUndecidedTraces) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  TraceTailSampler& sampler = TraceTailSampler::Global();
+  recorder.Enable();
+  TailSamplerConfig config;
+  config.sample_rate = 0.0;
+  config.min_slow_observations = 1000;  // slow class never engages here
+  sampler.Enable(config);
+
+  const TraceContext kept = MintTraceContext();
+  const TraceContext dropped = MintTraceContext();
+  const TraceContext inflight = MintTraceContext();
+  {
+    RC_TRACE_SPAN_IN(kept, "kept_child");
+  }
+  {
+    RC_TRACE_SPAN_IN(dropped, "dropped_child");
+  }
+  {
+    RC_TRACE_SPAN_IN(inflight, "inflight_child");
+  }
+  {
+    RC_TRACE_SPAN("untraced");
+  }
+  EXPECT_EQ(sampler.RecordOutcome(kept.trace_id, 10.0, /*always_keep=*/true),
+            TailSampleVerdict::kForced);
+  EXPECT_EQ(
+      sampler.RecordOutcome(dropped.trace_id, 10.0, /*always_keep=*/false),
+      TailSampleVerdict::kDropped);
+  recorder.Disable();
+
+  const std::string json = recorder.ToChromeTraceJson();
+  EXPECT_NE(json.find("kept_child"), std::string::npos);
+  EXPECT_EQ(json.find("dropped_child"), std::string::npos);
+  EXPECT_EQ(json.find("inflight_child"), std::string::npos);
+  EXPECT_NE(json.find("untraced"), std::string::npos);
+}
+
+// Per-thread buffers compact sampler-dropped spans past the soft cap, so a
+// long-running instrumented service is bounded by the retained set.
+TEST_F(TraceTest, CompactionBoundsDroppedTraceSpans) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  TraceTailSampler& sampler = TraceTailSampler::Global();
+  recorder.Enable();
+  TailSamplerConfig config;
+  config.sample_rate = 0.0;
+  config.min_slow_observations = 1000;
+  sampler.Enable(config);
+
+  const TraceContext victim = MintTraceContext();
+  const TraceContext kept = MintTraceContext();
+  EXPECT_EQ(
+      sampler.RecordOutcome(victim.trace_id, 1.0, /*always_keep=*/false),
+      TailSampleVerdict::kDropped);
+  EXPECT_EQ(sampler.RecordOutcome(kept.trace_id, 1.0, /*always_keep=*/true),
+            TailSampleVerdict::kForced);
+
+  constexpr int kSpans = 9000;  // past the 8192 compaction watermark
+  for (int i = 0; i < kSpans; ++i) {
+    recorder.RecordSpan("victim_span", victim.trace_id, NextSpanId(),
+                        victim.span_id, i, 1);
+  }
+  recorder.RecordSpan("kept_span", kept.trace_id, NextSpanId(), kept.span_id,
+                      0, 1);
+  recorder.Disable();
+
+  const auto events = recorder.Snapshot();
+  EXPECT_LT(events.size(), static_cast<size_t>(kSpans));
+  bool kept_present = false;
+  for (const TraceEvent& event : events) {
+    if (event.name == "kept_span") kept_present = true;
+  }
+  EXPECT_TRUE(kept_present);
 }
 
 }  // namespace

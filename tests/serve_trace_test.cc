@@ -1,0 +1,194 @@
+// Request-scoped tracing through the serve pipeline (docs/observability.md,
+// "Request tracing"): under concurrent traffic with the recorder and tail
+// sampler armed, every request's spans reconstruct as exactly one rooted
+// causal tree — one serve/request root, every parent resolving inside the
+// trace, no cycles — spanning the producer and worker threads. This is the
+// TSan target for the tracing layer (tools/run_sanitizers.sh).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/ts_ppr.h"
+#include "data/synthetic.h"
+#include "obs/tail_sampler.h"
+#include "obs/trace.h"
+#include "serve/server.h"
+
+namespace reconsume {
+namespace serve {
+namespace {
+
+struct ServeFixture {
+  data::Dataset dataset;
+  std::unique_ptr<data::TrainTestSplit> split;
+  std::unique_ptr<core::TsPpr> pipeline;
+
+  explicit ServeFixture(double scale = 0.05) {
+    dataset = data::SyntheticTraceGenerator(data::GowallaLikeProfile(scale))
+                  .Generate()
+                  .ValueOrDie();
+    split = std::make_unique<data::TrainTestSplit>(
+        data::TrainTestSplit::Temporal(&dataset, 0.7).ValueOrDie());
+    core::TsPprPipelineConfig config;
+    pipeline = std::make_unique<core::TsPpr>(
+        core::TsPpr::Fit(*split, config).ValueOrDie());
+  }
+
+  ServeConfig Config(int threads = 4) const {
+    ServeConfig config;
+    config.num_threads = threads;
+    config.queue_capacity = 64;
+    config.cache_capacity = 256;
+    config.window_capacity = 100;
+    config.min_gap = 10;
+    return config;
+  }
+
+  /// Non-owning shared_ptr view: the pipeline outlives the service here.
+  std::shared_ptr<eval::Recommender> Model() const {
+    return std::shared_ptr<eval::Recommender>(std::shared_ptr<void>(),
+                                              pipeline->recommender());
+  }
+};
+
+class ServeTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ResetGlobals(); }
+  void TearDown() override { ResetGlobals(); }
+
+  static void ResetGlobals() {
+    obs::TraceRecorder::Global().Disable();
+    obs::TraceRecorder::Global().Clear();
+    obs::TraceTailSampler::Global().Disable();
+    obs::TraceTailSampler::Global().Clear();
+  }
+};
+
+/// One request's spans, grouped for tree checks.
+struct TraceGroup {
+  std::map<uint64_t, obs::TraceEvent> spans;  // span_id -> span
+  std::vector<uint64_t> roots;                // parent_span_id == 0
+  std::set<int> tids;
+};
+
+std::map<uint64_t, TraceGroup> GroupByTrace(
+    const std::vector<obs::TraceEvent>& events) {
+  std::map<uint64_t, TraceGroup> groups;
+  for (const obs::TraceEvent& event : events) {
+    if (event.trace_id == 0) continue;
+    TraceGroup& group = groups[event.trace_id];
+    EXPECT_NE(event.span_id, 0u) << event.name;
+    EXPECT_TRUE(group.spans.emplace(event.span_id, event).second)
+        << "duplicate span_id in trace " << event.trace_id;
+    group.tids.insert(event.tid);
+    if (event.parent_span_id == 0) group.roots.push_back(event.span_id);
+  }
+  return groups;
+}
+
+// The TSan + integrity target: concurrent mixed traffic, then every traced
+// request must form exactly one rooted span tree.
+TEST_F(ServeTraceTest, EachRequestFormsOneRootedTreeUnderConcurrency) {
+  ServeFixture fixture;
+  ServeConfig config = fixture.Config(/*threads=*/4);
+  config.trace_sample = 1.0;  // retain every ordinary request too
+  obs::TraceRecorder::Global().Enable();
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 25;
+  {
+    RecommendService service(&fixture.dataset, fixture.Model(), config);
+    const auto num_users =
+        static_cast<data::UserId>(fixture.dataset.num_users());
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int i = 0; i < kRequestsPerClient; ++i) {
+          const auto user = static_cast<data::UserId>(
+              (c + i) % std::min<data::UserId>(num_users, 6));
+          if (i % 5 == 3) {
+            const auto& history = fixture.dataset.sequence(user);
+            ServeResponse r =
+                service
+                    .Observe(user, history[static_cast<size_t>(i) %
+                                           history.size()])
+                    .get();
+            EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+          } else {
+            ServeResponse r = service.Recommend(user, 5).get();
+            EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+          }
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    service.Shutdown();
+    EXPECT_EQ(service.requests_served(), kClients * kRequestsPerClient);
+  }
+  obs::TraceRecorder::Global().Disable();
+
+  const auto groups = GroupByTrace(obs::TraceRecorder::Global().Snapshot());
+  ASSERT_EQ(groups.size(),
+            static_cast<size_t>(kClients * kRequestsPerClient));
+
+  size_t cross_thread_traces = 0;
+  for (const auto& [trace_id, group] : groups) {
+    // Exactly one root, and it is the request span closed at resolution.
+    ASSERT_EQ(group.roots.size(), 1u) << "trace " << trace_id;
+    const obs::TraceEvent& root = group.spans.at(group.roots[0]);
+    EXPECT_EQ(root.name, "serve/request") << "trace " << trace_id;
+
+    // Every parent resolves inside the trace, and walking parent links from
+    // any span reaches the root without a cycle.
+    for (const auto& [span_id, span] : group.spans) {
+      uint64_t cursor = span_id;
+      std::set<uint64_t> seen;
+      while (cursor != 0) {
+        ASSERT_TRUE(seen.insert(cursor).second)
+            << "parent cycle in trace " << trace_id;
+        const auto it = group.spans.find(cursor);
+        ASSERT_NE(it, group.spans.end())
+            << "dangling parent " << cursor << " in trace " << trace_id;
+        cursor = it->second.parent_span_id;
+      }
+      EXPECT_TRUE(seen.count(root.span_id)) << "trace " << trace_id;
+    }
+
+    // The pipeline spans are present and stitched across threads: the
+    // enqueue span runs on the client thread, the handle span on a worker.
+    std::set<std::string> names;
+    for (const auto& [span_id, span] : group.spans) names.insert(span.name);
+    EXPECT_TRUE(names.count("serve/enqueue")) << "trace " << trace_id;
+    EXPECT_TRUE(names.count("serve/handle")) << "trace " << trace_id;
+    EXPECT_TRUE(names.count("serve/queue_wait")) << "trace " << trace_id;
+    if (group.tids.size() >= 2) ++cross_thread_traces;
+
+    // At rate 1.0 every finished request is retained, so the tree survives
+    // the export filter.
+    EXPECT_TRUE(obs::TraceTailSampler::Global().IsRetained(trace_id));
+  }
+  // Producer and worker are distinct threads for every request; allow the
+  // rare scheduling fluke but require stitching overall.
+  EXPECT_GT(cross_thread_traces, groups.size() / 2);
+}
+
+TEST_F(ServeTraceTest, TracingDisabledMintsNoContexts) {
+  ServeFixture fixture;
+  RecommendService service(&fixture.dataset, fixture.Model(),
+                           fixture.Config(/*threads=*/2));
+  ASSERT_TRUE(service.Recommend(0, 5).get().status.ok());
+  service.Shutdown();
+  EXPECT_TRUE(obs::TraceRecorder::Global().Snapshot().empty());
+  EXPECT_FALSE(obs::TraceTailSampler::Global().active());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace reconsume

@@ -16,13 +16,18 @@
 //   reconsume_cli serve    --data=trace.tsv --model=tsppr.bin
 //                          [--serve-threads=4 --queue-capacity=1024
 //                           --cache-capacity=4096 --omega=10 --window=100
-//                           --train-fraction=0.7]
+//                           --train-fraction=0.7 --trace-sample=0.05]
 //
 // `serve` reads one request per line from stdin (see docs/serving.md):
 //   recommend <user-key> [n]     rank the user's current top-n
 //   observe <user-key> <item-key>  append one consumption event
-//   stats                        print QPS counters and cache hit rate
+//   stats                        print QPS counters, cache hit rate, and the
+//                                SLO burn-rate dashboard
 //   quit                         drain and exit (EOF works too)
+//
+// --trace-sample arms tail-based trace sampling (default comes from the
+// RECONSUME_TRACE_SAMPLE environment variable; < 0 leaves sampling off) —
+// see docs/observability.md, "Request tracing". Pair with --trace-out.
 //
 // The trace format is the TSV event file of data::SaveDatasetTsv
 // ("user \t item \t time"); real Gowalla / Last.fm dumps load with
@@ -51,6 +56,8 @@
 #include "eval/evaluator.h"
 #include "eval/significance.h"
 #include "eval/table.h"
+#include "obs/slo.h"
+#include "obs/tail_sampler.h"
 #include "obs/telemetry.h"
 #include "serve/server.h"
 #include "util/flags.h"
@@ -424,6 +431,19 @@ void PrintServeStats(const serve::RecommendService& service) {
   std::printf("latency us: p50 %.1f  p99 %.1f  p999 %.1f\n",
               latency.Quantile(0.5), latency.Quantile(0.99),
               latency.Quantile(0.999));
+  const obs::TailSamplerStats traces = obs::TraceTailSampler::Global().stats();
+  if (traces.considered > 0) {
+    std::printf("tracing: %lld considered, %lld retained "
+                "(%lld forced, %lld slow, %lld sampled), %lld dropped\n",
+                static_cast<long long>(traces.considered),
+                static_cast<long long>(traces.retained()),
+                static_cast<long long>(traces.retained_forced),
+                static_cast<long long>(traces.retained_slow),
+                static_cast<long long>(traces.retained_sampled),
+                static_cast<long long>(traces.dropped));
+  }
+  // The statusz-style SLO block (docs/observability.md, "Request tracing").
+  std::printf("%s", obs::RenderSloDashboard(service.SloSnapshots()).c_str());
 }
 
 /// Keeps a hot-swapped model and its recommender alive together; the
@@ -446,6 +466,9 @@ Result<int> CmdServe(const util::FlagSet& flags) {
                              flags.GetInt("queue-capacity", 1024));
   RECONSUME_ASSIGN_OR_RETURN(const int64_t cache_capacity,
                              flags.GetInt("cache-capacity", 4096));
+  RECONSUME_ASSIGN_OR_RETURN(
+      const double trace_sample,
+      flags.GetDouble("trace-sample", obs::TraceSampleRateFromEnv(-1.0)));
   RECONSUME_RETURN_NOT_OK(flags.CheckNoUnusedFlags());
   if (model_path.empty()) {
     return Status::InvalidArgument("--model=<model file> is required");
@@ -476,6 +499,7 @@ Result<int> CmdServe(const util::FlagSet& flags) {
   config.cache_capacity = static_cast<size_t>(cache_capacity);
   config.window_capacity = protocol.window;
   config.min_gap = protocol.omega;
+  config.trace_sample = trace_sample;
   // Non-owning view: the initial model and recommender live on this frame
   // for the whole serve loop; swapped-in models own themselves (see
   // SwappableModel below).

@@ -8,9 +8,10 @@
 #          the lock-free observability layer: obs_metrics_test,
 #          obs_trace_test, telemetry_integration_test, plus the serving
 #          layer: serve_queue_test, score_cache_test,
-#          serve_integration_test, serve_resilience_test — the latter two
-#          cover the cache-epoch swap race and the degradation ladder /
-#          hot-swap paths under concurrent traffic; see docs/serving.md §8).
+#          serve_integration_test, serve_resilience_test, serve_trace_test
+#          — these cover the cache-epoch swap race, the degradation ladder /
+#          hot-swap paths, and cross-thread trace stitching under concurrent
+#          traffic; see docs/serving.md §8).
 #          The Hogwild trainer is written to be TSan-clean: worker-private
 #          parameters are plain memory touched by one thread, shared item
 #          factors are accessed only through relaxed std::atomic_ref, and the
@@ -51,7 +52,8 @@ run_tsan() {
   local tsan_tests=(thread_pool_test parallel_trainer_test parallel_eval_test
                     obs_metrics_test obs_trace_test telemetry_integration_test
                     serve_queue_test score_cache_test serve_integration_test
-                    serve_resilience_test kernels_test scoring_engine_test)
+                    serve_resilience_test serve_trace_test kernels_test
+                    scoring_engine_test)
   cmake --build "$build_dir" -j "$JOBS" --target "${tsan_tests[@]}"
 
   # Fail on any race report even if the test would otherwise pass.

@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Critical-path analysis for request-scoped traces (docs/observability.md).
+
+Reads a Chrome trace-event JSON file exported by TraceRecorder (the
+--trace-out artifact of `reconsume_cli serve` or `bench_serve_load`),
+reassembles each request's span tree from the trace_id/span_id/
+parent_span_id args, and prints
+
+  * a per-request critical-path breakdown for the slowest requests: each
+    span's duration, its share of the request, and the self time (duration
+    not covered by child spans) — i.e. where inside the serve pipeline the
+    request actually aged, across every thread it touched;
+  * an aggregate attribution table: total self time per span name across
+    all requests, the fleet-level answer to "what is the pipeline spending
+    its time on".
+
+CI assertions (the trace-smoke job):
+
+  --require-requests N    at least N reconstructed request trees
+  --require-span NAME     some request tree contains a span NAME; repeatable
+  --require-cross-thread  at least one request's tree spans >= 2 threads
+                          (proves producer->worker stitching, not just
+                          same-thread nesting)
+
+Exit status: 0 when the trace parses and every assertion holds, 1 otherwise.
+
+  tools/trace_analyze.py trace.json --top 3 \\
+      --require-requests 1 --require-span serve/queue_wait \\
+      --require-cross-thread
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_request_trees(path: Path, errors: list[str]) -> dict[int, dict]:
+    """Returns {trace_id: {"spans": {span_id: span}, "root": span | None,
+    "children": {span_id: [span_id, ...]}, "tids": set}}."""
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        errors.append(f"{path}: {exc}")
+        return {}
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        errors.append(f"{path}: missing 'traceEvents' list")
+        return {}
+
+    trees: dict[int, dict] = {}
+    for event in events:
+        if not isinstance(event, dict) or event.get("ph") != "X":
+            continue
+        args = event.get("args")
+        if not isinstance(args, dict):
+            continue
+        trace_id = args.get("trace_id", 0)
+        span_id = args.get("span_id", 0)
+        if not isinstance(trace_id, int) or trace_id == 0 or not span_id:
+            continue
+        tree = trees.setdefault(
+            trace_id, {"spans": {}, "root": None, "children": {}, "tids": set()})
+        span = {
+            "name": event.get("name", "?"),
+            "tid": event.get("tid", 0),
+            "ts": float(event.get("ts", 0.0)),
+            "dur": float(event.get("dur", 0.0)),
+            "span_id": span_id,
+            "parent": args.get("parent_span_id", 0) or 0,
+        }
+        tree["spans"][span_id] = span
+        tree["tids"].add(span["tid"])
+
+    for trace_id, tree in trees.items():
+        for span in tree["spans"].values():
+            parent = span["parent"]
+            if parent and parent in tree["spans"]:
+                tree["children"].setdefault(parent, []).append(span["span_id"])
+            elif not parent:
+                if tree["root"] is not None:
+                    errors.append(
+                        f"{path}: trace {trace_id} has multiple root spans")
+                tree["root"] = span
+        if tree["root"] is None:
+            errors.append(f"{path}: trace {trace_id} has no root span")
+        for kids in tree["children"].values():
+            kids.sort(key=lambda sid: (tree["spans"][sid]["ts"], sid))
+    return trees
+
+
+def self_time(tree: dict, span: dict) -> float:
+    """Duration not covered by the span's direct children (its own cost)."""
+    covered = sum(tree["spans"][kid]["dur"]
+                  for kid in tree["children"].get(span["span_id"], []))
+    return max(0.0, span["dur"] - covered)
+
+
+def print_request(trace_id: int, tree: dict) -> None:
+    root = tree["root"]
+    total = root["dur"] if root["dur"] > 0 else 1.0
+
+    def walk(span_id: int, depth: int) -> None:
+        span = tree["spans"][span_id]
+        own = self_time(tree, span)
+        pad = max(1, 30 - 2 * depth)
+        print(f"    {'  ' * depth}{span['name']:<{pad}} "
+              f"{span['dur']:>10.1f}us {100.0 * span['dur'] / total:>5.1f}% "
+              f"(self {own:>8.1f}us)  tid {span['tid']}")
+        for kid in tree["children"].get(span_id, []):
+            walk(kid, depth + 1)
+
+    threads = ", ".join(str(t) for t in sorted(tree["tids"]))
+    print(f"  request trace={trace_id} total {root['dur']:.1f}us "
+          f"across threads [{threads}]")
+    walk(root["span_id"], 0)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", type=Path, help="Chrome trace JSON file")
+    parser.add_argument("--top", type=int, default=5, metavar="N",
+                        help="print the N slowest requests (default 5)")
+    parser.add_argument("--require-requests", type=int, default=0,
+                        metavar="N",
+                        help="fail unless at least N request trees "
+                             "reconstruct")
+    parser.add_argument("--require-span", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless some request tree contains a span "
+                             "NAME; repeatable")
+    parser.add_argument("--require-cross-thread", action="store_true",
+                        help="fail unless at least one request tree spans "
+                             ">= 2 threads")
+    args = parser.parse_args()
+
+    errors: list[str] = []
+    trees = load_request_trees(args.trace, errors)
+    complete = {tid: t for tid, t in trees.items() if t["root"] is not None}
+
+    # Per-request critical paths: slowest first, the requests a tail-latency
+    # investigation opens first.
+    ranked = sorted(complete.items(),
+                    key=lambda kv: kv[1]["root"]["dur"], reverse=True)
+    print(f"trace_analyze: {len(complete)} request trees "
+          f"({sum(len(t['spans']) for t in complete.values())} spans) "
+          f"in {args.trace}")
+    if ranked:
+        print(f"slowest {min(args.top, len(ranked))} requests:")
+        for trace_id, tree in ranked[:args.top]:
+            print_request(trace_id, tree)
+
+    # Aggregate attribution: self time per span name across every request —
+    # where the pipeline as a whole spends its time.
+    totals: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for tree in complete.values():
+        for span in tree["spans"].values():
+            totals[span["name"]] = totals.get(span["name"], 0.0) + \
+                self_time(tree, span)
+            counts[span["name"]] = counts.get(span["name"], 0) + 1
+    grand = sum(totals.values()) or 1.0
+    if totals:
+        print("aggregate self-time attribution:")
+        for name, total in sorted(totals.items(), key=lambda kv: -kv[1]):
+            print(f"    {name:<28} {total:>12.1f}us {100.0 * total / grand:>5.1f}%"
+                  f"  ({counts[name]} spans)")
+
+    # CI assertions.
+    if args.require_requests and len(complete) < args.require_requests:
+        errors.append(f"expected >= {args.require_requests} request trees, "
+                      f"found {len(complete)}")
+    seen_names = {span["name"] for tree in complete.values()
+                  for span in tree["spans"].values()}
+    for name in args.require_span:
+        if name not in seen_names:
+            errors.append(f"no request tree contains a span '{name}'")
+    if args.require_cross_thread and \
+            not any(len(t["tids"]) >= 2 for t in complete.values()):
+        errors.append("no request tree spans >= 2 threads — producer/worker "
+                      "stitching is broken")
+
+    if errors:
+        print(f"trace_analyze: {len(errors)} error(s)")
+        for error in errors:
+            print("  " + error)
+        return 1
+    print("trace_analyze: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,16 @@ this against a `bench_serve_load --overload` run with an injected scoring
 failpoint — it proves the degradation ladder actually engaged under
 overload rather than the service merely erroring fast.
 
+--require-trace-integrity (needs both --events and --trace) additionally
+asserts the request-tracing contract (docs/observability.md, "Request
+tracing"): every traced span's parent resolves inside its own trace with no
+parent cycles and exactly one root; every request_done with
+trace_retained=true has its trace's spans present in --trace (and
+trace_retained=false traces are absent — the tail sampler dropped them);
+degraded and failed traced requests are always retained; and every flow
+event binds threads of a trace that actually exists. The CI trace-smoke job
+uses this against a `bench_serve_load --overload --trace-sample` run.
+
 Exit status: 0 when every given artifact validates, 1 otherwise.
 """
 
@@ -247,7 +257,16 @@ def validate_trace(path: Path, errors: list[str]) -> None:
         if not isinstance(event, dict):
             fail(errors, f"{path}: traceEvents[{i}] is not an object")
             continue
-        if event.get("ph") != "X":
+        ph = event.get("ph")
+        if ph in ("s", "f"):
+            # Flow events stitch a trace's threads together; they carry an
+            # id instead of dur/args.
+            for key in ("name", "ts", "pid", "tid", "id"):
+                if key not in event:
+                    fail(errors,
+                         f"{path}: traceEvents[{i}] (flow) missing '{key}'")
+            continue
+        if ph != "X":
             fail(errors, f"{path}: traceEvents[{i}] is not a complete event")
         for key in ("name", "ts", "dur", "pid", "tid"):
             if key not in event:
@@ -258,6 +277,126 @@ def validate_trace(path: Path, errors: list[str]) -> None:
         args = event.get("args")
         if not isinstance(args, dict) or "depth" not in args:
             fail(errors, f"{path}: traceEvents[{i}] missing args.depth")
+
+
+def load_trace_groups(path: Path, errors: list[str]):
+    """Returns ({trace_id: [span, ...]}, [flow_event, ...]) from a trace
+    file, where spans are the "X" events carrying args.trace_id != 0."""
+    doc = load_json(path, errors)
+    if doc is None:
+        return None, None
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(errors, f"{path}: missing 'traceEvents' list")
+        return None, None
+    groups: dict[int, list[dict]] = {}
+    flows: list[dict] = []
+    for event in events:
+        if not isinstance(event, dict):
+            continue
+        if event.get("ph") in ("s", "f"):
+            flows.append(event)
+            continue
+        if event.get("ph") != "X":
+            continue
+        args = event.get("args")
+        if not isinstance(args, dict):
+            continue
+        trace_id = args.get("trace_id", 0)
+        if isinstance(trace_id, int) and trace_id != 0:
+            groups.setdefault(trace_id, []).append(event)
+    return groups, flows
+
+
+def validate_trace_integrity(events_path: Path, trace_path: Path,
+                             errors: list[str]) -> None:
+    """Cross-checks the tail-sampled trace against the event stream
+    (docs/observability.md, "Request tracing")."""
+    groups, flows = load_trace_groups(trace_path, errors)
+    if groups is None:
+        return
+
+    # 1. Structural integrity per trace: ids present, parents resolve
+    #    in-trace, exactly one root, no parent cycles.
+    for trace_id, spans in sorted(groups.items()):
+        ids = set()
+        parents = {}
+        roots = []
+        for span in spans:
+            args = span["args"]
+            span_id = args.get("span_id")
+            parent = args.get("parent_span_id")
+            if not isinstance(span_id, int) or span_id == 0:
+                fail(errors, f"{trace_path}: trace {trace_id}: span "
+                             f"'{span.get('name')}' has no span_id")
+                continue
+            if span_id in ids:
+                fail(errors, f"{trace_path}: trace {trace_id}: duplicate "
+                             f"span_id {span_id}")
+            ids.add(span_id)
+            parents[span_id] = parent if isinstance(parent, int) else 0
+            if not parent:
+                roots.append(span)
+        for span_id, parent in sorted(parents.items()):
+            if parent and parent not in ids:
+                fail(errors, f"{trace_path}: trace {trace_id}: span "
+                             f"{span_id} has unresolved parent {parent}")
+        if len(roots) != 1:
+            fail(errors, f"{trace_path}: trace {trace_id}: expected exactly "
+                         f"one root span, found {len(roots)}")
+        for span_id in parents:
+            seen = set()
+            node = span_id
+            while node:
+                if node in seen:
+                    fail(errors, f"{trace_path}: trace {trace_id}: parent "
+                                 f"cycle through span {node}")
+                    break
+                seen.add(node)
+                node = parents.get(node, 0)
+
+    # 2. Flow events must bind threads of traces that exist.
+    for i, flow in enumerate(flows):
+        if flow.get("id") not in groups:
+            fail(errors, f"{trace_path}: flow[{i}] references absent trace "
+                         f"{flow.get('id')}")
+
+    # 3. Cross-check against request_done: retained traces present, dropped
+    #    traces absent, degraded/failed traced requests always retained.
+    try:
+        lines = events_path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        fail(errors, f"{events_path}: unreadable: {exc}")
+        return
+    traced_done = 0
+    for line in lines:
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # validate_events already reports malformed lines
+        if not isinstance(event, dict) or event.get("type") != "request_done":
+            continue
+        trace_id = event.get("trace_id", 0)
+        if not isinstance(trace_id, int) or trace_id == 0:
+            continue
+        traced_done += 1
+        retained = bool(event.get("trace_retained"))
+        interesting = bool(event.get("degraded")) or not event.get("ok", True)
+        if interesting and not retained:
+            fail(errors, f"{events_path}: trace {trace_id} is degraded or "
+                         "failed but the tail sampler did not retain it")
+        if retained and trace_id not in groups:
+            fail(errors, f"{trace_path}: trace {trace_id} was retained but "
+                         "its spans are missing from the trace")
+        if not retained and trace_id in groups:
+            fail(errors, f"{trace_path}: trace {trace_id} was dropped by "
+                         "the tail sampler but its spans were exported")
+    if traced_done == 0:
+        fail(errors, f"{events_path}: no traced request_done events — was "
+                     "the run started with tracing on (--trace-out + "
+                     "--trace-sample)?")
+    if not groups:
+        fail(errors, f"{trace_path}: no traced spans in the trace file")
 
 
 def main() -> int:
@@ -275,6 +414,12 @@ def main() -> int:
     parser.add_argument("--require-degrade-events", action="store_true",
                         help="assert the degraded/request_shed resilience "
                              "protocol in --events (docs/serving.md §8)")
+    parser.add_argument("--require-trace-integrity", action="store_true",
+                        help="cross-check --trace against --events: parents "
+                             "resolve in-trace, one root per trace, retained "
+                             "traces present / dropped traces absent, "
+                             "degraded or failed requests always retained "
+                             "(docs/observability.md)")
     args = parser.parse_args()
     if not (args.events or args.metrics or args.trace):
         parser.error("give at least one of --events/--metrics/--trace")
@@ -284,6 +429,8 @@ def main() -> int:
         parser.error("--require-serve-events needs --events")
     if args.require_degrade_events and not args.events:
         parser.error("--require-degrade-events needs --events")
+    if args.require_trace_integrity and not (args.events and args.trace):
+        parser.error("--require-trace-integrity needs --events and --trace")
 
     errors: list[str] = []
     checked = []
@@ -300,6 +447,8 @@ def main() -> int:
     if args.trace:
         validate_trace(args.trace, errors)
         checked.append(str(args.trace))
+    if args.require_trace_integrity:
+        validate_trace_integrity(args.events, args.trace, errors)
 
     if errors:
         print(f"validate_telemetry: {len(errors)} error(s)")
